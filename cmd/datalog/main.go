@@ -1,0 +1,254 @@
+// Command datalog evaluates a Datalog program, sequentially or in parallel,
+// and prints the derived relations.
+//
+// Usage:
+//
+//	datalog [flags] program.dl [facts.dl ...]
+//	cat program.dl | datalog [flags]
+//
+// Flags:
+//
+//	-workers N      parallel evaluation on N processors (0 = sequential)
+//	-strategy S     auto | hash | nocomm | tradeoff | general
+//	-vr V,W         discriminating sequence v(r) for the recursive rule
+//	-ve V,W         discriminating sequence v(e) for the exit rule
+//	-locality F     locality in [0,1] for -strategy tradeoff
+//	-naive          sequential naive iteration instead of semi-naive
+//	-pred p,q       print only these predicates (default: all derived)
+//	-query 'p(a,X)' print only tuples matching an atom pattern
+//	-csv pred=path  load a base relation from a CSV file (repeatable)
+//	-i              interactive queries after evaluation
+//	-stats          print evaluation statistics to stderr
+//	-show-rewrite   print each processor's rewritten program (the paper's
+//	                Q_i / R_i / T_i) instead of evaluating
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"parlog"
+)
+
+func main() {
+	var (
+		workers  = flag.Int("workers", 0, "parallel evaluation on N processors (0 = sequential)")
+		strategy = flag.String("strategy", "auto", "auto | hash | nocomm | tradeoff | general")
+		vr       = flag.String("vr", "", "comma-separated discriminating sequence v(r)")
+		ve       = flag.String("ve", "", "comma-separated discriminating sequence v(e)")
+		locality = flag.Float64("locality", 0, "locality in [0,1] for -strategy tradeoff")
+		naive    = flag.Bool("naive", false, "use naive iteration (sequential only)")
+		preds    = flag.String("pred", "", "comma-separated predicates to print (default: all derived)")
+		query    = flag.String("query", "", "print only tuples matching this atom pattern, e.g. 'anc(a, X)'")
+		stats    = flag.Bool("stats", false, "print evaluation statistics to stderr")
+		interact = flag.Bool("i", false, "after evaluating, read query patterns from stdin")
+		showRW   = flag.Bool("show-rewrite", false, "print each processor's rewritten program (Q_i/R_i/T_i) instead of evaluating")
+	)
+	var csvs csvFlags
+	flag.Var(&csvs, "csv", "load a base relation from CSV: pred=path (repeatable)")
+	flag.Parse()
+
+	src, err := readSources(flag.Args())
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := parlog.Parse(src)
+	if err != nil {
+		fatal(err)
+	}
+	edb := parlog.Store{}
+	for _, cf := range csvs {
+		if _, err := prog.LoadCSVFile(edb, cf.pred, cf.path); err != nil {
+			fatal(err)
+		}
+	}
+
+	var show []string
+	if *preds != "" {
+		show = splitList(*preds)
+	} else {
+		show = prog.IDB()
+	}
+
+	if *showRW {
+		opts := parlog.ParallelOptions{
+			Workers: *workers, Locality: *locality,
+			VR: splitList(*vr), VE: splitList(*ve),
+			Strategy: strategyOf(*strategy),
+		}
+		listings, err := parlog.RewriteListings(prog, opts)
+		if err != nil {
+			fatal(err)
+		}
+		ids := make([]int, 0, len(listings))
+		for id := range listings {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			fmt.Printf("%% ---- processor %d ----\n%s\n", id, listings[id])
+		}
+		return
+	}
+
+	if *workers <= 0 {
+		store, st, err := parlog.Eval(prog, edb, parlog.EvalOptions{Naive: *naive})
+		if err != nil {
+			fatal(err)
+		}
+		printResult(prog, store, show, *query)
+		if *stats {
+			fmt.Fprintf(os.Stderr, "iterations=%d firings=%d new=%d\n", st.Iterations, st.Firings, st.New)
+		}
+		if *interact {
+			repl(prog, store, os.Stdin, os.Stdout)
+		}
+		return
+	}
+
+	opts := parlog.ParallelOptions{
+		Workers:  *workers,
+		Locality: *locality,
+		VR:       splitList(*vr),
+		VE:       splitList(*ve),
+		Strategy: strategyOf(*strategy),
+	}
+	res, err := parlog.EvalParallel(prog, edb, opts)
+	if err != nil {
+		fatal(err)
+	}
+	printResult(prog, res.Output, show, *query)
+	if *stats {
+		fmt.Fprint(os.Stderr, res.Stats.String())
+	}
+	if *interact {
+		repl(prog, res.Output, os.Stdin, os.Stdout)
+	}
+}
+
+// strategyOf maps the -strategy flag to the API value.
+func strategyOf(s string) parlog.Strategy {
+	switch s {
+	case "auto":
+		return parlog.StrategyAuto
+	case "hash":
+		return parlog.StrategyHashPartition
+	case "nocomm":
+		return parlog.StrategyNoComm
+	case "tradeoff":
+		return parlog.StrategyTradeoff
+	case "general":
+		return parlog.StrategyGeneral
+	default:
+		fatal(fmt.Errorf("unknown strategy %q", s))
+		return 0
+	}
+}
+
+// csvFlags collects repeated -csv pred=path flags.
+type csvFlags []struct{ pred, path string }
+
+// String implements flag.Value.
+func (c *csvFlags) String() string { return fmt.Sprintf("%d csv mappings", len(*c)) }
+
+// Set implements flag.Value.
+func (c *csvFlags) Set(v string) error {
+	eq := strings.IndexByte(v, '=')
+	if eq <= 0 || eq == len(v)-1 {
+		return fmt.Errorf("want pred=path, got %q", v)
+	}
+	*c = append(*c, struct{ pred, path string }{v[:eq], v[eq+1:]})
+	return nil
+}
+
+// repl reads one query pattern per line and prints the matches.
+func repl(prog *parlog.Program, store parlog.Store, in io.Reader, out io.Writer) {
+	fmt.Fprintln(out, "% enter query patterns like anc(a, X); empty line or EOF quits")
+	sc := bufio.NewScanner(in)
+	for {
+		fmt.Fprint(out, "?- ")
+		if !sc.Scan() {
+			fmt.Fprintln(out)
+			return
+		}
+		q := strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(sc.Text()), "."))
+		if q == "" {
+			return
+		}
+		tuples, err := prog.Query(store, q)
+		if err != nil {
+			fmt.Fprintln(out, "error:", err)
+			continue
+		}
+		pred := q[:strings.IndexByte(q, '(')]
+		for _, t := range tuples {
+			parts := make([]string, len(t))
+			for i, v := range t {
+				parts[i] = prog.ConstName(v)
+			}
+			fmt.Fprintf(out, "%s(%s).\n", strings.TrimSpace(pred), strings.Join(parts, ", "))
+		}
+		fmt.Fprintf(out, "%% %d answers\n", len(tuples))
+	}
+}
+
+// printResult prints either the matching tuples of a query pattern or the
+// listed predicates in full.
+func printResult(prog *parlog.Program, store parlog.Store, show []string, query string) {
+	if query == "" {
+		for _, p := range show {
+			fmt.Print(prog.Format(store, p))
+		}
+		return
+	}
+	tuples, err := prog.Query(store, query)
+	if err != nil {
+		fatal(err)
+	}
+	pred := query[:strings.IndexByte(query, '(')]
+	for _, t := range tuples {
+		parts := make([]string, len(t))
+		for i, v := range t {
+			parts[i] = prog.ConstName(v)
+		}
+		fmt.Printf("%s(%s).\n", strings.TrimSpace(pred), strings.Join(parts, ", "))
+	}
+}
+
+func readSources(paths []string) (string, error) {
+	if len(paths) == 0 {
+		b, err := io.ReadAll(os.Stdin)
+		return string(b), err
+	}
+	var b strings.Builder
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return "", err
+		}
+		b.Write(data)
+		b.WriteByte('\n')
+	}
+	return b.String(), nil
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "datalog:", err)
+	os.Exit(1)
+}

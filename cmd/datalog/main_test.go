@@ -1,0 +1,84 @@
+package main
+
+import (
+	"os"
+	"strings"
+
+	"parlog"
+	"path/filepath"
+	"testing"
+)
+
+func TestSplitList(t *testing.T) {
+	if got := splitList(""); got != nil {
+		t.Errorf("splitList(\"\") = %v, want nil", got)
+	}
+	got := splitList("Z, Y")
+	if len(got) != 2 || got[0] != "Z" || got[1] != "Y" {
+		t.Errorf("splitList = %v", got)
+	}
+}
+
+func TestReadSourcesFiles(t *testing.T) {
+	dir := t.TempDir()
+	p1 := filepath.Join(dir, "a.dl")
+	p2 := filepath.Join(dir, "b.dl")
+	if err := os.WriteFile(p1, []byte("p(a)."), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(p2, []byte("q(b)."), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src, err := readSources([]string{p1, p2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src != "p(a).\nq(b).\n" {
+		t.Errorf("src = %q", src)
+	}
+	if _, err := readSources([]string{filepath.Join(dir, "missing.dl")}); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestCSVFlags(t *testing.T) {
+	var c csvFlags
+	if err := c.Set("par=/tmp/x.csv"); err != nil {
+		t.Fatal(err)
+	}
+	if len(c) != 1 || c[0].pred != "par" || c[0].path != "/tmp/x.csv" {
+		t.Errorf("csvFlags = %+v", c)
+	}
+	for _, bad := range []string{"", "par", "=x", "par="} {
+		if err := c.Set(bad); err == nil {
+			t.Errorf("Set(%q) accepted", bad)
+		}
+	}
+	if c.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestREPL(t *testing.T) {
+	prog, err := parlog.Parse(`
+anc(X, Y) :- par(X, Y).
+anc(X, Y) :- par(X, Z), anc(Z, Y).
+par(a, b). par(b, c).
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, _, err := parlog.Eval(prog, nil, parlog.EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := strings.NewReader("anc(a, X)\nbadquery\nanc(X, X).\n\n")
+	var out strings.Builder
+	repl(prog, store, in, &out)
+	got := out.String()
+	for _, want := range []string{"anc(a, b).", "anc(a, c).", "% 2 answers", "error:", "% 0 answers"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("REPL output missing %q:\n%s", want, got)
+		}
+	}
+}

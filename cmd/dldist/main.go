@@ -1,0 +1,186 @@
+// Command dldist runs the parallel Datalog evaluation across OS processes
+// over TCP — the paper's message-passing multiprocessor with one process per
+// processor. Start one coordinator and N workers (any order; the coordinator
+// waits):
+//
+//	dldist -role coordinator -workers 3 -listen 127.0.0.1:7070 -program prog.dl
+//	dldist -role worker -index 0 -coordinator 127.0.0.1:7070 -workers 3 -program prog.dl -vr Z -ve X
+//	dldist -role worker -index 1 -coordinator 127.0.0.1:7070 -workers 3 -program prog.dl -vr Z -ve X
+//	dldist -role worker -index 2 -coordinator 127.0.0.1:7070 -workers 3 -program prog.dl -vr Z -ve X
+//
+// Every process must be given the same program file and the same scheme
+// flags: the processes independently compile identical schemes (the hash
+// functions are deterministic in -seed), and parsing the same text yields
+// identical constant interners, so tuple encodings agree on the wire.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"parlog/internal/analysis"
+	"parlog/internal/ast"
+	"parlog/internal/dist"
+	"parlog/internal/hashpart"
+	"parlog/internal/parallel"
+	"parlog/internal/parser"
+	"parlog/internal/relation"
+	"parlog/internal/rewrite"
+)
+
+func main() {
+	var (
+		role     = flag.String("role", "", "coordinator | worker")
+		workers  = flag.Int("workers", 0, "number of processors")
+		listen   = flag.String("listen", "127.0.0.1:0", "coordinator: control listen address")
+		coord    = flag.String("coordinator", "", "worker: coordinator address")
+		index    = flag.Int("index", -1, "worker: processor index (0-based)")
+		dataAddr = flag.String("data", "127.0.0.1:0", "worker: data listen address")
+		strategy = flag.String("strategy", "hash", "hash | nocomm | general")
+		vr       = flag.String("vr", "", "discriminating sequence v(r), comma-separated")
+		ve       = flag.String("ve", "", "discriminating sequence v(e), comma-separated")
+		seed     = flag.Uint64("seed", 0, "hash function seed (must match across processes)")
+	)
+	flag.Parse()
+
+	if *workers <= 0 {
+		fatal(fmt.Errorf("-workers must be positive"))
+	}
+	srcFiles := flag.Args()
+	if len(srcFiles) == 0 {
+		fatal(fmt.Errorf("a program file is required"))
+	}
+	var src strings.Builder
+	for _, f := range srcFiles {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			fatal(err)
+		}
+		src.Write(data)
+		src.WriteByte('\n')
+	}
+	prog, err := parser.Parse(src.String())
+	if err != nil {
+		fatal(err)
+	}
+	compiled, err := buildProgram(prog, *strategy, splitList(*vr), splitList(*ve), *workers, *seed)
+	if err != nil {
+		fatal(err)
+	}
+
+	switch *role {
+	case "coordinator":
+		c, err := dist.NewCoordinator(dist.Config{Workers: *workers, Addr: *listen}, compiled.IDB)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "dldist: coordinating %d workers on %s\n", *workers, c.Addr())
+		res, err := c.Wait()
+		if err != nil {
+			fatal(err)
+		}
+		for _, pred := range prog.IDBPreds() {
+			rel := res.Output[pred]
+			if rel == nil {
+				continue
+			}
+			for _, t := range rel.SortedRows() {
+				parts := make([]string, len(t))
+				for i, v := range t {
+					parts[i] = prog.Interner.Name(v)
+				}
+				fmt.Printf("%s(%s).\n", pred, strings.Join(parts, ", "))
+			}
+		}
+		var firings, sent int64
+		for _, ps := range res.Stats {
+			firings += ps.Firings
+			sent += ps.TuplesSent
+		}
+		fmt.Fprintf(os.Stderr, "dldist: done in %v; firings=%d tuples-sent=%d\n", res.Wall, firings, sent)
+	case "worker":
+		if *coord == "" || *index < 0 || *index >= *workers {
+			fatal(fmt.Errorf("worker needs -coordinator and a valid -index"))
+		}
+		global, err := parallel.PrepareEDB(compiled, relation.Store{})
+		if err != nil {
+			fatal(err)
+		}
+		node := parallel.NewNode(compiled, *index, global)
+		if err := dist.RunWorker(*coord, *dataAddr, node); err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("-role must be coordinator or worker"))
+	}
+}
+
+// buildProgram compiles the scheme deterministically from flags; every
+// process must reach an identical compilation.
+func buildProgram(prog *ast.Program, strategy string, vr, ve []string, workers int, seed uint64) (*parallel.Program, error) {
+	procs := hashpart.RangeProcs(workers)
+	h := hashpart.ModHash{N: workers, Seed: seed}
+	switch strategy {
+	case "hash":
+		s, err := analysis.ExtractSirup(prog)
+		if err != nil {
+			return nil, err
+		}
+		if vr == nil {
+			vr = []string{s.BodyVars[0]}
+		}
+		if ve == nil {
+			ve = []string{s.ExitVars[0]}
+		}
+		return parallel.BuildQ(s, rewrite.SirupSpec{Procs: procs, VR: vr, VE: ve, H: h})
+	case "nocomm":
+		s, err := analysis.ExtractSirup(prog)
+		if err != nil {
+			return nil, err
+		}
+		if ve == nil {
+			ve = []string{s.ExitVars[0]}
+		}
+		return parallel.BuildNoComm(s, rewrite.NoCommSpec{Procs: procs, VE: ve, HP: h})
+	case "general":
+		rules, _ := prog.FactTuples()
+		spec := rewrite.GeneralSpec{Procs: procs}
+		for _, r := range rules {
+			var seq []string
+			if recs := analysis.RecursiveAtoms(prog, r); len(recs) > 0 {
+				if vars := r.Body[recs[0]].Vars(nil); len(vars) > 0 {
+					seq = vars[:1]
+				}
+			}
+			if seq == nil {
+				vars := r.BodyVars()
+				if len(vars) == 0 {
+					return nil, fmt.Errorf("rule without body variables: %s", prog.FormatRule(r))
+				}
+				seq = vars[:1]
+			}
+			spec.Rules = append(spec.Rules, rewrite.RuleSpec{Seq: seq, H: h})
+		}
+		return parallel.BuildGeneral(prog, spec)
+	default:
+		return nil, fmt.Errorf("unknown strategy %q", strategy)
+	}
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dldist:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"parlog/internal/dist"
+	"parlog/internal/parallel"
+	"parlog/internal/parser"
+	"parlog/internal/relation"
+	"parlog/internal/seminaive"
+)
+
+const testProgram = `
+anc(X, Y) :- par(X, Y).
+anc(X, Y) :- par(X, Z), anc(Z, Y).
+par(a, b). par(b, c). par(c, d). par(d, e). par(b, e). par(e, f).
+`
+
+func TestBuildProgramStrategies(t *testing.T) {
+	prog := parser.MustParse(testProgram)
+	for _, s := range []string{"hash", "nocomm", "general"} {
+		if _, err := buildProgram(prog, s, nil, nil, 3, 0); err != nil {
+			t.Errorf("strategy %s: %v", s, err)
+		}
+	}
+	if _, err := buildProgram(prog, "bogus", nil, nil, 3, 0); err == nil {
+		t.Error("bogus strategy accepted")
+	}
+	// Sirup strategies must reject non-sirups.
+	nl := parser.MustParse("p(X) :- q(X).\np(X) :- p(X), r(X).\np(X) :- p(X), s2(X).")
+	if _, err := buildProgram(nl, "hash", nil, nil, 2, 0); err == nil {
+		t.Error("hash strategy accepted a non-sirup")
+	}
+}
+
+// TestCoordinatorWorkerPipeline drives the same code paths main uses —
+// separate "processes" simulated by goroutines, each independently compiling
+// the scheme from the same source text and flags, exactly as the CLI
+// contract requires.
+func TestCoordinatorWorkerPipeline(t *testing.T) {
+	const workers = 3
+
+	// "Coordinator process".
+	coordProg := parser.MustParse(testProgram)
+	coordCompiled, err := buildProgram(coordProg, "hash", []string{"Z"}, []string{"X"}, workers, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, err := dist.NewCoordinator(dist.Config{Workers: workers}, coordCompiled.IDB)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// "Worker processes": each parses and compiles independently.
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(idx int) {
+			defer wg.Done()
+			prog := parser.MustParse(testProgram)
+			compiled, err := buildProgram(prog, "hash", []string{"Z"}, []string{"X"}, workers, 7)
+			if err != nil {
+				errs <- err
+				return
+			}
+			global, err := parallel.PrepareEDB(compiled, relation.Store{})
+			if err != nil {
+				errs <- err
+				return
+			}
+			errs <- dist.RunWorker(coord.Addr(), "127.0.0.1:0", parallel.NewNode(compiled, idx, global))
+		}(i)
+	}
+
+	res, err := coord.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	seq, _, err := seminaive.Eval(parser.MustParse(testProgram), relation.Store{}, seminaive.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !seq["anc"].Equal(res.Output["anc"]) {
+		t.Fatal("multi-compilation distributed run differs from sequential")
+	}
+}
+
+func TestSplitListDldist(t *testing.T) {
+	if splitList("") != nil {
+		t.Error("empty list should be nil")
+	}
+	got := splitList("Z , Y")
+	if len(got) != 2 || got[0] != "Z" || got[1] != "Y" {
+		t.Errorf("splitList = %v", got)
+	}
+	if !strings.Contains(testProgram, "anc") {
+		t.Error("test program corrupt")
+	}
+}

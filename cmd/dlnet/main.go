@@ -1,0 +1,160 @@
+// Command dlnet performs the Section 5 compile-time analyses on a linear
+// sirup: it prints the recursive rule's dataflow graph (Definition 2),
+// reports whether Theorem 3 yields a communication-free scheme, and — given
+// a discriminating choice — derives the minimal network graph.
+//
+// Usage:
+//
+//	dlnet -vr V,W -ve X,Y -hash bits:2           program.dl
+//	dlnet -vr V,W,Z -ve U,V,W -hash linear:1,-1,1 program.dl
+//
+// The -hash forms:
+//
+//	bits:K         h(ā) = (g(a1),…,g(aK)) read as a K-bit processor id
+//	linear:c1,c2…  h(ā) = Σ ci·g(ai) over processor ids the sums can reach
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"parlog"
+)
+
+func main() {
+	var (
+		vr       = flag.String("vr", "", "comma-separated discriminating sequence v(r)")
+		ve       = flag.String("ve", "", "comma-separated discriminating sequence v(e)")
+		hash     = flag.String("hash", "", "bits:K or linear:c1,c2,…")
+		commfree = flag.Int("commfree", 0, "derive a communication-free scheme for N processors (Theorem 3)")
+	)
+	flag.Parse()
+
+	src, err := readSources(flag.Args())
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := parlog.Parse(src)
+	if err != nil {
+		fatal(err)
+	}
+
+	df, err := prog.Dataflow()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("dataflow graph: %s\n", df)
+	cyc, err := prog.DataflowHasCycle()
+	if err != nil {
+		fatal(err)
+	}
+	if cyc {
+		fmt.Println("the dataflow graph has a cycle: Theorem 3 yields a communication-free scheme")
+	} else {
+		fmt.Println("the dataflow graph is acyclic: every scheme needs some communication")
+	}
+
+	if *commfree > 0 {
+		vr, ve, hname, err := prog.CommFreeChoice(*commfree)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nTheorem 3 choice for %d processors:\n", *commfree)
+		fmt.Printf("  v(r) = %v\n  v(e) = %v\n  h = h' = %s (permutation-invariant)\n", vr, ve, hname)
+	}
+
+	if *hash == "" {
+		return
+	}
+	if *vr == "" || *ve == "" {
+		fatal(fmt.Errorf("-hash requires -vr and -ve"))
+	}
+	f, procs, err := parseHash(*hash)
+	if err != nil {
+		fatal(err)
+	}
+	net, err := parlog.DeriveNetwork(prog, splitList(*vr), splitList(*ve), f, f, procs)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\nminimal network graph over processors %v:\n%s", procs, net)
+	fmt.Printf("physical links required: %v\n", net.CrossEdges())
+}
+
+func parseHash(s string) (parlog.BitFunc, []int, error) {
+	switch {
+	case strings.HasPrefix(s, "bits:"):
+		k, err := strconv.Atoi(s[len("bits:"):])
+		if err != nil || k < 1 || k > 16 {
+			return nil, nil, fmt.Errorf("bad bits spec %q", s)
+		}
+		procs := make([]int, 1<<k)
+		for i := range procs {
+			procs[i] = i
+		}
+		return parlog.BitVectorHash(k), procs, nil
+	case strings.HasPrefix(s, "linear:"):
+		var coefs []int
+		for _, part := range strings.Split(s[len("linear:"):], ",") {
+			c, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				return nil, nil, fmt.Errorf("bad linear spec %q", s)
+			}
+			coefs = append(coefs, c)
+		}
+		// The reachable processor ids are all achievable subset sums.
+		sums := map[int]bool{}
+		for mask := 0; mask < 1<<len(coefs); mask++ {
+			t := 0
+			for i, c := range coefs {
+				if mask>>i&1 == 1 {
+					t += c
+				}
+			}
+			sums[t] = true
+		}
+		var procs []int
+		for v := range sums {
+			procs = append(procs, v)
+		}
+		sort.Ints(procs)
+		return parlog.LinearHash(coefs...), procs, nil
+	default:
+		return nil, nil, fmt.Errorf("unknown hash spec %q (want bits:K or linear:c1,c2,…)", s)
+	}
+}
+
+func readSources(paths []string) (string, error) {
+	if len(paths) == 0 {
+		b, err := io.ReadAll(os.Stdin)
+		return string(b), err
+	}
+	var b strings.Builder
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return "", err
+		}
+		b.Write(data)
+		b.WriteByte('\n')
+	}
+	return b.String(), nil
+}
+
+func splitList(s string) []string {
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dlnet:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,50 @@
+package main
+
+import "testing"
+
+func TestParseHashBits(t *testing.T) {
+	f, procs, err := parseHash("bits:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(procs) != 4 {
+		t.Errorf("procs = %v", procs)
+	}
+	if got := f([]int{1, 0}); got != 2 {
+		t.Errorf("f(1,0) = %d, want 2", got)
+	}
+}
+
+func TestParseHashLinear(t *testing.T) {
+	f, procs, err := parseHash("linear:1,-1,1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{-1, 0, 1, 2}
+	if len(procs) != len(want) {
+		t.Fatalf("procs = %v, want %v", procs, want)
+	}
+	for i := range want {
+		if procs[i] != want[i] {
+			t.Fatalf("procs = %v, want %v", procs, want)
+		}
+	}
+	if got := f([]int{1, 0, 1}); got != 2 {
+		t.Errorf("f(1,0,1) = %d, want 2", got)
+	}
+}
+
+func TestParseHashErrors(t *testing.T) {
+	for _, bad := range []string{"", "bits:", "bits:0", "bits:99", "linear:", "linear:a", "whatever:3"} {
+		if _, _, err := parseHash(bad); err == nil {
+			t.Errorf("parseHash(%q) accepted", bad)
+		}
+	}
+}
+
+func TestSplitList(t *testing.T) {
+	got := splitList(" X , Y,Z ")
+	if len(got) != 3 || got[0] != "X" || got[1] != "Y" || got[2] != "Z" {
+		t.Errorf("splitList = %v", got)
+	}
+}

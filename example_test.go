@@ -1,0 +1,84 @@
+package parlog_test
+
+import (
+	"fmt"
+
+	"parlog"
+)
+
+// The paper's running example: compute the ancestor relation in parallel
+// with zero communication (StrategyAuto applies Theorem 3 to the ancestor
+// rule's cyclic dataflow graph).
+func Example() {
+	prog := parlog.MustParse(`
+		anc(X, Y) :- par(X, Y).
+		anc(X, Y) :- par(X, Z), anc(Z, Y).
+		par(a, b). par(b, c). par(c, d).
+	`)
+	res, err := parlog.EvalParallel(prog, nil, parlog.ParallelOptions{Workers: 4})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("tuples sent: %d\n", res.Stats.TotalTuplesSent())
+	fmt.Print(prog.Format(res.Output, "anc"))
+	// Output:
+	// tuples sent: 0
+	// anc(a, b).
+	// anc(a, c).
+	// anc(a, d).
+	// anc(b, c).
+	// anc(b, d).
+	// anc(c, d).
+}
+
+// Sequential semi-naive evaluation with statistics.
+func ExampleEval() {
+	prog := parlog.MustParse(`
+		anc(X, Y) :- par(X, Y).
+		anc(X, Y) :- par(X, Z), anc(Z, Y).
+		par(a, b). par(b, c).
+	`)
+	store, stats, err := parlog.Eval(prog, nil, parlog.EvalOptions{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("|anc| = %d, firings = %d\n", store["anc"].Len(), stats.Firings)
+	// Output:
+	// |anc| = 3, firings = 3
+}
+
+// Dataflow analysis: Figure 1 of the paper.
+func ExampleProgram_Dataflow() {
+	prog := parlog.MustParse(`
+		p(U, V, W) :- s(U, V, W).
+		p(U, V, W) :- p(V, W, Z), q(U, Z).
+	`)
+	df, err := prog.Dataflow()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(df)
+	// Output:
+	// 1 → 2 → 3
+}
+
+// Deriving the minimal processor interconnect of Example 6 (Figure 3).
+func ExampleDeriveNetwork() {
+	prog := parlog.MustParse(`
+		p(X, Y) :- q(X, Y).
+		p(X, Y) :- p(Y, Z), r(X, Z).
+	`)
+	net, err := parlog.DeriveNetwork(prog,
+		[]string{"Y", "Z"}, []string{"X", "Y"},
+		parlog.BitVectorHash(2), parlog.BitVectorHash(2),
+		[]int{0, 1, 2, 3})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Print(net)
+	// Output:
+	// 0 → [0 2]
+	// 1 → [0 1 2]
+	// 2 → [1 2 3]
+	// 3 → [1 3]
+}

@@ -1,0 +1,65 @@
+// Distributed: the same hash-partitioned scheme on two transports — the
+// goroutine/channel runtime (the paper's shared-memory idealization of its
+// abstract architecture) and the TCP runtime (the message-passing reading:
+// every processor a socket endpoint, nothing shared). Identical results,
+// identical work, different cost.
+//
+// Run with: go run ./examples/distributed
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"parlog"
+	"parlog/internal/workload"
+)
+
+func main() {
+	prog := parlog.MustParse(`
+anc(X, Y) :- par(X, Y).
+anc(X, Y) :- par(X, Z), anc(Z, Y).
+`)
+	edb := parlog.Store{"par": workload.RandomGraph(40, 160, 77)}
+
+	want, seqStats, err := parlog.Eval(prog, edb, parlog.EvalOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("random digraph, 40 nodes, 160 edges; |anc| = %d, sequential firings = %d\n\n",
+		want["anc"].Len(), seqStats.Firings)
+
+	opts := parlog.ParallelOptions{
+		Workers:  4,
+		Strategy: parlog.StrategyHashPartition,
+		VR:       []string{"Z"}, VE: []string{"X"},
+	}
+
+	inproc, err := parlog.EvalParallel(prog, edb, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tcp, err := parlog.EvalDistributed(prog, edb, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for name, res := range map[string]*parlog.ParallelResult{
+		"goroutines+channels": inproc,
+		"TCP sockets":         tcp,
+	} {
+		if !want["anc"].Equal(res.Output["anc"]) {
+			log.Fatalf("%s: WRONG RESULT", name)
+		}
+	}
+
+	fmt.Printf("%-22s %10s %12s %10s\n", "transport", "firings", "tuples-sent", "wall")
+	fmt.Printf("%-22s %10d %12d %10v\n", "goroutines+channels",
+		inproc.Stats.TotalFirings(), inproc.Stats.TotalTuplesSent(), inproc.Stats.Wall.Round(100))
+	fmt.Printf("%-22s %10d %12d %10v\n", "TCP sockets",
+		tcp.Stats.TotalFirings(), tcp.Stats.TotalTuplesSent(), tcp.Stats.Wall.Round(100))
+
+	fmt.Println("\nboth transports drive the same processor state machine, so firings and")
+	fmt.Println("traffic agree exactly; only the cost of moving a tuple differs. For true")
+	fmt.Println("multi-process runs see cmd/dldist (one OS process per processor).")
+}

@@ -1,0 +1,73 @@
+// Nonlinear: the paper's Example 8 — the non-linear ancestor program
+//
+//	anc(X, Y) :- par(X, Y).
+//	anc(X, Y) :- anc(X, Z), anc(Z, Y).
+//
+// is outside the linear-sirup class of Sections 3–6, so it exercises the
+// general scheme of Section 7: per-rule discriminating sequences, one
+// sending rule per recursive atom occurrence (the tuple anc(a,b) is routed
+// to h(b) for use as the first atom and to h(a) for use as the second), and
+// Theorem 6's non-redundancy guarantee.
+//
+// Run with: go run ./examples/nonlinear
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"parlog"
+	"parlog/internal/workload"
+)
+
+func main() {
+	nonlinear := parlog.MustParse(`
+anc(X, Y) :- par(X, Y).
+anc(X, Y) :- anc(X, Z), anc(Z, Y).
+`)
+	linear := parlog.MustParse(`
+anc(X, Y) :- par(X, Y).
+anc(X, Y) :- par(X, Z), anc(Z, Y).
+`)
+	if nonlinear.IsLinearSirup() {
+		log.Fatal("BUG: non-linear program classified as linear sirup")
+	}
+
+	edb := parlog.Store{"par": workload.RandomGraph(50, 200, 21)}
+
+	linStore, linStats, err := parlog.Eval(linear, edb, parlog.EvalOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	nlStore, nlStats, err := parlog.Eval(nonlinear, edb, parlog.EvalOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !linStore["anc"].Equal(nlStore["anc"]) {
+		log.Fatal("BUG: linear and non-linear ancestor disagree")
+	}
+	fmt.Printf("random digraph, 50 nodes, 200 edges; |anc| = %d\n\n", nlStore["anc"].Len())
+	fmt.Printf("sequential firings: linear sirup %d, non-linear %d (the non-linear\n",
+		linStats.Firings, nlStats.Firings)
+	fmt.Println("rule admits many more derivations of the same closure — Example 8's cost).")
+
+	fmt.Printf("\n%3s %12s %10s %16s\n", "N", "tuples-sent", "firings", "vs-seq-nonlinear")
+	for _, n := range []int{1, 2, 4, 8} {
+		res, err := parlog.EvalParallel(nonlinear, edb, parlog.ParallelOptions{
+			Workers:  n,
+			Strategy: parlog.StrategyGeneral,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !nlStore["anc"].Equal(res.Output["anc"]) {
+			log.Fatalf("N=%d: WRONG RESULT (Theorem 5 violated)", n)
+		}
+		fmt.Printf("%3d %12d %10d %+16d\n", n,
+			res.Stats.TotalTuplesSent(), res.Stats.TotalFirings(),
+			res.Stats.TotalFirings()-nlStats.Firings)
+	}
+	fmt.Println("\nat every N the parallel firing total equals the sequential non-linear count:")
+	fmt.Println("Theorem 6's bound holds with equality — the discriminating constraint")
+	fmt.Println("partitions the set of successful ground substitutions across processors.")
+}

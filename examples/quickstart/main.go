@@ -1,0 +1,60 @@
+// Quickstart: parse the paper's running example (ancestor / transitive
+// closure), evaluate it sequentially and in parallel, and compare.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"parlog"
+)
+
+func main() {
+	prog, err := parlog.Parse(`
+% The running example of Ganguly–Silberschatz–Tsur (SIGMOD 1990).
+anc(X, Y) :- par(X, Y).
+anc(X, Y) :- par(X, Z), anc(Z, Y).
+
+par(adam, seth).
+par(seth, enos).
+par(enos, kenan).
+par(kenan, mahalalel).
+par(mahalalel, jared).
+par(jared, enoch).
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Program:")
+	fmt.Println(prog)
+
+	// Sequential semi-naive evaluation — the paper's baseline.
+	store, seqStats, err := parlog.Eval(prog, nil, parlog.EvalOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Sequential semi-naive: |anc| = %d, firings = %d, iterations = %d\n\n",
+		store["anc"].Len(), seqStats.Firings, seqStats.Iterations)
+
+	// Parallel evaluation. StrategyAuto notices the cyclic dataflow graph of
+	// the recursive rule (Figure 2: the self-loop 2→2) and derives a
+	// communication-free scheme via Theorem 3.
+	df, _ := prog.Dataflow()
+	fmt.Printf("Dataflow graph of the recursive rule: %s\n", df)
+
+	res, err := parlog.EvalParallel(prog, nil, parlog.ParallelOptions{Workers: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Parallel (4 workers, auto scheme): |anc| = %d, firings = %d, tuples sent = %d\n\n",
+		res.Output["anc"].Len(), res.Stats.TotalFirings(), res.Stats.TotalTuplesSent())
+
+	if !store["anc"].Equal(res.Output["anc"]) {
+		log.Fatal("BUG: parallel result differs from sequential")
+	}
+	fmt.Println("Ancestor relation (identical under both executions):")
+	fmt.Print(prog.Format(res.Output, "anc"))
+}

@@ -1,0 +1,3 @@
+module parlog
+
+go 1.22

@@ -1,0 +1,428 @@
+// Package analysis provides the static analyses of Section 2 of the paper:
+// the derives relation between predicates, recursion and linearity tests,
+// safety checking, and extraction of the canonical linear-sirup form
+//
+//	e:  t(Z̄) :- s(Z̄)
+//	r:  t(X̄) :- t(Ȳ), b1, …, bk
+//
+// on which Sections 3–6 operate.
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"parlog/internal/ast"
+)
+
+// Graph is the predicate dependency graph: an edge q → r means q occurs in
+// the body of a rule whose head is r ("q derives r").
+type Graph struct {
+	// Succ maps each predicate to the sorted set of predicates it derives.
+	Succ map[string][]string
+}
+
+// Dependencies builds the dependency graph of prog (facts contribute no
+// edges).
+func Dependencies(prog *ast.Program) *Graph {
+	succ := make(map[string]map[string]bool)
+	ensure := func(p string) {
+		if succ[p] == nil {
+			succ[p] = make(map[string]bool)
+		}
+	}
+	for _, r := range prog.Rules {
+		if r.IsFact() {
+			continue
+		}
+		ensure(r.Head.Pred)
+		for _, a := range r.Body {
+			ensure(a.Pred)
+			succ[a.Pred][r.Head.Pred] = true
+		}
+		// Negated atoms are dependencies too: the negated predicate must be
+		// complete before the head's stratum runs.
+		for _, a := range r.Negated {
+			ensure(a.Pred)
+			succ[a.Pred][r.Head.Pred] = true
+		}
+	}
+	g := &Graph{Succ: make(map[string][]string, len(succ))}
+	for p, set := range succ {
+		out := make([]string, 0, len(set))
+		for q := range set {
+			out = append(out, q)
+		}
+		sort.Strings(out)
+		g.Succ[p] = out
+	}
+	return g
+}
+
+// Derives reports whether q transitively derives r (one or more steps).
+func (g *Graph) Derives(q, r string) bool {
+	seen := map[string]bool{}
+	stack := append([]string(nil), g.Succ[q]...)
+	for len(stack) > 0 {
+		p := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if p == r {
+			return true
+		}
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		stack = append(stack, g.Succ[p]...)
+	}
+	return false
+}
+
+// SCCs returns the strongly connected components of the graph in evaluation
+// order: if q derives r (q's tuples feed r's rules), q's component appears
+// no later than r's. Each component is sorted internally. Tarjan's
+// algorithm, iterative to survive deep chains.
+func (g *Graph) SCCs() [][]string {
+	preds := make([]string, 0, len(g.Succ))
+	for p := range g.Succ {
+		preds = append(preds, p)
+	}
+	sort.Strings(preds)
+
+	index := make(map[string]int)
+	low := make(map[string]int)
+	onStack := make(map[string]bool)
+	var stack []string
+	var sccs [][]string
+	next := 0
+
+	type frame struct {
+		node string
+		succ []string
+		i    int
+	}
+	var visit func(root string)
+	visit = func(root string) {
+		frames := []frame{{node: root, succ: g.Succ[root]}}
+		index[root] = next
+		low[root] = next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.i < len(f.succ) {
+				w := f.succ[f.i]
+				f.i++
+				if _, seen := index[w]; !seen {
+					index[w] = next
+					low[w] = next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{node: w, succ: g.Succ[w]})
+				} else if onStack[w] {
+					if index[w] < low[f.node] {
+						low[f.node] = index[w]
+					}
+				}
+				continue
+			}
+			// Pop the frame.
+			v := f.node
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				parent := &frames[len(frames)-1]
+				if low[v] < low[parent.node] {
+					low[parent.node] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				var comp []string
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == v {
+						break
+					}
+				}
+				sort.Strings(comp)
+				sccs = append(sccs, comp)
+			}
+		}
+	}
+	for _, p := range preds {
+		if _, seen := index[p]; !seen {
+			visit(p)
+		}
+	}
+	// Tarjan emits sinks first (successors before the nodes that feed them);
+	// reverse to obtain dependency-first evaluation order.
+	for i, j := 0, len(sccs)-1; i < j; i, j = i+1, j-1 {
+		sccs[i], sccs[j] = sccs[j], sccs[i]
+	}
+	return sccs
+}
+
+// SameSCC returns a lookup telling whether two predicates are mutually
+// recursive (in the same SCC of size > 1, or a pred with a self-derivation).
+func (g *Graph) SameSCC() func(p, q string) bool {
+	comp := make(map[string]int)
+	for i, scc := range g.SCCs() {
+		for _, p := range scc {
+			comp[p] = i
+		}
+	}
+	return func(p, q string) bool {
+		cp, okp := comp[p]
+		cq, okq := comp[q]
+		return okp && okq && cp == cq
+	}
+}
+
+// IsRecursiveRule reports whether r is recursive in prog: the head predicate
+// transitively derives some predicate in r's body (Section 2). Equivalently,
+// firing r can feed its own body.
+func IsRecursiveRule(prog *ast.Program, r ast.Rule) bool {
+	g := Dependencies(prog)
+	for _, a := range r.Body {
+		if a.Pred == r.Head.Pred || g.Derives(r.Head.Pred, a.Pred) {
+			return true
+		}
+	}
+	return false
+}
+
+// RecursiveAtoms returns the indexes of r's body atoms whose predicate is
+// mutually recursive with the head (including direct self-recursion).
+func RecursiveAtoms(prog *ast.Program, r ast.Rule) []int {
+	g := Dependencies(prog)
+	same := g.SameSCC()
+	var out []int
+	for i, a := range r.Body {
+		if a.Pred == r.Head.Pred || (same(a.Pred, r.Head.Pred) && g.Derives(r.Head.Pred, a.Pred)) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Stratify verifies that negation is stratified — no predicate is negated
+// inside its own recursive component — and returns the strongly connected
+// components in evaluation order. Pure-Datalog programs always stratify.
+func Stratify(prog *ast.Program) ([][]string, error) {
+	g := Dependencies(prog)
+	sccs := g.SCCs()
+	comp := make(map[string]int)
+	for i, scc := range sccs {
+		for _, p := range scc {
+			comp[p] = i
+		}
+	}
+	for _, r := range prog.Rules {
+		for _, a := range r.Negated {
+			if comp[a.Pred] == comp[r.Head.Pred] {
+				return nil, fmt.Errorf("analysis: not stratified: %s is negated within its own recursive component (rule %s)",
+					a.Pred, prog.FormatRule(r))
+			}
+		}
+	}
+	return sccs, nil
+}
+
+// Strata assigns each predicate a stratum number under stratified-negation
+// semantics: positive dependencies keep predicates in the same (or lower)
+// stratum, while a negated dependency forces the head strictly higher. The
+// error reports non-stratified programs. Predicates of stratum s can be
+// evaluated once strata < s are complete — which is how the parallel driver
+// runs negation programs: one parallel phase per stratum.
+func Strata(prog *ast.Program) (map[string]int, error) {
+	sccs, err := Stratify(prog)
+	if err != nil {
+		return nil, err
+	}
+	comp := make(map[string]int)
+	for i, scc := range sccs {
+		for _, p := range scc {
+			comp[p] = i
+		}
+	}
+	// Process components in evaluation order: every dependency's component
+	// is finalized before the components it feeds.
+	sccStratum := make([]int, len(sccs))
+	bump := func(dst, min int) {
+		if sccStratum[dst] < min {
+			sccStratum[dst] = min
+		}
+	}
+	for idx := range sccs {
+		for _, r := range prog.Rules {
+			if r.IsFact() || comp[r.Head.Pred] != idx {
+				continue
+			}
+			for _, a := range r.Body {
+				bump(idx, sccStratum[comp[a.Pred]])
+			}
+			for _, a := range r.Negated {
+				bump(idx, sccStratum[comp[a.Pred]]+1)
+			}
+		}
+	}
+	out := make(map[string]int, len(comp))
+	for p, c := range comp {
+		out[p] = sccStratum[c]
+	}
+	return out, nil
+}
+
+// HasNegation reports whether any rule uses a negated atom.
+func HasNegation(prog *ast.Program) bool {
+	for _, r := range prog.Rules {
+		if len(r.Negated) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// CheckSafety returns an error naming the first unsafe rule, if any.
+func CheckSafety(prog *ast.Program) error {
+	for i, r := range prog.Rules {
+		if r.IsFact() {
+			continue
+		}
+		if !r.IsSafe() {
+			return fmt.Errorf("analysis: rule %d is unsafe: %s", i, prog.FormatRule(r))
+		}
+	}
+	return nil
+}
+
+// Sirup is the canonical form of a linear sirup (Section 2):
+//
+//	Exit: t(Z̄) :- s(Z̄)            (s base)
+//	Rec:  t(X̄) :- t(Ȳ), b1 … bk   (b_i base)
+type Sirup struct {
+	Program *ast.Program
+	// T is the derived predicate symbol and S the exit rule's base predicate.
+	T, S string
+	// Exit and Rec are the two rules (clones; mutating them does not affect
+	// the program).
+	Exit, Rec ast.Rule
+	// RecAtom is the index in Rec.Body of the unique recursive t-atom.
+	RecAtom int
+	// HeadVars (X̄) are the head argument variables of the recursive rule,
+	// BodyVars (Ȳ) the arguments of the recursive body atom, ExitVars (Z̄)
+	// the head argument variables of the exit rule.
+	HeadVars, BodyVars, ExitVars []string
+	// BaseAtoms are the non-recursive atoms b1 … bk of Rec.
+	BaseAtoms []ast.Atom
+}
+
+// ExtractSirup verifies that prog (ignoring facts) is a linear sirup in
+// canonical form and returns its decomposition. The exit rule may have any
+// non-empty base-predicate body (the paper's s(Z̄) is the common case).
+func ExtractSirup(prog *ast.Program) (*Sirup, error) {
+	rules, _ := prog.FactTuples()
+	if len(rules) != 2 {
+		return nil, fmt.Errorf("analysis: a sirup has exactly 2 rules, found %d", len(rules))
+	}
+	if err := CheckSafety(prog); err != nil {
+		return nil, err
+	}
+	var exit, rec *ast.Rule
+	for i := range rules {
+		r := &rules[i]
+		recursive := false
+		for _, a := range r.Body {
+			if a.Pred == r.Head.Pred {
+				recursive = true
+			}
+		}
+		if recursive {
+			if rec != nil {
+				return nil, fmt.Errorf("analysis: more than one recursive rule")
+			}
+			rec = r
+		} else {
+			if exit != nil {
+				return nil, fmt.Errorf("analysis: more than one exit rule")
+			}
+			exit = r
+		}
+	}
+	if exit == nil || rec == nil {
+		return nil, fmt.Errorf("analysis: need one exit and one recursive rule")
+	}
+	if exit.Head.Pred != rec.Head.Pred {
+		return nil, fmt.Errorf("analysis: exit and recursive rules define different predicates (%s vs %s)",
+			exit.Head.Pred, rec.Head.Pred)
+	}
+	t := rec.Head.Pred
+	// The recursive rule must be linear: exactly one t-atom in the body.
+	recIdx := -1
+	for i, a := range rec.Body {
+		if a.Pred == t {
+			if recIdx >= 0 {
+				return nil, fmt.Errorf("analysis: recursive rule is not linear (two %s-atoms)", t)
+			}
+			recIdx = i
+		}
+	}
+	if len(exit.Negated) > 0 || len(rec.Negated) > 0 {
+		return nil, fmt.Errorf("analysis: sirup rules must be negation-free (use the general stratified driver)")
+	}
+	// Exit body must not mention t and should be base-only.
+	for _, a := range exit.Body {
+		if a.Pred == t {
+			return nil, fmt.Errorf("analysis: exit rule mentions %s", t)
+		}
+	}
+	if len(exit.Body) == 0 {
+		return nil, fmt.Errorf("analysis: exit rule has no body")
+	}
+
+	varsOf := func(a ast.Atom, what string) ([]string, error) {
+		out := make([]string, len(a.Args))
+		for i, tm := range a.Args {
+			if !tm.IsVar() {
+				return nil, fmt.Errorf("analysis: %s has non-variable argument %d", what, i)
+			}
+			out[i] = tm.VarName
+		}
+		return out, nil
+	}
+	headVars, err := varsOf(rec.Head, "recursive rule head")
+	if err != nil {
+		return nil, err
+	}
+	bodyVars, err := varsOf(rec.Body[recIdx], "recursive body atom")
+	if err != nil {
+		return nil, err
+	}
+	exitVars, err := varsOf(exit.Head, "exit rule head")
+	if err != nil {
+		return nil, err
+	}
+
+	var baseAtoms []ast.Atom
+	for i, a := range rec.Body {
+		if i != recIdx {
+			baseAtoms = append(baseAtoms, a.Clone())
+		}
+	}
+	return &Sirup{
+		Program:   prog,
+		T:         t,
+		S:         exit.Body[0].Pred,
+		Exit:      exit.Clone(),
+		Rec:       rec.Clone(),
+		RecAtom:   recIdx,
+		HeadVars:  headVars,
+		BodyVars:  bodyVars,
+		ExitVars:  exitVars,
+		BaseAtoms: baseAtoms,
+	}, nil
+}

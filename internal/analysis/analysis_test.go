@@ -1,0 +1,289 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"parlog/internal/parser"
+)
+
+const ancestorSrc = `
+anc(X, Y) :- par(X, Y).
+anc(X, Y) :- par(X, Z), anc(Z, Y).
+`
+
+const nonlinearSrc = `
+anc(X, Y) :- par(X, Y).
+anc(X, Y) :- anc(X, Z), anc(Z, Y).
+`
+
+const mutualSrc = `
+even(X) :- zero(X).
+even(Y) :- succ(X, Y), odd(X).
+odd(Y) :- succ(X, Y), even(X).
+`
+
+func TestDependencies(t *testing.T) {
+	g := Dependencies(parser.MustParse(ancestorSrc))
+	if !g.Derives("par", "anc") {
+		t.Error("par should derive anc")
+	}
+	if !g.Derives("anc", "anc") {
+		t.Error("anc should transitively derive itself")
+	}
+	if g.Derives("anc", "par") {
+		t.Error("anc must not derive par")
+	}
+}
+
+func TestSCCs(t *testing.T) {
+	g := Dependencies(parser.MustParse(mutualSrc))
+	sccs := g.SCCs()
+	// even and odd are mutually recursive: one SCC of size 2.
+	var big []string
+	for _, s := range sccs {
+		if len(s) > 1 {
+			if big != nil {
+				t.Fatalf("more than one nontrivial SCC: %v", sccs)
+			}
+			big = s
+		}
+	}
+	if len(big) != 2 || big[0] != "even" || big[1] != "odd" {
+		t.Errorf("nontrivial SCC = %v, want [even odd]", big)
+	}
+	same := g.SameSCC()
+	if !same("even", "odd") {
+		t.Error("SameSCC(even, odd) = false")
+	}
+	if same("even", "succ") {
+		t.Error("SameSCC(even, succ) = true")
+	}
+}
+
+func TestSCCsReverseTopological(t *testing.T) {
+	g := Dependencies(parser.MustParse(`
+p(X) :- q(X).
+q(X) :- r(X).
+`))
+	sccs := g.SCCs()
+	pos := map[string]int{}
+	for i, s := range sccs {
+		for _, p := range s {
+			pos[p] = i
+		}
+	}
+	// r derives q derives p; callees (r) must come before callers (p).
+	if !(pos["r"] < pos["q"] && pos["q"] < pos["p"]) {
+		t.Errorf("SCC order = %v", sccs)
+	}
+}
+
+func TestSCCLongChainNoOverflow(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("p0(X) :- base(X).\n")
+	for i := 1; i < 20000; i++ {
+		b.WriteString("p")
+		b.WriteString(itoa(i))
+		b.WriteString("(X) :- p")
+		b.WriteString(itoa(i - 1))
+		b.WriteString("(X).\n")
+	}
+	g := Dependencies(parser.MustParse(b.String()))
+	sccs := g.SCCs()
+	if len(sccs) != 20001 { // base + 20000 preds
+		t.Errorf("SCC count = %d", len(sccs))
+	}
+}
+
+func itoa(n int) string {
+	var digits []byte
+	if n == 0 {
+		return "0"
+	}
+	for n > 0 {
+		digits = append([]byte{byte('0' + n%10)}, digits...)
+		n /= 10
+	}
+	return string(digits)
+}
+
+func TestIsRecursiveRule(t *testing.T) {
+	prog := parser.MustParse(ancestorSrc)
+	if IsRecursiveRule(prog, prog.Rules[0]) {
+		t.Error("exit rule reported recursive")
+	}
+	if !IsRecursiveRule(prog, prog.Rules[1]) {
+		t.Error("recursive rule not reported recursive")
+	}
+	// Mutual recursion: both even and odd rules are recursive.
+	mp := parser.MustParse(mutualSrc)
+	if !IsRecursiveRule(mp, mp.Rules[1]) || !IsRecursiveRule(mp, mp.Rules[2]) {
+		t.Error("mutually recursive rules not reported recursive")
+	}
+	if IsRecursiveRule(mp, mp.Rules[0]) {
+		t.Error("base case reported recursive")
+	}
+}
+
+func TestRecursiveAtoms(t *testing.T) {
+	prog := parser.MustParse(nonlinearSrc)
+	idxs := RecursiveAtoms(prog, prog.Rules[1])
+	if len(idxs) != 2 || idxs[0] != 0 || idxs[1] != 1 {
+		t.Errorf("RecursiveAtoms = %v, want [0 1]", idxs)
+	}
+	mp := parser.MustParse(mutualSrc)
+	idxs = RecursiveAtoms(mp, mp.Rules[1]) // even(Y) :- succ(X,Y), odd(X)
+	if len(idxs) != 1 || idxs[0] != 1 {
+		t.Errorf("RecursiveAtoms(mutual even rule) = %v, want [1]", idxs)
+	}
+}
+
+func TestExtractSirupAncestor(t *testing.T) {
+	s, err := ExtractSirup(parser.MustParse(ancestorSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.T != "anc" || s.S != "par" {
+		t.Errorf("T=%s S=%s", s.T, s.S)
+	}
+	if s.RecAtom != 1 {
+		t.Errorf("RecAtom = %d, want 1", s.RecAtom)
+	}
+	if got := strings.Join(s.HeadVars, ","); got != "X,Y" {
+		t.Errorf("HeadVars = %v", s.HeadVars)
+	}
+	if got := strings.Join(s.BodyVars, ","); got != "Z,Y" {
+		t.Errorf("BodyVars = %v", s.BodyVars)
+	}
+	if got := strings.Join(s.ExitVars, ","); got != "X,Y" {
+		t.Errorf("ExitVars = %v", s.ExitVars)
+	}
+	if len(s.BaseAtoms) != 1 || s.BaseAtoms[0].Pred != "par" {
+		t.Errorf("BaseAtoms = %v", s.BaseAtoms)
+	}
+}
+
+func TestExtractSirupExample7(t *testing.T) {
+	// Example 7 of the paper.
+	s, err := ExtractSirup(parser.MustParse(`
+p(U, V, W) :- s(U, V, W).
+p(U, V, W) :- p(V, W, Z), q(U, Z).
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.T != "p" || s.S != "s" || s.RecAtom != 0 {
+		t.Errorf("T=%s S=%s RecAtom=%d", s.T, s.S, s.RecAtom)
+	}
+	if got := strings.Join(s.BodyVars, ","); got != "V,W,Z" {
+		t.Errorf("BodyVars = %v", s.BodyVars)
+	}
+}
+
+func TestExtractSirupIgnoresFacts(t *testing.T) {
+	_, err := ExtractSirup(parser.MustParse(ancestorSrc + "\npar(a, b).\n"))
+	if err != nil {
+		t.Errorf("facts should not break sirup extraction: %v", err)
+	}
+}
+
+func TestExtractSirupRejections(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"nonlinear", nonlinearSrc, "not linear"},
+		{"three rules", ancestorSrc + "anc(X, Y) :- par(Y, X).", "exactly 2"},
+		{"two exits", "p(X) :- q(X).\np(X) :- r(X).", "more than one exit"},
+		{"two recursive", "p(X) :- p(X), q(X).\np(X) :- p(X), r(X).", "more than one recursive"},
+		{"different heads", "p(X) :- q(X).\nz(X) :- z(X), q(X).", "different predicates"},
+		{"const in head", "p(X, a) :- q(X).\np(X, Y) :- p(Y, X), q(X).", "non-variable"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ExtractSirup(parser.MustParse(tc.src))
+			if err == nil {
+				t.Fatal("ExtractSirup succeeded, want error")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error = %q, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestCheckSafety(t *testing.T) {
+	if err := CheckSafety(parser.MustParse(ancestorSrc)); err != nil {
+		t.Errorf("safe program rejected: %v", err)
+	}
+}
+
+const unreachableSrc = `
+reach(X) :- source(X).
+reach(Y) :- reach(X), edge(X, Y).
+unreachable(X) :- node(X), !reach(X).
+`
+
+func TestStratifyAccepts(t *testing.T) {
+	sccs, err := Stratify(parser.MustParse(unreachableSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sccs) == 0 {
+		t.Error("no SCCs")
+	}
+}
+
+func TestStratifyRejectsNegativeCycle(t *testing.T) {
+	if _, err := Stratify(parser.MustParse(`win(X) :- move(X, Y), !win(Y).`)); err == nil {
+		t.Error("win/move accepted")
+	}
+	// Mutual negative cycle across two predicates.
+	if _, err := Stratify(parser.MustParse(`
+p(X) :- q0(X), !q(X).
+q(X) :- q0(X), !p(X).
+`)); err == nil {
+		t.Error("mutual negation accepted")
+	}
+}
+
+func TestStrataNumbers(t *testing.T) {
+	strata, err := Strata(parser.MustParse(unreachableSrc + `
+connected(X) :- node(X), !unreachable(X).
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strata["reach"] != 0 {
+		t.Errorf("reach stratum = %d, want 0", strata["reach"])
+	}
+	if strata["unreachable"] != 1 {
+		t.Errorf("unreachable stratum = %d, want 1", strata["unreachable"])
+	}
+	if strata["connected"] != 2 {
+		t.Errorf("connected stratum = %d, want 2", strata["connected"])
+	}
+	// Positive chains stay in the same stratum.
+	if strata["source"] != 0 || strata["edge"] != 0 {
+		t.Errorf("base strata: %v", strata)
+	}
+}
+
+func TestHasNegation(t *testing.T) {
+	if HasNegation(parser.MustParse("p(X) :- q(X).")) {
+		t.Error("pure program reported negated")
+	}
+	if !HasNegation(parser.MustParse("p(X) :- q(X), !r(X).")) {
+		t.Error("negation not detected")
+	}
+}
+
+func TestExtractSirupRejectsNegation(t *testing.T) {
+	_, err := ExtractSirup(parser.MustParse(`
+p(X) :- base(X).
+p(Y) :- p(X), edge(X, Y), !blocked(Y).
+`))
+	if err == nil {
+		t.Error("sirup with negation accepted")
+	}
+}

@@ -1,0 +1,435 @@
+package ast
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestInternerRoundTrip(t *testing.T) {
+	in := NewInterner()
+	a := in.Intern("alice")
+	b := in.Intern("bob")
+	if a == b {
+		t.Fatalf("distinct constants interned to the same value: %d", a)
+	}
+	if got := in.Intern("alice"); got != a {
+		t.Errorf("re-interning alice: got %d want %d", got, a)
+	}
+	if got := in.Name(a); got != "alice" {
+		t.Errorf("Name(%d) = %q, want alice", a, got)
+	}
+	if got := in.Name(b); got != "bob" {
+		t.Errorf("Name(%d) = %q, want bob", b, got)
+	}
+	if in.Len() != 2 {
+		t.Errorf("Len = %d, want 2", in.Len())
+	}
+	if _, ok := in.Lookup("carol"); ok {
+		t.Error("Lookup(carol) reported present before interning")
+	}
+}
+
+func TestInternerDenseValues(t *testing.T) {
+	in := NewInterner()
+	for i := 0; i < 100; i++ {
+		v := in.InternInt(i)
+		if int(v) != i {
+			t.Fatalf("InternInt(%d) = %d, want dense value %d", i, v, i)
+		}
+	}
+}
+
+func TestInternerNamePanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Name on un-interned value did not panic")
+		}
+	}()
+	NewInterner().Name(5)
+}
+
+func TestTermKinds(t *testing.T) {
+	v := V("X")
+	if !v.IsVar() {
+		t.Error("V(X) is not a variable")
+	}
+	c := C(7)
+	if c.IsVar() {
+		t.Error("C(7) is a variable")
+	}
+	if v.String() != "X" {
+		t.Errorf("V(X).String() = %q", v.String())
+	}
+	if c.String() != "$7" {
+		t.Errorf("C(7).String() = %q", c.String())
+	}
+	if C(-3).String() != "$-3" {
+		t.Errorf("C(-3).String() = %q", C(-3).String())
+	}
+}
+
+func TestAtomVarsOrderAndDedup(t *testing.T) {
+	a := NewAtom("p", V("X"), C(1), V("Y"), V("X"))
+	vars := a.Vars(nil)
+	if len(vars) != 2 || vars[0] != "X" || vars[1] != "Y" {
+		t.Errorf("Vars = %v, want [X Y]", vars)
+	}
+	if !a.HasVar("Y") || a.HasVar("Z") {
+		t.Error("HasVar misreported")
+	}
+	if a.IsGround() {
+		t.Error("atom with variables reported ground")
+	}
+	if !NewAtom("p", C(1), C(2)).IsGround() {
+		t.Error("ground atom not reported ground")
+	}
+}
+
+func TestAtomApplyPartial(t *testing.T) {
+	a := NewAtom("p", V("X"), V("Y"))
+	got := a.Apply(Subst{"X": 3})
+	if got.Args[0].IsVar() || got.Args[0].Value != 3 {
+		t.Errorf("X not substituted: %v", got)
+	}
+	if !got.Args[1].IsVar() {
+		t.Errorf("unbound Y was substituted: %v", got)
+	}
+	// The original atom must be untouched.
+	if !a.Args[0].IsVar() {
+		t.Error("Apply mutated the receiver")
+	}
+}
+
+func TestAtomRename(t *testing.T) {
+	a := NewAtom("p", V("X"), C(1))
+	got := a.Rename(func(s string) string { return s + "'" })
+	if got.Args[0].VarName != "X'" {
+		t.Errorf("rename: %v", got)
+	}
+	if a.Args[0].VarName != "X" {
+		t.Error("Rename mutated the receiver")
+	}
+}
+
+func TestSubstBind(t *testing.T) {
+	s := Subst{}
+	if !s.Bind("X", 1) {
+		t.Fatal("fresh bind failed")
+	}
+	if !s.Bind("X", 1) {
+		t.Error("consistent rebind failed")
+	}
+	if s.Bind("X", 2) {
+		t.Error("conflicting rebind succeeded")
+	}
+	if !s.Covers([]string{"X"}) || s.Covers([]string{"X", "Y"}) {
+		t.Error("Covers misreported")
+	}
+}
+
+func TestSubstStringDeterministic(t *testing.T) {
+	s := Subst{"B": 2, "A": 1}
+	if got := s.String(); got != "{A/$1, B/$2}" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestMatchAtom(t *testing.T) {
+	cases := []struct {
+		name  string
+		atom  Atom
+		tuple []Value
+		pre   Subst
+		ok    bool
+		check func(Subst) bool
+	}{
+		{
+			name: "binds fresh vars", atom: NewAtom("p", V("X"), V("Y")),
+			tuple: []Value{1, 2}, pre: Subst{}, ok: true,
+			check: func(s Subst) bool { return s["X"] == 1 && s["Y"] == 2 },
+		},
+		{
+			name: "repeated var must agree", atom: NewAtom("p", V("X"), V("X")),
+			tuple: []Value{1, 2}, pre: Subst{}, ok: false,
+		},
+		{
+			name: "repeated var agrees", atom: NewAtom("p", V("X"), V("X")),
+			tuple: []Value{3, 3}, pre: Subst{}, ok: true,
+			check: func(s Subst) bool { return s["X"] == 3 },
+		},
+		{
+			name: "constant mismatch", atom: NewAtom("p", C(9), V("Y")),
+			tuple: []Value{1, 2}, pre: Subst{}, ok: false,
+		},
+		{
+			name: "constant match", atom: NewAtom("p", C(1), V("Y")),
+			tuple: []Value{1, 2}, pre: Subst{}, ok: true,
+		},
+		{
+			name: "existing binding conflicts", atom: NewAtom("p", V("X")),
+			tuple: []Value{5}, pre: Subst{"X": 4}, ok: false,
+		},
+		{
+			name: "arity mismatch", atom: NewAtom("p", V("X")),
+			tuple: []Value{1, 2}, pre: Subst{}, ok: false,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := MatchAtom(tc.atom, tc.tuple, tc.pre)
+			if got != tc.ok {
+				t.Fatalf("MatchAtom = %v, want %v", got, tc.ok)
+			}
+			if tc.ok && tc.check != nil && !tc.check(tc.pre) {
+				t.Errorf("bindings wrong: %v", tc.pre)
+			}
+		})
+	}
+}
+
+func TestRuleSafety(t *testing.T) {
+	// anc(X,Y) :- par(X,Z), anc(Z,Y). — safe
+	r := NewRule(
+		NewAtom("anc", V("X"), V("Y")),
+		NewAtom("par", V("X"), V("Z")),
+		NewAtom("anc", V("Z"), V("Y")),
+	)
+	if !r.IsSafe() {
+		t.Error("safe rule reported unsafe")
+	}
+	// p(X,W) :- q(X). — W not in body
+	bad := NewRule(NewAtom("p", V("X"), V("W")), NewAtom("q", V("X")))
+	if bad.IsSafe() {
+		t.Error("unsafe rule reported safe")
+	}
+	// Constraint variable not in body is unsafe too.
+	h := &HashFunc{Name: "h", Fn: func([]Value) int { return 0 }}
+	c := NewRule(NewAtom("p", V("X")), NewAtom("q", V("X"))).
+		WithConstraints(NewHashConstraint(h, []string{"Z"}, 0))
+	if c.IsSafe() {
+		t.Error("rule with dangling constraint var reported safe")
+	}
+}
+
+func TestRuleVarsOrder(t *testing.T) {
+	r := NewRule(
+		NewAtom("p", V("A"), V("B")),
+		NewAtom("q", V("B"), V("C")),
+	)
+	vars := r.Vars()
+	want := []string{"A", "B", "C"}
+	if len(vars) != len(want) {
+		t.Fatalf("Vars = %v", vars)
+	}
+	for i := range want {
+		if vars[i] != want[i] {
+			t.Fatalf("Vars = %v, want %v", vars, want)
+		}
+	}
+}
+
+func TestRuleCloneIndependence(t *testing.T) {
+	r := NewRule(NewAtom("p", V("X")), NewAtom("q", V("X")))
+	c := r.Clone()
+	c.Body[0].Args[0] = C(1)
+	if !r.Body[0].Args[0].IsVar() {
+		t.Error("Clone shares body args")
+	}
+}
+
+func TestRuleRenameRewritesConstraints(t *testing.T) {
+	h := &HashFunc{Name: "h", Fn: func(v []Value) int { return int(v[0]) }}
+	r := NewRule(NewAtom("p", V("X")), NewAtom("q", V("X"))).
+		WithConstraints(NewHashConstraint(h, []string{"X"}, 1))
+	renamed := r.Rename(func(s string) string { return s + "_2" })
+	hc := renamed.Constraints[0].(*HashConstraint)
+	if hc.Args[0] != "X_2" {
+		t.Errorf("constraint var not renamed: %v", hc.Args)
+	}
+	// Original untouched.
+	if r.Constraints[0].(*HashConstraint).Args[0] != "X" {
+		t.Error("Rename mutated the receiver's constraint")
+	}
+}
+
+func TestHashConstraintHolds(t *testing.T) {
+	h := &HashFunc{Name: "h", Fn: func(v []Value) int { return int(v[0]) % 2 }}
+	c := NewHashConstraint(h, []string{"X"}, 1)
+	if !c.Holds(Subst{"X": 3}) {
+		t.Error("h(3)=1 should hold for proc 1")
+	}
+	if c.Holds(Subst{"X": 4}) {
+		t.Error("h(4)=0 should not hold for proc 1")
+	}
+	if got := c.String(); got != "h(X) = 1" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestHashConstraintPanicsOnUnbound(t *testing.T) {
+	h := &HashFunc{Name: "h", Fn: func([]Value) int { return 0 }}
+	c := NewHashConstraint(h, []string{"X"}, 0)
+	defer func() {
+		if recover() == nil {
+			t.Error("Holds with unbound variable did not panic")
+		}
+	}()
+	c.Holds(Subst{})
+}
+
+func TestProgramEDBIDBSplit(t *testing.T) {
+	p := NewProgram()
+	a := p.Interner.Intern("a")
+	b := p.Interner.Intern("b")
+	p.AddRule(NewRule(NewAtom("anc", V("X"), V("Y")), NewAtom("par", V("X"), V("Y"))))
+	p.AddRule(NewRule(
+		NewAtom("anc", V("X"), V("Y")),
+		NewAtom("par", V("X"), V("Z")), NewAtom("anc", V("Z"), V("Y")),
+	))
+	p.AddRule(NewRule(NewAtom("par", C(a), C(b)))) // fact
+	idb := p.IDBPreds()
+	if len(idb) != 1 || idb[0] != "anc" {
+		t.Errorf("IDB = %v", idb)
+	}
+	edb := p.EDBPreds()
+	if len(edb) != 1 || edb[0] != "par" {
+		t.Errorf("EDB = %v", edb)
+	}
+	rules, facts := p.FactTuples()
+	if len(rules) != 2 {
+		t.Errorf("proper rules = %d, want 2", len(rules))
+	}
+	if got := facts["par"]; len(got) != 1 || got[0][0] != a || got[0][1] != b {
+		t.Errorf("facts[par] = %v", got)
+	}
+}
+
+func TestProgramFormat(t *testing.T) {
+	p := NewProgram()
+	a := p.Interner.Intern("a")
+	p.AddRule(NewRule(NewAtom("anc", V("X"), V("Y")),
+		NewAtom("par", V("X"), V("Z")), NewAtom("anc", V("Z"), V("Y"))))
+	p.AddRule(NewRule(NewAtom("par", C(a), C(a))))
+	want := "anc(X, Y) :- par(X, Z), anc(Z, Y).\npar(a, a).\n"
+	if got := p.String(); got != want {
+		t.Errorf("String =\n%q\nwant\n%q", got, want)
+	}
+}
+
+func TestProgramArities(t *testing.T) {
+	p := NewProgram()
+	p.AddRule(NewRule(NewAtom("anc", V("X"), V("Y")), NewAtom("par", V("X"), V("Y"))))
+	ar := p.Arities()
+	if ar["anc"] != 2 || ar["par"] != 2 {
+		t.Errorf("Arities = %v", ar)
+	}
+}
+
+// Property: MatchAtom on an all-variable atom with distinct vars always
+// succeeds and reproduces the tuple through Apply.
+func TestMatchApplyRoundTripProperty(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 || len(raw) > 8 {
+			return true // skip out-of-shape inputs
+		}
+		tuple := make([]Value, len(raw))
+		args := make([]Term, len(raw))
+		for i, r := range raw {
+			v := Value(r)
+			if v < 0 {
+				v = -v
+			}
+			tuple[i] = v
+			args[i] = V("X" + itoa(i))
+		}
+		a := Atom{Pred: "p", Args: args}
+		sub := Subst{}
+		if !MatchAtom(a, tuple, sub) {
+			return false
+		}
+		back := a.Apply(sub)
+		for i := range tuple {
+			if back.Args[i].IsVar() || back.Args[i].Value != tuple[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAtomString(t *testing.T) {
+	a := NewAtom("p", V("X"), C(3))
+	if got := a.String(); got != "p(X, $3)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestRuleString(t *testing.T) {
+	r := NewRule(NewAtom("p", V("X")), NewAtom("q", V("X")))
+	if got := r.String(); got != "p(X) :- q(X)." {
+		t.Errorf("String = %q", got)
+	}
+	fact := NewRule(NewAtom("p", C(1)))
+	if got := fact.String(); got != "p($1)." {
+		t.Errorf("fact String = %q", got)
+	}
+	h := &HashFunc{Name: "h", Fn: func([]Value) int { return 0 }}
+	withC := r.WithConstraints(NewHashConstraint(h, []string{"X"}, 2))
+	if got := withC.String(); got != "p(X) :- q(X), h(X) = 2." {
+		t.Errorf("constrained String = %q", got)
+	}
+}
+
+func TestSubstCloneLookup(t *testing.T) {
+	s := Subst{"X": 4}
+	c := s.Clone()
+	c["Y"] = 5
+	if _, ok := s.Lookup("Y"); ok {
+		t.Error("Clone shares the map")
+	}
+	if v, ok := s.Lookup("X"); !ok || v != 4 {
+		t.Errorf("Lookup(X) = %d, %v", v, ok)
+	}
+}
+
+func TestProgramClone(t *testing.T) {
+	p := NewProgram()
+	p.AddRule(NewRule(NewAtom("p", V("X")), NewAtom("q", V("X"))))
+	c := p.Clone()
+	c.Rules[0].Body[0].Args[0] = C(9)
+	if !p.Rules[0].Body[0].Args[0].IsVar() {
+		t.Error("Clone shares rule storage")
+	}
+	if c.Interner != p.Interner {
+		t.Error("Clone should share the append-only interner")
+	}
+}
+
+func TestQuoteConst(t *testing.T) {
+	cases := map[string]string{
+		"abc":       "abc",
+		"a_B9'x":    "a_B9'x",
+		"42":        "42",
+		"-7":        "-7",
+		"":          `""`,
+		"Upper":     `"Upper"`,
+		"_x":        `"_x"`,
+		"has space": `"has space"`,
+		"42abc":     `"42abc"`,
+		"-":         `"-"`,
+		"a-b":       `"a-b"`,
+		"tab\there": `"tab\there"`,
+		"q\"uote":   `"q\"uote"`,
+		"back\\s":   `"back\\s"`,
+		"nl\nhere":  `"nl\nhere"`,
+		"päö":       `"päö"`,
+	}
+	for in, want := range cases {
+		if got := QuoteConst(in); got != want {
+			t.Errorf("QuoteConst(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package ast
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Constraint is a side condition attached to a rule body, such as the
+// discriminating-function conditions "h(v(r)) = i" that the paper's rewriting
+// schemes add to processing, initialization and sending rules. Constraints
+// are evaluated on (partially) ground substitutions, never enumerated, so the
+// rewritten programs remain safe.
+type Constraint interface {
+	// Vars returns the variables the constraint reads.
+	Vars() []string
+	// Holds evaluates the constraint under sub. It must only be called when
+	// sub binds every variable in Vars.
+	Holds(sub Subst) bool
+	// String renders the constraint for program listings.
+	String() string
+}
+
+// HashFunc is a named, pure function from a ground instance of a
+// discriminating sequence to a processor number — the paper's h, h' and h_i.
+type HashFunc struct {
+	// Name identifies the function in listings, e.g. "h" or "h_3".
+	Name string
+	// Fn maps the ground instance of the discriminating sequence to a
+	// processor. It must be deterministic.
+	Fn func(vals []Value) int
+}
+
+// HashConstraint is the atom "H(vars) = Proc".
+type HashConstraint struct {
+	H    *HashFunc
+	Args []string // the discriminating sequence v(r), as variable names
+	Proc int
+}
+
+// NewHashConstraint builds the constraint h(args...) = proc.
+func NewHashConstraint(h *HashFunc, args []string, proc int) *HashConstraint {
+	return &HashConstraint{H: h, Args: args, Proc: proc}
+}
+
+// Vars implements Constraint.
+func (c *HashConstraint) Vars() []string { return c.Args }
+
+// Holds implements Constraint.
+func (c *HashConstraint) Holds(sub Subst) bool {
+	vals := make([]Value, len(c.Args))
+	for i, a := range c.Args {
+		v, ok := sub[a]
+		if !ok {
+			panic(fmt.Sprintf("ast: HashConstraint %s evaluated with unbound %s", c, a))
+		}
+		vals[i] = v
+	}
+	return c.H.Fn(vals) == c.Proc
+}
+
+// String implements Constraint.
+func (c *HashConstraint) String() string {
+	return fmt.Sprintf("%s(%s) = %d", c.H.Name, strings.Join(c.Args, ", "), c.Proc)
+}

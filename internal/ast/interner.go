@@ -1,0 +1,63 @@
+// Package ast defines the abstract syntax of Datalog programs: interned
+// constants, terms, atoms, rules, constraints and programs. It is the common
+// vocabulary shared by the parser, the analyses, the rewriting schemes of
+// Ganguly–Silberschatz–Tsur (SIGMOD 1990) and both evaluation engines.
+package ast
+
+import "fmt"
+
+// Value is an interned constant. Two constants are equal iff their Values are
+// equal, which makes tuples of Values directly comparable and hashable.
+type Value int32
+
+// NoValue is the zero Value; it never names an interned constant.
+const NoValue Value = -1
+
+// Interner maps constant spellings to dense Values and back. The zero value
+// is not usable; create one with NewInterner. An Interner is not safe for
+// concurrent mutation; the engines intern all constants up front and only
+// read afterwards.
+type Interner struct {
+	byName map[string]Value
+	names  []string
+}
+
+// NewInterner returns an empty interner.
+func NewInterner() *Interner {
+	return &Interner{byName: make(map[string]Value)}
+}
+
+// Intern returns the Value for name, assigning a fresh one on first use.
+func (in *Interner) Intern(name string) Value {
+	if v, ok := in.byName[name]; ok {
+		return v
+	}
+	v := Value(len(in.names))
+	in.byName[name] = v
+	in.names = append(in.names, name)
+	return v
+}
+
+// Lookup returns the Value for name if it has been interned.
+func (in *Interner) Lookup(name string) (Value, bool) {
+	v, ok := in.byName[name]
+	return v, ok
+}
+
+// Name returns the spelling of v. It panics if v was not produced by this
+// interner.
+func (in *Interner) Name(v Value) string {
+	if v < 0 || int(v) >= len(in.names) {
+		panic(fmt.Sprintf("ast: Value %d not interned", v))
+	}
+	return in.names[v]
+}
+
+// Len reports the number of distinct constants interned so far.
+func (in *Interner) Len() int { return len(in.names) }
+
+// InternInt interns the decimal spelling of n. Integers in Datalog source are
+// ordinary constants; this helper keeps their spelling canonical.
+func (in *Interner) InternInt(n int) Value {
+	return in.Intern(fmt.Sprintf("%d", n))
+}

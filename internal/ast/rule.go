@@ -1,0 +1,171 @@
+package ast
+
+import "strings"
+
+// Rule is "Head :- Body, !Negated, Constraints". A rule with an empty body
+// is a fact when its head is ground. Constraints never bind variables; they
+// only filter ground substitutions produced by matching the body, which
+// keeps rewritten programs safe (Section 2's safety requirement). Negated
+// atoms (an extension beyond the paper's pure Datalog) are filters too:
+// under stratified semantics a substitution survives only if the ground
+// negated atom is absent from the (completed, lower-stratum) relation.
+type Rule struct {
+	Head        Atom
+	Body        []Atom
+	Negated     []Atom
+	Constraints []Constraint
+}
+
+// NewRule builds a rule.
+func NewRule(head Atom, body ...Atom) Rule {
+	return Rule{Head: head, Body: body}
+}
+
+// WithConstraints returns a copy of r with the constraints appended.
+func (r Rule) WithConstraints(cs ...Constraint) Rule {
+	out := r.Clone()
+	out.Constraints = append(out.Constraints, cs...)
+	return out
+}
+
+// IsFact reports whether r is a ground fact.
+func (r Rule) IsFact() bool {
+	return len(r.Body) == 0 && len(r.Negated) == 0 && len(r.Constraints) == 0 && r.Head.IsGround()
+}
+
+// Vars returns the distinct variables of r in order of first occurrence
+// (head first, then body, then constraints).
+func (r Rule) Vars() []string {
+	var vars []string
+	vars = r.Head.Vars(vars)
+	for _, a := range r.Body {
+		vars = a.Vars(vars)
+	}
+	for _, a := range r.Negated {
+		vars = a.Vars(vars)
+	}
+	for _, c := range r.Constraints {
+		for _, v := range c.Vars() {
+			if !containsStr(vars, v) {
+				vars = append(vars, v)
+			}
+		}
+	}
+	return vars
+}
+
+// BodyVars returns the distinct variables occurring in body atoms.
+func (r Rule) BodyVars() []string {
+	var vars []string
+	for _, a := range r.Body {
+		vars = a.Vars(vars)
+	}
+	return vars
+}
+
+// IsSafe reports whether every head variable, every negated-atom variable
+// and every constraint variable occurs in the positive body — the paper's
+// safety property (extended to negation in the standard way), guaranteeing
+// finitely many answers and ground negation probes.
+func (r Rule) IsSafe() bool {
+	bv := r.BodyVars()
+	for _, v := range r.Head.Vars(nil) {
+		if !containsStr(bv, v) {
+			return false
+		}
+	}
+	for _, a := range r.Negated {
+		for _, v := range a.Vars(nil) {
+			if !containsStr(bv, v) {
+				return false
+			}
+		}
+	}
+	for _, c := range r.Constraints {
+		for _, v := range c.Vars() {
+			if !containsStr(bv, v) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy of r (constraints are shared; they are
+// immutable).
+func (r Rule) Clone() Rule {
+	body := make([]Atom, len(r.Body))
+	for i, a := range r.Body {
+		body[i] = a.Clone()
+	}
+	var neg []Atom
+	if len(r.Negated) > 0 {
+		neg = make([]Atom, len(r.Negated))
+		for i, a := range r.Negated {
+			neg[i] = a.Clone()
+		}
+	}
+	cs := make([]Constraint, len(r.Constraints))
+	copy(cs, r.Constraints)
+	return Rule{Head: r.Head.Clone(), Body: body, Negated: neg, Constraints: cs}
+}
+
+// Rename returns a copy of r with all variables renamed through f.
+func (r Rule) Rename(f func(string) string) Rule {
+	out := r.Clone()
+	out.Head = out.Head.Rename(f)
+	for i, a := range out.Body {
+		out.Body[i] = a.Rename(f)
+	}
+	for i, a := range out.Negated {
+		out.Negated[i] = a.Rename(f)
+	}
+	// Constraints hold variable names by value; rebuild hash constraints.
+	for i, c := range out.Constraints {
+		if hc, ok := c.(*HashConstraint); ok {
+			args := make([]string, len(hc.Args))
+			for j, a := range hc.Args {
+				args[j] = f(a)
+			}
+			out.Constraints[i] = NewHashConstraint(hc.H, args, hc.Proc)
+		}
+	}
+	return out
+}
+
+// String renders the rule with raw constant ids; use Program.FormatRule for
+// spelled-out constants.
+func (r Rule) String() string {
+	var b strings.Builder
+	b.WriteString(r.Head.String())
+	if len(r.Body) == 0 && len(r.Negated) == 0 && len(r.Constraints) == 0 {
+		b.WriteByte('.')
+		return b.String()
+	}
+	b.WriteString(" :- ")
+	sep := false
+	for _, a := range r.Body {
+		if sep {
+			b.WriteString(", ")
+		}
+		sep = true
+		b.WriteString(a.String())
+	}
+	for _, a := range r.Negated {
+		if sep {
+			b.WriteString(", ")
+		}
+		sep = true
+		b.WriteByte('!')
+		b.WriteString(a.String())
+	}
+	for _, c := range r.Constraints {
+		if sep {
+			b.WriteString(", ")
+		}
+		sep = true
+		b.WriteString(c.String())
+	}
+	b.WriteByte('.')
+	return b.String()
+}

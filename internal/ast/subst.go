@@ -1,0 +1,88 @@
+package ast
+
+import (
+	"sort"
+	"strings"
+)
+
+// Subst is a ground substitution: a finite map from variable names to
+// constants, as in Section 2 of the paper. The engines build substitutions
+// incrementally during joins.
+type Subst map[string]Value
+
+// Clone returns an independent copy of s.
+func (s Subst) Clone() Subst {
+	out := make(Subst, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+// Bind extends s with name ↦ v. It reports false (leaving s unchanged) when
+// name is already bound to a different constant.
+func (s Subst) Bind(name string, v Value) bool {
+	if old, ok := s[name]; ok {
+		return old == v
+	}
+	s[name] = v
+	return true
+}
+
+// Lookup returns the binding for name.
+func (s Subst) Lookup(name string) (Value, bool) {
+	v, ok := s[name]
+	return v, ok
+}
+
+// Covers reports whether every variable in vars is bound by s.
+func (s Subst) Covers(vars []string) bool {
+	for _, v := range vars {
+		if _, ok := s[v]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the substitution deterministically (sorted by variable).
+func (s Subst) String() string {
+	keys := make([]string, 0, len(s))
+	for k := range s {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(k)
+		b.WriteByte('/')
+		b.WriteString("$" + itoa(int(s[k])))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// MatchAtom unifies a (possibly non-ground) atom against a ground tuple,
+// extending sub. It reports false if the predicate arities differ or a
+// variable would need two distinct constants or a constant argument
+// disagrees. On failure sub may be partially extended; callers that need
+// rollback should pass a clone.
+func MatchAtom(a Atom, tuple []Value, sub Subst) bool {
+	if len(a.Args) != len(tuple) {
+		return false
+	}
+	for i, t := range a.Args {
+		if t.IsVar() {
+			if !sub.Bind(t.VarName, tuple[i]) {
+				return false
+			}
+		} else if t.Value != tuple[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,53 @@
+package ast
+
+// Term is an argument of an atom: either a variable or an interned constant.
+// The zero Term is the constant NoValue, which is never a legal argument, so
+// accidental zero Terms surface quickly.
+type Term struct {
+	// VarName is the variable's name, or "" if the term is a constant.
+	VarName string
+	// Value is the interned constant when VarName is empty.
+	Value Value
+}
+
+// V returns a variable term.
+func V(name string) Term { return Term{VarName: name} }
+
+// C returns a constant term.
+func C(v Value) Term { return Term{Value: v} }
+
+// IsVar reports whether t is a variable.
+func (t Term) IsVar() bool { return t.VarName != "" }
+
+// String renders a variable by name and a constant as $<id>; use
+// Program.FormatTerm for spelled-out constants.
+func (t Term) String() string {
+	if t.IsVar() {
+		return t.VarName
+	}
+	return "$" + itoa(int(t.Value))
+}
+
+// itoa is a minimal integer formatter so that Term.String does not pull fmt
+// into every call site's escape analysis.
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var buf [12]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,243 @@
+// Package dist executes a compiled parallel Datalog program over genuine
+// message passing: every processor is a TCP endpoint exchanging gob-encoded
+// tuple batches, with no shared memory between processors — the
+// "non-shared-memory architecture" reading of the paper's abstract machine
+// (Section 3), in contrast to internal/parallel's goroutine/channel
+// idealization. Both transports drive the same parallel.Node state machine,
+// so the scheme semantics are identical by construction.
+//
+// Topology: one coordinator plus N workers. Workers dial the coordinator's
+// control port, announce their data address, receive the peer address map,
+// and then exchange data batches directly (full mesh, lazily dialed).
+// Termination uses Mattern's four-counter method over the control plane:
+// the coordinator polls each worker's monotone (sent, received, idle)
+// counters; two consecutive identical, balanced, all-idle waves establish
+// quiescence, after which the coordinator collects outputs and statistics
+// (the final pooling step).
+//
+// Workers may run as goroutines in the same process (Run) or as separate OS
+// processes (cmd/dldist + RunWorker); the wire protocol is identical. For
+// multi-process runs every process must parse the same program text so the
+// constant interners agree.
+package dist
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"time"
+
+	"parlog/internal/ast"
+	"parlog/internal/parallel"
+	"parlog/internal/relation"
+)
+
+// ctrlKind enumerates control-plane message types.
+type ctrlKind int
+
+const (
+	kindJoin ctrlKind = iota + 1
+	kindStart
+	kindStatus
+	kindStatusReply
+	kindFinish
+	kindOutput
+)
+
+// ctrlMsg is the control-plane envelope (coordinator ↔ worker).
+type ctrlMsg struct {
+	Kind     ctrlKind
+	Index    int      // Join: the worker's dense index
+	DataAddr string   // Join: where the worker accepts data connections
+	Peers    []string // Start: data addresses indexed by worker
+	Sent     int64    // StatusReply
+	Recv     int64    // StatusReply
+	Idle     bool     // StatusReply
+	Output   map[string][][]ast.Value
+	Stats    parallel.ProcStats
+}
+
+// dataMsg is one tuple batch on the data plane (worker → worker).
+type dataMsg struct {
+	From   int
+	Pred   string
+	Tuples [][]ast.Value
+}
+
+// Config configures a distributed run.
+type Config struct {
+	// Workers is the number of processors the coordinator waits for.
+	Workers int
+	// Addr is the coordinator's listen address (default "127.0.0.1:0").
+	Addr string
+	// WavePoll is the detection-wave period (default 200µs).
+	WavePoll time.Duration
+	// Timeout aborts a run that never quiesces (default 60s).
+	Timeout time.Duration
+}
+
+func (c *Config) fill() {
+	if c.Addr == "" {
+		c.Addr = "127.0.0.1:0"
+	}
+	if c.WavePoll <= 0 {
+		c.WavePoll = 200 * time.Microsecond
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 60 * time.Second
+	}
+}
+
+// Result is the pooled outcome of a distributed run.
+type Result struct {
+	Output relation.Store
+	Stats  []parallel.ProcStats
+	Wall   time.Duration
+}
+
+// Coordinator orchestrates one run. Create with NewCoordinator, hand its
+// Addr to the workers, then call Wait.
+type Coordinator struct {
+	cfg     Config
+	ln      net.Listener
+	arities map[string]int
+}
+
+// NewCoordinator opens the control listener.
+func NewCoordinator(cfg Config, idbArities map[string]int) (*Coordinator, error) {
+	cfg.fill()
+	if cfg.Workers <= 0 {
+		return nil, fmt.Errorf("dist: Workers must be positive")
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Coordinator{cfg: cfg, ln: ln, arities: idbArities}, nil
+}
+
+// Addr returns the control address workers must dial.
+func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
+
+// wave is one detection snapshot.
+type wave struct {
+	sent, recv int64
+	allIdle    bool
+}
+
+// Wait accepts the workers, runs the protocol to completion and returns the
+// pooled result. It closes the listener before returning.
+func (c *Coordinator) Wait() (*Result, error) {
+	defer c.ln.Close()
+	start := time.Now()
+	deadline := start.Add(c.cfg.Timeout)
+
+	type peer struct {
+		conn net.Conn
+		enc  *gob.Encoder
+		dec  *gob.Decoder
+	}
+	peers := make([]*peer, c.cfg.Workers)
+	addrs := make([]string, c.cfg.Workers)
+
+	// Join phase.
+	for joined := 0; joined < c.cfg.Workers; joined++ {
+		if err := c.ln.(*net.TCPListener).SetDeadline(deadline); err != nil {
+			return nil, err
+		}
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return nil, fmt.Errorf("dist: waiting for workers: %w", err)
+		}
+		p := &peer{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
+		var join ctrlMsg
+		if err := p.dec.Decode(&join); err != nil {
+			return nil, fmt.Errorf("dist: join decode: %w", err)
+		}
+		if join.Kind != kindJoin || join.Index < 0 || join.Index >= c.cfg.Workers {
+			return nil, fmt.Errorf("dist: bad join message (kind %d, index %d)", join.Kind, join.Index)
+		}
+		if peers[join.Index] != nil {
+			return nil, fmt.Errorf("dist: duplicate worker index %d", join.Index)
+		}
+		peers[join.Index] = p
+		addrs[join.Index] = join.DataAddr
+	}
+	defer func() {
+		for _, p := range peers {
+			p.conn.Close()
+		}
+	}()
+
+	// Start phase.
+	for _, p := range peers {
+		if err := p.enc.Encode(ctrlMsg{Kind: kindStart, Peers: addrs}); err != nil {
+			return nil, fmt.Errorf("dist: start: %w", err)
+		}
+	}
+
+	// Detection waves: Mattern's four-counter method over request/response
+	// polling. Per-worker counters are monotone and each worker increments
+	// its sent counter before the batch reaches the wire, so two identical
+	// balanced all-idle waves imply global quiescence.
+	var prev *wave
+	for {
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("dist: run exceeded %v without quiescing", c.cfg.Timeout)
+		}
+		cur := wave{allIdle: true}
+		for _, p := range peers {
+			if err := p.enc.Encode(ctrlMsg{Kind: kindStatus}); err != nil {
+				return nil, fmt.Errorf("dist: status: %w", err)
+			}
+			var rep ctrlMsg
+			if err := p.dec.Decode(&rep); err != nil {
+				return nil, fmt.Errorf("dist: status reply: %w", err)
+			}
+			if rep.Kind != kindStatusReply {
+				return nil, fmt.Errorf("dist: unexpected reply kind %d", rep.Kind)
+			}
+			cur.sent += rep.Sent
+			cur.recv += rep.Recv
+			if !rep.Idle {
+				cur.allIdle = false
+			}
+		}
+		if cur.allIdle && cur.sent == cur.recv && prev != nil && *prev == cur {
+			break
+		}
+		prev = &cur
+		time.Sleep(c.cfg.WavePoll)
+	}
+
+	// Collection phase: final pooling.
+	res := &Result{Output: relation.Store{}}
+	for pred, ar := range c.arities {
+		res.Output.Get(pred, ar)
+	}
+	for _, p := range peers {
+		if err := p.enc.Encode(ctrlMsg{Kind: kindFinish}); err != nil {
+			return nil, fmt.Errorf("dist: finish: %w", err)
+		}
+		var out ctrlMsg
+		if err := p.dec.Decode(&out); err != nil {
+			return nil, fmt.Errorf("dist: output: %w", err)
+		}
+		if out.Kind != kindOutput {
+			return nil, fmt.Errorf("dist: unexpected output kind %d", out.Kind)
+		}
+		for pred, tuples := range out.Output {
+			ar := len(tuples[0])
+			if want, ok := c.arities[pred]; ok {
+				ar = want
+			}
+			dst := res.Output.Get(pred, ar)
+			for _, t := range tuples {
+				dst.Insert(t)
+			}
+		}
+		res.Stats = append(res.Stats, out.Stats)
+	}
+	res.Wall = time.Since(start)
+	return res, nil
+}

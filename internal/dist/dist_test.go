@@ -1,0 +1,301 @@
+package dist
+
+import (
+	"encoding/gob"
+	"fmt"
+	"math/rand"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"parlog/internal/analysis"
+	"parlog/internal/hashpart"
+	"parlog/internal/parallel"
+	"parlog/internal/parser"
+	"parlog/internal/randprog"
+	"parlog/internal/relation"
+	"parlog/internal/rewrite"
+	"parlog/internal/seminaive"
+	"parlog/internal/workload"
+)
+
+const ancestorRules = `
+anc(X, Y) :- par(X, Y).
+anc(X, Y) :- par(X, Z), anc(Z, Y).
+`
+
+func randomParFacts(nodes, edges int, seed int64) string {
+	rng := rand.New(rand.NewSource(seed))
+	var b strings.Builder
+	seen := map[[2]int]bool{}
+	for len(seen) < edges {
+		e := [2]int{rng.Intn(nodes), rng.Intn(nodes)}
+		if seen[e] {
+			continue
+		}
+		seen[e] = true
+		fmt.Fprintf(&b, "par(v%d, v%d).\n", e[0], e[1])
+	}
+	return b.String()
+}
+
+func buildAncestorQ(t *testing.T, src string, n int, vr, ve []string) (*parallel.Program, relation.Store, relation.Store) {
+	t.Helper()
+	prog := parser.MustParse(src)
+	seq, _, err := seminaive.Eval(prog, relation.Store{}, seminaive.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := analysis.ExtractSirup(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := parallel.BuildQ(s, rewrite.SirupSpec{
+		Procs: hashpart.RangeProcs(n),
+		VR:    vr, VE: ve,
+		H: hashpart.ModHash{N: n},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, relation.Store{}, seq
+}
+
+// TestDistributedAncestor runs Example 3's scheme over real TCP sockets and
+// compares with sequential evaluation.
+func TestDistributedAncestor(t *testing.T) {
+	src := ancestorRules + randomParFacts(14, 30, 1)
+	p, edb, seq := buildAncestorQ(t, src, 4, []string{"Z"}, []string{"X"})
+	res, err := Run(p, edb, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !seq["anc"].Equal(res.Output["anc"]) {
+		t.Fatalf("distributed result differs:\nseq %v\ndist %v", seq["anc"], res.Output["anc"])
+	}
+	if len(res.Stats) != 4 {
+		t.Errorf("stats for %d workers, want 4", len(res.Stats))
+	}
+}
+
+// TestDistributedMatchesInProcess: the TCP transport and the goroutine
+// transport drive the same Node, so results and firing totals must agree.
+func TestDistributedMatchesInProcess(t *testing.T) {
+	src := ancestorRules + randomParFacts(12, 26, 2)
+	p, edb, _ := buildAncestorQ(t, src, 3, []string{"Z"}, []string{"X"})
+	inproc, err := parallel.Run(p, edb, parallel.RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := Run(p, edb, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inproc.Output["anc"].Equal(dist.Output["anc"]) {
+		t.Fatal("transports disagree on the least model")
+	}
+	var inprocFirings, distFirings, inprocSent, distSent int64
+	for _, ps := range inproc.Stats.Procs {
+		inprocFirings += ps.Firings
+		inprocSent += ps.TuplesSent
+	}
+	for _, ps := range dist.Stats {
+		distFirings += ps.Firings
+		distSent += ps.TuplesSent
+	}
+	if inprocFirings != distFirings {
+		t.Errorf("firings differ: in-process %d, TCP %d", inprocFirings, distFirings)
+	}
+	if inprocSent != distSent {
+		t.Errorf("tuple traffic differs: in-process %d, TCP %d", inprocSent, distSent)
+	}
+}
+
+// TestDistributedCommFree: Theorem 3's scheme sends nothing even over TCP.
+func TestDistributedCommFree(t *testing.T) {
+	src := ancestorRules + randomParFacts(10, 20, 3)
+	p, edb, seq := buildAncestorQ(t, src, 3, []string{"Y"}, []string{"Y"})
+	res, err := Run(p, edb, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !seq["anc"].Equal(res.Output["anc"]) {
+		t.Fatal("result differs")
+	}
+	var sent int64
+	for _, ps := range res.Stats {
+		sent += ps.TuplesSent
+	}
+	if sent != 0 {
+		t.Errorf("communication-free scheme sent %d tuples over TCP", sent)
+	}
+}
+
+// TestDistributedGeneralScheme runs the Section 7 scheme for the non-linear
+// ancestor over TCP.
+func TestDistributedGeneralScheme(t *testing.T) {
+	src := `
+anc(X, Y) :- par(X, Y).
+anc(X, Y) :- anc(X, Z), anc(Z, Y).
+` + randomParFacts(10, 20, 4)
+	prog := parser.MustParse(src)
+	seq, _, err := seminaive.Eval(prog, relation.Store{}, seminaive.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := hashpart.ModHash{N: 3}
+	p, err := parallel.BuildGeneral(prog, rewrite.GeneralSpec{
+		Procs: hashpart.RangeProcs(3),
+		Rules: []rewrite.RuleSpec{
+			{Seq: []string{"Y"}, H: h},
+			{Seq: []string{"Z"}, H: h},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(p, relation.Store{}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !seq["anc"].Equal(res.Output["anc"]) {
+		t.Fatal("distributed general scheme differs from sequential")
+	}
+}
+
+// TestDistributedRandomPrograms: differential testing over TCP.
+func TestDistributedRandomPrograms(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for seed := int64(0); seed < 6; seed++ {
+		g := randprog.Generate(randprog.Config{}, seed)
+		want, _, err := seminaive.Eval(g.Prog, g.EDB, seminaive.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rules, _ := g.Prog.FactTuples()
+		spec := rewrite.GeneralSpec{Procs: hashpart.RangeProcs(3)}
+		h := hashpart.ModHash{N: 3, Seed: uint64(seed)}
+		ok := true
+		for _, r := range rules {
+			vars := r.BodyVars()
+			if len(vars) == 0 {
+				ok = false
+				break
+			}
+			spec.Rules = append(spec.Rules, rewrite.RuleSpec{Seq: vars[:1], H: h})
+		}
+		if !ok {
+			continue
+		}
+		p, err := parallel.BuildGeneral(g.Prog, spec)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		res, err := Run(p, g.EDB, Config{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, pred := range g.Prog.IDBPreds() {
+			a, b := want[pred], res.Output[pred]
+			if (a == nil) != (b == nil) || (a != nil && !a.Equal(b)) {
+				t.Fatalf("seed %d: %s differs over TCP\nprogram:\n%s", seed, pred, g.Prog)
+			}
+		}
+	}
+}
+
+// TestDistributedSameGen runs a bigger workload end to end over sockets.
+func TestDistributedSameGen(t *testing.T) {
+	up, flat, down := workload.SameGenInput(2, 5)
+	edb := relation.Store{"up": up, "flat": flat, "down": down}
+	prog := workload.SameGenProgram()
+	seq, _, err := seminaive.Eval(prog, edb, seminaive.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := hashpart.ModHash{N: 4}
+	p, err := parallel.BuildGeneral(prog, rewrite.GeneralSpec{
+		Procs: hashpart.RangeProcs(4),
+		Rules: []rewrite.RuleSpec{
+			{Seq: []string{"X"}, H: h},
+			{Seq: []string{"U"}, H: h},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(p, edb, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !seq["sg"].Equal(res.Output["sg"]) {
+		t.Fatal("distributed same-generation differs")
+	}
+}
+
+func TestCoordinatorTimeout(t *testing.T) {
+	// A coordinator waiting for workers that never join must time out.
+	coord, err := NewCoordinator(Config{Workers: 2, Timeout: 150 * time.Millisecond}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := coord.Wait(); err == nil {
+		t.Error("coordinator did not time out")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := NewCoordinator(Config{Workers: 0}, nil); err == nil {
+		t.Error("zero workers accepted")
+	}
+}
+
+func TestWorkerBadCoordinator(t *testing.T) {
+	prog := parser.MustParse(ancestorRules)
+	s, err := analysis.ExtractSirup(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := parallel.BuildQ(s, rewrite.SirupSpec{
+		Procs: hashpart.RangeProcs(1),
+		VR:    []string{"Z"}, VE: []string{"X"},
+		H: hashpart.ModHash{N: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	global, err := parallel.PrepareEDB(p, relation.Store{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := parallel.NewNode(p, 0, global)
+	if err := RunWorker("127.0.0.1:1", "127.0.0.1:0", node); err == nil {
+		t.Error("dialing a dead coordinator succeeded")
+	}
+}
+
+func TestCoordinatorRejectsBadJoin(t *testing.T) {
+	coord, err := NewCoordinator(Config{Workers: 1, Timeout: 2 * time.Second}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := coord.Wait()
+		done <- err
+	}()
+	conn, err := net.Dial("tcp", coord.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := gob.NewEncoder(conn).Encode(ctrlMsg{Kind: kindJoin, Index: 99}); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err == nil {
+		t.Error("coordinator accepted an out-of-range worker index")
+	}
+}

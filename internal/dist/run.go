@@ -1,0 +1,43 @@
+package dist
+
+import (
+	"fmt"
+
+	"parlog/internal/parallel"
+	"parlog/internal/relation"
+)
+
+// Run executes the compiled program with one TCP worker per processor, all
+// within this process but communicating exclusively over loopback sockets —
+// no memory is shared between processors. It is the drop-in distributed
+// counterpart of parallel.Run.
+func Run(p *parallel.Program, edb relation.Store, cfg Config) (*Result, error) {
+	global, err := parallel.PrepareEDB(p, edb)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Workers = p.Procs.Len()
+	coord, err := NewCoordinator(cfg, p.IDB)
+	if err != nil {
+		return nil, err
+	}
+
+	errs := make(chan error, cfg.Workers)
+	for wi := 0; wi < cfg.Workers; wi++ {
+		node := parallel.NewNode(p, wi, global)
+		go func() {
+			errs <- RunWorker(coord.Addr(), "127.0.0.1:0", node)
+		}()
+	}
+
+	res, err := coord.Wait()
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		if werr := <-errs; werr != nil {
+			return nil, fmt.Errorf("dist: worker failed: %w", werr)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,224 @@
+package dist
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"parlog/internal/ast"
+	"parlog/internal/parallel"
+	"parlog/internal/relation"
+)
+
+// dmailbox is the worker's unbounded inbox for data batches.
+type dmailbox struct {
+	mu     sync.Mutex
+	msgs   []dataMsg
+	notify chan struct{}
+}
+
+func newDMailbox() *dmailbox { return &dmailbox{notify: make(chan struct{}, 1)} }
+
+func (m *dmailbox) push(msg dataMsg) {
+	m.mu.Lock()
+	m.msgs = append(m.msgs, msg)
+	m.mu.Unlock()
+	select {
+	case m.notify <- struct{}{}:
+	default:
+	}
+}
+
+func (m *dmailbox) takeAll() []dataMsg {
+	m.mu.Lock()
+	out := m.msgs
+	m.msgs = nil
+	m.mu.Unlock()
+	return out
+}
+
+// RunWorker executes one processor's node against a coordinator: join,
+// receive the peer map, evaluate until the coordinator establishes global
+// quiescence, then ship outputs and statistics. dataAddr is the address to
+// accept peer connections on ("127.0.0.1:0" picks a free port). Blocking;
+// returns after the coordinator has collected this worker's output.
+func RunWorker(coordAddr, dataAddr string, node *parallel.Node) error {
+	ctrl, err := net.Dial("tcp", coordAddr)
+	if err != nil {
+		return fmt.Errorf("dist: dialing coordinator: %w", err)
+	}
+	defer ctrl.Close()
+	enc := gob.NewEncoder(ctrl)
+	dec := gob.NewDecoder(ctrl)
+
+	dataLn, err := net.Listen("tcp", dataAddr)
+	if err != nil {
+		return fmt.Errorf("dist: data listener: %w", err)
+	}
+	defer dataLn.Close()
+
+	if err := enc.Encode(ctrlMsg{
+		Kind:     kindJoin,
+		Index:    node.Index(),
+		DataAddr: dataLn.Addr().String(),
+	}); err != nil {
+		return fmt.Errorf("dist: join: %w", err)
+	}
+	var start ctrlMsg
+	if err := dec.Decode(&start); err != nil {
+		return fmt.Errorf("dist: waiting for start: %w", err)
+	}
+	if start.Kind != kindStart {
+		return fmt.Errorf("dist: expected start, got kind %d", start.Kind)
+	}
+
+	// Shared state between the control responder (this goroutine), the data
+	// acceptor goroutines and the evaluation loop. The counters follow the
+	// four-counter contract: sent is incremented before the batch reaches
+	// the wire; idle is cleared before received is incremented.
+	var (
+		sent, recv atomic.Int64
+		idle       atomic.Bool
+		mbox       = newDMailbox()
+		quit       = make(chan struct{})
+		loopDone   = make(chan struct{})
+	)
+
+	// Data plane: accept peer connections, stream batches into the mailbox.
+	go func() {
+		for {
+			conn, err := dataLn.Accept()
+			if err != nil {
+				return // listener closed at shutdown
+			}
+			go func() {
+				defer conn.Close()
+				d := gob.NewDecoder(conn)
+				for {
+					var m dataMsg
+					if err := d.Decode(&m); err != nil {
+						return
+					}
+					mbox.push(m)
+				}
+			}()
+		}
+	}()
+
+	// Evaluation loop: drives the node exactly like the in-process
+	// transport, but batches travel over TCP.
+	var evalErr error
+	go func() {
+		defer close(loopDone)
+
+		outConns := make([]*gob.Encoder, len(start.Peers))
+		rawConns := make([]net.Conn, len(start.Peers))
+		defer func() {
+			for _, c := range rawConns {
+				if c != nil {
+					c.Close()
+				}
+			}
+		}()
+		emit := func(dest int, pred string, tuples []relation.Tuple) {
+			if evalErr != nil {
+				return
+			}
+			if outConns[dest] == nil {
+				conn, err := net.Dial("tcp", start.Peers[dest])
+				if err != nil {
+					evalErr = fmt.Errorf("dist: dialing peer %d: %w", dest, err)
+					return
+				}
+				rawConns[dest] = conn
+				outConns[dest] = gob.NewEncoder(conn)
+			}
+			ts := make([][]ast.Value, len(tuples))
+			for i, t := range tuples {
+				ts[i] = t
+			}
+			node.RecordSent(len(tuples))
+			sent.Add(1) // before the batch can reach the wire
+			if err := outConns[dest].Encode(dataMsg{From: node.Index(), Pred: pred, Tuples: ts}); err != nil {
+				evalErr = fmt.Errorf("dist: sending to peer %d: %w", dest, err)
+			}
+		}
+
+		begin := time.Now()
+		node.Init(emit)
+		node.RecordBusy(time.Since(begin))
+		idle.Store(true)
+		for {
+			select {
+			case <-mbox.notify:
+				idle.Store(false)
+				begin = time.Now()
+				for _, m := range mbox.takeAll() {
+					recv.Add(1)
+					tuples := make([]relation.Tuple, len(m.Tuples))
+					for i, t := range m.Tuples {
+						tuples[i] = t
+					}
+					node.Accept(m.Pred, tuples)
+				}
+				node.Drain(emit)
+				node.RecordBusy(time.Since(begin))
+				idle.Store(true)
+			case <-quit:
+				return
+			}
+		}
+	}()
+
+	// Control plane: answer detection waves until the coordinator declares
+	// quiescence and asks for the output.
+	for {
+		var msg ctrlMsg
+		if err := dec.Decode(&msg); err != nil {
+			close(quit)
+			<-loopDone
+			return fmt.Errorf("dist: control channel: %w", err)
+		}
+		switch msg.Kind {
+		case kindStatus:
+			if err := enc.Encode(ctrlMsg{
+				Kind: kindStatusReply,
+				Sent: sent.Load(),
+				Recv: recv.Load(),
+				Idle: idle.Load(),
+			}); err != nil {
+				close(quit)
+				<-loopDone
+				return fmt.Errorf("dist: status reply: %w", err)
+			}
+		case kindFinish:
+			close(quit)
+			<-loopDone
+			if evalErr != nil {
+				return evalErr
+			}
+			out := ctrlMsg{Kind: kindOutput, Output: map[string][][]ast.Value{}, Stats: node.Stats()}
+			for pred, rel := range node.Outputs() {
+				if rel.Len() == 0 {
+					continue
+				}
+				ts := make([][]ast.Value, rel.Len())
+				for i, t := range rel.Rows() {
+					ts[i] = t
+				}
+				out.Output[pred] = ts
+			}
+			if err := enc.Encode(out); err != nil {
+				return fmt.Errorf("dist: output: %w", err)
+			}
+			return nil
+		default:
+			close(quit)
+			<-loopDone
+			return fmt.Errorf("dist: unexpected control kind %d", msg.Kind)
+		}
+	}
+}

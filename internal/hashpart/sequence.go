@@ -1,0 +1,145 @@
+package hashpart
+
+import (
+	"fmt"
+
+	"parlog/internal/ast"
+	"parlog/internal/relation"
+)
+
+// ValidateSequence checks that seq is a legal discriminating sequence for
+// rule under the paper's restrictions: every variable of the sequence must
+// occur in the rule, and — to keep the hash selection pushable into the
+// joins (Section 3) — every variable must occur in at least one body atom.
+func ValidateSequence(rule ast.Rule, seq []string) error {
+	if len(seq) == 0 {
+		return fmt.Errorf("hashpart: empty discriminating sequence")
+	}
+	bodyVars := rule.BodyVars()
+	for _, v := range seq {
+		found := false
+		for _, bv := range bodyVars {
+			if bv == v {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("hashpart: discriminating variable %s does not occur in the rule body", v)
+		}
+	}
+	return nil
+}
+
+// ValidateSubsetOf checks the Section 6 restriction that every variable of
+// the recursive rule's discriminating sequence also appears in Ȳ (the
+// arguments of the recursive body atom), so that a received tuple determines
+// its own h-value.
+func ValidateSubsetOf(seq, within []string, what string) error {
+	for _, v := range seq {
+		found := false
+		for _, w := range within {
+			if w == v {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("hashpart: discriminating variable %s does not occur in %s", v, what)
+		}
+	}
+	return nil
+}
+
+// SeqPositions maps each variable of seq to its first argument position in
+// atom, returning ok=false if some variable does not occur in atom. When ok,
+// the ground instance of seq for a tuple t of atom's relation is
+// t[pos[0]], …, t[pos[k-1]] (valid only for tuples that actually match the
+// atom's repeated-variable/constant pattern).
+func SeqPositions(atom ast.Atom, seq []string) (pos []int, ok bool) {
+	pos = make([]int, len(seq))
+	for i, v := range seq {
+		found := -1
+		for j, t := range atom.Args {
+			if t.IsVar() && t.VarName == v {
+				found = j
+				break
+			}
+		}
+		if found < 0 {
+			return nil, false
+		}
+		pos[i] = found
+	}
+	return pos, true
+}
+
+// MatchesPattern reports whether tuple is consistent with atom's constants
+// and repeated variables (e.g. p(X, X, a) only matches tuples with equal
+// first two fields and third field a).
+func MatchesPattern(atom ast.Atom, tuple relation.Tuple) bool {
+	return ast.MatchAtom(atom, tuple, ast.Subst{})
+}
+
+// FragmentAtom computes the per-processor fragments of rel as accessed
+// through atom under the discriminating sequence seq and function h — the
+// paper's b_k^i. If every variable of seq occurs in atom, tuple t belongs
+// exactly to processor h(seq θ) where θ = match(atom, t), and partitioned is
+// true; tuples that cannot match atom's pattern are dropped from every
+// fragment. Otherwise the selection cannot be pushed into this atom, the
+// relation is replicated in full, and partitioned is false.
+//
+// Fragments are returned indexed by the dense processor index of procs.
+// Tuples whose h-value falls outside procs are dropped (they could never
+// satisfy the processing rule's constraint at any processor).
+func FragmentAtom(atom ast.Atom, seq []string, h Func, procs *ProcSet, rel *relation.Relation) (frags []*relation.Relation, partitioned bool) {
+	frags = make([]*relation.Relation, procs.Len())
+	for i := range frags {
+		frags[i] = relation.New(rel.Arity())
+	}
+	pos, ok := SeqPositions(atom, seq)
+	if !ok {
+		for _, t := range rel.Rows() {
+			for _, f := range frags {
+				f.Insert(t)
+			}
+		}
+		return frags, false
+	}
+	vals := make([]ast.Value, len(pos))
+	for _, t := range rel.Rows() {
+		if !MatchesPattern(atom, t) {
+			continue
+		}
+		for i, p := range pos {
+			vals[i] = t[p]
+		}
+		if idx, ok := procs.Index(h.Apply(vals)); ok {
+			frags[idx].Insert(t)
+		}
+	}
+	return frags, true
+}
+
+// Placement describes how one base predicate is laid out across processors.
+type Placement struct {
+	Pred string
+	// Partitioned is true when every processor holds a disjoint fragment.
+	Partitioned bool
+	// TuplesPerProc[i] is the fragment size at the i-th processor.
+	TuplesPerProc []int
+}
+
+// ReplicationFactor is total stored tuples divided by the relation size —
+// 1.0 for a perfect partition of a matching-pattern-only relation, N for
+// full replication.
+func (p Placement) ReplicationFactor(relSize int) float64 {
+	if relSize == 0 {
+		return 0
+	}
+	total := 0
+	for _, n := range p.TuplesPerProc {
+		total += n
+	}
+	return float64(total) / float64(relSize)
+}

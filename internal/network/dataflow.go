@@ -1,0 +1,209 @@
+// Package network implements Section 5 of the paper: dataflow graphs
+// (Definition 2, Figures 1–2), the Theorem 3 construction of
+// communication-free schemes from dataflow cycles, and the compile-time
+// derivation of the minimal network graph (Figures 3–4) by solving the
+// paper's constraint systems over bit-valued g functions — including the
+// linear-equation formulation of Example 7.
+package network
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"parlog/internal/analysis"
+	"parlog/internal/hashpart"
+	"parlog/internal/rewrite"
+)
+
+// Dataflow is the dataflow graph of a linear recursive rule (Definition 2):
+// argument positions are 1-based; an edge i→j exists when the variable at
+// position i of the recursive body atom reappears at position j of the head.
+type Dataflow struct {
+	// Arity is the number of argument positions of the recursive predicate.
+	Arity int
+	// Succ maps each position to its sorted successor positions.
+	Succ map[int][]int
+}
+
+// NewDataflow builds the dataflow graph of the sirup's recursive rule.
+func NewDataflow(s *analysis.Sirup) *Dataflow {
+	g := &Dataflow{Arity: len(s.HeadVars), Succ: make(map[int][]int)}
+	for i, y := range s.BodyVars {
+		for j, x := range s.HeadVars {
+			if y == x {
+				g.Succ[i+1] = append(g.Succ[i+1], j+1)
+			}
+		}
+	}
+	for i := range g.Succ {
+		sort.Ints(g.Succ[i])
+	}
+	return g
+}
+
+// Edges returns the edge list sorted by (from, to).
+func (g *Dataflow) Edges() [][2]int {
+	var out [][2]int
+	for i, succ := range g.Succ {
+		for _, j := range succ {
+			out = append(out, [2]int{i, j})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a][0] != out[b][0] {
+			return out[a][0] < out[b][0]
+		}
+		return out[a][1] < out[b][1]
+	})
+	return out
+}
+
+// HasEdge reports whether i→j is in the graph.
+func (g *Dataflow) HasEdge(i, j int) bool {
+	for _, k := range g.Succ[i] {
+		if k == j {
+			return true
+		}
+	}
+	return false
+}
+
+// Cycle returns the positions of one directed cycle (in traversal order), or
+// nil if the graph is acyclic. A self-loop yields a single-element cycle.
+func (g *Dataflow) Cycle() []int {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[int]int)
+	parent := make(map[int]int)
+	var cycle []int
+	var dfs func(u int) bool
+	dfs = func(u int) bool {
+		color[u] = gray
+		for _, v := range g.Succ[u] {
+			switch color[v] {
+			case white:
+				parent[v] = u
+				if dfs(v) {
+					return true
+				}
+			case gray:
+				// Found a back edge u→v: reconstruct v … u.
+				cycle = []int{v}
+				for w := u; w != v; w = parent[w] {
+					cycle = append(cycle, w)
+				}
+				// cycle currently v, u, …, successor(v): reverse the tail so
+				// the order follows the edges.
+				for a, b := 1, len(cycle)-1; a < b; a, b = a+1, b-1 {
+					cycle[a], cycle[b] = cycle[b], cycle[a]
+				}
+				return true
+			}
+		}
+		color[u] = black
+		return false
+	}
+	nodes := make([]int, 0, len(g.Succ))
+	for u := range g.Succ {
+		nodes = append(nodes, u)
+	}
+	sort.Ints(nodes)
+	for _, u := range nodes {
+		if color[u] == white && dfs(u) {
+			return cycle
+		}
+	}
+	return nil
+}
+
+// String renders the graph in the paper's figure style: a simple path or
+// cycle prints as "1 → 2 → 3"; anything else prints as a sorted edge list.
+func (g *Dataflow) String() string {
+	edges := g.Edges()
+	if len(edges) == 0 {
+		return "(empty)"
+	}
+	// Try to render as a single chain: each node has ≤1 successor and ≤1
+	// predecessor.
+	outDeg := map[int]int{}
+	inDeg := map[int]int{}
+	for _, e := range edges {
+		outDeg[e[0]]++
+		inDeg[e[1]]++
+	}
+	chainable := true
+	for _, e := range edges {
+		if outDeg[e[0]] > 1 || inDeg[e[1]] > 1 {
+			chainable = false
+		}
+	}
+	if chainable {
+		// Find the start: a node with no predecessor (or any node on a pure
+		// cycle).
+		start := -1
+		for _, e := range edges {
+			if inDeg[e[0]] == 0 {
+				start = e[0]
+				break
+			}
+		}
+		if start < 0 {
+			start = edges[0][0]
+		}
+		var parts []string
+		parts = append(parts, fmt.Sprintf("%d", start))
+		cur := start
+		for range edges {
+			succ := g.Succ[cur]
+			if len(succ) == 0 {
+				break
+			}
+			cur = succ[0]
+			parts = append(parts, fmt.Sprintf("%d", cur))
+			if cur == start {
+				break
+			}
+		}
+		return strings.Join(parts, " → ")
+	}
+	var parts []string
+	for _, e := range edges {
+		parts = append(parts, fmt.Sprintf("%d→%d", e[0], e[1]))
+	}
+	return strings.Join(parts, ", ")
+}
+
+// CommFree implements Theorem 3 constructively: if the dataflow graph has a
+// cycle, it returns a SirupSpec (discriminating sequences and a
+// permutation-invariant hash) whose parallel execution provably never
+// communicates between distinct processors. The recipe: take v(r) to be the
+// recursive body atom's variables at the cycle positions, v(e) the exit
+// head's variables at the same positions, and h = h' a symmetric hash —
+// along the cycle, producer and consumer values are cyclic permutations of
+// each other, so both hash to the same processor.
+func CommFree(s *analysis.Sirup, procs *hashpart.ProcSet) (*rewrite.SirupSpec, error) {
+	g := NewDataflow(s)
+	cyc := g.Cycle()
+	if cyc == nil {
+		return nil, fmt.Errorf("network: dataflow graph %s has no cycle; Theorem 3 does not apply", g)
+	}
+	n := procs.Len()
+	ids := procs.IDs()
+	for k, id := range ids {
+		if id != k {
+			return nil, fmt.Errorf("network: CommFree requires processors {0..N-1}, got %v", ids)
+		}
+	}
+	vr := make([]string, 0, len(cyc))
+	ve := make([]string, 0, len(cyc))
+	for _, pos := range cyc {
+		vr = append(vr, s.BodyVars[pos-1])
+		ve = append(ve, s.ExitVars[pos-1])
+	}
+	h := hashpart.SymHash{N: n}
+	return &rewrite.SirupSpec{Procs: procs, VR: vr, VE: ve, H: h, HP: h}, nil
+}

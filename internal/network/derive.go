@@ -1,0 +1,222 @@
+package network
+
+import (
+	"fmt"
+	"sort"
+
+	"parlog/internal/analysis"
+	"parlog/internal/hashpart"
+)
+
+// BitFunc is a discriminating function expressed at the level of g-values:
+// it maps the bit vector (g(a_1), …, g(a_k)) of a ground instance of the
+// discriminating sequence to a processor id. Section 5 derives network
+// graphs by solving constraint systems over these bits, so the derivation
+// never looks at actual data.
+type BitFunc func(bits []int) int
+
+// BitVectorF is Example 6's h at the bit level: the k bits read MSB-first as
+// an integer, matching hashpart.BitVector.
+func BitVectorF(k int) BitFunc {
+	return func(bits []int) int {
+		id := 0
+		for _, b := range bits {
+			id = id<<1 | (b & 1)
+		}
+		return id
+	}
+}
+
+// LinearF is Example 7's h at the bit level: Σ coefs[i]·bit[i], matching
+// hashpart.Linear.
+func LinearF(coefs []int) BitFunc {
+	return func(bits []int) int {
+		s := 0
+		for i, b := range bits {
+			s += coefs[i] * b
+		}
+		return s
+	}
+}
+
+// Derivation is a derived network graph: the set of processor pairs (i, j)
+// such that some database could make processor i send a tuple to processor
+// j. Everything outside Edges is guaranteed channel-free for every input —
+// the data-independence property of Section 5.
+type Derivation struct {
+	Procs *hashpart.ProcSet
+	// Edges holds the permissible communication pairs, sorted, including
+	// self-pairs (which need no physical link).
+	Edges [][2]int
+	edges map[[2]int]bool
+}
+
+// HasEdge reports whether i→j is permissible.
+func (d *Derivation) HasEdge(i, j int) bool { return d.edges[[2]int{i, j}] }
+
+// CrossEdges returns the edges with i ≠ j — the physical links the network
+// needs.
+func (d *Derivation) CrossEdges() [][2]int {
+	var out [][2]int
+	for _, e := range d.Edges {
+		if e[0] != e[1] {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// String renders the network as a sorted adjacency list.
+func (d *Derivation) String() string {
+	adj := make(map[int][]int)
+	for _, e := range d.Edges {
+		adj[e[0]] = append(adj[e[0]], e[1])
+	}
+	keys := make([]int, 0, len(adj))
+	for k := range adj {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	out := ""
+	for _, k := range keys {
+		out += fmt.Sprintf("%d → %v\n", k, adj[k])
+	}
+	return out
+}
+
+// Derive computes the network graph of a linear sirup under discriminating
+// sequences vr (recursive rule) and ve (exit rule) and bit-level functions F
+// and F′, with g ranging over {0,1}. It enumerates every boolean assignment
+// of the g-values of the producing rule instance (plus free bits for
+// consumer-side discriminating variables that do not occur in Ȳ) and records
+// the producer→consumer processor pair of each solution — exactly the
+// system of equations of Example 7, solved by exhaustion. Only pairs whose
+// ids lie in procs are kept.
+func Derive(s *analysis.Sirup, vr, ve []string, F, Fp BitFunc, procs *hashpart.ProcSet) (*Derivation, error) {
+	return DeriveRadix(s, vr, ve, F, Fp, procs, 2)
+}
+
+// DeriveRadix generalizes Derive to g functions with range {0,…,radix−1} —
+// the paper fixes radix 2 in its examples, but nothing in the analysis
+// depends on it; larger ranges give finer processor sets at exponentially
+// larger (still compile-time) solving cost.
+func DeriveRadix(s *analysis.Sirup, vr, ve []string, F, Fp BitFunc, procs *hashpart.ProcSet, radix int) (*Derivation, error) {
+	if len(vr) == 0 || len(ve) == 0 {
+		return nil, fmt.Errorf("network: empty discriminating sequence")
+	}
+	if radix < 2 {
+		return nil, fmt.Errorf("network: radix %d < 2", radix)
+	}
+	d := &Derivation{Procs: procs, edges: make(map[[2]int]bool)}
+
+	// posInY[v] is the position of discriminating variable v within Ȳ, or −1
+	// when the consumer's value for v is unconstrained by the arriving tuple.
+	posInY := make([]int, len(vr))
+	for k, v := range vr {
+		posInY[k] = -1
+		for l, y := range s.BodyVars {
+			if y == v {
+				posInY[k] = l
+				break
+			}
+		}
+	}
+
+	// If Ȳ repeats a variable at positions l1 and l2, only tuples with equal
+	// components there are ever consumed; at the bit level this forces the
+	// produced head's g-values at l1 and l2 to agree.
+	var eqPairs [][2]int
+	for l1 := range s.BodyVars {
+		for l2 := l1 + 1; l2 < len(s.BodyVars); l2++ {
+			if s.BodyVars[l1] == s.BodyVars[l2] {
+				eqPairs = append(eqPairs, [2]int{l1, l2})
+			}
+		}
+	}
+
+	var derr error
+	addCase := func(producerVars []string, prodSeq []string, prodF BitFunc, headVars []string) {
+		// Index the producer instance's variables.
+		idx := map[string]int{}
+		for _, v := range producerVars {
+			if _, ok := idx[v]; !ok {
+				idx[v] = len(idx)
+			}
+		}
+		// Free bits: consumer discriminating values not determined by the
+		// arriving tuple.
+		freeBase := len(idx)
+		freeCount := 0
+		consSrc := make([]int, len(vr)) // bit index supplying consumer value k
+		for k := range vr {
+			if posInY[k] >= 0 {
+				consSrc[k] = idx[headVars[posInY[k]]]
+			} else {
+				consSrc[k] = freeBase + freeCount
+				freeCount++
+			}
+		}
+		total := freeBase + freeCount
+		combos := 1
+		for k := 0; k < total; k++ {
+			if combos > 1<<24/radix {
+				derr = fmt.Errorf("network: %d unknowns at radix %d exceed the exhaustive solver's limit", total, radix)
+				return
+			}
+			combos *= radix
+		}
+		digits := make([]int, total)
+		prodBits := make([]int, len(prodSeq))
+		consBits := make([]int, len(vr))
+	masks:
+		for mask := 0; mask < combos; mask++ {
+			m := mask
+			for k := 0; k < total; k++ {
+				digits[k] = m % radix
+				m /= radix
+			}
+			for _, eq := range eqPairs {
+				if digits[idx[headVars[eq[0]]]] != digits[idx[headVars[eq[1]]]] {
+					continue masks
+				}
+			}
+			for k, v := range prodSeq {
+				prodBits[k] = digits[idx[v]]
+			}
+			i := prodF(prodBits)
+			if !procs.Contains(i) {
+				continue
+			}
+			for k := range vr {
+				consBits[k] = digits[consSrc[k]]
+			}
+			j := F(consBits)
+			if !procs.Contains(j) {
+				continue
+			}
+			d.edges[[2]int{i, j}] = true
+		}
+	}
+
+	// Case 1: the tuple was produced by the recursive rule. The producer's
+	// variables are the recursive rule's; the consumer's value for the
+	// discriminating variable at position l of Ȳ is the produced head's
+	// value at position l.
+	addCase(s.Rec.Vars(), vr, F, s.HeadVars)
+	// Case 2: the tuple was produced by the exit rule.
+	addCase(s.Exit.Vars(), ve, Fp, s.ExitVars)
+	if derr != nil {
+		return nil, derr
+	}
+
+	for e := range d.edges {
+		d.Edges = append(d.Edges, e)
+	}
+	sort.Slice(d.Edges, func(a, b int) bool {
+		if d.Edges[a][0] != d.Edges[b][0] {
+			return d.Edges[a][0] < d.Edges[b][0]
+		}
+		return d.Edges[a][1] < d.Edges[b][1]
+	})
+	return d, nil
+}

@@ -1,0 +1,428 @@
+package network
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"parlog/internal/analysis"
+	"parlog/internal/hashpart"
+	"parlog/internal/parallel"
+	"parlog/internal/parser"
+	"parlog/internal/relation"
+	"parlog/internal/rewrite"
+	"parlog/internal/seminaive"
+)
+
+func mustSirup(t *testing.T, src string) *analysis.Sirup {
+	t.Helper()
+	s, err := analysis.ExtractSirup(parser.MustParse(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// --- Figures 1 and 2: dataflow graphs ---
+
+// TestFigure1 reproduces Figure 1: the dataflow graph of
+// p(U,V,W) :- p(V,W,Z), q(U,Z) is the path 1 → 2 → 3.
+func TestFigure1(t *testing.T) {
+	s := mustSirup(t, `
+p(U, V, W) :- s(U, V, W).
+p(U, V, W) :- p(V, W, Z), q(U, Z).
+`)
+	g := NewDataflow(s)
+	if !g.HasEdge(1, 2) || !g.HasEdge(2, 3) {
+		t.Errorf("edges = %v, want 1→2 and 2→3", g.Edges())
+	}
+	if len(g.Edges()) != 2 {
+		t.Errorf("extra edges: %v", g.Edges())
+	}
+	if got := g.String(); got != "1 → 2 → 3" {
+		t.Errorf("String() = %q, want \"1 → 2 → 3\"", got)
+	}
+	if g.Cycle() != nil {
+		t.Errorf("acyclic graph reported cycle %v", g.Cycle())
+	}
+}
+
+// TestFigure2 reproduces Figure 2: the ancestor rule's dataflow graph has
+// the self-loop 2 → 2 (variable Y at position 2 of both body atom and head).
+func TestFigure2(t *testing.T) {
+	s := mustSirup(t, `
+anc(X, Y) :- par(X, Y).
+anc(X, Y) :- par(X, Z), anc(Z, Y).
+`)
+	g := NewDataflow(s)
+	if !g.HasEdge(2, 2) {
+		t.Errorf("edges = %v, want self-loop 2→2", g.Edges())
+	}
+	if len(g.Edges()) != 1 {
+		t.Errorf("extra edges: %v", g.Edges())
+	}
+	cyc := g.Cycle()
+	if len(cyc) != 1 || cyc[0] != 2 {
+		t.Errorf("Cycle() = %v, want [2]", cyc)
+	}
+}
+
+func TestDataflowLongCycle(t *testing.T) {
+	// p(X,Y) :- p(Y,X), r(X,Y): 1→2 (Y at pos1 = head pos2), 2→1.
+	s := mustSirup(t, `
+p(X, Y) :- q(X, Y).
+p(X, Y) :- p(Y, X), r(X, Y).
+`)
+	g := NewDataflow(s)
+	cyc := g.Cycle()
+	if len(cyc) != 2 {
+		t.Fatalf("Cycle() = %v, want a 2-cycle", cyc)
+	}
+}
+
+func TestDataflowEmpty(t *testing.T) {
+	// No body variable reappears in the head position-wise.
+	s := mustSirup(t, `
+p(X, Y) :- q(X, Y).
+p(X, Y) :- p(U, V), r(U, V, X, Y).
+`)
+	g := NewDataflow(s)
+	if len(g.Edges()) != 0 {
+		t.Errorf("edges = %v, want none", g.Edges())
+	}
+	if g.String() != "(empty)" {
+		t.Errorf("String() = %q", g.String())
+	}
+}
+
+// --- Theorem 3 ---
+
+// TestTheorem3Ancestor: the constructive communication-free choice for the
+// ancestor program must pick v(r)=⟨Y⟩ (position 2) and incur zero traffic.
+func TestTheorem3Ancestor(t *testing.T) {
+	src := `
+anc(X, Y) :- par(X, Y).
+anc(X, Y) :- par(X, Z), anc(Z, Y).
+`
+	var facts strings.Builder
+	rng := rand.New(rand.NewSource(11))
+	for k := 0; k < 30; k++ {
+		fmt.Fprintf(&facts, "par(v%d, v%d).\n", rng.Intn(12), rng.Intn(12))
+	}
+	prog := parser.MustParse(src + facts.String())
+	s, err := analysis.ExtractSirup(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := CommFree(s, hashpart.RangeProcs(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.VR) != 1 || spec.VR[0] != "Y" {
+		t.Errorf("v(r) = %v, want [Y]", spec.VR)
+	}
+	if len(spec.VE) != 1 || spec.VE[0] != "Y" {
+		t.Errorf("v(e) = %v, want [Y]", spec.VE)
+	}
+	p, err := parallel.BuildQ(s, *spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := parallel.Run(p, relation.Store{}, parallel.RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Stats.TotalTuplesSent(); got != 0 {
+		t.Errorf("Theorem 3 scheme sent %d tuples, want 0", got)
+	}
+	seq, _, err := seminaive.Eval(prog, relation.Store{}, seminaive.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !seq["anc"].Equal(res.Output["anc"]) {
+		t.Error("Theorem 3 scheme produced a different least model")
+	}
+}
+
+// TestTheorem3LongCycle: a 2-cycle needs the symmetric hash; verify zero
+// communication and correctness on p(X,Y) :- p(Y,X), r(X,Y).
+func TestTheorem3LongCycle(t *testing.T) {
+	var b strings.Builder
+	b.WriteString(`
+p(X, Y) :- q(X, Y).
+p(X, Y) :- p(Y, X), r(X, Y).
+`)
+	rng := rand.New(rand.NewSource(13))
+	for k := 0; k < 15; k++ {
+		fmt.Fprintf(&b, "q(c%d, c%d).\n", rng.Intn(8), rng.Intn(8))
+		fmt.Fprintf(&b, "r(c%d, c%d).\n", rng.Intn(8), rng.Intn(8))
+	}
+	prog := parser.MustParse(b.String())
+	s, err := analysis.ExtractSirup(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := CommFree(s, hashpart.RangeProcs(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := parallel.BuildQ(s, *spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := parallel.Run(p, relation.Store{}, parallel.RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Stats.TotalTuplesSent(); got != 0 {
+		t.Errorf("2-cycle Theorem 3 scheme sent %d tuples, want 0", got)
+	}
+	seq, _, err := seminaive.Eval(prog, relation.Store{}, seminaive.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !seq["p"].Equal(res.Output["p"]) {
+		t.Error("least models differ")
+	}
+}
+
+func TestCommFreeRequiresCycle(t *testing.T) {
+	s := mustSirup(t, `
+p(U, V, W) :- s(U, V, W).
+p(U, V, W) :- p(V, W, Z), q(U, Z).
+`)
+	if _, err := CommFree(s, hashpart.RangeProcs(2)); err == nil {
+		t.Error("CommFree accepted an acyclic dataflow graph")
+	}
+}
+
+// --- Figure 3: Example 6's network graph ---
+
+var example6Src = `
+p(X, Y) :- q(X, Y).
+p(X, Y) :- p(Y, Z), r(X, Z).
+`
+
+// TestFigure3NetworkGraph derives Example 6's network: with
+// h(a,b)=(g(a),g(b)), processor (ab) may send only to (c a) for c ∈ {0,1};
+// exit-rule production adds only self-loops.
+func TestFigure3NetworkGraph(t *testing.T) {
+	s := mustSirup(t, example6Src)
+	procs := hashpart.RangeProcs(4) // (00)=0 (01)=1 (10)=2 (11)=3
+	d, err := Derive(s, []string{"Y", "Z"}, []string{"X", "Y"}, BitVectorF(2), BitVectorF(2), procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// From (a,b), destinations are (c,a): encode (ab) as 2a+b.
+	want := map[[2]int]bool{}
+	for a := 0; a <= 1; a++ {
+		for b := 0; b <= 1; b++ {
+			for c := 0; c <= 1; c++ {
+				want[[2]int{2*a + b, 2*c + a}] = true
+			}
+		}
+	}
+	// Exit self-loops.
+	for i := 0; i < 4; i++ {
+		want[[2]int{i, i}] = true
+	}
+	for e := range want {
+		if !d.HasEdge(e[0], e[1]) {
+			t.Errorf("missing predicted edge %v→%v", e[0], e[1])
+		}
+	}
+	for _, e := range d.Edges {
+		if !want[e] {
+			t.Errorf("unexpected edge %v→%v", e[0], e[1])
+		}
+	}
+	// The paper's explicit claims: (00) never sends to (01) or (11).
+	if d.HasEdge(0, 1) || d.HasEdge(0, 3) {
+		t.Error("Example 6: (00) must not communicate with (01)/(11)")
+	}
+	if !d.HasEdge(0, 2) {
+		t.Error("Example 6: (00)→(10) must be possible")
+	}
+}
+
+// --- Figure 4: Example 7's network graph via linear equations ---
+
+func TestFigure4NetworkGraph(t *testing.T) {
+	s := mustSirup(t, `
+p(U, V, W) :- s(U, V, W).
+p(U, V, W) :- p(V, W, Z), q(U, Z).
+`)
+	procs := hashpart.NewProcSet(-1, 0, 1, 2)
+	coefs := []int{1, -1, 1} // h = g(a1) − g(a2) + g(a3)
+	d, err := Derive(s, []string{"V", "W", "Z"}, []string{"U", "V", "W"},
+		LinearF(coefs), LinearF(coefs), procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Solve the paper's system (4)–(5) independently here as the oracle:
+	// u = x2−x3+x4, v = x1−x2+x3 over x ∈ {0,1}^4, plus exit self-loops.
+	want := map[[2]int]bool{}
+	for x := 0; x < 16; x++ {
+		x1, x2, x3, x4 := x&1, x>>1&1, x>>2&1, x>>3&1
+		u := x2 - x3 + x4
+		v := x1 - x2 + x3
+		want[[2]int{u, v}] = true
+	}
+	for _, i := range procs.IDs() {
+		want[[2]int{i, i}] = true
+	}
+	for e := range want {
+		if !d.HasEdge(e[0], e[1]) {
+			t.Errorf("missing edge %d→%d", e[0], e[1])
+		}
+	}
+	for _, e := range d.Edges {
+		if !want[e] {
+			t.Errorf("unexpected edge %d→%d", e[0], e[1])
+		}
+	}
+	// The paper's observation: solving (1)+(2) alone (exit production) gives
+	// only i=j, so any cross edge must come from recursive production.
+	for _, e := range d.CrossEdges() {
+		if e[0] == e[1] {
+			t.Errorf("CrossEdges returned self-loop %v", e)
+		}
+	}
+}
+
+// --- Soundness + minimality of the derivation against real executions ---
+
+func TestNetworkSoundnessAndMinimalityExample6(t *testing.T) {
+	s := mustSirup(t, example6Src)
+	procs := hashpart.RangeProcs(4)
+	F := BitVectorF(2)
+	d, err := Derive(s, []string{"Y", "Z"}, []string{"X", "Y"}, F, F, procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := FuncFromBits("h6", F, hashpart.GParity)
+	spec := rewrite.SirupSpec{
+		Procs: procs,
+		VR:    []string{"Y", "Z"}, VE: []string{"X", "Y"},
+		H: h, HP: h,
+	}
+	rep, err := FindWitnesses(s, d, spec, 60, 6, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) > 0 {
+		t.Errorf("soundness violated: unpredicted channels used: %v", rep.Violations)
+	}
+	if !rep.AllWitnessed() {
+		missing := []string{}
+		for e, ok := range rep.Witnessed {
+			if !ok {
+				missing = append(missing, fmt.Sprintf("%d→%d", e[0], e[1]))
+			}
+		}
+		t.Errorf("minimality unconfirmed after %d trials; unwitnessed: %v", rep.Trials, missing)
+	}
+}
+
+// TestRestrictedTopologyExample6: executing Example 6 on exactly the derived
+// network must succeed and produce the sequential least model.
+func TestRestrictedTopologyExample6(t *testing.T) {
+	var b strings.Builder
+	b.WriteString(example6Src)
+	rng := rand.New(rand.NewSource(5))
+	for k := 0; k < 20; k++ {
+		fmt.Fprintf(&b, "q(c%d, c%d).\n", rng.Intn(9), rng.Intn(9))
+		fmt.Fprintf(&b, "r(c%d, c%d).\n", rng.Intn(9), rng.Intn(9))
+	}
+	prog := parser.MustParse(b.String())
+	s, err := analysis.ExtractSirup(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	procs := hashpart.RangeProcs(4)
+	F := BitVectorF(2)
+	d, err := Derive(s, []string{"Y", "Z"}, []string{"X", "Y"}, F, F, procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := FuncFromBits("h6", F, hashpart.GParity)
+	p, err := parallel.BuildQ(s, rewrite.SirupSpec{
+		Procs: procs,
+		VR:    []string{"Y", "Z"}, VE: []string{"X", "Y"},
+		H: h, HP: h,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := parallel.Run(p, relation.Store{},
+		parallel.RunConfig{Topology: parallel.NewTopology(d.CrossEdges())})
+	if err != nil {
+		t.Fatalf("derived topology insufficient: %v", err)
+	}
+	seq, _, err := seminaive.Eval(prog, relation.Store{}, seminaive.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !seq["p"].Equal(res.Output["p"]) {
+		t.Error("restricted execution differs from sequential")
+	}
+}
+
+func TestDeriveValidation(t *testing.T) {
+	s := mustSirup(t, example6Src)
+	if _, err := Derive(s, nil, []string{"X"}, BitVectorF(0), BitVectorF(1), hashpart.RangeProcs(2)); err == nil {
+		t.Error("empty v(r) accepted")
+	}
+}
+
+func TestDerivationString(t *testing.T) {
+	s := mustSirup(t, example6Src)
+	d, err := Derive(s, []string{"Y", "Z"}, []string{"X", "Y"}, BitVectorF(2), BitVectorF(2), hashpart.RangeProcs(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	str := d.String()
+	if !strings.Contains(str, "0 → ") {
+		t.Errorf("String() = %q", str)
+	}
+}
+
+// TestNetworkSoundnessExample7: the linear-hash derivation must also be
+// sound against real executions over the sparse processor set {−1,0,1,2}.
+func TestNetworkSoundnessExample7(t *testing.T) {
+	s := mustSirup(t, `
+p(U, V, W) :- s(U, V, W).
+p(U, V, W) :- p(V, W, Z), q(U, Z).
+`)
+	procs := hashpart.NewProcSet(-1, 0, 1, 2)
+	F := LinearF([]int{1, -1, 1})
+	d, err := Derive(s, []string{"V", "W", "Z"}, []string{"U", "V", "W"}, F, F, procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := FuncFromBits("h7", F, hashpart.GParity)
+	spec := rewrite.SirupSpec{
+		Procs: procs,
+		VR:    []string{"V", "W", "Z"}, VE: []string{"U", "V", "W"},
+		H: h, HP: h,
+	}
+	rep, err := FindWitnesses(s, d, spec, 50, 5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) > 0 {
+		t.Errorf("unpredicted channels used: %v", rep.Violations)
+	}
+	witnessed := 0
+	for _, ok := range rep.Witnessed {
+		if ok {
+			witnessed++
+		}
+	}
+	// Soundness must be perfect; minimality witnesses should cover most of
+	// the 8 predicted edges on this budget.
+	if witnessed < len(rep.Witnessed)/2 {
+		t.Errorf("only %d/%d edges witnessed", witnessed, len(rep.Witnessed))
+	}
+}

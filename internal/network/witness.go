@@ -1,0 +1,114 @@
+package network
+
+import (
+	"fmt"
+	"math/rand"
+
+	"parlog/internal/analysis"
+	"parlog/internal/ast"
+	"parlog/internal/hashpart"
+	"parlog/internal/parallel"
+	"parlog/internal/relation"
+	"parlog/internal/rewrite"
+)
+
+// FuncFromBits lifts a bit-level BitFunc to a runtime discriminating
+// function: h(a_1,…,a_k) = F(g(a_1),…,g(a_k)). Executions with this h are
+// exactly the ones the Derive analysis reasons about, which is what lets the
+// witness search compare predictions with real channel usage.
+func FuncFromBits(name string, f BitFunc, g hashpart.G) hashpart.Func {
+	return bitsFunc{name: name, f: f, g: g}
+}
+
+type bitsFunc struct {
+	name string
+	f    BitFunc
+	g    hashpart.G
+}
+
+// Name implements hashpart.Func.
+func (b bitsFunc) Name() string { return b.name }
+
+// Apply implements hashpart.Func.
+func (b bitsFunc) Apply(vals []ast.Value) int {
+	bits := make([]int, len(vals))
+	for i, v := range vals {
+		bits[i] = b.g(v)
+	}
+	return b.f(bits)
+}
+
+// WitnessReport is the outcome of an empirical minimality check.
+type WitnessReport struct {
+	// Witnessed maps each derived cross edge to whether some database made
+	// the execution use it (the minimality direction).
+	Witnessed map[[2]int]bool
+	// Violations lists channel uses not predicted by the derivation (the
+	// soundness direction) — must be empty.
+	Violations [][2]int
+	// Trials is the number of databases executed.
+	Trials int
+}
+
+// AllWitnessed reports whether every derived cross edge was exercised.
+func (w *WitnessReport) AllWitnessed() bool {
+	for _, ok := range w.Witnessed {
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// FindWitnesses executes the sirup under spec on random small databases and
+// compares actual channel usage against the derivation d: every used cross
+// channel must be predicted (soundness of Section 5's data-independence
+// claim), and the search tries to exhibit a witness database for every
+// predicted cross edge (the minimality claim). spec.H must be the lifted
+// version (FuncFromBits) of the F handed to Derive, likewise spec.HP for F′.
+func FindWitnesses(s *analysis.Sirup, d *Derivation, spec rewrite.SirupSpec, trials, pool int, seed int64) (*WitnessReport, error) {
+	prog, err := parallel.BuildQ(s, spec)
+	if err != nil {
+		return nil, err
+	}
+	report := &WitnessReport{Witnessed: make(map[[2]int]bool)}
+	for _, e := range d.CrossEdges() {
+		report.Witnessed[e] = false
+	}
+	arities := s.Program.Arities()
+	idb := map[string]bool{s.T: true}
+	rng := rand.New(rand.NewSource(seed))
+
+	for trial := 0; trial < trials; trial++ {
+		report.Trials++
+		edb := relation.Store{}
+		for pred, ar := range arities {
+			if idb[pred] {
+				continue
+			}
+			rel := edb.Get(pred, ar)
+			n := 1 + rng.Intn(pool*2)
+			for k := 0; k < n; k++ {
+				t := make(relation.Tuple, ar)
+				for c := range t {
+					t[c] = ast.Value(rng.Intn(pool))
+				}
+				rel.Insert(t)
+			}
+		}
+		res, err := parallel.Run(prog, edb, parallel.RunConfig{})
+		if err != nil {
+			return nil, fmt.Errorf("trial %d: %w", trial, err)
+		}
+		for _, e := range res.Stats.UsedEdges() {
+			if _, predicted := report.Witnessed[e]; !predicted {
+				if !d.HasEdge(e[0], e[1]) {
+					report.Violations = append(report.Violations, e)
+				}
+				continue
+			}
+			report.Witnessed[e] = true
+		}
+	}
+	return report, nil
+}

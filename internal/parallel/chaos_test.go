@@ -1,0 +1,111 @@
+package parallel
+
+import (
+	"testing"
+	"time"
+
+	"parlog/internal/hashpart"
+	"parlog/internal/parser"
+	"parlog/internal/relation"
+	"parlog/internal/rewrite"
+)
+
+// TestChaosDuplicateDelivery injects at-least-once delivery: every batch
+// arrives twice. Duplicate elimination by difference (the paper's receive
+// step) must keep results and firing counts identical, and the duplicates
+// must be visible in DupReceived.
+func TestChaosDuplicateDelivery(t *testing.T) {
+	src := ancestorRules + randomParFacts(12, 26, 31)
+	prog := parser.MustParse(src)
+	seq, seqStats := seqEval(t, prog)
+	s := mustSirup(t, prog)
+	p, err := BuildQ(s, rewrite.SirupSpec{
+		Procs: hashpart.RangeProcs(4),
+		VR:    []string{"Z"}, VE: []string{"X"},
+		H: hashpart.ModHash{N: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []TerminationMode{TermCredit, TermCounting, TermDijkstraScholten} {
+		res, err := Run(p, relation.Store{}, RunConfig{Mode: mode, ChaosDuplicate: true})
+		if err != nil {
+			t.Fatalf("mode %d: %v", mode, err)
+		}
+		if !seq["anc"].Equal(res.Output["anc"]) {
+			t.Fatalf("mode %d: duplicated delivery changed the result", mode)
+		}
+		if got, want := res.Stats.TotalFirings(), seqStats.Firings; got != want {
+			t.Errorf("mode %d: firings %d != %d — duplicates caused recomputation", mode, got, want)
+		}
+		var dup int64
+		for _, ps := range res.Stats.Procs {
+			dup += ps.DupReceived
+		}
+		if res.Stats.TotalTuplesSent() > 0 && dup == 0 {
+			t.Errorf("mode %d: duplication enabled but no duplicate receives recorded", mode)
+		}
+	}
+}
+
+// TestChaosJitter fuzzes message interleavings; across many perturbed runs
+// the result and the traffic accounting must be identical.
+func TestChaosJitter(t *testing.T) {
+	src := ancestorRules + randomParFacts(10, 22, 32)
+	prog := parser.MustParse(src)
+	seq, _ := seqEval(t, prog)
+	s := mustSirup(t, prog)
+	p, err := BuildQ(s, rewrite.SirupSpec{
+		Procs: hashpart.RangeProcs(3),
+		VR:    []string{"Z"}, VE: []string{"X"},
+		H: hashpart.ModHash{N: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sent int64 = -1
+	for trial := 0; trial < 5; trial++ {
+		res, err := Run(p, relation.Store{}, RunConfig{ChaosJitter: 200 * time.Microsecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !seq["anc"].Equal(res.Output["anc"]) {
+			t.Fatalf("trial %d: jittered run changed the result", trial)
+		}
+		if sent < 0 {
+			sent = res.Stats.TotalTuplesSent()
+		} else if sent != res.Stats.TotalTuplesSent() {
+			t.Fatalf("trial %d: traffic not schedule-independent: %d vs %d",
+				trial, sent, res.Stats.TotalTuplesSent())
+		}
+	}
+}
+
+// TestChaosDuplicateWithRestrictedTopology combines fault injection with a
+// restricted interconnect: duplicated sends still traverse only derived
+// links.
+func TestChaosDuplicateWithRestrictedTopology(t *testing.T) {
+	src := ancestorRules + randomParFacts(10, 20, 33)
+	prog := parser.MustParse(src)
+	seq, _ := seqEval(t, prog)
+	s := mustSirup(t, prog)
+	p, err := BuildQ(s, rewrite.SirupSpec{
+		Procs: hashpart.RangeProcs(2),
+		VR:    []string{"Y"}, VE: []string{"Y"},
+		H: hashpart.ModHash{N: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Example 1 needs no cross links even under duplication.
+	res, err := Run(p, relation.Store{}, RunConfig{
+		Topology:       NewTopology(nil),
+		ChaosDuplicate: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !seq["anc"].Equal(res.Output["anc"]) {
+		t.Error("result differs")
+	}
+}

@@ -1,0 +1,264 @@
+package parallel
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"parlog/internal/ast"
+	"parlog/internal/hashpart"
+	"parlog/internal/parser"
+	"parlog/internal/relation"
+	"parlog/internal/rewrite"
+)
+
+func TestTopology(t *testing.T) {
+	topo := NewTopology([][2]int{{0, 1}, {2, 0}})
+	if !topo.Allowed(0, 1) || !topo.Allowed(2, 0) {
+		t.Error("listed edges not allowed")
+	}
+	if topo.Allowed(1, 0) {
+		t.Error("missing edge allowed")
+	}
+	if !topo.Allowed(5, 5) {
+		t.Error("self-loop not allowed")
+	}
+	var nilTopo *Topology
+	if !nilTopo.Allowed(3, 4) {
+		t.Error("nil topology should be a full mesh")
+	}
+	edges := topo.Edges()
+	if len(edges) != 2 || edges[0] != [2]int{0, 1} || edges[1] != [2]int{2, 0} {
+		t.Errorf("Edges = %v", edges)
+	}
+}
+
+func TestMailboxOrderingAndNotify(t *testing.T) {
+	m := newMailbox()
+	for i := 0; i < 5; i++ {
+		m.push(message{from: i})
+	}
+	msgs := m.takeAll()
+	if len(msgs) != 5 {
+		t.Fatalf("takeAll returned %d messages", len(msgs))
+	}
+	for i, msg := range msgs {
+		if msg.from != i {
+			t.Errorf("message %d from %d — FIFO violated", i, msg.from)
+		}
+	}
+	select {
+	case <-m.notify:
+	default:
+		t.Error("notify not signalled")
+	}
+	if got := m.takeAll(); len(got) != 0 {
+		t.Errorf("second takeAll returned %d messages", len(got))
+	}
+}
+
+func TestMailboxConcurrentPush(t *testing.T) {
+	m := newMailbox()
+	const senders, per = 8, 200
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for k := 0; k < per; k++ {
+				m.push(message{from: s})
+			}
+		}(s)
+	}
+	done := make(chan int, 1)
+	go func() {
+		got := 0
+		for got < senders*per {
+			<-m.notify
+			got += len(m.takeAll())
+		}
+		done <- got
+	}()
+	wg.Wait()
+	select {
+	case got := <-done:
+		if got != senders*per {
+			t.Errorf("received %d of %d messages", got, senders*per)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("receiver never drained all messages — lost notify")
+	}
+}
+
+func TestStatsAccessors(t *testing.T) {
+	s := &Stats{
+		Procs: []ProcStats{
+			{Proc: 0, Firings: 10, TuplesSent: 3, DupFirings: 1, Busy: 5},
+			{Proc: 1, Firings: 20, TuplesSent: 0, DupFirings: 2, Busy: 9},
+		},
+		Edges: map[[2]int]*EdgeStats{
+			{0, 1}: {Messages: 2, Tuples: 3},
+			{1, 1}: {Messages: 1, Tuples: 7}, // self edge: not a cross edge
+			{1, 0}: {Messages: 0, Tuples: 0}, // unused: not reported
+		},
+	}
+	if s.TotalFirings() != 30 {
+		t.Errorf("TotalFirings = %d", s.TotalFirings())
+	}
+	if s.TotalTuplesSent() != 3 {
+		t.Errorf("TotalTuplesSent = %d", s.TotalTuplesSent())
+	}
+	if s.TotalMessages() != 3 {
+		t.Errorf("TotalMessages = %d", s.TotalMessages())
+	}
+	if s.TotalDupFirings() != 3 {
+		t.Errorf("TotalDupFirings = %d", s.TotalDupFirings())
+	}
+	if s.MaxBusy() != 9 {
+		t.Errorf("MaxBusy = %v", s.MaxBusy())
+	}
+	used := s.UsedEdges()
+	if len(used) != 1 || used[0] != [2]int{0, 1} {
+		t.Errorf("UsedEdges = %v", used)
+	}
+	if !strings.Contains(s.String(), "proc 0") || !strings.Contains(s.String(), "proc 1") {
+		t.Errorf("String() = %q", s.String())
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	prog := parser.MustParse(ancestorRules)
+	s := mustSirup(t, prog)
+	// Empty processor set.
+	if _, err := BuildQ(s, rewrite.SirupSpec{VR: []string{"Z"}, VE: []string{"X"}, H: hashpart.ModHash{N: 1}}); err == nil {
+		t.Error("nil processor set accepted")
+	}
+	// Bad discriminating variable.
+	if _, err := BuildQ(s, rewrite.SirupSpec{
+		Procs: hashpart.RangeProcs(2), VR: []string{"NOPE"}, VE: []string{"X"}, H: hashpart.ModHash{N: 2},
+	}); err == nil {
+		t.Error("unknown v(r) accepted")
+	}
+	// General scheme spec count mismatch.
+	if _, err := BuildGeneral(prog, rewrite.GeneralSpec{
+		Procs: hashpart.RangeProcs(2),
+		Rules: []rewrite.RuleSpec{{Seq: []string{"Z"}, H: hashpart.ModHash{N: 2}}},
+	}); err == nil {
+		t.Error("wrong rule-spec count accepted")
+	}
+}
+
+// TestMaxBatchSplitting: tiny batches change message counts but nothing
+// else.
+func TestMaxBatchSplitting(t *testing.T) {
+	src := ancestorRules + randomParFacts(12, 26, 41)
+	prog := parser.MustParse(src)
+	seq, _ := seqEval(t, prog)
+	s := mustSirup(t, prog)
+	p, err := BuildQ(s, rewrite.SirupSpec{
+		Procs: hashpart.RangeProcs(3),
+		VR:    []string{"Z"}, VE: []string{"X"},
+		H: hashpart.ModHash{N: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Run(p, relation.Store{}, RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := Run(p, relation.Store{}, RunConfig{MaxBatch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !seq["anc"].Equal(small.Output["anc"]) {
+		t.Error("MaxBatch=1 changed the result")
+	}
+	if small.Stats.TotalTuplesSent() != big.Stats.TotalTuplesSent() {
+		t.Errorf("tuple traffic changed: %d vs %d",
+			small.Stats.TotalTuplesSent(), big.Stats.TotalTuplesSent())
+	}
+	if big.Stats.TotalTuplesSent() > 0 &&
+		small.Stats.TotalMessages() != small.Stats.TotalTuplesSent() {
+		t.Errorf("MaxBatch=1 should send one message per tuple: %d messages for %d tuples",
+			small.Stats.TotalMessages(), small.Stats.TotalTuplesSent())
+	}
+}
+
+// Property: Topology.Allowed agrees with the edge set it was built from.
+func TestTopologyProperty(t *testing.T) {
+	f := func(raw [][2]uint8) bool {
+		edges := make([][2]int, len(raw))
+		for i, e := range raw {
+			edges[i] = [2]int{int(e[0]) % 8, int(e[1]) % 8}
+		}
+		topo := NewTopology(edges)
+		set := map[[2]int]bool{}
+		for _, e := range edges {
+			set[e] = true
+		}
+		for i := 0; i < 8; i++ {
+			for j := 0; j < 8; j++ {
+				want := set[[2]int{i, j}] || i == j
+				if topo.Allowed(i, j) != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestNegationInParallelBuild: negated atoms compile as replicated EDB needs
+// and produce the stratified result when lower strata arrive as base
+// relations.
+func TestNegationInParallelBuild(t *testing.T) {
+	prog := parser.MustParse(`
+unreachable(X) :- node(X), !reach(X).
+`)
+	h := hashpart.ModHash{N: 2}
+	p, err := BuildGeneral(prog, rewrite.GeneralSpec{
+		Procs: hashpart.RangeProcs(2),
+		Rules: []rewrite.RuleSpec{{Seq: []string{"X"}, H: h}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	edb := relation.Store{}
+	edb.InsertAll("node", [][]ast.Value{{1}, {2}, {3}})
+	edb.InsertAll("reach", [][]ast.Value{{2}})
+	res, err := Run(p, edb, RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output["unreachable"].Len() != 2 {
+		t.Errorf("|unreachable| = %d, want 2", res.Output["unreachable"].Len())
+	}
+	// The negated relation must be fully replicated at both workers.
+	global, err := PrepareEDB(p, edb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := Placements(p, global)["reach"]
+	for i, n := range pl.TuplesPerProc {
+		if n != 1 {
+			t.Errorf("proc %d holds %d reach tuples, want full copy 1", i, n)
+		}
+	}
+	// Negating a same-phase derived predicate is rejected.
+	bad := parser.MustParse(`
+p(X) :- node(X), !q(X).
+q(X) :- node(X).
+`)
+	if _, err := BuildGeneral(bad, rewrite.GeneralSpec{
+		Procs: hashpart.RangeProcs(2),
+		Rules: []rewrite.RuleSpec{{Seq: []string{"X"}, H: h}, {Seq: []string{"X"}, H: h}},
+	}); err == nil {
+		t.Error("same-phase negation accepted")
+	}
+}

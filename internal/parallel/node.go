@@ -1,0 +1,248 @@
+package parallel
+
+import (
+	"time"
+
+	"parlog/internal/ast"
+	"parlog/internal/relation"
+	"parlog/internal/seminaive"
+)
+
+// EmitFunc carries one logical outgoing batch to a transport: dest is a
+// dense worker index (never the emitting node itself), pred a derived
+// predicate. The tuples slice must not be retained past the call unless the
+// transport copies it; the in-process and TCP transports both forward it
+// immediately.
+type EmitFunc func(dest int, pred string, tuples []relation.Tuple)
+
+// Node is the transport-agnostic processor of the paper's abstract
+// architecture: it owns the local base-relation fragments and the @in/@out
+// relations, fires initialization rules, accepts incoming tuples, runs local
+// semi-naive iterations and routes freshly derived tuples per the scheme's
+// sending rules. Transports — the in-process goroutine runtime here and the
+// TCP runtime in internal/dist — deliver batches via Accept and carry the
+// batches handed to the EmitFunc, plus termination detection.
+//
+// A Node is not safe for concurrent use; each transport drives it from a
+// single goroutine.
+type Node struct {
+	prog   *Program
+	wi     int // dense index
+	procID int
+
+	store relation.Store                // EDB fragments + @in relations
+	in    map[string]*relation.Relation // derived tuples received/kept, by pred
+	out   map[string]*relation.Relation // derived tuples generated here, by pred
+	wm    *seminaive.Watermarks
+
+	stats ProcStats
+
+	// outBatch accumulates tuples per (destination, pred) within one local
+	// iteration.
+	outBatch map[int]map[string][]relation.Tuple
+
+	// scratch holds the head tuple being probed, avoiding an allocation per
+	// firing.
+	scratch relation.Tuple
+}
+
+// NewNode materializes processor wi's node, including its base-relation
+// fragments (the paper's b_k^i / D_in^i) drawn from the global EDB.
+func NewNode(p *Program, wi int, global relation.Store) *Node {
+	procID := p.Procs.IDs()[wi]
+	n := &Node{
+		prog:     p,
+		wi:       wi,
+		procID:   procID,
+		store:    relation.Store{},
+		in:       make(map[string]*relation.Relation),
+		out:      make(map[string]*relation.Relation),
+		wm:       &seminaive.Watermarks{Prev: map[string]int{}, Cur: map[string]int{}},
+		outBatch: make(map[int]map[string][]relation.Tuple),
+	}
+	n.stats.Proc = procID
+	for pred := range p.EDB {
+		frag := fragmentFor(p, pred, wi, procID, global)
+		n.store[pred] = frag
+		n.stats.EDBTuples += frag.Len()
+	}
+	maxAr := 0
+	for pred, ar := range p.IDB {
+		rel := relation.New(ar)
+		n.in[pred] = rel
+		n.store[pred+inSuffix] = rel
+		n.out[pred] = relation.New(ar)
+		n.wm.Prev[pred+inSuffix] = 0
+		n.wm.Cur[pred+inSuffix] = 0
+		if ar > maxAr {
+			maxAr = ar
+		}
+	}
+	n.scratch = make(relation.Tuple, maxAr)
+	return n
+}
+
+// Index returns the node's dense worker index.
+func (n *Node) Index() int { return n.wi }
+
+// Proc returns the node's processor id.
+func (n *Node) Proc() int { return n.procID }
+
+// Init fires the rules without derived body atoms once (the initialization
+// step), then drains: the complete first unit of work.
+func (n *Node) Init(emit EmitFunc) {
+	for _, cr := range n.prog.rules[n.wi] {
+		if !cr.init {
+			continue
+		}
+		for _, plan := range cr.plans {
+			buf := n.scratch[:cr.arity]
+			n.stats.Firings += plan.Enumerate(n.store, nil, func(vals []ast.Value) bool {
+				n.emitTuple(cr.head, plan.HeadTupleInto(buf, vals))
+				return true
+			})
+		}
+	}
+	n.flush(emit)
+	n.Drain(emit)
+}
+
+// Accept merges received tuples of one predicate into the local @in
+// relation, eliminating duplicates by difference (the paper's receive step).
+// Call Drain afterwards; transports may Accept several batches per Drain.
+func (n *Node) Accept(pred string, tuples []relation.Tuple) {
+	rel, ok := n.in[pred]
+	if !ok {
+		return // unknown predicate: a corrupt or stale message; ignore
+	}
+	for _, t := range tuples {
+		n.stats.TuplesReceived++
+		if !rel.Insert(t) {
+			n.stats.DupReceived++
+		}
+	}
+}
+
+// Drain runs local semi-naive iterations until no new tuples appear,
+// flushing outgoing batches after each iteration (the paper's per-iteration
+// send step).
+func (n *Node) Drain(emit EmitFunc) {
+	for {
+		grew := false
+		for pred, rel := range n.in {
+			key := pred + inSuffix
+			if rel.Len() > n.wm.Cur[key] {
+				grew = true
+			}
+			n.wm.Prev[key] = n.wm.Cur[key]
+			n.wm.Cur[key] = rel.Len()
+		}
+		if !grew {
+			return
+		}
+		n.stats.Iterations++
+		for _, cr := range n.prog.rules[n.wi] {
+			if cr.init {
+				continue
+			}
+			for _, plan := range cr.plans {
+				buf := n.scratch[:cr.arity]
+				n.stats.Firings += plan.Enumerate(n.store, n.wm, func(vals []ast.Value) bool {
+					n.emitTuple(cr.head, plan.HeadTupleInto(buf, vals))
+					return true
+				})
+			}
+		}
+		n.flush(emit)
+	}
+}
+
+// emitTuple handles one freshly derived head tuple: dedup against this
+// processor's previous outputs, then route. t may be a scratch buffer; the
+// routed tuple is the stable copy the out relation stored.
+func (n *Node) emitTuple(pred string, t relation.Tuple) {
+	out := n.out[pred]
+	if !out.Insert(t) {
+		n.stats.DupFirings++
+		return
+	}
+	n.stats.Generated++
+	n.route(pred, out.Row(out.Len()-1))
+}
+
+// route applies every router of pred to t and queues the tuple for its
+// destinations. Self-destinations enter the local @in relation immediately
+// (they are free, not communication).
+func (n *Node) route(pred string, t relation.Tuple) {
+	routers := n.prog.routers[pred]
+	if len(routers) == 0 {
+		return
+	}
+	var dests map[int]bool
+	add := func(wi int) {
+		if dests == nil {
+			dests = make(map[int]bool, 2)
+		}
+		dests[wi] = true
+	}
+	for _, rt := range routers {
+		if rt.Self {
+			add(n.wi)
+			continue
+		}
+		sub := ast.Subst{}
+		if !ast.MatchAtom(rt.Pattern, t, sub) {
+			continue // cannot ever fire through this occurrence
+		}
+		if rt.Broadcast {
+			for wi := 0; wi < n.prog.Procs.Len(); wi++ {
+				add(wi)
+			}
+			continue
+		}
+		vals := make([]ast.Value, len(rt.Seq))
+		for k, v := range rt.Seq {
+			vals[k] = sub[v]
+		}
+		dest := rt.HFor(n.procID).Apply(vals)
+		if wi, ok := n.prog.Procs.Index(dest); ok {
+			add(wi)
+		}
+	}
+	for wi := range dests {
+		if wi == n.wi {
+			n.in[pred].Insert(t) // local keep: visible to the next iteration
+			continue
+		}
+		m := n.outBatch[wi]
+		if m == nil {
+			m = make(map[string][]relation.Tuple)
+			n.outBatch[wi] = m
+		}
+		m[pred] = append(m[pred], t)
+	}
+}
+
+// flush hands the accumulated logical batches to the transport.
+func (n *Node) flush(emit EmitFunc) {
+	for wi, byPred := range n.outBatch {
+		for pred, tuples := range byPred {
+			emit(wi, pred, tuples)
+		}
+		delete(n.outBatch, wi)
+	}
+}
+
+// Stats returns a snapshot of the node's accounting (transport-recorded
+// fields included).
+func (n *Node) Stats() ProcStats { return n.stats }
+
+// RecordSent adds transport-level tuple-send accounting.
+func (n *Node) RecordSent(tuples int) { n.stats.TuplesSent += int64(tuples) }
+
+// RecordBusy adds transport-measured busy time.
+func (n *Node) RecordBusy(d time.Duration) { n.stats.Busy += d }
+
+// Outputs exposes the node's generated relations for final pooling. Callers
+// must not modify them.
+func (n *Node) Outputs() map[string]*relation.Relation { return n.out }

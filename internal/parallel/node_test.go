@@ -1,0 +1,109 @@
+package parallel
+
+import (
+	"testing"
+
+	"parlog/internal/hashpart"
+	"parlog/internal/parser"
+	"parlog/internal/relation"
+	"parlog/internal/rewrite"
+)
+
+// buildNode compiles Example 3's scheme and returns node 0 with a chain EDB.
+func buildNode(t *testing.T, n int) (*Program, []*Node) {
+	t.Helper()
+	prog := parser.MustParse(ancestorRules + chainFacts(6))
+	s := mustSirup(t, prog)
+	p, err := BuildQ(s, rewrite.SirupSpec{
+		Procs: hashpart.RangeProcs(n),
+		VR:    []string{"Z"}, VE: []string{"X"},
+		H: hashpart.ModHash{N: n},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	global, err := PrepareEDB(p, relation.Store{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := make([]*Node, n)
+	for i := range nodes {
+		nodes[i] = NewNode(p, i, global)
+	}
+	return p, nodes
+}
+
+// TestNodeSingleThreadedExecution drives the nodes by hand on one goroutine:
+// a deterministic, transport-free execution of the scheme that must compute
+// the closure.
+func TestNodeSingleThreadedExecution(t *testing.T) {
+	const n = 3
+	p, nodes := buildNode(t, n)
+	if nodes[0].Index() != 0 || nodes[2].Proc() != 2 {
+		t.Errorf("Index/Proc wrong: %d %d", nodes[0].Index(), nodes[2].Proc())
+	}
+
+	type batch struct {
+		dest   int
+		pred   string
+		tuples []relation.Tuple
+	}
+	var queue []batch
+	emit := func(dest int, pred string, tuples []relation.Tuple) {
+		cp := make([]relation.Tuple, len(tuples))
+		for i, tu := range tuples {
+			cp[i] = tu.Clone()
+		}
+		queue = append(queue, batch{dest, pred, cp})
+	}
+	for _, node := range nodes {
+		node.Init(emit)
+	}
+	for len(queue) > 0 {
+		b := queue[0]
+		queue = queue[1:]
+		nodes[b.dest].Accept(b.pred, b.tuples)
+		nodes[b.dest].Drain(emit)
+	}
+
+	// Pool and compare with sequential.
+	pooled := relation.New(2)
+	for _, node := range nodes {
+		for _, rel := range node.Outputs() {
+			for _, tu := range rel.Rows() {
+				pooled.Insert(tu)
+			}
+		}
+	}
+	if want := 6 * 7 / 2; pooled.Len() != want {
+		t.Errorf("|anc| = %d, want %d", pooled.Len(), want)
+	}
+	var firings int64
+	for _, node := range nodes {
+		firings += node.Stats().Firings
+	}
+	if firings != int64(6*7/2) {
+		t.Errorf("firings = %d, want %d (chain closure, non-redundant)", firings, 6*7/2)
+	}
+	_ = p
+}
+
+func TestNodeAcceptUnknownPredicate(t *testing.T) {
+	_, nodes := buildNode(t, 2)
+	// A stale/corrupt message for an unknown predicate must be ignored, not
+	// panic.
+	nodes[0].Accept("nosuch", []relation.Tuple{{1, 2}})
+	if nodes[0].Stats().TuplesReceived != 0 {
+		t.Error("unknown-predicate tuples were counted")
+	}
+}
+
+func TestNodeRecorders(t *testing.T) {
+	_, nodes := buildNode(t, 2)
+	nodes[0].RecordSent(7)
+	nodes[0].RecordBusy(5)
+	st := nodes[0].Stats()
+	if st.TuplesSent != 7 || st.Busy != 5 {
+		t.Errorf("recorders: sent=%d busy=%v", st.TuplesSent, st.Busy)
+	}
+}

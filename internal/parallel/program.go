@@ -1,0 +1,372 @@
+// Package parallel implements the paper's abstract parallel architecture and
+// executes the rewritten programs on it: one goroutine per processor,
+// reliable point-to-point channels t_ij, asynchronous receives, duplicate
+// elimination by difference, pluggable termination detection (Section 3),
+// and full accounting of communication, redundancy and base-relation
+// placement — the quantities behind Examples 1–3 and the Section 6
+// trade-off.
+package parallel
+
+import (
+	"fmt"
+
+	"parlog/internal/analysis"
+	"parlog/internal/ast"
+	"parlog/internal/hashpart"
+	"parlog/internal/rewrite"
+	"parlog/internal/seminaive"
+)
+
+// inSuffix marks a worker-local received-tuple relation; body IDB atoms of
+// compiled rules read pred+inSuffix.
+const inSuffix = "@in"
+
+// Router decides where a freshly generated tuple of one derived predicate
+// must be sent, mirroring the paper's sending rules: the tuple is matched
+// against the body occurrence's pattern; if the rule's discriminating
+// sequence is fully bound by the match, the tuple goes to h(v(r)θ),
+// otherwise it is broadcast.
+type Router struct {
+	// Pred is the derived predicate this router applies to.
+	Pred string
+	// Pattern is the body atom occurrence, e.g. anc(Z, Y).
+	Pattern ast.Atom
+	// Self routes every tuple to the generating processor only (the
+	// no-communication scheme).
+	Self bool
+	// Broadcast sends every pattern-matching tuple to all processors.
+	Broadcast bool
+	// Seq and HFor implement point-to-point routing: destination is
+	// HFor(sender).Apply(v(r)θ). Unused when Self or Broadcast.
+	Seq  []string
+	HFor func(sender int) hashpart.Func
+}
+
+// compiledRule is one rule specialized to a processor.
+type compiledRule struct {
+	// plans are the semi-naive delta variants (a single all-full plan for
+	// rules without derived body atoms — those run once at initialization).
+	plans []*seminaive.Plan
+	head  string
+	arity int
+	init  bool // no derived body atoms: fires once at start
+}
+
+// edbNeed records which subset of one base relation a rule's body atom needs
+// at each processor: the paper's b_k^i / D_in^i.
+type edbNeed struct {
+	pred string
+	// pattern is the body atom (constants/repeated variables restrict which
+	// tuples can ever match).
+	pattern ast.Atom
+	// seq/hFor define the fragment σ_{h_i(v(r))=i}; nil seq (or seq not
+	// fully inside the atom) means the processor needs the full relation.
+	seq  []string
+	hFor func(i int) hashpart.Func
+}
+
+// Program is a compiled parallel Datalog program ready to Run.
+type Program struct {
+	Procs *hashpart.ProcSet
+	// IDB and EDB map predicates to arities.
+	IDB map[string]int
+	EDB map[string]int
+	// rules[k] is the k-th worker's compiled rule set (indexed by dense
+	// processor index).
+	rules [][]compiledRule
+	// routers by predicate (same for every worker; sender-dependence is
+	// inside HFor).
+	routers map[string][]Router
+	// needs lists the EDB subsets each worker materializes.
+	needs []edbNeed
+	// facts embedded in the source program, merged into the EDB at Run.
+	facts map[string][][]ast.Value
+}
+
+// ruleSpec is the scheme-independent description handed to build: one per
+// proper rule of the source program. If hFor is non-nil, worker i's copy of
+// the rule carries the constraint h_i(seq) = i, and base atoms containing
+// all of seq are fragmented accordingly.
+type ruleSpec struct {
+	seq  []string
+	hFor func(i int) hashpart.Func
+}
+
+// build compiles the generic scheme description into a Program.
+func build(prog *ast.Program, procs *hashpart.ProcSet, specs []ruleSpec, routers []Router) (*Program, error) {
+	if procs == nil || procs.Len() == 0 {
+		return nil, fmt.Errorf("parallel: empty processor set")
+	}
+	if err := analysis.CheckSafety(prog); err != nil {
+		return nil, err
+	}
+	rules, facts := prog.FactTuples()
+	if len(specs) != len(rules) {
+		return nil, fmt.Errorf("parallel: %d rule specs for %d rules", len(specs), len(rules))
+	}
+
+	idb := make(map[string]int)
+	for _, r := range rules {
+		idb[r.Head.Pred] = r.Head.Arity()
+	}
+	edb := make(map[string]int)
+	for _, r := range rules {
+		for _, a := range r.Body {
+			if _, ok := idb[a.Pred]; !ok {
+				edb[a.Pred] = a.Arity()
+			}
+		}
+		for _, a := range r.Negated {
+			// Stratified semantics: a negated predicate must be complete
+			// before this program runs, so it cannot be derived here. The
+			// facade's stratified driver feeds lower strata in as base
+			// relations.
+			if _, ok := idb[a.Pred]; ok {
+				return nil, fmt.Errorf("parallel: %s is negated but derived in the same phase; evaluate lower strata first", a.Pred)
+			}
+			edb[a.Pred] = a.Arity()
+		}
+	}
+	for pred, tuples := range facts {
+		if _, ok := idb[pred]; ok {
+			continue
+		}
+		if len(tuples) > 0 {
+			edb[pred] = len(tuples[0])
+		}
+	}
+
+	p := &Program{
+		Procs:   procs,
+		IDB:     idb,
+		EDB:     edb,
+		rules:   make([][]compiledRule, procs.Len()),
+		routers: make(map[string][]Router),
+		facts:   facts,
+	}
+	for _, rt := range routers {
+		if _, ok := idb[rt.Pred]; !ok {
+			return nil, fmt.Errorf("parallel: router for non-derived predicate %s", rt.Pred)
+		}
+		if !rt.Self && !rt.Broadcast {
+			if _, ok := hashpart.SeqPositions(rt.Pattern, rt.Seq); !ok {
+				return nil, fmt.Errorf("parallel: router for %s: sequence %v not contained in pattern %s",
+					rt.Pred, rt.Seq, rt.Pattern)
+			}
+		}
+		p.routers[rt.Pred] = append(p.routers[rt.Pred], rt)
+	}
+
+	// Record EDB needs and compile per-worker rules.
+	for si, spec := range specs {
+		r := rules[si]
+		for _, a := range r.Body {
+			if _, isEDB := edb[a.Pred]; !isEDB {
+				continue
+			}
+			need := edbNeed{pred: a.Pred, pattern: a.Clone()}
+			if spec.hFor != nil {
+				if _, ok := hashpart.SeqPositions(a, spec.seq); ok {
+					need.seq = spec.seq
+					need.hFor = spec.hFor
+				}
+			}
+			p.needs = append(p.needs, need)
+		}
+		// Negated relations must be complete at every reader: replicate.
+		for _, a := range r.Negated {
+			p.needs = append(p.needs, edbNeed{pred: a.Pred, pattern: ast.NewAtom(a.Pred, freshVarTerms(a.Arity())...)})
+		}
+	}
+
+	for wi, procID := range procs.IDs() {
+		var ws []compiledRule
+		for si, spec := range specs {
+			r := rules[si]
+			// Rename derived body atoms to their @in relations.
+			body := make([]ast.Atom, len(r.Body))
+			var recAtoms []int
+			for bi, a := range r.Body {
+				if _, isIDB := idb[a.Pred]; isIDB {
+					body[bi] = ast.NewAtom(a.Pred+inSuffix, a.Clone().Args...)
+					recAtoms = append(recAtoms, bi)
+				} else {
+					body[bi] = a.Clone()
+				}
+			}
+			var neg []ast.Atom
+			for _, a := range r.Negated {
+				neg = append(neg, a.Clone()) // reads the replicated lower-stratum copy
+			}
+			wr := ast.Rule{Head: r.Head.Clone(), Body: body, Negated: neg}
+			if spec.hFor != nil {
+				h := hashpart.AsHashFunc(spec.hFor(procID))
+				wr = wr.WithConstraints(ast.NewHashConstraint(h, spec.seq, procID))
+			}
+			cr := compiledRule{head: r.Head.Pred, arity: r.Head.Arity()}
+			if len(recAtoms) == 0 {
+				cr.init = true
+				cr.plans = []*seminaive.Plan{seminaive.Compile(wr, nil)}
+			} else {
+				cr.plans = seminaive.DeltaVariants(wr, recAtoms)
+			}
+			ws = append(ws, cr)
+		}
+		p.rules[wi] = ws
+	}
+	return p, nil
+}
+
+// BuildQ compiles the Section 3 non-redundant scheme for a linear sirup.
+func BuildQ(s *analysis.Sirup, spec rewrite.SirupSpec) (*Program, error) {
+	if err := hashpart.ValidateSequence(s.Rec, spec.VR); err != nil {
+		return nil, err
+	}
+	if err := hashpart.ValidateSequence(s.Exit, spec.VE); err != nil {
+		return nil, err
+	}
+	hp := spec.HP
+	if hp == nil {
+		hp = spec.H
+	}
+	recAtom := s.Rec.Body[s.RecAtom]
+	router := Router{Pred: s.T, Pattern: recAtom.Clone()}
+	if _, ok := hashpart.SeqPositions(recAtom, spec.VR); ok {
+		router.Seq = spec.VR
+		h := spec.H
+		router.HFor = func(int) hashpart.Func { return h }
+	} else {
+		// v(r) ⊄ Ȳ: the sending condition cannot be checked at the sender
+		// (Example 2) — broadcast.
+		router.Broadcast = true
+	}
+	rules, _ := s.Program.FactTuples()
+	specs, err := sirupRuleSpecs(rules, s, spec.VR, spec.VE,
+		func(int) hashpart.Func { return spec.H },
+		func(int) hashpart.Func { return hp })
+	if err != nil {
+		return nil, err
+	}
+	return build(s.Program, spec.Procs, specs, []Router{router})
+}
+
+// BuildNoComm compiles the communication-free scheme of Section 6: outputs
+// stay at their generating processor, base relations are replicated.
+func BuildNoComm(s *analysis.Sirup, spec rewrite.NoCommSpec) (*Program, error) {
+	if err := hashpart.ValidateSequence(s.Exit, spec.VE); err != nil {
+		return nil, err
+	}
+	rules, _ := s.Program.FactTuples()
+	specs, err := sirupRuleSpecs(rules, s, nil, spec.VE,
+		nil,
+		func(int) hashpart.Func { return spec.HP })
+	if err != nil {
+		return nil, err
+	}
+	router := Router{Pred: s.T, Self: true}
+	return build(s.Program, spec.Procs, specs, []Router{router})
+}
+
+// BuildR compiles the Section 6 trade-off scheme: no processing constraint,
+// per-processor routing functions h_i.
+func BuildR(s *analysis.Sirup, spec rewrite.RSpec) (*Program, error) {
+	if err := hashpart.ValidateSequence(s.Rec, spec.VR); err != nil {
+		return nil, err
+	}
+	if err := hashpart.ValidateSequence(s.Exit, spec.VE); err != nil {
+		return nil, err
+	}
+	if err := hashpart.ValidateSubsetOf(spec.VR, s.BodyVars, "Ȳ (the recursive body atom)"); err != nil {
+		return nil, err
+	}
+	rules, _ := s.Program.FactTuples()
+	specs, err := sirupRuleSpecs(rules, s, nil, spec.VE,
+		nil,
+		func(int) hashpart.Func { return spec.HP })
+	if err != nil {
+		return nil, err
+	}
+	router := Router{
+		Pred:    s.T,
+		Pattern: s.Rec.Body[s.RecAtom].Clone(),
+		Seq:     spec.VR,
+		HFor:    spec.HI,
+	}
+	return build(s.Program, spec.Procs, specs, []Router{router})
+}
+
+// freshVarTerms returns n distinct variable terms W1 … Wn.
+func freshVarTerms(n int) []ast.Term {
+	out := make([]ast.Term, n)
+	for i := range out {
+		out[i] = ast.V(fmt.Sprintf("W%d", i+1))
+	}
+	return out
+}
+
+// sirupRuleSpecs assigns (seq, h) to the sirup's two rules in the order they
+// appear in rules. recH == nil leaves the recursive rule unconstrained.
+func sirupRuleSpecs(rules []ast.Rule, s *analysis.Sirup, vr []string, ve []string,
+	recH, exitH func(int) hashpart.Func) ([]ruleSpec, error) {
+	if len(rules) != 2 {
+		return nil, fmt.Errorf("parallel: sirup with %d rules", len(rules))
+	}
+	specs := make([]ruleSpec, 2)
+	for i, r := range rules {
+		recursive := false
+		for _, a := range r.Body {
+			if a.Pred == r.Head.Pred {
+				recursive = true
+			}
+		}
+		if recursive {
+			specs[i] = ruleSpec{seq: vr, hFor: recH}
+		} else {
+			specs[i] = ruleSpec{seq: ve, hFor: exitH}
+		}
+	}
+	return specs, nil
+}
+
+// BuildGeneral compiles the Section 7 scheme for an arbitrary Datalog
+// program.
+func BuildGeneral(prog *ast.Program, gspec rewrite.GeneralSpec) (*Program, error) {
+	rules, _ := prog.FactTuples()
+	if len(gspec.Rules) != len(rules) {
+		return nil, fmt.Errorf("parallel: %d rule specs for %d rules", len(gspec.Rules), len(rules))
+	}
+	idb := make(map[string]bool)
+	for _, r := range rules {
+		idb[r.Head.Pred] = true
+	}
+	var specs []ruleSpec
+	var routers []Router
+	seenRouter := map[string]bool{}
+	for ri, r := range rules {
+		rs := gspec.Rules[ri]
+		if err := hashpart.ValidateSequence(r, rs.Seq); err != nil {
+			return nil, fmt.Errorf("rule %d: %w", ri, err)
+		}
+		h := rs.H
+		specs = append(specs, ruleSpec{seq: rs.Seq, hFor: func(int) hashpart.Func { return h }})
+		for _, a := range r.Body {
+			if !idb[a.Pred] {
+				continue
+			}
+			router := Router{Pred: a.Pred, Pattern: a.Clone()}
+			if _, ok := hashpart.SeqPositions(a, rs.Seq); ok {
+				router.Seq = rs.Seq
+				router.HFor = func(int) hashpart.Func { return h }
+			} else {
+				router.Broadcast = true
+			}
+			key := fmt.Sprintf("%s|%s|%v|%s|%v", a.Pred, a.String(), rs.Seq, h.Name(), router.Broadcast)
+			if seenRouter[key] {
+				continue
+			}
+			seenRouter[key] = true
+			routers = append(routers, router)
+		}
+	}
+	return build(prog, gspec.Procs, specs, routers)
+}

@@ -1,0 +1,64 @@
+package parser
+
+import (
+	"testing"
+
+	"parlog/internal/relation"
+	"parlog/internal/seminaive"
+)
+
+// FuzzParse checks that the parser never panics and that accepted programs
+// re-parse to themselves through the printer (print/parse is a fixpoint).
+// Without -fuzz this runs the seed corpus as ordinary tests.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"p(a).",
+		"anc(X, Y) :- par(X, Y).\nanc(X, Y) :- par(X, Z), anc(Z, Y).",
+		`p(X) :- q(X, "str \" esc", -42, _).`,
+		"% comment only",
+		"p(",
+		"p(X) :- .",
+		"p(a) :- q(a), r(b).",
+		"p(X,Y):-q(Y,X).",
+		"p(_,_) :- q(_).",
+		"päö(X) :- qüü(X).", // non-ASCII identifiers
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		printed := prog.String()
+		again, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("accepted program does not re-parse: %v\nsource: %q\nprinted: %q", err, src, printed)
+		}
+		if again.String() != printed {
+			t.Fatalf("print/parse not a fixpoint:\nfirst:  %q\nsecond: %q", printed, again.String())
+		}
+	})
+}
+
+// FuzzEval checks that evaluation of any accepted program terminates within
+// the iteration bound without panicking.
+func FuzzEval(f *testing.F) {
+	f.Add("anc(X, Y) :- par(X, Y).\nanc(X, Y) :- par(X, Z), anc(Z, Y).\npar(a, b). par(b, a).")
+	f.Add("p(X) :- q(X), p2(X).\np2(X) :- q(X).\nq(a). q(b).")
+	f.Add("p(X, X) :- q(X).\nq(c).")
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 4096 {
+			return
+		}
+		prog, err := Parse(src)
+		if err != nil {
+			return
+		}
+		// MaxIterations bounds runaway fixpoints; errors are acceptable,
+		// panics are not.
+		_, _, _ = seminaive.Eval(prog, relation.Store{}, seminaive.Options{MaxIterations: 60})
+	})
+}

@@ -1,0 +1,185 @@
+// Package randprog generates random safe Datalog programs and matching
+// databases for differential testing: the naive engine, the semi-naive
+// engine, the declarative rewrites and the parallel runtime must all agree
+// on the least model of every generated program, and the non-redundancy
+// theorems must hold on every one of them.
+package randprog
+
+import (
+	"fmt"
+	"math/rand"
+
+	"parlog/internal/ast"
+	"parlog/internal/relation"
+)
+
+// Config bounds the generator. The zero value is replaced by Defaults.
+type Config struct {
+	// IDBPreds and EDBPreds are the numbers of derived and base predicates.
+	IDBPreds, EDBPreds int
+	// MaxArity bounds predicate arities (min 1).
+	MaxArity int
+	// MaxRulesPerPred bounds how many rules define each derived predicate.
+	MaxRulesPerPred int
+	// MaxBodyAtoms bounds rule body length (min 1).
+	MaxBodyAtoms int
+	// ConstPool is the number of distinct constants in the database.
+	ConstPool int
+	// MaxFactsPerPred bounds base relation sizes.
+	MaxFactsPerPred int
+	// RecursionBias in [0,1] is the probability that a body atom position
+	// uses a derived predicate (creating potential recursion).
+	RecursionBias float64
+	// NegationProb in [0,1] adds, with this probability per rule, one
+	// negated atom over a strictly lower-indexed derived predicate. Combined
+	// with Layered it guarantees stratified programs by construction.
+	NegationProb float64
+	// Layered restricts rule bodies of p_j to derived predicates p_i with
+	// i ≤ j, making the index a stratification witness.
+	Layered bool
+}
+
+// Defaults returns a configuration that produces small but structurally
+// diverse programs: mutual recursion, non-linear rules, repeated variables
+// and constants in bodies all occur.
+func Defaults() Config {
+	return Config{
+		IDBPreds:        3,
+		EDBPreds:        3,
+		MaxArity:        3,
+		MaxRulesPerPred: 3,
+		MaxBodyAtoms:    3,
+		ConstPool:       6,
+		MaxFactsPerPred: 12,
+		RecursionBias:   0.4,
+	}
+}
+
+// Program is a generated program together with its database.
+type Program struct {
+	Prog *ast.Program
+	EDB  relation.Store
+	// Arities records every predicate's arity.
+	Arities map[string]int
+}
+
+// Generate produces a random safe Datalog program. The same seed and config
+// always produce the same program.
+func Generate(cfg Config, seed int64) *Program {
+	if cfg.IDBPreds == 0 {
+		cfg = Defaults()
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	arities := make(map[string]int)
+	var idb, edb []string
+	for i := 0; i < cfg.IDBPreds; i++ {
+		p := fmt.Sprintf("p%d", i)
+		idb = append(idb, p)
+		arities[p] = 1 + rng.Intn(cfg.MaxArity)
+	}
+	for i := 0; i < cfg.EDBPreds; i++ {
+		e := fmt.Sprintf("e%d", i)
+		edb = append(edb, e)
+		arities[e] = 1 + rng.Intn(cfg.MaxArity)
+	}
+
+	prog := ast.NewProgram()
+	consts := make([]ast.Value, cfg.ConstPool)
+	for i := range consts {
+		consts[i] = prog.Interner.Intern(fmt.Sprintf("c%d", i))
+	}
+
+	varNames := []string{"X", "Y", "Z", "U", "V", "W"}
+
+	for hi, head := range idb {
+		nRules := 1 + rng.Intn(cfg.MaxRulesPerPred)
+		for r := 0; r < nRules; r++ {
+			// Build the body first; head variables are then drawn from body
+			// variables, which guarantees safety by construction.
+			nBody := 1 + rng.Intn(cfg.MaxBodyAtoms)
+			var body []ast.Atom
+			var bodyVars []string
+			// Ensure at least one EDB atom so the rule can fire at all
+			// (all-IDB bodies are legal but usually vacuous).
+			for b := 0; b < nBody; b++ {
+				var pred string
+				if b == 0 || rng.Float64() >= cfg.RecursionBias {
+					pred = edb[rng.Intn(len(edb))]
+				} else if cfg.Layered {
+					pred = idb[rng.Intn(hi+1)]
+				} else {
+					pred = idb[rng.Intn(len(idb))]
+				}
+				args := make([]ast.Term, arities[pred])
+				for a := range args {
+					switch {
+					case rng.Float64() < 0.15:
+						args[a] = ast.C(consts[rng.Intn(len(consts))])
+					default:
+						v := varNames[rng.Intn(len(varNames))]
+						args[a] = ast.V(v)
+						found := false
+						for _, bv := range bodyVars {
+							if bv == v {
+								found = true
+							}
+						}
+						if !found {
+							bodyVars = append(bodyVars, v)
+						}
+					}
+				}
+				body = append(body, ast.Atom{Pred: pred, Args: args})
+			}
+			// Guarantee at least one body variable so every rule admits a
+			// discriminating sequence (the schemes need a nonempty v(r)).
+			if len(bodyVars) == 0 {
+				v := varNames[rng.Intn(len(varNames))]
+				body[0].Args[0] = ast.V(v)
+				bodyVars = append(bodyVars, v)
+			}
+			// Optionally negate a strictly lower derived predicate; its
+			// variables must come from the positive body (safety).
+			var negated []ast.Atom
+			if cfg.NegationProb > 0 && hi > 0 && rng.Float64() < cfg.NegationProb {
+				pred := idb[rng.Intn(hi)]
+				args := make([]ast.Term, arities[pred])
+				for a := range args {
+					if rng.Float64() < 0.2 {
+						args[a] = ast.C(consts[rng.Intn(len(consts))])
+					} else {
+						args[a] = ast.V(bodyVars[rng.Intn(len(bodyVars))])
+					}
+				}
+				negated = append(negated, ast.Atom{Pred: pred, Args: args})
+			}
+			headArgs := make([]ast.Term, arities[head])
+			for a := range headArgs {
+				if len(bodyVars) == 0 || rng.Float64() < 0.1 {
+					headArgs[a] = ast.C(consts[rng.Intn(len(consts))])
+				} else {
+					headArgs[a] = ast.V(bodyVars[rng.Intn(len(bodyVars))])
+				}
+			}
+			prog.AddRule(ast.Rule{Head: ast.Atom{Pred: head, Args: headArgs}, Body: body, Negated: negated})
+		}
+	}
+
+	store := relation.Store{}
+	for _, e := range edb {
+		rel := store.Get(e, arities[e])
+		n := rng.Intn(cfg.MaxFactsPerPred + 1)
+		for k := 0; k < n; k++ {
+			t := make(relation.Tuple, arities[e])
+			for c := range t {
+				t[c] = consts[rng.Intn(len(consts))]
+			}
+			rel.Insert(t)
+		}
+	}
+	return &Program{Prog: prog, EDB: store, Arities: arities}
+}
+
+// IDB returns the generated derived predicate names.
+func (p *Program) IDB() []string { return p.Prog.IDBPreds() }

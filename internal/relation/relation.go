@@ -1,0 +1,250 @@
+// Package relation implements the tuple storage used by both evaluation
+// engines: append-only relations over interned constants, with duplicate
+// elimination and incrementally-maintained hash indexes.
+//
+// Rows are append-only and never removed, so a pair of integer watermarks
+// into the row slice represents the semi-naive "previous total / delta"
+// split without copying.
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"parlog/internal/ast"
+)
+
+// Tuple is a ground tuple of interned constants.
+type Tuple []ast.Value
+
+// appendKey appends the 4-byte little-endian encoding of each value to buf.
+// Used with the map[string(buf)] lookup pattern, which the compiler
+// optimizes to avoid allocating.
+func appendKey(buf []byte, vals []ast.Value) []byte {
+	for _, v := range vals {
+		buf = append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return buf
+}
+
+// Key encodes the tuple as a map key. Two tuples have equal keys iff they are
+// equal element-wise.
+func (t Tuple) Key() string {
+	return string(appendKey(make([]byte, 0, 4*len(t)), t))
+}
+
+// Clone returns an independent copy of t.
+func (t Tuple) Clone() Tuple {
+	out := make(Tuple, len(t))
+	copy(out, t)
+	return out
+}
+
+// Equal reports element-wise equality.
+func (t Tuple) Equal(u Tuple) bool {
+	if len(t) != len(u) {
+		return false
+	}
+	for i := range t {
+		if t[i] != u[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Relation is a duplicate-free, append-only set of equal-arity tuples.
+// The zero value is not usable; create with New. A Relation (including its
+// cached indexes) is not safe for concurrent use; the engines give each
+// processor its own relations.
+type Relation struct {
+	arity   int
+	seen    map[string]struct{}
+	rows    []Tuple
+	indexes map[string]*Index
+	keyBuf  []byte // scratch for allocation-free membership probes
+}
+
+// New returns an empty relation of the given arity.
+func New(arity int) *Relation {
+	return &Relation{
+		arity:   arity,
+		seen:    make(map[string]struct{}),
+		indexes: make(map[string]*Index),
+	}
+}
+
+// FromTuples builds a relation of the given arity from tuples, dropping
+// duplicates.
+func FromTuples(arity int, tuples [][]ast.Value) *Relation {
+	r := New(arity)
+	for _, t := range tuples {
+		r.Insert(t)
+	}
+	return r
+}
+
+// Arity returns the tuple width.
+func (r *Relation) Arity() int { return r.arity }
+
+// Len returns the number of distinct tuples.
+func (r *Relation) Len() int { return len(r.rows) }
+
+// Insert adds t if not present, reporting whether it was new. The tuple is
+// copied, so callers may reuse the backing slice. Insert panics on arity
+// mismatch — that is always an engine bug, never data-dependent.
+func (r *Relation) Insert(t Tuple) bool {
+	if len(t) != r.arity {
+		panic(fmt.Sprintf("relation: inserting arity-%d tuple into arity-%d relation", len(t), r.arity))
+	}
+	r.keyBuf = appendKey(r.keyBuf[:0], t)
+	if _, dup := r.seen[string(r.keyBuf)]; dup {
+		return false
+	}
+	r.seen[string(r.keyBuf)] = struct{}{}
+	r.rows = append(r.rows, t.Clone())
+	return true
+}
+
+// Contains reports membership.
+func (r *Relation) Contains(t Tuple) bool {
+	r.keyBuf = appendKey(r.keyBuf[:0], t)
+	_, ok := r.seen[string(r.keyBuf)]
+	return ok
+}
+
+// Rows returns the live, append-only row slice. Callers must not modify it.
+func (r *Relation) Rows() []Tuple { return r.rows }
+
+// Row returns the i-th tuple.
+func (r *Relation) Row(i int) Tuple { return r.rows[i] }
+
+// Clone returns an independent deep copy (indexes are not copied; they
+// rebuild lazily).
+func (r *Relation) Clone() *Relation {
+	out := New(r.arity)
+	for _, t := range r.rows {
+		out.Insert(t)
+	}
+	return out
+}
+
+// Equal reports whether r and s contain exactly the same tuples.
+func (r *Relation) Equal(s *Relation) bool {
+	if r.arity != s.arity || len(r.rows) != len(s.rows) {
+		return false
+	}
+	for k := range r.seen {
+		if _, ok := s.seen[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// SortedRows returns the tuples in lexicographic order; for deterministic
+// output and tests.
+func (r *Relation) SortedRows() []Tuple {
+	out := make([]Tuple, len(r.rows))
+	copy(out, r.rows)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// String renders the relation's raw tuples; for debugging.
+func (r *Relation) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, t := range r.SortedRows() {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteByte('(')
+		for j, v := range t {
+			if j > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%d", v)
+		}
+		b.WriteByte(')')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// IndexOn returns a hash index on the given columns, building or refreshing
+// it as needed. Indexes are cached per column set and maintained
+// incrementally because rows are append-only.
+func (r *Relation) IndexOn(cols ...int) *Index {
+	sig := indexSig(cols)
+	idx, ok := r.indexes[sig]
+	if !ok {
+		idx = &Index{rel: r, cols: append([]int(nil), cols...), m: make(map[string][]int)}
+		r.indexes[sig] = idx
+	}
+	idx.refresh()
+	return idx
+}
+
+func indexSig(cols []int) string {
+	var b strings.Builder
+	for _, c := range cols {
+		fmt.Fprintf(&b, "%d,", c)
+	}
+	return b.String()
+}
+
+// Index is a hash index over a column subset of a relation. Row ids in each
+// bucket are ascending, which lets range-restricted lookups binary-search.
+type Index struct {
+	rel    *Relation
+	cols   []int
+	m      map[string][]int
+	built  int    // rows indexed so far
+	keyBuf []byte // scratch for allocation-free probes
+}
+
+// refresh extends the index over rows appended since the last refresh.
+func (ix *Index) refresh() {
+	for ; ix.built < len(ix.rel.rows); ix.built++ {
+		t := ix.rel.rows[ix.built]
+		ix.keyBuf = ix.appendColsKey(ix.keyBuf[:0], t)
+		ix.m[string(ix.keyBuf)] = append(ix.m[string(ix.keyBuf)], ix.built)
+	}
+}
+
+func (ix *Index) appendColsKey(buf []byte, t Tuple) []byte {
+	for _, c := range ix.cols {
+		v := t[c]
+		buf = append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return buf
+}
+
+// Lookup calls fn with each row id in [lo,hi) whose indexed columns equal
+// vals, in ascending order. fn returning false stops the scan. The index is
+// refreshed first, so rows inserted since IndexOn are visible.
+func (ix *Index) Lookup(vals []ast.Value, lo, hi int, fn func(row int) bool) {
+	ix.refresh()
+	ix.keyBuf = appendKey(ix.keyBuf[:0], vals)
+	bucket := ix.m[string(ix.keyBuf)]
+	// Binary search for the first id >= lo.
+	start := sort.SearchInts(bucket, lo)
+	for _, id := range bucket[start:] {
+		if id >= hi {
+			return
+		}
+		if !fn(id) {
+			return
+		}
+	}
+}

@@ -1,0 +1,269 @@
+package relation
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"parlog/internal/ast"
+)
+
+func tup(vs ...ast.Value) Tuple { return Tuple(vs) }
+
+func TestInsertDeduplicates(t *testing.T) {
+	r := New(2)
+	if !r.Insert(tup(1, 2)) {
+		t.Fatal("first insert reported duplicate")
+	}
+	if r.Insert(tup(1, 2)) {
+		t.Fatal("duplicate insert reported new")
+	}
+	if !r.Insert(tup(2, 1)) {
+		t.Fatal("distinct tuple reported duplicate")
+	}
+	if r.Len() != 2 {
+		t.Errorf("Len = %d, want 2", r.Len())
+	}
+	if !r.Contains(tup(1, 2)) || r.Contains(tup(9, 9)) {
+		t.Error("Contains misreported")
+	}
+}
+
+func TestInsertCopiesTuple(t *testing.T) {
+	r := New(1)
+	backing := Tuple{7}
+	r.Insert(backing)
+	backing[0] = 8
+	if !r.Contains(tup(7)) || r.Contains(tup(8)) {
+		t.Error("Insert aliased the caller's slice")
+	}
+}
+
+func TestInsertArityPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("arity mismatch did not panic")
+		}
+	}()
+	New(2).Insert(tup(1))
+}
+
+func TestKeyInjective(t *testing.T) {
+	// Tuples that would collide under naive byte concatenation of small ints.
+	a := tup(1, 0)
+	b := tup(0, 1)
+	if a.Key() == b.Key() {
+		t.Error("Key not injective for (1,0)/(0,1)")
+	}
+	c := tup(256)
+	d := tup(1)
+	if c.Key() == d.Key() {
+		t.Error("Key not injective for 256/1")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	r := FromTuples(2, [][]ast.Value{{1, 2}, {3, 4}})
+	s := FromTuples(2, [][]ast.Value{{3, 4}, {1, 2}})
+	if !r.Equal(s) {
+		t.Error("order-insensitive equality failed")
+	}
+	s.Insert(tup(5, 6))
+	if r.Equal(s) {
+		t.Error("unequal relations reported equal")
+	}
+	if r.Equal(New(3)) {
+		t.Error("different arity reported equal")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	r := FromTuples(1, [][]ast.Value{{1}})
+	c := r.Clone()
+	c.Insert(tup(2))
+	if r.Contains(tup(2)) {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestSortedRows(t *testing.T) {
+	r := FromTuples(2, [][]ast.Value{{3, 1}, {1, 2}, {1, 1}, {2, 9}})
+	sorted := r.SortedRows()
+	want := []Tuple{{1, 1}, {1, 2}, {2, 9}, {3, 1}}
+	for i := range want {
+		if !sorted[i].Equal(want[i]) {
+			t.Fatalf("SortedRows = %v", sorted)
+		}
+	}
+}
+
+func TestIndexLookup(t *testing.T) {
+	r := New(2)
+	r.Insert(tup(1, 10))
+	r.Insert(tup(2, 20))
+	r.Insert(tup(1, 11))
+	ix := r.IndexOn(0)
+	var got []int
+	ix.Lookup([]ast.Value{1}, 0, r.Len(), func(row int) bool {
+		got = append(got, row)
+		return true
+	})
+	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Errorf("Lookup rows = %v, want [0 2]", got)
+	}
+}
+
+func TestIndexSeesLaterInserts(t *testing.T) {
+	r := New(2)
+	r.Insert(tup(1, 10))
+	ix := r.IndexOn(0)
+	r.Insert(tup(1, 11)) // inserted after index creation
+	var got []int
+	ix.Lookup([]ast.Value{1}, 0, r.Len(), func(row int) bool {
+		got = append(got, row)
+		return true
+	})
+	if len(got) != 2 {
+		t.Errorf("index did not refresh: rows = %v", got)
+	}
+}
+
+func TestIndexRangeRestriction(t *testing.T) {
+	r := New(1)
+	for i := 0; i < 10; i++ {
+		r.Insert(tup(ast.Value(i % 2)))
+	}
+	// Only two distinct tuples survive dedup: 0 at row 0, 1 at row 1.
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	ix := r.IndexOn(0)
+	count := 0
+	ix.Lookup([]ast.Value{0}, 1, 2, func(int) bool { count++; return true })
+	if count != 0 {
+		t.Errorf("range [1,2) matched %d rows for value 0, want 0", count)
+	}
+	ix.Lookup([]ast.Value{1}, 1, 2, func(int) bool { count++; return true })
+	if count != 1 {
+		t.Errorf("range [1,2) matched %d rows for value 1, want 1", count)
+	}
+}
+
+func TestIndexEarlyStop(t *testing.T) {
+	r := New(1)
+	r.Insert(tup(1))
+	r2 := New(2)
+	_ = r2
+	r.Insert(tup(2))
+	ix := r.IndexOn() // zero-column index: all rows in one bucket
+	var got []int
+	ix.Lookup(nil, 0, r.Len(), func(row int) bool {
+		got = append(got, row)
+		return false // stop after first
+	})
+	if len(got) != 1 || got[0] != 0 {
+		t.Errorf("early stop rows = %v", got)
+	}
+}
+
+func TestIndexMultiColumn(t *testing.T) {
+	r := New(3)
+	r.Insert(tup(1, 2, 3))
+	r.Insert(tup(1, 2, 4))
+	r.Insert(tup(1, 3, 3))
+	ix := r.IndexOn(0, 1)
+	count := 0
+	ix.Lookup([]ast.Value{1, 2}, 0, r.Len(), func(int) bool { count++; return true })
+	if count != 2 {
+		t.Errorf("multi-column lookup matched %d rows, want 2", count)
+	}
+}
+
+// Property: inserting any multiset of tuples yields a relation whose Len
+// equals the number of distinct tuples, and Contains agrees with the set.
+func TestInsertSetSemanticsProperty(t *testing.T) {
+	f := func(raw [][2]uint8) bool {
+		r := New(2)
+		distinct := make(map[[2]uint8]bool)
+		for _, p := range raw {
+			r.Insert(tup(ast.Value(p[0]), ast.Value(p[1])))
+			distinct[p] = true
+		}
+		if r.Len() != len(distinct) {
+			return false
+		}
+		for p := range distinct {
+			if !r.Contains(tup(ast.Value(p[0]), ast.Value(p[1]))) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: index lookup returns exactly the rows whose column matches.
+func TestIndexAgreesWithScanProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		r := New(2)
+		n := rng.Intn(60)
+		for i := 0; i < n; i++ {
+			r.Insert(tup(ast.Value(rng.Intn(8)), ast.Value(rng.Intn(8))))
+		}
+		ix := r.IndexOn(1)
+		for v := ast.Value(0); v < 8; v++ {
+			var fromIndex []int
+			ix.Lookup([]ast.Value{v}, 0, r.Len(), func(row int) bool {
+				fromIndex = append(fromIndex, row)
+				return true
+			})
+			var fromScan []int
+			for i, row := range r.Rows() {
+				if row[1] == v {
+					fromScan = append(fromScan, i)
+				}
+			}
+			if len(fromIndex) != len(fromScan) {
+				t.Fatalf("trial %d value %d: index %v scan %v", trial, v, fromIndex, fromScan)
+			}
+			for i := range fromScan {
+				if fromIndex[i] != fromScan[i] {
+					t.Fatalf("trial %d value %d: index %v scan %v", trial, v, fromIndex, fromScan)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkInsertDistinct(b *testing.B) {
+	r := New(2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Insert(tup(ast.Value(i), ast.Value(i>>8)))
+	}
+}
+
+func BenchmarkIndexLookup(b *testing.B) {
+	r := New(2)
+	for i := 0; i < 10000; i++ {
+		r.Insert(tup(ast.Value(i%100), ast.Value(i)))
+	}
+	ix := r.IndexOn(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Lookup([]ast.Value{ast.Value(i % 100)}, 0, r.Len(), func(int) bool { return true })
+	}
+}
+
+func TestRowAndString(t *testing.T) {
+	r := FromTuples(2, [][]ast.Value{{2, 1}, {1, 2}})
+	if got := r.Row(0); !got.Equal(Tuple{2, 1}) {
+		t.Errorf("Row(0) = %v", got)
+	}
+	if got := r.String(); got != "{(1,2), (2,1)}" {
+		t.Errorf("String = %q", got)
+	}
+}

@@ -1,0 +1,102 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+
+	"parlog/internal/ast"
+)
+
+// Store maps predicate names to relations. Both engines read EDB relations
+// from a Store and accumulate IDB relations into one.
+type Store map[string]*Relation
+
+// Get returns the relation for pred, creating an empty one of the given
+// arity on first use. It panics if the existing relation has a different
+// arity (an engine bug, not a data error).
+func (s Store) Get(pred string, arity int) *Relation {
+	r, ok := s[pred]
+	if !ok {
+		r = New(arity)
+		s[pred] = r
+		return r
+	}
+	if r.Arity() != arity {
+		panic(fmt.Sprintf("relation: predicate %s stored with arity %d, requested %d", pred, r.Arity(), arity))
+	}
+	return r
+}
+
+// Clone deep-copies the store.
+func (s Store) Clone() Store {
+	out := make(Store, len(s))
+	for k, r := range s {
+		out[k] = r.Clone()
+	}
+	return out
+}
+
+// InsertAll inserts tuples into pred's relation, creating it if needed, and
+// returns the number of new tuples.
+func (s Store) InsertAll(pred string, tuples [][]ast.Value) int {
+	if len(tuples) == 0 {
+		if _, ok := s[pred]; !ok {
+			return 0
+		}
+	}
+	added := 0
+	for _, t := range tuples {
+		r, ok := s[pred]
+		if !ok {
+			r = New(len(t))
+			s[pred] = r
+		}
+		if r.Insert(t) {
+			added++
+		}
+	}
+	return added
+}
+
+// Preds returns the sorted predicate names.
+func (s Store) Preds() []string {
+	out := make([]string, 0, len(s))
+	for k := range s {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// EqualOn reports whether s and t agree on the given predicates, treating a
+// missing relation as empty.
+func (s Store) EqualOn(t Store, preds []string) bool {
+	for _, p := range preds {
+		a, b := s[p], t[p]
+		switch {
+		case a == nil && b == nil:
+		case a == nil:
+			if b.Len() != 0 {
+				return false
+			}
+		case b == nil:
+			if a.Len() != 0 {
+				return false
+			}
+		default:
+			if !a.Equal(b) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TotalTuples sums the sizes of all relations.
+func (s Store) TotalTuples() int {
+	n := 0
+	for _, r := range s {
+		n += r.Len()
+	}
+	return n
+}

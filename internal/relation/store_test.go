@@ -1,0 +1,94 @@
+package relation
+
+import (
+	"testing"
+
+	"parlog/internal/ast"
+)
+
+func TestStoreGet(t *testing.T) {
+	s := Store{}
+	r := s.Get("p", 2)
+	if r.Arity() != 2 {
+		t.Fatalf("arity = %d", r.Arity())
+	}
+	if s.Get("p", 2) != r {
+		t.Error("Get did not return the existing relation")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("arity conflict did not panic")
+		}
+	}()
+	s.Get("p", 3)
+}
+
+func TestStoreInsertAll(t *testing.T) {
+	s := Store{}
+	n := s.InsertAll("p", [][]ast.Value{{1, 2}, {1, 2}, {3, 4}})
+	if n != 2 {
+		t.Errorf("InsertAll added %d, want 2", n)
+	}
+	if s["p"].Len() != 2 {
+		t.Errorf("|p| = %d", s["p"].Len())
+	}
+	if s.InsertAll("empty", nil) != 0 {
+		t.Error("empty insert returned nonzero")
+	}
+	if _, ok := s["empty"]; ok {
+		t.Error("empty insert materialized a relation")
+	}
+}
+
+func TestStoreClone(t *testing.T) {
+	s := Store{}
+	s.InsertAll("p", [][]ast.Value{{1}})
+	c := s.Clone()
+	c["p"].Insert(Tuple{2})
+	if s["p"].Len() != 1 {
+		t.Error("Clone shares relations")
+	}
+}
+
+func TestStorePreds(t *testing.T) {
+	s := Store{}
+	s.Get("zeta", 1)
+	s.Get("alpha", 1)
+	got := s.Preds()
+	if len(got) != 2 || got[0] != "alpha" || got[1] != "zeta" {
+		t.Errorf("Preds = %v", got)
+	}
+}
+
+func TestStoreEqualOn(t *testing.T) {
+	a := Store{}
+	b := Store{}
+	a.InsertAll("p", [][]ast.Value{{1}})
+	b.InsertAll("p", [][]ast.Value{{1}})
+	if !a.EqualOn(b, []string{"p"}) {
+		t.Error("equal stores reported unequal")
+	}
+	// Missing vs empty relation are equal.
+	a.Get("q", 1)
+	if !a.EqualOn(b, []string{"q"}) || !b.EqualOn(a, []string{"q"}) {
+		t.Error("empty vs missing relation mismatch")
+	}
+	// Missing vs nonempty differ, both directions.
+	a.InsertAll("r", [][]ast.Value{{9}})
+	if a.EqualOn(b, []string{"r"}) || b.EqualOn(a, []string{"r"}) {
+		t.Error("missing vs nonempty reported equal")
+	}
+	b.InsertAll("p", [][]ast.Value{{2}})
+	if a.EqualOn(b, []string{"p"}) {
+		t.Error("different relations reported equal")
+	}
+}
+
+func TestStoreTotalTuples(t *testing.T) {
+	s := Store{}
+	s.InsertAll("p", [][]ast.Value{{1}, {2}})
+	s.InsertAll("q", [][]ast.Value{{1, 1}})
+	if got := s.TotalTuples(); got != 3 {
+		t.Errorf("TotalTuples = %d", got)
+	}
+}

@@ -1,0 +1,171 @@
+package rewrite
+
+import (
+	"fmt"
+	"sort"
+
+	"parlog/internal/analysis"
+	"parlog/internal/ast"
+	"parlog/internal/hashpart"
+)
+
+// RuleSpec is the per-rule discriminating choice of the general scheme: a
+// discriminating sequence v(r_l) over the rule's variables and a
+// discriminating function h_l.
+type RuleSpec struct {
+	Seq []string
+	H   hashpart.Func
+}
+
+// GeneralSpec configures the Section 7 scheme for an arbitrary Datalog
+// program: one RuleSpec per proper (non-fact) rule, in rule order.
+type GeneralSpec struct {
+	Procs *hashpart.ProcSet
+	Rules []RuleSpec
+}
+
+// General rewrites an arbitrary Datalog program M into the Section 7 scheme
+// T = ∪ T_i. For every rule r with discriminating sequence v(r) and function
+// h, processor i gets the processing rule
+//
+//	A_out^i :- B*, …, C*, h(v(r)) = i
+//
+// where derived atoms read t_in^i and base atoms read the base relation
+// (their fragments b^i are an operational concern handled by the runtime's
+// EDB distribution; under the h(v(r)) = i constraint the declarative
+// semantics is identical). Sending rules route every derived atom occurrence
+// C of r: C_ij :- C_out^i, h(v(r)) = j when every variable of v(r) occurs in
+// C, and unconditionally (a broadcast) otherwise. Receiving and final
+// pooling are per derived predicate. Facts of M are copied unchanged.
+func General(prog *ast.Program, spec GeneralSpec) (*Rewritten, error) {
+	if spec.Procs == nil || spec.Procs.Len() == 0 {
+		return nil, fmt.Errorf("rewrite: empty processor set")
+	}
+	if err := analysis.CheckSafety(prog); err != nil {
+		return nil, err
+	}
+	rules, facts := prog.FactTuples()
+	if len(spec.Rules) != len(rules) {
+		return nil, fmt.Errorf("rewrite: %d rule specs for %d rules", len(spec.Rules), len(rules))
+	}
+	for ri, r := range rules {
+		if err := hashpart.ValidateSequence(r, spec.Rules[ri].Seq); err != nil {
+			return nil, fmt.Errorf("rule %d: %w", ri, err)
+		}
+	}
+
+	idb := make(map[string]bool)
+	arity := make(map[string]int)
+	for _, r := range rules {
+		idb[r.Head.Pred] = true
+		arity[r.Head.Pred] = r.Head.Arity()
+	}
+
+	rw := &Rewritten{
+		Program: &ast.Program{Interner: prog.Interner},
+		ByProc:  make(map[int][]ast.Rule),
+		Procs:   spec.Procs,
+	}
+	for p := range idb {
+		rw.Outputs = append(rw.Outputs, p)
+	}
+	sort.Strings(rw.Outputs)
+
+	for _, i := range spec.Procs.IDs() {
+		var ti []ast.Rule
+
+		for ri, r := range rules {
+			h := hashpart.AsHashFunc(spec.Rules[ri].H)
+			seq := spec.Rules[ri].Seq
+
+			// Processing: A_out^i :- …, h(v(r)) = i. Negated atoms (the
+			// stratified-negation extension) keep their original predicate:
+			// in the union program that is the pooled relation, which is
+			// complete before this rule's stratum fires.
+			body := make([]ast.Atom, len(r.Body))
+			for bi, a := range r.Body {
+				if idb[a.Pred] {
+					body[bi] = ast.NewAtom(InPred(a.Pred, i), a.Clone().Args...)
+				} else {
+					body[bi] = a.Clone()
+				}
+			}
+			var neg []ast.Atom
+			for _, a := range r.Negated {
+				neg = append(neg, a.Clone())
+			}
+			ti = append(ti, ast.Rule{
+				Head:    ast.NewAtom(OutPred(r.Head.Pred, i), r.Head.Args...),
+				Body:    body,
+				Negated: neg,
+			}.WithConstraints(ast.NewHashConstraint(h, seq, i)))
+
+			// Sending: one rule per derived atom occurrence and destination.
+			for _, a := range r.Body {
+				if !idb[a.Pred] {
+					continue
+				}
+				checkable := hashpart.ValidateSubsetOf(seq, a.Vars(nil), "atom") == nil
+				for _, j := range spec.Procs.IDs() {
+					send := ast.Rule{
+						Head: ast.NewAtom(ChanPred(a.Pred, i, j), a.Clone().Args...),
+						Body: []ast.Atom{ast.NewAtom(OutPred(a.Pred, i), a.Clone().Args...)},
+					}
+					if checkable {
+						send = send.WithConstraints(ast.NewHashConstraint(h, seq, j))
+					}
+					ti = append(ti, send)
+				}
+			}
+		}
+
+		// Receiving and final pooling, once per derived predicate.
+		for _, t := range rw.Outputs {
+			w := freshVars(arity[t])
+			for _, j := range spec.Procs.IDs() {
+				ti = append(ti, ast.NewRule(
+					ast.NewAtom(InPred(t, i), w...),
+					ast.NewAtom(ChanPred(t, j, i), w...),
+				))
+			}
+			ti = append(ti, ast.NewRule(
+				ast.NewAtom(t, w...),
+				ast.NewAtom(OutPred(t, i), w...),
+			))
+		}
+
+		ti = dedupRules(ti)
+		rw.ByProc[i] = ti
+		for _, r := range ti {
+			rw.Program.AddRule(r)
+		}
+	}
+
+	// Facts pass through unchanged (they are EDB input).
+	for pred, tuples := range facts {
+		for _, tuple := range tuples {
+			args := make([]ast.Term, len(tuple))
+			for k, v := range tuple {
+				args[k] = ast.C(v)
+			}
+			rw.Program.AddRule(ast.NewRule(ast.NewAtom(pred, args...)))
+		}
+	}
+	return rw, nil
+}
+
+// dedupRules removes syntactically identical rules (two occurrences of the
+// same derived atom in one rule generate identical sending rules).
+func dedupRules(rules []ast.Rule) []ast.Rule {
+	seen := make(map[string]bool, len(rules))
+	out := rules[:0]
+	for _, r := range rules {
+		k := r.String() // includes constraint listings
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, r)
+	}
+	return out
+}

@@ -1,0 +1,353 @@
+// Package rewrite implements the paper's program transformations: the
+// non-redundant scheme Q_i of Section 3, the no-communication scheme and the
+// redundancy/communication trade-off scheme R_i of Section 6, and the
+// general scheme T_i of Section 7 that applies to every Datalog program.
+//
+// Each transformation produces an ordinary, executable Datalog program (the
+// union over all processors) in which the discriminating conditions
+// "h(v(r)) = i" appear as constraint atoms and the channel predicates t_ij
+// appear as regular derived predicates. Evaluating that union sequentially
+// yields the least model that Theorems 1, 4 and 5 talk about, so the
+// correctness theorems are tested directly on the declarative artifact; the
+// parallel runtime executes the same structure operationally.
+package rewrite
+
+import (
+	"fmt"
+
+	"parlog/internal/analysis"
+	"parlog/internal/ast"
+	"parlog/internal/hashpart"
+)
+
+// OutPred names t_out^i. The '@' cannot appear in parsed identifiers, so
+// rewritten predicates never collide with source predicates.
+func OutPred(t string, i int) string { return fmt.Sprintf("%s@out@%d", t, i) }
+
+// InPred names t_in^i.
+func InPred(t string, i int) string { return fmt.Sprintf("%s@in@%d", t, i) }
+
+// ChanPred names t_ij, the channel carrying t-tuples from processor i to
+// processor j.
+func ChanPred(t string, i, j int) string { return fmt.Sprintf("%s@ch@%d@%d", t, i, j) }
+
+// Rewritten is the result of a transformation.
+type Rewritten struct {
+	// Program is the union ∪_{i∈P} of the per-processor programs — a single
+	// executable Datalog program.
+	Program *ast.Program
+	// ByProc lists each processor's own rules (the paper's Q_i / R_i / T_i),
+	// keyed by processor id, for display and for the parallel runtime.
+	ByProc map[int][]ast.Rule
+	// Outputs are the original derived predicates pooled by the final
+	// pooling rules.
+	Outputs []string
+	// Procs is the processor set used.
+	Procs *hashpart.ProcSet
+}
+
+// Listing renders one processor's program (the paper's Q_i / R_i / T_i).
+func (rw *Rewritten) Listing(proc int) string {
+	rules := rw.ByProc[proc]
+	out := ""
+	for _, r := range rules {
+		out += rw.Program.FormatRule(r) + "\n"
+	}
+	return out
+}
+
+// SirupSpec configures the Section 3 non-redundant scheme for a linear
+// sirup: the discriminating sequences v(r) and v(e) and functions h and h'.
+type SirupSpec struct {
+	Procs *hashpart.ProcSet
+	VR    []string // v(r): variables of the recursive rule
+	VE    []string // v(e): variables of the exit rule
+	H     hashpart.Func
+	HP    hashpart.Func // h'; nil means use H
+}
+
+// Q rewrites a linear sirup into the Section 3 scheme. The per-processor
+// program Q_i consists of the initialization, processing, sending, receiving
+// and final pooling rules; every processor shares the same h, which is what
+// makes the scheme semi-naive non-redundant (Theorem 2).
+func Q(s *analysis.Sirup, spec SirupSpec) (*Rewritten, error) {
+	if err := validateSirupSpec(s, spec); err != nil {
+		return nil, err
+	}
+	hp := spec.HP
+	if hp == nil {
+		hp = spec.H
+	}
+	h := hashpart.AsHashFunc(spec.H)
+	hprime := hashpart.AsHashFunc(hp)
+
+	rw := &Rewritten{
+		Program: &ast.Program{Interner: s.Program.Interner},
+		ByProc:  make(map[int][]ast.Rule),
+		Outputs: []string{s.T},
+		Procs:   spec.Procs,
+	}
+	t := s.T
+	arity := len(s.HeadVars)
+
+	for _, i := range spec.Procs.IDs() {
+		var qi []ast.Rule
+
+		// Initialization: t_out^i(Z̄) :- s-body, h'(v(e)) = i.
+		init := ast.Rule{
+			Head: ast.NewAtom(OutPred(t, i), s.Exit.Head.Args...),
+			Body: cloneAtoms(s.Exit.Body),
+		}.WithConstraints(ast.NewHashConstraint(hprime, spec.VE, i))
+		qi = append(qi, init)
+
+		// Processing: t_out^i(X̄) :- t_in^i(Ȳ), b1 … bk, h(v(r)) = i.
+		body := make([]ast.Atom, 0, len(s.Rec.Body))
+		for ai, a := range s.Rec.Body {
+			if ai == s.RecAtom {
+				body = append(body, ast.NewAtom(InPred(t, i), a.Clone().Args...))
+			} else {
+				body = append(body, a.Clone())
+			}
+		}
+		proc := ast.Rule{
+			Head: ast.NewAtom(OutPred(t, i), s.Rec.Head.Args...),
+			Body: body,
+		}.WithConstraints(ast.NewHashConstraint(h, spec.VR, i))
+		qi = append(qi, proc)
+
+		// Sending: t_ij(Ȳ) :- t_out^i(Ȳ), h(v(r)) = j — the constraint is
+		// checkable only when every variable of v(r) occurs in Ȳ; otherwise
+		// processor i cannot evaluate it and must send everything (the
+		// paper's Example 2).
+		recAtom := s.Rec.Body[s.RecAtom]
+		checkable := hashpart.ValidateSubsetOf(spec.VR, recAtom.Vars(nil), "Ȳ") == nil
+		for _, j := range spec.Procs.IDs() {
+			send := ast.Rule{
+				Head: ast.NewAtom(ChanPred(t, i, j), recAtom.Clone().Args...),
+				Body: []ast.Atom{ast.NewAtom(OutPred(t, i), recAtom.Clone().Args...)},
+			}
+			if checkable {
+				send = send.WithConstraints(ast.NewHashConstraint(h, spec.VR, j))
+			}
+			qi = append(qi, send)
+		}
+
+		// Receiving: t_in^i(W̄) :- t_ji(W̄) for every j.
+		w := freshVars(arity)
+		for _, j := range spec.Procs.IDs() {
+			qi = append(qi, ast.NewRule(
+				ast.NewAtom(InPred(t, i), w...),
+				ast.NewAtom(ChanPred(t, j, i), w...),
+			))
+		}
+
+		// Final pooling: t(W̄) :- t_out^i(W̄).
+		qi = append(qi, ast.NewRule(
+			ast.NewAtom(t, w...),
+			ast.NewAtom(OutPred(t, i), w...),
+		))
+
+		rw.ByProc[i] = qi
+		for _, r := range qi {
+			rw.Program.AddRule(r)
+		}
+	}
+	copyFacts(s.Program, rw.Program)
+	return rw, nil
+}
+
+// NoCommSpec configures the Section 6 no-communication scheme (first
+// presented in Wolfson '88): only v(e) and h' are needed.
+type NoCommSpec struct {
+	Procs *hashpart.ProcSet
+	VE    []string
+	HP    hashpart.Func
+}
+
+// NoComm rewrites a linear sirup into the communication-free scheme: each
+// processor seeds its local t^i from its share of the exit tuples and runs
+// the unmodified recursive rule to completion. The same tuple may be
+// generated at several processors (redundancy), and base relations are
+// shared/replicated.
+func NoComm(s *analysis.Sirup, spec NoCommSpec) (*Rewritten, error) {
+	if err := hashpart.ValidateSequence(s.Exit, spec.VE); err != nil {
+		return nil, err
+	}
+	hprime := hashpart.AsHashFunc(spec.HP)
+	rw := &Rewritten{
+		Program: &ast.Program{Interner: s.Program.Interner},
+		ByProc:  make(map[int][]ast.Rule),
+		Outputs: []string{s.T},
+		Procs:   spec.Procs,
+	}
+	t := s.T
+	arity := len(s.HeadVars)
+	for _, i := range spec.Procs.IDs() {
+		var ri []ast.Rule
+		// Initialization: t^i(Z̄) :- s-body, h'(v(e)) = i. We reuse the
+		// t_out naming so accounting treats all schemes uniformly.
+		ri = append(ri, ast.Rule{
+			Head: ast.NewAtom(OutPred(t, i), s.Exit.Head.Args...),
+			Body: cloneAtoms(s.Exit.Body),
+		}.WithConstraints(ast.NewHashConstraint(hprime, spec.VE, i)))
+		// Recursive processing: t^i(X̄) :- t^i(Ȳ), b1 … bk — no constraint,
+		// no channels.
+		body := make([]ast.Atom, 0, len(s.Rec.Body))
+		for ai, a := range s.Rec.Body {
+			if ai == s.RecAtom {
+				body = append(body, ast.NewAtom(OutPred(t, i), a.Clone().Args...))
+			} else {
+				body = append(body, a.Clone())
+			}
+		}
+		ri = append(ri, ast.Rule{
+			Head: ast.NewAtom(OutPred(t, i), s.Rec.Head.Args...),
+			Body: body,
+		})
+		// Final pooling.
+		w := freshVars(arity)
+		ri = append(ri, ast.NewRule(
+			ast.NewAtom(t, w...),
+			ast.NewAtom(OutPred(t, i), w...),
+		))
+		rw.ByProc[i] = ri
+		for _, r := range ri {
+			rw.Program.AddRule(r)
+		}
+	}
+	copyFacts(s.Program, rw.Program)
+	return rw, nil
+}
+
+// RSpec configures the Section 6 trade-off scheme: a common v(e)/h' and a
+// per-processor family of discriminating functions h_i.
+type RSpec struct {
+	Procs *hashpart.ProcSet
+	VR    []string // must satisfy v(r) ⊆ Ȳ (Section 6 restriction)
+	VE    []string
+	HP    hashpart.Func
+	// HI returns processor i's discriminating function h_i.
+	HI func(i int) hashpart.Func
+}
+
+// R rewrites a linear sirup into the trade-off scheme R_i: the processing
+// rule carries no discriminating constraint (a processor processes whatever
+// reaches its t_in), and each processor routes its outputs with its own h_i.
+// With h_i = Constant{i} this degenerates to NoComm; with all h_i equal it
+// coincides with Q (the paper's two extremes).
+func R(s *analysis.Sirup, spec RSpec) (*Rewritten, error) {
+	if err := hashpart.ValidateSequence(s.Rec, spec.VR); err != nil {
+		return nil, err
+	}
+	if err := hashpart.ValidateSequence(s.Exit, spec.VE); err != nil {
+		return nil, err
+	}
+	// Section 6 requires every variable of v(r) to appear in Ȳ.
+	if err := hashpart.ValidateSubsetOf(spec.VR, s.BodyVars, "Ȳ (the recursive body atom)"); err != nil {
+		return nil, err
+	}
+	hprime := hashpart.AsHashFunc(spec.HP)
+
+	rw := &Rewritten{
+		Program: &ast.Program{Interner: s.Program.Interner},
+		ByProc:  make(map[int][]ast.Rule),
+		Outputs: []string{s.T},
+		Procs:   spec.Procs,
+	}
+	t := s.T
+	arity := len(s.HeadVars)
+	for _, i := range spec.Procs.IDs() {
+		hi := hashpart.AsHashFunc(spec.HI(i))
+		var ri []ast.Rule
+
+		// Initialization: t_out^i(Z̄) :- s-body, h'(v(e)) = i.
+		ri = append(ri, ast.Rule{
+			Head: ast.NewAtom(OutPred(t, i), s.Exit.Head.Args...),
+			Body: cloneAtoms(s.Exit.Body),
+		}.WithConstraints(ast.NewHashConstraint(hprime, spec.VE, i)))
+
+		// Initialization tuples enter the processing loop through the
+		// processor's own router exactly like derived tuples do: the sending
+		// rules below read t_out^i, which includes them.
+
+		// Processing: t_out^i(X̄) :- t_in^i(Ȳ), b1 … bk (no constraint).
+		body := make([]ast.Atom, 0, len(s.Rec.Body))
+		for ai, a := range s.Rec.Body {
+			if ai == s.RecAtom {
+				body = append(body, ast.NewAtom(InPred(t, i), a.Clone().Args...))
+			} else {
+				body = append(body, a.Clone())
+			}
+		}
+		ri = append(ri, ast.Rule{
+			Head: ast.NewAtom(OutPred(t, i), s.Rec.Head.Args...),
+			Body: body,
+		})
+
+		// Sending: t_ij(Ȳ) :- t_out^i(Ȳ), h_i(v(r)) = j.
+		recAtom := s.Rec.Body[s.RecAtom]
+		for _, j := range spec.Procs.IDs() {
+			ri = append(ri, ast.Rule{
+				Head: ast.NewAtom(ChanPred(t, i, j), recAtom.Clone().Args...),
+				Body: []ast.Atom{ast.NewAtom(OutPred(t, i), recAtom.Clone().Args...)},
+			}.WithConstraints(ast.NewHashConstraint(hi, spec.VR, j)))
+		}
+
+		// Receiving and final pooling.
+		w := freshVars(arity)
+		for _, j := range spec.Procs.IDs() {
+			ri = append(ri, ast.NewRule(
+				ast.NewAtom(InPred(t, i), w...),
+				ast.NewAtom(ChanPred(t, j, i), w...),
+			))
+		}
+		ri = append(ri, ast.NewRule(
+			ast.NewAtom(t, w...),
+			ast.NewAtom(OutPred(t, i), w...),
+		))
+
+		rw.ByProc[i] = ri
+		for _, r := range ri {
+			rw.Program.AddRule(r)
+		}
+	}
+	copyFacts(s.Program, rw.Program)
+	return rw, nil
+}
+
+func validateSirupSpec(s *analysis.Sirup, spec SirupSpec) error {
+	if spec.Procs == nil || spec.Procs.Len() == 0 {
+		return fmt.Errorf("rewrite: empty processor set")
+	}
+	if err := hashpart.ValidateSequence(s.Rec, spec.VR); err != nil {
+		return err
+	}
+	return hashpart.ValidateSequence(s.Exit, spec.VE)
+}
+
+func cloneAtoms(atoms []ast.Atom) []ast.Atom {
+	out := make([]ast.Atom, len(atoms))
+	for i, a := range atoms {
+		out[i] = a.Clone()
+	}
+	return out
+}
+
+// freshVars returns W1 … Wn, the paper's sequence of new distinct variables.
+func freshVars(n int) []ast.Term {
+	out := make([]ast.Term, n)
+	for i := range out {
+		out[i] = ast.V(fmt.Sprintf("W%d", i+1))
+	}
+	return out
+}
+
+// copyFacts carries the source program's ground facts into the rewritten
+// program unchanged: they are EDB input, not part of any scheme.
+func copyFacts(src, dst *ast.Program) {
+	for _, r := range src.Rules {
+		if r.IsFact() {
+			dst.AddRule(r.Clone())
+		}
+	}
+}

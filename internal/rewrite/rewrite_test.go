@@ -1,0 +1,651 @@
+package rewrite
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"parlog/internal/analysis"
+	"parlog/internal/ast"
+	"parlog/internal/hashpart"
+	"parlog/internal/parser"
+	"parlog/internal/relation"
+	"parlog/internal/seminaive"
+)
+
+const ancestorRules = `
+anc(X, Y) :- par(X, Y).
+anc(X, Y) :- par(X, Z), anc(Z, Y).
+`
+
+// randomParFacts renders n random par edges over the given node count.
+func randomParFacts(nodes, edges int, seed int64) string {
+	rng := rand.New(rand.NewSource(seed))
+	var b strings.Builder
+	seen := map[[2]int]bool{}
+	for len(seen) < edges {
+		e := [2]int{rng.Intn(nodes), rng.Intn(nodes)}
+		if seen[e] {
+			continue
+		}
+		seen[e] = true
+		fmt.Fprintf(&b, "par(v%d, v%d).\n", e[0], e[1])
+	}
+	return b.String()
+}
+
+func chainFacts(n int) string {
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "par(v%d, v%d).\n", i, i+1)
+	}
+	return b.String()
+}
+
+// evalBoth evaluates the original program and a rewritten union program and
+// returns both stores and stats.
+func evalBoth(t *testing.T, prog *ast.Program, rw *Rewritten) (orig, par relation.Store, origStats, parStats *seminaive.Stats) {
+	t.Helper()
+	orig, origStats, err := seminaive.Eval(prog, relation.Store{}, seminaive.Options{})
+	if err != nil {
+		t.Fatalf("sequential eval: %v", err)
+	}
+	par, parStats, err = seminaive.Eval(rw.Program, relation.Store{}, seminaive.Options{})
+	if err != nil {
+		t.Fatalf("rewritten eval: %v", err)
+	}
+	return orig, par, origStats, parStats
+}
+
+// outFirings sums firings of rules deriving t_out^i predicates — the
+// "generation" work that Definition 1 and Theorems 2/6 count.
+func outFirings(stats *seminaive.Stats) int64 {
+	var n int64
+	for pred, c := range stats.FiringsByPred {
+		if strings.Contains(pred, "@out@") {
+			n += c
+		}
+	}
+	return n
+}
+
+func mustSirup(t *testing.T, prog *ast.Program) *analysis.Sirup {
+	t.Helper()
+	s, err := analysis.ExtractSirup(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// --- Section 3 scheme Q ---
+
+// TestQExample1 reproduces Example 1: v(r)=v(e)=⟨Y⟩. The least model must
+// match the sequential one (Theorem 1), no inter-processor channel may carry
+// a tuple, and generation firings must equal the sequential count
+// (Theorem 2, with equality on this scheme).
+func TestQExample1(t *testing.T) {
+	prog := parser.MustParse(ancestorRules + randomParFacts(10, 18, 1))
+	s := mustSirup(t, prog)
+	const N = 4
+	rw, err := Q(s, SirupSpec{
+		Procs: hashpart.RangeProcs(N),
+		VR:    []string{"Y"}, VE: []string{"Y"},
+		H: hashpart.ModHash{N: N},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, par, origStats, parStats := evalBoth(t, prog, rw)
+	if !orig["anc"].Equal(par["anc"]) {
+		t.Fatalf("Theorem 1 violated: anc differs\nseq: %v\npar: %v", orig["anc"], par["anc"])
+	}
+	// Example 1's claim: anc_ij = ∅ whenever i ≠ j.
+	for i := 0; i < N; i++ {
+		for j := 0; j < N; j++ {
+			ch := par[ChanPred("anc", i, j)]
+			if i != j && ch != nil && ch.Len() > 0 {
+				t.Errorf("channel %d→%d carries %d tuples, want 0", i, j, ch.Len())
+			}
+		}
+	}
+	if got, want := outFirings(parStats), origStats.Firings; got != want {
+		t.Errorf("generation firings = %d, sequential = %d (Theorem 2 equality)", got, want)
+	}
+}
+
+// TestQExample3 reproduces Example 3: v(e)=⟨X⟩, v(r)=⟨Z⟩ — point-to-point
+// communication, non-redundant.
+func TestQExample3(t *testing.T) {
+	prog := parser.MustParse(ancestorRules + randomParFacts(12, 24, 2))
+	s := mustSirup(t, prog)
+	const N = 3
+	rw, err := Q(s, SirupSpec{
+		Procs: hashpart.RangeProcs(N),
+		VR:    []string{"Z"}, VE: []string{"X"},
+		H: hashpart.ModHash{N: N},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, par, origStats, parStats := evalBoth(t, prog, rw)
+	if !orig["anc"].Equal(par["anc"]) {
+		t.Fatal("Theorem 1 violated for Example 3")
+	}
+	if got, want := outFirings(parStats), origStats.Firings; got != want {
+		t.Errorf("generation firings = %d, sequential = %d", got, want)
+	}
+	// Property 1 of Example 3: a tuple (a,b) ∈ anc_out^i is sent only to the
+	// unique processor h(a); so every channel tuple's first component hashes
+	// to the receiving processor.
+	h := hashpart.ModHash{N: N}
+	for i := 0; i < N; i++ {
+		for j := 0; j < N; j++ {
+			ch := par[ChanPred("anc", i, j)]
+			if ch == nil {
+				continue
+			}
+			for _, tuple := range ch.Rows() {
+				if h.Apply([]ast.Value{tuple[0]}) != j {
+					t.Errorf("channel %d→%d holds %v whose Z does not hash to %d", i, j, tuple, j)
+				}
+			}
+		}
+	}
+}
+
+// TestQExample2 reproduces Example 2 (Valduriez–Khoshafian): par is
+// arbitrarily fragmented, h is induced by the fragmentation, v(r)=⟨X,Z⟩,
+// v(e)=⟨X,Y⟩. Because X does not occur in Ȳ=(Z,Y), sending rules are
+// unconstrained broadcasts; the execution stays correct and non-redundant.
+func TestQExample2(t *testing.T) {
+	prog := parser.MustParse(ancestorRules + randomParFacts(10, 20, 3))
+	s := mustSirup(t, prog)
+	const N = 3
+
+	// Arbitrary fragmentation of par: round-robin by insertion order.
+	_, facts := prog.FactTuples()
+	frags := map[int]*relation.Relation{}
+	for i := 0; i < N; i++ {
+		frags[i] = relation.New(2)
+	}
+	for k, tuple := range facts["par"] {
+		frags[k%N].Insert(tuple)
+	}
+	h, err := hashpart.NewFragmentation(frags, hashpart.ModHash{N: N})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rw, err := Q(s, SirupSpec{
+		Procs: hashpart.RangeProcs(N),
+		VR:    []string{"X", "Z"}, VE: []string{"X", "Y"},
+		H: h,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, par, origStats, parStats := evalBoth(t, prog, rw)
+	if !orig["anc"].Equal(par["anc"]) {
+		t.Fatal("Theorem 1 violated for Example 2")
+	}
+	if got, want := outFirings(parStats), origStats.Firings; got != want {
+		t.Errorf("generation firings = %d, sequential = %d", got, want)
+	}
+	// The sending rules must be broadcasts (no constraint).
+	for _, r := range rw.ByProc[0] {
+		if strings.HasPrefix(r.Head.Pred, "anc@ch@") && len(r.Constraints) != 0 {
+			t.Errorf("Example 2 sending rule unexpectedly constrained: %s", rw.Program.FormatRule(r))
+		}
+	}
+}
+
+// TestQSingleProcessor: with |P| = 1 the scheme degenerates to sequential
+// evaluation.
+func TestQSingleProcessor(t *testing.T) {
+	prog := parser.MustParse(ancestorRules + chainFacts(6))
+	s := mustSirup(t, prog)
+	rw, err := Q(s, SirupSpec{
+		Procs: hashpart.RangeProcs(1),
+		VR:    []string{"Z"}, VE: []string{"X"},
+		H: hashpart.ModHash{N: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, par, _, _ := evalBoth(t, prog, rw)
+	if !orig["anc"].Equal(par["anc"]) {
+		t.Error("single-processor Q differs from sequential")
+	}
+}
+
+func TestQValidation(t *testing.T) {
+	prog := parser.MustParse(ancestorRules + chainFacts(2))
+	s := mustSirup(t, prog)
+	// W does not occur in the rule.
+	if _, err := Q(s, SirupSpec{
+		Procs: hashpart.RangeProcs(2),
+		VR:    []string{"W"}, VE: []string{"X"},
+		H: hashpart.ModHash{N: 2},
+	}); err == nil {
+		t.Error("bad v(r) accepted")
+	}
+	if _, err := Q(s, SirupSpec{
+		Procs: hashpart.RangeProcs(2),
+		VR:    []string{"Z"}, VE: []string{"Q9"},
+		H: hashpart.ModHash{N: 2},
+	}); err == nil {
+		t.Error("bad v(e) accepted")
+	}
+	if _, err := Q(s, SirupSpec{VR: []string{"Z"}, VE: []string{"X"}, H: hashpart.ModHash{N: 2}}); err == nil {
+		t.Error("nil processor set accepted")
+	}
+}
+
+func TestQListingShape(t *testing.T) {
+	prog := parser.MustParse(ancestorRules + chainFacts(1))
+	s := mustSirup(t, prog)
+	rw, err := Q(s, SirupSpec{
+		Procs: hashpart.RangeProcs(2),
+		VR:    []string{"Z"}, VE: []string{"X"},
+		H: hashpart.ModHash{N: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := rw.Listing(0)
+	for _, want := range []string{
+		"anc@out@0(X, Y) :- par(X, Y), hmod2(X) = 0.",
+		"anc@out@0(X, Y) :- par(X, Z), anc@in@0(Z, Y), hmod2(Z) = 0.",
+		"anc@ch@0@1(Z, Y) :- anc@out@0(Z, Y), hmod2(Z) = 1.",
+		"anc@in@0(W1, W2) :- anc@ch@1@0(W1, W2).",
+		"anc(W1, W2) :- anc@out@0(W1, W2).",
+	} {
+		if !strings.Contains(l, want) {
+			t.Errorf("listing missing %q:\n%s", want, l)
+		}
+	}
+}
+
+// --- Section 6 schemes ---
+
+// TestNoCommRedundant checks the no-communication scheme: correct results
+// and generation firings ≥ sequential (duplication is allowed, and on a
+// shared chain across 2+ processors it actually occurs).
+func TestNoCommRedundant(t *testing.T) {
+	prog := parser.MustParse(ancestorRules + chainFacts(12))
+	s := mustSirup(t, prog)
+	rw, err := NoComm(s, NoCommSpec{
+		Procs: hashpart.RangeProcs(3),
+		VE:    []string{"X"},
+		HP:    hashpart.ModHash{N: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, par, origStats, parStats := evalBoth(t, prog, rw)
+	if !orig["anc"].Equal(par["anc"]) {
+		t.Fatal("no-communication scheme incorrect")
+	}
+	if got, want := outFirings(parStats), origStats.Firings; got < want {
+		t.Errorf("generation firings = %d < sequential %d: every substitution must fire somewhere", got, want)
+	}
+	// No channel predicates at all.
+	for pred := range par {
+		if strings.Contains(pred, "@ch@") {
+			t.Errorf("no-communication scheme has channel predicate %s", pred)
+		}
+	}
+}
+
+// TestREqualsNoCommAtConstantExtreme: R with h_i = Constant(i) behaves like
+// the no-communication scheme (Section 6, property 1) except tuples cycle
+// through the self-channel.
+func TestRExtremes(t *testing.T) {
+	src := ancestorRules + randomParFacts(9, 16, 4)
+	const N = 3
+
+	build := func(hi func(i int) hashpart.Func) (relation.Store, *seminaive.Stats) {
+		prog := parser.MustParse(src)
+		s := mustSirup(t, prog)
+		rw, err := R(s, RSpec{
+			Procs: hashpart.RangeProcs(N),
+			VR:    []string{"Z"}, VE: []string{"X"},
+			HP: hashpart.ModHash{N: N},
+			HI: hi,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		store, stats, err := seminaive.Eval(rw.Program, relation.Store{}, seminaive.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return store, stats
+	}
+
+	prog := parser.MustParse(src)
+	orig, origStats, err := seminaive.Eval(prog, relation.Store{}, seminaive.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Extreme 1: h_i = Constant(i) — no inter-processor tuples (Theorem 4
+	// correctness, redundancy allowed).
+	store, stats := build(func(i int) hashpart.Func { return hashpart.Constant{Proc: i} })
+	if !orig["anc"].Equal(store["anc"]) {
+		t.Error("R/Constant incorrect")
+	}
+	for i := 0; i < N; i++ {
+		for j := 0; j < N; j++ {
+			if i == j {
+				continue
+			}
+			if ch := store[ChanPred("anc", i, j)]; ch != nil && ch.Len() > 0 {
+				t.Errorf("R/Constant: channel %d→%d carries %d tuples", i, j, ch.Len())
+			}
+		}
+	}
+	if outFirings(stats) < origStats.Firings {
+		t.Error("R/Constant fired fewer generations than sequential")
+	}
+
+	// Extreme 2: h_i = h for all i — non-redundant, equals the sequential
+	// firing count (the paper: "this program is identical to Q_i").
+	common := hashpart.ModHash{N: N}
+	store, stats = build(func(int) hashpart.Func { return common })
+	if !orig["anc"].Equal(store["anc"]) {
+		t.Error("R/common-h incorrect")
+	}
+	if got, want := outFirings(stats), origStats.Firings; got != want {
+		t.Errorf("R/common-h generation firings = %d, want %d", got, want)
+	}
+}
+
+// TestRMixSpectrum: intermediate h_i trade communication for redundancy;
+// correctness must hold at every point (Theorem 4).
+func TestRMixSpectrum(t *testing.T) {
+	src := ancestorRules + randomParFacts(10, 20, 5)
+	const N = 3
+	prog := parser.MustParse(src)
+	orig, origStats, err := seminaive.Eval(prog, relation.Store{}, seminaive.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared := hashpart.ModHash{N: N}
+	for _, keep := range []int{0, 250, 500, 750, 1000} {
+		prog := parser.MustParse(src)
+		s := mustSirup(t, prog)
+		rw, err := R(s, RSpec{
+			Procs: hashpart.RangeProcs(N),
+			VR:    []string{"Z"}, VE: []string{"X"},
+			HP: hashpart.ModHash{N: N},
+			HI: func(i int) hashpart.Func {
+				return hashpart.Mix{Local: i, Shared: shared, KeepPermille: keep}
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		store, stats, err := seminaive.Eval(rw.Program, relation.Store{}, seminaive.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !orig["anc"].Equal(store["anc"]) {
+			t.Errorf("keep=%d: Theorem 4 violated", keep)
+		}
+		if outFirings(stats) < origStats.Firings {
+			t.Errorf("keep=%d: fewer generation firings than sequential", keep)
+		}
+	}
+}
+
+func TestRValidatesSection6Restriction(t *testing.T) {
+	// v(r)=⟨X⟩: X occurs in the body but not in Ȳ=(Z,Y) — Section 6
+	// requires v(r) ⊆ Ȳ.
+	prog := parser.MustParse(ancestorRules + chainFacts(2))
+	s := mustSirup(t, prog)
+	_, err := R(s, RSpec{
+		Procs: hashpart.RangeProcs(2),
+		VR:    []string{"X"}, VE: []string{"X"},
+		HP: hashpart.ModHash{N: 2},
+		HI: func(int) hashpart.Func { return hashpart.ModHash{N: 2} },
+	})
+	if err == nil {
+		t.Error("R accepted v(r) ⊄ Ȳ")
+	}
+}
+
+// --- Section 7 general scheme ---
+
+// TestGeneralExample8 reproduces Example 8: the non-linear ancestor program
+// with v(r1)=⟨Y⟩, v(r2)=⟨Z⟩ and a common h.
+func TestGeneralExample8(t *testing.T) {
+	src := `
+anc(X, Y) :- par(X, Y).
+anc(X, Y) :- anc(X, Z), anc(Z, Y).
+` + randomParFacts(10, 18, 6)
+	prog := parser.MustParse(src)
+	const N = 4
+	h := hashpart.ModHash{N: N}
+	rw, err := General(prog, GeneralSpec{
+		Procs: hashpart.RangeProcs(N),
+		Rules: []RuleSpec{
+			{Seq: []string{"Y"}, H: h},
+			{Seq: []string{"Z"}, H: h},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, par, origStats, parStats := evalBoth(t, prog, rw)
+	if !orig["anc"].Equal(par["anc"]) {
+		t.Fatal("Theorem 5 violated on Example 8")
+	}
+	// Theorem 6: parallel generation firings do not exceed sequential; with
+	// v(r2)=⟨Z⟩ shared by both occurrences the partition is exact.
+	if got, want := outFirings(parStats), origStats.Firings; got > want {
+		t.Errorf("Theorem 6 violated: %d parallel > %d sequential", got, want)
+	}
+}
+
+func TestGeneralExample8Listing(t *testing.T) {
+	prog := parser.MustParse(`
+anc(X, Y) :- par(X, Y).
+anc(X, Y) :- anc(X, Z), anc(Z, Y).
+par(a, b).
+`)
+	h := hashpart.ModHash{N: 2}
+	rw, err := General(prog, GeneralSpec{
+		Procs: hashpart.RangeProcs(2),
+		Rules: []RuleSpec{
+			{Seq: []string{"Y"}, H: h},
+			{Seq: []string{"Z"}, H: h},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := rw.Listing(0)
+	for _, want := range []string{
+		// Processing (Example 8 step 1).
+		"anc@out@0(X, Y) :- par(X, Y), hmod2(Y) = 0.",
+		"anc@out@0(X, Y) :- anc@in@0(X, Z), anc@in@0(Z, Y), hmod2(Z) = 0.",
+		// Sending for both occurrences (step 2).
+		"anc@ch@0@1(X, Z) :- anc@out@0(X, Z), hmod2(Z) = 1.",
+		"anc@ch@0@1(Z, Y) :- anc@out@0(Z, Y), hmod2(Z) = 1.",
+		// Receiving and pooling (steps 3 and 4).
+		"anc@in@0(W1, W2) :- anc@ch@1@0(W1, W2).",
+		"anc(W1, W2) :- anc@out@0(W1, W2).",
+	} {
+		if !strings.Contains(l, want) {
+			t.Errorf("listing missing %q:\n%s", want, l)
+		}
+	}
+}
+
+// TestGeneralMutualRecursion: the scheme must handle several recursive
+// predicates deriving each other.
+func TestGeneralMutualRecursion(t *testing.T) {
+	var b strings.Builder
+	b.WriteString(`
+even(X) :- zero(X).
+even(Y) :- succ(X, Y), odd(X).
+odd(Y) :- succ(X, Y), even(X).
+zero(n0).
+`)
+	for i := 0; i < 12; i++ {
+		fmt.Fprintf(&b, "succ(n%d, n%d).\n", i, i+1)
+	}
+	prog := parser.MustParse(b.String())
+	h := hashpart.ModHash{N: 3}
+	rw, err := General(prog, GeneralSpec{
+		Procs: hashpart.RangeProcs(3),
+		Rules: []RuleSpec{
+			{Seq: []string{"X"}, H: h},
+			{Seq: []string{"Y"}, H: h},
+			{Seq: []string{"Y"}, H: h},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, par, _, _ := evalBoth(t, prog, rw)
+	for _, pred := range []string{"even", "odd"} {
+		if !orig[pred].Equal(par[pred]) {
+			t.Errorf("Theorem 5 violated for %s", pred)
+		}
+	}
+}
+
+// TestGeneralLinearAsSpecialCase: running the general scheme on the linear
+// ancestor program with v(r)=⟨Z⟩ must agree with Q/Example 3.
+func TestGeneralLinearAsSpecialCase(t *testing.T) {
+	src := ancestorRules + randomParFacts(8, 14, 7)
+	prog := parser.MustParse(src)
+	const N = 2
+	h := hashpart.ModHash{N: N}
+	rw, err := General(prog, GeneralSpec{
+		Procs: hashpart.RangeProcs(N),
+		Rules: []RuleSpec{
+			{Seq: []string{"X"}, H: h}, // exit rule: v=⟨X⟩
+			{Seq: []string{"Z"}, H: h}, // recursive rule: v=⟨Z⟩
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, par, origStats, parStats := evalBoth(t, prog, rw)
+	if !orig["anc"].Equal(par["anc"]) {
+		t.Fatal("general scheme on linear sirup incorrect")
+	}
+	if got, want := outFirings(parStats), origStats.Firings; got != want {
+		t.Errorf("generation firings = %d, want %d", got, want)
+	}
+}
+
+func TestGeneralValidation(t *testing.T) {
+	prog := parser.MustParse(ancestorRules + chainFacts(2))
+	h := hashpart.ModHash{N: 2}
+	if _, err := General(prog, GeneralSpec{
+		Procs: hashpart.RangeProcs(2),
+		Rules: []RuleSpec{{Seq: []string{"X"}, H: h}}, // one spec for two rules
+	}); err == nil {
+		t.Error("wrong spec count accepted")
+	}
+	if _, err := General(prog, GeneralSpec{
+		Procs: hashpart.RangeProcs(2),
+		Rules: []RuleSpec{
+			{Seq: []string{"NOPE"}, H: h},
+			{Seq: []string{"Z"}, H: h},
+		},
+	}); err == nil {
+		t.Error("unknown discriminating variable accepted")
+	}
+}
+
+// TestQRandomizedEquivalence is the Theorem 1 property test: across random
+// graphs, hash functions and processor counts, the rewritten program's least
+// model equals the original's.
+func TestQRandomizedEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed + 100))
+		n := 2 + rng.Intn(4)
+		src := ancestorRules + randomParFacts(8+rng.Intn(6), 10+rng.Intn(14), seed)
+		prog := parser.MustParse(src)
+		s := mustSirup(t, prog)
+		// Random legal choice of v(r) among ⟨Y⟩, ⟨Z⟩, ⟨X,Z⟩, ⟨Z,Y⟩.
+		vrChoices := [][]string{{"Y"}, {"Z"}, {"X", "Z"}, {"Z", "Y"}}
+		vr := vrChoices[rng.Intn(len(vrChoices))]
+		veChoices := [][]string{{"X"}, {"Y"}, {"X", "Y"}}
+		ve := veChoices[rng.Intn(len(veChoices))]
+		rw, err := Q(s, SirupSpec{
+			Procs: hashpart.RangeProcs(n),
+			VR:    vr, VE: ve,
+			H:  hashpart.ModHash{N: n, Seed: uint64(seed)},
+			HP: hashpart.ModHash{N: n, Seed: uint64(seed * 7)},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		orig, par, origStats, parStats := evalBoth(t, prog, rw)
+		if !orig["anc"].Equal(par["anc"]) {
+			t.Fatalf("seed %d vr=%v ve=%v n=%d: Theorem 1 violated", seed, vr, ve, n)
+		}
+		if got, want := outFirings(parStats), origStats.Firings; got != want {
+			t.Errorf("seed %d: generation firings %d != sequential %d", seed, got, want)
+		}
+	}
+}
+
+// TestGeneralWithNegationDeclarative: the Section 7 rewrite extended with
+// stratified negation — the union program, evaluated sequentially, must
+// equal the original stratified semantics.
+func TestGeneralWithNegationDeclarative(t *testing.T) {
+	src := `
+reach(X) :- source(X).
+reach(Y) :- reach(X), edge(X, Y).
+unreachable(X) :- node(X), !reach(X).
+source(v0).
+` + randomParFacts(0, 0, 0)
+	var b strings.Builder
+	b.WriteString(src)
+	for i := 0; i < 12; i++ {
+		fmt.Fprintf(&b, "node(v%d).\n", i)
+	}
+	rng := rand.New(rand.NewSource(9))
+	for k := 0; k < 18; k++ {
+		fmt.Fprintf(&b, "edge(v%d, v%d).\n", rng.Intn(12), rng.Intn(12))
+	}
+	prog := parser.MustParse(b.String())
+	want, _, err := seminaive.Eval(prog, relation.Store{}, seminaive.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := hashpart.ModHash{N: 3}
+	rw, err := General(prog, GeneralSpec{
+		Procs: hashpart.RangeProcs(3),
+		Rules: []RuleSpec{
+			{Seq: []string{"X"}, H: h},
+			{Seq: []string{"Y"}, H: h},
+			{Seq: []string{"X"}, H: h},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The union program's listing must carry the negation.
+	if !strings.Contains(rw.Listing(0), "!reach(X)") {
+		t.Errorf("listing lost negation:\n%s", rw.Listing(0))
+	}
+	got, _, err := seminaive.Eval(rw.Program, relation.Store{}, seminaive.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pred := range []string{"reach", "unreachable"} {
+		if !want[pred].Equal(got[pred]) {
+			t.Errorf("%s differs between original and union program", pred)
+		}
+	}
+}

@@ -1,0 +1,280 @@
+package seminaive
+
+import (
+	"fmt"
+
+	"parlog/internal/analysis"
+	"parlog/internal/ast"
+	"parlog/internal/relation"
+)
+
+// Options configures sequential evaluation.
+type Options struct {
+	// Naive switches to naive (full re-evaluation) iteration — the ablation
+	// baseline against which semi-naive's non-redundancy is measured.
+	Naive bool
+	// MaxIterations aborts runaway evaluations; 0 means unlimited.
+	MaxIterations int
+}
+
+// Stats reports what an evaluation did. Firings is the number of successful
+// ground substitutions of rules (after constraints) — the quantity
+// Definition 1 and Theorems 2/6 compare. Firings minus New is the number of
+// rederivations of already-known tuples.
+type Stats struct {
+	Iterations int
+	Firings    int64
+	New        int64
+	// FiringsByPred counts successful substitutions per head predicate.
+	FiringsByPred map[string]int64
+}
+
+func newStats() *Stats { return &Stats{FiringsByPred: make(map[string]int64)} }
+
+// add merges other into s.
+func (s *Stats) add(other *Stats) {
+	s.Iterations += other.Iterations
+	s.Firings += other.Firings
+	s.New += other.New
+	for k, v := range other.FiringsByPred {
+		s.FiringsByPred[k] += v
+	}
+}
+
+// Eval computes the least model of prog over the given EDB and returns the
+// complete store (input relations plus all derived relations). The input
+// store is not modified. Facts embedded in prog are added to the store
+// first. Rules may carry constraints (as produced by the rewriting schemes);
+// a substitution rejected by a constraint is not a firing.
+func Eval(prog *ast.Program, edb relation.Store, opts Options) (relation.Store, *Stats, error) {
+	rules, facts := prog.FactTuples()
+	if err := analysis.CheckSafety(prog); err != nil {
+		return nil, nil, err
+	}
+	if analysis.HasNegation(prog) {
+		if _, err := analysis.Stratify(prog); err != nil {
+			return nil, nil, err
+		}
+		if opts.Naive {
+			return nil, nil, fmt.Errorf("seminaive: naive iteration does not support negation; use the default stratified semi-naive mode")
+		}
+	}
+	arities := prog.Arities()
+
+	store := edb.Clone()
+	for pred, r := range store {
+		if want, ok := arities[pred]; ok && r.Arity() != want {
+			return nil, nil, fmt.Errorf("seminaive: EDB relation %s has arity %d, program uses %d", pred, r.Arity(), want)
+		}
+	}
+	for pred, tuples := range facts {
+		store.InsertAll(pred, tuples)
+	}
+	// Materialize every predicate so lookups never miss.
+	for pred, ar := range arities {
+		store.Get(pred, ar)
+	}
+
+	stats := newStats()
+	if opts.Naive {
+		if err := evalNaive(rules, store, stats, opts); err != nil {
+			return nil, nil, err
+		}
+		return store, stats, nil
+	}
+
+	g := analysis.Dependencies(prog)
+	comp := make(map[string]int)
+	sccs := g.SCCs()
+	for i, scc := range sccs {
+		for _, p := range scc {
+			comp[p] = i
+		}
+	}
+	for i, scc := range sccs {
+		inSCC := make(map[string]bool, len(scc))
+		for _, p := range scc {
+			inSCC[p] = true
+		}
+		var nonRec, rec []ast.Rule
+		for _, r := range rules {
+			if comp[r.Head.Pred] != i {
+				continue
+			}
+			recursive := false
+			for _, a := range r.Body {
+				if inSCC[a.Pred] {
+					recursive = true
+					break
+				}
+			}
+			if recursive {
+				rec = append(rec, r)
+			} else {
+				nonRec = append(nonRec, r)
+			}
+		}
+		if len(nonRec) == 0 && len(rec) == 0 {
+			continue
+		}
+		s, err := evalSCC(nonRec, rec, inSCC, store, opts)
+		if err != nil {
+			return nil, nil, err
+		}
+		stats.add(s)
+	}
+	return store, stats, nil
+}
+
+// evalSCC runs the semi-naive loop for one strongly connected component.
+func evalSCC(nonRec, rec []ast.Rule, inSCC map[string]bool, store relation.Store, opts Options) (*Stats, error) {
+	stats := newStats()
+
+	// One-shot rules: their bodies read only completed components, so a
+	// single pass suffices.
+	for _, r := range nonRec {
+		plan := Compile(r, nil)
+		head := r.Head.Pred
+		rel := store.Get(head, r.Head.Arity())
+		n := plan.Enumerate(store, nil, func(vals []ast.Value) bool {
+			if rel.Insert(plan.HeadTuple(vals)) {
+				stats.New++
+			}
+			return true
+		})
+		stats.Firings += n
+		stats.FiringsByPred[head] += n
+	}
+	if len(rec) == 0 {
+		return stats, nil
+	}
+
+	// Compile the exact delta decomposition of every recursive rule.
+	type compiled struct {
+		plans []*Plan
+		head  string
+		arity int
+	}
+	var cs []compiled
+	for _, r := range rec {
+		var recAtoms []int
+		for j, a := range r.Body {
+			if inSCC[a.Pred] {
+				recAtoms = append(recAtoms, j)
+			}
+		}
+		cs = append(cs, compiled{
+			plans: DeltaVariants(r, recAtoms),
+			head:  r.Head.Pred,
+			arity: r.Head.Arity(),
+		})
+	}
+
+	// Watermarks: everything present now is the initial delta.
+	w := &Watermarks{Prev: map[string]int{}, Cur: map[string]int{}}
+	for p := range inSCC {
+		w.Prev[p] = 0
+		if rel, ok := store[p]; ok {
+			w.Cur[p] = rel.Len()
+		}
+	}
+
+	type staged struct {
+		pred  string
+		tuple relation.Tuple
+	}
+	for {
+		stats.Iterations++
+		if opts.MaxIterations > 0 && stats.Iterations > opts.MaxIterations {
+			return nil, fmt.Errorf("seminaive: exceeded %d iterations", opts.MaxIterations)
+		}
+		var news []staged
+		stagedSeen := make(map[string]*relation.Relation)
+		scratch := make(relation.Tuple, 8)
+		for _, c := range cs {
+			rel := store.Get(c.head, c.arity)
+			if cap(scratch) < c.arity {
+				scratch = make(relation.Tuple, c.arity)
+			}
+			buf := scratch[:c.arity]
+			for _, plan := range c.plans {
+				n := plan.Enumerate(store, w, func(vals []ast.Value) bool {
+					t := plan.HeadTupleInto(buf, vals)
+					if rel.Contains(t) {
+						return true
+					}
+					set := stagedSeen[c.head]
+					if set == nil {
+						set = relation.New(c.arity)
+						stagedSeen[c.head] = set
+					}
+					if !set.Insert(t) {
+						return true
+					}
+					news = append(news, staged{pred: c.head, tuple: set.Row(set.Len() - 1)})
+					return true
+				})
+				stats.Firings += n
+				stats.FiringsByPred[c.head] += n
+			}
+		}
+		if len(news) == 0 {
+			return stats, nil
+		}
+		// Advance the watermarks: the staged tuples become the next delta.
+		for p := range inSCC {
+			if rel, ok := store[p]; ok {
+				w.Prev[p] = rel.Len()
+			}
+		}
+		for _, s := range news {
+			if store[s.pred].Insert(s.tuple) {
+				stats.New++
+			}
+		}
+		for p := range inSCC {
+			if rel, ok := store[p]; ok {
+				w.Cur[p] = rel.Len()
+			}
+		}
+	}
+}
+
+// evalNaive iterates every rule over the full store until fixpoint.
+func evalNaive(rules []ast.Rule, store relation.Store, stats *Stats, opts Options) error {
+	plans := make([]*Plan, len(rules))
+	for i, r := range rules {
+		plans[i] = Compile(r, nil)
+	}
+	for {
+		stats.Iterations++
+		if opts.MaxIterations > 0 && stats.Iterations > opts.MaxIterations {
+			return fmt.Errorf("seminaive: exceeded %d iterations (naive)", opts.MaxIterations)
+		}
+		changed := false
+		for i, plan := range plans {
+			head := rules[i].Head
+			rel := store.Get(head.Pred, head.Arity())
+			scratch := make(relation.Tuple, head.Arity())
+			var toInsert []relation.Tuple
+			n := plan.Enumerate(store, nil, func(vals []ast.Value) bool {
+				t := plan.HeadTupleInto(scratch, vals)
+				if !rel.Contains(t) {
+					toInsert = append(toInsert, t.Clone())
+				}
+				return true
+			})
+			stats.Firings += n
+			stats.FiringsByPred[head.Pred] += n
+			for _, t := range toInsert {
+				if rel.Insert(t) {
+					stats.New++
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			return nil
+		}
+	}
+}

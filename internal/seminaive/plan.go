@@ -1,0 +1,472 @@
+// Package seminaive implements sequential bottom-up evaluation of Datalog
+// programs: naive iteration and the semi-naive algorithm the paper assumes
+// as its execution model (Section 2, [3,4,14]). It also exports the rule
+// plan/enumeration machinery reused by the parallel runtime, and counts
+// successful ground substitutions — the currency of the paper's
+// non-redundancy results (Definition 1, Definition 4, Theorems 2 and 6).
+package seminaive
+
+import (
+	"fmt"
+	"sort"
+
+	"parlog/internal/ast"
+	"parlog/internal/relation"
+)
+
+// RangeKind selects which rows of a body atom's relation a rule variant may
+// read during one semi-naive iteration.
+type RangeKind int
+
+const (
+	// RangeFull reads every row present at the start of the iteration.
+	RangeFull RangeKind = iota
+	// RangePrev reads only rows that existed before the previous iteration's
+	// delta (T_{k-1}).
+	RangePrev
+	// RangeDelta reads only the previous iteration's new rows (Δ_k).
+	RangeDelta
+)
+
+// Watermarks gives, per predicate, the row counts delimiting the semi-naive
+// ranges: Prev rows existed before the last delta, Cur rows exist now.
+// Predicates absent from the maps are treated as fully readable.
+type Watermarks struct {
+	Prev map[string]int
+	Cur  map[string]int
+}
+
+// bounds returns the half-open row interval for pred under kind. n is the
+// relation's current physical length, used when pred has no watermark.
+func (w *Watermarks) bounds(pred string, kind RangeKind, n int) (lo, hi int) {
+	if w == nil {
+		return 0, n
+	}
+	cur, ok := w.Cur[pred]
+	if !ok {
+		return 0, n
+	}
+	switch kind {
+	case RangePrev:
+		return 0, w.Prev[pred]
+	case RangeDelta:
+		return w.Prev[pred], cur
+	default:
+		return 0, cur
+	}
+}
+
+// Plan is a compiled evaluation strategy for one rule variant: a join order
+// over the body atoms, the range each atom reads, slot-compiled variable
+// access (no maps on the hot path), and the earliest point at which each
+// constraint can be checked.
+type Plan struct {
+	Rule ast.Rule
+	// Order lists body-atom indexes in execution order.
+	Order []int
+	// Ranges[i] is the range kind for body atom i (indexed by body position,
+	// not execution position).
+	Ranges []RangeKind
+
+	slotOf map[string]int // variable name → dense slot
+	atoms  []atomExec     // one per Order entry
+	head   []slotOrConst
+	// zeroChecks are constraints with no variables, evaluated once per
+	// enumeration (they only arise in degenerate rewrites).
+	zeroChecks []compiledConstraint
+	// zeroNegs are ground negation probes of bodiless rules.
+	zeroNegs []compiledNegation
+}
+
+// slotOrConst addresses either a variable slot or an inline constant.
+type slotOrConst struct {
+	slot  int // ≥0: slot index; <0: constant
+	value ast.Value
+}
+
+// compiledConstraint is a HashConstraint with its arguments resolved to
+// slots.
+type compiledConstraint struct {
+	h     *ast.HashFunc
+	slots []int
+	proc  int
+}
+
+// atomExec is one body atom compiled against the boundness state of its
+// execution position.
+type atomExec struct {
+	pred string
+	kind RangeKind
+	// bound columns feed the index lookup: value comes from a slot (≥0) or
+	// an inline constant.
+	boundCols []int
+	boundSrc  []slotOrConst
+	// free columns bind new slots in first-occurrence order.
+	freeCols  []int
+	freeSlots []int
+	// check columns must equal a slot bound earlier within this same atom
+	// (repeated fresh variable).
+	checkCols  []int
+	checkSlots []int
+	// constraints become checkable after this atom binds its slots.
+	constraints []compiledConstraint
+	// negations become probeable after this atom binds their variables.
+	negations []compiledNegation
+}
+
+// compiledNegation is a stratified-negation filter: the substitution
+// survives only if the ground instance of the atom is absent from its
+// (completed, lower-stratum) relation.
+type compiledNegation struct {
+	pred string
+	src  []slotOrConst
+}
+
+// Compile builds a plan for rule with the given per-atom ranges (nil for an
+// all-RangeFull plan). The join order starts from the first delta atom (or
+// atom 0) and greedily appends the atom with the most bound argument
+// positions. Rules may carry *ast.HashConstraint conditions; other
+// Constraint implementations are rejected.
+func Compile(rule ast.Rule, ranges []RangeKind) *Plan {
+	n := len(rule.Body)
+	if ranges == nil {
+		ranges = make([]RangeKind, n)
+	}
+	p := &Plan{Rule: rule, Ranges: ranges, slotOf: make(map[string]int)}
+
+	slot := func(name string) int {
+		if s, ok := p.slotOf[name]; ok {
+			return s
+		}
+		s := len(p.slotOf)
+		p.slotOf[name] = s
+		return s
+	}
+
+	if n > 0 {
+		first := 0
+		for i, k := range ranges {
+			if k == RangeDelta {
+				first = i
+				break
+			}
+		}
+		used := make([]bool, n)
+		bound := map[string]bool{}
+		take := func(i int) {
+			used[i] = true
+			p.Order = append(p.Order, i)
+			for _, t := range rule.Body[i].Args {
+				if t.IsVar() {
+					bound[t.VarName] = true
+				}
+			}
+		}
+		take(first)
+		for len(p.Order) < n {
+			best, bestScore := -1, -1
+			for i := 0; i < n; i++ {
+				if used[i] {
+					continue
+				}
+				score := 0
+				for _, t := range rule.Body[i].Args {
+					if !t.IsVar() || bound[t.VarName] {
+						score++
+					}
+				}
+				if score > bestScore {
+					best, bestScore = i, score
+				}
+			}
+			take(best)
+		}
+	}
+
+	// Compile the atoms against the boundness state along the order.
+	boundSlot := map[string]bool{}
+	p.atoms = make([]atomExec, len(p.Order))
+	for k, idx := range p.Order {
+		atom := rule.Body[idx]
+		ae := atomExec{pred: atom.Pred, kind: ranges[idx]}
+		seenHere := map[string]int{} // var → slot bound earlier in this atom
+		for ci, t := range atom.Args {
+			switch {
+			case !t.IsVar():
+				ae.boundCols = append(ae.boundCols, ci)
+				ae.boundSrc = append(ae.boundSrc, slotOrConst{slot: -1, value: t.Value})
+			case boundSlot[t.VarName]:
+				ae.boundCols = append(ae.boundCols, ci)
+				ae.boundSrc = append(ae.boundSrc, slotOrConst{slot: slot(t.VarName)})
+			case seenHere[t.VarName] != 0:
+				ae.checkCols = append(ae.checkCols, ci)
+				ae.checkSlots = append(ae.checkSlots, seenHere[t.VarName]-1)
+			default:
+				s := slot(t.VarName)
+				seenHere[t.VarName] = s + 1
+				ae.freeCols = append(ae.freeCols, ci)
+				ae.freeSlots = append(ae.freeSlots, s)
+			}
+		}
+		for v := range seenHere {
+			boundSlot[v] = true
+		}
+		p.atoms[k] = ae
+	}
+
+	// Head access.
+	p.head = make([]slotOrConst, len(rule.Head.Args))
+	for i, t := range rule.Head.Args {
+		if t.IsVar() {
+			p.head[i] = slotOrConst{slot: slot(t.VarName)}
+		} else {
+			p.head[i] = slotOrConst{slot: -1, value: t.Value}
+		}
+	}
+
+	// Attach each constraint to the earliest execution position where all of
+	// its variables are bound.
+	for _, c := range rule.Constraints {
+		hc, ok := c.(*ast.HashConstraint)
+		if !ok {
+			panic(fmt.Sprintf("seminaive: cannot compile constraint type %T", c))
+		}
+		cc := compiledConstraint{h: hc.H, proc: hc.Proc}
+		for _, v := range hc.Args {
+			cc.slots = append(cc.slots, slot(v))
+		}
+		if len(hc.Args) == 0 || n == 0 {
+			p.zeroChecks = append(p.zeroChecks, cc)
+			continue
+		}
+		pos := earliestCovered(rule, p.Order, hc.Args)
+		p.atoms[pos].constraints = append(p.atoms[pos].constraints, cc)
+	}
+
+	// Attach each negated atom likewise; safety guarantees its variables are
+	// bound by the positive body.
+	for _, a := range rule.Negated {
+		cn := compiledNegation{pred: a.Pred, src: make([]slotOrConst, len(a.Args))}
+		for i, t := range a.Args {
+			if t.IsVar() {
+				cn.src[i] = slotOrConst{slot: slot(t.VarName)}
+			} else {
+				cn.src[i] = slotOrConst{slot: -1, value: t.Value}
+			}
+		}
+		vars := a.Vars(nil)
+		if len(vars) == 0 || n == 0 {
+			p.zeroNegs = append(p.zeroNegs, cn)
+			continue
+		}
+		pos := earliestCovered(rule, p.Order, vars)
+		p.atoms[pos].negations = append(p.atoms[pos].negations, cn)
+	}
+	return p
+}
+
+// Slots reports the number of variable slots; Enumerate hands fn a value
+// array of this length.
+func (p *Plan) Slots() int { return len(p.slotOf) }
+
+// SlotOf returns the slot of a variable, for callers that need to read
+// specific bindings from the enumeration array.
+func (p *Plan) SlotOf(name string) (int, bool) {
+	s, ok := p.slotOf[name]
+	return s, ok
+}
+
+// earliestCovered returns the execution position after which all vars are
+// bound. Safety guarantees such a position exists.
+func earliestCovered(rule ast.Rule, order []int, vars []string) int {
+	need := make(map[string]bool, len(vars))
+	for _, v := range vars {
+		need[v] = true
+	}
+	for k, idx := range order {
+		for _, t := range rule.Body[idx].Args {
+			if t.IsVar() {
+				delete(need, t.VarName)
+			}
+		}
+		if len(need) == 0 {
+			return k
+		}
+	}
+	return len(order) - 1
+}
+
+// Enumerate calls fn with the slot-value array of every ground substitution
+// that satisfies the body atoms (within their ranges) and all constraints.
+// The array is reused between calls; fn must not retain it. fn returning
+// false stops the enumeration. The number of successful substitutions is
+// returned.
+func (p *Plan) Enumerate(store relation.Store, w *Watermarks, fn func(vals []ast.Value) bool) int64 {
+	vals := make([]ast.Value, len(p.slotOf))
+	hargs := make([]ast.Value, 0, 8)
+	negBuf := make(relation.Tuple, 0, 8)
+
+	check := func(cc compiledConstraint) bool {
+		hargs = hargs[:0]
+		for _, s := range cc.slots {
+			hargs = append(hargs, vals[s])
+		}
+		return cc.h.Fn(hargs) == cc.proc
+	}
+	// negAbsent reports whether the ground instance of the negated atom is
+	// absent — a missing relation counts as empty.
+	negAbsent := func(cn compiledNegation) bool {
+		rel, ok := store[cn.pred]
+		if !ok || rel.Len() == 0 {
+			return true
+		}
+		negBuf = negBuf[:0]
+		for _, s := range cn.src {
+			if s.slot >= 0 {
+				negBuf = append(negBuf, vals[s.slot])
+			} else {
+				negBuf = append(negBuf, s.value)
+			}
+		}
+		return !rel.Contains(negBuf)
+	}
+
+	for _, cc := range p.zeroChecks {
+		if len(cc.slots) > 0 {
+			// Zero-position constraints with variables only occur for empty
+			// bodies, where safety forbids variables; defensive.
+			panic("seminaive: constraint on unbound variables")
+		}
+		if !check(cc) {
+			return 0
+		}
+	}
+	for _, cn := range p.zeroNegs {
+		if !negAbsent(cn) {
+			return 0
+		}
+	}
+	if len(p.atoms) == 0 {
+		// A bodiless rule (ground head, by safety) fires once.
+		if !fn(vals) {
+			return 1
+		}
+		return 1
+	}
+
+	var fired int64
+	stopped := false
+	lookupVals := make([]ast.Value, 0, 8)
+
+	var step func(k int)
+	step = func(k int) {
+		if stopped {
+			return
+		}
+		if k == len(p.atoms) {
+			fired++
+			if !fn(vals) {
+				stopped = true
+			}
+			return
+		}
+		ae := &p.atoms[k]
+		rel, ok := store[ae.pred]
+		if !ok || rel.Len() == 0 {
+			return
+		}
+		lo, hi := w.bounds(ae.pred, ae.kind, rel.Len())
+		if lo >= hi {
+			return
+		}
+		lookupVals = lookupVals[:0]
+		for _, src := range ae.boundSrc {
+			if src.slot >= 0 {
+				lookupVals = append(lookupVals, vals[src.slot])
+			} else {
+				lookupVals = append(lookupVals, src.value)
+			}
+		}
+		ix := rel.IndexOn(ae.boundCols...)
+		ix.Lookup(lookupVals, lo, hi, func(row int) bool {
+			tuple := rel.Row(row)
+			for ci, col := range ae.freeCols {
+				vals[ae.freeSlots[ci]] = tuple[col]
+			}
+			// check columns repeat a variable first bound by an earlier
+			// column of this same atom, so they compare after the binds.
+			for ci, col := range ae.checkCols {
+				if tuple[col] != vals[ae.checkSlots[ci]] {
+					return true
+				}
+			}
+			for _, cc := range ae.constraints {
+				if !check(cc) {
+					return true
+				}
+			}
+			for _, cn := range ae.negations {
+				if !negAbsent(cn) {
+					return true
+				}
+			}
+			step(k + 1)
+			return !stopped
+		})
+	}
+	step(0)
+	return fired
+}
+
+// HeadTuple instantiates the rule's head from the slot-value array that
+// Enumerate produced.
+func (p *Plan) HeadTuple(vals []ast.Value) relation.Tuple {
+	return p.HeadTupleInto(make(relation.Tuple, len(p.head)), vals)
+}
+
+// HeadTupleInto writes the head tuple into dst (which must have the head's
+// arity) and returns it — the allocation-free variant for hot loops that
+// probe for duplicates before cloning.
+func (p *Plan) HeadTupleInto(dst relation.Tuple, vals []ast.Value) relation.Tuple {
+	for i, h := range p.head {
+		if h.slot >= 0 {
+			dst[i] = vals[h.slot]
+		} else {
+			dst[i] = h.value
+		}
+	}
+	return dst
+}
+
+// HeadArity returns the rule head's arity.
+func (p *Plan) HeadArity() int { return len(p.head) }
+
+// DeltaVariants returns the exact semi-naive decomposition of rule for the
+// recursive body-atom positions recAtoms (ascending): variant l reads Δ at
+// recAtoms[l], T_{k-1} at recAtoms[<l], and the full current extent at
+// recAtoms[>l]; non-recursive atoms always read the full extent. The union
+// over variants enumerates every ground substitution involving at least one
+// delta tuple exactly once.
+func DeltaVariants(rule ast.Rule, recAtoms []int) []*Plan {
+	if len(recAtoms) == 0 {
+		return []*Plan{Compile(rule, nil)}
+	}
+	sorted := append([]int(nil), recAtoms...)
+	sort.Ints(sorted)
+	plans := make([]*Plan, 0, len(sorted))
+	for l := range sorted {
+		ranges := make([]RangeKind, len(rule.Body))
+		for j, rj := range sorted {
+			switch {
+			case j < l:
+				ranges[rj] = RangePrev
+			case j == l:
+				ranges[rj] = RangeDelta
+			default:
+				ranges[rj] = RangeFull
+			}
+		}
+		plans = append(plans, Compile(rule, ranges))
+	}
+	return plans
+}

@@ -1,0 +1,264 @@
+// Package termdetect implements distributed termination detection for the
+// parallel runtime. The paper (Section 3, "Parallel Termination") defers to
+// the classic algorithms of Dijkstra–Scholten [7] and Chandy–Misra [5]; this
+// package provides three detectors:
+//
+//   - Credit: a collapsed shared-memory variant of diffusing-computation
+//     accounting — one atomic counter of outstanding work units. The runtime
+//     default: exact, no polling, detection is immediate.
+//   - Counting: Mattern's four-counter method — per-worker send/receive
+//     counters sampled in two consecutive waves. Poll-based.
+//   - DijkstraScholten: the full parent/deficit diffusing-computation
+//     algorithm with a virtual root engaging every worker.
+//
+// All three assume the instrumentation contract documented on each type;
+// the contract is what makes detection sound (no false positives).
+package termdetect
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Credit counts outstanding work units: one per initial worker activation
+// and one per in-flight or not-yet-fully-processed message.
+//
+// Contract: call Add BEFORE making the corresponding work visible to another
+// goroutine (before enqueueing a message, before starting a worker), and
+// Done only AFTER all effects of that work — including any Adds it performed
+// — have completed. Then the counter reaches zero exactly once, at true
+// quiescence.
+type Credit struct {
+	outstanding atomic.Int64
+	done        chan struct{}
+	closed      atomic.Bool
+}
+
+// NewCredit returns a detector with no outstanding work. Callers must Add
+// their initial activations before any Done can run.
+func NewCredit() *Credit {
+	return &Credit{done: make(chan struct{})}
+}
+
+// Add registers n new work units.
+func (c *Credit) Add(n int) {
+	c.outstanding.Add(int64(n))
+}
+
+// Done retires one work unit. When the last unit retires, Done signals
+// termination.
+func (c *Credit) Done() {
+	v := c.outstanding.Add(-1)
+	if v < 0 {
+		panic("termdetect: Credit.Done without matching Add")
+	}
+	if v == 0 && c.closed.CompareAndSwap(false, true) {
+		close(c.done)
+	}
+}
+
+// Quiesced returns a channel closed at termination.
+func (c *Credit) Quiesced() <-chan struct{} { return c.done }
+
+// Outstanding reports the current number of work units (for diagnostics).
+func (c *Credit) Outstanding() int64 { return c.outstanding.Load() }
+
+// Counting is Mattern's four-counter termination detector. Worker w calls
+// Sent(w) BEFORE enqueueing each message and Received(w) AFTER dequeueing
+// one but only after clearing its idle flag; it calls SetIdle(w, true) only
+// when its input queue is empty and it has no local work. A detection wave
+// samples idle flags, then receive counters, then send counters; two
+// consecutive identical balanced idle waves imply quiescence.
+type Counting struct {
+	sent []atomic.Int64
+	recv []atomic.Int64
+	idle []atomic.Bool
+
+	mu   sync.Mutex
+	last *wave
+}
+
+type wave struct {
+	s, r    int64
+	allIdle bool
+}
+
+// NewCounting returns a detector for n workers, all initially busy.
+func NewCounting(n int) *Counting {
+	return &Counting{
+		sent: make([]atomic.Int64, n),
+		recv: make([]atomic.Int64, n),
+		idle: make([]atomic.Bool, n),
+	}
+}
+
+// Sent records that worker w enqueued a message. Call before the enqueue.
+func (c *Counting) Sent(w int) { c.sent[w].Add(1) }
+
+// Received records that worker w dequeued a message. Call after clearing w's
+// idle flag.
+func (c *Counting) Received(w int) { c.recv[w].Add(1) }
+
+// SetIdle publishes worker w's idleness.
+func (c *Counting) SetIdle(w int, idle bool) { c.idle[w].Store(idle) }
+
+// snapshot performs one wave: idle flags first, then receive counters, then
+// send counters. Reading receives before sends guarantees that a balanced
+// wave cannot be produced by a message counted as received but not as sent.
+func (c *Counting) snapshot() wave {
+	w := wave{allIdle: true}
+	for i := range c.idle {
+		if !c.idle[i].Load() {
+			w.allIdle = false
+		}
+	}
+	for i := range c.recv {
+		w.r += c.recv[i].Load()
+	}
+	for i := range c.sent {
+		w.s += c.sent[i].Load()
+	}
+	return w
+}
+
+// Check runs one detection wave and reports whether termination is
+// established: this wave and the previous one must both be all-idle,
+// balanced (sent == received) and identical. Call repeatedly (poll).
+func (c *Counting) Check() bool {
+	cur := c.snapshot()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ok := cur.allIdle && cur.s == cur.r &&
+		c.last != nil && c.last.allIdle &&
+		c.last.s == cur.s && c.last.r == cur.r
+	c.last = &cur
+	return ok
+}
+
+// DijkstraScholten is the diffusing-computation termination detector. A
+// virtual root (node index -1) engages all n workers at Start. Every data
+// message creates an ack obligation from receiver to sender; a worker
+// engaged while dead adopts the sender as parent and withholds that ack
+// until it retires (passive with zero deficit). Acks are delivered through
+// shared memory here, cascading retirement up the engagement tree. The
+// computation has terminated when the root's deficit reaches zero.
+//
+// Contract: call MessageSent before enqueueing, MessageReceived after
+// dequeueing (before processing), SetPassive(w) when w has no local work,
+// and SetActive(w) when w starts processing again. All methods are safe for
+// concurrent use.
+type DijkstraScholten struct {
+	mu       sync.Mutex
+	deficit  []int // per worker: messages sent and not yet acked
+	parent   []int // engagement parent, or dead (-2)
+	passive  []bool
+	rootDef  int
+	done     chan struct{}
+	finished bool
+}
+
+const dsDead = -2
+
+// DSRoot is the parent index representing the virtual root.
+const DSRoot = -1
+
+// NewDijkstraScholten creates the detector and engages all n workers from
+// the virtual root (root deficit = n), matching a computation where every
+// processor starts active on its initialization rule.
+func NewDijkstraScholten(n int) *DijkstraScholten {
+	d := &DijkstraScholten{
+		deficit: make([]int, n),
+		parent:  make([]int, n),
+		passive: make([]bool, n),
+		rootDef: n,
+		done:    make(chan struct{}),
+	}
+	for i := range d.parent {
+		d.parent[i] = DSRoot
+	}
+	return d
+}
+
+// MessageSent records that from sent one data message.
+func (d *DijkstraScholten) MessageSent(from int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.deficit[from]++
+}
+
+// MessageReceived records that w dequeued a message from sender. If w was
+// dead (retired), the message re-engages it with parent = sender and the
+// ack is withheld; otherwise the ack is delivered immediately.
+func (d *DijkstraScholten) MessageReceived(w, sender int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.passive[w] = false
+	if d.parent[w] == dsDead {
+		d.parent[w] = sender
+		return
+	}
+	d.ackLocked(sender)
+}
+
+// SetActive marks w busy (it has local work to process).
+func (d *DijkstraScholten) SetActive(w int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.passive[w] = false
+}
+
+// SetPassive marks w as having no local work and retires it if its deficit
+// is zero.
+func (d *DijkstraScholten) SetPassive(w int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.passive[w] = true
+	d.tryRetireLocked(w)
+}
+
+// ackLocked delivers an ack to node to (worker or root), cascading
+// retirements.
+func (d *DijkstraScholten) ackLocked(to int) {
+	if to == DSRoot {
+		d.rootDef--
+		if d.rootDef == 0 && !d.finished {
+			d.finished = true
+			close(d.done)
+		}
+		return
+	}
+	d.deficit[to]--
+	d.tryRetireLocked(to)
+}
+
+// tryRetireLocked retires w (acks its engagement parent and marks it dead)
+// when it is passive with zero deficit.
+func (d *DijkstraScholten) tryRetireLocked(w int) {
+	for {
+		if !d.passive[w] || d.deficit[w] != 0 || d.parent[w] == dsDead {
+			return
+		}
+		p := d.parent[w]
+		d.parent[w] = dsDead
+		if p == DSRoot {
+			d.rootDef--
+			if d.rootDef == 0 && !d.finished {
+				d.finished = true
+				close(d.done)
+			}
+			return
+		}
+		d.deficit[p]--
+		w = p // cascade: the parent may now retire too
+	}
+}
+
+// Quiesced returns a channel closed when the root's deficit reaches zero.
+func (d *DijkstraScholten) Quiesced() <-chan struct{} { return d.done }
+
+// Terminated reports whether termination has been detected.
+func (d *DijkstraScholten) Terminated() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.finished
+}

@@ -1,0 +1,415 @@
+package termdetect
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// --- Credit ---
+
+func TestCreditSimple(t *testing.T) {
+	c := NewCredit()
+	c.Add(2)
+	select {
+	case <-c.Quiesced():
+		t.Fatal("quiesced with outstanding work")
+	default:
+	}
+	c.Done()
+	c.Done()
+	select {
+	case <-c.Quiesced():
+	case <-time.After(time.Second):
+		t.Fatal("did not quiesce")
+	}
+	if c.Outstanding() != 0 {
+		t.Errorf("outstanding = %d", c.Outstanding())
+	}
+}
+
+func TestCreditUnderflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Done without Add did not panic")
+		}
+	}()
+	NewCredit().Done()
+}
+
+// TestCreditMessageSystem simulates a random message-passing system: workers
+// forward "work" with decreasing probability. The detector must fire only
+// after ground-truth quiescence.
+func TestCreditMessageSystem(t *testing.T) {
+	const workers = 8
+	c := NewCredit()
+	var groundTruthBusy atomic.Int64
+
+	chans := make([]chan int, workers)
+	for i := range chans {
+		chans[i] = make(chan int, 1024)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for {
+				select {
+				case ttl := <-chans[w]:
+					groundTruthBusy.Add(1)
+					// Forward up to 2 messages with decreasing ttl.
+					if ttl > 0 {
+						n := rng.Intn(3)
+						for k := 0; k < n; k++ {
+							dst := rng.Intn(workers)
+							c.Add(1)
+							chans[dst] <- ttl - 1
+						}
+					}
+					groundTruthBusy.Add(-1)
+					c.Done()
+				case <-stop:
+					return
+				}
+			}
+		}(w)
+	}
+	// Seed the system.
+	for w := 0; w < workers; w++ {
+		c.Add(1)
+		chans[w] <- 6
+	}
+	select {
+	case <-c.Quiesced():
+	case <-time.After(5 * time.Second):
+		t.Fatal("credit detector never fired")
+	}
+	// At detection, no worker may be mid-processing and all queues empty.
+	if got := groundTruthBusy.Load(); got != 0 {
+		t.Errorf("detected termination while %d workers busy", got)
+	}
+	for i, ch := range chans {
+		if len(ch) != 0 {
+			t.Errorf("queue %d holds %d messages at detection", i, len(ch))
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// --- Counting ---
+
+func TestCountingRequiresTwoWaves(t *testing.T) {
+	c := NewCounting(2)
+	c.SetIdle(0, true)
+	c.SetIdle(1, true)
+	if c.Check() {
+		t.Error("first wave alone declared termination")
+	}
+	if !c.Check() {
+		t.Error("two identical idle balanced waves did not declare termination")
+	}
+}
+
+func TestCountingUnbalancedNotTerminated(t *testing.T) {
+	c := NewCounting(2)
+	c.SetIdle(0, true)
+	c.SetIdle(1, true)
+	c.Sent(0) // message in flight, never received
+	c.Check()
+	if c.Check() {
+		t.Error("declared termination with sent != received")
+	}
+}
+
+func TestCountingBusyWorkerBlocks(t *testing.T) {
+	c := NewCounting(2)
+	c.SetIdle(0, true) // worker 1 stays busy
+	c.Check()
+	if c.Check() {
+		t.Error("declared termination with a busy worker")
+	}
+}
+
+func TestCountingChangedCountersResetWave(t *testing.T) {
+	c := NewCounting(1)
+	c.SetIdle(0, true)
+	c.Check()
+	// Activity between waves: both counters move (balanced again).
+	c.SetIdle(0, false)
+	c.Sent(0)
+	c.SetIdle(0, true)
+	c.Received(0)
+	if c.Check() {
+		t.Error("wave after activity must not match the stale previous wave")
+	}
+	if !c.Check() {
+		t.Error("two fresh identical waves should then terminate")
+	}
+}
+
+// TestCountingMessageSystem drives the counting detector with a real
+// message-passing simulation and polls it.
+func TestCountingMessageSystem(t *testing.T) {
+	const workers = 6
+	c := NewCounting(workers)
+	var busy atomic.Int64
+
+	chans := make([]chan int, workers)
+	for i := range chans {
+		chans[i] = make(chan int, 4096)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w) + 99))
+			for {
+				select {
+				case ttl := <-chans[w]:
+					c.SetIdle(w, false)
+					c.Received(w)
+					busy.Add(1)
+					if ttl > 0 {
+						for k := rng.Intn(3); k > 0; k-- {
+							dst := rng.Intn(workers)
+							c.Sent(w)
+							chans[dst] <- ttl - 1
+						}
+					}
+					busy.Add(-1)
+					// Idle only if nothing is queued locally right now.
+					if len(chans[w]) == 0 {
+						c.SetIdle(w, true)
+					}
+				case <-stop:
+					return
+				}
+			}
+		}(w)
+	}
+	// Seed: the environment's sends are attributed to worker 0.
+	for w := 0; w < workers; w++ {
+		c.Sent(0)
+		chans[w] <- 5
+	}
+
+	deadline := time.After(5 * time.Second)
+	for {
+		if c.Check() {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("counting detector never fired")
+		case <-time.After(200 * time.Microsecond):
+		}
+	}
+	if got := busy.Load(); got != 0 {
+		t.Errorf("termination declared while %d workers busy", got)
+	}
+	for i, ch := range chans {
+		if len(ch) != 0 {
+			t.Errorf("queue %d nonempty at detection", i)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// --- Dijkstra–Scholten ---
+
+func TestDSImmediateQuiescence(t *testing.T) {
+	d := NewDijkstraScholten(3)
+	for w := 0; w < 3; w++ {
+		d.SetPassive(w)
+	}
+	select {
+	case <-d.Quiesced():
+	case <-time.After(time.Second):
+		t.Fatal("all-passive workers did not quiesce")
+	}
+	if !d.Terminated() {
+		t.Error("Terminated() = false after quiescence")
+	}
+}
+
+func TestDSWithheldAck(t *testing.T) {
+	d := NewDijkstraScholten(2)
+	// Worker 0 sends to worker 1 and goes passive; the tree is root→{0,1}
+	// so no re-engagement happens, the ack is immediate.
+	d.MessageSent(0)
+	d.SetPassive(0) // deficit 1 — cannot retire yet
+	d.MessageReceived(1, 0)
+	if d.Terminated() {
+		t.Fatal("premature termination")
+	}
+	d.SetPassive(1)
+	select {
+	case <-d.Quiesced():
+	case <-time.After(time.Second):
+		t.Fatal("did not quiesce after both passive and acks delivered")
+	}
+}
+
+func TestDSReEngagement(t *testing.T) {
+	d := NewDijkstraScholten(2)
+	// Worker 1 retires first.
+	d.SetPassive(1)
+	if d.Terminated() {
+		t.Fatal("terminated with worker 0 active")
+	}
+	// Worker 0 engages the dead worker 1: 1's parent becomes 0 and the ack
+	// is withheld.
+	d.MessageSent(0)
+	d.MessageReceived(1, 0)
+	d.SetPassive(0) // deficit 1: waiting for 1's withheld ack
+	if d.Terminated() {
+		t.Fatal("terminated while child engaged")
+	}
+	// 1 goes passive → acks parent 0 → 0 retires → root deficit 0.
+	d.SetPassive(1)
+	select {
+	case <-d.Quiesced():
+	case <-time.After(time.Second):
+		t.Fatal("cascade retirement did not complete")
+	}
+}
+
+// TestDSMessageSystem drives the DS detector with a random message system.
+func TestDSMessageSystem(t *testing.T) {
+	const workers = 6
+	d := NewDijkstraScholten(workers)
+	var busy atomic.Int64
+
+	chans := make([]chan [2]int, workers) // {sender, ttl}
+	for i := range chans {
+		chans[i] = make(chan [2]int, 4096)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w) + 7))
+			for {
+				select {
+				case m := <-chans[w]:
+					d.MessageReceived(w, m[0])
+					busy.Add(1)
+					if m[1] > 0 {
+						for k := rng.Intn(3); k > 0; k-- {
+							dst := rng.Intn(workers)
+							d.MessageSent(w)
+							chans[dst] <- [2]int{w, m[1] - 1}
+						}
+					}
+					busy.Add(-1)
+					if len(chans[w]) == 0 {
+						d.SetPassive(w)
+					}
+				case <-stop:
+					return
+				}
+			}
+		}(w)
+	}
+	// Every worker starts engaged by the root with one seed work item which
+	// it processes "locally": simulate by sending from the worker itself
+	// being active at start; here we let each worker receive a seed message
+	// attributed to the root engagement by marking it active first.
+	for w := 0; w < workers; w++ {
+		d.SetActive(w)
+		d.MessageSent(w) // worker sends itself its seed
+		chans[w] <- [2]int{w, 5}
+	}
+	select {
+	case <-d.Quiesced():
+	case <-time.After(5 * time.Second):
+		t.Fatal("DS detector never fired")
+	}
+	if got := busy.Load(); got != 0 {
+		t.Errorf("termination declared while %d workers busy", got)
+	}
+	for i, ch := range chans {
+		if len(ch) != 0 {
+			t.Errorf("queue %d nonempty at detection", i)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestDetectorsAgreeOnRandomRuns: run the same deterministic single-threaded
+// schedule through Credit and DS; both must detect exactly at the end.
+func TestDetectorsAgreeSingleThreaded(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		const workers = 4
+		cr := NewCredit()
+		ds := NewDijkstraScholten(workers)
+
+		type msg struct{ from, to, ttl int }
+		var queue []msg
+		for w := 0; w < workers; w++ {
+			cr.Add(1)
+			ds.MessageSent(w)
+			queue = append(queue, msg{from: w, to: w, ttl: 4})
+		}
+		for len(queue) > 0 {
+			// Pop a random message.
+			i := rng.Intn(len(queue))
+			m := queue[i]
+			queue = append(queue[:i], queue[i+1:]...)
+			ds.MessageReceived(m.to, m.from)
+			if m.ttl > 0 {
+				for k := rng.Intn(3); k > 0; k-- {
+					nm := msg{from: m.to, to: rng.Intn(workers), ttl: m.ttl - 1}
+					cr.Add(1)
+					ds.MessageSent(nm.from)
+					queue = append(queue, nm)
+				}
+			}
+			cr.Done()
+			// The worker goes passive if no queued message targets it.
+			pending := false
+			for _, q := range queue {
+				if q.to == m.to {
+					pending = true
+				}
+			}
+			if !pending {
+				ds.SetPassive(m.to)
+			}
+			premature := false
+			select {
+			case <-cr.Quiesced():
+				premature = len(queue) > 0
+			default:
+			}
+			if premature {
+				t.Fatalf("seed %d: credit fired with %d queued", seed, len(queue))
+			}
+		}
+		// Drain passivity for workers that still think they're active.
+		for w := 0; w < workers; w++ {
+			ds.SetPassive(w)
+		}
+		select {
+		case <-cr.Quiesced():
+		default:
+			t.Fatalf("seed %d: credit never fired", seed)
+		}
+		if !ds.Terminated() {
+			t.Fatalf("seed %d: DS never fired", seed)
+		}
+	}
+}

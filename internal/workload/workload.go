@@ -1,0 +1,231 @@
+// Package workload generates the synthetic base relations the experiments
+// run on: chains, cycles, trees, random digraphs, grids and disconnected
+// components for the transitive-closure programs, plus tree shapes for the
+// same-generation query. All generators are deterministic in their
+// parameters (and seed, where applicable).
+package workload
+
+import (
+	"math/rand"
+
+	"parlog/internal/ast"
+	"parlog/internal/parser"
+	"parlog/internal/relation"
+)
+
+// Chain returns the edge relation {(i, i+1) : 0 ≤ i < n} — a path of n
+// edges whose transitive closure has n(n+1)/2 tuples.
+func Chain(n int) *relation.Relation {
+	r := relation.New(2)
+	for i := 0; i < n; i++ {
+		r.Insert(relation.Tuple{ast.Value(i), ast.Value(i + 1)})
+	}
+	return r
+}
+
+// Cycle returns a directed cycle of n nodes; its closure is all n² pairs.
+func Cycle(n int) *relation.Relation {
+	r := relation.New(2)
+	for i := 0; i < n; i++ {
+		r.Insert(relation.Tuple{ast.Value(i), ast.Value((i + 1) % n)})
+	}
+	return r
+}
+
+// Tree returns parent→child edges of a complete tree with the given
+// branching factor and depth (depth 0 is a single root, no edges). Nodes
+// are numbered breadth-first from 0.
+func Tree(branch, depth int) *relation.Relation {
+	r := relation.New(2)
+	next := 1
+	frontier := []int{0}
+	for d := 0; d < depth; d++ {
+		var newFrontier []int
+		for _, p := range frontier {
+			for b := 0; b < branch; b++ {
+				c := next
+				next++
+				r.Insert(relation.Tuple{ast.Value(p), ast.Value(c)})
+				newFrontier = append(newFrontier, c)
+			}
+		}
+		frontier = newFrontier
+	}
+	return r
+}
+
+// RandomGraph returns a simple random digraph with the given node and edge
+// counts (no self-loops, no duplicate edges). It panics if more edges are
+// requested than n(n−1).
+func RandomGraph(nodes, edges int, seed int64) *relation.Relation {
+	if edges > nodes*(nodes-1) {
+		panic("workload: too many edges requested")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	r := relation.New(2)
+	for r.Len() < edges {
+		a, b := rng.Intn(nodes), rng.Intn(nodes)
+		if a == b {
+			continue
+		}
+		r.Insert(relation.Tuple{ast.Value(a), ast.Value(b)})
+	}
+	return r
+}
+
+// RandomRelation returns a random relation of the given arity with count
+// distinct tuples over a pool of constants 0…pool−1.
+func RandomRelation(arity, pool, count int, seed int64) *relation.Relation {
+	max := 1
+	for i := 0; i < arity; i++ {
+		max *= pool
+	}
+	if count > max {
+		panic("workload: too many tuples requested")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	r := relation.New(arity)
+	for r.Len() < count {
+		t := make(relation.Tuple, arity)
+		for c := range t {
+			t[c] = ast.Value(rng.Intn(pool))
+		}
+		r.Insert(t)
+	}
+	return r
+}
+
+// ZipfGraph returns a random digraph whose edge *sources* follow a Zipf
+// distribution with exponent s > 1: a few hub nodes originate most edges —
+// the skew that breaks naive hash partitioning of the transitive-closure
+// computation (the load-balancing concern of the paper's Section 8).
+func ZipfGraph(nodes, edges int, s float64, seed int64) *relation.Relation {
+	if edges > nodes*(nodes-1) {
+		panic("workload: too many edges requested")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	zipf := rand.NewZipf(rng, s, 1, uint64(nodes-1))
+	r := relation.New(2)
+	for r.Len() < edges {
+		a := int(zipf.Uint64())
+		b := rng.Intn(nodes)
+		if a == b {
+			continue
+		}
+		r.Insert(relation.Tuple{ast.Value(a), ast.Value(b)})
+	}
+	return r
+}
+
+// Brooms returns k disjoint "broom" graphs: entry_j → hub_j → leaf_j,1 …
+// leaf_j,m_j with m_j = base + j·step leaves. Almost all transitive-closure
+// work joins on the k hub values, whose weights differ — the workload on
+// which a value-balanced discriminating function beats plain hashing (few
+// heavy join values collide under a random hash).
+func Brooms(k, base, step int) *relation.Relation {
+	r := relation.New(2)
+	next := 0
+	alloc := func() ast.Value { v := ast.Value(next); next++; return v }
+	for j := 0; j < k; j++ {
+		entry := alloc()
+		hub := alloc()
+		r.Insert(relation.Tuple{entry, hub})
+		leaves := base + j*step
+		for l := 0; l < leaves; l++ {
+			r.Insert(relation.Tuple{hub, alloc()})
+		}
+	}
+	return r
+}
+
+// ColumnWeights counts the frequency of each value in one column of a
+// relation — the sampling input for balance-aware discriminating functions.
+func ColumnWeights(rel *relation.Relation, col int) map[ast.Value]int {
+	w := make(map[ast.Value]int)
+	for _, t := range rel.Rows() {
+		w[t[col]]++
+	}
+	return w
+}
+
+// Grid returns the directed w×h grid: edges right and down. Its closure
+// relates each cell to every cell below-right of it.
+func Grid(w, h int) *relation.Relation {
+	r := relation.New(2)
+	id := func(x, y int) ast.Value { return ast.Value(y*w + x) }
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x+1 < w {
+				r.Insert(relation.Tuple{id(x, y), id(x+1, y)})
+			}
+			if y+1 < h {
+				r.Insert(relation.Tuple{id(x, y), id(x, y+1)})
+			}
+		}
+	}
+	return r
+}
+
+// Components returns k disjoint chains of the given length each — the
+// workload on which partitioned evaluation shines (no cross-partition
+// paths).
+func Components(k, length int) *relation.Relation {
+	r := relation.New(2)
+	for c := 0; c < k; c++ {
+		base := c * (length + 1)
+		for i := 0; i < length; i++ {
+			r.Insert(relation.Tuple{ast.Value(base + i), ast.Value(base + i + 1)})
+		}
+	}
+	return r
+}
+
+// SameGenInput returns the up, flat and down relations of the classic
+// same-generation query over a complete tree: up(child, parent),
+// down(parent, child), flat(root, root).
+func SameGenInput(branch, depth int) (up, flat, down *relation.Relation) {
+	tree := Tree(branch, depth)
+	up = relation.New(2)
+	down = relation.New(2)
+	for _, e := range tree.Rows() {
+		up.Insert(relation.Tuple{e[1], e[0]})
+		down.Insert(relation.Tuple{e[0], e[1]})
+	}
+	flat = relation.New(2)
+	flat.Insert(relation.Tuple{0, 0})
+	return up, flat, down
+}
+
+// AncestorProgram returns the paper's running example (linear transitive
+// closure) with no facts.
+func AncestorProgram() *ast.Program {
+	return parser.MustParse(`
+anc(X, Y) :- par(X, Y).
+anc(X, Y) :- par(X, Z), anc(Z, Y).
+`)
+}
+
+// NonlinearAncestorProgram returns Example 8's non-linear ancestor program.
+func NonlinearAncestorProgram() *ast.Program {
+	return parser.MustParse(`
+anc(X, Y) :- par(X, Y).
+anc(X, Y) :- anc(X, Z), anc(Z, Y).
+`)
+}
+
+// SameGenProgram returns the same-generation program over up/flat/down.
+func SameGenProgram() *ast.Program {
+	return parser.MustParse(`
+sg(X, Y) :- flat(X, Y).
+sg(X, Y) :- up(X, U), sg(U, V), down(V, Y).
+`)
+}
+
+// Store bundles relations into an EDB store.
+func Store(rels map[string]*relation.Relation) relation.Store {
+	s := relation.Store{}
+	for pred, r := range rels {
+		s[pred] = r
+	}
+	return s
+}

@@ -1,0 +1,206 @@
+package workload
+
+import (
+	"testing"
+
+	"parlog/internal/relation"
+	"parlog/internal/seminaive"
+)
+
+// closureSize evaluates the ancestor program over par and returns |anc|.
+func closureSize(t *testing.T, par *relation.Relation) int {
+	t.Helper()
+	store, _, err := seminaive.Eval(AncestorProgram(), Store(map[string]*relation.Relation{"par": par}), seminaive.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return store["anc"].Len()
+}
+
+func TestChainClosure(t *testing.T) {
+	for _, n := range []int{1, 5, 12} {
+		par := Chain(n)
+		if par.Len() != n {
+			t.Errorf("Chain(%d) has %d edges", n, par.Len())
+		}
+		if got, want := closureSize(t, par), n*(n+1)/2; got != want {
+			t.Errorf("Chain(%d) closure = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestCycleClosure(t *testing.T) {
+	const n = 6
+	if got, want := closureSize(t, Cycle(n)), n*n; got != want {
+		t.Errorf("Cycle(%d) closure = %d, want %d", n, got, want)
+	}
+}
+
+func TestTreeShape(t *testing.T) {
+	// Complete binary tree of depth 3: 2+4+8 = 14 edges.
+	tr := Tree(2, 3)
+	if tr.Len() != 14 {
+		t.Errorf("Tree(2,3) has %d edges, want 14", tr.Len())
+	}
+	// Closure: each node relates to all proper descendants.
+	// Depth-d subtree sizes: node at level l has 2^(3-l+1)-2 descendants.
+	// Total = Σ_{l=0}^{3} 2^l · (2^{4−l} − 2) = Σ 2^4 − 2^{l+1}.
+	want := 0
+	for l := 0; l <= 3; l++ {
+		want += (1 << l) * ((1 << (4 - l)) - 2)
+	}
+	if got := closureSize(t, tr); got != want {
+		t.Errorf("Tree(2,3) closure = %d, want %d", got, want)
+	}
+	if Tree(3, 0).Len() != 0 {
+		t.Error("depth-0 tree has edges")
+	}
+}
+
+func TestRandomGraphProperties(t *testing.T) {
+	g := RandomGraph(10, 30, 1)
+	if g.Len() != 30 {
+		t.Errorf("edges = %d, want 30", g.Len())
+	}
+	for _, e := range g.Rows() {
+		if e[0] == e[1] {
+			t.Errorf("self-loop %v", e)
+		}
+		if int(e[0]) >= 10 || int(e[1]) >= 10 {
+			t.Errorf("node out of range: %v", e)
+		}
+	}
+	// Determinism.
+	h := RandomGraph(10, 30, 1)
+	if !g.Equal(h) {
+		t.Error("same seed produced different graphs")
+	}
+	if g.Equal(RandomGraph(10, 30, 2)) {
+		t.Error("different seeds produced identical graphs")
+	}
+}
+
+func TestRandomGraphPanicsOnOverfull(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for impossible edge count")
+		}
+	}()
+	RandomGraph(3, 7, 0)
+}
+
+func TestGridClosure(t *testing.T) {
+	// 2×2 grid: closure pairs: (0,0)→{(1,0),(0,1),(1,1)}, (1,0)→(1,1),
+	// (0,1)→(1,1): 5 pairs.
+	if got := closureSize(t, Grid(2, 2)); got != 5 {
+		t.Errorf("Grid(2,2) closure = %d, want 5", got)
+	}
+	if Grid(3, 1).Len() != 2 {
+		t.Errorf("Grid(3,1) edges = %d, want 2", Grid(3, 1).Len())
+	}
+}
+
+func TestComponentsClosure(t *testing.T) {
+	// 3 disjoint chains of 4 edges: closure = 3 · 4·5/2 = 30, and no pair
+	// crosses components.
+	par := Components(3, 4)
+	if par.Len() != 12 {
+		t.Errorf("edges = %d", par.Len())
+	}
+	if got := closureSize(t, par); got != 30 {
+		t.Errorf("closure = %d, want 30", got)
+	}
+}
+
+func TestSameGenInput(t *testing.T) {
+	up, flat, down := SameGenInput(2, 2)
+	if up.Len() != 6 || down.Len() != 6 || flat.Len() != 1 {
+		t.Errorf("sizes: up=%d flat=%d down=%d", up.Len(), flat.Len(), down.Len())
+	}
+	store, _, err := seminaive.Eval(SameGenProgram(), Store(map[string]*relation.Relation{
+		"up": up, "flat": flat, "down": down,
+	}), seminaive.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Level 1 has 2 nodes (4 pairs), level 2 has 4 nodes (16 pairs), plus
+	// (root,root): 21.
+	if got := store["sg"].Len(); got != 21 {
+		t.Errorf("|sg| = %d, want 21", got)
+	}
+}
+
+func TestNonlinearAgreesWithLinear(t *testing.T) {
+	par := RandomGraph(9, 20, 3)
+	edb := Store(map[string]*relation.Relation{"par": par})
+	lin, _, err := seminaive.Eval(AncestorProgram(), edb, seminaive.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	non, _, err := seminaive.Eval(NonlinearAncestorProgram(), edb, seminaive.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lin["anc"].Equal(non["anc"]) {
+		t.Error("linear and nonlinear ancestor disagree")
+	}
+}
+
+func TestZipfGraph(t *testing.T) {
+	g := ZipfGraph(50, 200, 2.0, 1)
+	if g.Len() != 200 {
+		t.Errorf("edges = %d", g.Len())
+	}
+	// Skew: the most frequent source should dominate.
+	w := ColumnWeights(g, 0)
+	max := 0
+	for _, c := range w {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 200/10 {
+		t.Errorf("max source frequency %d — not skewed", max)
+	}
+	if !g.Equal(ZipfGraph(50, 200, 2.0, 1)) {
+		t.Error("not deterministic")
+	}
+}
+
+func TestBrooms(t *testing.T) {
+	// 3 brooms with 5, 7, 9 leaves: edges = 3 entries + 21 leaves = 24.
+	b := Brooms(3, 5, 2)
+	if b.Len() != 24 {
+		t.Errorf("edges = %d, want 24", b.Len())
+	}
+	// Closure: per broom j with m leaves: entry→hub, entry→leaf×m,
+	// hub→leaf×m = 2m+1.
+	want := (2*5 + 1) + (2*7 + 1) + (2*9 + 1)
+	if got := closureSize(t, b); got != want {
+		t.Errorf("closure = %d, want %d", got, want)
+	}
+}
+
+func TestColumnWeights(t *testing.T) {
+	r := relation.New(2)
+	r.Insert(relation.Tuple{1, 2})
+	r.Insert(relation.Tuple{1, 3})
+	r.Insert(relation.Tuple{2, 3})
+	w := ColumnWeights(r, 0)
+	if w[1] != 2 || w[2] != 1 {
+		t.Errorf("weights = %v", w)
+	}
+}
+
+func TestRandomRelation(t *testing.T) {
+	r := RandomRelation(3, 5, 20, 2)
+	if r.Len() != 20 || r.Arity() != 3 {
+		t.Errorf("len=%d arity=%d", r.Len(), r.Arity())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("impossible tuple count did not panic")
+		}
+	}()
+	RandomRelation(1, 2, 5, 0)
+}

@@ -1,0 +1,86 @@
+package parlog
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+
+	"parlog/internal/relation"
+)
+
+// LoadCSV reads tuples for one base predicate from CSV data (one tuple per
+// record, one constant per field) into store, interning constants through
+// the program. All records must have the same width, which must match the
+// predicate's arity if the program already uses it.
+func (p *Program) LoadCSV(store Store, pred string, r io.Reader) (int, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // validated manually for a better message
+	arity := -1
+	if want, ok := p.ast.Arities()[pred]; ok {
+		arity = want
+	}
+	var rel *relation.Relation
+	added := 0
+	line := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return added, fmt.Errorf("parlog: %s: %w", pred, err)
+		}
+		line++
+		if arity < 0 {
+			arity = len(rec)
+		}
+		if len(rec) != arity {
+			return added, fmt.Errorf("parlog: %s record %d has %d fields, want %d", pred, line, len(rec), arity)
+		}
+		if rel == nil {
+			rel = store.Get(pred, arity)
+		}
+		t := make(relation.Tuple, arity)
+		for i, field := range rec {
+			t[i] = p.ast.Interner.Intern(field)
+		}
+		if rel.Insert(t) {
+			added++
+		}
+	}
+	return added, nil
+}
+
+// LoadCSVFile is LoadCSV over a file path.
+func (p *Program) LoadCSVFile(store Store, pred, path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	return p.LoadCSV(store, pred, f)
+}
+
+// WriteCSV writes one relation of a result store as CSV (constants spelled
+// out), sorted, returning the number of records written.
+func (p *Program) WriteCSV(store Store, pred string, w io.Writer) (int, error) {
+	rel, ok := store[pred]
+	if !ok {
+		return 0, fmt.Errorf("parlog: predicate %s not in the store", pred)
+	}
+	cw := csv.NewWriter(w)
+	n := 0
+	for _, t := range rel.SortedRows() {
+		rec := make([]string, len(t))
+		for i, v := range t {
+			rec[i] = p.ConstName(v)
+		}
+		if err := cw.Write(rec); err != nil {
+			return n, err
+		}
+		n++
+	}
+	cw.Flush()
+	return n, cw.Error()
+}

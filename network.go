@@ -1,0 +1,71 @@
+package parlog
+
+import (
+	"parlog/internal/hashpart"
+	"parlog/internal/network"
+)
+
+// NetworkGraph is a derived processor interconnect: the pairs (i, j) such
+// that some database could make processor i send to processor j (Section 5).
+type NetworkGraph = network.Derivation
+
+// BitFunc maps the g-bit vector of a discriminating sequence to a processor
+// id; Section 5's network derivation reasons at this level.
+type BitFunc = network.BitFunc
+
+// BitVectorHash returns the bit-level h of Example 6 — k bits read MSB-first
+// — over processors {0, …, 2^k − 1}.
+func BitVectorHash(k int) BitFunc { return network.BitVectorF(k) }
+
+// LinearHash returns the bit-level h of Example 7: Σ coefs[i]·g(a_i).
+func LinearHash(coefs ...int) BitFunc { return network.LinearF(coefs) }
+
+// Dataflow returns the dataflow graph of the program's recursive rule in the
+// paper's figure notation (Definition 2, Figures 1–2), e.g. "1 → 2 → 3".
+func (p *Program) Dataflow() (string, error) {
+	s, err := p.sirup()
+	if err != nil {
+		return "", err
+	}
+	return network.NewDataflow(s).String(), nil
+}
+
+// DataflowHasCycle reports whether Theorem 3 applies: a cyclic dataflow
+// graph admits a communication-free parallel execution.
+func (p *Program) DataflowHasCycle() (bool, error) {
+	s, err := p.sirup()
+	if err != nil {
+		return false, err
+	}
+	return network.NewDataflow(s).Cycle() != nil, nil
+}
+
+// CommFreeChoice returns Theorem 3's constructive communication-free
+// discriminating choice for a linear sirup whose dataflow graph has a cycle:
+// the v(r)/v(e) sequences (body and exit-head variables at the cycle
+// positions) and the name of the permutation-invariant hash to pair with
+// them. StrategyAuto applies this choice automatically; the function exists
+// so tools can display it.
+func (p *Program) CommFreeChoice(workers int) (vr, ve []string, hashName string, err error) {
+	s, err := p.sirup()
+	if err != nil {
+		return nil, nil, "", err
+	}
+	spec, err := network.CommFree(s, hashpart.RangeProcs(workers))
+	if err != nil {
+		return nil, nil, "", err
+	}
+	return spec.VR, spec.VE, spec.H.Name(), nil
+}
+
+// DeriveNetwork computes the minimal network graph of the program (a linear
+// sirup) under the discriminating sequences vr/ve and bit-level functions f
+// (recursive rule) and fp (exit rule), over the processor ids procs — the
+// compile-time analysis of Section 5 (Figures 3–4).
+func DeriveNetwork(p *Program, vr, ve []string, f, fp BitFunc, procs []int) (*NetworkGraph, error) {
+	s, err := p.sirup()
+	if err != nil {
+		return nil, err
+	}
+	return network.Derive(s, vr, ve, f, fp, hashpart.NewProcSet(procs...))
+}

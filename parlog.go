@@ -1,0 +1,223 @@
+// Package parlog is a framework for the parallel, bottom-up evaluation of
+// Datalog queries, reproducing Ganguly, Silberschatz and Tsur, "A Framework
+// for the Parallel Processing of Datalog Queries" (SIGMOD 1990).
+//
+// The computation is partitioned across processors with discriminating
+// functions — hash functions applied to a chosen sequence of rule variables
+// — yielding a spectrum of parallel evaluation schemes:
+//
+//   - the non-redundant scheme of Section 3 (no ground substitution fires at
+//     two processors),
+//   - the communication-free scheme and the redundancy/communication
+//     trade-off of Section 6,
+//   - the general scheme of Section 7 for arbitrary Datalog programs,
+//
+// plus the Section 5 toolkit: dataflow graphs, communication-free choices
+// from dataflow cycles (Theorem 3), and compile-time derivation of the
+// minimal processor interconnect.
+//
+// Quick start:
+//
+//	prog, _ := parlog.Parse(`
+//	    anc(X, Y) :- par(X, Y).
+//	    anc(X, Y) :- par(X, Z), anc(Z, Y).
+//	    par(a, b). par(b, c).
+//	`)
+//	res, _ := parlog.EvalParallel(prog, nil, parlog.ParallelOptions{Workers: 4})
+//	fmt.Println(prog.Format(res.Output, "anc"))
+package parlog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"parlog/internal/analysis"
+	"parlog/internal/ast"
+	"parlog/internal/parser"
+	"parlog/internal/relation"
+	"parlog/internal/seminaive"
+)
+
+// Value is an interned constant.
+type Value = ast.Value
+
+// Tuple is a ground tuple of interned constants.
+type Tuple = relation.Tuple
+
+// Store maps predicate names to relations.
+type Store = relation.Store
+
+// Relation is a duplicate-free set of equal-arity tuples.
+type Relation = relation.Relation
+
+// NewRelation returns an empty relation of the given arity.
+func NewRelation(arity int) *Relation { return relation.New(arity) }
+
+// SeqStats reports sequential evaluation work; Firings counts successful
+// ground substitutions (the paper's redundancy currency).
+type SeqStats = seminaive.Stats
+
+// Program is a parsed Datalog program together with its constant interner.
+type Program struct {
+	ast *ast.Program
+}
+
+// Parse parses a Datalog program. Identifiers starting with an upper-case
+// letter are variables; facts are ground bodiless clauses; '%' starts a
+// comment.
+func Parse(src string) (*Program, error) {
+	p, err := parser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{ast: p}, nil
+}
+
+// MustParse is Parse or panic, for tests and examples.
+func MustParse(src string) *Program {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// AddFacts parses additional clauses (typically facts) into the program,
+// sharing its interner.
+func (p *Program) AddFacts(src string) error {
+	_, err := parser.ParseInto(src, p.ast)
+	return err
+}
+
+// String renders the program.
+func (p *Program) String() string { return p.ast.String() }
+
+// IDB returns the derived predicate names, sorted.
+func (p *Program) IDB() []string { return p.ast.IDBPreds() }
+
+// EDB returns the base predicate names, sorted.
+func (p *Program) EDB() []string { return p.ast.EDBPreds() }
+
+// IsLinearSirup reports whether the program (ignoring facts) is a linear
+// sirup — one linear recursive rule plus one exit rule — the class Sections
+// 3–6 address.
+func (p *Program) IsLinearSirup() bool {
+	_, err := analysis.ExtractSirup(p.ast)
+	return err == nil
+}
+
+// Intern returns the Value for a constant spelling, interning it if new.
+func (p *Program) Intern(name string) Value { return p.ast.Interner.Intern(name) }
+
+// ConstName returns the spelling of an interned constant.
+func (p *Program) ConstName(v Value) string { return p.ast.Interner.Name(v) }
+
+// Format renders one derived relation of a result store as sorted ground
+// facts, one per line.
+func (p *Program) Format(store Store, pred string) string {
+	rel, ok := store[pred]
+	if !ok {
+		return ""
+	}
+	var b strings.Builder
+	rows := rel.SortedRows()
+	sort.SliceStable(rows, func(i, j int) bool {
+		for k := range rows[i] {
+			a, c := p.ConstName(rows[i][k]), p.ConstName(rows[j][k])
+			if a != c {
+				return a < c
+			}
+		}
+		return false
+	})
+	for _, t := range rows {
+		b.WriteString(pred)
+		b.WriteByte('(')
+		for i, v := range t {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(p.ConstName(v))
+		}
+		b.WriteString(").\n")
+	}
+	return b.String()
+}
+
+// EvalOptions configures sequential evaluation.
+type EvalOptions struct {
+	// Naive switches to naive iteration (the ablation baseline); default is
+	// semi-naive.
+	Naive bool
+	// MaxIterations aborts runaway evaluations; 0 means unlimited.
+	MaxIterations int
+}
+
+// Eval computes the least model sequentially (semi-naive by default) and
+// returns the full store — the paper's baseline execution. The edb argument
+// supplies base relations beyond the program's embedded facts; it may be
+// nil.
+func Eval(p *Program, edb Store, opts EvalOptions) (Store, *SeqStats, error) {
+	if edb == nil {
+		edb = Store{}
+	}
+	return seminaive.Eval(p.ast, edb, seminaive.Options{
+		Naive:         opts.Naive,
+		MaxIterations: opts.MaxIterations,
+	})
+}
+
+// sirup extracts the canonical linear-sirup decomposition.
+func (p *Program) sirup() (*analysis.Sirup, error) {
+	s, err := analysis.ExtractSirup(p.ast)
+	if err != nil {
+		return nil, fmt.Errorf("parlog: %w", err)
+	}
+	return s, nil
+}
+
+// Query matches an atom pattern such as "anc(a, X)" against an evaluated
+// store and returns the matching tuples, sorted. Variables in the pattern
+// match anything (repeated variables must agree); constants must be equal.
+// Constants are resolved through the program's interner, so names unseen by
+// the program match nothing.
+func (p *Program) Query(store Store, query string) ([]Tuple, error) {
+	// Wrap the atom in a rule with a ground head so the parser's safety
+	// check passes regardless of the pattern's variables.
+	tmp, err := parser.Parse("qwrap(ok) :- " + query + ".")
+	if err != nil {
+		return nil, fmt.Errorf("parlog: bad query %q: %w", query, err)
+	}
+	rule := tmp.Rules[0]
+	if len(rule.Body) != 1 {
+		return nil, fmt.Errorf("parlog: query must be a single atom, got %q", query)
+	}
+	atom := rule.Body[0]
+	// Re-intern the pattern's constants through the program's interner; a
+	// constant the program never saw cannot match any stored tuple.
+	for i, term := range atom.Args {
+		if term.IsVar() {
+			continue
+		}
+		v, ok := p.ast.Interner.Lookup(tmp.Interner.Name(term.Value))
+		if !ok {
+			return nil, nil
+		}
+		atom.Args[i] = ast.C(v)
+	}
+	rel, ok := store[atom.Pred]
+	if !ok {
+		return nil, fmt.Errorf("parlog: predicate %s not in the result store", atom.Pred)
+	}
+	if rel.Arity() != atom.Arity() {
+		return nil, fmt.Errorf("parlog: %s has arity %d, query uses %d", atom.Pred, rel.Arity(), atom.Arity())
+	}
+	var out []Tuple
+	for _, t := range rel.SortedRows() {
+		if ast.MatchAtom(atom, t, ast.Subst{}) {
+			out = append(out, t)
+		}
+	}
+	return out, nil
+}

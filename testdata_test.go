@@ -1,0 +1,57 @@
+package parlog
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestSampleProgramsCorpus runs every program shipped in testdata/programs
+// through the full pipeline: parse, print/parse fixpoint, sequential
+// evaluation, and parallel evaluation at several worker counts — all derived
+// relations must agree with the sequential result.
+func TestSampleProgramsCorpus(t *testing.T) {
+	paths, err := filepath.Glob("testdata/programs/*.dl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 5 {
+		t.Fatalf("corpus too small: %v", paths)
+	}
+	for _, path := range paths {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			src, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog, err := Parse(string(src))
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			// Print/parse fixpoint.
+			again, err := Parse(prog.String())
+			if err != nil || again.String() != prog.String() {
+				t.Fatalf("print/parse fixpoint broken: %v", err)
+			}
+			want, stats, err := Eval(prog, nil, EvalOptions{})
+			if err != nil {
+				t.Fatalf("sequential: %v", err)
+			}
+			if stats.New == 0 {
+				t.Fatal("corpus program derived nothing — weak test input")
+			}
+			for _, workers := range []int{1, 3} {
+				res, err := EvalParallel(prog, nil, ParallelOptions{Workers: workers})
+				if err != nil {
+					t.Fatalf("parallel N=%d: %v", workers, err)
+				}
+				for _, pred := range prog.IDB() {
+					if !want[pred].Equal(res.Output[pred]) {
+						t.Errorf("N=%d: %s differs from sequential", workers, pred)
+					}
+				}
+			}
+		})
+	}
+}
