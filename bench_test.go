@@ -7,6 +7,7 @@ package parlog
 // EXPERIMENTS.md.
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -511,7 +512,7 @@ source(n0).
 	b.Run("sequential", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if _, _, err := Eval(prog, nil, EvalOptions{}); err != nil {
+			if _, err := Eval(context.Background(), prog, nil, EvalOptions{}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -519,9 +520,57 @@ source(n0).
 	b.Run("parallel4", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if _, err := EvalParallel(prog, nil, ParallelOptions{Workers: 4}); err != nil {
+			if _, err := EvalParallel(context.Background(), prog, nil, ParallelOptions{Workers: 4}); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
+}
+
+// --- observability: cost of the event layer on the transitive-closure run ---
+
+// BenchmarkObservability pins the tentpole's zero-cost claim: "off" (no
+// sink) must stay within noise of the pre-observability engine, and
+// "counting" shows the price of the built-in metrics sink. Run with
+// -bench=Observability and compare the off/counting pairs.
+func BenchmarkObservability(b *testing.B) {
+	src := `
+anc(X, Y) :- par(X, Y).
+anc(X, Y) :- par(X, Z), anc(Z, Y).
+`
+	for i := 0; i < 300; i++ {
+		src += fmt.Sprintf("par(v%d, v%d).\npar(v%d, v%d).\n", i, (i+1)%300, i, (i*7+3)%300)
+	}
+	prog := MustParse(src)
+	var edb Store
+	for _, engine := range []struct {
+		name string
+		run  func(opts EvalOptions) error
+	}{
+		{"seq", func(opts EvalOptions) error {
+			_, err := Eval(context.Background(), prog, edb, opts)
+			return err
+		}},
+		{"par4", func(opts EvalOptions) error {
+			_, err := EvalParallel(context.Background(), prog, edb, opts)
+			return err
+		}},
+	} {
+		b.Run(engine.name+"/off", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := engine.run(EvalOptions{Workers: 4}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(engine.name+"/counting", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := engine.run(EvalOptions{Workers: 4, Metrics: true}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }

@@ -19,18 +19,22 @@
 //	-csv pred=path  load a base relation from a CSV file (repeatable)
 //	-i              interactive queries after evaluation
 //	-stats          print evaluation statistics to stderr
+//	-metrics        print per-processor iteration/traffic/busy metrics
+//	-trace FILE     write the run's full event stream as JSON
 //	-show-rewrite   print each processor's rewritten program (the paper's
 //	                Q_i / R_i / T_i) instead of evaluating
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"parlog"
 )
@@ -48,6 +52,8 @@ func main() {
 		stats    = flag.Bool("stats", false, "print evaluation statistics to stderr")
 		interact = flag.Bool("i", false, "after evaluating, read query patterns from stdin")
 		showRW   = flag.Bool("show-rewrite", false, "print each processor's rewritten program (Q_i/R_i/T_i) instead of evaluating")
+		metrics  = flag.Bool("metrics", false, "print per-processor iteration/traffic/busy metrics to stderr")
+		traceOut = flag.String("trace", "", "write the run's full event stream as JSON to this file")
 	)
 	var csvs csvFlags
 	flag.Var(&csvs, "csv", "load a base relation from CSV: pred=path (repeatable)")
@@ -96,29 +102,41 @@ func main() {
 		return
 	}
 
+	var rec *parlog.TraceRecorder
+	if *traceOut != "" {
+		rec = parlog.NewTraceRecorder()
+	}
+
 	if *workers <= 0 {
-		store, st, err := parlog.Eval(prog, edb, parlog.EvalOptions{Naive: *naive})
+		seqRes, err := parlog.Eval(context.Background(), prog, edb, parlog.EvalOptions{
+			Naive: *naive, Trace: traceSink(rec), Metrics: *metrics,
+		})
 		if err != nil {
 			fatal(err)
 		}
+		store, st := seqRes.Output, seqRes.SeqStats
 		printResult(prog, store, show, *query)
 		if *stats {
 			fmt.Fprintf(os.Stderr, "iterations=%d firings=%d new=%d\n", st.Iterations, st.Firings, st.New)
 		}
+		writeTrace(rec, *traceOut)
+		printMetrics(seqRes.Metrics)
 		if *interact {
 			repl(prog, store, os.Stdin, os.Stdout)
 		}
 		return
 	}
 
-	opts := parlog.ParallelOptions{
+	opts := parlog.EvalOptions{
 		Workers:  *workers,
 		Locality: *locality,
 		VR:       splitList(*vr),
 		VE:       splitList(*ve),
 		Strategy: strategyOf(*strategy),
+		Trace:    traceSink(rec),
+		Metrics:  *metrics,
 	}
-	res, err := parlog.EvalParallel(prog, edb, opts)
+	res, err := parlog.EvalParallel(context.Background(), prog, edb, opts)
 	if err != nil {
 		fatal(err)
 	}
@@ -126,8 +144,50 @@ func main() {
 	if *stats {
 		fmt.Fprint(os.Stderr, res.Stats.String())
 	}
+	writeTrace(rec, *traceOut)
+	printMetrics(res.Metrics)
 	if *interact {
 		repl(prog, res.Output, os.Stdin, os.Stdout)
+	}
+}
+
+// traceSink avoids stuffing a typed-nil *TraceRecorder into the EventSink
+// interface when -trace is off.
+func traceSink(rec *parlog.TraceRecorder) parlog.EventSink {
+	if rec == nil {
+		return nil
+	}
+	return rec
+}
+
+func writeTrace(rec *parlog.TraceRecorder, path string) {
+	if rec == nil {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	if err := rec.WriteJSON(f); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+}
+
+func printMetrics(m *parlog.Metrics) {
+	if m == nil {
+		return
+	}
+	for _, p := range m.Procs {
+		fmt.Fprintf(os.Stderr, "proc %d: iterations=%d firings=%d (dup %d) sent=%d recv=%d (dup %d) busy=%s idle=%s\n",
+			p.Proc, len(p.Iterations), p.Firings, p.DupFirings,
+			p.TuplesSent, p.TuplesReceived, p.DupReceived,
+			time.Duration(p.BusyNs), time.Duration(p.IdleNs))
+	}
+	for _, e := range m.Edges {
+		fmt.Fprintf(os.Stderr, "edge %d->%d: messages=%d tuples=%d\n", e.From, e.To, e.Messages, e.Tuples)
 	}
 }
 

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"strings"
 
@@ -68,10 +69,11 @@ par(a, b). par(b, c).
 	if err != nil {
 		t.Fatal(err)
 	}
-	store, _, err := parlog.Eval(prog, nil, parlog.EvalOptions{})
+	res, err := parlog.Eval(context.Background(), prog, nil, parlog.EvalOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
+	store := res.Output
 	in := strings.NewReader("anc(a, X)\nbadquery\nanc(X, X).\n\n")
 	var out strings.Builder
 	repl(prog, store, in, &out)

@@ -1,0 +1,131 @@
+package main
+
+// E15 — machine-readable benchmark of the paper's running Examples 1–3.
+//
+// Where E5 prints the communication/placement/redundancy table for humans,
+// E15 runs the same three schemes with the counting sink attached and dumps
+// its full metrics snapshot — per-iteration delta sizes, per-channel tuple
+// counts and per-worker busy/idle totals — as BENCH_parallel.json, so the
+// numbers can be diffed and plotted across commits.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"parlog/internal/analysis"
+	"parlog/internal/hashpart"
+	"parlog/internal/obs"
+	"parlog/internal/parallel"
+	"parlog/internal/relation"
+	"parlog/internal/rewrite"
+	"parlog/internal/workload"
+)
+
+// benchOut is where runE15 writes its JSON document; the -bench-out flag
+// (and the test harness) override it.
+var benchOut = "BENCH_parallel.json"
+
+// benchDoc is the top-level shape of BENCH_parallel.json.
+type benchDoc struct {
+	Benchmark string         `json:"benchmark"`
+	Workers   int            `json:"workers"`
+	Workload  benchWorkload  `json:"workload"`
+	Examples  []benchExample `json:"examples"`
+}
+
+type benchWorkload struct {
+	Kind  string `json:"kind"`
+	Nodes int    `json:"nodes"`
+	Edges int    `json:"edges"`
+	Seed  int    `json:"seed"`
+}
+
+type benchExample struct {
+	Example string       `json:"example"`
+	VR      []string     `json:"vr"`
+	VE      []string     `json:"ve"`
+	Anc     int          `json:"anc_tuples"`
+	Metrics *obs.Metrics `json:"metrics"`
+}
+
+func runE15(quick bool) error {
+	nodes, edges, n := 120, 480, 4
+	if quick {
+		nodes, edges = 40, 160
+	}
+	par := workload.RandomGraph(nodes, edges, 7)
+	edb := relation.Store{"par": par}
+	s, err := analysis.ExtractSirup(workload.AncestorProgram())
+	if err != nil {
+		return err
+	}
+	h := hashpart.ModHash{N: n}
+
+	frags := map[int]*relation.Relation{}
+	for i := 0; i < n; i++ {
+		frags[i] = relation.New(2)
+	}
+	for k, t := range par.Rows() {
+		frags[k%n].Insert(t)
+	}
+	hfrag, err := hashpart.NewFragmentation(frags, h)
+	if err != nil {
+		return err
+	}
+
+	doc := benchDoc{
+		Benchmark: "parallel-examples",
+		Workers:   n,
+		Workload:  benchWorkload{Kind: "random", Nodes: nodes, Edges: edges, Seed: 7},
+	}
+	schemes := []struct {
+		name   string
+		vr, ve []string
+		h      hashpart.Func
+	}{
+		{"ex1", []string{"Y"}, []string{"Y"}, h},
+		{"ex2", []string{"X", "Z"}, []string{"X", "Y"}, hfrag},
+		{"ex3", []string{"Z"}, []string{"X"}, h},
+	}
+	for _, sc := range schemes {
+		p, err := parallel.BuildQ(s, rewrite.SirupSpec{
+			Procs: hashpart.RangeProcs(n), VR: sc.vr, VE: sc.ve, H: sc.h,
+		})
+		if err != nil {
+			return err
+		}
+		c := obs.NewCounting()
+		res, err := parallel.Run(p, edb, parallel.RunConfig{Sink: c})
+		if err != nil {
+			return err
+		}
+		m := c.Snapshot()
+		doc.Examples = append(doc.Examples, benchExample{
+			Example: sc.name, VR: sc.vr, VE: sc.ve,
+			Anc: res.Output["anc"].Len(), Metrics: m,
+		})
+		var sent int64
+		for _, e := range m.Edges {
+			sent += e.Tuples
+		}
+		fmt.Printf("%-4s N=%d anc=%d iters(p0)=%d tuples-sent=%d\n",
+			sc.name, n, res.Output["anc"].Len(), len(m.Procs[0].Iterations), sent)
+	}
+
+	f, err := os.Create(benchOut)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", benchOut)
+	return nil
+}

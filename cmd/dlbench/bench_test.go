@@ -1,0 +1,77 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestMain redirects E15's output file into a scratch directory so the test
+// runs (including TestAllExperimentsQuick) never write into the repository.
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "dlbench")
+	if err != nil {
+		panic(err)
+	}
+	benchOut = filepath.Join(dir, "BENCH_parallel.json")
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+// TestBenchJSON checks the document E15 writes: all three examples present,
+// and for each one the acceptance-relevant series — per-iteration deltas,
+// per-worker busy/idle totals and per-channel tuple counts (for the
+// communicating schemes) — non-degenerate.
+func TestBenchJSON(t *testing.T) {
+	if err := runE15(true); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(benchOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc benchDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(doc.Examples) != 3 {
+		t.Fatalf("expected 3 examples, got %d", len(doc.Examples))
+	}
+	var anc int
+	for _, ex := range doc.Examples {
+		if ex.Metrics == nil || len(ex.Metrics.Procs) != doc.Workers {
+			t.Fatalf("%s: expected metrics for %d workers", ex.Example, doc.Workers)
+		}
+		if anc == 0 {
+			anc = ex.Anc
+		} else if ex.Anc != anc {
+			t.Errorf("%s: anc=%d, other schemes got %d", ex.Example, ex.Anc, anc)
+		}
+		var iters, busy int
+		for _, p := range ex.Metrics.Procs {
+			iters += len(p.Iterations)
+			if p.BusyNs > 0 {
+				busy++
+			}
+		}
+		if iters == 0 {
+			t.Errorf("%s: no per-iteration deltas recorded", ex.Example)
+		}
+		if busy == 0 {
+			t.Errorf("%s: no worker recorded busy time", ex.Example)
+		}
+		// ex3 partitions by a body variable the head cannot see, so it must
+		// communicate; its edge rows carry the per-channel tuple counts.
+		if ex.Example == "ex3" {
+			var tuples int64
+			for _, e := range ex.Metrics.Edges {
+				tuples += e.Tuples
+			}
+			if tuples == 0 {
+				t.Error("ex3: expected non-zero per-channel tuple counts")
+			}
+		}
+	}
+}

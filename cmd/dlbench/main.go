@@ -16,8 +16,11 @@
 //	E12 Section 5 adaptation: execution on the derived interconnect
 //	E13 Theorems 1, 4, 5: least-model equality of the rewritten programs
 //	E14 extension: load balancing via weighted discriminating functions
+//	E15 Examples 1–3 rerun with the counting sink; per-iteration deltas,
+//	    per-channel tuple counts and per-worker busy/idle totals are written
+//	    to BENCH_parallel.json (see -bench-out)
 //
-// Usage: dlbench [-experiment E5] [-quick]    (default: run all)
+// Usage: dlbench [-experiment E5] [-quick] [-bench-out BENCH_parallel.json]
 package main
 
 import (
@@ -49,13 +52,15 @@ var experiments = []experiment{
 	{"E12", "Section 5 — execution on the derived interconnect", runE12},
 	{"E13", "Theorems 1, 4, 5 — least-model equality of rewritten programs", runE13},
 	{"E14", "Extension — load balancing via weighted discriminating functions", runE14},
+	{"E15", "Examples 1–3 — metrics snapshot to BENCH_parallel.json", runE15},
 }
 
 func main() {
 	var (
-		which = flag.String("experiment", "all", "experiment id (E1..E13) or 'all'")
+		which = flag.String("experiment", "all", "experiment id (E1..E15) or 'all'")
 		quick = flag.Bool("quick", false, "smaller workloads for a fast pass")
 	)
+	flag.StringVar(&benchOut, "bench-out", benchOut, "output path of E15's JSON benchmark document")
 	flag.Parse()
 
 	ids := map[string]bool{}

@@ -1,6 +1,7 @@
 package parlog_test
 
 import (
+	"context"
 	"fmt"
 
 	"parlog"
@@ -15,7 +16,7 @@ func Example() {
 		anc(X, Y) :- par(X, Z), anc(Z, Y).
 		par(a, b). par(b, c). par(c, d).
 	`)
-	res, err := parlog.EvalParallel(prog, nil, parlog.ParallelOptions{Workers: 4})
+	res, err := parlog.EvalParallel(context.Background(), prog, nil, parlog.EvalOptions{Workers: 4})
 	if err != nil {
 		panic(err)
 	}
@@ -38,11 +39,11 @@ func ExampleEval() {
 		anc(X, Y) :- par(X, Z), anc(Z, Y).
 		par(a, b). par(b, c).
 	`)
-	store, stats, err := parlog.Eval(prog, nil, parlog.EvalOptions{})
+	res, err := parlog.Eval(context.Background(), prog, nil, parlog.EvalOptions{})
 	if err != nil {
 		panic(err)
 	}
-	fmt.Printf("|anc| = %d, firings = %d\n", store["anc"].Len(), stats.Firings)
+	fmt.Printf("|anc| = %d, firings = %d\n", res.Output["anc"].Len(), res.SeqStats.Firings)
 	// Output:
 	// |anc| = 3, firings = 3
 }

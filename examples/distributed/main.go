@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -22,10 +23,11 @@ anc(X, Y) :- par(X, Z), anc(Z, Y).
 `)
 	edb := parlog.Store{"par": workload.RandomGraph(40, 160, 77)}
 
-	want, seqStats, err := parlog.Eval(prog, edb, parlog.EvalOptions{})
+	seqRes, err := parlog.Eval(context.Background(), prog, edb, parlog.EvalOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
+	want, seqStats := seqRes.Output, seqRes.SeqStats
 	fmt.Printf("random digraph, 40 nodes, 160 edges; |anc| = %d, sequential firings = %d\n\n",
 		want["anc"].Len(), seqStats.Firings)
 
@@ -35,11 +37,11 @@ anc(X, Y) :- par(X, Z), anc(Z, Y).
 		VR:       []string{"Z"}, VE: []string{"X"},
 	}
 
-	inproc, err := parlog.EvalParallel(prog, edb, opts)
+	inproc, err := parlog.EvalParallel(context.Background(), prog, edb, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
-	tcp, err := parlog.EvalDistributed(prog, edb, opts)
+	tcp, err := parlog.EvalDistributed(context.Background(), prog, edb, opts)
 	if err != nil {
 		log.Fatal(err)
 	}

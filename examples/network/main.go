@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -77,15 +78,16 @@ p(X, Y) :- p(Y, Z), r(X, Z).
 		"q": workload.RandomGraph(24, 60, 1),
 		"r": workload.RandomGraph(24, 60, 2),
 	}
-	want, _, err := parlog.Eval(ex6, edb, parlog.EvalOptions{})
+	seqRes, err := parlog.Eval(context.Background(), ex6, edb, parlog.EvalOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
+	want := seqRes.Output
 	// HashBits makes the runtime use exactly the function DeriveNetwork
 	// reasoned about (lifted over g = parity of the interned constant id),
 	// and the Topology admits only the derived edges: any unpredicted send
 	// would fail the run.
-	res, err := parlog.EvalParallel(ex6, edb, parlog.ParallelOptions{
+	res, err := parlog.EvalParallel(context.Background(), ex6, edb, parlog.ParallelOptions{
 		Strategy: parlog.StrategyHashPartition,
 		VR:       []string{"Y", "Z"}, VE: []string{"X", "Y"},
 		HashBits: parlog.BitVectorHash(2),

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -35,14 +36,16 @@ anc(X, Y) :- par(X, Z), anc(Z, Y).
 
 	edb := parlog.Store{"par": workload.RandomGraph(50, 200, 21)}
 
-	linStore, linStats, err := parlog.Eval(linear, edb, parlog.EvalOptions{})
+	seqRes, err := parlog.Eval(context.Background(), linear, edb, parlog.EvalOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	nlStore, nlStats, err := parlog.Eval(nonlinear, edb, parlog.EvalOptions{})
+	linStore, linStats := seqRes.Output, seqRes.SeqStats
+	seqRes2, err := parlog.Eval(context.Background(), nonlinear, edb, parlog.EvalOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
+	nlStore, nlStats := seqRes2.Output, seqRes2.SeqStats
 	if !linStore["anc"].Equal(nlStore["anc"]) {
 		log.Fatal("BUG: linear and non-linear ancestor disagree")
 	}
@@ -53,7 +56,7 @@ anc(X, Y) :- par(X, Z), anc(Z, Y).
 
 	fmt.Printf("\n%3s %12s %10s %16s\n", "N", "tuples-sent", "firings", "vs-seq-nonlinear")
 	for _, n := range []int{1, 2, 4, 8} {
-		res, err := parlog.EvalParallel(nonlinear, edb, parlog.ParallelOptions{
+		res, err := parlog.EvalParallel(context.Background(), nonlinear, edb, parlog.ParallelOptions{
 			Workers:  n,
 			Strategy: parlog.StrategyGeneral,
 		})

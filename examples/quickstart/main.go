@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -32,10 +33,11 @@ par(jared, enoch).
 	fmt.Println(prog)
 
 	// Sequential semi-naive evaluation — the paper's baseline.
-	store, seqStats, err := parlog.Eval(prog, nil, parlog.EvalOptions{})
+	seqRes, err := parlog.Eval(context.Background(), prog, nil, parlog.EvalOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
+	store, seqStats := seqRes.Output, seqRes.SeqStats
 	fmt.Printf("Sequential semi-naive: |anc| = %d, firings = %d, iterations = %d\n\n",
 		store["anc"].Len(), seqStats.Firings, seqStats.Iterations)
 
@@ -45,7 +47,7 @@ par(jared, enoch).
 	df, _ := prog.Dataflow()
 	fmt.Printf("Dataflow graph of the recursive rule: %s\n", df)
 
-	res, err := parlog.EvalParallel(prog, nil, parlog.ParallelOptions{Workers: 4})
+	res, err := parlog.EvalParallel(context.Background(), prog, nil, parlog.ParallelOptions{Workers: 4})
 	if err != nil {
 		log.Fatal(err)
 	}

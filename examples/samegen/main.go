@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -30,10 +31,11 @@ sg(X, Y) :- up(X, U), sg(U, V), down(V, Y).
 	edb := parlog.Store{"up": up, "flat": flat, "down": down}
 	fmt.Printf("input: |up| = %d, |down| = %d, |flat| = %d\n", up.Len(), down.Len(), flat.Len())
 
-	want, seqStats, err := parlog.Eval(prog, edb, parlog.EvalOptions{})
+	seqRes, err := parlog.Eval(context.Background(), prog, edb, parlog.EvalOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
+	want, seqStats := seqRes.Output, seqRes.SeqStats
 	fmt.Printf("sequential: |sg| = %d, firings = %d\n\n", want["sg"].Len(), seqStats.Firings)
 
 	fmt.Println("scheme                         sent-tuples   firings   dup-vs-seq   max-proc-share")
@@ -56,7 +58,7 @@ sg(X, Y) :- up(X, U), sg(U, V), down(V, Y).
 			Workers: 4, Strategy: parlog.StrategyNoComm,
 		}},
 	} {
-		res, err := parlog.EvalParallel(prog, edb, choice.opts)
+		res, err := parlog.EvalParallel(context.Background(), prog, edb, choice.opts)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -24,16 +25,17 @@ anc(X, Y) :- par(X, Z), anc(Z, Y).
 `)
 	edb := parlog.Store{"par": workload.RandomGraph(60, 240, 7)}
 
-	want, seqStats, err := parlog.Eval(prog, edb, parlog.EvalOptions{})
+	seqRes, err := parlog.Eval(context.Background(), prog, edb, parlog.EvalOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
+	want, seqStats := seqRes.Output, seqRes.SeqStats
 	fmt.Printf("random digraph: 60 nodes, 240 edges; |anc| = %d; sequential firings = %d\n\n",
 		want["anc"].Len(), seqStats.Firings)
 
 	fmt.Println("locality   tuples-sent   firings   redundant-firings")
 	for _, locality := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0} {
-		res, err := parlog.EvalParallel(prog, edb, parlog.ParallelOptions{
+		res, err := parlog.EvalParallel(context.Background(), prog, edb, parlog.ParallelOptions{
 			Workers:  4,
 			Strategy: parlog.StrategyTradeoff,
 			Locality: locality,

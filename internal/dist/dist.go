@@ -22,12 +22,14 @@
 package dist
 
 import (
+	"context"
 	"encoding/gob"
 	"fmt"
 	"net"
 	"time"
 
 	"parlog/internal/ast"
+	"parlog/internal/obs"
 	"parlog/internal/parallel"
 	"parlog/internal/relation"
 )
@@ -74,6 +76,11 @@ type Config struct {
 	WavePoll time.Duration
 	// Timeout aborts a run that never quiesces (default 60s).
 	Timeout time.Duration
+	// Ctx, when non-nil, cancels the run between detection waves.
+	Ctx context.Context
+	// Sink, when non-nil, receives the coordinator's and (for in-process
+	// workers started by Run) the workers' event stream.
+	Sink obs.EventSink
 }
 
 func (c *Config) fill() {
@@ -181,7 +188,12 @@ func (c *Coordinator) Wait() (*Result, error) {
 	// its sent counter before the batch reaches the wire, so two identical
 	// balanced all-idle waves imply global quiescence.
 	var prev *wave
-	for {
+	for waveNum := 0; ; waveNum++ {
+		if c.cfg.Ctx != nil {
+			if err := c.cfg.Ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		if time.Now().After(deadline) {
 			return nil, fmt.Errorf("dist: run exceeded %v without quiescing", c.cfg.Timeout)
 		}
@@ -203,7 +215,11 @@ func (c *Coordinator) Wait() (*Result, error) {
 				cur.allIdle = false
 			}
 		}
-		if cur.allIdle && cur.sent == cur.recv && prev != nil && *prev == cur {
+		done := cur.allIdle && cur.sent == cur.recv && prev != nil && *prev == cur
+		if c.cfg.Sink != nil {
+			c.cfg.Sink.TermProbe("mattern", waveNum, done)
+		}
+		if done {
 			break
 		}
 		prev = &cur

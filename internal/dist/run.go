@@ -22,9 +22,13 @@ func Run(p *parallel.Program, edb relation.Store, cfg Config) (*Result, error) {
 		return nil, err
 	}
 
+	if cfg.Sink != nil {
+		cfg.Sink.RunStart("dist", p.Procs.IDs())
+	}
 	errs := make(chan error, cfg.Workers)
 	for wi := 0; wi < cfg.Workers; wi++ {
 		node := parallel.NewNode(p, wi, global)
+		node.SetSink(cfg.Sink)
 		go func() {
 			errs <- RunWorker(coord.Addr(), "127.0.0.1:0", node)
 		}()
@@ -38,6 +42,9 @@ func Run(p *parallel.Program, edb relation.Store, cfg Config) (*Result, error) {
 		if werr := <-errs; werr != nil {
 			return nil, fmt.Errorf("dist: worker failed: %w", werr)
 		}
+	}
+	if cfg.Sink != nil {
+		cfg.Sink.RunEnd(res.Wall)
 	}
 	return res, nil
 }

@@ -141,20 +141,33 @@ func RunWorker(coordAddr, dataAddr string, node *parallel.Node) error {
 				ts[i] = t
 			}
 			node.RecordSent(len(tuples))
+			if sink := node.Sink(); sink != nil {
+				sink.MessageSent(node.Proc(), node.PeerProc(dest), pred, len(tuples))
+			}
 			sent.Add(1) // before the batch can reach the wire
 			if err := outConns[dest].Encode(dataMsg{From: node.Index(), Pred: pred, Tuples: ts}); err != nil {
 				evalErr = fmt.Errorf("dist: sending to peer %d: %w", dest, err)
 			}
 		}
 
+		sink := node.Sink()
+		if sink != nil {
+			sink.WorkerBusy(node.Proc())
+		}
 		begin := time.Now()
 		node.Init(emit)
 		node.RecordBusy(time.Since(begin))
+		if sink != nil {
+			sink.WorkerIdle(node.Proc())
+		}
 		idle.Store(true)
 		for {
 			select {
 			case <-mbox.notify:
 				idle.Store(false)
+				if sink != nil {
+					sink.WorkerBusy(node.Proc())
+				}
 				begin = time.Now()
 				for _, m := range mbox.takeAll() {
 					recv.Add(1)
@@ -162,10 +175,13 @@ func RunWorker(coordAddr, dataAddr string, node *parallel.Node) error {
 					for i, t := range m.Tuples {
 						tuples[i] = t
 					}
-					node.Accept(m.Pred, tuples)
+					node.Accept(m.From, m.Pred, tuples)
 				}
 				node.Drain(emit)
 				node.RecordBusy(time.Since(begin))
+				if sink != nil {
+					sink.WorkerIdle(node.Proc())
+				}
 				idle.Store(true)
 			case <-quit:
 				return

@@ -1,0 +1,263 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counting is the built-in metrics sink. It aggregates the event stream
+// into per-processor counters — iteration deltas, rule firings, tuples
+// sent and received per channel edge, and busy/idle wall time — without
+// taking a lock on the hot path: every counter a worker touches after
+// RunStart lives in that worker's own shard and is updated with a single
+// atomic add, so workers never contend on shared cache lines and the sink
+// is safe under the race detector.
+//
+// Registration (RunStart) is the only synchronized operation. A stratified
+// or multi-phase run may call RunStart several times with the same or a
+// growing processor set; counters accumulate across phases.
+type Counting struct {
+	mu     sync.Mutex
+	engine string
+	idx    map[int]int // proc id → dense shard index
+	shards []*procShard
+	wallNs atomic.Int64
+	runs   atomic.Int64
+	probes atomic.Int64
+}
+
+// procShard holds one processor's counters. All fields after proc are
+// written only by that processor's goroutine (or via atomics), never by
+// its peers, except edge rows which are written by the *sending* side —
+// still a single writer per cell in every engine.
+type procShard struct {
+	proc        int
+	iters       []IterationDelta // single writer: the owning proc
+	firings     atomic.Int64
+	dupFirings  atomic.Int64
+	sentTuples  atomic.Int64
+	recvTuples  atomic.Int64
+	recvDup     atomic.Int64
+	recvMsgs    atomic.Int64
+	busyNs      atomic.Int64
+	idleNs      atomic.Int64
+	transitions atomic.Int64
+	lastState   int32 // 0 unknown, 1 busy, 2 idle; owner-only
+	lastNs      int64 // time of last transition; owner-only
+
+	// edgeTuples[j] / edgeMsgs[j] count traffic on channel t_{proc,q}
+	// where q is the proc with dense index j. Written by proc (the
+	// sender owns its outgoing rows).
+	edgeTuples []atomic.Int64
+	edgeMsgs   []atomic.Int64
+}
+
+// NewCounting returns an empty counting sink.
+func NewCounting() *Counting {
+	return &Counting{idx: make(map[int]int)}
+}
+
+func (c *Counting) RunStart(engine string, procs []int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.engine == "" {
+		c.engine = engine
+	}
+	c.runs.Add(1)
+	for _, p := range procs {
+		if _, ok := c.idx[p]; !ok {
+			c.idx[p] = len(c.shards)
+			c.shards = append(c.shards, &procShard{proc: p})
+		}
+	}
+	// (Re)size every shard's edge rows to the current universe.
+	n := len(c.shards)
+	for _, s := range c.shards {
+		for len(s.edgeTuples) < n {
+			s.edgeTuples = append(s.edgeTuples, atomic.Int64{})
+			s.edgeMsgs = append(s.edgeMsgs, atomic.Int64{})
+		}
+	}
+}
+
+// shard returns proc's shard, or nil for an unregistered processor (events
+// for unknown procs are dropped rather than corrupting a neighbor's row).
+func (c *Counting) shard(proc int) *procShard {
+	i, ok := c.idx[proc]
+	if !ok {
+		return nil
+	}
+	return c.shards[i]
+}
+
+func (c *Counting) IterationStart(proc, iter int) {}
+
+func (c *Counting) IterationEnd(proc, iter, delta int) {
+	if s := c.shard(proc); s != nil {
+		s.iters = append(s.iters, IterationDelta{Iter: iter, Delta: delta})
+	}
+}
+
+func (c *Counting) RuleFirings(proc int, pred string, firings, dup int64) {
+	if s := c.shard(proc); s != nil {
+		s.firings.Add(firings)
+		s.dupFirings.Add(dup)
+	}
+}
+
+func (c *Counting) MessageSent(from, to int, pred string, tuples int) {
+	s := c.shard(from)
+	if s == nil {
+		return
+	}
+	s.sentTuples.Add(int64(tuples))
+	if j, ok := c.idx[to]; ok && j < len(s.edgeTuples) {
+		s.edgeTuples[j].Add(int64(tuples))
+		s.edgeMsgs[j].Add(1)
+	}
+}
+
+func (c *Counting) MessageReceived(at, from int, pred string, tuples, dup int) {
+	if s := c.shard(at); s != nil {
+		s.recvTuples.Add(int64(tuples))
+		s.recvDup.Add(int64(dup))
+		s.recvMsgs.Add(1)
+	}
+}
+
+func (c *Counting) WorkerBusy(proc int) { c.transition(proc, 1) }
+func (c *Counting) WorkerIdle(proc int) { c.transition(proc, 2) }
+
+func (c *Counting) transition(proc int, state int32) {
+	s := c.shard(proc)
+	if s == nil {
+		return
+	}
+	now := time.Now().UnixNano()
+	if s.lastState != 0 && s.lastState != state {
+		d := now - s.lastNs
+		if s.lastState == 1 {
+			s.busyNs.Add(d)
+		} else {
+			s.idleNs.Add(d)
+		}
+	}
+	if s.lastState != state {
+		s.transitions.Add(1)
+	}
+	s.lastState = state
+	s.lastNs = now
+}
+
+func (c *Counting) TermProbe(detector string, probe int, quiesced bool) {
+	c.probes.Add(1)
+}
+
+func (c *Counting) RunEnd(wall time.Duration) {
+	c.wallNs.Add(int64(wall))
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// Close any dangling busy/idle interval so totals cover the run.
+	now := time.Now().UnixNano()
+	for _, s := range c.shards {
+		if s.lastState == 1 {
+			s.busyNs.Add(now - s.lastNs)
+		} else if s.lastState == 2 {
+			s.idleNs.Add(now - s.lastNs)
+		}
+		s.lastState = 0
+	}
+}
+
+// Metrics is an immutable snapshot of a Counting sink.
+type Metrics struct {
+	// Engine names the engine of the first RunStart.
+	Engine string `json:"engine"`
+	// Runs counts RunStart calls (strata of a stratified run).
+	Runs int64 `json:"runs"`
+	// WallNs sums the wall-clock time reported by every RunEnd.
+	WallNs int64 `json:"wall_ns"`
+	// TermProbes counts termination-detector probes.
+	TermProbes int64 `json:"term_probes"`
+	// Procs holds per-processor counters in registration order.
+	Procs []ProcMetrics `json:"procs"`
+	// Edges holds one entry per channel that carried at least one
+	// message, ordered by (From, To) registration order.
+	Edges []EdgeMetrics `json:"edges"`
+}
+
+// ProcMetrics is one processor's aggregate counters.
+type ProcMetrics struct {
+	Proc           int              `json:"proc"`
+	Iterations     []IterationDelta `json:"iterations"`
+	Firings        int64            `json:"firings"`
+	DupFirings     int64            `json:"dup_firings"`
+	TuplesSent     int64            `json:"tuples_sent"`
+	TuplesReceived int64            `json:"tuples_received"`
+	DupReceived    int64            `json:"dup_received"`
+	Messages       int64            `json:"messages_received"`
+	BusyNs         int64            `json:"busy_ns"`
+	IdleNs         int64            `json:"idle_ns"`
+	Transitions    int64            `json:"transitions"`
+}
+
+// IterationDelta records how many new tuples one semi-naive iteration
+// derived. Iteration counters restart at each stratum or SCC, so the
+// sequence is a timeline, not a map.
+type IterationDelta struct {
+	Iter  int `json:"iter"`
+	Delta int `json:"delta"`
+}
+
+// EdgeMetrics is the traffic on one directed channel t_{From,To}.
+type EdgeMetrics struct {
+	From     int   `json:"from"`
+	To       int   `json:"to"`
+	Messages int64 `json:"messages"`
+	Tuples   int64 `json:"tuples"`
+}
+
+// Snapshot copies the current counters. Call it after the run completes;
+// a snapshot taken mid-run sees a consistent prefix of each counter but
+// may tear across counters.
+func (c *Counting) Snapshot() *Metrics {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m := &Metrics{
+		Engine:     c.engine,
+		Runs:       c.runs.Load(),
+		WallNs:     c.wallNs.Load(),
+		TermProbes: c.probes.Load(),
+		// Non-nil so a communication-free run still serializes as
+		// "edges": [] — consumers get a stable document shape.
+		Edges: []EdgeMetrics{},
+	}
+	for _, s := range c.shards {
+		pm := ProcMetrics{
+			Proc:           s.proc,
+			Iterations:     append([]IterationDelta(nil), s.iters...),
+			Firings:        s.firings.Load(),
+			DupFirings:     s.dupFirings.Load(),
+			TuplesSent:     s.sentTuples.Load(),
+			TuplesReceived: s.recvTuples.Load(),
+			DupReceived:    s.recvDup.Load(),
+			Messages:       s.recvMsgs.Load(),
+			BusyNs:         s.busyNs.Load(),
+			IdleNs:         s.idleNs.Load(),
+			Transitions:    s.transitions.Load(),
+		}
+		m.Procs = append(m.Procs, pm)
+		for j := range s.edgeTuples {
+			if n := s.edgeMsgs[j].Load(); n > 0 {
+				m.Edges = append(m.Edges, EdgeMetrics{
+					From:     s.proc,
+					To:       c.shards[j].proc,
+					Messages: n,
+					Tuples:   s.edgeTuples[j].Load(),
+				})
+			}
+		}
+	}
+	return m
+}

@@ -1,0 +1,139 @@
+// Package obs is the engine-wide observability layer: a single EventSink
+// interface that all three evaluation engines (sequential semi-naive,
+// in-process parallel, distributed) report into, plus two built-in sinks —
+// a lock-free counting sink that aggregates per-iteration delta sizes,
+// per-edge tuple counts and per-worker busy/idle time, and a trace
+// recorder that captures the full event stream for JSON export.
+//
+// The layer is zero-cost when disabled: engines hold a plain interface
+// value and guard every emission with a nil check, so an unconfigured run
+// performs no calls, no allocations and no atomic operations on behalf of
+// observability.
+package obs
+
+import "time"
+
+// EventSink receives the engine's execution events. Implementations must
+// be safe for concurrent use: parallel and distributed workers call the
+// per-proc methods from their own goroutines. A method is called with the
+// paper-level processor id (the values of ProcSet.IDs, which need not be
+// dense or start at zero); the sequential engine reports as processor 0.
+//
+// Sinks must not block: they sit on the engines' hot paths and anything
+// slower than a few atomic updates will distort the timings they observe.
+type EventSink interface {
+	// RunStart opens a run (or one stratum of a stratified run) on the
+	// named engine ("seminaive", "parallel", "lockstep" or "dist") over
+	// the given processor ids.
+	RunStart(engine string, procs []int)
+	// IterationStart marks processor proc beginning semi-naive
+	// iteration iter (1-based; 0 is the initialization pass).
+	IterationStart(proc, iter int)
+	// IterationEnd closes the iteration; delta is the number of new
+	// tuples the processor derived in it.
+	IterationEnd(proc, iter, delta int)
+	// RuleFirings reports one rule's batch within an iteration: the
+	// head predicate, successful instantiations, and how many of them
+	// rederived an already-known tuple.
+	RuleFirings(proc int, pred string, firings, dup int64)
+	// MessageSent reports a batch of tuples leaving proc from for proc
+	// to over channel t_{from,to}.
+	MessageSent(from, to int, pred string, tuples int)
+	// MessageReceived reports a batch arriving at proc at; dup counts
+	// the tuples the receiver already knew.
+	MessageReceived(at, from int, pred string, tuples, dup int)
+	// WorkerBusy and WorkerIdle mark a processor's transitions between
+	// evaluating and waiting for messages.
+	WorkerBusy(proc int)
+	WorkerIdle(proc int)
+	// TermProbe reports one probe of the termination detector: the
+	// detector name, a probe sequence number (-1 for a final summary
+	// probe), and whether the system was found quiescent.
+	TermProbe(detector string, probe int, quiesced bool)
+	// RunEnd closes the run opened by the matching RunStart.
+	RunEnd(wall time.Duration)
+}
+
+// fanout broadcasts every event to a fixed list of sinks.
+type fanout struct {
+	sinks []EventSink
+}
+
+// Fanout returns a sink that forwards every event to each non-nil sink in
+// order. Nil arguments are dropped; zero or one live sink collapses to nil
+// or the sink itself, so engines keep their single nil check.
+func Fanout(sinks ...EventSink) EventSink {
+	live := make([]EventSink, 0, len(sinks))
+	for _, s := range sinks {
+		if s != nil {
+			live = append(live, s)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return &fanout{sinks: live}
+}
+
+func (f *fanout) RunStart(engine string, procs []int) {
+	for _, s := range f.sinks {
+		s.RunStart(engine, procs)
+	}
+}
+
+func (f *fanout) IterationStart(proc, iter int) {
+	for _, s := range f.sinks {
+		s.IterationStart(proc, iter)
+	}
+}
+
+func (f *fanout) IterationEnd(proc, iter, delta int) {
+	for _, s := range f.sinks {
+		s.IterationEnd(proc, iter, delta)
+	}
+}
+
+func (f *fanout) RuleFirings(proc int, pred string, firings, dup int64) {
+	for _, s := range f.sinks {
+		s.RuleFirings(proc, pred, firings, dup)
+	}
+}
+
+func (f *fanout) MessageSent(from, to int, pred string, tuples int) {
+	for _, s := range f.sinks {
+		s.MessageSent(from, to, pred, tuples)
+	}
+}
+
+func (f *fanout) MessageReceived(at, from int, pred string, tuples, dup int) {
+	for _, s := range f.sinks {
+		s.MessageReceived(at, from, pred, tuples, dup)
+	}
+}
+
+func (f *fanout) WorkerBusy(proc int) {
+	for _, s := range f.sinks {
+		s.WorkerBusy(proc)
+	}
+}
+
+func (f *fanout) WorkerIdle(proc int) {
+	for _, s := range f.sinks {
+		s.WorkerIdle(proc)
+	}
+}
+
+func (f *fanout) TermProbe(detector string, probe int, quiesced bool) {
+	for _, s := range f.sinks {
+		s.TermProbe(detector, probe, quiesced)
+	}
+}
+
+func (f *fanout) RunEnd(wall time.Duration) {
+	for _, s := range f.sinks {
+		s.RunEnd(wall)
+	}
+}

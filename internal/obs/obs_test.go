@@ -1,0 +1,185 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCountingAggregates(t *testing.T) {
+	c := NewCounting()
+	c.RunStart("parallel", []int{0, 1, 2})
+	c.IterationStart(1, 1)
+	c.IterationEnd(1, 1, 7)
+	c.IterationEnd(1, 2, 0)
+	c.RuleFirings(1, "anc", 10, 3)
+	c.RuleFirings(1, "anc", 5, 1)
+	c.MessageSent(0, 1, "anc@ch", 4)
+	c.MessageSent(0, 1, "anc@ch", 2)
+	c.MessageSent(0, 2, "anc@ch", 1)
+	c.MessageReceived(1, 0, "anc@ch", 6, 2)
+	c.TermProbe("counting", 0, false)
+	c.TermProbe("counting", 1, true)
+	c.RunEnd(5 * time.Millisecond)
+
+	m := c.Snapshot()
+	if m.Engine != "parallel" || m.Runs != 1 || m.TermProbes != 2 {
+		t.Fatalf("header: %+v", m)
+	}
+	if m.WallNs != int64(5*time.Millisecond) {
+		t.Fatalf("wall = %d", m.WallNs)
+	}
+	if len(m.Procs) != 3 {
+		t.Fatalf("procs = %d", len(m.Procs))
+	}
+	p1 := m.Procs[1]
+	if p1.Proc != 1 || p1.Firings != 15 || p1.DupFirings != 4 {
+		t.Fatalf("proc 1 firings: %+v", p1)
+	}
+	if len(p1.Iterations) != 2 || p1.Iterations[0] != (IterationDelta{1, 7}) || p1.Iterations[1] != (IterationDelta{2, 0}) {
+		t.Fatalf("proc 1 iterations: %+v", p1.Iterations)
+	}
+	if p1.TuplesReceived != 6 || p1.DupReceived != 2 || p1.Messages != 1 {
+		t.Fatalf("proc 1 receive: %+v", p1)
+	}
+	if m.Procs[0].TuplesSent != 7 {
+		t.Fatalf("proc 0 sent: %+v", m.Procs[0])
+	}
+	want := []EdgeMetrics{{From: 0, To: 1, Messages: 2, Tuples: 6}, {From: 0, To: 2, Messages: 1, Tuples: 1}}
+	if len(m.Edges) != 2 || m.Edges[0] != want[0] || m.Edges[1] != want[1] {
+		t.Fatalf("edges: %+v", m.Edges)
+	}
+}
+
+func TestCountingBusyIdle(t *testing.T) {
+	c := NewCounting()
+	c.RunStart("parallel", []int{0})
+	c.WorkerBusy(0)
+	time.Sleep(2 * time.Millisecond)
+	c.WorkerIdle(0)
+	c.WorkerIdle(0) // repeated state: no extra transition
+	time.Sleep(time.Millisecond)
+	c.RunEnd(3 * time.Millisecond)
+	p := c.Snapshot().Procs[0]
+	if p.BusyNs <= 0 || p.IdleNs <= 0 {
+		t.Fatalf("busy/idle not accumulated: %+v", p)
+	}
+	if p.Transitions != 2 {
+		t.Fatalf("transitions = %d", p.Transitions)
+	}
+}
+
+func TestCountingIgnoresUnknownProc(t *testing.T) {
+	c := NewCounting()
+	c.RunStart("parallel", []int{0})
+	c.MessageSent(9, 0, "p", 1)
+	c.MessageReceived(9, 0, "p", 1, 0)
+	c.IterationEnd(9, 1, 1)
+	c.RuleFirings(9, "p", 1, 0)
+	c.WorkerBusy(9)
+	if m := c.Snapshot(); len(m.Procs) != 1 || m.Procs[0].Firings != 0 {
+		t.Fatalf("unknown proc leaked into metrics: %+v", m)
+	}
+}
+
+func TestCountingConcurrent(t *testing.T) {
+	c := NewCounting()
+	procs := []int{0, 1, 2, 3}
+	c.RunStart("parallel", procs)
+	var wg sync.WaitGroup
+	for _, p := range procs {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.RuleFirings(p, "anc", 2, 1)
+				c.MessageSent(p, (p+1)%4, "anc@ch", 3)
+				c.MessageReceived(p, (p+3)%4, "anc@ch", 3, 1)
+			}
+		}(p)
+	}
+	wg.Wait()
+	c.RunEnd(time.Millisecond)
+	m := c.Snapshot()
+	for _, pm := range m.Procs {
+		if pm.Firings != 2000 || pm.TuplesSent != 3000 || pm.TuplesReceived != 3000 {
+			t.Fatalf("lost updates: %+v", pm)
+		}
+	}
+}
+
+func TestRecorderCanonical(t *testing.T) {
+	r := NewRecorder()
+	r.RunStart("lockstep", []int{0, 1})
+	r.IterationStart(0, 1)
+	r.RuleFirings(0, "anc", 3, 0)
+	r.MessageSent(0, 1, "anc@ch", 2)
+	r.MessageReceived(1, 0, "anc@ch", 2, 0)
+	r.IterationEnd(0, 1, 3)
+	r.TermProbe("lockstep", -1, true)
+	r.RunEnd(time.Second)
+
+	ev := r.Canonical()
+	if len(ev) != 8 {
+		t.Fatalf("events = %d", len(ev))
+	}
+	for i, e := range ev {
+		if e.TNs != 0 || e.WallNs != 0 {
+			t.Fatalf("event %d not canonical: %+v", i, e)
+		}
+		if e.Seq != i {
+			t.Fatalf("seq %d at index %d", e.Seq, i)
+		}
+	}
+	wantLines := []string{
+		"run_start engine=lockstep procs=[0 1]",
+		"iter_start proc=0 iter=1",
+		"firings proc=0 pred=anc n=3 dup=0",
+		"send from=0 to=1 pred=anc@ch n=2",
+		"recv at=1 from=0 pred=anc@ch n=2 dup=0",
+		"iter_end proc=0 iter=1 delta=3",
+		"probe detector=lockstep n=-1 quiesced=true",
+		"run_end",
+	}
+	got := r.CanonicalStrings()
+	for i := range wantLines {
+		if got[i] != wantLines[i] {
+			t.Fatalf("line %d:\n got %q\nwant %q", i, got[i], wantLines[i])
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back []Event
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 8 || back[3].Kind != KindSend || back[3].Peer != 1 {
+		t.Fatalf("round trip: %+v", back)
+	}
+}
+
+func TestFanout(t *testing.T) {
+	if Fanout() != nil || Fanout(nil, nil) != nil {
+		t.Fatal("empty fanout must collapse to nil")
+	}
+	r := NewRecorder()
+	if Fanout(nil, r) != EventSink(r) {
+		t.Fatal("single sink must collapse to itself")
+	}
+	c := NewCounting()
+	f := Fanout(r, c)
+	f.RunStart("parallel", []int{0})
+	f.RuleFirings(0, "p", 4, 1)
+	f.RunEnd(time.Millisecond)
+	if len(r.Events()) != 3 {
+		t.Fatalf("recorder missed events: %d", len(r.Events()))
+	}
+	if m := c.Snapshot(); m.Procs[0].Firings != 4 {
+		t.Fatalf("counting missed events: %+v", m)
+	}
+}

@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event is one recorded engine event. Kind selects which of the optional
+// fields are meaningful; TNs is nanoseconds since the recorder saw its
+// first event (zeroed by Canonical).
+type Event struct {
+	Seq      int    `json:"seq"`
+	TNs      int64  `json:"t_ns"`
+	Kind     string `json:"kind"`
+	Engine   string `json:"engine,omitempty"`
+	Procs    []int  `json:"procs,omitempty"`
+	Proc     int    `json:"proc,omitempty"`
+	Peer     int    `json:"peer,omitempty"`
+	Pred     string `json:"pred,omitempty"`
+	Iter     int    `json:"iter,omitempty"`
+	N        int64  `json:"n,omitempty"`
+	Dup      int64  `json:"dup,omitempty"`
+	Detector string `json:"detector,omitempty"`
+	Quiesced bool   `json:"quiesced,omitempty"`
+	WallNs   int64  `json:"wall_ns,omitempty"`
+}
+
+// Event kinds emitted by the engines.
+const (
+	KindRunStart  = "run_start"
+	KindIterStart = "iter_start"
+	KindIterEnd   = "iter_end"
+	KindFirings   = "firings"
+	KindSend      = "send"
+	KindRecv      = "recv"
+	KindBusy      = "busy"
+	KindIdle      = "idle"
+	KindProbe     = "probe"
+	KindRunEnd    = "run_end"
+)
+
+// String renders the event without its timestamp or sequence number — the
+// schedule-independent form the golden trace test compares.
+func (e Event) String() string {
+	switch e.Kind {
+	case KindRunStart:
+		return fmt.Sprintf("run_start engine=%s procs=%v", e.Engine, e.Procs)
+	case KindIterStart:
+		return fmt.Sprintf("iter_start proc=%d iter=%d", e.Proc, e.Iter)
+	case KindIterEnd:
+		return fmt.Sprintf("iter_end proc=%d iter=%d delta=%d", e.Proc, e.Iter, e.N)
+	case KindFirings:
+		return fmt.Sprintf("firings proc=%d pred=%s n=%d dup=%d", e.Proc, e.Pred, e.N, e.Dup)
+	case KindSend:
+		return fmt.Sprintf("send from=%d to=%d pred=%s n=%d", e.Proc, e.Peer, e.Pred, e.N)
+	case KindRecv:
+		return fmt.Sprintf("recv at=%d from=%d pred=%s n=%d dup=%d", e.Proc, e.Peer, e.Pred, e.N, e.Dup)
+	case KindBusy:
+		return fmt.Sprintf("busy proc=%d", e.Proc)
+	case KindIdle:
+		return fmt.Sprintf("idle proc=%d", e.Proc)
+	case KindProbe:
+		return fmt.Sprintf("probe detector=%s n=%d quiesced=%v", e.Detector, e.Iter, e.Quiesced)
+	case KindRunEnd:
+		return "run_end"
+	}
+	return e.Kind
+}
+
+// Recorder captures the full event stream in memory. Unlike Counting it
+// takes a mutex per event, so it is meant for traces and debugging, not
+// for overhead-sensitive measurement.
+type Recorder struct {
+	mu     sync.Mutex
+	start  time.Time
+	events []Event
+}
+
+// NewRecorder returns an empty trace recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+func (r *Recorder) add(e Event) {
+	r.mu.Lock()
+	if r.start.IsZero() {
+		r.start = time.Now()
+	}
+	e.Seq = len(r.events)
+	e.TNs = time.Since(r.start).Nanoseconds()
+	r.events = append(r.events, e)
+	r.mu.Unlock()
+}
+
+func (r *Recorder) RunStart(engine string, procs []int) {
+	r.add(Event{Kind: KindRunStart, Engine: engine, Procs: append([]int(nil), procs...)})
+}
+
+func (r *Recorder) IterationStart(proc, iter int) {
+	r.add(Event{Kind: KindIterStart, Proc: proc, Iter: iter})
+}
+
+func (r *Recorder) IterationEnd(proc, iter, delta int) {
+	r.add(Event{Kind: KindIterEnd, Proc: proc, Iter: iter, N: int64(delta)})
+}
+
+func (r *Recorder) RuleFirings(proc int, pred string, firings, dup int64) {
+	r.add(Event{Kind: KindFirings, Proc: proc, Pred: pred, N: firings, Dup: dup})
+}
+
+func (r *Recorder) MessageSent(from, to int, pred string, tuples int) {
+	r.add(Event{Kind: KindSend, Proc: from, Peer: to, Pred: pred, N: int64(tuples)})
+}
+
+func (r *Recorder) MessageReceived(at, from int, pred string, tuples, dup int) {
+	r.add(Event{Kind: KindRecv, Proc: at, Peer: from, Pred: pred, N: int64(tuples), Dup: int64(dup)})
+}
+
+func (r *Recorder) WorkerBusy(proc int) { r.add(Event{Kind: KindBusy, Proc: proc}) }
+func (r *Recorder) WorkerIdle(proc int) { r.add(Event{Kind: KindIdle, Proc: proc}) }
+
+func (r *Recorder) TermProbe(detector string, probe int, quiesced bool) {
+	r.add(Event{Kind: KindProbe, Detector: detector, Iter: probe, Quiesced: quiesced})
+}
+
+func (r *Recorder) RunEnd(wall time.Duration) {
+	r.add(Event{Kind: KindRunEnd, WallNs: int64(wall)})
+}
+
+// Events returns a copy of the recorded stream.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Event(nil), r.events...)
+}
+
+// Canonical returns the stream with every timing field zeroed, the form a
+// deterministic scheduler reproduces exactly run-to-run.
+func (r *Recorder) Canonical() []Event {
+	ev := r.Events()
+	for i := range ev {
+		ev[i].TNs = 0
+		ev[i].WallNs = 0
+	}
+	return ev
+}
+
+// CanonicalStrings renders Canonical() one event per line.
+func (r *Recorder) CanonicalStrings() []string {
+	ev := r.Canonical()
+	out := make([]string, len(ev))
+	for i, e := range ev {
+		out[i] = e.String()
+	}
+	return out
+}
+
+// WriteJSON writes the recorded events as one indented JSON array.
+func (r *Recorder) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Events())
+}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"parlog/internal/hashpart"
+	"parlog/internal/obs"
 	"parlog/internal/parser"
 	"parlog/internal/relation"
 	"parlog/internal/rewrite"
@@ -107,5 +108,78 @@ func TestChaosDuplicateWithRestrictedTopology(t *testing.T) {
 	}
 	if !seq["anc"].Equal(res.Output["anc"]) {
 		t.Error("result differs")
+	}
+}
+
+// TestChaosCountingSink attaches the counting sink while both fault
+// injectors are active, across every termination detector. The sink hears
+// the same events the Stats accounting counts, by different code paths —
+// so every aggregate in the snapshot must agree exactly with the run's
+// Stats, and under `go test -race` this doubles as the concurrency check
+// on the sink's hot paths.
+func TestChaosCountingSink(t *testing.T) {
+	src := ancestorRules + randomParFacts(12, 26, 34)
+	prog := parser.MustParse(src)
+	seq, _ := seqEval(t, prog)
+	s := mustSirup(t, prog)
+	p, err := BuildQ(s, rewrite.SirupSpec{
+		Procs: hashpart.RangeProcs(4),
+		VR:    []string{"Z"}, VE: []string{"X"},
+		H: hashpart.ModHash{N: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []TerminationMode{TermCredit, TermCounting, TermDijkstraScholten} {
+		c := obs.NewCounting()
+		res, err := Run(p, relation.Store{}, RunConfig{
+			Mode:           mode,
+			Sink:           c,
+			ChaosDuplicate: true,
+			ChaosJitter:    100 * time.Microsecond,
+		})
+		if err != nil {
+			t.Fatalf("mode %d: %v", mode, err)
+		}
+		if !seq["anc"].Equal(res.Output["anc"]) {
+			t.Fatalf("mode %d: chaos run changed the result", mode)
+		}
+		m := c.Snapshot()
+		if m.Engine != "parallel" || len(m.Procs) != 4 {
+			t.Fatalf("mode %d: snapshot engine=%q procs=%d", mode, m.Engine, len(m.Procs))
+		}
+		var firings, sent, recv, dup, edgeTuples int64
+		for _, pm := range m.Procs {
+			firings += pm.Firings
+			sent += pm.TuplesSent
+			recv += pm.TuplesReceived
+			dup += pm.DupReceived
+			if pm.Transitions == 0 {
+				t.Errorf("mode %d: proc %d never transitioned busy/idle", mode, pm.Proc)
+			}
+		}
+		for _, e := range m.Edges {
+			edgeTuples += e.Tuples
+		}
+		if got := res.Stats.TotalFirings(); firings != got {
+			t.Errorf("mode %d: sink firings %d != stats %d", mode, firings, got)
+		}
+		if got := res.Stats.TotalTuplesSent(); sent != got {
+			t.Errorf("mode %d: sink sent %d != stats %d", mode, sent, got)
+		}
+		if edgeTuples != sent {
+			t.Errorf("mode %d: per-edge tuples %d != sent %d", mode, edgeTuples, sent)
+		}
+		var statsRecv, statsDup int64
+		for _, ps := range res.Stats.Procs {
+			statsRecv += ps.TuplesReceived
+			statsDup += ps.DupReceived
+		}
+		if recv != statsRecv || dup != statsDup {
+			t.Errorf("mode %d: sink recv/dup %d/%d != stats %d/%d", mode, recv, dup, statsRecv, statsDup)
+		}
+		if sent > 0 && dup == 0 {
+			t.Errorf("mode %d: duplication enabled but sink saw no duplicate receives", mode)
+		}
 	}
 }

@@ -1,0 +1,121 @@
+package parallel
+
+import (
+	"strings"
+	"testing"
+
+	"parlog/internal/hashpart"
+	"parlog/internal/obs"
+	"parlog/internal/parser"
+	"parlog/internal/relation"
+	"parlog/internal/rewrite"
+)
+
+// goldenProgram compiles the two-processor Example 3 scheme (v(r)=⟨Z⟩,
+// v(e)=⟨X⟩) over a four-edge par chain — small enough that its full event
+// stream is reviewable by hand.
+func goldenProgram(t *testing.T) *Program {
+	t.Helper()
+	prog := parser.MustParse(ancestorRules + chainFacts(4))
+	s := mustSirup(t, prog)
+	p, err := BuildQ(s, rewrite.SirupSpec{
+		Procs: hashpart.RangeProcs(2),
+		VR:    []string{"Z"}, VE: []string{"X"},
+		H: hashpart.ModHash{N: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func lockstepTrace(t *testing.T) []string {
+	t.Helper()
+	rec := obs.NewRecorder()
+	res, err := RunLockstep(goldenProgram(t), relation.Store{}, RunConfig{Sink: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Output["anc"].Len(); got != 10 {
+		t.Fatalf("|anc| = %d on the 4-chain, want 10", got)
+	}
+	return rec.CanonicalStrings()
+}
+
+// TestGoldenTraceLockstep pins the exact event stream of the deterministic
+// scheduler: any change to event semantics (iteration numbering, message
+// accounting, busy/idle pairing) shows up as a diff against this golden.
+func TestGoldenTraceLockstep(t *testing.T) {
+	got := lockstepTrace(t)
+	want := strings.Split(strings.TrimSpace(goldenLockstepTrace), "\n")
+	if len(got) != len(want) {
+		t.Fatalf("trace length %d, want %d\ngot:\n%s", len(got), len(want), strings.Join(got, "\n"))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("trace[%d] = %q, want %q\nfull got:\n%s", i, got[i], want[i], strings.Join(got, "\n"))
+		}
+	}
+}
+
+// TestLockstepTraceDeterministic re-runs the same program and demands an
+// identical stream — the property the golden above relies on.
+func TestLockstepTraceDeterministic(t *testing.T) {
+	a := lockstepTrace(t)
+	b := lockstepTrace(t)
+	if strings.Join(a, "\n") != strings.Join(b, "\n") {
+		t.Fatal("two lockstep runs produced different event streams")
+	}
+}
+
+const goldenLockstepTrace = `
+run_start engine=lockstep procs=[0 1]
+busy proc=0
+iter_start proc=0 iter=0
+firings proc=0 pred=anc n=2 dup=0
+iter_end proc=0 iter=0 delta=2
+iter_start proc=0 iter=1
+firings proc=0 pred=anc n=2 dup=0
+iter_end proc=0 iter=1 delta=2
+send from=0 to=1 pred=anc n=2
+idle proc=0
+busy proc=1
+iter_start proc=1 iter=0
+firings proc=1 pred=anc n=2 dup=0
+iter_end proc=1 iter=0 delta=2
+iter_start proc=1 iter=1
+firings proc=1 pred=anc n=1 dup=0
+iter_end proc=1 iter=1 delta=1
+send from=1 to=0 pred=anc n=1
+idle proc=1
+busy proc=0
+recv at=0 from=1 pred=anc n=1 dup=0
+iter_start proc=0 iter=2
+firings proc=0 pred=anc n=1 dup=0
+iter_end proc=0 iter=2 delta=1
+send from=0 to=1 pred=anc n=1
+idle proc=0
+busy proc=1
+recv at=1 from=0 pred=anc n=2 dup=0
+recv at=1 from=0 pred=anc n=1 dup=0
+iter_start proc=1 iter=2
+firings proc=1 pred=anc n=1 dup=0
+iter_end proc=1 iter=2 delta=1
+send from=1 to=0 pred=anc n=1
+idle proc=1
+busy proc=0
+recv at=0 from=1 pred=anc n=1 dup=0
+iter_start proc=0 iter=3
+firings proc=0 pred=anc n=1 dup=0
+iter_end proc=0 iter=3 delta=1
+send from=0 to=1 pred=anc n=1
+idle proc=0
+busy proc=1
+recv at=1 from=0 pred=anc n=1 dup=0
+iter_start proc=1 iter=3
+firings proc=1 pred=anc n=0 dup=0
+iter_end proc=1 iter=3 delta=0
+idle proc=1
+probe detector=lockstep n=-1 quiesced=true
+run_end
+`

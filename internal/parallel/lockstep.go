@@ -1,0 +1,155 @@
+package parallel
+
+import (
+	"fmt"
+	"time"
+
+	"parlog/internal/relation"
+)
+
+// RunLockstep executes the compiled program on a single goroutine with a
+// deterministic round-robin schedule: workers initialize in dense-index
+// order, then take turns consuming their queued messages in FIFO order and
+// draining. Because Node.flush hands batches over in sorted (destination,
+// pred) order and no two workers ever run concurrently, the event stream
+// delivered to cfg.Sink is identical run-to-run — the property the golden
+// trace test pins down. The fixpoint itself equals Run's on any schedule
+// (Theorem 1), so RunLockstep is also a convenient sequential oracle.
+//
+// Mode, PollInterval, MaxBatch and the chaos options are ignored: there is
+// no concurrency to detect termination under or to perturb. Topology is
+// enforced like the concurrent transport.
+func RunLockstep(p *Program, edb relation.Store, cfg RunConfig) (*Result, error) {
+	n := p.Procs.Len()
+	ids := p.Procs.IDs()
+
+	global, err := PrepareEDB(p, edb)
+	if err != nil {
+		return nil, err
+	}
+	placements := makePlacements(p, global)
+
+	nodes := make([]*Node, n)
+	queues := make([][]message, n)
+	edges := make([]map[[2]int]*EdgeStats, n)
+	forbidden := make([]int64, n)
+	for wi := 0; wi < n; wi++ {
+		nodes[wi] = NewNode(p, wi, global)
+		nodes[wi].SetSink(cfg.Sink)
+		edges[wi] = make(map[[2]int]*EdgeStats)
+	}
+
+	if cfg.Sink != nil {
+		cfg.Sink.RunStart("lockstep", ids)
+	}
+	start := time.Now()
+
+	emitFor := func(wi int) EmitFunc {
+		return func(dest int, pred string, tuples []relation.Tuple) {
+			toProc := ids[dest]
+			if !cfg.Topology.Allowed(ids[wi], toProc) {
+				forbidden[wi] += int64(len(tuples))
+				return
+			}
+			nodes[wi].RecordSent(len(tuples))
+			e := [2]int{wi, dest}
+			es := edges[wi][e]
+			if es == nil {
+				es = &EdgeStats{}
+				edges[wi][e] = es
+			}
+			es.Messages++
+			es.Tuples += int64(len(tuples))
+			if cfg.Sink != nil {
+				cfg.Sink.MessageSent(ids[wi], toProc, pred, len(tuples))
+			}
+			queues[dest] = append(queues[dest], message{from: wi, pred: pred, tuples: tuples})
+		}
+	}
+
+	turn := func(wi int, work func()) {
+		if cfg.Sink != nil {
+			cfg.Sink.WorkerBusy(ids[wi])
+		}
+		begin := time.Now()
+		work()
+		nodes[wi].RecordBusy(time.Since(begin))
+		if cfg.Sink != nil {
+			cfg.Sink.WorkerIdle(ids[wi])
+		}
+	}
+
+	for wi := 0; wi < n; wi++ {
+		wi := wi
+		turn(wi, func() { nodes[wi].Init(emitFor(wi)) })
+	}
+	for {
+		if cfg.Ctx != nil {
+			if err := cfg.Ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		progress := false
+		for wi := 0; wi < n; wi++ {
+			if len(queues[wi]) == 0 {
+				continue
+			}
+			progress = true
+			wi := wi
+			turn(wi, func() {
+				msgs := queues[wi]
+				queues[wi] = nil
+				for _, m := range msgs {
+					nodes[wi].Accept(m.from, m.pred, m.tuples)
+				}
+				nodes[wi].Drain(emitFor(wi))
+			})
+		}
+		if !progress {
+			break
+		}
+	}
+	wall := time.Since(start)
+	if cfg.Sink != nil {
+		cfg.Sink.TermProbe("lockstep", -1, true)
+		cfg.Sink.RunEnd(wall)
+	}
+
+	// Final pooling, identical to Run.
+	out := relation.Store{}
+	stats := &Stats{
+		Edges:      make(map[[2]int]*EdgeStats),
+		Placements: placements,
+		Wall:       wall,
+	}
+	for pred, ar := range p.IDB {
+		out.Get(pred, ar)
+	}
+	var totalForbidden int64
+	for wi, node := range nodes {
+		for pred, rel := range node.Outputs() {
+			dst := out.Get(pred, rel.Arity())
+			for _, t := range rel.Rows() {
+				dst.Insert(t)
+			}
+		}
+		stats.Procs = append(stats.Procs, node.Stats())
+		for e, es := range edges[wi] {
+			key := [2]int{ids[e[0]], ids[e[1]]}
+			if prev, ok := stats.Edges[key]; ok {
+				prev.Messages += es.Messages
+				prev.Tuples += es.Tuples
+			} else {
+				cp := *es
+				stats.Edges[key] = &cp
+			}
+		}
+		totalForbidden += forbidden[wi]
+	}
+	stats.ForbiddenSends = totalForbidden
+	if totalForbidden > 0 {
+		return &Result{Output: out, Stats: stats},
+			fmt.Errorf("parallel: topology suppressed %d tuple sends — the given network cannot execute this scheme", totalForbidden)
+	}
+	return &Result{Output: out, Stats: stats}, nil
+}

@@ -1,9 +1,11 @@
 package parallel
 
 import (
+	"sort"
 	"time"
 
 	"parlog/internal/ast"
+	"parlog/internal/obs"
 	"parlog/internal/relation"
 	"parlog/internal/seminaive"
 )
@@ -36,6 +38,9 @@ type Node struct {
 	wm    *seminaive.Watermarks
 
 	stats ProcStats
+
+	// sink receives this node's events; nil disables observability.
+	sink obs.EventSink
 
 	// outBatch accumulates tuples per (destination, pred) within one local
 	// iteration.
@@ -88,13 +93,36 @@ func (n *Node) Index() int { return n.wi }
 // Proc returns the node's processor id.
 func (n *Node) Proc() int { return n.procID }
 
+// SetSink attaches an event sink; transports call it before Init. A nil
+// sink (the default) disables observability.
+func (n *Node) SetSink(s obs.EventSink) { n.sink = s }
+
+// Sink returns the attached event sink, nil when disabled.
+func (n *Node) Sink() obs.EventSink { return n.sink }
+
+// PeerProc maps a dense worker index to its processor id, passing through
+// out-of-range values (transports use it to label message events).
+func (n *Node) PeerProc(wi int) int {
+	ids := n.prog.Procs.IDs()
+	if wi < 0 || wi >= len(ids) {
+		return wi
+	}
+	return ids[wi]
+}
+
 // Init fires the rules without derived body atoms once (the initialization
-// step), then drains: the complete first unit of work.
+// step), then drains: the complete first unit of work. The sink sees the
+// initialization pass as iteration 0.
 func (n *Node) Init(emit EmitFunc) {
+	if n.sink != nil {
+		n.sink.IterationStart(n.procID, 0)
+	}
+	genBefore := n.stats.Generated
 	for _, cr := range n.prog.rules[n.wi] {
 		if !cr.init {
 			continue
 		}
+		fBefore, dupBefore := n.stats.Firings, n.stats.DupFirings
 		for _, plan := range cr.plans {
 			buf := n.scratch[:cr.arity]
 			n.stats.Firings += plan.Enumerate(n.store, nil, func(vals []ast.Value) bool {
@@ -102,24 +130,35 @@ func (n *Node) Init(emit EmitFunc) {
 				return true
 			})
 		}
+		if n.sink != nil {
+			n.sink.RuleFirings(n.procID, cr.head, n.stats.Firings-fBefore, n.stats.DupFirings-dupBefore)
+		}
+	}
+	if n.sink != nil {
+		n.sink.IterationEnd(n.procID, 0, int(n.stats.Generated-genBefore))
 	}
 	n.flush(emit)
 	n.Drain(emit)
 }
 
 // Accept merges received tuples of one predicate into the local @in
-// relation, eliminating duplicates by difference (the paper's receive step).
-// Call Drain afterwards; transports may Accept several batches per Drain.
-func (n *Node) Accept(pred string, tuples []relation.Tuple) {
+// relation, eliminating duplicates by difference (the paper's receive
+// step). from is the sender's dense worker index (-1 when unknown). Call
+// Drain afterwards; transports may Accept several batches per Drain.
+func (n *Node) Accept(from int, pred string, tuples []relation.Tuple) {
 	rel, ok := n.in[pred]
 	if !ok {
 		return // unknown predicate: a corrupt or stale message; ignore
 	}
+	dupBefore := n.stats.DupReceived
 	for _, t := range tuples {
 		n.stats.TuplesReceived++
 		if !rel.Insert(t) {
 			n.stats.DupReceived++
 		}
+	}
+	if n.sink != nil {
+		n.sink.MessageReceived(n.procID, n.PeerProc(from), pred, len(tuples), int(n.stats.DupReceived-dupBefore))
 	}
 }
 
@@ -141,10 +180,16 @@ func (n *Node) Drain(emit EmitFunc) {
 			return
 		}
 		n.stats.Iterations++
+		iter := int(n.stats.Iterations)
+		if n.sink != nil {
+			n.sink.IterationStart(n.procID, iter)
+		}
+		genBefore := n.stats.Generated
 		for _, cr := range n.prog.rules[n.wi] {
 			if cr.init {
 				continue
 			}
+			fBefore, dupBefore := n.stats.Firings, n.stats.DupFirings
 			for _, plan := range cr.plans {
 				buf := n.scratch[:cr.arity]
 				n.stats.Firings += plan.Enumerate(n.store, n.wm, func(vals []ast.Value) bool {
@@ -152,6 +197,12 @@ func (n *Node) Drain(emit EmitFunc) {
 					return true
 				})
 			}
+			if n.sink != nil {
+				n.sink.RuleFirings(n.procID, cr.head, n.stats.Firings-fBefore, n.stats.DupFirings-dupBefore)
+			}
+		}
+		if n.sink != nil {
+			n.sink.IterationEnd(n.procID, iter, int(n.stats.Generated-genBefore))
 		}
 		n.flush(emit)
 	}
@@ -223,11 +274,28 @@ func (n *Node) route(pred string, t relation.Tuple) {
 	}
 }
 
-// flush hands the accumulated logical batches to the transport.
+// flush hands the accumulated logical batches to the transport, in sorted
+// (destination, pred) order so a deterministic scheduler sees an identical
+// send sequence run-to-run. The batch maps are tiny (bounded by procs and
+// channel predicates), so the sort is noise next to the sends themselves.
 func (n *Node) flush(emit EmitFunc) {
-	for wi, byPred := range n.outBatch {
-		for pred, tuples := range byPred {
-			emit(wi, pred, tuples)
+	if len(n.outBatch) == 0 {
+		return
+	}
+	dests := make([]int, 0, len(n.outBatch))
+	for wi := range n.outBatch {
+		dests = append(dests, wi)
+	}
+	sort.Ints(dests)
+	for _, wi := range dests {
+		byPred := n.outBatch[wi]
+		preds := make([]string, 0, len(byPred))
+		for pred := range byPred {
+			preds = append(preds, pred)
+		}
+		sort.Strings(preds)
+		for _, pred := range preds {
+			emit(wi, pred, byPred[pred])
 		}
 		delete(n.outBatch, wi)
 	}

@@ -62,7 +62,7 @@ func TestNodeSingleThreadedExecution(t *testing.T) {
 	for len(queue) > 0 {
 		b := queue[0]
 		queue = queue[1:]
-		nodes[b.dest].Accept(b.pred, b.tuples)
+		nodes[b.dest].Accept(-1, b.pred, b.tuples)
 		nodes[b.dest].Drain(emit)
 	}
 
@@ -92,7 +92,7 @@ func TestNodeAcceptUnknownPredicate(t *testing.T) {
 	_, nodes := buildNode(t, 2)
 	// A stale/corrupt message for an unknown predicate must be ignored, not
 	// panic.
-	nodes[0].Accept("nosuch", []relation.Tuple{{1, 2}})
+	nodes[0].Accept(-1, "nosuch", []relation.Tuple{{1, 2}})
 	if nodes[0].Stats().TuplesReceived != 0 {
 		t.Error("unknown-predicate tuples were counted")
 	}

@@ -1,12 +1,14 @@
 package parallel
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
 
 	"parlog/internal/ast"
 	"parlog/internal/hashpart"
+	"parlog/internal/obs"
 	"parlog/internal/relation"
 	"parlog/internal/termdetect"
 )
@@ -95,6 +97,12 @@ type RunConfig struct {
 	// each send, perturbing message interleavings; for schedule-fuzzing
 	// tests.
 	ChaosJitter time.Duration
+	// Ctx, when non-nil, cancels the run: workers stop at their next
+	// scheduling point and Run returns the context's error.
+	Ctx context.Context
+	// Sink, when non-nil, receives the run's event stream (iterations,
+	// rule firings, messages, busy/idle transitions, detector probes).
+	Sink obs.EventSink
 }
 
 // Result is the outcome of a parallel run.
@@ -187,7 +195,7 @@ type countingDetector struct {
 	quit chan struct{}
 }
 
-func newCountingDetector(n int, poll time.Duration) *countingDetector {
+func newCountingDetector(n int, poll time.Duration, sink obs.EventSink) *countingDetector {
 	d := &countingDetector{
 		c:    termdetect.NewCounting(n),
 		done: make(chan struct{}),
@@ -196,10 +204,16 @@ func newCountingDetector(n int, poll time.Duration) *countingDetector {
 	go func() {
 		tick := time.NewTicker(poll)
 		defer tick.Stop()
+		probe := 0
 		for {
 			select {
 			case <-tick.C:
-				if d.c.Check() {
+				ok := d.c.Check()
+				if sink != nil {
+					sink.TermProbe("counting", probe, ok)
+				}
+				probe++
+				if ok {
 					close(d.done)
 					return
 				}
@@ -244,7 +258,12 @@ func PrepareEDB(p *Program, edb relation.Store) (relation.Store, error) {
 		global.Get(pred, ar)
 	}
 	for pred, r := range edb {
-		dst := global.Get(pred, r.Arity())
+		// The caller's store is user data: reject an arity clash with the
+		// program's declared relations instead of panicking.
+		dst, err := global.GetChecked(pred, r.Arity())
+		if err != nil {
+			return nil, fmt.Errorf("parallel: EDB %w", err)
+		}
 		for _, t := range r.Rows() {
 			dst.Insert(t)
 		}
@@ -285,18 +304,22 @@ func Run(p *Program, edb relation.Store, cfg RunConfig) (*Result, error) {
 	placements := makePlacements(p, global)
 	for wi := 0; wi < n; wi++ {
 		workers[wi] = newWorker(p, wi, global)
+		workers[wi].node.SetSink(cfg.Sink)
+	}
+
+	if cfg.Sink != nil {
+		cfg.Sink.RunStart("parallel", p.Procs.IDs())
 	}
 
 	var det detector
 	switch cfg.Mode {
 	case TermCounting:
-		det = newCountingDetector(n, cfg.PollInterval)
+		det = newCountingDetector(n, cfg.PollInterval, cfg.Sink)
 	case TermDijkstraScholten:
 		det = newDSDetector(n)
 	default:
 		det = newCreditDetector(n)
 	}
-	defer det.stop()
 
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -308,7 +331,16 @@ func Run(p *Program, edb relation.Store, cfg RunConfig) (*Result, error) {
 		}(workers[wi])
 	}
 	wg.Wait()
+	det.stop()
 	wall := time.Since(start)
+	if cfg.Sink != nil {
+		cfg.Sink.RunEnd(wall)
+	}
+	if cfg.Ctx != nil {
+		if err := cfg.Ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
 
 	// Final pooling: union each derived predicate across processors.
 	out := relation.Store{}
@@ -436,29 +468,48 @@ func newWorker(p *Program, wi int, global relation.Store) *worker {
 // global termination.
 func (w *worker) run(workers []*worker, det detector, cfg RunConfig) {
 	emit := w.emitFunc(workers, det, cfg)
+	sink := w.node.Sink()
+	var cancelled <-chan struct{} // nil (never ready) without a Ctx
+	if cfg.Ctx != nil {
+		cancelled = cfg.Ctx.Done()
+	}
+	if sink != nil {
+		sink.WorkerBusy(w.procID)
+	}
 	begin := time.Now()
 	w.node.Init(emit)
 	w.node.RecordBusy(time.Since(begin))
 	det.workDone(w.wi) // retire the initialization unit
+	if sink != nil {
+		sink.WorkerIdle(w.procID)
+	}
 	det.idle(w.wi)
 
 	for {
 		select {
 		case <-w.inbox.notify:
 			det.busy(w.wi)
+			if sink != nil {
+				sink.WorkerBusy(w.procID)
+			}
 			begin = time.Now()
 			msgs := w.inbox.takeAll()
 			for _, m := range msgs {
 				det.afterReceive(w.wi, m.from)
-				w.node.Accept(m.pred, m.tuples)
+				w.node.Accept(m.from, m.pred, m.tuples)
 			}
 			w.node.Drain(emit)
 			w.node.RecordBusy(time.Since(begin))
 			for range msgs {
 				det.workDone(w.wi)
 			}
+			if sink != nil {
+				sink.WorkerIdle(w.procID)
+			}
 			det.idle(w.wi)
 		case <-det.quiesced():
+			return
+		case <-cancelled:
 			return
 		}
 	}
@@ -500,6 +551,9 @@ func (w *worker) emitFunc(workers []*worker, det detector, cfg RunConfig) EmitFu
 				}
 				es.Messages++
 				es.Tuples += int64(len(batch))
+				if sink := w.node.Sink(); sink != nil {
+					sink.MessageSent(w.procID, toProc, pred, len(batch))
+				}
 				det.beforeSend(w.wi)
 				workers[wi].inbox.push(message{from: w.wi, pred: pred, tuples: batch})
 			}

@@ -27,6 +27,17 @@ func (s Store) Get(pred string, arity int) *Relation {
 	return r
 }
 
+// GetChecked is Get for boundaries that receive caller-supplied data (user
+// EDB stores, CSV loads): an arity mismatch with an existing relation is a
+// data error there, not an engine bug, so it is returned instead of
+// panicking and the existing relation is left untouched.
+func (s Store) GetChecked(pred string, arity int) (*Relation, error) {
+	if r, ok := s[pred]; ok && r.Arity() != arity {
+		return nil, fmt.Errorf("relation: predicate %s stored with arity %d, requested %d", pred, r.Arity(), arity)
+	}
+	return s.Get(pred, arity), nil
+}
+
 // Clone deep-copies the store.
 func (s Store) Clone() Store {
 	out := make(Store, len(s))

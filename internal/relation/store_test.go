@@ -23,6 +23,24 @@ func TestStoreGet(t *testing.T) {
 	s.Get("p", 3)
 }
 
+func TestStoreGetChecked(t *testing.T) {
+	s := Store{}
+	r, err := s.GetChecked("p", 2)
+	if err != nil || r.Arity() != 2 {
+		t.Fatalf("GetChecked create: %v, %v", r, err)
+	}
+	if again, err := s.GetChecked("p", 2); err != nil || again != r {
+		t.Errorf("GetChecked did not return the existing relation: %v", err)
+	}
+	bad, err := s.GetChecked("p", 3)
+	if err == nil || bad != nil {
+		t.Fatalf("arity conflict not reported: %v, %v", bad, err)
+	}
+	if s["p"] != r || r.Arity() != 2 {
+		t.Error("failed GetChecked must leave the existing relation untouched")
+	}
+}
+
 func TestStoreInsertAll(t *testing.T) {
 	s := Store{}
 	n := s.InsertAll("p", [][]ast.Value{{1, 2}, {1, 2}, {3, 4}})

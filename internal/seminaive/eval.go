@@ -1,10 +1,13 @@
 package seminaive
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"parlog/internal/analysis"
 	"parlog/internal/ast"
+	"parlog/internal/obs"
 	"parlog/internal/relation"
 )
 
@@ -15,6 +18,24 @@ type Options struct {
 	Naive bool
 	// MaxIterations aborts runaway evaluations; 0 means unlimited.
 	MaxIterations int
+	// Ctx, when non-nil, cancels the evaluation between iterations.
+	Ctx context.Context
+	// Sink, when non-nil, receives the evaluation's event stream; the
+	// sequential engine reports as processor 0.
+	Sink obs.EventSink
+}
+
+// interrupted reports a pending cancellation of opts.Ctx.
+func (o Options) interrupted() error {
+	if o.Ctx == nil {
+		return nil
+	}
+	select {
+	case <-o.Ctx.Done():
+		return o.Ctx.Err()
+	default:
+		return nil
+	}
 }
 
 // Stats reports what an evaluation did. Firings is the number of successful
@@ -75,6 +96,16 @@ func Eval(prog *ast.Program, edb relation.Store, opts Options) (relation.Store, 
 		store.Get(pred, ar)
 	}
 
+	if opts.Sink != nil {
+		opts.Sink.RunStart("seminaive", []int{0})
+		opts.Sink.WorkerBusy(0)
+		start := time.Now()
+		defer func() {
+			opts.Sink.WorkerIdle(0)
+			opts.Sink.RunEnd(time.Since(start))
+		}()
+	}
+
 	stats := newStats()
 	if opts.Naive {
 		if err := evalNaive(rules, store, stats, opts); err != nil {
@@ -131,11 +162,16 @@ func evalSCC(nonRec, rec []ast.Rule, inSCC map[string]bool, store relation.Store
 	stats := newStats()
 
 	// One-shot rules: their bodies read only completed components, so a
-	// single pass suffices.
+	// single pass suffices. The sink sees this as iteration 0.
+	if len(nonRec) > 0 && opts.Sink != nil {
+		opts.Sink.IterationStart(0, 0)
+	}
+	newBeforeInit := stats.New
 	for _, r := range nonRec {
 		plan := Compile(r, nil)
 		head := r.Head.Pred
 		rel := store.Get(head, r.Head.Arity())
+		newBefore := stats.New
 		n := plan.Enumerate(store, nil, func(vals []ast.Value) bool {
 			if rel.Insert(plan.HeadTuple(vals)) {
 				stats.New++
@@ -144,6 +180,12 @@ func evalSCC(nonRec, rec []ast.Rule, inSCC map[string]bool, store relation.Store
 		})
 		stats.Firings += n
 		stats.FiringsByPred[head] += n
+		if opts.Sink != nil {
+			opts.Sink.RuleFirings(0, head, n, n-(stats.New-newBefore))
+		}
+	}
+	if len(nonRec) > 0 && opts.Sink != nil {
+		opts.Sink.IterationEnd(0, 0, int(stats.New-newBeforeInit))
 	}
 	if len(rec) == 0 {
 		return stats, nil
@@ -188,6 +230,12 @@ func evalSCC(nonRec, rec []ast.Rule, inSCC map[string]bool, store relation.Store
 		if opts.MaxIterations > 0 && stats.Iterations > opts.MaxIterations {
 			return nil, fmt.Errorf("seminaive: exceeded %d iterations", opts.MaxIterations)
 		}
+		if err := opts.interrupted(); err != nil {
+			return nil, err
+		}
+		if opts.Sink != nil {
+			opts.Sink.IterationStart(0, stats.Iterations)
+		}
 		var news []staged
 		stagedSeen := make(map[string]*relation.Relation)
 		scratch := make(relation.Tuple, 8)
@@ -197,6 +245,8 @@ func evalSCC(nonRec, rec []ast.Rule, inSCC map[string]bool, store relation.Store
 				scratch = make(relation.Tuple, c.arity)
 			}
 			buf := scratch[:c.arity]
+			var ruleFirings int64
+			freshBefore := len(news)
 			for _, plan := range c.plans {
 				n := plan.Enumerate(store, w, func(vals []ast.Value) bool {
 					t := plan.HeadTupleInto(buf, vals)
@@ -214,9 +264,16 @@ func evalSCC(nonRec, rec []ast.Rule, inSCC map[string]bool, store relation.Store
 					news = append(news, staged{pred: c.head, tuple: set.Row(set.Len() - 1)})
 					return true
 				})
+				ruleFirings += n
 				stats.Firings += n
 				stats.FiringsByPred[c.head] += n
 			}
+			if opts.Sink != nil {
+				opts.Sink.RuleFirings(0, c.head, ruleFirings, ruleFirings-int64(len(news)-freshBefore))
+			}
+		}
+		if opts.Sink != nil {
+			opts.Sink.IterationEnd(0, stats.Iterations, len(news))
 		}
 		if len(news) == 0 {
 			return stats, nil
@@ -251,6 +308,13 @@ func evalNaive(rules []ast.Rule, store relation.Store, stats *Stats, opts Option
 		if opts.MaxIterations > 0 && stats.Iterations > opts.MaxIterations {
 			return fmt.Errorf("seminaive: exceeded %d iterations (naive)", opts.MaxIterations)
 		}
+		if err := opts.interrupted(); err != nil {
+			return err
+		}
+		if opts.Sink != nil {
+			opts.Sink.IterationStart(0, stats.Iterations)
+		}
+		newBefore := stats.New
 		changed := false
 		for i, plan := range plans {
 			head := rules[i].Head
@@ -266,12 +330,20 @@ func evalNaive(rules []ast.Rule, store relation.Store, stats *Stats, opts Option
 			})
 			stats.Firings += n
 			stats.FiringsByPred[head.Pred] += n
+			inserted := int64(0)
 			for _, t := range toInsert {
 				if rel.Insert(t) {
 					stats.New++
+					inserted++
 					changed = true
 				}
 			}
+			if opts.Sink != nil {
+				opts.Sink.RuleFirings(0, head.Pred, n, n-inserted)
+			}
+		}
+		if opts.Sink != nil {
+			opts.Sink.IterationEnd(0, stats.Iterations, int(stats.New-newBefore))
 		}
 		if !changed {
 			return nil

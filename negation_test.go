@@ -6,6 +6,7 @@ package parlog
 // relation is complete (and replicated) before any processor probes it.
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -27,10 +28,11 @@ source(a).
 edge(a, b). edge(b, c). edge(d, e).
 node(a). node(b). node(c). node(d). node(e).
 `)
-	store, _, err := Eval(p, nil, EvalOptions{})
+	res, err := Eval(context.Background(), p, nil, EvalOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
+	store := res.Output
 	if got := store["reach"].Len(); got != 3 { // a b c
 		t.Errorf("|reach| = %d, want 3", got)
 	}
@@ -65,14 +67,15 @@ func TestNegationParallelMatchesSequential(t *testing.T) {
 	src := unreachableSrc + facts.String()
 
 	seqP := MustParse(src)
-	want, _, err := Eval(seqP, nil, EvalOptions{})
+	wantRes, err := Eval(context.Background(), seqP, nil, EvalOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
+	want := wantRes.Output
 	for _, workers := range []int{1, 2, 4} {
 		for _, mode := range []TerminationMode{TermCredit, TermCounting, TermDijkstraScholten} {
 			p := MustParse(src)
-			res, err := EvalParallel(p, nil, ParallelOptions{Workers: workers, Termination: mode})
+			res, err := EvalParallel(context.Background(), p, nil, ParallelOptions{Workers: workers, Termination: mode})
 			if err != nil {
 				t.Fatalf("workers=%d mode=%d: %v", workers, mode, err)
 			}
@@ -109,14 +112,15 @@ edge(a, b). edge(c, d).
 node(a). node(b). node(c). node(d).
 `
 	p := MustParse(src)
-	want, _, err := Eval(p, nil, EvalOptions{})
+	wantRes, err := Eval(context.Background(), p, nil, EvalOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
+	want := wantRes.Output
 	if want["connected"].Len() != 2 { // a, b
 		t.Errorf("|connected| = %d, want 2", want["connected"].Len())
 	}
-	res, err := EvalParallel(MustParse(src), nil, ParallelOptions{Workers: 3})
+	res, err := EvalParallel(context.Background(), MustParse(src), nil, ParallelOptions{Workers: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,10 +136,10 @@ win(X) :- move(X, Y), !win(Y).
 move(a, b). move(b, c).
 `
 	p := MustParse(src)
-	if _, _, err := Eval(p, nil, EvalOptions{}); err == nil {
+	if _, err := Eval(context.Background(), p, nil, EvalOptions{}); err == nil {
 		t.Error("non-stratified program accepted sequentially")
 	}
-	if _, err := EvalParallel(p, nil, ParallelOptions{Workers: 2}); err == nil {
+	if _, err := EvalParallel(context.Background(), p, nil, ParallelOptions{Workers: 2}); err == nil {
 		t.Error("non-stratified program accepted in parallel")
 	}
 }
@@ -149,7 +153,7 @@ func TestNegationUnsafeRejected(t *testing.T) {
 
 func TestNegationNaiveModeRejected(t *testing.T) {
 	p := MustParse(unreachableSrc + "node(a). source(a).")
-	if _, _, err := Eval(p, nil, EvalOptions{Naive: true}); err == nil {
+	if _, err := Eval(context.Background(), p, nil, EvalOptions{Naive: true}); err == nil {
 		t.Error("naive mode accepted a negation program")
 	}
 }
@@ -161,15 +165,16 @@ p(Y) :- p(X), edge(X, Y), !blocked(Y).
 base(a). edge(a, b). blocked(b).
 `)
 	// Sirup strategies must reject negation programs cleanly…
-	if _, err := EvalParallel(p, nil, ParallelOptions{Workers: 2, Strategy: StrategyHashPartition}); err == nil {
+	if _, err := EvalParallel(context.Background(), p, nil, ParallelOptions{Workers: 2, Strategy: StrategyHashPartition}); err == nil {
 		t.Error("hash-partition strategy accepted a negation program")
 	}
 	// …while the general (auto) route runs them.
-	want, _, err := Eval(p, nil, EvalOptions{})
+	wantRes, err := Eval(context.Background(), p, nil, EvalOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := EvalParallel(p, nil, ParallelOptions{Workers: 2})
+	want := wantRes.Output
+	res, err := EvalParallel(context.Background(), p, nil, ParallelOptions{Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -227,11 +232,12 @@ func TestNegationRandomProgramsDifferential(t *testing.T) {
 				dst.Insert(nt)
 			}
 		}
-		want, _, err := Eval(prog, edb, EvalOptions{})
+		wantRes, err := Eval(context.Background(), prog, edb, EvalOptions{})
 		if err != nil {
 			t.Fatalf("seed %d: sequential: %v\n%s", seed, err, g.Prog)
 		}
-		res, err := EvalParallel(prog, edb, ParallelOptions{Workers: 2 + int(seed%3)})
+		want := wantRes.Output
+		res, err := EvalParallel(context.Background(), prog, edb, ParallelOptions{Workers: 2 + int(seed%3)})
 		if err != nil {
 			t.Fatalf("seed %d: parallel: %v\n%s", seed, err, g.Prog)
 		}

@@ -1,6 +1,7 @@
 package parlog
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -9,6 +10,7 @@ import (
 	"parlog/internal/dist"
 	"parlog/internal/hashpart"
 	"parlog/internal/network"
+	"parlog/internal/obs"
 	"parlog/internal/parallel"
 	"parlog/internal/rewrite"
 )
@@ -57,69 +59,57 @@ type Topology = parallel.Topology
 // NewTopology builds a topology from directed processor-id edges.
 func NewTopology(edges [][2]int) *Topology { return parallel.NewTopology(edges) }
 
-// ParallelResult is the outcome of a parallel evaluation.
-type ParallelResult struct {
-	// Output holds the pooled derived relations.
-	Output Store
-	// Stats reports firings, communication, placement and timing.
-	Stats *ParallelStats
-}
+// ParallelResult is the former name of the unified Result.
+//
+// Deprecated: use Result.
+type ParallelResult = Result
 
-// ParallelOptions configures EvalParallel.
-type ParallelOptions struct {
-	// Workers is the number of processors (default 4).
-	Workers int
-	// Strategy selects the scheme (default StrategyAuto).
-	Strategy Strategy
-	// VR and VE override the discriminating sequences v(r) and v(e) for the
-	// sirup strategies. Defaults depend on the strategy.
-	VR, VE []string
-	// Locality ∈ [0,1] positions StrategyTradeoff on the
-	// redundancy/communication spectrum: the probability mass each h_i keeps
-	// local.
-	Locality float64
-	// Termination selects the distributed termination detector.
-	Termination TerminationMode
-	// Topology restricts the interconnect; nil is a full mesh.
-	Topology *Topology
-	// Seed varies the hash functions.
-	Seed uint64
-	// HashBits, when non-nil, makes StrategyHashPartition use the bit-level
-	// discriminating function h(ā) = HashBits(g(a1), …) — the same function
-	// DeriveNetwork reasons about, so executions can be matched against
-	// derived network graphs. Procs then gives the processor ids (possibly
-	// sparse, e.g. {−1, 0, 1, 2} as in Example 7) and Workers is ignored.
-	HashBits BitFunc
-	// Procs lists processor ids for HashBits runs.
-	Procs []int
+// ParallelOptions is the former name of the unified EvalOptions.
+//
+// Deprecated: use EvalOptions.
+type ParallelOptions = EvalOptions
+
+// runConfig translates the public options (plus ctx and the built sink)
+// into the in-process runtime's configuration.
+func runConfig(ctx context.Context, opts EvalOptions, sink obs.EventSink) parallel.RunConfig {
+	return parallel.RunConfig{
+		Mode:         opts.Termination,
+		Topology:     opts.Topology,
+		PollInterval: opts.PollInterval,
+		MaxBatch:     opts.MaxBatch,
+		Ctx:          ctx,
+		Sink:         sink,
+	}
 }
 
 // EvalParallel evaluates the program on Workers goroutine-processors
 // communicating over channels, per the selected scheme, and pools the
 // result. The edb argument may be nil if all facts are embedded in the
-// program.
-func EvalParallel(p *Program, edb Store, opts ParallelOptions) (*ParallelResult, error) {
+// program. A nil ctx means no cancellation.
+func EvalParallel(ctx context.Context, p *Program, edb Store, opts EvalOptions) (*Result, error) {
 	if opts.Workers <= 0 {
 		opts.Workers = 4
 	}
 	if edb == nil {
 		edb = Store{}
 	}
+	sink, counting := opts.buildSink()
 	if analysis.HasNegation(p.ast) && (opts.Strategy == StrategyAuto || opts.Strategy == StrategyGeneral) {
-		return evalParallelStratified(p, edb, opts)
+		return evalParallelStratified(ctx, p, edb, opts, sink, counting)
 	}
 	prog, err := compileParallel(p, opts)
 	if err != nil {
 		return nil, err
 	}
-	res, err := parallel.Run(prog, edb, parallel.RunConfig{
-		Mode:     opts.Termination,
-		Topology: opts.Topology,
-	})
+	res, err := parallel.Run(prog, edb, runConfig(ctx, opts, sink))
 	if err != nil {
 		return nil, err
 	}
-	return &ParallelResult{Output: res.Output, Stats: res.Stats}, nil
+	out := &Result{Output: res.Output, Stats: res.Stats}
+	if counting != nil {
+		out.Metrics = counting.Snapshot()
+	}
+	return out, nil
 }
 
 // evalParallelStratified runs a stratified-negation program as a sequence of
@@ -127,7 +117,7 @@ func EvalParallel(p *Program, edb Store, opts ParallelOptions) (*ParallelResult,
 // with the Section 7 general scheme, treating all lower strata (now
 // complete) as base relations — the stratum barrier is exactly what makes
 // negation-as-absence sound in a distributed setting.
-func evalParallelStratified(p *Program, edb Store, opts ParallelOptions) (*ParallelResult, error) {
+func evalParallelStratified(ctx context.Context, p *Program, edb Store, opts EvalOptions, sink obs.EventSink, counting *obs.Counting) (*Result, error) {
 	strata, err := analysis.Strata(p.ast)
 	if err != nil {
 		return nil, err
@@ -170,10 +160,7 @@ func evalParallelStratified(p *Program, edb Store, opts ParallelOptions) (*Paral
 		if err != nil {
 			return nil, fmt.Errorf("parlog: stratum %d: %w", s, err)
 		}
-		res, err := parallel.Run(pp, store, parallel.RunConfig{
-			Mode:     opts.Termination,
-			Topology: opts.Topology,
-		})
+		res, err := parallel.Run(pp, store, runConfig(ctx, opts, sink))
 		if err != nil {
 			return nil, fmt.Errorf("parlog: stratum %d: %w", s, err)
 		}
@@ -223,7 +210,11 @@ func evalParallelStratified(p *Program, edb Store, opts ParallelOptions) (*Paral
 	for _, id := range ids {
 		agg.Procs = append(agg.Procs, perProc[id])
 	}
-	return &ParallelResult{Output: output, Stats: agg}, nil
+	out := &Result{Output: output, Stats: agg}
+	if counting != nil {
+		out.Metrics = counting.Snapshot()
+	}
+	return out, nil
 }
 
 // RewriteListings returns the per-processor rewritten programs — the paper's
@@ -319,8 +310,8 @@ func listingsOf(rw *rewrite.Rewritten, err error) (map[int]string, error) {
 // shared between processors, and termination is detected by Mattern's
 // four-counter waves over the control plane — the paper's non-shared-memory
 // architecture taken literally. Topology restriction and chaos options are
-// not supported on this transport.
-func EvalDistributed(p *Program, edb Store, opts ParallelOptions) (*ParallelResult, error) {
+// not supported on this transport. A nil ctx means no cancellation.
+func EvalDistributed(ctx context.Context, p *Program, edb Store, opts EvalOptions) (*Result, error) {
 	if opts.Workers <= 0 {
 		opts.Workers = 4
 	}
@@ -334,7 +325,12 @@ func EvalDistributed(p *Program, edb Store, opts ParallelOptions) (*ParallelResu
 	if err != nil {
 		return nil, err
 	}
-	res, err := dist.Run(prog, edb, dist.Config{})
+	sink, counting := opts.buildSink()
+	res, err := dist.Run(prog, edb, dist.Config{
+		WavePoll: opts.PollInterval,
+		Ctx:      ctx,
+		Sink:     sink,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -348,7 +344,11 @@ func EvalDistributed(p *Program, edb Store, opts ParallelOptions) (*ParallelResu
 		Placements: parallel.Placements(prog, global),
 		Wall:       res.Wall,
 	}
-	return &ParallelResult{Output: res.Output, Stats: stats}, nil
+	out := &Result{Output: res.Output, Stats: stats}
+	if counting != nil {
+		out.Metrics = counting.Snapshot()
+	}
+	return out, nil
 }
 
 func compileParallel(p *Program, opts ParallelOptions) (*parallel.Program, error) {

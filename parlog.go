@@ -23,17 +23,25 @@
 //	    anc(X, Y) :- par(X, Z), anc(Z, Y).
 //	    par(a, b). par(b, c).
 //	`)
-//	res, _ := parlog.EvalParallel(prog, nil, parlog.ParallelOptions{Workers: 4})
+//	res, _ := parlog.EvalParallel(context.Background(), prog, nil, parlog.EvalOptions{Workers: 4})
 //	fmt.Println(prog.Format(res.Output, "anc"))
+//
+// All three entry points — Eval (sequential), EvalParallel (goroutine
+// processors) and EvalDistributed (TCP processors) — share one EvalOptions
+// and return one Result. Set EvalOptions.Trace or EvalOptions.Metrics to
+// observe a run (see trace.go).
 package parlog
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"parlog/internal/analysis"
 	"parlog/internal/ast"
+	"parlog/internal/obs"
 	"parlog/internal/parser"
 	"parlog/internal/relation"
 	"parlog/internal/seminaive"
@@ -145,27 +153,115 @@ func (p *Program) Format(store Store, pred string) string {
 	return b.String()
 }
 
-// EvalOptions configures sequential evaluation.
+// EvalOptions is the single option set shared by Eval, EvalParallel and
+// EvalDistributed. The zero value is a sensible default everywhere:
+// sequential semi-naive for Eval, four workers under StrategyAuto for the
+// parallel engines, observability disabled.
 type EvalOptions struct {
-	// Naive switches to naive iteration (the ablation baseline); default is
-	// semi-naive.
+	// Naive switches the sequential engine to naive iteration (the
+	// ablation baseline); default is semi-naive. Ignored by the parallel
+	// engines.
 	Naive bool
-	// MaxIterations aborts runaway evaluations; 0 means unlimited.
+	// MaxIterations aborts runaway sequential evaluations; 0 means
+	// unlimited.
 	MaxIterations int
+
+	// Workers is the number of processors for the parallel engines
+	// (default 4). Ignored by Eval.
+	Workers int
+	// Strategy selects the parallel scheme (default StrategyAuto).
+	Strategy Strategy
+	// VR and VE override the discriminating sequences v(r) and v(e) for
+	// the sirup strategies. Defaults depend on the strategy.
+	VR, VE []string
+	// Locality ∈ [0,1] positions StrategyTradeoff on the
+	// redundancy/communication spectrum: the probability mass each h_i
+	// keeps local.
+	Locality float64
+	// Termination selects the distributed termination detector.
+	Termination TerminationMode
+	// Topology restricts the interconnect; nil is a full mesh.
+	Topology *Topology
+	// Seed varies the hash functions.
+	Seed uint64
+	// HashBits, when non-nil, makes StrategyHashPartition use the
+	// bit-level discriminating function h(ā) = HashBits(g(a1), …) — the
+	// same function DeriveNetwork reasons about, so executions can be
+	// matched against derived network graphs. Procs then gives the
+	// processor ids (possibly sparse, e.g. {−1, 0, 1, 2} as in Example 7)
+	// and Workers is ignored.
+	HashBits BitFunc
+	// Procs lists processor ids for HashBits runs.
+	Procs []int
+	// PollInterval is the counting detector's wave period (EvalParallel)
+	// or the coordinator's wave period (EvalDistributed); 0 picks the
+	// engine default.
+	PollInterval time.Duration
+	// MaxBatch splits outgoing tuple batches of the in-process parallel
+	// transport; 0 sends one batch per destination per local iteration
+	// (the paper's per-iteration send).
+	MaxBatch int
+
+	// Trace, when non-nil, receives the run's full event stream —
+	// iterations, rule firings, messages, busy/idle transitions and
+	// termination probes. Leave nil to disable observability at zero
+	// cost.
+	Trace EventSink
+	// Metrics additionally attaches the built-in counting sink and
+	// fills Result.Metrics with its snapshot.
+	Metrics bool
+}
+
+// buildSink combines the caller's Trace sink with the internal counting
+// sink backing Result.Metrics.
+func (o EvalOptions) buildSink() (obs.EventSink, *obs.Counting) {
+	if !o.Metrics {
+		return o.Trace, nil
+	}
+	c := obs.NewCounting()
+	return obs.Fanout(o.Trace, c), c
+}
+
+// Result is the outcome of any evaluation: the pooled output store, the
+// engine's statistics (SeqStats for Eval, Stats for the parallel engines)
+// and, when requested, the metrics snapshot.
+type Result struct {
+	// Output holds the derived relations (plus, for Eval, the base
+	// relations of the complete store).
+	Output Store
+	// SeqStats reports sequential work; nil for the parallel engines.
+	SeqStats *SeqStats
+	// Stats reports parallel firings, communication, placement and
+	// timing; nil for Eval.
+	Stats *ParallelStats
+	// Metrics is the counting sink's snapshot when EvalOptions.Metrics
+	// was set, nil otherwise.
+	Metrics *Metrics
 }
 
 // Eval computes the least model sequentially (semi-naive by default) and
 // returns the full store — the paper's baseline execution. The edb argument
 // supplies base relations beyond the program's embedded facts; it may be
-// nil.
-func Eval(p *Program, edb Store, opts EvalOptions) (Store, *SeqStats, error) {
+// nil. A nil ctx means no cancellation.
+func Eval(ctx context.Context, p *Program, edb Store, opts EvalOptions) (*Result, error) {
 	if edb == nil {
 		edb = Store{}
 	}
-	return seminaive.Eval(p.ast, edb, seminaive.Options{
+	sink, counting := opts.buildSink()
+	store, stats, err := seminaive.Eval(p.ast, edb, seminaive.Options{
 		Naive:         opts.Naive,
 		MaxIterations: opts.MaxIterations,
+		Ctx:           ctx,
+		Sink:          sink,
 	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Output: store, SeqStats: stats}
+	if counting != nil {
+		res.Metrics = counting.Snapshot()
+	}
+	return res, nil
 }
 
 // sirup extracts the canonical linear-sirup decomposition.

@@ -1,6 +1,7 @@
 package parlog
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"strings"
@@ -20,10 +21,11 @@ func TestParseAndEval(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	store, stats, err := Eval(p, nil, EvalOptions{})
+	res, err := Eval(context.Background(), p, nil, EvalOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
+	store, stats := res.Output, res.SeqStats
 	if store["anc"].Len() != 6 {
 		t.Errorf("|anc| = %d, want 6", store["anc"].Len())
 	}
@@ -59,10 +61,11 @@ func TestAddFacts(t *testing.T) {
 	if err := p.AddFacts("par(a, b). par(b, c)."); err != nil {
 		t.Fatal(err)
 	}
-	store, _, err := Eval(p, nil, EvalOptions{})
+	res, err := Eval(context.Background(), p, nil, EvalOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
+	store := res.Output
 	if store["anc"].Len() != 3 {
 		t.Errorf("|anc| = %d, want 3", store["anc"].Len())
 	}
@@ -87,14 +90,16 @@ func TestProgramIntrospection(t *testing.T) {
 
 func TestEvalNaiveOption(t *testing.T) {
 	p := MustParse(ancestorSrc)
-	s1, st1, err := Eval(p, nil, EvalOptions{})
+	r1, err := Eval(context.Background(), p, nil, EvalOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	s2, st2, err := Eval(p, nil, EvalOptions{Naive: true})
+	r2, err := Eval(context.Background(), p, nil, EvalOptions{Naive: true})
 	if err != nil {
 		t.Fatal(err)
 	}
+	s1, st1 := r1.Output, r1.SeqStats
+	s2, st2 := r2.Output, r2.SeqStats
 	if !s1["anc"].Equal(s2["anc"]) {
 		t.Error("naive differs")
 	}
@@ -109,10 +114,11 @@ func TestEvalParallelStrategies(t *testing.T) {
 anc(X, Y) :- par(X, Y).
 anc(X, Y) :- par(X, Z), anc(Z, Y).
 `)
-	want, _, err := Eval(seqP, edb, EvalOptions{})
+	wantRes, err := Eval(context.Background(), seqP, edb, EvalOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
+	want := wantRes.Output
 	for _, tc := range []struct {
 		name string
 		opts ParallelOptions
@@ -133,7 +139,7 @@ anc(X, Y) :- par(X, Z), anc(Z, Y).
 anc(X, Y) :- par(X, Y).
 anc(X, Y) :- par(X, Z), anc(Z, Y).
 `)
-			res, err := EvalParallel(p, edb, tc.opts)
+			res, err := EvalParallel(context.Background(), p, edb, tc.opts)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -151,7 +157,7 @@ func TestEvalParallelAutoUsesTheorem3(t *testing.T) {
 	if err := p.AddFacts(chainFactsSrc(40)); err != nil {
 		t.Fatal(err)
 	}
-	res, err := EvalParallel(p, nil, ParallelOptions{Workers: 4})
+	res, err := EvalParallel(context.Background(), p, nil, ParallelOptions{Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,7 +180,7 @@ anc(X, Y) :- par(X, Y).
 anc(X, Y) :- anc(X, Z), anc(Z, Y).
 `)
 	edb := Store{"par": workload.Chain(12)}
-	res, err := EvalParallel(p, edb, ParallelOptions{Workers: 3})
+	res, err := EvalParallel(context.Background(), p, edb, ParallelOptions{Workers: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,7 +195,7 @@ anc(X, Y) :- par(X, Y).
 anc(X, Y) :- anc(X, Z), anc(Z, Y).
 `)
 	for _, s := range []Strategy{StrategyHashPartition, StrategyNoComm, StrategyTradeoff} {
-		if _, err := EvalParallel(p, Store{"par": workload.Chain(3)}, ParallelOptions{Workers: 2, Strategy: s}); err == nil {
+		if _, err := EvalParallel(context.Background(), p, Store{"par": workload.Chain(3)}, ParallelOptions{Workers: 2, Strategy: s}); err == nil {
 			t.Errorf("strategy %d accepted a non-sirup program", s)
 		}
 	}
@@ -197,7 +203,7 @@ anc(X, Y) :- anc(X, Z), anc(Z, Y).
 
 func TestEvalParallelLocalityValidation(t *testing.T) {
 	p := MustParse(ancestorSrc)
-	if _, err := EvalParallel(p, nil, ParallelOptions{Workers: 2, Strategy: StrategyTradeoff, Locality: 1.5}); err == nil {
+	if _, err := EvalParallel(context.Background(), p, nil, ParallelOptions{Workers: 2, Strategy: StrategyTradeoff, Locality: 1.5}); err == nil {
 		t.Error("Locality 1.5 accepted")
 	}
 }
@@ -271,11 +277,12 @@ func TestEvalDistributed(t *testing.T) {
 anc(X, Y) :- par(X, Y).
 anc(X, Y) :- par(X, Z), anc(Z, Y).
 `)
-	want, _, err := Eval(p, edb, EvalOptions{})
+	wantRes, err := Eval(context.Background(), p, edb, EvalOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := EvalDistributed(p, edb, ParallelOptions{
+	want := wantRes.Output
+	res, err := EvalDistributed(context.Background(), p, edb, ParallelOptions{
 		Workers:  3,
 		Strategy: StrategyHashPartition,
 		VR:       []string{"Z"}, VE: []string{"X"},
@@ -290,7 +297,7 @@ anc(X, Y) :- par(X, Z), anc(Z, Y).
 		t.Errorf("stats for %d procs", len(res.Stats.Procs))
 	}
 	// Topology restriction is not supported over TCP.
-	if _, err := EvalDistributed(p, edb, ParallelOptions{
+	if _, err := EvalDistributed(context.Background(), p, edb, ParallelOptions{
 		Workers: 2, Topology: NewTopology(nil),
 	}); err == nil {
 		t.Error("topology restriction accepted on the TCP transport")
@@ -299,10 +306,11 @@ anc(X, Y) :- par(X, Z), anc(Z, Y).
 
 func TestQuery(t *testing.T) {
 	p := MustParse(ancestorSrc)
-	store, _, err := Eval(p, nil, EvalOptions{})
+	res, err := Eval(context.Background(), p, nil, EvalOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
+	store := res.Output
 	// Descendants of a.
 	got, err := p.Query(store, "anc(a, X)")
 	if err != nil {
@@ -360,10 +368,11 @@ anc(X, Y) :- par(X, Z), anc(Z, Y).
 	if n != 2 {
 		t.Errorf("loaded %d distinct tuples, want 2", n)
 	}
-	store, _, err := Eval(p, edb, EvalOptions{})
+	res, err := Eval(context.Background(), p, edb, EvalOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
+	store := res.Output
 	var out strings.Builder
 	wrote, err := p.WriteCSV(store, "anc", &out)
 	if err != nil {

@@ -1,6 +1,7 @@
 package parlog
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -34,15 +35,16 @@ func TestSampleProgramsCorpus(t *testing.T) {
 			if err != nil || again.String() != prog.String() {
 				t.Fatalf("print/parse fixpoint broken: %v", err)
 			}
-			want, stats, err := Eval(prog, nil, EvalOptions{})
+			wantRes, err := Eval(context.Background(), prog, nil, EvalOptions{})
 			if err != nil {
 				t.Fatalf("sequential: %v", err)
 			}
+			want, stats := wantRes.Output, wantRes.SeqStats
 			if stats.New == 0 {
 				t.Fatal("corpus program derived nothing — weak test input")
 			}
 			for _, workers := range []int{1, 3} {
-				res, err := EvalParallel(prog, nil, ParallelOptions{Workers: workers})
+				res, err := EvalParallel(context.Background(), prog, nil, ParallelOptions{Workers: workers})
 				if err != nil {
 					t.Fatalf("parallel N=%d: %v", workers, err)
 				}
