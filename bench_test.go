@@ -520,7 +520,7 @@ source(n0).
 	b.Run("parallel4", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if _, err := EvalParallel(context.Background(), prog, nil, ParallelOptions{Workers: 4}); err != nil {
+			if _, err := EvalParallel(context.Background(), prog, nil, EvalOptions{Workers: 4}); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -82,7 +82,7 @@ func main() {
 	}
 
 	if *showRW {
-		opts := parlog.ParallelOptions{
+		opts := parlog.EvalOptions{
 			Workers: *workers, Locality: *locality,
 			VR: splitList(*vr), VE: splitList(*ve),
 			Strategy: strategyOf(*strategy),

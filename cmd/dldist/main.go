@@ -1,12 +1,18 @@
 // Command dldist runs the parallel Datalog evaluation across OS processes
 // over TCP — the paper's message-passing multiprocessor with one process per
 // processor. Start one coordinator and N workers (any order; the coordinator
-// waits):
+// waits, and workers retry the connect with backoff):
 //
-//	dldist -role coordinator -workers 3 -listen 127.0.0.1:7070 -program prog.dl
-//	dldist -role worker -index 0 -coordinator 127.0.0.1:7070 -workers 3 -program prog.dl -vr Z -ve X
-//	dldist -role worker -index 1 -coordinator 127.0.0.1:7070 -workers 3 -program prog.dl -vr Z -ve X
-//	dldist -role worker -index 2 -coordinator 127.0.0.1:7070 -workers 3 -program prog.dl -vr Z -ve X
+//	dldist -role coordinator -workers 3 -listen 127.0.0.1:7070 prog.dl
+//	dldist -role worker -index 0 -coordinator 127.0.0.1:7070 -workers 3 prog.dl -vr Z -ve X
+//	dldist -role worker -index 1 -coordinator 127.0.0.1:7070 -workers 3 prog.dl -vr Z -ve X
+//	dldist -role worker -index 2 -coordinator 127.0.0.1:7070 -workers 3 prog.dl -vr Z -ve X
+//
+// All traffic flows through the coordinator (star topology); workers open no
+// listeners of their own. If a worker process dies mid-run, the coordinator
+// reassigns its hash bucket to a survivor and replays the bucket's logged
+// messages, so the run still completes with the exact least model — kill one
+// of the workers above and watch the run finish anyway.
 //
 // Every process must be given the same program file and the same scheme
 // flags: the processes independently compile identical schemes (the hash
@@ -37,11 +43,13 @@ func main() {
 		listen   = flag.String("listen", "127.0.0.1:0", "coordinator: control listen address")
 		coord    = flag.String("coordinator", "", "worker: coordinator address")
 		index    = flag.Int("index", -1, "worker: processor index (0-based)")
-		dataAddr = flag.String("data", "127.0.0.1:0", "worker: data listen address")
 		strategy = flag.String("strategy", "hash", "hash | nocomm | general")
 		vr       = flag.String("vr", "", "discriminating sequence v(r), comma-separated")
 		ve       = flag.String("ve", "", "discriminating sequence v(e), comma-separated")
 		seed     = flag.Uint64("seed", 0, "hash function seed (must match across processes)")
+		retries  = flag.Int("retries", 0, "worker: connect attempts before giving up (default 5)")
+		hbeat    = flag.Duration("heartbeat", 0, "coordinator: heartbeat miss threshold (default 100ms)")
+		deadline = flag.Duration("deadline", 0, "coordinator: silence before a worker is declared dead (default 2s)")
 	)
 	flag.Parse()
 
@@ -72,7 +80,13 @@ func main() {
 
 	switch *role {
 	case "coordinator":
-		c, err := dist.NewCoordinator(dist.Config{Workers: *workers, Addr: *listen}, compiled.IDB)
+		c, err := dist.NewCoordinator(dist.Config{
+			Workers:           *workers,
+			Addr:              *listen,
+			HeartbeatInterval: *hbeat,
+			WorkerDeadline:    *deadline,
+			ProcIDs:           compiled.Procs.IDs(),
+		}, compiled.IDB)
 		if err != nil {
 			fatal(err)
 		}
@@ -100,6 +114,10 @@ func main() {
 			sent += ps.TuplesSent
 		}
 		fmt.Fprintf(os.Stderr, "dldist: done in %v; firings=%d tuples-sent=%d\n", res.Wall, firings, sent)
+		for _, rec := range res.Recoveries {
+			fmt.Fprintf(os.Stderr, "dldist: recovered bucket %d from worker %d on worker %d (%d batches replayed)\n",
+				rec.Bucket, rec.FromWorker, rec.ToWorker, rec.Replayed)
+		}
 	case "worker":
 		if *coord == "" || *index < 0 || *index >= *workers {
 			fatal(fmt.Errorf("worker needs -coordinator and a valid -index"))
@@ -108,8 +126,11 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		node := parallel.NewNode(compiled, *index, global)
-		if err := dist.RunWorker(*coord, *dataAddr, node); err != nil {
+		newNode := func(bucket int) *parallel.Node {
+			return parallel.NewNode(compiled, bucket, global)
+		}
+		wcfg := dist.WorkerConfig{NewNode: newNode, MaxRetries: *retries}
+		if err := dist.RunWorker(*coord, newNode(*index), wcfg); err != nil {
 			fatal(err)
 		}
 	default:

@@ -71,7 +71,10 @@ func TestCoordinatorWorkerPipeline(t *testing.T) {
 				errs <- err
 				return
 			}
-			errs <- dist.RunWorker(coord.Addr(), "127.0.0.1:0", parallel.NewNode(compiled, idx, global))
+			newNode := func(bucket int) *parallel.Node {
+				return parallel.NewNode(compiled, bucket, global)
+			}
+			errs <- dist.RunWorker(coord.Addr(), newNode(idx), dist.WorkerConfig{NewNode: newNode})
 		}(i)
 	}
 

@@ -31,7 +31,7 @@ anc(X, Y) :- par(X, Z), anc(Z, Y).
 	fmt.Printf("random digraph, 40 nodes, 160 edges; |anc| = %d, sequential firings = %d\n\n",
 		want["anc"].Len(), seqStats.Firings)
 
-	opts := parlog.ParallelOptions{
+	opts := parlog.EvalOptions{
 		Workers:  4,
 		Strategy: parlog.StrategyHashPartition,
 		VR:       []string{"Z"}, VE: []string{"X"},
@@ -46,7 +46,7 @@ anc(X, Y) :- par(X, Z), anc(Z, Y).
 		log.Fatal(err)
 	}
 
-	for name, res := range map[string]*parlog.ParallelResult{
+	for name, res := range map[string]*parlog.Result{
 		"goroutines+channels": inproc,
 		"TCP sockets":         tcp,
 	} {

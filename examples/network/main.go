@@ -87,7 +87,7 @@ p(X, Y) :- p(Y, Z), r(X, Z).
 	// reasoned about (lifted over g = parity of the interned constant id),
 	// and the Topology admits only the derived edges: any unpredicted send
 	// would fail the run.
-	res, err := parlog.EvalParallel(context.Background(), ex6, edb, parlog.ParallelOptions{
+	res, err := parlog.EvalParallel(context.Background(), ex6, edb, parlog.EvalOptions{
 		Strategy: parlog.StrategyHashPartition,
 		VR:       []string{"Y", "Z"}, VE: []string{"X", "Y"},
 		HashBits: parlog.BitVectorHash(2),

@@ -56,7 +56,7 @@ anc(X, Y) :- par(X, Z), anc(Z, Y).
 
 	fmt.Printf("\n%3s %12s %10s %16s\n", "N", "tuples-sent", "firings", "vs-seq-nonlinear")
 	for _, n := range []int{1, 2, 4, 8} {
-		res, err := parlog.EvalParallel(context.Background(), nonlinear, edb, parlog.ParallelOptions{
+		res, err := parlog.EvalParallel(context.Background(), nonlinear, edb, parlog.EvalOptions{
 			Workers:  n,
 			Strategy: parlog.StrategyGeneral,
 		})

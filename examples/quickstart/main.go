@@ -47,7 +47,7 @@ par(jared, enoch).
 	df, _ := prog.Dataflow()
 	fmt.Printf("Dataflow graph of the recursive rule: %s\n", df)
 
-	res, err := parlog.EvalParallel(context.Background(), prog, nil, parlog.ParallelOptions{Workers: 4})
+	res, err := parlog.EvalParallel(context.Background(), prog, nil, parlog.EvalOptions{Workers: 4})
 	if err != nil {
 		log.Fatal(err)
 	}

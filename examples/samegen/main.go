@@ -41,20 +41,20 @@ sg(X, Y) :- up(X, U), sg(U, V), down(V, Y).
 	fmt.Println("scheme                         sent-tuples   firings   dup-vs-seq   max-proc-share")
 	for _, choice := range []struct {
 		name string
-		opts parlog.ParallelOptions
+		opts parlog.EvalOptions
 	}{
 		// v(r)=⟨V⟩: V sits at position 2 of the recursive atom sg(U,V) — a
 		// dataflow-cycle position? sg head (X,Y), body sg(U,V): Y reappears
 		// nowhere positionally, so communication is needed; compare choices.
-		{"Q, v(r)=<U> (point-to-point)", parlog.ParallelOptions{
+		{"Q, v(r)=<U> (point-to-point)", parlog.EvalOptions{
 			Workers: 4, Strategy: parlog.StrategyHashPartition,
 			VR: []string{"U"}, VE: []string{"X"},
 		}},
-		{"Q, v(r)=<V> (point-to-point)", parlog.ParallelOptions{
+		{"Q, v(r)=<V> (point-to-point)", parlog.EvalOptions{
 			Workers: 4, Strategy: parlog.StrategyHashPartition,
 			VR: []string{"V"}, VE: []string{"Y"},
 		}},
-		{"NoComm (replicated, redundant)", parlog.ParallelOptions{
+		{"NoComm (replicated, redundant)", parlog.EvalOptions{
 			Workers: 4, Strategy: parlog.StrategyNoComm,
 		}},
 	} {

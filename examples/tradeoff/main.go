@@ -35,7 +35,7 @@ anc(X, Y) :- par(X, Z), anc(Z, Y).
 
 	fmt.Println("locality   tuples-sent   firings   redundant-firings")
 	for _, locality := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0} {
-		res, err := parlog.EvalParallel(context.Background(), prog, edb, parlog.ParallelOptions{
+		res, err := parlog.EvalParallel(context.Background(), prog, edb, parlog.EvalOptions{
 			Workers:  4,
 			Strategy: parlog.StrategyTradeoff,
 			Locality: locality,

@@ -9,11 +9,22 @@
 package analysis
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
 	"parlog/internal/ast"
 )
+
+// ErrNotLinearSirup is wrapped by every ExtractSirup rejection, so callers
+// can distinguish "this program is outside the sirup class" from other
+// failures with errors.Is.
+var ErrNotLinearSirup = errors.New("not a linear sirup")
+
+// notSirup builds an ExtractSirup rejection wrapping ErrNotLinearSirup.
+func notSirup(format string, args ...any) error {
+	return fmt.Errorf(format+": %w", append(args, ErrNotLinearSirup)...)
+}
 
 // Graph is the predicate dependency graph: an edge q → r means q occurs in
 // the body of a rule whose head is r ("q derives r").
@@ -327,7 +338,7 @@ type Sirup struct {
 func ExtractSirup(prog *ast.Program) (*Sirup, error) {
 	rules, _ := prog.FactTuples()
 	if len(rules) != 2 {
-		return nil, fmt.Errorf("analysis: a sirup has exactly 2 rules, found %d", len(rules))
+		return nil, notSirup("analysis: a sirup has exactly 2 rules, found %d", len(rules))
 	}
 	if err := CheckSafety(prog); err != nil {
 		return nil, err
@@ -343,21 +354,21 @@ func ExtractSirup(prog *ast.Program) (*Sirup, error) {
 		}
 		if recursive {
 			if rec != nil {
-				return nil, fmt.Errorf("analysis: more than one recursive rule")
+				return nil, notSirup("analysis: more than one recursive rule")
 			}
 			rec = r
 		} else {
 			if exit != nil {
-				return nil, fmt.Errorf("analysis: more than one exit rule")
+				return nil, notSirup("analysis: more than one exit rule")
 			}
 			exit = r
 		}
 	}
 	if exit == nil || rec == nil {
-		return nil, fmt.Errorf("analysis: need one exit and one recursive rule")
+		return nil, notSirup("analysis: need one exit and one recursive rule")
 	}
 	if exit.Head.Pred != rec.Head.Pred {
-		return nil, fmt.Errorf("analysis: exit and recursive rules define different predicates (%s vs %s)",
+		return nil, notSirup("analysis: exit and recursive rules define different predicates (%s vs %s)",
 			exit.Head.Pred, rec.Head.Pred)
 	}
 	t := rec.Head.Pred
@@ -366,29 +377,29 @@ func ExtractSirup(prog *ast.Program) (*Sirup, error) {
 	for i, a := range rec.Body {
 		if a.Pred == t {
 			if recIdx >= 0 {
-				return nil, fmt.Errorf("analysis: recursive rule is not linear (two %s-atoms)", t)
+				return nil, notSirup("analysis: recursive rule is not linear (two %s-atoms)", t)
 			}
 			recIdx = i
 		}
 	}
 	if len(exit.Negated) > 0 || len(rec.Negated) > 0 {
-		return nil, fmt.Errorf("analysis: sirup rules must be negation-free (use the general stratified driver)")
+		return nil, notSirup("analysis: sirup rules must be negation-free (use the general stratified driver)")
 	}
 	// Exit body must not mention t and should be base-only.
 	for _, a := range exit.Body {
 		if a.Pred == t {
-			return nil, fmt.Errorf("analysis: exit rule mentions %s", t)
+			return nil, notSirup("analysis: exit rule mentions %s", t)
 		}
 	}
 	if len(exit.Body) == 0 {
-		return nil, fmt.Errorf("analysis: exit rule has no body")
+		return nil, notSirup("analysis: exit rule has no body")
 	}
 
 	varsOf := func(a ast.Atom, what string) ([]string, error) {
 		out := make([]string, len(a.Args))
 		for i, tm := range a.Args {
 			if !tm.IsVar() {
-				return nil, fmt.Errorf("analysis: %s has non-variable argument %d", what, i)
+				return nil, notSirup("analysis: %s has non-variable argument %d", what, i)
 			}
 			out[i] = tm.VarName
 		}

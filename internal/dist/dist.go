@@ -6,12 +6,27 @@
 // idealization. Both transports drive the same parallel.Node state machine,
 // so the scheme semantics are identical by construction.
 //
-// Topology: one coordinator plus N workers. Workers dial the coordinator's
-// control port, announce their data address, receive the peer address map,
-// and then exchange data batches directly (full mesh, lazily dialed).
-// Termination uses Mattern's four-counter method over the control plane:
-// the coordinator polls each worker's monotone (sent, received, idle)
-// counters; two consecutive identical, balanced, all-idle waves establish
+// Topology: one coordinator plus N workers in a star. Workers dial the
+// coordinator's port, announce their dense index, and exchange everything —
+// control traffic and data batches — over that single connection. The
+// coordinator routes every data batch to the worker currently owning its
+// destination hash bucket and appends it to a per-bucket send log. That log
+// is what makes worker failure survivable: the paper's discriminating hash
+// function partitions the ground substitutions disjointly across buckets
+// (Theorems 1–2), so a dead worker's bucket is a self-contained unit of
+// work. On failure the coordinator reassigns the bucket to a survivor,
+// which rebuilds the bucket's EDB fragment locally and replays the logged
+// message history; monotonicity and set semantics make the replay confluent
+// with the original execution, so the run still computes the exact least
+// model (receivers drop rederived tuples by difference, as always).
+//
+// Liveness is coordinator-side: status probes double as heartbeats, and a
+// worker silent past Config.WorkerDeadline (or whose connection breaks) is
+// declared dead. Termination uses Mattern-style counter waves adapted to
+// the star: per live worker, the batches it reports sent must equal the
+// batches the coordinator accepted from it, and the batches it reports
+// processed must equal the batches the coordinator delivered to it; two
+// consecutive identical all-idle waves with no membership change establish
 // quiescence, after which the coordinator collects outputs and statistics
 // (the final pooling step).
 //
@@ -24,8 +39,11 @@ package dist
 import (
 	"context"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"net"
+	"sort"
+	"sync"
 	"time"
 
 	"parlog/internal/ast"
@@ -34,36 +52,44 @@ import (
 	"parlog/internal/relation"
 )
 
-// ctrlKind enumerates control-plane message types.
-type ctrlKind int
-
-const (
-	kindJoin ctrlKind = iota + 1
-	kindStart
-	kindStatus
-	kindStatusReply
-	kindFinish
-	kindOutput
+// Sentinel errors callers can test with errors.Is.
+var (
+	// ErrWorkerLost reports a worker death the runtime could not recover
+	// from (no survivors left, or a death after quiescence).
+	ErrWorkerLost = errors.New("dist: worker lost")
+	// ErrTimeout reports a run that exceeded Config.Timeout.
+	ErrTimeout = errors.New("dist: timeout")
 )
 
-// ctrlMsg is the control-plane envelope (coordinator ↔ worker).
-type ctrlMsg struct {
-	Kind     ctrlKind
-	Index    int      // Join: the worker's dense index
-	DataAddr string   // Join: where the worker accepts data connections
-	Peers    []string // Start: data addresses indexed by worker
-	Sent     int64    // StatusReply
-	Recv     int64    // StatusReply
-	Idle     bool     // StatusReply
-	Output   map[string][][]ast.Value
-	Stats    parallel.ProcStats
-}
+// msgKind enumerates wire message types. Control and data share one
+// connection per worker, so a single envelope carries both planes.
+type msgKind int
 
-// dataMsg is one tuple batch on the data plane (worker → worker).
-type dataMsg struct {
-	From   int
+const (
+	kindJoin        msgKind = iota + 1 // worker → coordinator: announce index
+	kindStart                          // coordinator → worker: begin evaluation
+	kindStatus                         // coordinator → worker: heartbeat/status probe
+	kindStatusReply                    // worker → coordinator: counters + idleness
+	kindData                           // both directions: one tuple batch for a bucket
+	kindAdopt                          // coordinator → worker: take over a bucket
+	kindFinish                         // coordinator → worker: quiescent, ship outputs
+	kindOutput                         // worker → coordinator: pooled outputs + stats
+)
+
+// wireMsg is the single wire envelope; Kind selects the meaningful fields.
+type wireMsg struct {
+	Kind   msgKind
+	Index  int   // Join: the worker's dense index
+	Probe  int   // Status/StatusReply: heartbeat sequence number
+	Sent   int64 // StatusReply: data batches handed to the wire
+	Recv   int64 // StatusReply: data batches processed
+	Idle   bool  // StatusReply
+	Bucket int   // Data: destination bucket; Adopt: bucket to take over
+	From   int   // Data: originating bucket
 	Pred   string
 	Tuples [][]ast.Value
+	Output map[string][][]ast.Value  // Output: per-predicate rows
+	Stats  []parallel.ProcStats      // Output: one entry per hosted bucket
 }
 
 // Config configures a distributed run.
@@ -72,15 +98,39 @@ type Config struct {
 	Workers int
 	// Addr is the coordinator's listen address (default "127.0.0.1:0").
 	Addr string
-	// WavePoll is the detection-wave period (default 200µs).
+	// WavePoll is the detection-wave and heartbeat-probe period
+	// (default 200µs).
 	WavePoll time.Duration
-	// Timeout aborts a run that never quiesces (default 60s).
+	// Timeout aborts a run that never quiesces (default 60s). The
+	// returned error wraps ErrTimeout.
 	Timeout time.Duration
-	// Ctx, when non-nil, cancels the run between detection waves.
+	// HeartbeatInterval is how long a worker may stay silent before the
+	// coordinator records a heartbeat miss (default 100ms).
+	HeartbeatInterval time.Duration
+	// WorkerDeadline is how long a worker may stay silent before the
+	// coordinator declares it dead and recovers its buckets (default 2s).
+	WorkerDeadline time.Duration
+	// MaxRetries bounds a worker's connect retries (exponential backoff
+	// with jitter); used by Run when spawning in-process workers
+	// (default 5).
+	MaxRetries int
+	// RetryBase is the first backoff step of the connect retry
+	// (default 5ms).
+	RetryBase time.Duration
+	// Ctx, when non-nil, cancels the run: every blocking path (accept,
+	// decode, queue waits, detection waves) unblocks promptly.
 	Ctx context.Context
 	// Sink, when non-nil, receives the coordinator's and (for in-process
-	// workers started by Run) the workers' event stream.
+	// workers started by Run) the workers' event stream, including the
+	// fault-tolerance events (heartbeat misses, deaths, reassignments,
+	// replays).
 	Sink obs.EventSink
+	// ProcIDs maps dense worker indices to paper-level processor ids for
+	// event labeling; nil labels events with the dense index.
+	ProcIDs []int
+	// WorkerDial, when non-nil, supplies each in-process worker's dialer
+	// (Run only) — the fault-injection hook.
+	WorkerDial func(wi int) DialFunc
 }
 
 func (c *Config) fill() {
@@ -93,13 +143,128 @@ func (c *Config) fill() {
 	if c.Timeout <= 0 {
 		c.Timeout = 60 * time.Second
 	}
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = 100 * time.Millisecond
+	}
+	if c.WorkerDeadline <= 0 {
+		c.WorkerDeadline = 2 * time.Second
+	}
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = 5
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = 5 * time.Millisecond
+	}
+	if c.Ctx == nil {
+		c.Ctx = context.Background()
+	}
+}
+
+// procID labels a dense worker index with its paper-level processor id.
+func (c *Config) procID(wi int) int {
+	if wi >= 0 && wi < len(c.ProcIDs) {
+		return c.ProcIDs[wi]
+	}
+	return wi
+}
+
+// Recovery records one bucket reassignment performed during a run.
+type Recovery struct {
+	// Bucket is the recovered hash bucket (the dead worker's dense index
+	// at compile time).
+	Bucket int
+	// FromWorker and ToWorker are dense worker indices.
+	FromWorker, ToWorker int
+	// Replayed is the number of logged batches replayed to the new owner.
+	Replayed int
 }
 
 // Result is the pooled outcome of a distributed run.
 type Result struct {
 	Output relation.Store
-	Stats  []parallel.ProcStats
-	Wall   time.Duration
+	// Stats holds one entry per hash bucket (not per surviving worker):
+	// a worker hosting recovered buckets reports each separately. Sorted
+	// by processor id.
+	Stats []parallel.ProcStats
+	Wall  time.Duration
+	// Deaths lists the dense indices of workers declared dead, in order
+	// of death.
+	Deaths []int
+	// Recoveries lists the bucket reassignments that kept the run alive.
+	Recoveries []Recovery
+}
+
+// queue is an unbounded FIFO of wire messages with close semantics: pop
+// drains remaining messages before reporting closed, so a writer can flush
+// everything enqueued before shutdown. One consumer per queue.
+type queue struct {
+	mu     sync.Mutex
+	msgs   []wireMsg
+	head   int
+	closed bool
+	notify chan struct{}
+}
+
+func newQueue() *queue { return &queue{notify: make(chan struct{}, 1)} }
+
+func (q *queue) signal() {
+	select {
+	case q.notify <- struct{}{}:
+	default:
+	}
+}
+
+// push enqueues m unless the queue is closed.
+func (q *queue) push(m wireMsg) {
+	q.mu.Lock()
+	if !q.closed {
+		q.msgs = append(q.msgs, m)
+	}
+	q.mu.Unlock()
+	q.signal()
+}
+
+// pop blocks until a message is available or the queue is closed and
+// drained.
+func (q *queue) pop() (wireMsg, bool) {
+	for {
+		q.mu.Lock()
+		if q.head < len(q.msgs) {
+			m := q.msgs[q.head]
+			q.msgs[q.head] = wireMsg{} // release tuple memory
+			q.head++
+			if q.head == len(q.msgs) {
+				q.msgs = q.msgs[:0]
+				q.head = 0
+			}
+			q.mu.Unlock()
+			return m, true
+		}
+		closed := q.closed
+		q.mu.Unlock()
+		if closed {
+			return wireMsg{}, false
+		}
+		<-q.notify
+	}
+}
+
+// takeAll drains the queue without blocking (mailbox mode).
+func (q *queue) takeAll() []wireMsg {
+	q.mu.Lock()
+	out := q.msgs[q.head:]
+	q.msgs = nil
+	q.head = 0
+	q.mu.Unlock()
+	return out
+}
+
+// close stops accepting pushes and wakes the consumer.
+func (q *queue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.signal()
 }
 
 // Coordinator orchestrates one run. Create with NewCoordinator, hand its
@@ -123,126 +288,466 @@ func NewCoordinator(cfg Config, idbArities map[string]int) (*Coordinator, error)
 	return &Coordinator{cfg: cfg, ln: ln, arities: idbArities}, nil
 }
 
-// Addr returns the control address workers must dial.
+// Addr returns the address workers must dial.
 func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
 
-// wave is one detection snapshot.
-type wave struct {
-	sent, recv int64
-	allIdle    bool
+// wkState is the coordinator's handle on one worker: its connection, its
+// serialized outbound queue, and the counters the termination and liveness
+// logic reads. All mutable fields are guarded by the router mutex.
+type wkState struct {
+	index int
+	conn  net.Conn
+	dec   *gob.Decoder
+	out   *queue
+
+	alive     bool
+	connErr   error     // first reader/writer error; death finalized by the wave loop
+	lastHeard time.Time // last status reply (or start time)
+	misses    int       // heartbeat misses already reported
+
+	// Last reported worker counters (from kindStatusReply).
+	rSent, rRecv int64
+	rIdle        bool
+
+	// Coordinator-side authoritative counters: data batches accepted
+	// from this worker and delivered to it (including replays).
+	accepted, delivered int64
+
+	output *wireMsg // final kindOutput, once received
 }
 
-// Wait accepts the workers, runs the protocol to completion and returns the
-// pooled result. It closes the listener before returning.
+// router is the shared hub: bucket ownership, per-bucket send logs, worker
+// states and the death/recovery bookkeeping. One mutex guards it all — the
+// data plane takes it once per batch, which is noise next to a gob encode.
+type router struct {
+	mu   sync.Mutex
+	cfg  *Config
+	ws   []*wkState
+	own  []int       // bucket → dense index of the hosting worker
+	logs [][]wireMsg // bucket → every data batch ever delivered to it
+
+	gen        int // membership generation; bumped on every death
+	deaths     []int
+	recoveries []Recovery
+	fatal      error
+
+	outputCh chan int // worker indices that delivered their output
+}
+
+func newRouter(cfg *Config, ws []*wkState) *router {
+	r := &router{
+		cfg:      cfg,
+		ws:       ws,
+		own:      make([]int, len(ws)),
+		logs:     make([][]wireMsg, len(ws)),
+		outputCh: make(chan int, len(ws)),
+	}
+	for i := range r.own {
+		r.own[i] = i
+	}
+	return r
+}
+
+// connBroken records a connection failure; the wave loop turns it into a
+// death (keeping all recovery logic on one goroutine).
+func (r *router) connBroken(w *wkState, err error) {
+	r.mu.Lock()
+	if w.alive && w.connErr == nil {
+		w.connErr = err
+	}
+	r.mu.Unlock()
+}
+
+// route logs and forwards one data batch to the current owner of its
+// destination bucket. Batches from workers already declared dead are
+// dropped: their buckets are being replayed and set semantics make the
+// replayed derivations a superset.
+func (r *router) route(w *wkState, m wireMsg) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !w.alive {
+		return
+	}
+	w.accepted++
+	if m.Bucket < 0 || m.Bucket >= len(r.own) {
+		return // corrupt destination; counted so the wave math stays balanced
+	}
+	r.logs[m.Bucket] = append(r.logs[m.Bucket], m)
+	o := r.ws[r.own[m.Bucket]]
+	o.delivered++
+	o.out.push(m)
+}
+
+func (r *router) noteStatus(w *wkState, m wireMsg) {
+	r.mu.Lock()
+	w.lastHeard = time.Now()
+	w.misses = 0
+	w.rSent, w.rRecv, w.rIdle = m.Sent, m.Recv, m.Idle
+	r.mu.Unlock()
+}
+
+func (r *router) noteOutput(w *wkState, m wireMsg) {
+	r.mu.Lock()
+	w.output = &m
+	r.mu.Unlock()
+	r.outputCh <- w.index
+}
+
+// probe enqueues one status/heartbeat probe to every live worker.
+func (r *router) probe(n int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, w := range r.ws {
+		if w.alive {
+			w.out.push(wireMsg{Kind: kindStatus, Probe: n})
+		}
+	}
+}
+
+// checkLiveness declares deaths (broken connections, deadline overruns),
+// reports heartbeat misses, and performs bucket recovery. Called from the
+// wave loop only.
+func (r *router) checkLiveness(now time.Time) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, w := range r.ws {
+		if !w.alive {
+			continue
+		}
+		if w.connErr != nil {
+			r.declareDead(w, fmt.Sprintf("connection failed: %v", w.connErr))
+			continue
+		}
+		silent := now.Sub(w.lastHeard)
+		if silent > r.cfg.WorkerDeadline {
+			r.declareDead(w, fmt.Sprintf("no heartbeat for %v", silent.Round(time.Millisecond)))
+			continue
+		}
+		if r.cfg.HeartbeatInterval > 0 {
+			if missed := int(silent / r.cfg.HeartbeatInterval); missed > w.misses {
+				w.misses = missed
+				if r.cfg.Sink != nil {
+					r.cfg.Sink.HeartbeatMiss(r.cfg.procID(w.index), missed)
+				}
+			}
+		}
+	}
+}
+
+// declareDead removes w from the membership and recovers its buckets:
+// every bucket w hosted is reassigned to the least-loaded survivor, which
+// is told to adopt it (rebuilding the EDB fragment locally) and is then
+// replayed the bucket's complete message log. Caller holds the mutex.
+func (r *router) declareDead(w *wkState, reason string) {
+	w.alive = false
+	r.gen++
+	r.deaths = append(r.deaths, w.index)
+	w.conn.Close()
+	w.out.close()
+	if r.cfg.Sink != nil {
+		r.cfg.Sink.WorkerDead(r.cfg.procID(w.index), reason)
+	}
+
+	// Buckets w hosted (its own, plus any it had adopted earlier —
+	// cascading failures recover the same way).
+	var lost []int
+	for b, o := range r.own {
+		if o == w.index {
+			lost = append(lost, b)
+		}
+	}
+	if len(lost) == 0 {
+		return
+	}
+	for _, b := range lost {
+		s := r.survivorLocked()
+		if s == nil {
+			if r.fatal == nil {
+				r.fatal = fmt.Errorf("dist: worker %d died (%s) with no survivors: %w", w.index, reason, ErrWorkerLost)
+			}
+			return
+		}
+		r.own[b] = s.index
+		r.recoveries = append(r.recoveries, Recovery{
+			Bucket: b, FromWorker: w.index, ToWorker: s.index, Replayed: len(r.logs[b]),
+		})
+		if r.cfg.Sink != nil {
+			r.cfg.Sink.BucketReassigned(b, r.cfg.procID(w.index), r.cfg.procID(s.index))
+			r.cfg.Sink.ReplayStart(b, r.cfg.procID(s.index))
+		}
+		s.out.push(wireMsg{Kind: kindAdopt, Bucket: b})
+		for _, lm := range r.logs[b] {
+			s.delivered++
+			s.out.push(lm)
+		}
+		if r.cfg.Sink != nil {
+			r.cfg.Sink.ReplayEnd(b, r.cfg.procID(s.index), len(r.logs[b]))
+		}
+	}
+}
+
+// survivorLocked picks the live worker hosting the fewest buckets (lowest
+// index on ties) — a deterministic, load-balancing choice.
+func (r *router) survivorLocked() *wkState {
+	hosted := make(map[int]int)
+	for _, o := range r.own {
+		hosted[o]++
+	}
+	var best *wkState
+	for _, w := range r.ws {
+		if !w.alive {
+			continue
+		}
+		if best == nil || hosted[w.index] < hosted[best.index] {
+			best = w
+		}
+	}
+	return best
+}
+
+// snapshot evaluates the quiescence condition over the live membership and
+// returns the wave vector the two-wave stability check compares.
+func (r *router) snapshot() (vec []int64, allQuiet bool, gen int, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	allQuiet = true
+	any := false
+	for _, w := range r.ws {
+		if !w.alive {
+			continue
+		}
+		any = true
+		if !w.rIdle || w.rSent != w.accepted || w.rRecv != w.delivered {
+			allQuiet = false
+		}
+		var idle int64
+		if w.rIdle {
+			idle = 1
+		}
+		vec = append(vec, int64(w.index), w.rSent, w.rRecv, w.accepted, w.delivered, idle)
+	}
+	if !any {
+		allQuiet = false
+	}
+	return vec, allQuiet, r.gen, r.fatal
+}
+
+// finish asks every live worker for its output and returns their indices.
+func (r *router) finish() []int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var live []int
+	for _, w := range r.ws {
+		if w.alive {
+			w.out.push(wireMsg{Kind: kindFinish})
+			live = append(live, w.index)
+		}
+	}
+	return live
+}
+
+// closeAll tears down every connection and queue (idempotent).
+func (r *router) closeAll() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, w := range r.ws {
+		w.conn.Close()
+		w.out.close()
+	}
+}
+
+func equalVec(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Wait accepts the workers, runs the protocol to completion — surviving
+// worker deaths via bucket recovery — and returns the pooled result. It
+// closes the listener before returning.
 func (c *Coordinator) Wait() (*Result, error) {
 	defer c.ln.Close()
 	start := time.Now()
 	deadline := start.Add(c.cfg.Timeout)
+	ctx := c.cfg.Ctx
 
-	type peer struct {
-		conn net.Conn
-		enc  *gob.Encoder
-		dec  *gob.Decoder
-	}
-	peers := make([]*peer, c.cfg.Workers)
-	addrs := make([]string, c.cfg.Workers)
-
-	// Join phase.
+	// Join phase: accept one connection per worker. Cancellation closes
+	// the listener; the deadline bounds the whole phase.
+	stopJoinWatch := context.AfterFunc(ctx, func() { c.ln.Close() })
+	ws := make([]*wkState, c.cfg.Workers)
 	for joined := 0; joined < c.cfg.Workers; joined++ {
 		if err := c.ln.(*net.TCPListener).SetDeadline(deadline); err != nil {
+			stopJoinWatch()
 			return nil, err
 		}
 		conn, err := c.ln.Accept()
 		if err != nil {
+			stopJoinWatch()
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				return nil, fmt.Errorf("dist: waiting for workers: %v: %w", err, ErrTimeout)
+			}
 			return nil, fmt.Errorf("dist: waiting for workers: %w", err)
 		}
-		p := &peer{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
-		var join ctrlMsg
-		if err := p.dec.Decode(&join); err != nil {
+		dec := gob.NewDecoder(conn)
+		var join wireMsg
+		if err := dec.Decode(&join); err != nil {
+			stopJoinWatch()
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
 			return nil, fmt.Errorf("dist: join decode: %w", err)
 		}
 		if join.Kind != kindJoin || join.Index < 0 || join.Index >= c.cfg.Workers {
+			stopJoinWatch()
+			conn.Close()
 			return nil, fmt.Errorf("dist: bad join message (kind %d, index %d)", join.Kind, join.Index)
 		}
-		if peers[join.Index] != nil {
+		if ws[join.Index] != nil {
+			stopJoinWatch()
+			conn.Close()
 			return nil, fmt.Errorf("dist: duplicate worker index %d", join.Index)
 		}
-		peers[join.Index] = p
-		addrs[join.Index] = join.DataAddr
-	}
-	defer func() {
-		for _, p := range peers {
-			p.conn.Close()
+		ws[join.Index] = &wkState{
+			index: join.Index, conn: conn, dec: dec, out: newQueue(),
+			alive: true, lastHeard: time.Now(),
 		}
-	}()
+	}
+	stopJoinWatch()
+	if err := ctx.Err(); err != nil {
+		for _, w := range ws {
+			w.conn.Close()
+		}
+		return nil, err
+	}
+
+	r := newRouter(&c.cfg, ws)
+	defer r.closeAll()
+	stopWatch := context.AfterFunc(ctx, r.closeAll)
+	defer stopWatch()
+
+	// Per-worker reader and writer goroutines.
+	for _, w := range ws {
+		w := w
+		go c.readLoop(r, w)
+		go func() {
+			enc := gob.NewEncoder(w.conn)
+			for {
+				m, ok := w.out.pop()
+				if !ok {
+					return
+				}
+				if err := enc.Encode(m); err != nil {
+					r.connBroken(w, err)
+					return
+				}
+			}
+		}()
+	}
 
 	// Start phase.
-	for _, p := range peers {
-		if err := p.enc.Encode(ctrlMsg{Kind: kindStart, Peers: addrs}); err != nil {
-			return nil, fmt.Errorf("dist: start: %w", err)
-		}
+	r.mu.Lock()
+	for _, w := range ws {
+		w.lastHeard = time.Now() // the liveness clock starts now
+		w.out.push(wireMsg{Kind: kindStart})
 	}
+	r.mu.Unlock()
 
-	// Detection waves: Mattern's four-counter method over request/response
-	// polling. Per-worker counters are monotone and each worker increments
-	// its sent counter before the batch reaches the wire, so two identical
-	// balanced all-idle waves imply global quiescence.
-	var prev *wave
+	// Detection waves: Mattern-style counter comparison over the star.
+	// Each wave doubles as a heartbeat probe; deaths discovered here
+	// trigger bucket recovery before the next quiescence check.
+	var prevVec []int64
+	prevQuiet := false
+	prevGen := -1
+	waveTimer := time.NewTimer(c.cfg.WavePoll)
+	defer waveTimer.Stop()
 	for waveNum := 0; ; waveNum++ {
-		if c.cfg.Ctx != nil {
-			if err := c.cfg.Ctx.Err(); err != nil {
-				return nil, err
-			}
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
 		if time.Now().After(deadline) {
-			return nil, fmt.Errorf("dist: run exceeded %v without quiescing", c.cfg.Timeout)
+			return nil, fmt.Errorf("dist: run exceeded %v without quiescing: %w", c.cfg.Timeout, ErrTimeout)
 		}
-		cur := wave{allIdle: true}
-		for _, p := range peers {
-			if err := p.enc.Encode(ctrlMsg{Kind: kindStatus}); err != nil {
-				return nil, fmt.Errorf("dist: status: %w", err)
-			}
-			var rep ctrlMsg
-			if err := p.dec.Decode(&rep); err != nil {
-				return nil, fmt.Errorf("dist: status reply: %w", err)
-			}
-			if rep.Kind != kindStatusReply {
-				return nil, fmt.Errorf("dist: unexpected reply kind %d", rep.Kind)
-			}
-			cur.sent += rep.Sent
-			cur.recv += rep.Recv
-			if !rep.Idle {
-				cur.allIdle = false
-			}
+		r.checkLiveness(time.Now())
+		r.probe(waveNum)
+		vec, quiet, gen, fatal := r.snapshot()
+		if fatal != nil {
+			return nil, fatal
 		}
-		done := cur.allIdle && cur.sent == cur.recv && prev != nil && *prev == cur
+		done := quiet && prevQuiet && gen == prevGen && equalVec(vec, prevVec)
 		if c.cfg.Sink != nil {
 			c.cfg.Sink.TermProbe("mattern", waveNum, done)
 		}
 		if done {
 			break
 		}
-		prev = &cur
-		time.Sleep(c.cfg.WavePoll)
+		prevVec, prevQuiet, prevGen = vec, quiet, gen
+		waveTimer.Reset(c.cfg.WavePoll)
+		select {
+		case <-waveTimer.C:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
 	}
 
-	// Collection phase: final pooling.
+	// Collection phase: final pooling. A worker death here is fatal —
+	// survivors may already have shipped outputs and exited, so the
+	// replay machinery is gone.
+	live := r.finish()
+	need := make(map[int]bool, len(live))
+	for _, wi := range live {
+		need[wi] = true
+	}
+	collectTimer := time.NewTimer(c.cfg.WavePoll)
+	defer collectTimer.Stop()
+	for len(need) > 0 {
+		select {
+		case wi := <-r.outputCh:
+			delete(need, wi)
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-collectTimer.C:
+			if time.Now().After(deadline) {
+				return nil, fmt.Errorf("dist: output collection exceeded %v: %w", c.cfg.Timeout, ErrTimeout)
+			}
+			r.mu.Lock()
+			var broken error
+			for _, w := range ws {
+				if w.alive && need[w.index] && w.connErr != nil {
+					broken = fmt.Errorf("dist: worker %d died after quiescence: %v: %w", w.index, w.connErr, ErrWorkerLost)
+				}
+			}
+			r.mu.Unlock()
+			if broken != nil {
+				return nil, broken
+			}
+			collectTimer.Reset(c.cfg.WavePoll)
+		}
+	}
+
 	res := &Result{Output: relation.Store{}}
 	for pred, ar := range c.arities {
 		res.Output.Get(pred, ar)
 	}
-	for _, p := range peers {
-		if err := p.enc.Encode(ctrlMsg{Kind: kindFinish}); err != nil {
-			return nil, fmt.Errorf("dist: finish: %w", err)
+	r.mu.Lock()
+	res.Deaths = append(res.Deaths, r.deaths...)
+	res.Recoveries = append(res.Recoveries, r.recoveries...)
+	for _, w := range ws {
+		if w.output == nil {
+			continue
 		}
-		var out ctrlMsg
-		if err := p.dec.Decode(&out); err != nil {
-			return nil, fmt.Errorf("dist: output: %w", err)
-		}
-		if out.Kind != kindOutput {
-			return nil, fmt.Errorf("dist: unexpected output kind %d", out.Kind)
-		}
-		for pred, tuples := range out.Output {
+		for pred, tuples := range w.output.Output {
+			if len(tuples) == 0 {
+				continue
+			}
 			ar := len(tuples[0])
 			if want, ok := c.arities[pred]; ok {
 				ar = want
@@ -252,8 +757,33 @@ func (c *Coordinator) Wait() (*Result, error) {
 				dst.Insert(t)
 			}
 		}
-		res.Stats = append(res.Stats, out.Stats)
+		res.Stats = append(res.Stats, w.output.Stats...)
 	}
+	r.mu.Unlock()
+	sort.Slice(res.Stats, func(i, j int) bool { return res.Stats[i].Proc < res.Stats[j].Proc })
 	res.Wall = time.Since(start)
 	return res, nil
+}
+
+// readLoop decodes one worker's inbound stream and dispatches it.
+func (c *Coordinator) readLoop(r *router, w *wkState) {
+	for {
+		var m wireMsg
+		if err := w.dec.Decode(&m); err != nil {
+			r.connBroken(w, err)
+			return
+		}
+		switch m.Kind {
+		case kindStatusReply:
+			r.noteStatus(w, m)
+		case kindData:
+			r.route(w, m)
+		case kindOutput:
+			r.noteOutput(w, m)
+			return
+		default:
+			r.connBroken(w, fmt.Errorf("unexpected message kind %d", m.Kind))
+			return
+		}
+	}
 }

@@ -2,6 +2,7 @@ package dist
 
 import (
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"math/rand"
 	"net"
@@ -242,8 +243,12 @@ func TestCoordinatorTimeout(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := coord.Wait(); err == nil {
+	_, err = coord.Wait()
+	if err == nil {
 		t.Error("coordinator did not time out")
+	}
+	if !errors.Is(err, ErrTimeout) {
+		t.Errorf("timeout error is not ErrTimeout: %v", err)
 	}
 }
 
@@ -272,7 +277,8 @@ func TestWorkerBadCoordinator(t *testing.T) {
 		t.Fatal(err)
 	}
 	node := parallel.NewNode(p, 0, global)
-	if err := RunWorker("127.0.0.1:1", "127.0.0.1:0", node); err == nil {
+	cfg := WorkerConfig{MaxRetries: 2, RetryBase: time.Millisecond}
+	if err := RunWorker("127.0.0.1:1", node, cfg); err == nil {
 		t.Error("dialing a dead coordinator succeeded")
 	}
 }
@@ -292,7 +298,7 @@ func TestCoordinatorRejectsBadJoin(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer conn.Close()
-	if err := gob.NewEncoder(conn).Encode(ctrlMsg{Kind: kindJoin, Index: 99}); err != nil {
+	if err := gob.NewEncoder(conn).Encode(wireMsg{Kind: kindJoin, Index: 99}); err != nil {
 		t.Fatal(err)
 	}
 	if err := <-done; err == nil {

@@ -1,0 +1,169 @@
+// Package fault is a deterministic fault-injection layer for the TCP
+// runtime: net.Conn and net.Listener wrappers that drop dial attempts,
+// delay writes, or kill connections on a seeded schedule. Because faults
+// fire on logical events (the n-th dial, the n-th write of the n-th
+// connection) rather than on wall-clock timers or real process kills, a
+// recovery scenario is reproducible under the race detector with nothing
+// but an Injector plugged into the runtime's dial hook.
+package fault
+
+import (
+	"errors"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrInjected is the error every injected failure wraps, so tests can
+// distinguish scheduled faults from genuine network errors.
+var ErrInjected = errors.New("fault: injected failure")
+
+// Schedule is a deterministic fault plan. Ordinals are 1-based and count
+// events per Injector in order of occurrence: with a fixed schedule and a
+// deterministic sequence of Dial/Accept calls, the same faults fire at the
+// same logical points every run. The zero value injects nothing.
+type Schedule struct {
+	// Seed drives the jittered component of write delays. Two injectors
+	// with equal schedules produce identical delay sequences.
+	Seed int64
+	// FailDials fails the first FailDials Dial calls with ErrInjected
+	// before letting one through (exercises connect retry).
+	FailDials int
+	// KillConn is the 1-based ordinal of the wrapped connection to kill;
+	// 0 kills none. The connection dies after KillAfterWrites successful
+	// Write calls: the next write closes the underlying connection and
+	// returns ErrInjected, so the peer sees a reset mid-stream.
+	KillConn int
+	// KillAfterWrites is the number of writes the killed connection is
+	// allowed before it dies. 0 kills on the first write.
+	KillAfterWrites int
+	// Delay is added to every Write on every wrapped connection.
+	Delay time.Duration
+	// Jitter adds a seeded-uniform extra delay in [0, Jitter) per write.
+	Jitter time.Duration
+}
+
+// Injector applies a Schedule to the connections it wraps. Safe for
+// concurrent use; all counters are internally synchronized.
+type Injector struct {
+	mu    sync.Mutex
+	sched Schedule
+	rng   *rand.Rand
+	dials int
+	conns int
+}
+
+// New returns an injector for the given schedule.
+func New(sched Schedule) *Injector {
+	return &Injector{sched: sched, rng: rand.New(rand.NewSource(sched.Seed))}
+}
+
+// Dial counts a dial attempt, failing it if the schedule says so, and
+// otherwise dials for real and wraps the resulting connection. Its
+// signature matches the runtime's dial hook.
+func (in *Injector) Dial(network, address string) (net.Conn, error) {
+	in.mu.Lock()
+	in.dials++
+	fail := in.dials <= in.sched.FailDials
+	in.mu.Unlock()
+	if fail {
+		return nil, ErrInjected
+	}
+	c, err := net.Dial(network, address)
+	if err != nil {
+		return nil, err
+	}
+	return in.Wrap(c), nil
+}
+
+// Wrap returns c under the injector's schedule. The wrapped connection is
+// assigned the next connection ordinal.
+func (in *Injector) Wrap(c net.Conn) net.Conn {
+	in.mu.Lock()
+	in.conns++
+	id := in.conns
+	in.mu.Unlock()
+	return &conn{Conn: c, in: in, id: id}
+}
+
+// Listener wraps ln so every accepted connection is scheduled, for
+// injecting faults on the accepting side.
+func (in *Injector) Listener(ln net.Listener) net.Listener {
+	return &listener{Listener: ln, in: in}
+}
+
+// Dials reports how many Dial calls the injector has seen.
+func (in *Injector) Dials() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.dials
+}
+
+// delay computes the next write delay (base + seeded jitter).
+func (in *Injector) delay() time.Duration {
+	d := in.sched.Delay
+	if in.sched.Jitter > 0 {
+		in.mu.Lock()
+		d += time.Duration(in.rng.Int63n(int64(in.sched.Jitter)))
+		in.mu.Unlock()
+	}
+	return d
+}
+
+type listener struct {
+	net.Listener
+	in *Injector
+}
+
+func (l *listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return l.in.Wrap(c), nil
+}
+
+// conn injects the schedule's write faults over an underlying connection.
+type conn struct {
+	net.Conn
+	in *Injector
+	id int
+
+	mu     sync.Mutex
+	writes int
+	killed bool
+}
+
+func (c *conn) Write(p []byte) (int, error) {
+	if d := c.in.delay(); d > 0 {
+		time.Sleep(d)
+	}
+	c.mu.Lock()
+	if c.killed {
+		c.mu.Unlock()
+		return 0, ErrInjected
+	}
+	s := c.in.sched
+	if s.KillConn == c.id && c.writes >= s.KillAfterWrites {
+		c.killed = true
+		c.mu.Unlock()
+		// Close the underlying conn so the peer observes the failure
+		// mid-stream, exactly like a crashed process.
+		c.Conn.Close()
+		return 0, ErrInjected
+	}
+	c.writes++
+	c.mu.Unlock()
+	return c.Conn.Write(p)
+}
+
+func (c *conn) Read(p []byte) (int, error) {
+	c.mu.Lock()
+	killed := c.killed
+	c.mu.Unlock()
+	if killed {
+		return 0, ErrInjected
+	}
+	return c.Conn.Read(p)
+}

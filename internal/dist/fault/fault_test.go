@@ -1,0 +1,166 @@
+package fault
+
+import (
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// pipe returns a connected TCP pair over loopback (net.Pipe lacks
+// deadlines and buffers, so use the real stack like the runtime does).
+func pipe(t *testing.T) (client, server net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		server, err = ln.Accept()
+	}()
+	client, derr := net.Dial("tcp", ln.Addr().String())
+	wg.Wait()
+	if derr != nil || err != nil {
+		t.Fatalf("pipe: %v / %v", derr, err)
+	}
+	t.Cleanup(func() { client.Close(); server.Close() })
+	return client, server
+}
+
+func TestDialFailuresThenSuccess(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			c.Close()
+		}
+	}()
+
+	in := New(Schedule{FailDials: 2})
+	for i := 0; i < 2; i++ {
+		if _, err := in.Dial("tcp", ln.Addr().String()); !errors.Is(err, ErrInjected) {
+			t.Fatalf("dial %d: want ErrInjected, got %v", i, err)
+		}
+	}
+	c, err := in.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatalf("third dial should succeed: %v", err)
+	}
+	c.Close()
+	if in.Dials() != 3 {
+		t.Errorf("Dials() = %d, want 3", in.Dials())
+	}
+}
+
+func TestKillAfterWrites(t *testing.T) {
+	client, server := pipe(t)
+	in := New(Schedule{KillConn: 1, KillAfterWrites: 3})
+	c := in.Wrap(client)
+
+	for i := 0; i < 3; i++ {
+		if _, err := c.Write([]byte{byte(i)}); err != nil {
+			t.Fatalf("write %d should pass: %v", i, err)
+		}
+	}
+	if _, err := c.Write([]byte{9}); !errors.Is(err, ErrInjected) {
+		t.Fatalf("4th write: want ErrInjected, got %v", err)
+	}
+	// The peer must observe the death: reads hit EOF/reset once the three
+	// good bytes are consumed.
+	buf := make([]byte, 8)
+	total := 0
+	server.SetReadDeadline(time.Now().Add(2 * time.Second))
+	for {
+		n, err := server.Read(buf)
+		total += n
+		if err != nil {
+			if err == io.EOF && total == 3 {
+				break // clean close after exactly the allowed writes
+			}
+			if total == 3 {
+				break // reset is fine too
+			}
+			t.Fatalf("peer read: %v after %d bytes", err, total)
+		}
+	}
+	// Further use of the killed conn keeps failing.
+	if _, err := c.Read(buf); !errors.Is(err, ErrInjected) {
+		t.Errorf("read on killed conn: want ErrInjected, got %v", err)
+	}
+}
+
+func TestSecondConnUnaffected(t *testing.T) {
+	c1a, _ := pipe(t)
+	c2a, c2b := pipe(t)
+	in := New(Schedule{KillConn: 1, KillAfterWrites: 0})
+	k := in.Wrap(c1a)
+	ok := in.Wrap(c2a)
+	if _, err := k.Write([]byte{1}); !errors.Is(err, ErrInjected) {
+		t.Fatalf("conn 1 should die immediately, got %v", err)
+	}
+	if _, err := ok.Write([]byte{2}); err != nil {
+		t.Fatalf("conn 2 should live: %v", err)
+	}
+	buf := make([]byte, 1)
+	c2b.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := c2b.Read(buf); err != nil || buf[0] != 2 {
+		t.Fatalf("conn 2 payload: %v %v", buf[0], err)
+	}
+}
+
+func TestDeterministicJitter(t *testing.T) {
+	seq := func() []time.Duration {
+		in := New(Schedule{Seed: 42, Jitter: time.Millisecond})
+		var out []time.Duration
+		for i := 0; i < 5; i++ {
+			out = append(out, in.delay())
+		}
+		return out
+	}
+	a, b := seq(), seq()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("jitter not deterministic at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestListenerWraps(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := New(Schedule{KillConn: 1, KillAfterWrites: 0})
+	wln := in.Listener(ln)
+	defer wln.Close()
+	go func() {
+		c, err := net.Dial("tcp", ln.Addr().String())
+		if err == nil {
+			defer c.Close()
+			buf := make([]byte, 1)
+			c.SetReadDeadline(time.Now().Add(2 * time.Second))
+			c.Read(buf)
+		}
+	}()
+	c, err := wln.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Write([]byte{1}); !errors.Is(err, ErrInjected) {
+		t.Fatalf("accepted conn should be scheduled: %v", err)
+	}
+}

@@ -10,13 +10,17 @@ import (
 // Run executes the compiled program with one TCP worker per processor, all
 // within this process but communicating exclusively over loopback sockets —
 // no memory is shared between processors. It is the drop-in distributed
-// counterpart of parallel.Run.
+// counterpart of parallel.Run. Every worker gets a node factory so the
+// coordinator can reassign a dead worker's bucket to any survivor, and
+// cfg.WorkerDial (when set) threads a fault injector under each worker's
+// connection.
 func Run(p *parallel.Program, edb relation.Store, cfg Config) (*Result, error) {
 	global, err := parallel.PrepareEDB(p, edb)
 	if err != nil {
 		return nil, err
 	}
 	cfg.Workers = p.Procs.Len()
+	cfg.ProcIDs = p.Procs.IDs()
 	coord, err := NewCoordinator(cfg, p.IDB)
 	if err != nil {
 		return nil, err
@@ -25,12 +29,29 @@ func Run(p *parallel.Program, edb relation.Store, cfg Config) (*Result, error) {
 	if cfg.Sink != nil {
 		cfg.Sink.RunStart("dist", p.Procs.IDs())
 	}
-	errs := make(chan error, cfg.Workers)
+	newNode := func(bucket int) *parallel.Node {
+		n := parallel.NewNode(p, bucket, global)
+		n.SetSink(cfg.Sink)
+		return n
+	}
+	type werr struct {
+		wi  int
+		err error
+	}
+	errs := make(chan werr, cfg.Workers)
 	for wi := 0; wi < cfg.Workers; wi++ {
-		node := parallel.NewNode(p, wi, global)
-		node.SetSink(cfg.Sink)
+		wi := wi
+		wcfg := WorkerConfig{
+			Ctx:        cfg.Ctx,
+			NewNode:    newNode,
+			MaxRetries: cfg.MaxRetries,
+			RetryBase:  cfg.RetryBase,
+		}
+		if cfg.WorkerDial != nil {
+			wcfg.Dial = cfg.WorkerDial(wi)
+		}
 		go func() {
-			errs <- RunWorker(coord.Addr(), "127.0.0.1:0", node)
+			errs <- werr{wi, RunWorker(coord.Addr(), newNode(wi), wcfg)}
 		}()
 	}
 
@@ -38,9 +59,15 @@ func Run(p *parallel.Program, edb relation.Store, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	// A worker the coordinator declared dead is expected to fail — its
+	// bucket was recovered elsewhere. Any other failure is real.
+	dead := make(map[int]bool, len(res.Deaths))
+	for _, wi := range res.Deaths {
+		dead[wi] = true
+	}
 	for i := 0; i < cfg.Workers; i++ {
-		if werr := <-errs; werr != nil {
-			return nil, fmt.Errorf("dist: worker failed: %w", werr)
+		if w := <-errs; w.err != nil && !dead[w.wi] {
+			return nil, fmt.Errorf("dist: worker %d failed: %w", w.wi, w.err)
 		}
 	}
 	if cfg.Sink != nil {

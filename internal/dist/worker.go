@@ -1,9 +1,12 @@
 package dist
 
 import (
+	"context"
 	"encoding/gob"
 	"fmt"
+	"math/rand"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -13,228 +16,322 @@ import (
 	"parlog/internal/relation"
 )
 
-// dmailbox is the worker's unbounded inbox for data batches.
-type dmailbox struct {
-	mu     sync.Mutex
-	msgs   []dataMsg
-	notify chan struct{}
+// DialFunc is the worker's dial hook — net.Dial's signature, so a
+// fault.Injector (or any proxy) can stand in for the real stack.
+type DialFunc func(network, address string) (net.Conn, error)
+
+// WorkerConfig carries a worker's runtime knobs. The zero value works: real
+// dialing, background context, default retry policy, no adoption.
+type WorkerConfig struct {
+	// Ctx, when non-nil, cancels the worker: the connection is closed and
+	// RunWorker returns promptly from any blocking point.
+	Ctx context.Context
+	// NewNode builds the node for a bucket this worker is told to adopt
+	// during recovery: it must return a freshly initialized node holding
+	// the bucket's EDB fragment (NewNode(prog, bucket, globalEDB)). A
+	// worker with a nil factory fails if asked to adopt — acceptable for
+	// deployments that rule out recovery, required otherwise.
+	NewNode func(bucket int) *parallel.Node
+	// Dial replaces net.Dial for the coordinator connection (fault
+	// injection, proxies). Nil means net.Dial.
+	Dial DialFunc
+	// MaxRetries bounds connect attempts (default 5).
+	MaxRetries int
+	// RetryBase is the first backoff step (default 5ms); backoff doubles
+	// per attempt, capped at 1s, with uniform jitter in [b/2, b).
+	RetryBase time.Duration
 }
 
-func newDMailbox() *dmailbox { return &dmailbox{notify: make(chan struct{}, 1)} }
-
-func (m *dmailbox) push(msg dataMsg) {
-	m.mu.Lock()
-	m.msgs = append(m.msgs, msg)
-	m.mu.Unlock()
-	select {
-	case m.notify <- struct{}{}:
-	default:
+func (c *WorkerConfig) fill() {
+	if c.Ctx == nil {
+		c.Ctx = context.Background()
+	}
+	if c.Dial == nil {
+		c.Dial = net.Dial
+	}
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = 5
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = 5 * time.Millisecond
 	}
 }
 
-func (m *dmailbox) takeAll() []dataMsg {
-	m.mu.Lock()
-	out := m.msgs
-	m.msgs = nil
-	m.mu.Unlock()
-	return out
+// failure latches the first error any worker goroutine hits and signals the
+// others. err is published before ch closes, so readers that wait on ch see
+// it without further synchronization.
+type failure struct {
+	once sync.Once
+	err  error
+	ch   chan struct{}
 }
 
-// RunWorker executes one processor's node against a coordinator: join,
-// receive the peer map, evaluate until the coordinator establishes global
-// quiescence, then ship outputs and statistics. dataAddr is the address to
-// accept peer connections on ("127.0.0.1:0" picks a free port). Blocking;
-// returns after the coordinator has collected this worker's output.
-func RunWorker(coordAddr, dataAddr string, node *parallel.Node) error {
-	ctrl, err := net.Dial("tcp", coordAddr)
+func newFailure() *failure { return &failure{ch: make(chan struct{})} }
+
+func (f *failure) fail(err error) {
+	f.once.Do(func() {
+		f.err = err
+		close(f.ch)
+	})
+}
+
+// dialRetry dials with exponential backoff and jitter, honoring ctx between
+// attempts. The jitter is seeded per call — connect storms after a
+// coordinator restart spread out instead of synchronizing.
+func dialRetry(ctx context.Context, dial DialFunc, addr string, retries int, base time.Duration) (net.Conn, error) {
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	backoff := base
+	var lastErr error
+	for i := 0; i < retries; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		conn, err := dial("tcp", addr)
+		if err == nil {
+			return conn, nil
+		}
+		lastErr = err
+		if i == retries-1 {
+			break
+		}
+		sleep := backoff/2 + time.Duration(rng.Int63n(int64(backoff/2)+1))
+		select {
+		case <-time.After(sleep):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		if backoff *= 2; backoff > time.Second {
+			backoff = time.Second
+		}
+	}
+	return nil, fmt.Errorf("dist: dialing coordinator after %d attempts: %w", retries, lastErr)
+}
+
+// RunWorker executes one processor's node against a coordinator: connect
+// (with retry), join, evaluate until the coordinator establishes global
+// quiescence, then ship outputs and statistics. All traffic — control,
+// heartbeats and data batches — flows over the single coordinator
+// connection (star topology), which is what lets the coordinator log every
+// batch for replay. If the coordinator reassigns a dead peer's bucket here,
+// the worker builds a second node via cfg.NewNode and hosts both; outputs
+// and stats are then reported per bucket. Blocking; returns after the
+// coordinator has collected this worker's output, or with an error if the
+// connection breaks mid-run (the coordinator then recovers this worker's
+// buckets elsewhere).
+func RunWorker(coordAddr string, node *parallel.Node, cfg WorkerConfig) error {
+	cfg.fill()
+	ctx := cfg.Ctx
+
+	conn, err := dialRetry(ctx, cfg.Dial, coordAddr, cfg.MaxRetries, cfg.RetryBase)
 	if err != nil {
-		return fmt.Errorf("dist: dialing coordinator: %w", err)
+		return err
 	}
-	defer ctrl.Close()
-	enc := gob.NewEncoder(ctrl)
-	dec := gob.NewDecoder(ctrl)
+	defer conn.Close()
+	stopWatch := context.AfterFunc(ctx, func() { conn.Close() })
+	defer stopWatch()
 
-	dataLn, err := net.Listen("tcp", dataAddr)
-	if err != nil {
-		return fmt.Errorf("dist: data listener: %w", err)
-	}
-	defer dataLn.Close()
-
-	if err := enc.Encode(ctrlMsg{
-		Kind:     kindJoin,
-		Index:    node.Index(),
-		DataAddr: dataLn.Addr().String(),
-	}); err != nil {
-		return fmt.Errorf("dist: join: %w", err)
-	}
-	var start ctrlMsg
-	if err := dec.Decode(&start); err != nil {
-		return fmt.Errorf("dist: waiting for start: %w", err)
-	}
-	if start.Kind != kindStart {
-		return fmt.Errorf("dist: expected start, got kind %d", start.Kind)
-	}
-
-	// Shared state between the control responder (this goroutine), the data
-	// acceptor goroutines and the evaluation loop. The counters follow the
-	// four-counter contract: sent is incremented before the batch reaches
-	// the wire; idle is cleared before received is incremented.
 	var (
+		f          = newFailure()
+		wq         = newQueue() // outbound wire messages, serialized by the writer
+		mbox       = newQueue() // inbound data/adopt/finish, drained by the eval loop
+		started    = make(chan struct{})
+		writerDone = make(chan struct{})
+		// The termination counters: sent is incremented before a batch is
+		// enqueued for the wire; recv counts data batches fully merged;
+		// idle flips only at the eval loop's rest points. The status
+		// responder reads recv, then idle, then sent — sent last, so a
+		// reply can never understate in-flight sends relative to the
+		// idleness it reports (that ordering is what makes the
+		// coordinator's quiescence check sound).
 		sent, recv atomic.Int64
 		idle       atomic.Bool
-		mbox       = newDMailbox()
-		quit       = make(chan struct{})
-		loopDone   = make(chan struct{})
 	)
 
-	// Data plane: accept peer connections, stream batches into the mailbox.
+	// Writer: the only goroutine touching the encoder.
 	go func() {
+		defer close(writerDone)
+		enc := gob.NewEncoder(conn)
 		for {
-			conn, err := dataLn.Accept()
-			if err != nil {
-				return // listener closed at shutdown
+			m, ok := wq.pop()
+			if !ok {
+				return
 			}
-			go func() {
-				defer conn.Close()
-				d := gob.NewDecoder(conn)
-				for {
-					var m dataMsg
-					if err := d.Decode(&m); err != nil {
-						return
-					}
-					mbox.push(m)
+			if err := enc.Encode(m); err != nil {
+				f.fail(fmt.Errorf("dist: coordinator connection: %w", err))
+				return
+			}
+		}
+	}()
+	wq.push(wireMsg{Kind: kindJoin, Index: node.Index()})
+
+	// Reader: decodes the coordinator's stream. Status probes are answered
+	// here, straight from the counters, so heartbeats keep flowing while
+	// the eval loop is deep in a long drain.
+	go func() {
+		dec := gob.NewDecoder(conn)
+		startSeen := false
+		for {
+			var m wireMsg
+			if err := dec.Decode(&m); err != nil {
+				f.fail(fmt.Errorf("dist: coordinator connection: %w", err))
+				return
+			}
+			switch m.Kind {
+			case kindStart:
+				if !startSeen {
+					startSeen = true
+					close(started)
 				}
-			}()
+			case kindStatus:
+				r := recv.Load()
+				i := idle.Load()
+				s := sent.Load()
+				wq.push(wireMsg{Kind: kindStatusReply, Probe: m.Probe, Sent: s, Recv: r, Idle: i})
+			case kindData, kindAdopt, kindFinish:
+				mbox.push(m)
+			default:
+				f.fail(fmt.Errorf("dist: unexpected message kind %d", m.Kind))
+				return
+			}
 		}
 	}()
 
-	// Evaluation loop: drives the node exactly like the in-process
-	// transport, but batches travel over TCP.
-	var evalErr error
-	go func() {
-		defer close(loopDone)
+	fin := func(err error) error {
+		wq.close()
+		<-writerDone
+		return err
+	}
 
-		outConns := make([]*gob.Encoder, len(start.Peers))
-		rawConns := make([]net.Conn, len(start.Peers))
-		defer func() {
-			for _, c := range rawConns {
-				if c != nil {
-					c.Close()
-				}
-			}
-		}()
-		emit := func(dest int, pred string, tuples []relation.Tuple) {
-			if evalErr != nil {
-				return
-			}
-			if outConns[dest] == nil {
-				conn, err := net.Dial("tcp", start.Peers[dest])
-				if err != nil {
-					evalErr = fmt.Errorf("dist: dialing peer %d: %w", dest, err)
-					return
-				}
-				rawConns[dest] = conn
-				outConns[dest] = gob.NewEncoder(conn)
-			}
+	select {
+	case <-started:
+	case <-f.ch:
+		return fin(f.err)
+	case <-ctx.Done():
+		return fin(ctx.Err())
+	}
+
+	// Eval loop (this goroutine). nodes maps hosted buckets to their state
+	// machines: the worker's own bucket plus any adopted during recovery.
+	nodes := map[int]*parallel.Node{node.Index(): node}
+	mkEmit := func(n *parallel.Node) parallel.EmitFunc {
+		return func(dest int, pred string, tuples []relation.Tuple) {
 			ts := make([][]ast.Value, len(tuples))
 			for i, t := range tuples {
 				ts[i] = t
 			}
-			node.RecordSent(len(tuples))
-			if sink := node.Sink(); sink != nil {
-				sink.MessageSent(node.Proc(), node.PeerProc(dest), pred, len(tuples))
+			n.RecordSent(len(tuples))
+			if sink := n.Sink(); sink != nil {
+				sink.MessageSent(n.Proc(), n.PeerProc(dest), pred, len(tuples))
 			}
 			sent.Add(1) // before the batch can reach the wire
-			if err := outConns[dest].Encode(dataMsg{From: node.Index(), Pred: pred, Tuples: ts}); err != nil {
-				evalErr = fmt.Errorf("dist: sending to peer %d: %w", dest, err)
+			wq.push(wireMsg{Kind: kindData, Bucket: dest, From: n.Index(), Pred: pred, Tuples: ts})
+		}
+	}
+
+	sink := node.Sink()
+	if sink != nil {
+		sink.WorkerBusy(node.Proc())
+	}
+	begin := time.Now()
+	node.Init(mkEmit(node))
+	node.RecordBusy(time.Since(begin))
+	if sink != nil {
+		sink.WorkerIdle(node.Proc())
+	}
+	idle.Store(true)
+
+	for {
+		msgs := mbox.takeAll()
+		if len(msgs) == 0 {
+			select {
+			case <-mbox.notify:
+				continue
+			case <-f.ch:
+				return fin(f.err)
+			case <-ctx.Done():
+				return fin(ctx.Err())
 			}
 		}
 
-		sink := node.Sink()
+		idle.Store(false)
 		if sink != nil {
 			sink.WorkerBusy(node.Proc())
 		}
-		begin := time.Now()
-		node.Init(emit)
-		node.RecordBusy(time.Since(begin))
-		if sink != nil {
-			sink.WorkerIdle(node.Proc())
-		}
-		idle.Store(true)
-		for {
-			select {
-			case <-mbox.notify:
-				idle.Store(false)
-				if sink != nil {
-					sink.WorkerBusy(node.Proc())
-				}
-				begin = time.Now()
-				for _, m := range mbox.takeAll() {
-					recv.Add(1)
+		begin = time.Now()
+		finish := false
+		touched := map[int]bool{}
+		for _, m := range msgs {
+			switch m.Kind {
+			case kindData:
+				// recv counts the batch even when its bucket is hosted
+				// elsewhere (a stale message for a recovered bucket can
+				// never reach here — the coordinator routes by current
+				// owner — but defensiveness costs nothing), keeping the
+				// coordinator's delivered/recv ledger balanced.
+				if n := nodes[m.Bucket]; n != nil {
 					tuples := make([]relation.Tuple, len(m.Tuples))
 					for i, t := range m.Tuples {
 						tuples[i] = t
 					}
-					node.Accept(m.From, m.Pred, tuples)
+					n.Accept(m.From, m.Pred, tuples)
+					touched[m.Bucket] = true
 				}
-				node.Drain(emit)
-				node.RecordBusy(time.Since(begin))
-				if sink != nil {
-					sink.WorkerIdle(node.Proc())
+				recv.Add(1)
+			case kindAdopt:
+				if cfg.NewNode == nil {
+					return fin(fmt.Errorf("dist: asked to adopt bucket %d but no node factory configured", m.Bucket))
 				}
-				idle.Store(true)
-			case <-quit:
-				return
+				n := cfg.NewNode(m.Bucket)
+				nodes[m.Bucket] = n
+				// Init replays the bucket's initialization step: the EDB
+				// fragment is rebuilt locally and its initial derivations
+				// re-sent (receivers drop what they already hold).
+				nb := time.Now()
+				n.Init(mkEmit(n))
+				n.RecordBusy(time.Since(nb))
+			case kindFinish:
+				finish = true
 			}
 		}
-	}()
+		buckets := make([]int, 0, len(touched))
+		for b := range touched {
+			buckets = append(buckets, b)
+		}
+		sort.Ints(buckets)
+		for _, b := range buckets {
+			n := nodes[b]
+			nb := time.Now()
+			n.Drain(mkEmit(n))
+			n.RecordBusy(time.Since(nb))
+		}
+		if sink != nil {
+			sink.WorkerIdle(node.Proc())
+		}
 
-	// Control plane: answer detection waves until the coordinator declares
-	// quiescence and asks for the output.
-	for {
-		var msg ctrlMsg
-		if err := dec.Decode(&msg); err != nil {
-			close(quit)
-			<-loopDone
-			return fmt.Errorf("dist: control channel: %w", err)
-		}
-		switch msg.Kind {
-		case kindStatus:
-			if err := enc.Encode(ctrlMsg{
-				Kind: kindStatusReply,
-				Sent: sent.Load(),
-				Recv: recv.Load(),
-				Idle: idle.Load(),
-			}); err != nil {
-				close(quit)
-				<-loopDone
-				return fmt.Errorf("dist: status reply: %w", err)
+		if finish {
+			out := wireMsg{Kind: kindOutput, Index: node.Index(), Output: map[string][][]ast.Value{}}
+			hosted := make([]int, 0, len(nodes))
+			for b := range nodes {
+				hosted = append(hosted, b)
 			}
-		case kindFinish:
-			close(quit)
-			<-loopDone
-			if evalErr != nil {
-				return evalErr
-			}
-			out := ctrlMsg{Kind: kindOutput, Output: map[string][][]ast.Value{}, Stats: node.Stats()}
-			for pred, rel := range node.Outputs() {
-				if rel.Len() == 0 {
-					continue
+			sort.Ints(hosted)
+			for _, b := range hosted {
+				n := nodes[b]
+				for pred, rel := range n.Outputs() {
+					if rel.Len() == 0 {
+						continue
+					}
+					ts := out.Output[pred]
+					for _, t := range rel.Rows() {
+						ts = append(ts, t)
+					}
+					out.Output[pred] = ts
 				}
-				ts := make([][]ast.Value, rel.Len())
-				for i, t := range rel.Rows() {
-					ts[i] = t
-				}
-				out.Output[pred] = ts
+				out.Stats = append(out.Stats, n.Stats())
 			}
-			if err := enc.Encode(out); err != nil {
-				return fmt.Errorf("dist: output: %w", err)
-			}
-			return nil
-		default:
-			close(quit)
-			<-loopDone
-			return fmt.Errorf("dist: unexpected control kind %d", msg.Kind)
+			wq.push(out)
+			return fin(nil)
 		}
+		idle.Store(true)
 	}
 }

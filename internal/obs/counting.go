@@ -25,15 +25,26 @@ type Counting struct {
 	wallNs atomic.Int64
 	runs   atomic.Int64
 	probes atomic.Int64
+
+	// Fault-tolerance counters (distributed engine only).
+	heartbeatMisses atomic.Int64
+	workerDeaths    atomic.Int64
+	reassigned      atomic.Int64
+	replayedMsgs    atomic.Int64
 }
 
 // procShard holds one processor's counters. All fields after proc are
 // written only by that processor's goroutine (or via atomics), never by
 // its peers, except edge rows which are written by the *sending* side —
-// still a single writer per cell in every engine.
+// still a single writer per cell in every engine. The one exception is
+// iters: during distributed bucket recovery a not-yet-unwound zombie
+// worker and the survivor replaying its bucket drive nodes with the same
+// processor id concurrently, so the append takes a short mutex (once per
+// local iteration — off the per-tuple hot path).
 type procShard struct {
 	proc        int
-	iters       []IterationDelta // single writer: the owning proc
+	itersMu     sync.Mutex
+	iters       []IterationDelta
 	firings     atomic.Int64
 	dupFirings  atomic.Int64
 	sentTuples  atomic.Int64
@@ -95,7 +106,9 @@ func (c *Counting) IterationStart(proc, iter int) {}
 
 func (c *Counting) IterationEnd(proc, iter, delta int) {
 	if s := c.shard(proc); s != nil {
+		s.itersMu.Lock()
 		s.iters = append(s.iters, IterationDelta{Iter: iter, Delta: delta})
+		s.itersMu.Unlock()
 	}
 }
 
@@ -154,6 +167,18 @@ func (c *Counting) TermProbe(detector string, probe int, quiesced bool) {
 	c.probes.Add(1)
 }
 
+func (c *Counting) HeartbeatMiss(proc, misses int) { c.heartbeatMisses.Add(1) }
+
+func (c *Counting) WorkerDead(proc int, reason string) { c.workerDeaths.Add(1) }
+
+func (c *Counting) BucketReassigned(bucket, fromProc, toProc int) { c.reassigned.Add(1) }
+
+func (c *Counting) ReplayStart(bucket, toProc int) {}
+
+func (c *Counting) ReplayEnd(bucket, toProc, messages int) {
+	c.replayedMsgs.Add(int64(messages))
+}
+
 func (c *Counting) RunEnd(wall time.Duration) {
 	c.wallNs.Add(int64(wall))
 	c.mu.Lock()
@@ -180,6 +205,14 @@ type Metrics struct {
 	WallNs int64 `json:"wall_ns"`
 	// TermProbes counts termination-detector probes.
 	TermProbes int64 `json:"term_probes"`
+	// HeartbeatMisses counts heartbeat-miss events (distributed engine).
+	HeartbeatMisses int64 `json:"heartbeat_misses,omitempty"`
+	// WorkerDeaths counts workers the coordinator declared dead.
+	WorkerDeaths int64 `json:"worker_deaths,omitempty"`
+	// BucketsReassigned counts hash buckets moved to a survivor.
+	BucketsReassigned int64 `json:"buckets_reassigned,omitempty"`
+	// ReplayedMessages counts logged batches replayed during recovery.
+	ReplayedMessages int64 `json:"replayed_messages,omitempty"`
 	// Procs holds per-processor counters in registration order.
 	Procs []ProcMetrics `json:"procs"`
 	// Edges holds one entry per channel that carried at least one
@@ -228,15 +261,22 @@ func (c *Counting) Snapshot() *Metrics {
 		Engine:     c.engine,
 		Runs:       c.runs.Load(),
 		WallNs:     c.wallNs.Load(),
-		TermProbes: c.probes.Load(),
+		TermProbes:        c.probes.Load(),
+		HeartbeatMisses:   c.heartbeatMisses.Load(),
+		WorkerDeaths:      c.workerDeaths.Load(),
+		BucketsReassigned: c.reassigned.Load(),
+		ReplayedMessages:  c.replayedMsgs.Load(),
 		// Non-nil so a communication-free run still serializes as
 		// "edges": [] — consumers get a stable document shape.
 		Edges: []EdgeMetrics{},
 	}
 	for _, s := range c.shards {
+		s.itersMu.Lock()
+		iters := append([]IterationDelta(nil), s.iters...)
+		s.itersMu.Unlock()
 		pm := ProcMetrics{
 			Proc:           s.proc,
-			Iterations:     append([]IterationDelta(nil), s.iters...),
+			Iterations:     iters,
 			Firings:        s.firings.Load(),
 			DupFirings:     s.dupFirings.Load(),
 			TuplesSent:     s.sentTuples.Load(),

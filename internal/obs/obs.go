@@ -50,6 +50,21 @@ type EventSink interface {
 	// detector name, a probe sequence number (-1 for a final summary
 	// probe), and whether the system was found quiescent.
 	TermProbe(detector string, probe int, quiesced bool)
+	// HeartbeatMiss reports that processor proc has been silent for
+	// misses consecutive heartbeat intervals without yet being declared
+	// dead (distributed engine only).
+	HeartbeatMiss(proc, misses int)
+	// WorkerDead reports the coordinator declaring processor proc dead
+	// (connection lost or liveness deadline exceeded).
+	WorkerDead(proc int, reason string)
+	// BucketReassigned reports hash bucket bucket moving from dead
+	// processor fromProc to surviving processor toProc.
+	BucketReassigned(bucket, fromProc, toProc int)
+	// ReplayStart and ReplayEnd bracket the replay of a reassigned
+	// bucket's message log to its new owner; messages is the number of
+	// logged batches replayed.
+	ReplayStart(bucket, toProc int)
+	ReplayEnd(bucket, toProc, messages int)
 	// RunEnd closes the run opened by the matching RunStart.
 	RunEnd(wall time.Duration)
 }
@@ -129,6 +144,36 @@ func (f *fanout) WorkerIdle(proc int) {
 func (f *fanout) TermProbe(detector string, probe int, quiesced bool) {
 	for _, s := range f.sinks {
 		s.TermProbe(detector, probe, quiesced)
+	}
+}
+
+func (f *fanout) HeartbeatMiss(proc, misses int) {
+	for _, s := range f.sinks {
+		s.HeartbeatMiss(proc, misses)
+	}
+}
+
+func (f *fanout) WorkerDead(proc int, reason string) {
+	for _, s := range f.sinks {
+		s.WorkerDead(proc, reason)
+	}
+}
+
+func (f *fanout) BucketReassigned(bucket, fromProc, toProc int) {
+	for _, s := range f.sinks {
+		s.BucketReassigned(bucket, fromProc, toProc)
+	}
+}
+
+func (f *fanout) ReplayStart(bucket, toProc int) {
+	for _, s := range f.sinks {
+		s.ReplayStart(bucket, toProc)
+	}
+}
+
+func (f *fanout) ReplayEnd(bucket, toProc, messages int) {
+	for _, s := range f.sinks {
+		s.ReplayEnd(bucket, toProc, messages)
 	}
 }
 

@@ -26,6 +26,8 @@ type Event struct {
 	Detector string `json:"detector,omitempty"`
 	Quiesced bool   `json:"quiesced,omitempty"`
 	WallNs   int64  `json:"wall_ns,omitempty"`
+	Bucket   int    `json:"bucket,omitempty"`
+	Reason   string `json:"reason,omitempty"`
 }
 
 // Event kinds emitted by the engines.
@@ -40,6 +42,13 @@ const (
 	KindIdle      = "idle"
 	KindProbe     = "probe"
 	KindRunEnd    = "run_end"
+
+	// Fault-tolerance kinds (distributed engine only).
+	KindHeartbeatMiss    = "heartbeat_miss"
+	KindWorkerDead       = "worker_dead"
+	KindBucketReassigned = "bucket_reassigned"
+	KindReplayStart      = "replay_start"
+	KindReplayEnd        = "replay_end"
 )
 
 // String renders the event without its timestamp or sequence number — the
@@ -64,6 +73,16 @@ func (e Event) String() string {
 		return fmt.Sprintf("idle proc=%d", e.Proc)
 	case KindProbe:
 		return fmt.Sprintf("probe detector=%s n=%d quiesced=%v", e.Detector, e.Iter, e.Quiesced)
+	case KindHeartbeatMiss:
+		return fmt.Sprintf("heartbeat_miss proc=%d misses=%d", e.Proc, e.N)
+	case KindWorkerDead:
+		return fmt.Sprintf("worker_dead proc=%d reason=%s", e.Proc, e.Reason)
+	case KindBucketReassigned:
+		return fmt.Sprintf("bucket_reassigned bucket=%d from=%d to=%d", e.Bucket, e.Proc, e.Peer)
+	case KindReplayStart:
+		return fmt.Sprintf("replay_start bucket=%d to=%d", e.Bucket, e.Peer)
+	case KindReplayEnd:
+		return fmt.Sprintf("replay_end bucket=%d to=%d n=%d", e.Bucket, e.Peer, e.N)
 	case KindRunEnd:
 		return "run_end"
 	}
@@ -122,6 +141,26 @@ func (r *Recorder) WorkerIdle(proc int) { r.add(Event{Kind: KindIdle, Proc: proc
 
 func (r *Recorder) TermProbe(detector string, probe int, quiesced bool) {
 	r.add(Event{Kind: KindProbe, Detector: detector, Iter: probe, Quiesced: quiesced})
+}
+
+func (r *Recorder) HeartbeatMiss(proc, misses int) {
+	r.add(Event{Kind: KindHeartbeatMiss, Proc: proc, N: int64(misses)})
+}
+
+func (r *Recorder) WorkerDead(proc int, reason string) {
+	r.add(Event{Kind: KindWorkerDead, Proc: proc, Reason: reason})
+}
+
+func (r *Recorder) BucketReassigned(bucket, fromProc, toProc int) {
+	r.add(Event{Kind: KindBucketReassigned, Bucket: bucket, Proc: fromProc, Peer: toProc})
+}
+
+func (r *Recorder) ReplayStart(bucket, toProc int) {
+	r.add(Event{Kind: KindReplayStart, Bucket: bucket, Peer: toProc})
+}
+
+func (r *Recorder) ReplayEnd(bucket, toProc, messages int) {
+	r.add(Event{Kind: KindReplayEnd, Bucket: bucket, Peer: toProc, N: int64(messages)})
 }
 
 func (r *Recorder) RunEnd(wall time.Duration) {

@@ -75,7 +75,7 @@ func TestNegationParallelMatchesSequential(t *testing.T) {
 	for _, workers := range []int{1, 2, 4} {
 		for _, mode := range []TerminationMode{TermCredit, TermCounting, TermDijkstraScholten} {
 			p := MustParse(src)
-			res, err := EvalParallel(context.Background(), p, nil, ParallelOptions{Workers: workers, Termination: mode})
+			res, err := EvalParallel(context.Background(), p, nil, EvalOptions{Workers: workers, Termination: mode})
 			if err != nil {
 				t.Fatalf("workers=%d mode=%d: %v", workers, mode, err)
 			}
@@ -120,7 +120,7 @@ node(a). node(b). node(c). node(d).
 	if want["connected"].Len() != 2 { // a, b
 		t.Errorf("|connected| = %d, want 2", want["connected"].Len())
 	}
-	res, err := EvalParallel(context.Background(), MustParse(src), nil, ParallelOptions{Workers: 3})
+	res, err := EvalParallel(context.Background(), MustParse(src), nil, EvalOptions{Workers: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +139,7 @@ move(a, b). move(b, c).
 	if _, err := Eval(context.Background(), p, nil, EvalOptions{}); err == nil {
 		t.Error("non-stratified program accepted sequentially")
 	}
-	if _, err := EvalParallel(context.Background(), p, nil, ParallelOptions{Workers: 2}); err == nil {
+	if _, err := EvalParallel(context.Background(), p, nil, EvalOptions{Workers: 2}); err == nil {
 		t.Error("non-stratified program accepted in parallel")
 	}
 }
@@ -165,7 +165,7 @@ p(Y) :- p(X), edge(X, Y), !blocked(Y).
 base(a). edge(a, b). blocked(b).
 `)
 	// Sirup strategies must reject negation programs cleanly…
-	if _, err := EvalParallel(context.Background(), p, nil, ParallelOptions{Workers: 2, Strategy: StrategyHashPartition}); err == nil {
+	if _, err := EvalParallel(context.Background(), p, nil, EvalOptions{Workers: 2, Strategy: StrategyHashPartition}); err == nil {
 		t.Error("hash-partition strategy accepted a negation program")
 	}
 	// …while the general (auto) route runs them.
@@ -174,7 +174,7 @@ base(a). edge(a, b). blocked(b).
 		t.Fatal(err)
 	}
 	want := wantRes.Output
-	res, err := EvalParallel(context.Background(), p, nil, ParallelOptions{Workers: 2})
+	res, err := EvalParallel(context.Background(), p, nil, EvalOptions{Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -237,7 +237,7 @@ func TestNegationRandomProgramsDifferential(t *testing.T) {
 			t.Fatalf("seed %d: sequential: %v\n%s", seed, err, g.Prog)
 		}
 		want := wantRes.Output
-		res, err := EvalParallel(context.Background(), prog, edb, ParallelOptions{Workers: 2 + int(seed%3)})
+		res, err := EvalParallel(context.Background(), prog, edb, EvalOptions{Workers: 2 + int(seed%3)})
 		if err != nil {
 			t.Fatalf("seed %d: parallel: %v\n%s", seed, err, g.Prog)
 		}

@@ -59,16 +59,6 @@ type Topology = parallel.Topology
 // NewTopology builds a topology from directed processor-id edges.
 func NewTopology(edges [][2]int) *Topology { return parallel.NewTopology(edges) }
 
-// ParallelResult is the former name of the unified Result.
-//
-// Deprecated: use Result.
-type ParallelResult = Result
-
-// ParallelOptions is the former name of the unified EvalOptions.
-//
-// Deprecated: use EvalOptions.
-type ParallelOptions = EvalOptions
-
 // runConfig translates the public options (plus ctx and the built sink)
 // into the in-process runtime's configuration.
 func runConfig(ctx context.Context, opts EvalOptions, sink obs.EventSink) parallel.RunConfig {
@@ -85,14 +75,16 @@ func runConfig(ctx context.Context, opts EvalOptions, sink obs.EventSink) parall
 // EvalParallel evaluates the program on Workers goroutine-processors
 // communicating over channels, per the selected scheme, and pools the
 // result. The edb argument may be nil if all facts are embedded in the
-// program. A nil ctx means no cancellation.
+// program. A nil ctx means no cancellation. Equivalent to Eval with
+// EvalOptions.Engine = EngineParallel.
 func EvalParallel(ctx context.Context, p *Program, edb Store, opts EvalOptions) (*Result, error) {
-	if opts.Workers <= 0 {
-		opts.Workers = 4
-	}
-	if edb == nil {
-		edb = Store{}
-	}
+	opts.Engine = EngineParallel
+	return eval(ctx, p, edb, opts)
+}
+
+// evalParallel is the in-process engine behind the dispatcher; opts are
+// filled and edb is non-nil.
+func evalParallel(ctx context.Context, p *Program, edb Store, opts EvalOptions) (*Result, error) {
 	sink, counting := opts.buildSink()
 	if analysis.HasNegation(p.ast) && (opts.Strategy == StrategyAuto || opts.Strategy == StrategyGeneral) {
 		return evalParallelStratified(ctx, p, edb, opts, sink, counting)
@@ -223,7 +215,7 @@ func evalParallelStratified(ctx context.Context, p *Program, edb Store, opts Eva
 // as printable Datalog keyed by processor id. The listings show the exact
 // initialization/processing/sending/receiving/pooling rules, with the
 // discriminating conditions as "h(...) = i" atoms.
-func RewriteListings(p *Program, opts ParallelOptions) (map[int]string, error) {
+func RewriteListings(p *Program, opts EvalOptions) (map[int]string, error) {
 	if opts.Workers <= 0 {
 		opts.Workers = 4
 	}
@@ -307,17 +299,23 @@ func listingsOf(rw *rewrite.Rewritten, err error) (map[int]string, error) {
 
 // EvalDistributed is EvalParallel over real message passing: every processor
 // is a TCP endpoint (loopback sockets within this process), no memory is
-// shared between processors, and termination is detected by Mattern's
-// four-counter waves over the control plane — the paper's non-shared-memory
-// architecture taken literally. Topology restriction and chaos options are
-// not supported on this transport. A nil ctx means no cancellation.
+// shared between processors, and termination is detected by Mattern-style
+// counter waves over the coordinator's star — the paper's non-shared-memory
+// architecture taken literally. The runtime is fault tolerant: worker
+// deaths are detected by heartbeat (see EvalOptions.HeartbeatInterval and
+// WorkerDeadline) and survived by hash-bucket recovery, and failures
+// surface as errors testing true with errors.Is against ErrWorkerLost or
+// ErrTimeout. Topology restriction is not supported on this transport. A
+// nil ctx means no cancellation. Equivalent to Eval with
+// EvalOptions.Engine = EngineDistributed.
 func EvalDistributed(ctx context.Context, p *Program, edb Store, opts EvalOptions) (*Result, error) {
-	if opts.Workers <= 0 {
-		opts.Workers = 4
-	}
-	if edb == nil {
-		edb = Store{}
-	}
+	opts.Engine = EngineDistributed
+	return eval(ctx, p, edb, opts)
+}
+
+// evalDistributed is the TCP engine behind the dispatcher; opts are filled
+// and edb is non-nil.
+func evalDistributed(ctx context.Context, p *Program, edb Store, opts EvalOptions) (*Result, error) {
 	if opts.Topology != nil {
 		return nil, fmt.Errorf("parlog: EvalDistributed does not support topology restriction")
 	}
@@ -327,9 +325,12 @@ func EvalDistributed(ctx context.Context, p *Program, edb Store, opts EvalOption
 	}
 	sink, counting := opts.buildSink()
 	res, err := dist.Run(prog, edb, dist.Config{
-		WavePoll: opts.PollInterval,
-		Ctx:      ctx,
-		Sink:     sink,
+		WavePoll:          opts.PollInterval,
+		HeartbeatInterval: opts.HeartbeatInterval,
+		WorkerDeadline:    opts.WorkerDeadline,
+		MaxRetries:        opts.MaxRetries,
+		Ctx:               ctx,
+		Sink:              sink,
 	})
 	if err != nil {
 		return nil, err
@@ -351,7 +352,7 @@ func EvalDistributed(ctx context.Context, p *Program, edb Store, opts EvalOption
 	return out, nil
 }
 
-func compileParallel(p *Program, opts ParallelOptions) (*parallel.Program, error) {
+func compileParallel(p *Program, opts EvalOptions) (*parallel.Program, error) {
 	procs := hashpart.RangeProcs(opts.Workers)
 	h := hashpart.ModHash{N: opts.Workers, Seed: opts.Seed}
 

@@ -153,11 +153,31 @@ func (p *Program) Format(store Store, pred string) string {
 	return b.String()
 }
 
+// Engine selects the execution engine behind the evaluation front door.
+// The three exported entry points are thin wrappers that set this field
+// and call one internal dispatcher, so Eval with an explicit Engine is
+// exactly equivalent to calling the corresponding wrapper.
+type Engine int
+
+const (
+	// EngineSequential is the single-processor semi-naive baseline.
+	EngineSequential Engine = iota
+	// EngineParallel runs goroutine processors over channels.
+	EngineParallel
+	// EngineDistributed runs TCP processors with heartbeat liveness and
+	// hash-bucket failure recovery.
+	EngineDistributed
+)
+
 // EvalOptions is the single option set shared by Eval, EvalParallel and
 // EvalDistributed. The zero value is a sensible default everywhere:
 // sequential semi-naive for Eval, four workers under StrategyAuto for the
 // parallel engines, observability disabled.
 type EvalOptions struct {
+	// Engine selects the execution engine when calling Eval directly; the
+	// EvalParallel and EvalDistributed wrappers override it.
+	Engine Engine
+
 	// Naive switches the sequential engine to naive iteration (the
 	// ablation baseline); default is semi-naive. Ignored by the parallel
 	// engines.
@@ -202,6 +222,18 @@ type EvalOptions struct {
 	// (the paper's per-iteration send).
 	MaxBatch int
 
+	// MaxRetries bounds a distributed worker's connect attempts, retried
+	// with exponential backoff and jitter (default 5). EngineDistributed
+	// only.
+	MaxRetries int
+	// HeartbeatInterval is how long a distributed worker may stay silent
+	// before the coordinator records a heartbeat miss (default 100ms).
+	HeartbeatInterval time.Duration
+	// WorkerDeadline is how long a distributed worker may stay silent
+	// before it is declared dead and its hash bucket is recovered on a
+	// survivor (default 2s).
+	WorkerDeadline time.Duration
+
 	// Trace, when non-nil, receives the run's full event stream —
 	// iterations, rule firings, messages, busy/idle transitions and
 	// termination probes. Leave nil to disable observability at zero
@@ -239,14 +271,53 @@ type Result struct {
 	Metrics *Metrics
 }
 
-// Eval computes the least model sequentially (semi-naive by default) and
-// returns the full store — the paper's baseline execution. The edb argument
-// supplies base relations beyond the program's embedded facts; it may be
-// nil. A nil ctx means no cancellation.
+// fill applies the defaults shared by every engine. The per-engine
+// evaluators assume it already ran.
+func (o *EvalOptions) fill() {
+	if o.Engine != EngineSequential && o.Workers <= 0 {
+		o.Workers = 4
+	}
+	if o.MaxRetries <= 0 {
+		o.MaxRetries = 5
+	}
+	if o.HeartbeatInterval <= 0 {
+		o.HeartbeatInterval = 100 * time.Millisecond
+	}
+	if o.WorkerDeadline <= 0 {
+		o.WorkerDeadline = 2 * time.Second
+	}
+}
+
+// Eval evaluates the program on the engine opts.Engine selects — the
+// sequential semi-naive baseline by default. The edb argument supplies base
+// relations beyond the program's embedded facts; it may be nil. A nil ctx
+// means no cancellation.
 func Eval(ctx context.Context, p *Program, edb Store, opts EvalOptions) (*Result, error) {
+	return eval(ctx, p, edb, opts)
+}
+
+// eval is the single dispatcher behind Eval, EvalParallel and
+// EvalDistributed: one defaulting path, one nil-EDB rule, one switch.
+func eval(ctx context.Context, p *Program, edb Store, opts EvalOptions) (*Result, error) {
+	opts.fill()
 	if edb == nil {
 		edb = Store{}
 	}
+	switch opts.Engine {
+	case EngineSequential:
+		return evalSequential(ctx, p, edb, opts)
+	case EngineParallel:
+		return evalParallel(ctx, p, edb, opts)
+	case EngineDistributed:
+		return evalDistributed(ctx, p, edb, opts)
+	default:
+		return nil, fmt.Errorf("parlog: unknown engine %d", opts.Engine)
+	}
+}
+
+// evalSequential computes the least model on one processor (semi-naive by
+// default) and returns the full store — the paper's baseline execution.
+func evalSequential(ctx context.Context, p *Program, edb Store, opts EvalOptions) (*Result, error) {
 	sink, counting := opts.buildSink()
 	store, stats, err := seminaive.Eval(p.ast, edb, seminaive.Options{
 		Naive:         opts.Naive,

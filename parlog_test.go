@@ -2,6 +2,7 @@ package parlog
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"os"
 	"strings"
@@ -121,18 +122,18 @@ anc(X, Y) :- par(X, Z), anc(Z, Y).
 	want := wantRes.Output
 	for _, tc := range []struct {
 		name string
-		opts ParallelOptions
+		opts EvalOptions
 	}{
-		{"auto", ParallelOptions{Workers: 4}},
-		{"hash-Y", ParallelOptions{Workers: 4, Strategy: StrategyHashPartition, VR: []string{"Y"}, VE: []string{"Y"}}},
-		{"hash-Z", ParallelOptions{Workers: 3, Strategy: StrategyHashPartition, VR: []string{"Z"}, VE: []string{"X"}}},
-		{"nocomm", ParallelOptions{Workers: 4, Strategy: StrategyNoComm}},
-		{"tradeoff-0", ParallelOptions{Workers: 3, Strategy: StrategyTradeoff, Locality: 0}},
-		{"tradeoff-half", ParallelOptions{Workers: 3, Strategy: StrategyTradeoff, Locality: 0.5}},
-		{"tradeoff-1", ParallelOptions{Workers: 3, Strategy: StrategyTradeoff, Locality: 1}},
-		{"general", ParallelOptions{Workers: 4, Strategy: StrategyGeneral}},
-		{"counting", ParallelOptions{Workers: 2, Termination: TermCounting}},
-		{"ds", ParallelOptions{Workers: 2, Termination: TermDijkstraScholten}},
+		{"auto", EvalOptions{Workers: 4}},
+		{"hash-Y", EvalOptions{Workers: 4, Strategy: StrategyHashPartition, VR: []string{"Y"}, VE: []string{"Y"}}},
+		{"hash-Z", EvalOptions{Workers: 3, Strategy: StrategyHashPartition, VR: []string{"Z"}, VE: []string{"X"}}},
+		{"nocomm", EvalOptions{Workers: 4, Strategy: StrategyNoComm}},
+		{"tradeoff-0", EvalOptions{Workers: 3, Strategy: StrategyTradeoff, Locality: 0}},
+		{"tradeoff-half", EvalOptions{Workers: 3, Strategy: StrategyTradeoff, Locality: 0.5}},
+		{"tradeoff-1", EvalOptions{Workers: 3, Strategy: StrategyTradeoff, Locality: 1}},
+		{"general", EvalOptions{Workers: 4, Strategy: StrategyGeneral}},
+		{"counting", EvalOptions{Workers: 2, Termination: TermCounting}},
+		{"ds", EvalOptions{Workers: 2, Termination: TermDijkstraScholten}},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			p := MustParse(`
@@ -157,7 +158,7 @@ func TestEvalParallelAutoUsesTheorem3(t *testing.T) {
 	if err := p.AddFacts(chainFactsSrc(40)); err != nil {
 		t.Fatal(err)
 	}
-	res, err := EvalParallel(context.Background(), p, nil, ParallelOptions{Workers: 4})
+	res, err := EvalParallel(context.Background(), p, nil, EvalOptions{Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,7 +181,7 @@ anc(X, Y) :- par(X, Y).
 anc(X, Y) :- anc(X, Z), anc(Z, Y).
 `)
 	edb := Store{"par": workload.Chain(12)}
-	res, err := EvalParallel(context.Background(), p, edb, ParallelOptions{Workers: 3})
+	res, err := EvalParallel(context.Background(), p, edb, EvalOptions{Workers: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,7 +196,7 @@ anc(X, Y) :- par(X, Y).
 anc(X, Y) :- anc(X, Z), anc(Z, Y).
 `)
 	for _, s := range []Strategy{StrategyHashPartition, StrategyNoComm, StrategyTradeoff} {
-		if _, err := EvalParallel(context.Background(), p, Store{"par": workload.Chain(3)}, ParallelOptions{Workers: 2, Strategy: s}); err == nil {
+		if _, err := EvalParallel(context.Background(), p, Store{"par": workload.Chain(3)}, EvalOptions{Workers: 2, Strategy: s}); err == nil {
 			t.Errorf("strategy %d accepted a non-sirup program", s)
 		}
 	}
@@ -203,7 +204,7 @@ anc(X, Y) :- anc(X, Z), anc(Z, Y).
 
 func TestEvalParallelLocalityValidation(t *testing.T) {
 	p := MustParse(ancestorSrc)
-	if _, err := EvalParallel(context.Background(), p, nil, ParallelOptions{Workers: 2, Strategy: StrategyTradeoff, Locality: 1.5}); err == nil {
+	if _, err := EvalParallel(context.Background(), p, nil, EvalOptions{Workers: 2, Strategy: StrategyTradeoff, Locality: 1.5}); err == nil {
 		t.Error("Locality 1.5 accepted")
 	}
 }
@@ -282,7 +283,7 @@ anc(X, Y) :- par(X, Z), anc(Z, Y).
 		t.Fatal(err)
 	}
 	want := wantRes.Output
-	res, err := EvalDistributed(context.Background(), p, edb, ParallelOptions{
+	res, err := EvalDistributed(context.Background(), p, edb, EvalOptions{
 		Workers:  3,
 		Strategy: StrategyHashPartition,
 		VR:       []string{"Z"}, VE: []string{"X"},
@@ -297,7 +298,7 @@ anc(X, Y) :- par(X, Z), anc(Z, Y).
 		t.Errorf("stats for %d procs", len(res.Stats.Procs))
 	}
 	// Topology restriction is not supported over TCP.
-	if _, err := EvalDistributed(context.Background(), p, edb, ParallelOptions{
+	if _, err := EvalDistributed(context.Background(), p, edb, EvalOptions{
 		Workers: 2, Topology: NewTopology(nil),
 	}); err == nil {
 		t.Error("topology restriction accepted on the TCP transport")
@@ -452,13 +453,13 @@ anc(X, Y) :- par(X, Z), anc(Z, Y).
 `)
 	for _, tc := range []struct {
 		name string
-		opts ParallelOptions
+		opts EvalOptions
 		want string // substring expected in processor 0's listing
 	}{
-		{"auto-theorem3", ParallelOptions{Workers: 2}, "hsym2(Y) = 0"},
-		{"hash", ParallelOptions{Workers: 2, Strategy: StrategyHashPartition, VR: []string{"Z"}, VE: []string{"X"}}, "anc@ch@0@1(Z, Y)"},
-		{"nocomm", ParallelOptions{Workers: 2, Strategy: StrategyNoComm}, "par(X, Z), anc@out@0(Z, Y)"},
-		{"tradeoff", ParallelOptions{Workers: 2, Strategy: StrategyTradeoff, Locality: 0.5, VR: []string{"Z"}, VE: []string{"X"}}, "hmix500@0"},
+		{"auto-theorem3", EvalOptions{Workers: 2}, "hsym2(Y) = 0"},
+		{"hash", EvalOptions{Workers: 2, Strategy: StrategyHashPartition, VR: []string{"Z"}, VE: []string{"X"}}, "anc@ch@0@1(Z, Y)"},
+		{"nocomm", EvalOptions{Workers: 2, Strategy: StrategyNoComm}, "par(X, Z), anc@out@0(Z, Y)"},
+		{"tradeoff", EvalOptions{Workers: 2, Strategy: StrategyTradeoff, Locality: 0.5, VR: []string{"Z"}, VE: []string{"X"}}, "hmix500@0"},
 	} {
 		listings, err := RewriteListings(p, tc.opts)
 		if err != nil {
@@ -476,7 +477,7 @@ anc(X, Y) :- par(X, Z), anc(Z, Y).
 anc(X, Y) :- par(X, Y).
 anc(X, Y) :- anc(X, Z), anc(Z, Y).
 `)
-	listings, err := RewriteListings(nl, ParallelOptions{Workers: 2, Strategy: StrategyGeneral})
+	listings, err := RewriteListings(nl, EvalOptions{Workers: 2, Strategy: StrategyGeneral})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -484,7 +485,46 @@ anc(X, Y) :- anc(X, Z), anc(Z, Y).
 		t.Errorf("general listing wrong:\n%s", listings[0])
 	}
 	// Sirup strategies reject non-sirups.
-	if _, err := RewriteListings(nl, ParallelOptions{Strategy: StrategyNoComm}); err == nil {
+	if _, err := RewriteListings(nl, EvalOptions{Strategy: StrategyNoComm}); err == nil {
 		t.Error("NoComm listing accepted a non-sirup")
+	}
+}
+
+// TestEngineDispatch: Eval with an explicit Engine is exactly the matching
+// wrapper — one dispatcher behind all three front doors.
+func TestEngineDispatch(t *testing.T) {
+	p := MustParse(ancestorSrc)
+	seq, err := Eval(context.Background(), p, nil, EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Eval(context.Background(), p, nil, EvalOptions{Engine: EngineParallel, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !seq.Output["anc"].Equal(par.Output["anc"]) {
+		t.Error("EngineParallel via Eval differs from the sequential least model")
+	}
+	if par.Stats == nil || seq.Stats != nil {
+		t.Error("engine-specific stats landed on the wrong result fields")
+	}
+	if _, err := Eval(context.Background(), p, nil, EvalOptions{Engine: Engine(99)}); err == nil {
+		t.Error("unknown engine accepted")
+	}
+}
+
+// TestSentinelErrors: failures expose errors.Is-able sentinels.
+func TestSentinelErrors(t *testing.T) {
+	nonlinear := MustParse(`
+anc(X, Y) :- par(X, Y).
+anc(X, Y) :- anc(X, Z), anc(Z, Y).
+par(a, b).
+`)
+	_, err := EvalParallel(context.Background(), nonlinear, nil, EvalOptions{Strategy: StrategyHashPartition})
+	if !errors.Is(err, ErrNotLinearSirup) {
+		t.Errorf("StrategyHashPartition on a non-sirup: err = %v, want errors.Is ErrNotLinearSirup", err)
+	}
+	if nonlinear.IsLinearSirup() {
+		t.Error("nonlinear program classified as a sirup")
 	}
 }

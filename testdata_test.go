@@ -44,7 +44,7 @@ func TestSampleProgramsCorpus(t *testing.T) {
 				t.Fatal("corpus program derived nothing — weak test input")
 			}
 			for _, workers := range []int{1, 3} {
-				res, err := EvalParallel(context.Background(), prog, nil, ParallelOptions{Workers: workers})
+				res, err := EvalParallel(context.Background(), prog, nil, EvalOptions{Workers: workers})
 				if err != nil {
 					t.Fatalf("parallel N=%d: %v", workers, err)
 				}
