@@ -15,9 +15,51 @@ func TestMain(m *testing.M) {
 		panic(err)
 	}
 	benchOut = filepath.Join(dir, "BENCH_parallel.json")
+	recoveryOut = filepath.Join(dir, "BENCH_recovery.json")
 	code := m.Run()
 	os.RemoveAll(dir)
 	os.Exit(code)
+}
+
+// TestRecoveryJSON checks the document E16 writes: all three modes present
+// and agreeing on the least model, the killed runs actually recovered, and
+// the bounded run replayed strictly fewer batches than the full-replay run.
+func TestRecoveryJSON(t *testing.T) {
+	if err := runE16(true); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(recoveryOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc recoveryDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	byMode := map[string]recoveryRun{}
+	for _, r := range doc.Runs {
+		byMode[r.Mode] = r
+	}
+	for _, mode := range []string{"undisturbed", "log-replay", "bounded"} {
+		if _, ok := byMode[mode]; !ok {
+			t.Fatalf("missing %q run in %s", mode, recoveryOut)
+		}
+		if byMode[mode].Anc != byMode["undisturbed"].Anc {
+			t.Errorf("%s: anc=%d, undisturbed got %d", mode, byMode[mode].Anc, byMode["undisturbed"].Anc)
+		}
+	}
+	full, bounded := byMode["log-replay"], byMode["bounded"]
+	if full.Replayed == 0 {
+		t.Error("log-replay run recorded no replayed batches")
+	}
+	if bounded.Checkpoints == 0 {
+		t.Error("bounded run took no checkpoints")
+	}
+	// Truncated > 0 is the replay bound: the recovery skipped the log prefix
+	// the checkpoint covered instead of replaying its full history.
+	if bounded.Truncated == 0 {
+		t.Errorf("bounded recovery replayed its full %d-batch history", bounded.Replayed)
+	}
 }
 
 // TestBenchJSON checks the document E15 writes: all three examples present,

@@ -28,7 +28,7 @@ func TestExperimentIDsUniqueAndOrdered(t *testing.T) {
 			t.Errorf("experiment %s incomplete", e.id)
 		}
 	}
-	if len(experiments) != 15 {
-		t.Errorf("expected 15 experiments, found %d", len(experiments))
+	if len(experiments) != 16 {
+		t.Errorf("expected 16 experiments, found %d", len(experiments))
 	}
 }

@@ -19,6 +19,9 @@
 //	E15 Examples 1–3 rerun with the counting sink; per-iteration deltas,
 //	    per-channel tuple counts and per-worker busy/idle totals are written
 //	    to BENCH_parallel.json (see -bench-out)
+//	E16 extension: bounded recovery — a mid-run worker kill recovered from a
+//	    checkpoint plus log suffix vs a full log replay; replay counts and
+//	    wall times are written to BENCH_recovery.json (see -recovery-out)
 //
 // Usage: dlbench [-experiment E5] [-quick] [-bench-out BENCH_parallel.json]
 package main
@@ -53,14 +56,16 @@ var experiments = []experiment{
 	{"E13", "Theorems 1, 4, 5 — least-model equality of rewritten programs", runE13},
 	{"E14", "Extension — load balancing via weighted discriminating functions", runE14},
 	{"E15", "Examples 1–3 — metrics snapshot to BENCH_parallel.json", runE15},
+	{"E16", "Bounded recovery — checkpointed vs full-replay worker kill", runE16},
 }
 
 func main() {
 	var (
-		which = flag.String("experiment", "all", "experiment id (E1..E15) or 'all'")
+		which = flag.String("experiment", "all", "experiment id (E1..E16) or 'all'")
 		quick = flag.Bool("quick", false, "smaller workloads for a fast pass")
 	)
 	flag.StringVar(&benchOut, "bench-out", benchOut, "output path of E15's JSON benchmark document")
+	flag.StringVar(&recoveryOut, "recovery-out", recoveryOut, "output path of E16's JSON benchmark document")
 	flag.Parse()
 
 	ids := map[string]bool{}

@@ -1,0 +1,177 @@
+package main
+
+// E16 — bounded recovery under a mid-run worker kill.
+//
+// Three runs of Example 3's scheme on the same random ancestor workload:
+// an undisturbed baseline, a kill with log-only recovery (full replay), and
+// a kill with checkpointing enabled (install snapshot + replay suffix). All
+// three must agree on the least model; the document records how many batches
+// each recovery replayed and how many the checkpoint cut off, plus wall
+// times, so the replay-bound claim can be tracked across commits as
+// BENCH_recovery.json.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"parlog/internal/analysis"
+	"parlog/internal/dist"
+	"parlog/internal/dist/fault"
+	"parlog/internal/hashpart"
+	"parlog/internal/parallel"
+	"parlog/internal/parser"
+	"parlog/internal/relation"
+	"parlog/internal/rewrite"
+)
+
+// recoveryOut is where runE16 writes its JSON document; the -recovery-out
+// flag (and the test harness) override it.
+var recoveryOut = "BENCH_recovery.json"
+
+type recoveryDoc struct {
+	Benchmark string        `json:"benchmark"`
+	Workers   int           `json:"workers"`
+	Workload  benchWorkload `json:"workload"`
+	Runs      []recoveryRun `json:"runs"`
+}
+
+type recoveryRun struct {
+	Mode             string `json:"mode"` // undisturbed | log-replay | bounded
+	WallNs           int64  `json:"wall_ns"`
+	Anc              int    `json:"anc_tuples"`
+	Deaths           []int  `json:"deaths,omitempty"`
+	Checkpoints      int    `json:"checkpoints,omitempty"`
+	TruncatedBatches int64  `json:"truncated_batches,omitempty"`
+	Replayed         int    `json:"replayed_batches,omitempty"`
+	Truncated        int    `json:"truncated_at_recovery,omitempty"`
+}
+
+func runE16(quick bool) error {
+	// The seeded schedules below are tuned to this workload: worker 1's
+	// connection dies mid-run, after the join handshake but before its data
+	// batches dry up (and, for the bounded run, after at least two
+	// checkpoint cycles for its bucket have completed).
+	const n, nodes, edges, seed = 3, 40, 120, 5
+	src := recoverySrc(nodes, edges, seed)
+	trials := 5
+	if quick {
+		trials = 1
+	}
+
+	doc := recoveryDoc{
+		Benchmark: "bounded-recovery",
+		Workers:   n,
+		Workload:  benchWorkload{Kind: "random", Nodes: nodes, Edges: edges, Seed: seed},
+	}
+	modes := []struct {
+		name       string
+		ckptEvery  int
+		kill       bool
+		killWrites int
+	}{
+		{"undisturbed", 0, false, 0},
+		{"log-replay", 0, true, 25},
+		{"bounded", 2, true, 45},
+	}
+	anc := -1
+	for _, mode := range modes {
+		for trial := 0; trial < trials; trial++ {
+			p, err := buildRecoveryScheme(src, n)
+			if err != nil {
+				return err
+			}
+			cfg := dist.Config{CheckpointEvery: mode.ckptEvery}
+			if mode.kill {
+				in := fault.New(fault.Schedule{Seed: seed, KillConn: 1, KillAfterWrites: mode.killWrites})
+				cfg.WorkerDial = func(wi int) dist.DialFunc {
+					if wi == 1 {
+						return in.Dial
+					}
+					return nil
+				}
+			}
+			res, err := dist.Run(p, relation.Store{}, cfg)
+			if err != nil {
+				return err
+			}
+			got := res.Output["anc"].Len()
+			if anc < 0 {
+				anc = got
+			} else if got != anc {
+				return fmt.Errorf("%s: anc=%d, other runs got %d", mode.name, got, anc)
+			}
+			if mode.kill && len(res.Recoveries) != 1 {
+				return fmt.Errorf("%s: expected exactly one recovery, got %d", mode.name, len(res.Recoveries))
+			}
+			run := recoveryRun{
+				Mode:             mode.name,
+				WallNs:           res.Wall.Nanoseconds(),
+				Anc:              got,
+				Deaths:           res.Deaths,
+				Checkpoints:      res.Checkpoints,
+				TruncatedBatches: res.TruncatedBatches,
+			}
+			for _, rec := range res.Recoveries {
+				run.Replayed += rec.Replayed
+				run.Truncated += rec.Truncated
+			}
+			doc.Runs = append(doc.Runs, run)
+			fmt.Printf("%-12s wall=%-12v anc=%d replayed=%d truncated=%d checkpoints=%d\n",
+				mode.name, res.Wall, got, run.Replayed, run.Truncated, res.Checkpoints)
+		}
+	}
+
+	f, err := os.Create(recoveryOut)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", recoveryOut)
+	return nil
+}
+
+// recoverySrc builds the ancestor program over a seeded random edge set —
+// the same generator the distributed test suite uses, so the tuned kill
+// schedules transfer.
+func recoverySrc(nodes, edges int, seed int64) string {
+	rng := rand.New(rand.NewSource(seed))
+	var b strings.Builder
+	b.WriteString("anc(X, Y) :- par(X, Y).\nanc(X, Y) :- par(X, Z), anc(Z, Y).\n")
+	seen := map[[2]int]bool{}
+	for len(seen) < edges {
+		e := [2]int{rng.Intn(nodes), rng.Intn(nodes)}
+		if seen[e] {
+			continue
+		}
+		seen[e] = true
+		fmt.Fprintf(&b, "par(v%d, v%d).\n", e[0], e[1])
+	}
+	return b.String()
+}
+
+func buildRecoveryScheme(src string, n int) (*parallel.Program, error) {
+	prog, err := parser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	s, err := analysis.ExtractSirup(prog)
+	if err != nil {
+		return nil, err
+	}
+	return parallel.BuildQ(s, rewrite.SirupSpec{
+		Procs: hashpart.RangeProcs(n),
+		VR:    []string{"Z"}, VE: []string{"X"},
+		H: hashpart.ModHash{N: n},
+	})
+}

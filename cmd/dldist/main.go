@@ -4,9 +4,12 @@
 // waits, and workers retry the connect with backoff):
 //
 //	dldist -role coordinator -workers 3 -listen 127.0.0.1:7070 prog.dl
-//	dldist -role worker -index 0 -coordinator 127.0.0.1:7070 -workers 3 prog.dl -vr Z -ve X
-//	dldist -role worker -index 1 -coordinator 127.0.0.1:7070 -workers 3 prog.dl -vr Z -ve X
-//	dldist -role worker -index 2 -coordinator 127.0.0.1:7070 -workers 3 prog.dl -vr Z -ve X
+//	dldist -role worker -index 0 -coordinator 127.0.0.1:7070 -workers 3 -vr Z -ve X prog.dl
+//	dldist -role worker -index 1 -coordinator 127.0.0.1:7070 -workers 3 -vr Z -ve X prog.dl
+//	dldist -role worker -index 2 -coordinator 127.0.0.1:7070 -workers 3 -vr Z -ve X prog.dl
+//
+// (Flags must precede the program file; flag parsing stops at the first
+// positional argument.)
 //
 // All traffic flows through the coordinator (star topology); workers open no
 // listeners of their own. If a worker process dies mid-run, the coordinator
@@ -50,6 +53,12 @@ func main() {
 		retries  = flag.Int("retries", 0, "worker: connect attempts before giving up (default 5)")
 		hbeat    = flag.Duration("heartbeat", 0, "coordinator: heartbeat miss threshold (default 100ms)")
 		deadline = flag.Duration("deadline", 0, "coordinator: silence before a worker is declared dead (default 2s)")
+
+		ckptEvery    = flag.Int("checkpoint-every", 0, "coordinator: checkpoint a bucket after N logged batches (0 disables)")
+		ckptInterval = flag.Duration("checkpoint-interval", 0, "coordinator: checkpoint buckets with a non-empty log at this period (0 disables)")
+		maxInflight  = flag.Int("max-inflight", 0, "coordinator: per-worker in-flight data batch limit (0 = unlimited)")
+		maxQueue     = flag.Int64("max-queue-bytes", 0, "coordinator: resident outbound data byte limit, split into per-worker credits (0 = unlimited)")
+		maxMemory    = flag.Int64("max-memory-bytes", 0, "coordinator: shared budget over logs+checkpoints+queues; overruns force checkpoints, then fail fast (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -81,11 +90,16 @@ func main() {
 	switch *role {
 	case "coordinator":
 		c, err := dist.NewCoordinator(dist.Config{
-			Workers:           *workers,
-			Addr:              *listen,
-			HeartbeatInterval: *hbeat,
-			WorkerDeadline:    *deadline,
-			ProcIDs:           compiled.Procs.IDs(),
+			Workers:            *workers,
+			Addr:               *listen,
+			HeartbeatInterval:  *hbeat,
+			WorkerDeadline:     *deadline,
+			CheckpointEvery:    *ckptEvery,
+			CheckpointInterval: *ckptInterval,
+			MaxInflightBatches: *maxInflight,
+			MaxQueueBytes:      *maxQueue,
+			MaxMemoryBytes:     *maxMemory,
+			ProcIDs:            compiled.Procs.IDs(),
 		}, compiled.IDB)
 		if err != nil {
 			fatal(err)
@@ -114,9 +128,13 @@ func main() {
 			sent += ps.TuplesSent
 		}
 		fmt.Fprintf(os.Stderr, "dldist: done in %v; firings=%d tuples-sent=%d\n", res.Wall, firings, sent)
+		if res.Checkpoints > 0 || res.TruncatedBatches > 0 {
+			fmt.Fprintf(os.Stderr, "dldist: %d checkpoints accepted, %d logged batches truncated, peak queue %d bytes\n",
+				res.Checkpoints, res.TruncatedBatches, res.PeakQueueBytes)
+		}
 		for _, rec := range res.Recoveries {
-			fmt.Fprintf(os.Stderr, "dldist: recovered bucket %d from worker %d on worker %d (%d batches replayed)\n",
-				rec.Bucket, rec.FromWorker, rec.ToWorker, rec.Replayed)
+			fmt.Fprintf(os.Stderr, "dldist: recovered bucket %d from worker %d on worker %d (%d batches replayed, %d covered by checkpoint)\n",
+				rec.Bucket, rec.FromWorker, rec.ToWorker, rec.Replayed, rec.Truncated)
 		}
 	case "worker":
 		if *coord == "" || *index < 0 || *index >= *workers {

@@ -21,4 +21,9 @@ var (
 	// ErrTimeout reports that a distributed run exceeded its configured
 	// Timeout before reaching quiescence.
 	ErrTimeout = dist.ErrTimeout
+
+	// ErrResourceExhausted reports that a distributed run stayed over its
+	// MaxMemoryBytes budget even after a forced checkpoint-and-truncate
+	// cycle — the fail-fast alternative to an out-of-memory kill.
+	ErrResourceExhausted = dist.ErrResourceExhausted
 )

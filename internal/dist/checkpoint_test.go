@@ -1,0 +1,379 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"parlog/internal/dist/fault"
+	"parlog/internal/obs"
+)
+
+// TestCheckpointTruncatesLog: with the count trigger armed and no faults,
+// the coordinator must accept checkpoints, truncate the covered log
+// prefixes, and still compute the exact least model.
+func TestCheckpointTruncatesLog(t *testing.T) {
+	src := ancestorRules + randomParFacts(40, 120, 11)
+	p, edb, seq := buildAncestorQ(t, src, 3, []string{"Z"}, []string{"X"})
+
+	cs := obs.NewCounting()
+	res, err := Run(p, edb, Config{CheckpointEvery: 4, Sink: cs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !seq["anc"].Equal(res.Output["anc"]) {
+		t.Fatal("checkpointed run differs from sequential least model")
+	}
+	if res.Checkpoints == 0 {
+		t.Error("no checkpoints accepted with CheckpointEvery=4")
+	}
+	if res.TruncatedBatches == 0 {
+		t.Error("no logged batches truncated despite accepted checkpoints")
+	}
+	m := cs.Snapshot()
+	if m.Checkpoints != int64(res.Checkpoints) {
+		t.Errorf("sink counted %d checkpoints, result says %d", m.Checkpoints, res.Checkpoints)
+	}
+	if m.TruncatedBatches != res.TruncatedBatches {
+		t.Errorf("sink counted %d truncated batches, result says %d", m.TruncatedBatches, res.TruncatedBatches)
+	}
+}
+
+// TestCheckpointIntervalTrigger: the timer trigger alone must also produce
+// checkpoints on a workload that keeps logs non-empty.
+func TestCheckpointIntervalTrigger(t *testing.T) {
+	src := ancestorRules + randomParFacts(40, 120, 12)
+	p, edb, seq := buildAncestorQ(t, src, 3, []string{"Z"}, []string{"X"})
+
+	// Slow the workers' writes a little so the run spans several timer
+	// periods.
+	in := fault.New(fault.Schedule{Delay: 300 * time.Microsecond})
+	res, err := Run(p, edb, Config{
+		CheckpointInterval: 2 * time.Millisecond,
+		WorkerDial:         func(wi int) DialFunc { return in.Dial },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !seq["anc"].Equal(res.Output["anc"]) {
+		t.Fatal("interval-checkpointed run differs from sequential least model")
+	}
+	if res.Checkpoints == 0 {
+		t.Error("no checkpoints accepted with a 2ms interval trigger")
+	}
+}
+
+// TestCheckpointRecoveryReplaysSuffix is the headline bounded-recovery
+// scenario: checkpoints run throughout, then a worker is killed after at
+// least two checkpoint cycles have completed. Recovery must install the
+// dead bucket's checkpoint and replay strictly fewer batches than the
+// bucket's full history — and still produce the exact least model.
+func TestCheckpointRecoveryReplaysSuffix(t *testing.T) {
+	src := ancestorRules + randomParFacts(40, 120, 5)
+	p, edb, seq := buildAncestorQ(t, src, 3, []string{"Z"}, []string{"X"})
+
+	// Same seed-5 workload as the non-checkpointed recovery test, but the
+	// kill lands later in worker 1's write sequence so the small
+	// CheckpointEvery has completed several request/reply cycles for its
+	// bucket first.
+	dial, _ := injectorDial(1, fault.Schedule{Seed: 5, KillConn: 1, KillAfterWrites: 45})
+	rec := obs.NewRecorder()
+	res, err := Run(p, edb, Config{CheckpointEvery: 2, WorkerDial: dial, Sink: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !seq["anc"].Equal(res.Output["anc"]) {
+		t.Fatalf("recovered run differs from sequential least model:\nseq %v\ndist %v",
+			seq["anc"], res.Output["anc"])
+	}
+	if len(res.Deaths) != 1 || res.Deaths[0] != 1 {
+		t.Fatalf("Deaths = %v, want [1]", res.Deaths)
+	}
+	if res.Checkpoints < 2 {
+		t.Fatalf("only %d checkpoints accepted before the kill, want >= 2 cycles", res.Checkpoints)
+	}
+	if len(res.Recoveries) != 1 {
+		t.Fatalf("Recoveries = %v, want exactly one", res.Recoveries)
+	}
+	r := res.Recoveries[0]
+	full := r.Replayed + r.Truncated
+	if r.Truncated == 0 {
+		t.Errorf("recovery replayed the full history (%d batches); checkpoint truncated nothing", full)
+	}
+	if r.Replayed >= full {
+		t.Errorf("Replayed = %d, want strictly less than the %d-batch full history", r.Replayed, full)
+	}
+	// The event stream narrates checkpoint, truncation and recovery.
+	kinds := map[string]int{}
+	for _, e := range rec.Events() {
+		kinds[e.Kind]++
+	}
+	for _, k := range []string{
+		obs.KindCheckpointStart, obs.KindCheckpointEnd, obs.KindLogTruncated,
+		obs.KindWorkerDead, obs.KindBucketReassigned, obs.KindReplayEnd,
+	} {
+		if kinds[k] == 0 {
+			t.Errorf("no %s event recorded", k)
+		}
+	}
+}
+
+// TestCheckpointFaults: dropped and corrupted checkpoint replies must be
+// rejected without truncating anything, later intact replies must still be
+// accepted, and the run must stay exact. The fault plan is message-level
+// and deterministic: the 1st reply is dropped, the 2nd corrupted.
+func TestCheckpointFaults(t *testing.T) {
+	src := ancestorRules + randomParFacts(40, 120, 13)
+	p, edb, seq := buildAncestorQ(t, src, 3, []string{"Z"}, []string{"X"})
+
+	plan := fault.NewCheckpointPlan([]int{1}, []int{2})
+	cs := obs.NewCounting()
+	res, err := Run(p, edb, Config{
+		CheckpointEvery: 2,
+		CheckpointFault: func(bucket, ckpt int) int { return plan.Next() },
+		Sink:            cs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !seq["anc"].Equal(res.Output["anc"]) {
+		t.Fatal("run with faulty checkpoint replies differs from sequential least model")
+	}
+	if plan.Seen() < 3 {
+		t.Fatalf("only %d checkpoint replies seen, want the two faulty ones plus at least one clean", plan.Seen())
+	}
+	m := cs.Snapshot()
+	if m.CheckpointsRejected != 2 {
+		t.Errorf("CheckpointsRejected = %d, want exactly the dropped and the corrupted reply", m.CheckpointsRejected)
+	}
+	if res.Checkpoints == 0 {
+		t.Error("no clean checkpoint was accepted after the faulty ones")
+	}
+}
+
+// TestCheckpointKillDuringCheckpointing kills a worker while checkpoint
+// traffic is in flight on every wave (interval trigger at the wave period):
+// requests racing the death, replies from a worker already declared dead
+// and pending requests to a dead owner must all resolve safely.
+func TestCheckpointKillDuringCheckpointing(t *testing.T) {
+	src := ancestorRules + randomParFacts(40, 120, 6)
+	p, edb, seq := buildAncestorQ(t, src, 3, []string{"Z"}, []string{"X"})
+
+	dial, _ := injectorDial(1, fault.Schedule{Seed: 6, KillConn: 1, KillAfterWrites: 20})
+	res, err := Run(p, edb, Config{
+		CheckpointEvery:    2,
+		CheckpointInterval: time.Millisecond,
+		WorkerDial:         dial,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !seq["anc"].Equal(res.Output["anc"]) {
+		t.Fatal("kill-during-checkpoint run differs from sequential least model")
+	}
+	if len(res.Deaths) != 1 {
+		t.Fatalf("Deaths = %v, want one", res.Deaths)
+	}
+}
+
+// TestCheckpointEquivalenceLockstep is the golden equivalence check: the
+// Example 3 transitive closure evaluated undisturbed, and again through a
+// checkpoint+kill+replay recovery, must render byte-identical sorted
+// output.
+func TestCheckpointEquivalenceLockstep(t *testing.T) {
+	src := ancestorRules + randomParFacts(40, 120, 5)
+
+	render := func(res *Result) string {
+		return fmt.Sprintf("%v", res.Output["anc"].SortedRows())
+	}
+
+	p, edb, _ := buildAncestorQ(t, src, 3, []string{"Z"}, []string{"X"})
+	plain, err := Run(p, edb, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p2, edb2, _ := buildAncestorQ(t, src, 3, []string{"Z"}, []string{"X"})
+	dial, _ := injectorDial(1, fault.Schedule{Seed: 5, KillConn: 1, KillAfterWrites: 25})
+	recovered, err := Run(p2, edb2, Config{CheckpointEvery: 2, WorkerDial: dial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recovered.Deaths) != 1 {
+		t.Fatalf("Deaths = %v, want the scheduled kill", recovered.Deaths)
+	}
+
+	a, b := render(plain), render(recovered)
+	if a != b {
+		t.Fatalf("recovered-from-checkpoint output is not byte-identical to the undisturbed run:\nplain     %s\nrecovered %s", a, b)
+	}
+}
+
+// TestBackpressureBoundsQueueMemory: with the coordinator's writes slowed
+// (congested links via the listener-side injector), an unthrottled run
+// piles data into the coordinator's queues past the budget, while the
+// credit-gated run keeps the peak at or under MaxQueueBytes.
+func TestBackpressureBoundsQueueMemory(t *testing.T) {
+	const limit = 4096
+	src := ancestorRules + randomParFacts(40, 120, 14)
+
+	run := func(maxQueue int64, cs *obs.Counting) *Result {
+		t.Helper()
+		p, edb, seq := buildAncestorQ(t, src, 3, []string{"Z"}, []string{"X"})
+		in := fault.New(fault.Schedule{Delay: time.Millisecond})
+		cfg := Config{
+			MaxQueueBytes:  maxQueue,
+			WrapListener:   in.Listener,
+			WavePoll:       5 * time.Millisecond,
+			WorkerDeadline: 20 * time.Second,
+			Timeout:        60 * time.Second,
+		}
+		if cs != nil {
+			cfg.Sink = cs
+		}
+		res, err := Run(p, edb, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !seq["anc"].Equal(res.Output["anc"]) {
+			t.Fatal("throttled run differs from sequential least model")
+		}
+		return res
+	}
+
+	baseline := run(0, nil)
+	if baseline.PeakQueueBytes <= limit {
+		t.Fatalf("unthrottled baseline peaked at %d bytes, need > %d for the comparison to mean anything",
+			baseline.PeakQueueBytes, limit)
+	}
+
+	cs := obs.NewCounting()
+	bounded := run(limit, cs)
+	if bounded.PeakQueueBytes > limit {
+		t.Errorf("credit-gated run peaked at %d bytes, want <= MaxQueueBytes %d", bounded.PeakQueueBytes, limit)
+	}
+	if cs.Snapshot().CreditStalls == 0 {
+		t.Error("no CreditStall events: the gate never blocked, so the bound was not exercised")
+	}
+}
+
+// TestMaxInflightBatches: the batch-count credit alone must also bound the
+// queues and preserve exactness.
+func TestMaxInflightBatches(t *testing.T) {
+	src := ancestorRules + randomParFacts(40, 120, 15)
+	p, edb, seq := buildAncestorQ(t, src, 3, []string{"Z"}, []string{"X"})
+	res, err := Run(p, edb, Config{MaxInflightBatches: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !seq["anc"].Equal(res.Output["anc"]) {
+		t.Fatal("inflight-limited run differs from sequential least model")
+	}
+}
+
+// TestMemoryBudgetForcesCheckpoints: a budget big enough to finish but
+// smaller than the run's natural log footprint must trigger memory
+// pressure, force early checkpoints, and still complete exactly.
+func TestMemoryBudgetForcesCheckpoints(t *testing.T) {
+	src := ancestorRules + randomParFacts(60, 180, 16)
+	p, edb, seq := buildAncestorQ(t, src, 3, []string{"Z"}, []string{"X"})
+
+	// No checkpoint triggers configured: every checkpoint must come from
+	// the pressure path.
+	natural, err := Run(p, edb, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if natural.Checkpoints != 0 {
+		t.Fatalf("baseline run checkpointed %d times with no triggers armed", natural.Checkpoints)
+	}
+
+	p2, edb2, _ := buildAncestorQ(t, src, 3, []string{"Z"}, []string{"X"})
+	cs := obs.NewCounting()
+	// Slow the workers slightly so the coordinator's wave loop gets a
+	// chance to observe the growing logs before the run quiesces.
+	in := fault.New(fault.Schedule{Delay: 200 * time.Microsecond})
+	// The budget sits between this workload's irreducible checkpoint
+	// footprint (~105KB of condensed state, measured) and its unchecked
+	// log footprint (~160KB plus queues), so pressure must fire and
+	// forced truncation must be what keeps the run inside it.
+	res, err := Run(p2, edb2, Config{
+		MaxMemoryBytes: 128 * 1024,
+		WorkerDial:     func(wi int) DialFunc { return in.Dial },
+		Sink:           cs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !seq["anc"].Equal(res.Output["anc"]) {
+		t.Fatal("pressure-checkpointed run differs from sequential least model")
+	}
+	m := cs.Snapshot()
+	if m.MemoryPressureEvents == 0 {
+		t.Fatal("no MemoryPressure events: the budget was never hit, pick a smaller one")
+	}
+	if res.Checkpoints == 0 {
+		t.Error("memory pressure forced no checkpoints")
+	}
+	if res.TruncatedBatches == 0 {
+		t.Error("memory pressure reclaimed no log space")
+	}
+}
+
+// TestMemoryBudgetExhausted: a budget smaller than even the checkpointed
+// state must fail fast with ErrResourceExhausted instead of running on.
+func TestMemoryBudgetExhausted(t *testing.T) {
+	src := ancestorRules + randomParFacts(60, 180, 17)
+	p, edb, _ := buildAncestorQ(t, src, 3, []string{"Z"}, []string{"X"})
+
+	in := fault.New(fault.Schedule{Delay: 200 * time.Microsecond})
+	_, err := Run(p, edb, Config{
+		MaxMemoryBytes: 512,
+		WorkerDial:     func(wi int) DialFunc { return in.Dial },
+	})
+	if err == nil {
+		t.Fatal("run stayed over a 512-byte budget and still reported success")
+	}
+	if !errors.Is(err, ErrResourceExhausted) {
+		t.Fatalf("err = %v, want ErrResourceExhausted", err)
+	}
+}
+
+// TestRouterReportsDroppedBatches: a data batch addressed to an
+// out-of-range bucket must be counted and reported through the sink, not
+// silently discarded.
+func TestRouterReportsDroppedBatches(t *testing.T) {
+	cfg := &Config{}
+	cfg.fill()
+	rec := obs.NewRecorder()
+	cfg.Sink = rec
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	defer c2.Close()
+	ws := []*wkState{
+		{index: 0, conn: c1, out: newQueue(), alive: true},
+		{index: 1, conn: c2, out: newQueue(), alive: true},
+	}
+	r := newRouter(cfg, ws)
+
+	r.route(ws[0], wireMsg{Kind: kindData, Bucket: 7, From: 0, Pred: "anc", Tuples: nil})
+
+	if r.dropped != 1 {
+		t.Fatalf("dropped = %d, want 1", r.dropped)
+	}
+	if ws[0].accepted != 1 {
+		t.Errorf("accepted = %d, want 1 (the wave ledger must stay balanced)", ws[0].accepted)
+	}
+	found := false
+	for _, e := range rec.Events() {
+		if e.Kind == obs.KindBatchDropped && e.Bucket == 7 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no BatchDropped event recorded")
+	}
+}

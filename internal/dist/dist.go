@@ -15,10 +15,27 @@
 // function partitions the ground substitutions disjointly across buckets
 // (Theorems 1–2), so a dead worker's bucket is a self-contained unit of
 // work. On failure the coordinator reassigns the bucket to a survivor,
-// which rebuilds the bucket's EDB fragment locally and replays the logged
-// message history; monotonicity and set semantics make the replay confluent
-// with the original execution, so the run still computes the exact least
-// model (receivers drop rederived tuples by difference, as always).
+// which rebuilds the bucket's EDB fragment locally, installs the bucket's
+// latest checkpoint (if any) and replays the logged message suffix;
+// monotonicity and set semantics make the replay confluent with the
+// original execution, so the run still computes the exact least model
+// (receivers drop rederived tuples by difference, as always).
+//
+// Memory is bounded by three cooperating mechanisms. Periodic bucket
+// checkpoints (Config.CheckpointEvery / CheckpointInterval) ask a bucket's
+// owner for its derived-tuple set; once a checksummed checkpoint is stored,
+// the send-log prefix it covers is truncated, turning recovery from
+// O(full history) into O(checkpoint + suffix). Credit-based flow control
+// (Config.MaxInflightBatches / MaxQueueBytes) bounds the data resident in
+// the coordinator's queues: each worker holds a byte/batch credit and
+// blocks before sending past it; credit returns only when the batch leaves
+// coordinator memory. Control traffic — joins, heartbeats, status replies,
+// adopts, checkpoints, credit grants — bypasses the data credit entirely,
+// so liveness and termination detection can never deadlock behind full
+// data queues. Finally a shared budget (Config.MaxMemoryBytes) across
+// logs, checkpoints and queues first forces an early checkpoint+truncate
+// cycle under pressure and, only if still over budget once that cycle
+// resolves, fails fast with ErrResourceExhausted instead of OOMing.
 //
 // Liveness is coordinator-side: status probes double as heartbeats, and a
 // worker silent past Config.WorkerDeadline (or whose connection breaks) is
@@ -59,6 +76,10 @@ var (
 	ErrWorkerLost = errors.New("dist: worker lost")
 	// ErrTimeout reports a run that exceeded Config.Timeout.
 	ErrTimeout = errors.New("dist: timeout")
+	// ErrResourceExhausted reports a run that stayed over its
+	// Config.MaxMemoryBytes budget even after a forced checkpoint and
+	// truncation cycle — the fail-fast alternative to an OOM kill.
+	ErrResourceExhausted = errors.New("dist: resource budget exhausted")
 )
 
 // msgKind enumerates wire message types. Control and data share one
@@ -66,30 +87,94 @@ var (
 type msgKind int
 
 const (
-	kindJoin        msgKind = iota + 1 // worker → coordinator: announce index
-	kindStart                          // coordinator → worker: begin evaluation
-	kindStatus                         // coordinator → worker: heartbeat/status probe
-	kindStatusReply                    // worker → coordinator: counters + idleness
-	kindData                           // both directions: one tuple batch for a bucket
-	kindAdopt                          // coordinator → worker: take over a bucket
-	kindFinish                         // coordinator → worker: quiescent, ship outputs
-	kindOutput                         // worker → coordinator: pooled outputs + stats
+	kindJoin            msgKind = iota + 1 // worker → coordinator: announce index
+	kindStart                              // coordinator → worker: begin evaluation (carries the initial credit)
+	kindStatus                             // coordinator → worker: heartbeat/status probe
+	kindStatusReply                        // worker → coordinator: counters + idleness
+	kindData                               // both directions: one tuple batch for a bucket
+	kindAdopt                              // coordinator → worker: take over a bucket (carries its checkpoint)
+	kindFinish                             // coordinator → worker: quiescent, ship outputs
+	kindOutput                             // worker → coordinator: pooled outputs + stats
+	kindCheckpointReq                      // coordinator → worker: snapshot one hosted bucket
+	kindCheckpointReply                    // worker → coordinator: the bucket's derived-tuple set + checksum
+	kindCredit                             // coordinator → worker: return send credit
 )
 
 // wireMsg is the single wire envelope; Kind selects the meaningful fields.
 type wireMsg struct {
 	Kind   msgKind
 	Index  int   // Join: the worker's dense index
-	Probe  int   // Status/StatusReply: heartbeat sequence number
+	Probe  int   // Status/StatusReply: heartbeat sequence; CheckpointReq/Reply: checkpoint id
 	Sent   int64 // StatusReply: data batches handed to the wire
 	Recv   int64 // StatusReply: data batches processed
 	Idle   bool  // StatusReply
-	Bucket int   // Data: destination bucket; Adopt: bucket to take over
+	Bucket int   // Data: destination bucket; Adopt/Checkpoint: the bucket concerned
 	From   int   // Data: originating bucket
 	Pred   string
 	Tuples [][]ast.Value
-	Output map[string][][]ast.Value  // Output: per-predicate rows
-	Stats  []parallel.ProcStats      // Output: one entry per hosted bucket
+	Output map[string][][]ast.Value // Output: per-predicate rows; CheckpointReply/Adopt: the snapshot
+	Stats  []parallel.ProcStats     // Output: one entry per hosted bucket
+	Sum    uint64                   // CheckpointReply: checksum of Output
+	// Credit fields: the initial grant on Start, replenishment on Credit.
+	Credits     int   // data batches the receiver may have in flight (0 = unlimited on Start)
+	CreditBytes int64 // data bytes the receiver may have resident at the coordinator (0 = unlimited on Start)
+}
+
+// dataCost estimates the resident size of one data batch — tuple values
+// plus slice headers and the envelope — the accounting unit of the credit
+// and memory ledgers. Workers and the coordinator apply the same formula,
+// so debits and grants agree without shipping sizes over the wire.
+func dataCost(tuples [][]ast.Value) int64 {
+	b := int64(96)
+	for _, t := range tuples {
+		b += 24 + 4*int64(len(t))
+	}
+	return b
+}
+
+// snapCost is dataCost's analogue for a stored checkpoint snapshot.
+func snapCost(snap map[string][][]ast.Value) int64 {
+	var b int64
+	for pred, rows := range snap {
+		b += 64 + int64(len(pred)) + dataCost(rows)
+	}
+	return b
+}
+
+// snapSum is an order-independent FNV-1a checksum of a checkpoint
+// snapshot: predicates are visited in sorted order and rows in slice
+// order (which gob preserves), so the worker's sum of the map it built
+// equals the coordinator's sum of the map it decoded. A mismatch means
+// the snapshot was corrupted in transit and must not replace the log.
+func snapSum(snap map[string][][]ast.Value) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	preds := make([]string, 0, len(snap))
+	for pred := range snap {
+		preds = append(preds, pred)
+	}
+	sort.Strings(preds)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= (v >> (8 * i)) & 0xff
+			h *= prime64
+		}
+	}
+	for _, pred := range preds {
+		for _, c := range []byte(pred) {
+			h ^= uint64(c)
+			h *= prime64
+		}
+		for _, row := range snap[pred] {
+			for _, v := range row {
+				mix(uint64(uint32(v)))
+			}
+		}
+	}
+	return h
 }
 
 // Config configures a distributed run.
@@ -117,13 +202,46 @@ type Config struct {
 	// RetryBase is the first backoff step of the connect retry
 	// (default 5ms).
 	RetryBase time.Duration
+
+	// CheckpointEvery requests a checkpoint of a bucket after that many
+	// data batches have been logged for it since its last checkpoint;
+	// 0 disables the count trigger.
+	CheckpointEvery int
+	// CheckpointInterval requests a checkpoint of every bucket with a
+	// non-empty send log at this period; 0 disables the timer trigger.
+	// Either trigger bounds recovery replay to the log suffix since the
+	// last accepted checkpoint.
+	CheckpointInterval time.Duration
+	// MaxInflightBatches bounds the data batches each worker may have
+	// unacknowledged at the coordinator; senders block until credit
+	// returns. 0 means unlimited.
+	MaxInflightBatches int
+	// MaxQueueBytes bounds the estimated bytes of data batches resident
+	// in the coordinator's outbound queues, split evenly into per-worker
+	// byte credits; credit returns only when a batch has been handed to
+	// the destination's TCP stream. 0 means unlimited.
+	MaxQueueBytes int64
+	// MaxMemoryBytes is a shared budget over send logs, stored
+	// checkpoints and queued batches. When exceeded the coordinator
+	// forces an early checkpoint+truncate cycle; if the budget is still
+	// exceeded once that cycle resolves, the run fails with an error
+	// wrapping ErrResourceExhausted. 0 means unlimited.
+	MaxMemoryBytes int64
+	// CheckpointFault, when non-nil, intercepts every checkpoint reply
+	// the coordinator receives — the fault-injection hook. Return values
+	// follow internal/dist/fault: 0 passes the reply through, 1 drops it
+	// in transit, 2 corrupts its payload so the checksum check fails.
+	CheckpointFault func(bucket, ckpt int) int
+
 	// Ctx, when non-nil, cancels the run: every blocking path (accept,
-	// decode, queue waits, detection waves) unblocks promptly.
+	// decode, queue waits, credit waits, detection waves) unblocks
+	// promptly.
 	Ctx context.Context
 	// Sink, when non-nil, receives the coordinator's and (for in-process
 	// workers started by Run) the workers' event stream, including the
 	// fault-tolerance events (heartbeat misses, deaths, reassignments,
-	// replays).
+	// replays) and the bounded-memory events (checkpoints, truncations,
+	// credit stalls, memory pressure).
 	Sink obs.EventSink
 	// ProcIDs maps dense worker indices to paper-level processor ids for
 	// event labeling; nil labels events with the dense index.
@@ -131,6 +249,12 @@ type Config struct {
 	// WorkerDial, when non-nil, supplies each in-process worker's dialer
 	// (Run only) — the fault-injection hook.
 	WorkerDial func(wi int) DialFunc
+	// WrapListener, when non-nil, wraps the coordinator's listener so
+	// every accepted worker connection can be instrumented from the
+	// coordinator side (e.g. a fault.Injector slowing the coordinator's
+	// writes to simulate congested links). The coordinator keeps the raw
+	// TCP listener for deadlines; only Accept goes through the wrapper.
+	WrapListener func(net.Listener) net.Listener
 }
 
 func (c *Config) fill() {
@@ -175,8 +299,13 @@ type Recovery struct {
 	Bucket int
 	// FromWorker and ToWorker are dense worker indices.
 	FromWorker, ToWorker int
-	// Replayed is the number of logged batches replayed to the new owner.
+	// Replayed is the number of logged batches replayed to the new
+	// owner — the suffix since the last accepted checkpoint.
 	Replayed int
+	// Truncated is the number of batches the bucket's checkpoint covers;
+	// they were dropped from the log and did not need replaying. The
+	// bucket's full history length is Replayed + Truncated.
+	Truncated int
 }
 
 // Result is the pooled outcome of a distributed run.
@@ -192,14 +321,41 @@ type Result struct {
 	Deaths []int
 	// Recoveries lists the bucket reassignments that kept the run alive.
 	Recoveries []Recovery
+	// Checkpoints counts the bucket checkpoints the coordinator accepted.
+	Checkpoints int
+	// TruncatedBatches counts logged batches dropped because an accepted
+	// checkpoint covered them.
+	TruncatedBatches int64
+	// PeakQueueBytes is the high-water mark of estimated data bytes
+	// resident in the coordinator's outbound queues.
+	PeakQueueBytes int64
+	// DroppedBatches counts data batches addressed to out-of-range
+	// buckets, discarded (and reported) by the router.
+	DroppedBatches int64
 }
+
+// qmsg is one queued wire message plus the coordinator-side ledger fields:
+// cost is the dataCost of a data batch (0 for control), sender the dense
+// index of the worker owed credit once the batch leaves coordinator memory
+// (-1 for control and replayed batches).
+type qmsg struct {
+	m      wireMsg
+	cost   int64
+	sender int
+}
+
+// control wraps a control-plane message as a zero-cost queue entry.
+func control(m wireMsg) qmsg { return qmsg{m: m, sender: -1} }
 
 // queue is an unbounded FIFO of wire messages with close semantics: pop
 // drains remaining messages before reporting closed, so a writer can flush
-// everything enqueued before shutdown. One consumer per queue.
+// everything enqueued before shutdown. Boundedness of the data plane is
+// enforced by the credit gate at the senders, not structurally here, which
+// is what lets control traffic bypass the data credit. One consumer per
+// queue.
 type queue struct {
 	mu     sync.Mutex
-	msgs   []wireMsg
+	msgs   []qmsg
 	head   int
 	closed bool
 	notify chan struct{}
@@ -215,7 +371,7 @@ func (q *queue) signal() {
 }
 
 // push enqueues m unless the queue is closed.
-func (q *queue) push(m wireMsg) {
+func (q *queue) push(m qmsg) {
 	q.mu.Lock()
 	if !q.closed {
 		q.msgs = append(q.msgs, m)
@@ -226,12 +382,12 @@ func (q *queue) push(m wireMsg) {
 
 // pop blocks until a message is available or the queue is closed and
 // drained.
-func (q *queue) pop() (wireMsg, bool) {
+func (q *queue) pop() (qmsg, bool) {
 	for {
 		q.mu.Lock()
 		if q.head < len(q.msgs) {
 			m := q.msgs[q.head]
-			q.msgs[q.head] = wireMsg{} // release tuple memory
+			q.msgs[q.head] = qmsg{} // release tuple memory
 			q.head++
 			if q.head == len(q.msgs) {
 				q.msgs = q.msgs[:0]
@@ -243,14 +399,14 @@ func (q *queue) pop() (wireMsg, bool) {
 		closed := q.closed
 		q.mu.Unlock()
 		if closed {
-			return wireMsg{}, false
+			return qmsg{}, false
 		}
 		<-q.notify
 	}
 }
 
 // takeAll drains the queue without blocking (mailbox mode).
-func (q *queue) takeAll() []wireMsg {
+func (q *queue) takeAll() []qmsg {
 	q.mu.Lock()
 	out := q.msgs[q.head:]
 	q.msgs = nil
@@ -267,11 +423,24 @@ func (q *queue) close() {
 	q.signal()
 }
 
+// remaining empties the queue and returns what the consumer never popped;
+// the router refunds the credit of any data batches stranded there when a
+// worker dies.
+func (q *queue) remaining() []qmsg {
+	q.mu.Lock()
+	out := q.msgs[q.head:]
+	q.msgs = nil
+	q.head = 0
+	q.mu.Unlock()
+	return out
+}
+
 // Coordinator orchestrates one run. Create with NewCoordinator, hand its
 // Addr to the workers, then call Wait.
 type Coordinator struct {
 	cfg     Config
-	ln      net.Listener
+	ln      net.Listener // raw TCP listener (deadlines, Addr)
+	acc     net.Listener // accept path, possibly wrapped by cfg.WrapListener
 	arities map[string]int
 }
 
@@ -285,7 +454,11 @@ func NewCoordinator(cfg Config, idbArities map[string]int) (*Coordinator, error)
 	if err != nil {
 		return nil, err
 	}
-	return &Coordinator{cfg: cfg, ln: ln, arities: idbArities}, nil
+	acc := ln
+	if cfg.WrapListener != nil {
+		acc = cfg.WrapListener(ln)
+	}
+	return &Coordinator{cfg: cfg, ln: ln, acc: acc, arities: idbArities}, nil
 }
 
 // Addr returns the address workers must dial.
@@ -316,20 +489,56 @@ type wkState struct {
 	output *wireMsg // final kindOutput, once received
 }
 
-// router is the shared hub: bucket ownership, per-bucket send logs, worker
-// states and the death/recovery bookkeeping. One mutex guards it all — the
-// data plane takes it once per batch, which is noise next to a gob encode.
+// logEntry is one logged data batch with its ledger cost.
+type logEntry struct {
+	m    wireMsg
+	cost int64
+}
+
+// bucketState is the coordinator's bookkeeping for one hash bucket: who
+// hosts it, the send-log suffix since its last checkpoint, and the stored
+// checkpoint that replaces the truncated prefix during recovery.
+type bucketState struct {
+	owner    int
+	log      []logEntry
+	logBase  int64 // absolute index of log[0]: batches truncated so far
+	logBytes int64
+
+	snap       map[string][][]ast.Value // latest accepted checkpoint; nil if none
+	snapBytes  int64
+	snapOffset int64 // absolute batch count the checkpoint covers
+
+	pending       int   // outstanding checkpoint request id; 0 = none
+	pendingOffset int64 // log length (absolute) at request time
+	lastReq       time.Time
+}
+
+// router is the shared hub: bucket ownership, per-bucket send logs and
+// checkpoints, worker states, the credit/memory ledgers and the
+// death/recovery bookkeeping. One mutex guards it all — the data plane
+// takes it once per batch, which is noise next to a gob encode.
 type router struct {
-	mu   sync.Mutex
-	cfg  *Config
-	ws   []*wkState
-	own  []int       // bucket → dense index of the hosting worker
-	logs [][]wireMsg // bucket → every data batch ever delivered to it
+	mu      sync.Mutex
+	cfg     *Config
+	ws      []*wkState
+	buckets []bucketState
 
 	gen        int // membership generation; bumped on every death
 	deaths     []int
 	recoveries []Recovery
 	fatal      error
+
+	// Ledgers (all estimated via dataCost/snapCost).
+	queueBytes int64 // data bytes resident in outbound queues
+	peakQueue  int64
+	logBytes   int64 // data bytes held by send logs
+	snapBytes  int64 // bytes held by stored checkpoints
+	pressured  bool  // over MaxMemoryBytes; a forced checkpoint cycle is in flight
+
+	ckptSeq   int // checkpoint request id generator
+	ckpts     int // accepted checkpoints
+	truncated int64
+	dropped   int64 // out-of-range data batches discarded
 
 	outputCh chan int // worker indices that delivered their output
 }
@@ -338,12 +547,13 @@ func newRouter(cfg *Config, ws []*wkState) *router {
 	r := &router{
 		cfg:      cfg,
 		ws:       ws,
-		own:      make([]int, len(ws)),
-		logs:     make([][]wireMsg, len(ws)),
+		buckets:  make([]bucketState, len(ws)),
 		outputCh: make(chan int, len(ws)),
 	}
-	for i := range r.own {
-		r.own[i] = i
+	now := time.Now()
+	for i := range r.buckets {
+		r.buckets[i].owner = i
+		r.buckets[i].lastReq = now
 	}
 	return r
 }
@@ -369,13 +579,216 @@ func (r *router) route(w *wkState, m wireMsg) {
 		return
 	}
 	w.accepted++
-	if m.Bucket < 0 || m.Bucket >= len(r.own) {
-		return // corrupt destination; counted so the wave math stays balanced
+	if m.Bucket < 0 || m.Bucket >= len(r.buckets) {
+		// Corrupt destination: accepted (so the wave math stays
+		// balanced) but undeliverable. Count and report it instead of
+		// losing it invisibly.
+		r.dropped++
+		if r.cfg.Sink != nil {
+			r.cfg.Sink.BatchDropped(r.cfg.procID(w.index), m.Bucket, len(m.Tuples))
+		}
+		return
 	}
-	r.logs[m.Bucket] = append(r.logs[m.Bucket], m)
-	o := r.ws[r.own[m.Bucket]]
+	cost := dataCost(m.Tuples)
+	bs := &r.buckets[m.Bucket]
+	bs.log = append(bs.log, logEntry{m: m, cost: cost})
+	bs.logBytes += cost
+	r.logBytes += cost
+	o := r.ws[bs.owner]
 	o.delivered++
-	o.out.push(m)
+	r.queueBytes += cost
+	if r.queueBytes > r.peakQueue {
+		r.peakQueue = r.queueBytes
+	}
+	o.out.push(qmsg{m: m, cost: cost, sender: w.index})
+	if r.cfg.CheckpointEvery > 0 && bs.pending == 0 &&
+		bs.logBase+int64(len(bs.log))-bs.snapOffset >= int64(r.cfg.CheckpointEvery) {
+		r.requestCheckpointLocked(m.Bucket)
+	}
+}
+
+// settle retires one popped queue entry: the batch has left coordinator
+// memory (encoded to the destination's TCP stream, or stranded on a dead
+// connection), so its bytes leave the queue ledger and its credit returns
+// to the sender.
+func (r *router) settle(qm qmsg) {
+	if qm.m.Kind != kindData {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.queueBytes -= qm.cost
+	r.grantLocked(qm)
+}
+
+// grantLocked returns one batch's credit to its sender, if it is still
+// alive to use it. Caller holds the mutex.
+func (r *router) grantLocked(qm qmsg) {
+	if qm.sender < 0 || qm.sender >= len(r.ws) {
+		return
+	}
+	if r.cfg.MaxInflightBatches <= 0 && r.cfg.MaxQueueBytes <= 0 {
+		return
+	}
+	s := r.ws[qm.sender]
+	if s.alive {
+		s.out.push(control(wireMsg{Kind: kindCredit, Credits: 1, CreditBytes: qm.cost}))
+	}
+}
+
+// requestCheckpointLocked asks a bucket's owner for a snapshot covering
+// the log as of now. At most one request per bucket is outstanding; the
+// reply's checksum is verified before any truncation. Caller holds the
+// mutex.
+func (r *router) requestCheckpointLocked(b int) {
+	bs := &r.buckets[b]
+	o := r.ws[bs.owner]
+	if bs.pending != 0 || !o.alive {
+		return
+	}
+	r.ckptSeq++
+	bs.pending = r.ckptSeq
+	bs.pendingOffset = bs.logBase + int64(len(bs.log))
+	bs.lastReq = time.Now()
+	o.out.push(control(wireMsg{Kind: kindCheckpointReq, Bucket: b, Probe: bs.pending}))
+	if r.cfg.Sink != nil {
+		r.cfg.Sink.CheckpointStart(b, r.cfg.procID(o.index))
+	}
+}
+
+// checkCheckpoints fires the timer-based checkpoint trigger. Called from
+// the wave loop.
+func (r *router) checkCheckpoints(now time.Time) {
+	if r.cfg.CheckpointInterval <= 0 {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for b := range r.buckets {
+		bs := &r.buckets[b]
+		if bs.pending == 0 && len(bs.log) > 0 && now.Sub(bs.lastReq) >= r.cfg.CheckpointInterval {
+			r.requestCheckpointLocked(b)
+		}
+	}
+}
+
+// noteCheckpoint processes one checkpoint reply: verify it, store it,
+// truncate the log prefix it covers. A reply that raced with a bucket
+// reassignment, was superseded, failed its checksum, or was dropped or
+// corrupted by the fault hook leaves the log untouched — recovery then
+// simply replays a longer suffix, so every outcome is safe.
+func (r *router) noteCheckpoint(w *wkState, m wireMsg) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m.Bucket < 0 || m.Bucket >= len(r.buckets) {
+		return
+	}
+	bs := &r.buckets[m.Bucket]
+	if bs.pending == 0 || m.Probe != bs.pending || bs.owner != w.index {
+		return // stale: the bucket moved or the request was superseded
+	}
+	off := bs.pendingOffset
+	bs.pending = 0
+	proc := r.cfg.procID(w.index)
+	sum := m.Sum
+	if r.cfg.CheckpointFault != nil {
+		switch r.cfg.CheckpointFault(m.Bucket, m.Probe) {
+		case 1: // dropped in transit
+			if r.cfg.Sink != nil {
+				r.cfg.Sink.CheckpointEnd(m.Bucket, proc, 0, false)
+			}
+			return
+		case 2: // corrupted in transit: the checksum check below rejects it
+			sum ^= 0xdecea5ed
+		}
+	}
+	tuples := 0
+	for _, rows := range m.Output {
+		tuples += len(rows)
+	}
+	if m.Output == nil || snapSum(m.Output) != sum {
+		if r.cfg.Sink != nil {
+			r.cfg.Sink.CheckpointEnd(m.Bucket, proc, tuples, false)
+		}
+		return
+	}
+	newBytes := snapCost(m.Output)
+	r.snapBytes += newBytes - bs.snapBytes
+	bs.snap, bs.snapBytes, bs.snapOffset = m.Output, newBytes, off
+	r.ckpts++
+	if r.cfg.Sink != nil {
+		r.cfg.Sink.CheckpointEnd(m.Bucket, proc, tuples, true)
+	}
+	cut := int(off - bs.logBase)
+	if cut > len(bs.log) {
+		cut = len(bs.log)
+	}
+	if cut > 0 {
+		var freed int64
+		for _, le := range bs.log[:cut] {
+			freed += le.cost
+		}
+		bs.log = append([]logEntry(nil), bs.log[cut:]...)
+		bs.logBase = off
+		bs.logBytes -= freed
+		r.logBytes -= freed
+		r.truncated += int64(cut)
+		if r.cfg.Sink != nil {
+			r.cfg.Sink.LogTruncated(m.Bucket, cut)
+		}
+	}
+}
+
+// checkMemory enforces the shared budget across logs, checkpoints and
+// queues: on first overrun it forces an early checkpoint+truncate cycle;
+// if the budget is still exceeded once no checkpoint requests remain in
+// flight and no log is left to truncate, it fails the run fast with
+// ErrResourceExhausted. Called from the wave loop.
+func (r *router) checkMemory() {
+	if r.cfg.MaxMemoryBytes <= 0 {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	used := r.logBytes + r.snapBytes + r.queueBytes
+	if used <= r.cfg.MaxMemoryBytes {
+		r.pressured = false
+		return
+	}
+	if !r.pressured {
+		r.pressured = true
+		if r.cfg.Sink != nil {
+			r.cfg.Sink.MemoryPressure(used, r.cfg.MaxMemoryBytes)
+		}
+	}
+	// The stored checkpoints are the condensed, irreducible recovery
+	// state — every log is a superset of what its bucket's snapshot
+	// holds. If the snapshots alone exceed the budget, no amount of
+	// truncation can ever get under it: fail fast.
+	if r.snapBytes > r.cfg.MaxMemoryBytes && r.fatal == nil {
+		r.fatal = fmt.Errorf("dist: checkpointed state alone is %d bytes, over budget %d: %w",
+			r.snapBytes, r.cfg.MaxMemoryBytes, ErrResourceExhausted)
+		return
+	}
+	// Degrade gracefully: checkpoint every bucket that still has log to
+	// truncate. Only when nothing is pending and nothing is left to
+	// reclaim is the overrun unrecoverable.
+	reclaimable := false
+	for b := range r.buckets {
+		bs := &r.buckets[b]
+		if bs.pending != 0 {
+			reclaimable = true
+			continue
+		}
+		if len(bs.log) > 0 && r.ws[bs.owner].alive {
+			r.requestCheckpointLocked(b)
+			reclaimable = true
+		}
+	}
+	if !reclaimable && r.fatal == nil {
+		r.fatal = fmt.Errorf("dist: memory %d bytes over budget %d after forced checkpointing: %w",
+			used, r.cfg.MaxMemoryBytes, ErrResourceExhausted)
+	}
 }
 
 func (r *router) noteStatus(w *wkState, m wireMsg) {
@@ -399,7 +812,7 @@ func (r *router) probe(n int) {
 	defer r.mu.Unlock()
 	for _, w := range r.ws {
 		if w.alive {
-			w.out.push(wireMsg{Kind: kindStatus, Probe: n})
+			w.out.push(control(wireMsg{Kind: kindStatus, Probe: n}))
 		}
 	}
 }
@@ -436,14 +849,23 @@ func (r *router) checkLiveness(now time.Time) {
 
 // declareDead removes w from the membership and recovers its buckets:
 // every bucket w hosted is reassigned to the least-loaded survivor, which
-// is told to adopt it (rebuilding the EDB fragment locally) and is then
-// replayed the bucket's complete message log. Caller holds the mutex.
+// is told to adopt it — installing the bucket's stored checkpoint and
+// rebuilding the EDB fragment locally — and is then replayed the bucket's
+// logged suffix. Credit stranded in w's queue is refunded to the senders
+// so nobody blocks on a dead worker's unprocessed batches. Caller holds
+// the mutex.
 func (r *router) declareDead(w *wkState, reason string) {
 	w.alive = false
 	r.gen++
 	r.deaths = append(r.deaths, w.index)
 	w.conn.Close()
 	w.out.close()
+	for _, qm := range w.out.remaining() {
+		if qm.m.Kind == kindData {
+			r.queueBytes -= qm.cost
+			r.grantLocked(qm)
+		}
+	}
 	if r.cfg.Sink != nil {
 		r.cfg.Sink.WorkerDead(r.cfg.procID(w.index), reason)
 	}
@@ -451,8 +873,8 @@ func (r *router) declareDead(w *wkState, reason string) {
 	// Buckets w hosted (its own, plus any it had adopted earlier —
 	// cascading failures recover the same way).
 	var lost []int
-	for b, o := range r.own {
-		if o == w.index {
+	for b := range r.buckets {
+		if r.buckets[b].owner == w.index {
 			lost = append(lost, b)
 		}
 	}
@@ -467,21 +889,32 @@ func (r *router) declareDead(w *wkState, reason string) {
 			}
 			return
 		}
-		r.own[b] = s.index
+		bs := &r.buckets[b]
+		bs.owner = s.index
+		bs.pending = 0 // a dead owner can never answer its request
 		r.recoveries = append(r.recoveries, Recovery{
-			Bucket: b, FromWorker: w.index, ToWorker: s.index, Replayed: len(r.logs[b]),
+			Bucket: b, FromWorker: w.index, ToWorker: s.index,
+			Replayed: len(bs.log), Truncated: int(bs.logBase),
 		})
 		if r.cfg.Sink != nil {
 			r.cfg.Sink.BucketReassigned(b, r.cfg.procID(w.index), r.cfg.procID(s.index))
 			r.cfg.Sink.ReplayStart(b, r.cfg.procID(s.index))
 		}
-		s.out.push(wireMsg{Kind: kindAdopt, Bucket: b})
-		for _, lm := range r.logs[b] {
+		// The adopt message carries the checkpoint (nil if none): the
+		// survivor installs it, then the logged suffix completes the
+		// bucket's history. Stored snapshots are never mutated in
+		// place, so sharing the map with the encoder is safe.
+		s.out.push(control(wireMsg{Kind: kindAdopt, Bucket: b, Output: bs.snap}))
+		for _, le := range bs.log {
 			s.delivered++
-			s.out.push(lm)
+			r.queueBytes += le.cost
+			if r.queueBytes > r.peakQueue {
+				r.peakQueue = r.queueBytes
+			}
+			s.out.push(qmsg{m: le.m, cost: le.cost, sender: -1})
 		}
 		if r.cfg.Sink != nil {
-			r.cfg.Sink.ReplayEnd(b, r.cfg.procID(s.index), len(r.logs[b]))
+			r.cfg.Sink.ReplayEnd(b, r.cfg.procID(s.index), len(bs.log))
 		}
 	}
 }
@@ -490,8 +923,8 @@ func (r *router) declareDead(w *wkState, reason string) {
 // index on ties) — a deterministic, load-balancing choice.
 func (r *router) survivorLocked() *wkState {
 	hosted := make(map[int]int)
-	for _, o := range r.own {
-		hosted[o]++
+	for b := range r.buckets {
+		hosted[r.buckets[b].owner]++
 	}
 	var best *wkState
 	for _, w := range r.ws {
@@ -539,7 +972,7 @@ func (r *router) finish() []int {
 	var live []int
 	for _, w := range r.ws {
 		if w.alive {
-			w.out.push(wireMsg{Kind: kindFinish})
+			w.out.push(control(wireMsg{Kind: kindFinish}))
 			live = append(live, w.index)
 		}
 	}
@@ -569,8 +1002,8 @@ func equalVec(a, b []int64) bool {
 }
 
 // Wait accepts the workers, runs the protocol to completion — surviving
-// worker deaths via bucket recovery — and returns the pooled result. It
-// closes the listener before returning.
+// worker deaths via checkpoint+suffix bucket recovery — and returns the
+// pooled result. It closes the listener before returning.
 func (c *Coordinator) Wait() (*Result, error) {
 	defer c.ln.Close()
 	start := time.Now()
@@ -586,7 +1019,7 @@ func (c *Coordinator) Wait() (*Result, error) {
 			stopJoinWatch()
 			return nil, err
 		}
-		conn, err := c.ln.Accept()
+		conn, err := c.acc.Accept()
 		if err != nil {
 			stopJoinWatch()
 			if ctx.Err() != nil {
@@ -634,18 +1067,23 @@ func (c *Coordinator) Wait() (*Result, error) {
 	stopWatch := context.AfterFunc(ctx, r.closeAll)
 	defer stopWatch()
 
-	// Per-worker reader and writer goroutines.
+	// Per-worker reader and writer goroutines. The writer settles every
+	// data batch it pops — successfully encoded or stranded by a broken
+	// connection — so the queue ledger shrinks and the sender's credit
+	// returns exactly once per batch.
 	for _, w := range ws {
 		w := w
 		go c.readLoop(r, w)
 		go func() {
 			enc := gob.NewEncoder(w.conn)
 			for {
-				m, ok := w.out.pop()
+				qm, ok := w.out.pop()
 				if !ok {
 					return
 				}
-				if err := enc.Encode(m); err != nil {
+				err := enc.Encode(qm.m)
+				r.settle(qm)
+				if err != nil {
 					r.connBroken(w, err)
 					return
 				}
@@ -653,17 +1091,30 @@ func (c *Coordinator) Wait() (*Result, error) {
 		}()
 	}
 
-	// Start phase.
+	// Start phase: the start message carries each worker's initial send
+	// credit (the byte budget split evenly across workers).
+	creditBytes := int64(0)
+	if c.cfg.MaxQueueBytes > 0 {
+		creditBytes = c.cfg.MaxQueueBytes / int64(len(ws))
+		if creditBytes < 1 {
+			creditBytes = 1
+		}
+	}
 	r.mu.Lock()
 	for _, w := range ws {
 		w.lastHeard = time.Now() // the liveness clock starts now
-		w.out.push(wireMsg{Kind: kindStart})
+		w.out.push(control(wireMsg{
+			Kind:        kindStart,
+			Credits:     c.cfg.MaxInflightBatches,
+			CreditBytes: creditBytes,
+		}))
 	}
 	r.mu.Unlock()
 
 	// Detection waves: Mattern-style counter comparison over the star.
 	// Each wave doubles as a heartbeat probe; deaths discovered here
-	// trigger bucket recovery before the next quiescence check.
+	// trigger bucket recovery before the next quiescence check, and the
+	// checkpoint timer and memory budget are enforced at the same cadence.
 	var prevVec []int64
 	prevQuiet := false
 	prevGen := -1
@@ -676,7 +1127,10 @@ func (c *Coordinator) Wait() (*Result, error) {
 		if time.Now().After(deadline) {
 			return nil, fmt.Errorf("dist: run exceeded %v without quiescing: %w", c.cfg.Timeout, ErrTimeout)
 		}
-		r.checkLiveness(time.Now())
+		now := time.Now()
+		r.checkLiveness(now)
+		r.checkCheckpoints(now)
+		r.checkMemory()
 		r.probe(waveNum)
 		vec, quiet, gen, fatal := r.snapshot()
 		if fatal != nil {
@@ -740,6 +1194,10 @@ func (c *Coordinator) Wait() (*Result, error) {
 	r.mu.Lock()
 	res.Deaths = append(res.Deaths, r.deaths...)
 	res.Recoveries = append(res.Recoveries, r.recoveries...)
+	res.Checkpoints = r.ckpts
+	res.TruncatedBatches = r.truncated
+	res.PeakQueueBytes = r.peakQueue
+	res.DroppedBatches = r.dropped
 	for _, w := range ws {
 		if w.output == nil {
 			continue
@@ -778,6 +1236,8 @@ func (c *Coordinator) readLoop(r *router, w *wkState) {
 			r.noteStatus(w, m)
 		case kindData:
 			r.route(w, m)
+		case kindCheckpointReply:
+			r.noteCheckpoint(w, m)
 		case kindOutput:
 			r.noteOutput(w, m)
 			return

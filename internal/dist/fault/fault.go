@@ -42,6 +42,10 @@ type Schedule struct {
 	Delay time.Duration
 	// Jitter adds a seeded-uniform extra delay in [0, Jitter) per write.
 	Jitter time.Duration
+	// ReadDelay is added to every Read on every wrapped connection —
+	// a slow consumer, the stimulus that backs up the coordinator's
+	// outbound queues and exercises credit-based flow control.
+	ReadDelay time.Duration
 }
 
 // Injector applies a Schedule to the connections it wraps. Safe for
@@ -159,6 +163,9 @@ func (c *conn) Write(p []byte) (int, error) {
 }
 
 func (c *conn) Read(p []byte) (int, error) {
+	if d := c.in.sched.ReadDelay; d > 0 {
+		time.Sleep(d)
+	}
 	c.mu.Lock()
 	killed := c.killed
 	c.mu.Unlock()
@@ -166,4 +173,56 @@ func (c *conn) Read(p []byte) (int, error) {
 		return 0, ErrInjected
 	}
 	return c.Conn.Read(p)
+}
+
+// Checkpoint-message fault actions, the values a runtime checkpoint-fault
+// hook returns. Kept as plain ints so the runtime does not need to import
+// this package to declare its hook.
+const (
+	CkptPass    = 0 // deliver the checkpoint reply untouched
+	CkptDrop    = 1 // discard the reply in transit (log stays untruncated)
+	CkptCorrupt = 2 // flip the reply's payload so the checksum fails
+)
+
+// CheckpointPlan schedules message-level checkpoint faults by ordinal:
+// the n-th checkpoint reply the coordinator receives is dropped or
+// corrupted per the plan. Deterministic and safe for concurrent use.
+type CheckpointPlan struct {
+	mu      sync.Mutex
+	drop    map[int]bool
+	corrupt map[int]bool
+	n       int
+}
+
+// NewCheckpointPlan builds a plan from 1-based reply ordinals.
+func NewCheckpointPlan(dropNth, corruptNth []int) *CheckpointPlan {
+	p := &CheckpointPlan{drop: map[int]bool{}, corrupt: map[int]bool{}}
+	for _, n := range dropNth {
+		p.drop[n] = true
+	}
+	for _, n := range corruptNth {
+		p.corrupt[n] = true
+	}
+	return p
+}
+
+// Next counts one checkpoint reply and returns its scheduled action.
+func (p *CheckpointPlan) Next() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.n++
+	switch {
+	case p.drop[p.n]:
+		return CkptDrop
+	case p.corrupt[p.n]:
+		return CkptCorrupt
+	}
+	return CkptPass
+}
+
+// Seen reports how many checkpoint replies the plan has counted.
+func (p *CheckpointPlan) Seen() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.n
 }

@@ -75,6 +75,109 @@ func (f *failure) fail(err error) {
 	})
 }
 
+// creditGate is the sender side of the coordinator's flow control: the
+// start message deposits the worker's initial credit (batches and/or
+// bytes), every data send debits it before reaching the wire, and every
+// kindCredit grant replenishes it. acquire blocks the eval loop — never
+// the reader, so heartbeats and grants keep flowing — until the debit
+// fits. An unconfigured gate (no limits) admits everything immediately.
+type creditGate struct {
+	mu       sync.Mutex
+	notify   chan struct{}
+	limBatch bool
+	limBytes bool
+	batches  int
+	bytes    int64
+	chunk    int64 // initial byte credit: the outgoing batch split size
+	inflight int   // batches debited and not yet granted back
+}
+
+func newCreditGate() *creditGate { return &creditGate{notify: make(chan struct{}, 1)} }
+
+func (g *creditGate) signal() {
+	select {
+	case g.notify <- struct{}{}:
+	default:
+	}
+}
+
+// configure installs the initial credit from the start message. Called by
+// the reader before the eval loop starts (the started-channel close is the
+// happens-before edge).
+func (g *creditGate) configure(batches int, bytes int64) {
+	g.mu.Lock()
+	g.limBatch = batches > 0
+	g.batches = batches
+	g.limBytes = bytes > 0
+	g.bytes = bytes
+	g.chunk = bytes
+	g.mu.Unlock()
+}
+
+// chunkLimit returns the byte size outgoing batches must be split to (the
+// worker's whole byte credit), or 0 when byte credit is unlimited. Keeping
+// every batch within the credit is what makes the coordinator's residency
+// bound strict: a batch never needs to overdraw.
+func (g *creditGate) chunkLimit() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if !g.limBytes {
+		return 0
+	}
+	return g.chunk
+}
+
+// acquire debits one batch of the given cost, blocking until the credit
+// covers it. A batch larger than the whole byte budget is admitted once
+// nothing else is in flight, so an oversized batch degrades to
+// stop-and-wait instead of deadlocking. Returns false if the connection
+// failed or the context was canceled while waiting (the caller's send then
+// goes nowhere anyway). stall reports whether the call had to wait.
+func (g *creditGate) acquire(cost int64, f *failure, ctx context.Context) (ok, stalled bool) {
+	for {
+		g.mu.Lock()
+		fits := true
+		if g.limBatch && g.batches < 1 {
+			fits = false
+		}
+		if g.limBytes && g.bytes < cost && g.inflight > 0 {
+			fits = false
+		}
+		if fits {
+			if g.limBatch {
+				g.batches--
+			}
+			if g.limBytes {
+				g.bytes -= cost
+			}
+			g.inflight++
+			g.mu.Unlock()
+			return true, stalled
+		}
+		g.mu.Unlock()
+		stalled = true
+		select {
+		case <-g.notify:
+		case <-f.ch:
+			return false, stalled
+		case <-ctx.Done():
+			return false, stalled
+		}
+	}
+}
+
+// release credits back one grant and wakes the eval loop if it is waiting.
+func (g *creditGate) release(batches int, bytes int64) {
+	g.mu.Lock()
+	g.batches += batches
+	g.bytes += bytes
+	if g.inflight > 0 {
+		g.inflight--
+	}
+	g.mu.Unlock()
+	g.signal()
+}
+
 // dialRetry dials with exponential backoff and jitter, honoring ctx between
 // attempts. The jitter is seeded per call — connect storms after a
 // coordinator restart spread out instead of synchronizing.
@@ -113,11 +216,14 @@ func dialRetry(ctx context.Context, dial DialFunc, addr string, retries int, bas
 // heartbeats and data batches — flows over the single coordinator
 // connection (star topology), which is what lets the coordinator log every
 // batch for replay. If the coordinator reassigns a dead peer's bucket here,
-// the worker builds a second node via cfg.NewNode and hosts both; outputs
-// and stats are then reported per bucket. Blocking; returns after the
-// coordinator has collected this worker's output, or with an error if the
-// connection breaks mid-run (the coordinator then recovers this worker's
-// buckets elsewhere).
+// the worker builds a second node via cfg.NewNode, installs the bucket's
+// checkpoint and hosts both; outputs and stats are then reported per
+// bucket. Data sends honor the coordinator's credit grants; control
+// traffic (status replies, checkpoint replies, the final output) bypasses
+// the credit so liveness never queues behind flow control. Blocking;
+// returns after the coordinator has collected this worker's output, or
+// with an error if the connection breaks mid-run (the coordinator then
+// recovers this worker's buckets elsewhere).
 func RunWorker(coordAddr string, node *parallel.Node, cfg WorkerConfig) error {
 	cfg.fill()
 	ctx := cfg.Ctx
@@ -133,7 +239,8 @@ func RunWorker(coordAddr string, node *parallel.Node, cfg WorkerConfig) error {
 	var (
 		f          = newFailure()
 		wq         = newQueue() // outbound wire messages, serialized by the writer
-		mbox       = newQueue() // inbound data/adopt/finish, drained by the eval loop
+		mbox       = newQueue() // inbound data/adopt/finish/checkpoint, drained by the eval loop
+		gate       = newCreditGate()
 		started    = make(chan struct{})
 		writerDone = make(chan struct{})
 		// The termination counters: sent is incremented before a batch is
@@ -142,7 +249,9 @@ func RunWorker(coordAddr string, node *parallel.Node, cfg WorkerConfig) error {
 		// responder reads recv, then idle, then sent — sent last, so a
 		// reply can never understate in-flight sends relative to the
 		// idleness it reports (that ordering is what makes the
-		// coordinator's quiescence check sound).
+		// coordinator's quiescence check sound). A sender blocked on
+		// credit is not at a rest point, so idle stays false and the
+		// coordinator cannot mistake a credit stall for quiescence.
 		sent, recv atomic.Int64
 		idle       atomic.Bool
 	)
@@ -156,17 +265,18 @@ func RunWorker(coordAddr string, node *parallel.Node, cfg WorkerConfig) error {
 			if !ok {
 				return
 			}
-			if err := enc.Encode(m); err != nil {
+			if err := enc.Encode(m.m); err != nil {
 				f.fail(fmt.Errorf("dist: coordinator connection: %w", err))
 				return
 			}
 		}
 	}()
-	wq.push(wireMsg{Kind: kindJoin, Index: node.Index()})
+	wq.push(control(wireMsg{Kind: kindJoin, Index: node.Index()}))
 
 	// Reader: decodes the coordinator's stream. Status probes are answered
 	// here, straight from the counters, so heartbeats keep flowing while
-	// the eval loop is deep in a long drain.
+	// the eval loop is deep in a long drain or blocked on credit; credit
+	// grants are applied here for the same reason.
 	go func() {
 		dec := gob.NewDecoder(conn)
 		startSeen := false
@@ -180,15 +290,18 @@ func RunWorker(coordAddr string, node *parallel.Node, cfg WorkerConfig) error {
 			case kindStart:
 				if !startSeen {
 					startSeen = true
+					gate.configure(m.Credits, m.CreditBytes)
 					close(started)
 				}
 			case kindStatus:
 				r := recv.Load()
 				i := idle.Load()
 				s := sent.Load()
-				wq.push(wireMsg{Kind: kindStatusReply, Probe: m.Probe, Sent: s, Recv: r, Idle: i})
-			case kindData, kindAdopt, kindFinish:
-				mbox.push(m)
+				wq.push(control(wireMsg{Kind: kindStatusReply, Probe: m.Probe, Sent: s, Recv: r, Idle: i}))
+			case kindCredit:
+				gate.release(m.Credits, m.CreditBytes)
+			case kindData, kindAdopt, kindFinish, kindCheckpointReq:
+				mbox.push(control(m))
 			default:
 				f.fail(fmt.Errorf("dist: unexpected message kind %d", m.Kind))
 				return
@@ -214,6 +327,20 @@ func RunWorker(coordAddr string, node *parallel.Node, cfg WorkerConfig) error {
 	// machines: the worker's own bucket plus any adopted during recovery.
 	nodes := map[int]*parallel.Node{node.Index(): node}
 	mkEmit := func(n *parallel.Node) parallel.EmitFunc {
+		sendOne := func(n *parallel.Node, dest int, pred string, ts [][]ast.Value) {
+			cost := dataCost(ts)
+			ok, stalled := gate.acquire(cost, f, ctx)
+			if stalled {
+				if sink := n.Sink(); sink != nil {
+					sink.CreditStall(n.Proc(), cost)
+				}
+			}
+			if !ok {
+				return // connection failed or canceled: the send would be lost anyway
+			}
+			sent.Add(1) // before the batch can reach the wire
+			wq.push(qmsg{m: wireMsg{Kind: kindData, Bucket: dest, From: n.Index(), Pred: pred, Tuples: ts}})
+		}
 		return func(dest int, pred string, tuples []relation.Tuple) {
 			ts := make([][]ast.Value, len(tuples))
 			for i, t := range tuples {
@@ -223,8 +350,28 @@ func RunWorker(coordAddr string, node *parallel.Node, cfg WorkerConfig) error {
 			if sink := n.Sink(); sink != nil {
 				sink.MessageSent(n.Proc(), n.PeerProc(dest), pred, len(tuples))
 			}
-			sent.Add(1) // before the batch can reach the wire
-			wq.push(wireMsg{Kind: kindData, Bucket: dest, From: n.Index(), Pred: pred, Tuples: ts})
+			// Split the logical batch so no wire batch overdraws the byte
+			// credit: each chunk fits the whole credit, so the gate never
+			// has to admit an oversized batch and the coordinator's
+			// residency bound stays strict. At least one tuple goes per
+			// chunk regardless, so progress never stalls on a degenerate
+			// credit.
+			limit := gate.chunkLimit()
+			if limit <= 0 || dataCost(ts) <= limit {
+				sendOne(n, dest, pred, ts)
+				return
+			}
+			start := 0
+			cost := int64(96)
+			for i, t := range ts {
+				tc := 24 + 4*int64(len(t))
+				if i > start && cost+tc > limit {
+					sendOne(n, dest, pred, ts[start:i])
+					start, cost = i, 96
+				}
+				cost += tc
+			}
+			sendOne(n, dest, pred, ts[start:])
 		}
 	}
 
@@ -260,7 +407,9 @@ func RunWorker(coordAddr string, node *parallel.Node, cfg WorkerConfig) error {
 		begin = time.Now()
 		finish := false
 		touched := map[int]bool{}
-		for _, m := range msgs {
+		var ckptReqs []wireMsg
+		for _, qm := range msgs {
+			m := qm.m
 			switch m.Kind {
 			case kindData:
 				// recv counts the batch even when its bucket is hosted
@@ -285,12 +434,30 @@ func RunWorker(coordAddr string, node *parallel.Node, cfg WorkerConfig) error {
 				nodes[m.Bucket] = n
 				// Init replays the bucket's initialization step: the EDB
 				// fragment is rebuilt locally and its initial derivations
-				// re-sent (receivers drop what they already hold).
+				// re-sent (receivers drop what they already hold). The
+				// adopt message then carries the bucket's last accepted
+				// checkpoint; installing it restores every derived tuple
+				// the truncated log prefix would have delivered, and the
+				// suffix the coordinator replays next completes the
+				// history.
 				nb := time.Now()
 				n.Init(mkEmit(n))
+				for _, pred := range sortedPreds(m.Output) {
+					rows := m.Output[pred]
+					tuples := make([]relation.Tuple, len(rows))
+					for i, t := range rows {
+						tuples[i] = t
+					}
+					n.Accept(-1, pred, tuples)
+				}
+				if len(m.Output) > 0 {
+					touched[m.Bucket] = true
+				}
 				n.RecordBusy(time.Since(nb))
 			case kindFinish:
 				finish = true
+			case kindCheckpointReq:
+				ckptReqs = append(ckptReqs, m)
 			}
 		}
 		buckets := make([]int, 0, len(touched))
@@ -303,6 +470,21 @@ func RunWorker(coordAddr string, node *parallel.Node, cfg WorkerConfig) error {
 			nb := time.Now()
 			n.Drain(mkEmit(n))
 			n.RecordBusy(time.Since(nb))
+		}
+		// Checkpoint replies are taken at this rest point — after the
+		// drain, so the snapshot reflects every batch processed so far —
+		// and bypass the data credit (they shrink coordinator memory, so
+		// throttling them would invert the backpressure).
+		for _, req := range ckptReqs {
+			n := nodes[req.Bucket]
+			if n == nil {
+				continue // stale request for a bucket this worker never hosted
+			}
+			snap := n.Snapshot()
+			wq.push(control(wireMsg{
+				Kind: kindCheckpointReply, Bucket: req.Bucket, Probe: req.Probe,
+				Output: snap, Sum: snapSum(snap),
+			}))
 		}
 		if sink != nil {
 			sink.WorkerIdle(node.Proc())
@@ -329,9 +511,20 @@ func RunWorker(coordAddr string, node *parallel.Node, cfg WorkerConfig) error {
 				}
 				out.Stats = append(out.Stats, n.Stats())
 			}
-			wq.push(out)
+			wq.push(control(out))
 			return fin(nil)
 		}
 		idle.Store(true)
 	}
+}
+
+// sortedPreds returns a snapshot's predicate names in sorted order, for a
+// deterministic install sequence.
+func sortedPreds(snap map[string][][]ast.Value) []string {
+	preds := make([]string, 0, len(snap))
+	for pred := range snap {
+		preds = append(preds, pred)
+	}
+	sort.Strings(preds)
+	return preds
 }

@@ -31,6 +31,14 @@ type Counting struct {
 	workerDeaths    atomic.Int64
 	reassigned      atomic.Int64
 	replayedMsgs    atomic.Int64
+
+	// Bounded-memory counters (distributed engine only).
+	checkpoints     atomic.Int64
+	ckptRejected    atomic.Int64
+	truncatedMsgs   atomic.Int64
+	creditStalls    atomic.Int64
+	memoryPressure  atomic.Int64
+	droppedBatches  atomic.Int64
 }
 
 // procShard holds one processor's counters. All fields after proc are
@@ -179,6 +187,26 @@ func (c *Counting) ReplayEnd(bucket, toProc, messages int) {
 	c.replayedMsgs.Add(int64(messages))
 }
 
+func (c *Counting) CheckpointStart(bucket, proc int) {}
+
+func (c *Counting) CheckpointEnd(bucket, proc, tuples int, ok bool) {
+	if ok {
+		c.checkpoints.Add(1)
+	} else {
+		c.ckptRejected.Add(1)
+	}
+}
+
+func (c *Counting) LogTruncated(bucket, batches int) {
+	c.truncatedMsgs.Add(int64(batches))
+}
+
+func (c *Counting) CreditStall(proc int, bytes int64) { c.creditStalls.Add(1) }
+
+func (c *Counting) MemoryPressure(used, budget int64) { c.memoryPressure.Add(1) }
+
+func (c *Counting) BatchDropped(fromProc, bucket, tuples int) { c.droppedBatches.Add(1) }
+
 func (c *Counting) RunEnd(wall time.Duration) {
 	c.wallNs.Add(int64(wall))
 	c.mu.Lock()
@@ -213,6 +241,21 @@ type Metrics struct {
 	BucketsReassigned int64 `json:"buckets_reassigned,omitempty"`
 	// ReplayedMessages counts logged batches replayed during recovery.
 	ReplayedMessages int64 `json:"replayed_messages,omitempty"`
+	// Checkpoints counts accepted bucket checkpoints; CheckpointsRejected
+	// counts replies discarded for checksum mismatch or injected faults.
+	Checkpoints         int64 `json:"checkpoints,omitempty"`
+	CheckpointsRejected int64 `json:"checkpoints_rejected,omitempty"`
+	// TruncatedBatches counts logged batches dropped after a checkpoint
+	// covered them.
+	TruncatedBatches int64 `json:"truncated_batches,omitempty"`
+	// CreditStalls counts sends that blocked on the credit gate.
+	CreditStalls int64 `json:"credit_stalls,omitempty"`
+	// MemoryPressureEvents counts budget overruns that forced an early
+	// checkpoint cycle.
+	MemoryPressureEvents int64 `json:"memory_pressure_events,omitempty"`
+	// DroppedBatches counts data batches addressed to out-of-range
+	// buckets and discarded by the router.
+	DroppedBatches int64 `json:"dropped_batches,omitempty"`
 	// Procs holds per-processor counters in registration order.
 	Procs []ProcMetrics `json:"procs"`
 	// Edges holds one entry per channel that carried at least one
@@ -266,6 +309,12 @@ func (c *Counting) Snapshot() *Metrics {
 		WorkerDeaths:      c.workerDeaths.Load(),
 		BucketsReassigned: c.reassigned.Load(),
 		ReplayedMessages:  c.replayedMsgs.Load(),
+		Checkpoints:         c.checkpoints.Load(),
+		CheckpointsRejected: c.ckptRejected.Load(),
+		TruncatedBatches:    c.truncatedMsgs.Load(),
+		CreditStalls:        c.creditStalls.Load(),
+		MemoryPressureEvents: c.memoryPressure.Load(),
+		DroppedBatches:      c.droppedBatches.Load(),
 		// Non-nil so a communication-free run still serializes as
 		// "edges": [] — consumers get a stable document shape.
 		Edges: []EdgeMetrics{},

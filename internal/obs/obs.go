@@ -65,6 +65,28 @@ type EventSink interface {
 	// logged batches replayed.
 	ReplayStart(bucket, toProc int)
 	ReplayEnd(bucket, toProc, messages int)
+	// CheckpointStart reports the coordinator requesting a checkpoint of
+	// hash bucket bucket from processor proc, its current owner.
+	CheckpointStart(bucket, proc int)
+	// CheckpointEnd reports the checkpoint reply arriving: tuples is the
+	// snapshot's derived-tuple count; ok is false when the reply was
+	// rejected (checksum mismatch or an injected drop) and the send log
+	// was therefore not truncated.
+	CheckpointEnd(bucket, proc, tuples int, ok bool)
+	// LogTruncated reports batches logged batches of bucket bucket being
+	// dropped because an accepted checkpoint now covers them.
+	LogTruncated(bucket, batches int)
+	// CreditStall reports processor proc blocking on the credit gate
+	// while trying to send a data batch of the given estimated size —
+	// the backpressure signal of the bounded-memory transport.
+	CreditStall(proc int, bytes int64)
+	// MemoryPressure reports the coordinator's tracked memory (send
+	// logs + stored checkpoints + queued batches) exceeding its budget;
+	// the runtime responds by forcing an early checkpoint cycle.
+	MemoryPressure(used, budget int64)
+	// BatchDropped reports a data batch addressed to an out-of-range
+	// bucket being discarded by the router instead of delivered.
+	BatchDropped(fromProc, bucket, tuples int)
 	// RunEnd closes the run opened by the matching RunStart.
 	RunEnd(wall time.Duration)
 }
@@ -174,6 +196,42 @@ func (f *fanout) ReplayStart(bucket, toProc int) {
 func (f *fanout) ReplayEnd(bucket, toProc, messages int) {
 	for _, s := range f.sinks {
 		s.ReplayEnd(bucket, toProc, messages)
+	}
+}
+
+func (f *fanout) CheckpointStart(bucket, proc int) {
+	for _, s := range f.sinks {
+		s.CheckpointStart(bucket, proc)
+	}
+}
+
+func (f *fanout) CheckpointEnd(bucket, proc, tuples int, ok bool) {
+	for _, s := range f.sinks {
+		s.CheckpointEnd(bucket, proc, tuples, ok)
+	}
+}
+
+func (f *fanout) LogTruncated(bucket, batches int) {
+	for _, s := range f.sinks {
+		s.LogTruncated(bucket, batches)
+	}
+}
+
+func (f *fanout) CreditStall(proc int, bytes int64) {
+	for _, s := range f.sinks {
+		s.CreditStall(proc, bytes)
+	}
+}
+
+func (f *fanout) MemoryPressure(used, budget int64) {
+	for _, s := range f.sinks {
+		s.MemoryPressure(used, budget)
+	}
+}
+
+func (f *fanout) BatchDropped(fromProc, bucket, tuples int) {
+	for _, s := range f.sinks {
+		s.BatchDropped(fromProc, bucket, tuples)
 	}
 }
 

@@ -28,6 +28,8 @@ type Event struct {
 	WallNs   int64  `json:"wall_ns,omitempty"`
 	Bucket   int    `json:"bucket,omitempty"`
 	Reason   string `json:"reason,omitempty"`
+	OK       bool   `json:"ok,omitempty"`
+	Budget   int64  `json:"budget,omitempty"`
 }
 
 // Event kinds emitted by the engines.
@@ -49,6 +51,14 @@ const (
 	KindBucketReassigned = "bucket_reassigned"
 	KindReplayStart      = "replay_start"
 	KindReplayEnd        = "replay_end"
+
+	// Bounded-memory kinds (distributed engine only).
+	KindCheckpointStart = "checkpoint_start"
+	KindCheckpointEnd   = "checkpoint_end"
+	KindLogTruncated    = "log_truncated"
+	KindCreditStall     = "credit_stall"
+	KindMemoryPressure  = "memory_pressure"
+	KindBatchDropped    = "batch_dropped"
 )
 
 // String renders the event without its timestamp or sequence number — the
@@ -83,6 +93,18 @@ func (e Event) String() string {
 		return fmt.Sprintf("replay_start bucket=%d to=%d", e.Bucket, e.Peer)
 	case KindReplayEnd:
 		return fmt.Sprintf("replay_end bucket=%d to=%d n=%d", e.Bucket, e.Peer, e.N)
+	case KindCheckpointStart:
+		return fmt.Sprintf("checkpoint_start bucket=%d proc=%d", e.Bucket, e.Proc)
+	case KindCheckpointEnd:
+		return fmt.Sprintf("checkpoint_end bucket=%d proc=%d tuples=%d ok=%v", e.Bucket, e.Proc, e.N, e.OK)
+	case KindLogTruncated:
+		return fmt.Sprintf("log_truncated bucket=%d n=%d", e.Bucket, e.N)
+	case KindCreditStall:
+		return fmt.Sprintf("credit_stall proc=%d bytes=%d", e.Proc, e.N)
+	case KindMemoryPressure:
+		return fmt.Sprintf("memory_pressure used=%d budget=%d", e.N, e.Budget)
+	case KindBatchDropped:
+		return fmt.Sprintf("batch_dropped from=%d bucket=%d n=%d", e.Proc, e.Bucket, e.N)
 	case KindRunEnd:
 		return "run_end"
 	}
@@ -161,6 +183,30 @@ func (r *Recorder) ReplayStart(bucket, toProc int) {
 
 func (r *Recorder) ReplayEnd(bucket, toProc, messages int) {
 	r.add(Event{Kind: KindReplayEnd, Bucket: bucket, Peer: toProc, N: int64(messages)})
+}
+
+func (r *Recorder) CheckpointStart(bucket, proc int) {
+	r.add(Event{Kind: KindCheckpointStart, Bucket: bucket, Proc: proc})
+}
+
+func (r *Recorder) CheckpointEnd(bucket, proc, tuples int, ok bool) {
+	r.add(Event{Kind: KindCheckpointEnd, Bucket: bucket, Proc: proc, N: int64(tuples), OK: ok})
+}
+
+func (r *Recorder) LogTruncated(bucket, batches int) {
+	r.add(Event{Kind: KindLogTruncated, Bucket: bucket, N: int64(batches)})
+}
+
+func (r *Recorder) CreditStall(proc int, bytes int64) {
+	r.add(Event{Kind: KindCreditStall, Proc: proc, N: bytes})
+}
+
+func (r *Recorder) MemoryPressure(used, budget int64) {
+	r.add(Event{Kind: KindMemoryPressure, N: used, Budget: budget})
+}
+
+func (r *Recorder) BatchDropped(fromProc, bucket, tuples int) {
+	r.add(Event{Kind: KindBatchDropped, Proc: fromProc, Bucket: bucket, N: int64(tuples)})
 }
 
 func (r *Recorder) RunEnd(wall time.Duration) {

@@ -314,3 +314,27 @@ func (n *Node) RecordBusy(d time.Duration) { n.stats.Busy += d }
 // Outputs exposes the node's generated relations for final pooling. Callers
 // must not modify them.
 func (n *Node) Outputs() map[string]*relation.Relation { return n.out }
+
+// Snapshot copies the node's @in relations — the derived tuples this
+// bucket has received or kept. Because every other piece of node state
+// (the out relations, the local keeps, the watermarks) is a monotone
+// function of the EDB fragment and these tuples, a fresh node that runs
+// Init, Accepts the snapshot and Drains converges to a state at least as
+// advanced as this one: the snapshot is a complete bucket checkpoint.
+// Predicates with no tuples are omitted.
+func (n *Node) Snapshot() map[string][][]ast.Value {
+	snap := make(map[string][][]ast.Value, len(n.in))
+	for pred, rel := range n.in {
+		if rel.Len() == 0 {
+			continue
+		}
+		rows := make([][]ast.Value, 0, rel.Len())
+		for _, t := range rel.Rows() {
+			cp := make([]ast.Value, len(t))
+			copy(cp, t)
+			rows = append(rows, cp)
+		}
+		snap[pred] = rows
+	}
+	return snap
+}

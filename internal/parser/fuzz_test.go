@@ -1,11 +1,34 @@
 package parser
 
 import (
+	"os"
+	"path/filepath"
 	"testing"
 
 	"parlog/internal/relation"
 	"parlog/internal/seminaive"
 )
+
+// addCorpusSeeds feeds every .dl program under testdata/programs to the
+// fuzzer, so mutation starts from realistic inputs (recursion, negated-free
+// sirups, comments) rather than only the hand-written snippets below.
+func addCorpusSeeds(f *testing.F) {
+	f.Helper()
+	paths, err := filepath.Glob(filepath.Join("..", "..", "testdata", "programs", "*.dl"))
+	if err != nil {
+		f.Fatalf("globbing seed corpus: %v", err)
+	}
+	if len(paths) == 0 {
+		f.Fatal("no .dl seed programs found under testdata/programs")
+	}
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			f.Fatalf("reading seed %s: %v", p, err)
+		}
+		f.Add(string(data))
+	}
+}
 
 // FuzzParse checks that the parser never panics and that accepted programs
 // re-parse to themselves through the printer (print/parse is a fixpoint).
@@ -27,6 +50,7 @@ func FuzzParse(f *testing.F) {
 	for _, s := range seeds {
 		f.Add(s)
 	}
+	addCorpusSeeds(f)
 	f.Fuzz(func(t *testing.T, src string) {
 		prog, err := Parse(src)
 		if err != nil {
@@ -49,6 +73,7 @@ func FuzzEval(f *testing.F) {
 	f.Add("anc(X, Y) :- par(X, Y).\nanc(X, Y) :- par(X, Z), anc(Z, Y).\npar(a, b). par(b, a).")
 	f.Add("p(X) :- q(X), p2(X).\np2(X) :- q(X).\nq(a). q(b).")
 	f.Add("p(X, X) :- q(X).\nq(c).")
+	addCorpusSeeds(f)
 	f.Fuzz(func(t *testing.T, src string) {
 		if len(src) > 4096 {
 			return

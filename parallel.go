@@ -325,12 +325,17 @@ func evalDistributed(ctx context.Context, p *Program, edb Store, opts EvalOption
 	}
 	sink, counting := opts.buildSink()
 	res, err := dist.Run(prog, edb, dist.Config{
-		WavePoll:          opts.PollInterval,
-		HeartbeatInterval: opts.HeartbeatInterval,
-		WorkerDeadline:    opts.WorkerDeadline,
-		MaxRetries:        opts.MaxRetries,
-		Ctx:               ctx,
-		Sink:              sink,
+		WavePoll:           opts.PollInterval,
+		HeartbeatInterval:  opts.HeartbeatInterval,
+		WorkerDeadline:     opts.WorkerDeadline,
+		MaxRetries:         opts.MaxRetries,
+		CheckpointEvery:    opts.CheckpointEvery,
+		CheckpointInterval: opts.CheckpointInterval,
+		MaxInflightBatches: opts.MaxInflightBatches,
+		MaxQueueBytes:      opts.MaxQueueBytes,
+		MaxMemoryBytes:     opts.MaxMemoryBytes,
+		Ctx:                ctx,
+		Sink:               sink,
 	})
 	if err != nil {
 		return nil, err
