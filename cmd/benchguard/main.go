@@ -1,0 +1,134 @@
+// Command benchguard is the CI gate over the core-kernel benchmark: it
+// compares a fresh BENCH_core.json (cmd/dlbench -experiment E17) against
+// the checked-in baseline and fails when allocs/op on the guarded kernels
+// regresses past the threshold. The comparison is benchstat-style — one
+// line per kernel with the relative delta — but the pass/fail contract is
+// deliberately narrow: only allocations on the dedup hot paths (insert,
+// probe) are load-bearing, because those are the kernels the flat arena
+// made allocation-free; time-based metrics are reported but never gate,
+// since CI machines are too noisy for wall-clock thresholds.
+//
+// Near-zero baselines get an absolute slack on top of the relative
+// threshold: 20% of 0.00 allocs/op is 0, and failing on a 0.01 jitter
+// would make the gate flaky rather than strict.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+type kernel struct {
+	Name        string  `json:"name"`
+	Ops         int64   `json:"ops"`
+	NsPerOp     float64 `json:"ns_op"`
+	BPerOp      float64 `json:"b_op"`
+	AllocsPerOp float64 `json:"allocs_op"`
+}
+
+type doc struct {
+	Kernels []kernel `json:"kernels"`
+}
+
+func load(path string) (map[string]kernel, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var d doc
+	if err := json.Unmarshal(data, &d); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]kernel, len(d.Kernels))
+	for _, k := range d.Kernels {
+		out[k.Name] = k
+	}
+	return out, nil
+}
+
+func main() {
+	var (
+		benchPath = flag.String("bench", "BENCH_core.json", "fresh benchmark document (dlbench -experiment E17)")
+		basePath  = flag.String("baseline", "cmd/benchguard/baseline.json", "checked-in baseline document")
+		guarded   = flag.String("kernels", "insert,probe", "comma-separated kernels whose allocs/op gate the build")
+		maxReg    = flag.Float64("max-regress", 0.20, "relative allocs/op regression tolerated on guarded kernels")
+		slack     = flag.Float64("slack", 0.10, "absolute allocs/op slack added to the bound (for near-zero baselines)")
+	)
+	flag.Parse()
+
+	fresh, err := load(*benchPath)
+	if err != nil {
+		fatal(err)
+	}
+	base, err := load(*basePath)
+	if err != nil {
+		fatal(err)
+	}
+
+	gate := map[string]bool{}
+	var gateOrder []string
+	for _, k := range strings.Split(*guarded, ",") {
+		if k = strings.TrimSpace(k); k != "" && !gate[k] {
+			gate[k] = true
+			gateOrder = append(gateOrder, k)
+		}
+	}
+
+	failed := false
+	fmt.Printf("%-16s %14s %14s %10s %s\n", "kernel", "base allocs/op", "new allocs/op", "delta", "verdict")
+	for _, name := range gateOrder {
+		b, okB := base[name]
+		f, okF := fresh[name]
+		if !okB || !okF {
+			fmt.Printf("%-16s missing from %s\n", name, map[bool]string{true: *benchPath, false: *basePath}[okB])
+			failed = true
+			continue
+		}
+		bound := b.AllocsPerOp*(1+*maxReg) + *slack
+		verdict := "ok"
+		if f.AllocsPerOp > bound {
+			verdict = fmt.Sprintf("FAIL (bound %.2f)", bound)
+			failed = true
+		}
+		fmt.Printf("%-16s %14.2f %14.2f %+9.1f%% %s\n",
+			name, b.AllocsPerOp, f.AllocsPerOp, delta(b.AllocsPerOp, f.AllocsPerOp), verdict)
+	}
+	// Informational rows for the rest — visible drift, no gate.
+	rest := make([]string, 0, len(fresh))
+	for name := range fresh {
+		if !gate[name] {
+			rest = append(rest, name)
+		}
+	}
+	sort.Strings(rest)
+	for _, name := range rest {
+		if b, ok := base[name]; ok {
+			fmt.Printf("%-16s %14.2f %14.2f %+9.1f%% (informational)\n",
+				name, b.AllocsPerOp, fresh[name].AllocsPerOp, delta(b.AllocsPerOp, fresh[name].AllocsPerOp))
+		}
+	}
+
+	if failed {
+		fmt.Fprintln(os.Stderr, "benchguard: allocation regression on a guarded kernel")
+		os.Exit(1)
+	}
+}
+
+func delta(base, fresh float64) float64 {
+	if base == 0 {
+		if fresh == 0 {
+			return 0
+		}
+		return 100
+	}
+	return (fresh - base) / base * 100
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchguard:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,283 @@
+package main
+
+// E17 — core-kernel microbenchmarks of the tuple-storage hot paths.
+//
+// Every other experiment measures scheme-level quantities (communication,
+// redundancy, placement). E17 measures the storage engine itself: the four
+// kernels every evaluation reduces to — insert, membership probe, indexed
+// join, semi-naive delta enumeration — plus a 4-worker Example 3 end-to-end
+// run, reporting ns/op, B/op and allocs/op into BENCH_core.json. The
+// document also carries the recorded numbers of the pre-flat-store engine
+// (string-keyed map dedup, per-tuple clones, map[string][]int indexes) as
+// the "before" block, so the storage rewrite's effect stays visible across
+// commits. CI runs this experiment in -quick mode and gates allocs/op
+// regressions with cmd/benchguard.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"parlog/internal/analysis"
+	"parlog/internal/ast"
+	"parlog/internal/hashpart"
+	"parlog/internal/parallel"
+	"parlog/internal/relation"
+	"parlog/internal/rewrite"
+	"parlog/internal/seminaive"
+	"parlog/internal/workload"
+)
+
+// coreOut is where runE17 writes its JSON document; the -core-out flag (and
+// the test harness) override it.
+var coreOut = "BENCH_core.json"
+
+// coreKernel is one measured kernel.
+type coreKernel struct {
+	Name        string  `json:"name"`
+	Ops         int64   `json:"ops"`
+	NsPerOp     float64 `json:"ns_op"`
+	BPerOp      float64 `json:"b_op"`
+	AllocsPerOp float64 `json:"allocs_op"`
+}
+
+// coreE2E is the end-to-end Example 3 run: op here is one derived tuple, so
+// AllocsPerOp is allocations per derived tuple — the headline number of the
+// flat-storage rewrite.
+type coreE2E struct {
+	Name        string  `json:"name"`
+	Workers     int     `json:"workers"`
+	Anc         int     `json:"anc_tuples"`
+	WallNs      int64   `json:"wall_ns"`
+	Allocs      int64   `json:"allocs"`
+	Bytes       int64   `json:"bytes"`
+	AllocsPerOp float64 `json:"allocs_per_tuple"`
+}
+
+// coreDoc is the top-level shape of BENCH_core.json.
+type coreDoc struct {
+	Benchmark string       `json:"benchmark"`
+	Quick     bool         `json:"quick"`
+	Kernels   []coreKernel `json:"kernels"`
+	E2E       coreE2E      `json:"e2e"`
+	// Before holds the same kernels measured on the pre-flat-store engine
+	// (recorded once, at the commit that introduced the arena layout).
+	Before *coreBaseline `json:"before,omitempty"`
+}
+
+// coreBaseline is the recorded "before" snapshot.
+type coreBaseline struct {
+	Note    string       `json:"note"`
+	Kernels []coreKernel `json:"kernels"`
+	E2E     coreE2E      `json:"e2e"`
+}
+
+// coreSeedBaseline records the seed engine's numbers (string-keyed map
+// dedup, per-tuple Clone, map[string][]int index buckets), measured with
+// this same harness at full (non-quick) sizes immediately before the flat
+// arena landed. Populated by the storage-rewrite commit; nil until then.
+var coreSeedBaseline = &coreBaseline{
+	Note: "seed engine: string-keyed map dedup, per-tuple Clone(), map[string][]int indexes, gob wire batches",
+	Kernels: []coreKernel{
+		{Name: "insert", Ops: 65536, NsPerOp: 490.5, BPerOp: 245.6, AllocsPerOp: 2.01},
+		{Name: "probe", Ops: 131072, NsPerOp: 70.0, BPerOp: 0.0, AllocsPerOp: 0.00},
+		{Name: "join", Ops: 65536, NsPerOp: 44.8, BPerOp: 5.0, AllocsPerOp: 0.25},
+		{Name: "delta-enumerate", Ops: 979340, NsPerOp: 75.4, BPerOp: 10.4, AllocsPerOp: 0.52},
+	},
+	E2E: coreE2E{
+		Name: "ex3-4workers", Workers: 4, Anc: 13688,
+		WallNs: 46900000, Allocs: 266741, Bytes: 22890264, AllocsPerOp: 19.49,
+	},
+}
+
+// coreMeasure runs f once under the alloc counters. The process is expected
+// to be otherwise quiet; dlbench runs experiments sequentially.
+func coreMeasure(name string, ops int64, f func()) coreKernel {
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	f()
+	wall := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	allocs := int64(m1.Mallocs - m0.Mallocs)
+	bytes := int64(m1.TotalAlloc - m0.TotalAlloc)
+	k := coreKernel{Name: name, Ops: ops}
+	if ops > 0 {
+		k.NsPerOp = round2(float64(wall.Nanoseconds()) / float64(ops))
+		k.BPerOp = round2(float64(bytes) / float64(ops))
+		k.AllocsPerOp = round2(float64(allocs) / float64(ops))
+	}
+	return k
+}
+
+func round2(f float64) float64 { return float64(int64(f*100+0.5)) / 100 }
+
+func runE17(quick bool) error {
+	scale := 16
+	if quick {
+		scale = 12
+	}
+	n := 1 << scale
+
+	doc := coreDoc{Benchmark: "core-kernels", Quick: quick, Before: coreSeedBaseline}
+
+	// --- insert: n distinct arity-2 tuples into one relation ---
+	tuples := make([]relation.Tuple, n)
+	for i := range tuples {
+		tuples[i] = relation.Tuple{ast.Value(i), ast.Value(i * 7)}
+	}
+	var insRel *relation.Relation
+	doc.Kernels = append(doc.Kernels, coreMeasure("insert", int64(n), func() {
+		insRel = relation.New(2)
+		for _, t := range tuples {
+			insRel.Insert(t)
+		}
+	}))
+
+	// --- probe: alternating hits and misses against the relation above ---
+	misses := make([]relation.Tuple, n)
+	for i := range misses {
+		misses[i] = relation.Tuple{ast.Value(i), ast.Value(i*7 + 1)}
+	}
+	hits := 0
+	doc.Kernels = append(doc.Kernels, coreMeasure("probe", int64(2*n), func() {
+		for i := 0; i < n; i++ {
+			if insRel.Contains(tuples[i]) {
+				hits++
+			}
+			if insRel.Contains(misses[i]) {
+				hits++
+			}
+		}
+	}))
+	if hits != n {
+		return fmt.Errorf("probe kernel: %d hits, want %d", hits, n)
+	}
+
+	// --- join: q(X,Z) :- e0(X,Y), e1(Y,Z), indexed on the shared column ---
+	joinRule := ast.Rule{
+		Head: ast.NewAtom("q", ast.V("X"), ast.V("Z")),
+		Body: []ast.Atom{
+			ast.NewAtom("e0", ast.V("X"), ast.V("Y")),
+			ast.NewAtom("e1", ast.V("Y"), ast.V("Z")),
+		},
+	}
+	dom := n / 64 // ~64 tuples per key side: a dense, cache-hostile join
+	e0 := relation.New(2)
+	e1 := relation.New(2)
+	for i := 0; i < n/8; i++ {
+		e0.Insert(relation.Tuple{ast.Value(i), ast.Value(i % dom)})
+		e1.Insert(relation.Tuple{ast.Value((i * 13) % dom), ast.Value(i)})
+	}
+	joinStore := relation.Store{"e0": e0, "e1": e1}
+	joinPlan := seminaive.Compile(joinRule, nil)
+	// Warm the index outside the measurement: the kernel times the probe
+	// path, not the one-time build.
+	var joinFirings int64
+	joinFirings = joinPlan.Enumerate(joinStore, nil, func([]ast.Value) bool { return true })
+	k := coreMeasure("join", joinFirings, func() {
+		joinFirings = joinPlan.Enumerate(joinStore, nil, func([]ast.Value) bool { return true })
+	})
+	k.Ops = joinFirings
+	doc.Kernels = append(doc.Kernels, k)
+
+	// --- delta enumerate: one semi-naive iteration of the ancestor rule,
+	// with the last tenth of anc as the delta ---
+	par := workload.RandomGraph(n/128, n/32, 7)
+	closure, _, err := seminaive.Eval(workload.AncestorProgram(), relation.Store{"par": par}, seminaive.Options{})
+	if err != nil {
+		return err
+	}
+	anc := relation.New(2)
+	for i := 0; i < closure["anc"].Len(); i++ {
+		anc.Insert(closure["anc"].Row(i))
+	}
+	deltaRule := ast.Rule{
+		Head: ast.NewAtom("anc", ast.V("X"), ast.V("Y")),
+		Body: []ast.Atom{
+			ast.NewAtom("par", ast.V("X"), ast.V("Z")),
+			ast.NewAtom("anc", ast.V("Z"), ast.V("Y")),
+		},
+	}
+	deltaPlans := seminaive.DeltaVariants(deltaRule, []int{1})
+	wm := &seminaive.Watermarks{
+		Prev: map[string]int{"anc": anc.Len() * 9 / 10},
+		Cur:  map[string]int{"anc": anc.Len()},
+	}
+	deltaStore := relation.Store{"par": par, "anc": anc}
+	var deltaFirings int64
+	for _, p := range deltaPlans {
+		deltaFirings += p.Enumerate(deltaStore, wm, func([]ast.Value) bool { return true })
+	}
+	reps := int64(10)
+	k = coreMeasure("delta-enumerate", deltaFirings*reps, func() {
+		for r := int64(0); r < reps; r++ {
+			for _, p := range deltaPlans {
+				p.Enumerate(deltaStore, wm, func([]ast.Value) bool { return true })
+			}
+		}
+	})
+	doc.Kernels = append(doc.Kernels, k)
+
+	// --- end-to-end: Example 3 (v(r)=⟨Z⟩, v(e)=⟨X⟩) on 4 workers ---
+	nodes, edges := 120, 480
+	if quick {
+		nodes, edges = 40, 160
+	}
+	epar := workload.RandomGraph(nodes, edges, 7)
+	edb := relation.Store{"par": epar}
+	s, err := analysis.ExtractSirup(workload.AncestorProgram())
+	if err != nil {
+		return err
+	}
+	p, err := parallel.BuildQ(s, rewrite.SirupSpec{
+		Procs: hashpart.RangeProcs(4),
+		VR:    []string{"Z"}, VE: []string{"X"},
+		H: hashpart.ModHash{N: 4},
+	})
+	if err != nil {
+		return err
+	}
+	var res *parallel.Result
+	var runErr error
+	ek := coreMeasure("ex3-4workers", 1, func() {
+		res, runErr = parallel.Run(p, edb, parallel.RunConfig{})
+	})
+	if runErr != nil {
+		return runErr
+	}
+	ancN := res.Output["anc"].Len()
+	doc.E2E = coreE2E{
+		Name: "ex3-4workers", Workers: 4, Anc: ancN,
+		WallNs: int64(ek.NsPerOp), Allocs: int64(ek.AllocsPerOp), Bytes: int64(ek.BPerOp),
+	}
+	if ancN > 0 {
+		doc.E2E.AllocsPerOp = round2(float64(doc.E2E.Allocs) / float64(ancN))
+	}
+
+	for _, kr := range doc.Kernels {
+		fmt.Printf("%-16s ops=%-8d %10.1f ns/op %10.1f B/op %8.2f allocs/op\n",
+			kr.Name, kr.Ops, kr.NsPerOp, kr.BPerOp, kr.AllocsPerOp)
+	}
+	fmt.Printf("%-16s anc=%-7d %10.1f ms wall %10d allocs %8.2f allocs/tuple\n",
+		doc.E2E.Name, doc.E2E.Anc, float64(doc.E2E.WallNs)/1e6, doc.E2E.Allocs, doc.E2E.AllocsPerOp)
+
+	f, err := os.Create(coreOut)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", coreOut)
+	return nil
+}

@@ -22,6 +22,9 @@
 //	E16 extension: bounded recovery — a mid-run worker kill recovered from a
 //	    checkpoint plus log suffix vs a full log replay; replay counts and
 //	    wall times are written to BENCH_recovery.json (see -recovery-out)
+//	E17 core kernels: insert/probe/indexed-join/delta-enumerate microbenches
+//	    plus a 4-worker Example 3 end-to-end run; ns/op, B/op and allocs/op
+//	    are written to BENCH_core.json (see -core-out)
 //
 // Usage: dlbench [-experiment E5] [-quick] [-bench-out BENCH_parallel.json]
 package main
@@ -57,15 +60,17 @@ var experiments = []experiment{
 	{"E14", "Extension — load balancing via weighted discriminating functions", runE14},
 	{"E15", "Examples 1–3 — metrics snapshot to BENCH_parallel.json", runE15},
 	{"E16", "Bounded recovery — checkpointed vs full-replay worker kill", runE16},
+	{"E17", "Core kernels — insert/probe/join/delta + Example 3 to BENCH_core.json", runE17},
 }
 
 func main() {
 	var (
-		which = flag.String("experiment", "all", "experiment id (E1..E16) or 'all'")
+		which = flag.String("experiment", "all", "experiment id (E1..E17) or 'all'")
 		quick = flag.Bool("quick", false, "smaller workloads for a fast pass")
 	)
 	flag.StringVar(&benchOut, "bench-out", benchOut, "output path of E15's JSON benchmark document")
 	flag.StringVar(&recoveryOut, "recovery-out", recoveryOut, "output path of E16's JSON benchmark document")
+	flag.StringVar(&coreOut, "core-out", coreOut, "output path of E17's JSON benchmark document")
 	flag.Parse()
 
 	ids := map[string]bool{}

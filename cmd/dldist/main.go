@@ -21,6 +21,11 @@
 // flags: the processes independently compile identical schemes (the hash
 // functions are deterministic in -seed), and parsing the same text yields
 // identical constant interners, so tuple encodings agree on the wire.
+// Data batches, checkpoint snapshots and the final outputs travel in
+// internal/wire's compact varint encoding (checksummed with FNV over the
+// encoded bytes); only the low-rate control envelope is gob. The
+// -max-queue-bytes and -max-memory-bytes budgets are therefore measured
+// over those encoded payload sizes.
 package main
 
 import (

@@ -297,11 +297,11 @@ func TestMemoryBudgetForcesCheckpoints(t *testing.T) {
 	// chance to observe the growing logs before the run quiesces.
 	in := fault.New(fault.Schedule{Delay: 200 * time.Microsecond})
 	// The budget sits between this workload's irreducible checkpoint
-	// footprint (~105KB of condensed state, measured) and its unchecked
-	// log footprint (~160KB plus queues), so pressure must fire and
-	// forced truncation must be what keeps the run inside it.
+	// footprint (~12KB of wire-encoded condensed state, measured) and its
+	// unchecked log footprint (~65KB plus queues), so pressure must fire
+	// and forced truncation must be what keeps the run inside it.
 	res, err := Run(p2, edb2, Config{
-		MaxMemoryBytes: 128 * 1024,
+		MaxMemoryBytes: 24 * 1024,
 		WorkerDial:     func(wi int) DialFunc { return in.Dial },
 		Sink:           cs,
 	})
@@ -359,7 +359,7 @@ func TestRouterReportsDroppedBatches(t *testing.T) {
 	}
 	r := newRouter(cfg, ws)
 
-	r.route(ws[0], wireMsg{Kind: kindData, Bucket: 7, From: 0, Pred: "anc", Tuples: nil})
+	r.route(ws[0], wireMsg{Kind: kindData, Bucket: 7, From: 0, Pred: "anc", Raw: nil})
 
 	if r.dropped != 1 {
 		t.Fatalf("dropped = %d, want 1", r.dropped)

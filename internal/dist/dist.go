@@ -1,6 +1,6 @@
 // Package dist executes a compiled parallel Datalog program over genuine
-// message passing: every processor is a TCP endpoint exchanging gob-encoded
-// tuple batches, with no shared memory between processors — the
+// message passing: every processor is a TCP endpoint exchanging tuple
+// batches, with no shared memory between processors — the
 // "non-shared-memory architecture" reading of the paper's abstract machine
 // (Section 3), in contrast to internal/parallel's goroutine/channel
 // idealization. Both transports drive the same parallel.Node state machine,
@@ -47,6 +47,14 @@
 // quiescence, after which the coordinator collects outputs and statistics
 // (the final pooling step).
 //
+// The wire format is hybrid: gob carries the envelope (wireMsg) for the
+// low-rate control plane, while the high-rate payloads — data batches,
+// checkpoint snapshots, the final outputs — travel inside it as opaque
+// byte blobs encoded by internal/wire's varint codec. The coordinator
+// verifies a snapshot's FNV checksum over those bytes, stores the blob
+// verbatim and replays it verbatim on adopt; the byte length is the
+// credit/memory accounting unit both ends agree on for free.
+//
 // Workers may run as goroutines in the same process (Run) or as separate OS
 // processes (cmd/dldist + RunWorker); the wire protocol is identical. For
 // multi-process runs every process must parse the same program text so the
@@ -63,10 +71,10 @@ import (
 	"sync"
 	"time"
 
-	"parlog/internal/ast"
 	"parlog/internal/obs"
 	"parlog/internal/parallel"
 	"parlog/internal/relation"
+	"parlog/internal/wire"
 )
 
 // Sentinel errors callers can test with errors.Is.
@@ -111,70 +119,29 @@ type wireMsg struct {
 	Bucket int   // Data: destination bucket; Adopt/Checkpoint: the bucket concerned
 	From   int   // Data: originating bucket
 	Pred   string
-	Tuples [][]ast.Value
-	Output map[string][][]ast.Value // Output: per-predicate rows; CheckpointReply/Adopt: the snapshot
-	Stats  []parallel.ProcStats     // Output: one entry per hosted bucket
-	Sum    uint64                   // CheckpointReply: checksum of Output
+	Raw    []byte               // Data: one wire-encoded tuple batch (internal/wire)
+	Snap   []byte               // Output: the pooled relations; CheckpointReply/Adopt: the snapshot — both wire-encoded
+	Stats  []parallel.ProcStats // Output: one entry per hosted bucket
+	Sum    uint64               // CheckpointReply: wire.Checksum of Snap
 	// Credit fields: the initial grant on Start, replenishment on Credit.
 	Credits     int   // data batches the receiver may have in flight (0 = unlimited on Start)
 	CreditBytes int64 // data bytes the receiver may have resident at the coordinator (0 = unlimited on Start)
 }
 
-// dataCost estimates the resident size of one data batch — tuple values
-// plus slice headers and the envelope — the accounting unit of the credit
-// and memory ledgers. Workers and the coordinator apply the same formula,
-// so debits and grants agree without shipping sizes over the wire.
-func dataCost(tuples [][]ast.Value) int64 {
-	b := int64(96)
-	for _, t := range tuples {
-		b += 24 + 4*int64(len(t))
-	}
-	return b
+// dataCost is the resident size of one data batch — the encoded payload
+// plus the envelope — the accounting unit of the credit and memory
+// ledgers. Workers and the coordinator charge the same byte slice, so
+// debits and grants agree without shipping sizes over the wire.
+func dataCost(raw []byte) int64 {
+	return 96 + int64(len(raw))
 }
 
 // snapCost is dataCost's analogue for a stored checkpoint snapshot.
-func snapCost(snap map[string][][]ast.Value) int64 {
-	var b int64
-	for pred, rows := range snap {
-		b += 64 + int64(len(pred)) + dataCost(rows)
+func snapCost(snap []byte) int64 {
+	if len(snap) == 0 {
+		return 0
 	}
-	return b
-}
-
-// snapSum is an order-independent FNV-1a checksum of a checkpoint
-// snapshot: predicates are visited in sorted order and rows in slice
-// order (which gob preserves), so the worker's sum of the map it built
-// equals the coordinator's sum of the map it decoded. A mismatch means
-// the snapshot was corrupted in transit and must not replace the log.
-func snapSum(snap map[string][][]ast.Value) uint64 {
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
-	preds := make([]string, 0, len(snap))
-	for pred := range snap {
-		preds = append(preds, pred)
-	}
-	sort.Strings(preds)
-	h := uint64(offset64)
-	mix := func(v uint64) {
-		for i := 0; i < 8; i++ {
-			h ^= (v >> (8 * i)) & 0xff
-			h *= prime64
-		}
-	}
-	for _, pred := range preds {
-		for _, c := range []byte(pred) {
-			h ^= uint64(c)
-			h *= prime64
-		}
-		for _, row := range snap[pred] {
-			for _, v := range row {
-				mix(uint64(uint32(v)))
-			}
-		}
-	}
-	return h
+	return 96 + int64(len(snap))
 }
 
 // Config configures a distributed run.
@@ -504,7 +471,7 @@ type bucketState struct {
 	logBase  int64 // absolute index of log[0]: batches truncated so far
 	logBytes int64
 
-	snap       map[string][][]ast.Value // latest accepted checkpoint; nil if none
+	snap       []byte // latest accepted checkpoint (wire-encoded); nil if none
 	snapBytes  int64
 	snapOffset int64 // absolute batch count the checkpoint covers
 
@@ -585,11 +552,11 @@ func (r *router) route(w *wkState, m wireMsg) {
 		// losing it invisibly.
 		r.dropped++
 		if r.cfg.Sink != nil {
-			r.cfg.Sink.BatchDropped(r.cfg.procID(w.index), m.Bucket, len(m.Tuples))
+			r.cfg.Sink.BatchDropped(r.cfg.procID(w.index), m.Bucket, wire.BatchCount(m.Raw))
 		}
 		return
 	}
-	cost := dataCost(m.Tuples)
+	cost := dataCost(m.Raw)
 	bs := &r.buckets[m.Bucket]
 	bs.log = append(bs.log, logEntry{m: m, cost: cost})
 	bs.logBytes += cost
@@ -702,19 +669,16 @@ func (r *router) noteCheckpoint(w *wkState, m wireMsg) {
 			sum ^= 0xdecea5ed
 		}
 	}
-	tuples := 0
-	for _, rows := range m.Output {
-		tuples += len(rows)
-	}
-	if m.Output == nil || snapSum(m.Output) != sum {
+	tuples := wire.SnapshotTuples(m.Snap)
+	if m.Snap == nil || wire.Checksum(m.Snap) != sum {
 		if r.cfg.Sink != nil {
 			r.cfg.Sink.CheckpointEnd(m.Bucket, proc, tuples, false)
 		}
 		return
 	}
-	newBytes := snapCost(m.Output)
+	newBytes := snapCost(m.Snap)
 	r.snapBytes += newBytes - bs.snapBytes
-	bs.snap, bs.snapBytes, bs.snapOffset = m.Output, newBytes, off
+	bs.snap, bs.snapBytes, bs.snapOffset = m.Snap, newBytes, off
 	r.ckpts++
 	if r.cfg.Sink != nil {
 		r.cfg.Sink.CheckpointEnd(m.Bucket, proc, tuples, true)
@@ -902,9 +866,9 @@ func (r *router) declareDead(w *wkState, reason string) {
 		}
 		// The adopt message carries the checkpoint (nil if none): the
 		// survivor installs it, then the logged suffix completes the
-		// bucket's history. Stored snapshots are never mutated in
-		// place, so sharing the map with the encoder is safe.
-		s.out.push(control(wireMsg{Kind: kindAdopt, Bucket: b, Output: bs.snap}))
+		// bucket's history. Stored snapshots are the verified wire
+		// blobs, shipped verbatim — no re-encode on the recovery path.
+		s.out.push(control(wireMsg{Kind: kindAdopt, Bucket: b, Snap: bs.snap}))
 		for _, le := range bs.log {
 			s.delivered++
 			r.queueBytes += le.cost
@@ -1198,13 +1162,14 @@ func (c *Coordinator) Wait() (*Result, error) {
 	res.TruncatedBatches = r.truncated
 	res.PeakQueueBytes = r.peakQueue
 	res.DroppedBatches = r.dropped
+	var decodeErr error
 	for _, w := range ws {
 		if w.output == nil {
 			continue
 		}
-		for pred, tuples := range w.output.Output {
+		err := wire.DecodeSnapshot(w.output.Snap, func(pred string, tuples []relation.Tuple) error {
 			if len(tuples) == 0 {
-				continue
+				return nil
 			}
 			ar := len(tuples[0])
 			if want, ok := c.arities[pred]; ok {
@@ -1214,10 +1179,17 @@ func (c *Coordinator) Wait() (*Result, error) {
 			for _, t := range tuples {
 				dst.Insert(t)
 			}
+			return nil
+		})
+		if err != nil && decodeErr == nil {
+			decodeErr = fmt.Errorf("dist: worker %d output payload: %w", w.index, err)
 		}
 		res.Stats = append(res.Stats, w.output.Stats...)
 	}
 	r.mu.Unlock()
+	if decodeErr != nil {
+		return nil, decodeErr
+	}
 	sort.Slice(res.Stats, func(i, j int) bool { return res.Stats[i].Proc < res.Stats[j].Proc })
 	res.Wall = time.Since(start)
 	return res, nil

@@ -11,9 +11,9 @@ import (
 	"sync/atomic"
 	"time"
 
-	"parlog/internal/ast"
 	"parlog/internal/parallel"
 	"parlog/internal/relation"
+	"parlog/internal/wire"
 )
 
 // DialFunc is the worker's dial hook — net.Dial's signature, so a
@@ -327,8 +327,8 @@ func RunWorker(coordAddr string, node *parallel.Node, cfg WorkerConfig) error {
 	// machines: the worker's own bucket plus any adopted during recovery.
 	nodes := map[int]*parallel.Node{node.Index(): node}
 	mkEmit := func(n *parallel.Node) parallel.EmitFunc {
-		sendOne := func(n *parallel.Node, dest int, pred string, ts [][]ast.Value) {
-			cost := dataCost(ts)
+		sendOne := func(n *parallel.Node, dest int, pred string, raw []byte) {
+			cost := dataCost(raw)
 			ok, stalled := gate.acquire(cost, f, ctx)
 			if stalled {
 				if sink := n.Sink(); sink != nil {
@@ -339,39 +339,45 @@ func RunWorker(coordAddr string, node *parallel.Node, cfg WorkerConfig) error {
 				return // connection failed or canceled: the send would be lost anyway
 			}
 			sent.Add(1) // before the batch can reach the wire
-			wq.push(qmsg{m: wireMsg{Kind: kindData, Bucket: dest, From: n.Index(), Pred: pred, Tuples: ts}})
+			wq.push(qmsg{m: wireMsg{Kind: kindData, Bucket: dest, From: n.Index(), Pred: pred, Raw: raw}})
 		}
 		return func(dest int, pred string, tuples []relation.Tuple) {
-			ts := make([][]ast.Value, len(tuples))
-			for i, t := range tuples {
-				ts[i] = t
-			}
 			n.RecordSent(len(tuples))
 			if sink := n.Sink(); sink != nil {
 				sink.MessageSent(n.Proc(), n.PeerProc(dest), pred, len(tuples))
 			}
+			if len(tuples) == 0 {
+				sendOne(n, dest, pred, wire.AppendBatch(nil, nil))
+				return
+			}
 			// Split the logical batch so no wire batch overdraws the byte
-			// credit: each chunk fits the whole credit, so the gate never
+			// credit: the chunk's tuple count is sized so even the
+			// worst-case encoding fits the whole credit, so the gate never
 			// has to admit an oversized batch and the coordinator's
 			// residency bound stays strict. At least one tuple goes per
 			// chunk regardless, so progress never stalls on a degenerate
 			// credit.
-			limit := gate.chunkLimit()
-			if limit <= 0 || dataCost(ts) <= limit {
-				sendOne(n, dest, pred, ts)
-				return
-			}
-			start := 0
-			cost := int64(96)
-			for i, t := range ts {
-				tc := 24 + 4*int64(len(t))
-				if i > start && cost+tc > limit {
-					sendOne(n, dest, pred, ts[start:i])
-					start, cost = i, 96
+			maxCount := len(tuples)
+			if limit := gate.chunkLimit(); limit > 0 {
+				per := int64(len(tuples[0]) * wire.MaxValueBytes)
+				if per < 1 {
+					per = 1
 				}
-				cost += tc
+				mc := (limit - 96 - wire.MaxBatchHeaderBytes) / per
+				if mc < 1 {
+					mc = 1
+				}
+				if mc < int64(maxCount) {
+					maxCount = int(mc)
+				}
 			}
-			sendOne(n, dest, pred, ts[start:])
+			for start := 0; start < len(tuples); start += maxCount {
+				end := start + maxCount
+				if end > len(tuples) {
+					end = len(tuples)
+				}
+				sendOne(n, dest, pred, wire.AppendBatch(nil, tuples[start:end]))
+			}
 		}
 	}
 
@@ -418,9 +424,9 @@ func RunWorker(coordAddr string, node *parallel.Node, cfg WorkerConfig) error {
 				// owner — but defensiveness costs nothing), keeping the
 				// coordinator's delivered/recv ledger balanced.
 				if n := nodes[m.Bucket]; n != nil {
-					tuples := make([]relation.Tuple, len(m.Tuples))
-					for i, t := range m.Tuples {
-						tuples[i] = t
+					tuples, err := wire.DecodeBatch(m.Raw)
+					if err != nil {
+						return fin(fmt.Errorf("dist: data batch for bucket %d: %w", m.Bucket, err))
 					}
 					n.Accept(m.From, m.Pred, tuples)
 					touched[m.Bucket] = true
@@ -442,15 +448,16 @@ func RunWorker(coordAddr string, node *parallel.Node, cfg WorkerConfig) error {
 				// history.
 				nb := time.Now()
 				n.Init(mkEmit(n))
-				for _, pred := range sortedPreds(m.Output) {
-					rows := m.Output[pred]
-					tuples := make([]relation.Tuple, len(rows))
-					for i, t := range rows {
-						tuples[i] = t
-					}
-					n.Accept(-1, pred, tuples)
+				// The snapshot decodes in ascending predicate order — the
+				// deterministic install sequence is baked into the encoding.
+				err := wire.DecodeSnapshot(m.Snap, func(pred string, rows []relation.Tuple) error {
+					n.Accept(-1, pred, rows)
+					return nil
+				})
+				if err != nil {
+					return fin(fmt.Errorf("dist: adopt snapshot for bucket %d: %w", m.Bucket, err))
 				}
-				if len(m.Output) > 0 {
+				if wire.SnapshotTuples(m.Snap) > 0 {
 					touched[m.Bucket] = true
 				}
 				n.RecordBusy(time.Since(nb))
@@ -480,10 +487,10 @@ func RunWorker(coordAddr string, node *parallel.Node, cfg WorkerConfig) error {
 			if n == nil {
 				continue // stale request for a bucket this worker never hosted
 			}
-			snap := n.Snapshot()
+			snap := wire.AppendSnapshot(nil, n.Snapshot())
 			wq.push(control(wireMsg{
 				Kind: kindCheckpointReply, Bucket: req.Bucket, Probe: req.Probe,
-				Output: snap, Sum: snapSum(snap),
+				Snap: snap, Sum: wire.Checksum(snap),
 			}))
 		}
 		if sink != nil {
@@ -491,7 +498,8 @@ func RunWorker(coordAddr string, node *parallel.Node, cfg WorkerConfig) error {
 		}
 
 		if finish {
-			out := wireMsg{Kind: kindOutput, Index: node.Index(), Output: map[string][][]ast.Value{}}
+			out := wireMsg{Kind: kindOutput, Index: node.Index()}
+			pooled := map[string][]relation.Tuple{}
 			hosted := make([]int, 0, len(nodes))
 			for b := range nodes {
 				hosted = append(hosted, b)
@@ -503,28 +511,18 @@ func RunWorker(coordAddr string, node *parallel.Node, cfg WorkerConfig) error {
 					if rel.Len() == 0 {
 						continue
 					}
-					ts := out.Output[pred]
-					for _, t := range rel.Rows() {
-						ts = append(ts, t)
+					ts := pooled[pred]
+					for i := 0; i < rel.Len(); i++ {
+						ts = append(ts, rel.Row(i))
 					}
-					out.Output[pred] = ts
+					pooled[pred] = ts
 				}
 				out.Stats = append(out.Stats, n.Stats())
 			}
+			out.Snap = wire.AppendSnapshot(nil, pooled)
 			wq.push(control(out))
 			return fin(nil)
 		}
 		idle.Store(true)
 	}
-}
-
-// sortedPreds returns a snapshot's predicate names in sorted order, for a
-// deterministic install sequence.
-func sortedPreds(snap map[string][][]ast.Value) []string {
-	preds := make([]string, 0, len(snap))
-	for pred := range snap {
-		preds = append(preds, pred)
-	}
-	sort.Strings(preds)
-	return preds
 }

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"parlog/internal/ast"
+	"parlog/internal/hashpart"
 	"parlog/internal/obs"
 	"parlog/internal/relation"
 	"parlog/internal/seminaive"
@@ -49,6 +50,68 @@ type Node struct {
 	// scratch holds the head tuple being probed, avoiding an allocation per
 	// firing.
 	scratch relation.Tuple
+
+	// routers holds the program's sending rules precompiled against this
+	// processor: pattern constants/repeated variables become column checks
+	// and the discriminating sequence becomes column positions, so routing
+	// a tuple allocates nothing.
+	routers map[string][]nodeRouter
+	// routeVals and destScratch are route's reusable buffers.
+	routeVals   []ast.Value
+	destScratch []int
+}
+
+// nodeRouter is one Router specialized to a processor: the per-tuple
+// substitution matching of the generic Router is flattened into column
+// comparisons.
+type nodeRouter struct {
+	self      bool
+	broadcast bool
+	arity     int // pattern arity; tuples of other widths never match
+	// consts are the pattern's constant positions: tuple[col] must be val.
+	consts []struct {
+		col int
+		val ast.Value
+	}
+	// eqs are repeated-variable positions: tuple[a] must equal tuple[b].
+	eqs [][2]int
+	// seqPos are the columns of v(r) inside the pattern (point-to-point
+	// routing only), and h the processor's routing function.
+	seqPos []int
+	h      hashpart.Func
+}
+
+// compileRouter flattens rt for the processor procID. Build has already
+// validated that a point-to-point router's sequence is contained in its
+// pattern, so every sequence variable resolves to a column.
+func compileRouter(rt Router, procID int) nodeRouter {
+	nr := nodeRouter{self: rt.Self, broadcast: rt.Broadcast, arity: len(rt.Pattern.Args)}
+	if rt.Self {
+		return nr
+	}
+	firstCol := make(map[string]int, len(rt.Pattern.Args))
+	for i, t := range rt.Pattern.Args {
+		if t.IsVar() {
+			if j, ok := firstCol[t.VarName]; ok {
+				nr.eqs = append(nr.eqs, [2]int{j, i})
+			} else {
+				firstCol[t.VarName] = i
+			}
+		} else {
+			nr.consts = append(nr.consts, struct {
+				col int
+				val ast.Value
+			}{i, t.Value})
+		}
+	}
+	if !rt.Broadcast {
+		nr.seqPos = make([]int, len(rt.Seq))
+		for i, v := range rt.Seq {
+			nr.seqPos[i] = firstCol[v]
+		}
+		nr.h = rt.HFor(procID)
+	}
+	return nr
 }
 
 // NewNode materializes processor wi's node, including its base-relation
@@ -84,6 +147,19 @@ func NewNode(p *Program, wi int, global relation.Store) *Node {
 		}
 	}
 	n.scratch = make(relation.Tuple, maxAr)
+	n.routers = make(map[string][]nodeRouter, len(p.routers))
+	maxSeq := 0
+	for pred, rts := range p.routers {
+		crs := make([]nodeRouter, len(rts))
+		for i, rt := range rts {
+			crs[i] = compileRouter(rt, procID)
+			if len(crs[i].seqPos) > maxSeq {
+				maxSeq = len(crs[i].seqPos)
+			}
+		}
+		n.routers[pred] = crs
+	}
+	n.routeVals = make([]ast.Value, maxSeq)
 	return n
 }
 
@@ -223,44 +299,64 @@ func (n *Node) emitTuple(pred string, t relation.Tuple) {
 
 // route applies every router of pred to t and queues the tuple for its
 // destinations. Self-destinations enter the local @in relation immediately
-// (they are free, not communication).
+// (they are free, not communication). The precompiled routers and the
+// node-owned scratch buffers make this allocation-free per tuple.
 func (n *Node) route(pred string, t relation.Tuple) {
-	routers := n.prog.routers[pred]
+	routers := n.routers[pred]
 	if len(routers) == 0 {
 		return
 	}
-	var dests map[int]bool
-	add := func(wi int) {
-		if dests == nil {
-			dests = make(map[int]bool, 2)
+	dests := n.destScratch[:0]
+	add := func(wi int) []int {
+		for _, d := range dests {
+			if d == wi {
+				return dests
+			}
 		}
-		dests[wi] = true
+		return append(dests, wi)
 	}
-	for _, rt := range routers {
-		if rt.Self {
-			add(n.wi)
+	for i := range routers {
+		rt := &routers[i]
+		if rt.self {
+			dests = add(n.wi)
 			continue
 		}
-		sub := ast.Subst{}
-		if !ast.MatchAtom(rt.Pattern, t, sub) {
+		if len(t) != rt.arity {
+			continue
+		}
+		ok := true
+		for _, cv := range rt.consts {
+			if t[cv.col] != cv.val {
+				ok = false
+				break
+			}
+		}
+		for _, eq := range rt.eqs {
+			if !ok || t[eq[0]] != t[eq[1]] {
+				ok = false
+				break
+			}
+		}
+		if !ok {
 			continue // cannot ever fire through this occurrence
 		}
-		if rt.Broadcast {
+		if rt.broadcast {
 			for wi := 0; wi < n.prog.Procs.Len(); wi++ {
-				add(wi)
+				dests = add(wi)
 			}
 			continue
 		}
-		vals := make([]ast.Value, len(rt.Seq))
-		for k, v := range rt.Seq {
-			vals[k] = sub[v]
+		vals := n.routeVals[:len(rt.seqPos)]
+		for k, c := range rt.seqPos {
+			vals[k] = t[c]
 		}
-		dest := rt.HFor(n.procID).Apply(vals)
+		dest := rt.h.Apply(vals)
 		if wi, ok := n.prog.Procs.Index(dest); ok {
-			add(wi)
+			dests = add(wi)
 		}
 	}
-	for wi := range dests {
+	n.destScratch = dests[:0]
+	for _, wi := range dests {
 		if wi == n.wi {
 			n.in[pred].Insert(t) // local keep: visible to the next iteration
 			continue
@@ -315,24 +411,24 @@ func (n *Node) RecordBusy(d time.Duration) { n.stats.Busy += d }
 // must not modify them.
 func (n *Node) Outputs() map[string]*relation.Relation { return n.out }
 
-// Snapshot copies the node's @in relations — the derived tuples this
+// Snapshot captures the node's @in relations — the derived tuples this
 // bucket has received or kept. Because every other piece of node state
 // (the out relations, the local keeps, the watermarks) is a monotone
 // function of the EDB fragment and these tuples, a fresh node that runs
 // Init, Accepts the snapshot and Drains converges to a state at least as
 // advanced as this one: the snapshot is a complete bucket checkpoint.
-// Predicates with no tuples are omitted.
-func (n *Node) Snapshot() map[string][][]ast.Value {
-	snap := make(map[string][][]ast.Value, len(n.in))
+// Predicates with no tuples are omitted. The rows are headers into the
+// relations' arenas, not copies: arena rows are immutable once written,
+// so the snapshot stays valid however the node evolves afterwards.
+func (n *Node) Snapshot() map[string][]relation.Tuple {
+	snap := make(map[string][]relation.Tuple, len(n.in))
 	for pred, rel := range n.in {
 		if rel.Len() == 0 {
 			continue
 		}
-		rows := make([][]ast.Value, 0, rel.Len())
-		for _, t := range rel.Rows() {
-			cp := make([]ast.Value, len(t))
-			copy(cp, t)
-			rows = append(rows, cp)
+		rows := make([]relation.Tuple, rel.Len())
+		for i := range rows {
+			rows[i] = rel.Row(i)
 		}
 		snap[pred] = rows
 	}

@@ -3,6 +3,7 @@ package parallel
 import (
 	"context"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -63,18 +64,12 @@ func (t *Topology) Edges() [][2]int {
 }
 
 func sortEdges(out [][2]int) {
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && less(out[j], out[j-1]); j-- {
-			out[j], out[j-1] = out[j-1], out[j]
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
 		}
-	}
-}
-
-func less(a, b [2]int) bool {
-	if a[0] != b[0] {
-		return a[0] < b[0]
-	}
-	return a[1] < b[1]
+		return out[i][1] < out[j][1]
+	})
 }
 
 // RunConfig configures a parallel execution.
@@ -264,8 +259,8 @@ func PrepareEDB(p *Program, edb relation.Store) (relation.Store, error) {
 		if err != nil {
 			return nil, fmt.Errorf("parallel: EDB %w", err)
 		}
-		for _, t := range r.Rows() {
-			dst.Insert(t)
+		for i := 0; i < r.Len(); i++ {
+			dst.Insert(r.Row(i))
 		}
 	}
 	for pred, tuples := range p.facts {
@@ -356,8 +351,8 @@ func Run(p *Program, edb relation.Store, cfg RunConfig) (*Result, error) {
 	for _, w := range workers {
 		for pred, rel := range w.node.Outputs() {
 			dst := out.Get(pred, rel.Arity())
-			for _, t := range rel.Rows() {
-				dst.Insert(t)
+			for i := 0; i < rel.Len(); i++ {
+				dst.Insert(rel.Row(i))
 			}
 		}
 		stats.Procs = append(stats.Procs, w.node.Stats())
@@ -411,21 +406,22 @@ func fragmentFor(p *Program, pred string, wi, procID int, global relation.Store)
 			continue
 		}
 		if need.seq == nil || need.hFor == nil {
-			for _, t := range src.Rows() {
-				frag.Insert(t)
+			for i := 0; i < src.Len(); i++ {
+				frag.Insert(src.Row(i))
 			}
 			continue
 		}
 		pos, ok := hashpart.SeqPositions(need.pattern, need.seq)
 		if !ok {
-			for _, t := range src.Rows() {
-				frag.Insert(t)
+			for i := 0; i < src.Len(); i++ {
+				frag.Insert(src.Row(i))
 			}
 			continue
 		}
 		h := need.hFor(procID)
 		vals := make([]ast.Value, len(pos))
-		for _, t := range src.Rows() {
+		for i := 0; i < src.Len(); i++ {
+			t := src.Row(i)
 			if !hashpart.MatchesPattern(need.pattern, t) {
 				continue
 			}

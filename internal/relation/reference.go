@@ -1,0 +1,60 @@
+package relation
+
+// Reference is the retained pre-arena representation of a relation: one
+// heap-allocated Tuple per row plus a string-keyed membership map — the
+// storage layout this package used before the flat-arena rewrite. It is
+// deliberately naive and kept only as a differential-testing baseline:
+// the arena-backed Relation must stay observably equivalent to this
+// obviously-correct implementation on every program (internal/randprog
+// drives the comparison over random programs and all engines).
+type Reference struct {
+	arity int
+	seen  map[string]bool
+	rows  []Tuple
+}
+
+// NewReference returns an empty reference relation of the given arity.
+func NewReference(arity int) *Reference {
+	return &Reference{arity: arity, seen: make(map[string]bool)}
+}
+
+// Arity returns the tuple width.
+func (r *Reference) Arity() int { return r.arity }
+
+// Len returns the number of distinct tuples.
+func (r *Reference) Len() int { return len(r.rows) }
+
+// Insert adds a copy of t and reports whether it was new.
+func (r *Reference) Insert(t Tuple) bool {
+	k := t.Key()
+	if r.seen[k] {
+		return false
+	}
+	r.seen[k] = true
+	r.rows = append(r.rows, t.Clone())
+	return true
+}
+
+// Contains reports membership.
+func (r *Reference) Contains(t Tuple) bool { return r.seen[t.Key()] }
+
+// Rows returns the stored tuples in insertion order. Callers must not
+// modify them.
+func (r *Reference) Rows() []Tuple { return r.rows }
+
+// EqualRelation reports whether the reference holds exactly the tuples of
+// the arena-backed rel (nil rel counts as empty).
+func (r *Reference) EqualRelation(rel *Relation) bool {
+	if rel == nil {
+		return len(r.rows) == 0
+	}
+	if rel.Len() != len(r.rows) || (rel.Len() > 0 && rel.Arity() != r.arity) {
+		return false
+	}
+	for i := 0; i < rel.Len(); i++ {
+		if !r.seen[rel.Row(i).Key()] {
+			return false
+		}
+	}
+	return true
+}

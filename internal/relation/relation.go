@@ -3,8 +3,18 @@
 // elimination and incrementally-maintained hash indexes.
 //
 // Rows are append-only and never removed, so a pair of integer watermarks
-// into the row slice represents the semi-naive "previous total / delta"
+// into the row sequence represents the semi-naive "previous total / delta"
 // split without copying.
+//
+// Storage layout. A relation of arity k keeps all tuples in one flat
+// []ast.Value arena, row i occupying data[i*k : (i+1)*k]. Insert appends
+// into the arena — the only allocations are the amortized arena/table
+// growths. Duplicate elimination is an open-addressing hash table of row
+// ids probing FNV-1a hashes computed directly from the arena; no string
+// keys are ever materialized. Indexes bucket rows by a column subset into
+// runs of a shared []int32 postings arena (see Index). Values are immutable
+// once written, so slices into an old arena backing array remain valid
+// after growth — callers may hold Row results across later Inserts.
 package relation
 
 import (
@@ -19,8 +29,6 @@ import (
 type Tuple []ast.Value
 
 // appendKey appends the 4-byte little-endian encoding of each value to buf.
-// Used with the map[string(buf)] lookup pattern, which the compiler
-// optimizes to avoid allocating.
 func appendKey(buf []byte, vals []ast.Value) []byte {
 	for _, v := range vals {
 		buf = append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
@@ -54,24 +62,55 @@ func (t Tuple) Equal(u Tuple) bool {
 	return true
 }
 
+// FNV-1a over the little-endian bytes of each value. Matches the classic
+// 64-bit parameters; kept byte-at-a-time so the hash equals hashing the
+// Tuple.Key encoding.
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+// hashVal folds one value into h.
+func hashVal(h uint64, v ast.Value) uint64 {
+	u := uint32(v)
+	h = (h ^ uint64(u&0xff)) * fnvPrime
+	h = (h ^ uint64((u>>8)&0xff)) * fnvPrime
+	h = (h ^ uint64((u>>16)&0xff)) * fnvPrime
+	h = (h ^ uint64(u>>24)) * fnvPrime
+	return h
+}
+
+func hashVals(vals []ast.Value) uint64 {
+	h := fnvOffset
+	for _, v := range vals {
+		h = hashVal(h, v)
+	}
+	return h
+}
+
 // Relation is a duplicate-free, append-only set of equal-arity tuples.
 // The zero value is not usable; create with New. A Relation (including its
 // cached indexes) is not safe for concurrent use; the engines give each
 // processor its own relations.
 type Relation struct {
-	arity   int
-	seen    map[string]struct{}
-	rows    []Tuple
-	indexes map[string]*Index
-	keyBuf  []byte // scratch for allocation-free membership probes
+	arity int
+	data  []ast.Value // flat arena: row i is data[i*arity:(i+1)*arity]
+	n     int         // number of rows
+	table []int32     // open addressing: row id + 1, 0 = empty
+	mask  uint64      // len(table) - 1
+
+	indexes map[uint64]*Index // fast path, keyed by packed column signature
+	extra   []*Index          // overflow for column sets the packing can't encode
 }
+
+const initialTableSize = 16
 
 // New returns an empty relation of the given arity.
 func New(arity int) *Relation {
 	return &Relation{
-		arity:   arity,
-		seen:    make(map[string]struct{}),
-		indexes: make(map[string]*Index),
+		arity: arity,
+		table: make([]int32, initialTableSize),
+		mask:  initialTableSize - 1,
 	}
 }
 
@@ -89,54 +128,140 @@ func FromTuples(arity int, tuples [][]ast.Value) *Relation {
 func (r *Relation) Arity() int { return r.arity }
 
 // Len returns the number of distinct tuples.
-func (r *Relation) Len() int { return len(r.rows) }
+func (r *Relation) Len() int { return r.n }
 
-// Insert adds t if not present, reporting whether it was new. The tuple is
-// copied, so callers may reuse the backing slice. Insert panics on arity
-// mismatch — that is always an engine bug, never data-dependent.
+// row returns the arena slice of row i, capacity-capped so an append by a
+// careless caller cannot clobber the following row.
+func (r *Relation) row(i int) Tuple {
+	lo, hi := i*r.arity, (i+1)*r.arity
+	return Tuple(r.data[lo:hi:hi])
+}
+
+// rowEqual compares row i against t (len(t) == arity).
+func (r *Relation) rowEqual(i int, t []ast.Value) bool {
+	base := i * r.arity
+	for j, v := range t {
+		if r.data[base+j] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// hashRow hashes row i straight from the arena.
+func (r *Relation) hashRow(i int) uint64 {
+	base := i * r.arity
+	h := fnvOffset
+	for j := 0; j < r.arity; j++ {
+		h = hashVal(h, r.data[base+j])
+	}
+	return h
+}
+
+// Insert adds t if not present, reporting whether it was new. The values are
+// copied into the arena, so callers may reuse the backing slice. Insert
+// panics on arity mismatch — that is always an engine bug, never
+// data-dependent.
 func (r *Relation) Insert(t Tuple) bool {
 	if len(t) != r.arity {
 		panic(fmt.Sprintf("relation: inserting arity-%d tuple into arity-%d relation", len(t), r.arity))
 	}
-	r.keyBuf = appendKey(r.keyBuf[:0], t)
-	if _, dup := r.seen[string(r.keyBuf)]; dup {
-		return false
+	i := hashVals(t) & r.mask
+	for {
+		s := r.table[i]
+		if s == 0 {
+			break
+		}
+		if r.rowEqual(int(s-1), t) {
+			return false
+		}
+		i = (i + 1) & r.mask
 	}
-	r.seen[string(r.keyBuf)] = struct{}{}
-	r.rows = append(r.rows, t.Clone())
+	row := r.n
+	r.data = append(r.data, t...)
+	r.n++
+	r.table[i] = int32(row + 1)
+	if uint64(r.n)*4 >= uint64(len(r.table))*3 {
+		r.growTable()
+	}
 	return true
+}
+
+// growTable doubles the hash table, rehashing every row from the arena.
+func (r *Relation) growTable() {
+	nt := make([]int32, len(r.table)*2)
+	mask := uint64(len(nt) - 1)
+	for row := 0; row < r.n; row++ {
+		i := r.hashRow(row) & mask
+		for nt[i] != 0 {
+			i = (i + 1) & mask
+		}
+		nt[i] = int32(row + 1)
+	}
+	r.table = nt
+	r.mask = mask
 }
 
 // Contains reports membership.
 func (r *Relation) Contains(t Tuple) bool {
-	r.keyBuf = appendKey(r.keyBuf[:0], t)
-	_, ok := r.seen[string(r.keyBuf)]
-	return ok
+	if len(t) != r.arity {
+		return false
+	}
+	i := hashVals(t) & r.mask
+	for {
+		s := r.table[i]
+		if s == 0 {
+			return false
+		}
+		if r.rowEqual(int(s-1), t) {
+			return true
+		}
+		i = (i + 1) & r.mask
+	}
 }
 
-// Rows returns the live, append-only row slice. Callers must not modify it.
-func (r *Relation) Rows() []Tuple { return r.rows }
+// Rows returns the current rows as tuple headers into the arena. The result
+// is a snapshot of the ids present at call time (later Inserts are not
+// reflected); the tuples themselves must not be modified. Prefer Len/Row in
+// hot loops — Rows allocates the header slice.
+func (r *Relation) Rows() []Tuple {
+	out := make([]Tuple, r.n)
+	for i := range out {
+		out[i] = r.row(i)
+	}
+	return out
+}
 
-// Row returns the i-th tuple.
-func (r *Relation) Row(i int) Tuple { return r.rows[i] }
+// Row returns the i-th tuple as a slice into the arena. Valid forever —
+// arena growth never invalidates previously returned rows.
+func (r *Relation) Row(i int) Tuple {
+	if i >= r.n {
+		panic(fmt.Sprintf("relation: row %d out of range (len %d)", i, r.n))
+	}
+	return r.row(i)
+}
 
-// Clone returns an independent deep copy (indexes are not copied; they
-// rebuild lazily).
+// Clone returns an independent deep copy: the arena and dedup table are
+// copied wholesale, with no per-tuple rehashing. Indexes are not copied;
+// they rebuild lazily.
 func (r *Relation) Clone() *Relation {
-	out := New(r.arity)
-	for _, t := range r.rows {
-		out.Insert(t)
+	out := &Relation{
+		arity: r.arity,
+		data:  append([]ast.Value(nil), r.data...),
+		n:     r.n,
+		table: append([]int32(nil), r.table...),
+		mask:  r.mask,
 	}
 	return out
 }
 
 // Equal reports whether r and s contain exactly the same tuples.
 func (r *Relation) Equal(s *Relation) bool {
-	if r.arity != s.arity || len(r.rows) != len(s.rows) {
+	if r.arity != s.arity || r.n != s.n {
 		return false
 	}
-	for k := range r.seen {
-		if _, ok := s.seen[k]; !ok {
+	for i := 0; i < r.n; i++ {
+		if !s.Contains(r.row(i)) {
 			return false
 		}
 	}
@@ -146,8 +271,7 @@ func (r *Relation) Equal(s *Relation) bool {
 // SortedRows returns the tuples in lexicographic order; for deterministic
 // output and tests.
 func (r *Relation) SortedRows() []Tuple {
-	out := make([]Tuple, len(r.rows))
-	copy(out, r.rows)
+	out := r.Rows()
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		for k := range a {
@@ -181,69 +305,248 @@ func (r *Relation) String() string {
 	return b.String()
 }
 
+// indexSig packs a column set into one integer: 6 bits per column (value
+// col+1), length in the high bits. Unique whenever every column is < 63 and
+// there are at most 9 columns; wider sets report ok=false and take the
+// linear overflow path.
+func indexSig(cols []int) (uint64, bool) {
+	if len(cols) > 9 {
+		return 0, false
+	}
+	sig := uint64(len(cols))
+	for _, c := range cols {
+		if c < 0 || c >= 63 {
+			return 0, false
+		}
+		sig = sig<<6 | uint64(c+1)
+	}
+	return sig, true
+}
+
+func sameCols(a []int, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // IndexOn returns a hash index on the given columns, building or refreshing
 // it as needed. Indexes are cached per column set and maintained
 // incrementally because rows are append-only.
 func (r *Relation) IndexOn(cols ...int) *Index {
-	sig := indexSig(cols)
-	idx, ok := r.indexes[sig]
-	if !ok {
-		idx = &Index{rel: r, cols: append([]int(nil), cols...), m: make(map[string][]int)}
-		r.indexes[sig] = idx
+	var idx *Index
+	if sig, ok := indexSig(cols); ok {
+		if r.indexes == nil {
+			r.indexes = make(map[uint64]*Index)
+		}
+		idx = r.indexes[sig]
+		if idx == nil {
+			idx = newIndex(r, cols)
+			r.indexes[sig] = idx
+		}
+	} else {
+		for _, ix := range r.extra {
+			if sameCols(ix.cols, cols) {
+				idx = ix
+				break
+			}
+		}
+		if idx == nil {
+			idx = newIndex(r, cols)
+			r.extra = append(r.extra, idx)
+		}
 	}
 	idx.refresh()
 	return idx
 }
 
-func indexSig(cols []int) string {
-	var b strings.Builder
-	for _, c := range cols {
-		fmt.Fprintf(&b, "%d,", c)
-	}
-	return b.String()
+// Index is a hash index over a column subset of a relation. Rows with equal
+// indexed columns form a run — a contiguous ascending window of a shared
+// []int32 postings arena — so a range-restricted lookup is one hash probe
+// plus a binary search. Runs grow by relocation to the arena's end with
+// doubled capacity; the abandoned region is never overwritten, so a run
+// slice captured before a reentrant refresh stays valid (its missing new
+// ids are out of the caller's row range by construction: rows inserted
+// after a lookup's bounds were taken have ids >= hi).
+type Index struct {
+	rel  *Relation
+	cols []int
+
+	slots   []int32 // open addressing: entry id + 1, 0 = empty
+	mask    uint64  // len(slots) - 1
+	entries []idxEntry
+	post    []int32 // postings arena, runs of ascending row ids
+	built   int     // rows indexed so far
 }
 
-// Index is a hash index over a column subset of a relation. Row ids in each
-// bucket are ascending, which lets range-restricted lookups binary-search.
-type Index struct {
-	rel    *Relation
-	cols   []int
-	m      map[string][]int
-	built  int    // rows indexed so far
-	keyBuf []byte // scratch for allocation-free probes
+// idxEntry is one distinct key: its hash, its current run window, and a
+// representative row whose indexed columns spell the key out.
+type idxEntry struct {
+	hash        uint64
+	off, n, cap int32
+	rep         int32
+}
+
+const initialSlotSize = 16
+
+func newIndex(r *Relation, cols []int) *Index {
+	return &Index{
+		rel:   r,
+		cols:  append([]int(nil), cols...),
+		slots: make([]int32, initialSlotSize),
+		mask:  initialSlotSize - 1,
+	}
+}
+
+// rowHash hashes the indexed columns of row straight from the arena.
+func (ix *Index) rowHash(row int) uint64 {
+	base := row * ix.rel.arity
+	h := fnvOffset
+	for _, c := range ix.cols {
+		h = hashVal(h, ix.rel.data[base+c])
+	}
+	return h
+}
+
+// keyEqualRow reports whether row's indexed columns equal entry e's key.
+func (ix *Index) keyEqualRow(e *idxEntry, row int) bool {
+	a := int(e.rep) * ix.rel.arity
+	b := row * ix.rel.arity
+	for _, c := range ix.cols {
+		if ix.rel.data[a+c] != ix.rel.data[b+c] {
+			return false
+		}
+	}
+	return true
+}
+
+// keyEqualVals reports whether vals equal entry e's key.
+func (ix *Index) keyEqualVals(e *idxEntry, vals []ast.Value) bool {
+	a := int(e.rep) * ix.rel.arity
+	for i, c := range ix.cols {
+		if ix.rel.data[a+c] != vals[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // refresh extends the index over rows appended since the last refresh.
 func (ix *Index) refresh() {
-	for ; ix.built < len(ix.rel.rows); ix.built++ {
-		t := ix.rel.rows[ix.built]
-		ix.keyBuf = ix.appendColsKey(ix.keyBuf[:0], t)
-		ix.m[string(ix.keyBuf)] = append(ix.m[string(ix.keyBuf)], ix.built)
+	for ; ix.built < ix.rel.n; ix.built++ {
+		row := ix.built
+		h := ix.rowHash(row)
+		i := h & ix.mask
+		ei := int32(-1)
+		for {
+			s := ix.slots[i]
+			if s == 0 {
+				break
+			}
+			if e := &ix.entries[s-1]; e.hash == h && ix.keyEqualRow(e, row) {
+				ei = s - 1
+				break
+			}
+			i = (i + 1) & ix.mask
+		}
+		if ei < 0 {
+			// New key: open a 2-slot run at the arena's end.
+			off := ix.grow(2)
+			ix.entries = append(ix.entries, idxEntry{hash: h, off: off, cap: 2, rep: int32(row)})
+			ei = int32(len(ix.entries) - 1)
+			ix.slots[i] = ei + 1
+			if uint64(len(ix.entries))*4 >= uint64(len(ix.slots))*3 {
+				ix.growSlots()
+			}
+		}
+		e := &ix.entries[ei]
+		if e.n == e.cap {
+			// Relocate the run to the end with doubled capacity. The old
+			// region is abandoned, never reused: captured run slices stay
+			// intact.
+			newOff := ix.grow(e.cap * 2)
+			copy(ix.post[newOff:], ix.post[e.off:e.off+e.n])
+			e.off = newOff
+			e.cap *= 2
+		}
+		ix.post[e.off+e.n] = int32(row)
+		e.n++
 	}
 }
 
-func (ix *Index) appendColsKey(buf []byte, t Tuple) []byte {
-	for _, c := range ix.cols {
-		v := t[c]
-		buf = append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+// grow extends the postings arena by c zeroed slots, returning their offset.
+func (ix *Index) grow(c int32) int32 {
+	off := len(ix.post)
+	need := off + int(c)
+	if need <= cap(ix.post) {
+		ix.post = ix.post[:need]
+		for i := off; i < need; i++ {
+			ix.post[i] = 0
+		}
+		return int32(off)
 	}
-	return buf
+	newCap := 2 * cap(ix.post)
+	if newCap < need {
+		newCap = need
+	}
+	if newCap < 64 {
+		newCap = 64
+	}
+	np := make([]int32, need, newCap)
+	copy(np, ix.post)
+	ix.post = np
+	return int32(off)
+}
+
+// growSlots doubles the slot table, rehashing from the stored entry hashes.
+func (ix *Index) growSlots() {
+	ns := make([]int32, len(ix.slots)*2)
+	mask := uint64(len(ns) - 1)
+	for i := range ix.entries {
+		j := ix.entries[i].hash & mask
+		for ns[j] != 0 {
+			j = (j + 1) & mask
+		}
+		ns[j] = int32(i + 1)
+	}
+	ix.slots = ns
+	ix.mask = mask
 }
 
 // Lookup calls fn with each row id in [lo,hi) whose indexed columns equal
 // vals, in ascending order. fn returning false stops the scan. The index is
-// refreshed first, so rows inserted since IndexOn are visible.
+// refreshed first, so rows inserted since IndexOn are visible. fn may
+// insert into the underlying relation: the captured run is immune to
+// relocation, and rows inserted mid-scan have ids >= the relation length at
+// refresh time, hence >= any legal hi.
 func (ix *Index) Lookup(vals []ast.Value, lo, hi int, fn func(row int) bool) {
 	ix.refresh()
-	ix.keyBuf = appendKey(ix.keyBuf[:0], vals)
-	bucket := ix.m[string(ix.keyBuf)]
-	// Binary search for the first id >= lo.
-	start := sort.SearchInts(bucket, lo)
-	for _, id := range bucket[start:] {
-		if id >= hi {
+	h := hashVals(vals)
+	i := h & ix.mask
+	var run []int32
+	for {
+		s := ix.slots[i]
+		if s == 0 {
 			return
 		}
-		if !fn(id) {
+		if e := &ix.entries[s-1]; e.hash == h && ix.keyEqualVals(e, vals) {
+			run = ix.post[e.off : e.off+e.n]
+			break
+		}
+		i = (i + 1) & ix.mask
+	}
+	// Binary search for the first id >= lo; runs are ascending.
+	start := sort.Search(len(run), func(k int) bool { return int(run[k]) >= lo })
+	for _, id := range run[start:] {
+		if int(id) >= hi {
+			return
+		}
+		if !fn(int(id)) {
 			return
 		}
 	}

@@ -221,10 +221,15 @@ func evalSCC(nonRec, rec []ast.Rule, inSCC map[string]bool, store relation.Store
 		}
 	}
 
-	type staged struct {
-		pred  string
-		tuple relation.Tuple
-	}
+	// Derived tuples are inserted straight into the arena as they are
+	// enumerated — no staging copies. This is sound because every plan's
+	// bounds come from w, whose Cur entries were taken at iteration start: a
+	// tuple inserted mid-iteration lands at a row id >= Cur and is invisible
+	// to every RangePrev/RangeDelta/RangeFull scan of this iteration,
+	// exactly as if it had been staged. Insert's return value replaces the
+	// old Contains+stagedSeen dedup: it is false for pre-existing and
+	// same-iteration duplicates alike.
+	scratch := make(relation.Tuple, 8)
 	for {
 		stats.Iterations++
 		if opts.MaxIterations > 0 && stats.Iterations > opts.MaxIterations {
@@ -236,61 +241,43 @@ func evalSCC(nonRec, rec []ast.Rule, inSCC map[string]bool, store relation.Store
 		if opts.Sink != nil {
 			opts.Sink.IterationStart(0, stats.Iterations)
 		}
-		var news []staged
-		stagedSeen := make(map[string]*relation.Relation)
-		scratch := make(relation.Tuple, 8)
+		delta := 0
 		for _, c := range cs {
 			rel := store.Get(c.head, c.arity)
 			if cap(scratch) < c.arity {
 				scratch = make(relation.Tuple, c.arity)
 			}
 			buf := scratch[:c.arity]
-			var ruleFirings int64
-			freshBefore := len(news)
+			var ruleFirings, fresh int64
 			for _, plan := range c.plans {
 				n := plan.Enumerate(store, w, func(vals []ast.Value) bool {
-					t := plan.HeadTupleInto(buf, vals)
-					if rel.Contains(t) {
-						return true
+					if rel.Insert(plan.HeadTupleInto(buf, vals)) {
+						fresh++
 					}
-					set := stagedSeen[c.head]
-					if set == nil {
-						set = relation.New(c.arity)
-						stagedSeen[c.head] = set
-					}
-					if !set.Insert(t) {
-						return true
-					}
-					news = append(news, staged{pred: c.head, tuple: set.Row(set.Len() - 1)})
 					return true
 				})
 				ruleFirings += n
-				stats.Firings += n
-				stats.FiringsByPred[c.head] += n
 			}
+			stats.Firings += ruleFirings
+			stats.FiringsByPred[c.head] += ruleFirings
+			stats.New += fresh
+			delta += int(fresh)
 			if opts.Sink != nil {
-				opts.Sink.RuleFirings(0, c.head, ruleFirings, ruleFirings-int64(len(news)-freshBefore))
+				opts.Sink.RuleFirings(0, c.head, ruleFirings, ruleFirings-fresh)
 			}
 		}
 		if opts.Sink != nil {
-			opts.Sink.IterationEnd(0, stats.Iterations, len(news))
+			opts.Sink.IterationEnd(0, stats.Iterations, delta)
 		}
-		if len(news) == 0 {
+		if delta == 0 {
 			return stats, nil
 		}
-		// Advance the watermarks: the staged tuples become the next delta.
+		// Advance the watermarks: this iteration's inserts become the next
+		// delta. Cur was rel.Len() at iteration start, so the new window
+		// [Prev, Cur) covers exactly the fresh rows.
 		for p := range inSCC {
 			if rel, ok := store[p]; ok {
-				w.Prev[p] = rel.Len()
-			}
-		}
-		for _, s := range news {
-			if store[s.pred].Insert(s.tuple) {
-				stats.New++
-			}
-		}
-		for p := range inSCC {
-			if rel, ok := store[p]; ok {
+				w.Prev[p] = w.Cur[p]
 				w.Cur[p] = rel.Len()
 			}
 		}

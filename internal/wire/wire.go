@@ -1,0 +1,224 @@
+// Package wire is the compact binary codec for relation payloads on the
+// distributed data plane. Values are interned constants (small non-negative
+// integers in practice), so a batch of tuples encodes as a run of unsigned
+// varints — typically one or two bytes per value against gob's per-message
+// type dictionary and per-slice headers. The coordinator never needs to
+// look inside a payload except to count tuples, so it stores and replays
+// checkpoints as the same opaque byte blobs it verified, and both ends
+// charge the credit ledgers from the one number they already agree on:
+// the encoded length.
+//
+// Formats (all integers unsigned LEB128 varints):
+//
+//	batch    = count arity value×(count·arity)
+//	snapshot = npreds (namelen name batch)×npreds    — names ascending
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"parlog/internal/ast"
+	"parlog/internal/relation"
+)
+
+// Per-value and per-batch worst-case sizes, for callers that must bound a
+// batch's encoded length before encoding it (credit-safe chunking): a
+// uint32 varint is at most 5 bytes, and the batch header is two varints.
+const (
+	MaxValueBytes       = 5
+	MaxBatchHeaderBytes = 10
+)
+
+// AppendBatch appends the batch encoding of rows to dst and returns the
+// extended slice. All rows must share one arity; an empty batch encodes as
+// count 0, arity 0.
+func AppendBatch(dst []byte, rows []relation.Tuple) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(rows)))
+	if len(rows) == 0 {
+		return binary.AppendUvarint(dst, 0)
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(rows[0])))
+	for _, t := range rows {
+		for _, v := range t {
+			dst = binary.AppendUvarint(dst, uint64(uint32(v)))
+		}
+	}
+	return dst
+}
+
+// DecodeBatch decodes one batch. All rows are slices into a single flat
+// backing array — one allocation for the values, one for the row headers.
+func DecodeBatch(raw []byte) ([]relation.Tuple, error) {
+	count, arity, rest, err := batchHeader(raw)
+	if err != nil {
+		return nil, err
+	}
+	if count == 0 {
+		return nil, nil
+	}
+	flat := make([]ast.Value, count*arity)
+	for i := range flat {
+		v, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return nil, fmt.Errorf("wire: truncated batch at value %d/%d", i, len(flat))
+		}
+		flat[i] = ast.Value(uint32(v))
+		rest = rest[n:]
+	}
+	rows := make([]relation.Tuple, count)
+	for i := range rows {
+		rows[i] = flat[i*arity : (i+1)*arity : (i+1)*arity]
+	}
+	return rows, nil
+}
+
+// BatchCount returns a batch's tuple count without decoding its values;
+// malformed input counts as zero.
+func BatchCount(raw []byte) int {
+	count, _, _, err := batchHeader(raw)
+	if err != nil {
+		return 0
+	}
+	return count
+}
+
+func batchHeader(raw []byte) (count, arity int, rest []byte, err error) {
+	if len(raw) == 0 {
+		return 0, 0, nil, nil // nil payload: the empty batch
+	}
+	c, n := binary.Uvarint(raw)
+	if n <= 0 {
+		return 0, 0, nil, fmt.Errorf("wire: truncated batch count")
+	}
+	a, m := binary.Uvarint(raw[n:])
+	if m <= 0 {
+		return 0, 0, nil, fmt.Errorf("wire: truncated batch arity")
+	}
+	if c > 0 && (a == 0 || c*a/a != c || c*a > uint64(len(raw))) {
+		return 0, 0, nil, fmt.Errorf("wire: batch header claims %d×%d values in %d bytes", c, a, len(raw))
+	}
+	return int(c), int(a), raw[n+m:], nil
+}
+
+// AppendSnapshot appends the snapshot encoding of snap — one batch per
+// predicate, names in ascending order so equal snapshots encode to equal
+// bytes (the checksum below then travels with the blob).
+func AppendSnapshot(dst []byte, snap map[string][]relation.Tuple) []byte {
+	preds := make([]string, 0, len(snap))
+	for pred := range snap {
+		preds = append(preds, pred)
+	}
+	sort.Strings(preds)
+	dst = binary.AppendUvarint(dst, uint64(len(preds)))
+	for _, pred := range preds {
+		dst = binary.AppendUvarint(dst, uint64(len(pred)))
+		dst = append(dst, pred...)
+		dst = AppendBatch(dst, snap[pred])
+	}
+	return dst
+}
+
+// DecodeSnapshot streams a snapshot's per-predicate batches to fn, in the
+// encoded (ascending-name) order. A nil or empty payload is the empty
+// snapshot. Decoding stops at fn's first error.
+func DecodeSnapshot(raw []byte, fn func(pred string, rows []relation.Tuple) error) error {
+	if len(raw) == 0 {
+		return nil
+	}
+	npreds, n := binary.Uvarint(raw)
+	if n <= 0 {
+		return fmt.Errorf("wire: truncated snapshot header")
+	}
+	raw = raw[n:]
+	for i := uint64(0); i < npreds; i++ {
+		nameLen, n := binary.Uvarint(raw)
+		if n <= 0 || uint64(len(raw)-n) < nameLen {
+			return fmt.Errorf("wire: truncated snapshot name")
+		}
+		pred := string(raw[n : n+int(nameLen)])
+		raw = raw[n+int(nameLen):]
+		body, err := batchLen(raw)
+		if err != nil {
+			return err
+		}
+		rows, err := DecodeBatch(raw[:body])
+		if err != nil {
+			return err
+		}
+		if err := fn(pred, rows); err != nil {
+			return err
+		}
+		raw = raw[body:]
+	}
+	return nil
+}
+
+// SnapshotTuples returns a snapshot's total tuple count by walking the
+// varint stream without materializing anything; malformed input counts as
+// zero from the point of damage.
+func SnapshotTuples(raw []byte) int {
+	total := 0
+	if len(raw) == 0 {
+		return 0
+	}
+	npreds, n := binary.Uvarint(raw)
+	if n <= 0 {
+		return 0
+	}
+	raw = raw[n:]
+	for i := uint64(0); i < npreds; i++ {
+		nameLen, n := binary.Uvarint(raw)
+		if n <= 0 || uint64(len(raw)-n) < nameLen {
+			return total
+		}
+		raw = raw[n+int(nameLen):]
+		count, _, _, err := batchHeader(raw)
+		if err != nil {
+			return total
+		}
+		total += count
+		body, err := batchLen(raw)
+		if err != nil {
+			return total
+		}
+		raw = raw[body:]
+	}
+	return total
+}
+
+// batchLen returns the encoded length of the batch at the head of raw by
+// skipping its varints.
+func batchLen(raw []byte) (int, error) {
+	count, arity, rest, err := batchHeader(raw)
+	if err != nil {
+		return 0, err
+	}
+	off := len(raw) - len(rest)
+	for i := 0; i < count*arity; i++ {
+		_, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return 0, fmt.Errorf("wire: truncated batch body")
+		}
+		rest = rest[n:]
+		off += n
+	}
+	return off, nil
+}
+
+// Checksum is the FNV-1a hash of an encoded payload. Both ends hash the
+// same bytes they ship or received, so a snapshot corrupted in transit is
+// detected without decoding it.
+func Checksum(raw []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, b := range raw {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	return h
+}

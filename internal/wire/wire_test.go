@@ -1,0 +1,187 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"parlog/internal/ast"
+	"parlog/internal/relation"
+)
+
+func mkRows(seed, count, arity int) []relation.Tuple {
+	rng := rand.New(rand.NewSource(int64(seed)))
+	rows := make([]relation.Tuple, count)
+	for i := range rows {
+		t := make(relation.Tuple, arity)
+		for j := range t {
+			t[j] = ast.Value(rng.Intn(1 << 20))
+		}
+		rows[i] = t
+	}
+	return rows
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	for _, tc := range []struct{ count, arity int }{
+		{0, 0}, {1, 1}, {1, 3}, {7, 2}, {100, 4}, {1000, 1},
+	} {
+		rows := mkRows(tc.count+tc.arity, tc.count, tc.arity)
+		raw := AppendBatch(nil, rows)
+		got, err := DecodeBatch(raw)
+		if err != nil {
+			t.Fatalf("%d×%d: %v", tc.count, tc.arity, err)
+		}
+		if len(got) != len(rows) {
+			t.Fatalf("%d×%d: decoded %d rows", tc.count, tc.arity, len(got))
+		}
+		for i := range rows {
+			if !got[i].Equal(rows[i]) {
+				t.Fatalf("%d×%d: row %d = %v, want %v", tc.count, tc.arity, i, got[i], rows[i])
+			}
+		}
+		if bc := BatchCount(raw); bc != tc.count {
+			t.Errorf("BatchCount = %d, want %d", bc, tc.count)
+		}
+	}
+}
+
+func TestBatchNilAndEmpty(t *testing.T) {
+	if rows, err := DecodeBatch(nil); err != nil || rows != nil {
+		t.Fatalf("DecodeBatch(nil) = %v, %v", rows, err)
+	}
+	raw := AppendBatch(nil, nil)
+	if rows, err := DecodeBatch(raw); err != nil || len(rows) != 0 {
+		t.Fatalf("empty batch decoded to %v, %v", rows, err)
+	}
+	if BatchCount(nil) != 0 || BatchCount(raw) != 0 {
+		t.Error("empty batches must count zero tuples")
+	}
+}
+
+func TestBatchTruncated(t *testing.T) {
+	raw := AppendBatch(nil, mkRows(3, 10, 3))
+	for cut := 1; cut < len(raw); cut++ {
+		if _, err := DecodeBatch(raw[:cut]); err == nil {
+			// A cut can still be a valid shorter stream only if the header
+			// count matches; with 10×3 values every proper prefix is short.
+			t.Fatalf("truncation at %d/%d not detected", cut, len(raw))
+		}
+	}
+}
+
+func TestBatchHeaderLiesRejected(t *testing.T) {
+	raw := AppendBatch(nil, mkRows(1, 2, 2))
+	// Forge a count far beyond the payload: must error, not allocate.
+	forged := append([]byte{0xff, 0xff, 0xff, 0xff, 0x0f}, raw...)
+	if _, err := DecodeBatch(forged); err == nil {
+		t.Fatal("forged batch count accepted")
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	snap := map[string][]relation.Tuple{
+		"anc":  mkRows(1, 50, 2),
+		"edge": mkRows(2, 20, 2),
+		"p":    mkRows(3, 5, 4),
+	}
+	raw := AppendSnapshot(nil, snap)
+	got := map[string][]relation.Tuple{}
+	var order []string
+	err := DecodeSnapshot(raw, func(pred string, rows []relation.Tuple) error {
+		got[pred] = rows
+		order = append(order, pred)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"anc", "edge", "p"}; !reflect.DeepEqual(order, want) {
+		t.Fatalf("decode order %v, want sorted %v", order, want)
+	}
+	for pred, rows := range snap {
+		if len(got[pred]) != len(rows) {
+			t.Fatalf("%s: %d rows, want %d", pred, len(got[pred]), len(rows))
+		}
+		for i := range rows {
+			if !got[pred][i].Equal(rows[i]) {
+				t.Fatalf("%s row %d mismatch", pred, i)
+			}
+		}
+	}
+	if n := SnapshotTuples(raw); n != 75 {
+		t.Errorf("SnapshotTuples = %d, want 75", n)
+	}
+	if SnapshotTuples(nil) != 0 {
+		t.Error("nil snapshot must count zero")
+	}
+}
+
+func TestSnapshotDeterministicEncoding(t *testing.T) {
+	// Two maps with identical contents built in different insert orders
+	// must encode identically — that is what lets the checksum travel with
+	// the bytes instead of being recomputed over a canonical form.
+	a := map[string][]relation.Tuple{"x": mkRows(4, 3, 2), "y": mkRows(5, 4, 1)}
+	b := map[string][]relation.Tuple{"y": mkRows(5, 4, 1), "x": mkRows(4, 3, 2)}
+	ra, rb := AppendSnapshot(nil, a), AppendSnapshot(nil, b)
+	if !bytes.Equal(ra, rb) {
+		t.Fatal("equal snapshots encoded differently")
+	}
+	if Checksum(ra) != Checksum(rb) {
+		t.Fatal("equal encodings hashed differently")
+	}
+}
+
+func TestChecksumDetectsCorruption(t *testing.T) {
+	raw := AppendSnapshot(nil, map[string][]relation.Tuple{"anc": mkRows(6, 30, 2)})
+	sum := Checksum(raw)
+	for i := 0; i < len(raw); i += 7 {
+		bad := append([]byte(nil), raw...)
+		bad[i] ^= 0x40
+		if Checksum(bad) == sum {
+			t.Fatalf("bit flip at byte %d not detected", i)
+		}
+	}
+}
+
+func TestWorstCaseBoundHolds(t *testing.T) {
+	// The chunking bound the worker relies on: an encoded batch never
+	// exceeds MaxBatchHeaderBytes + count·arity·MaxValueBytes.
+	for _, tc := range []struct{ count, arity int }{{1, 1}, {50, 2}, {9, 6}} {
+		rows := mkRows(7, tc.count, tc.arity)
+		for i := range rows {
+			for j := range rows[i] {
+				rows[i][j] = ast.Value(-1) // worst case: encodes as max uint32
+			}
+		}
+		raw := AppendBatch(nil, rows)
+		if max := MaxBatchHeaderBytes + tc.count*tc.arity*MaxValueBytes; len(raw) > max {
+			t.Fatalf("%d×%d: encoded %d bytes, bound %d", tc.count, tc.arity, len(raw), max)
+		}
+	}
+}
+
+// TestSmallerThanGob pins the point of the codec: a typical data batch is
+// several times smaller than the gob encoding of the equivalent payload.
+func TestSmallerThanGob(t *testing.T) {
+	// Values are interner indexes: dense small integers, 1–2 varint bytes.
+	rng := rand.New(rand.NewSource(8))
+	rows := make([]relation.Tuple, 200)
+	for i := range rows {
+		rows[i] = relation.Tuple{ast.Value(rng.Intn(2000)), ast.Value(rng.Intn(2000))}
+	}
+	raw := AppendBatch(nil, rows)
+	vals := make([][]ast.Value, len(rows))
+	for i, r := range rows {
+		vals[i] = r
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(vals); err != nil {
+		t.Fatal(err)
+	}
+	if len(raw)*3 >= buf.Len()*2 {
+		t.Fatalf("wire %d bytes vs gob %d: want at least 1.5× smaller", len(raw), buf.Len())
+	}
+}
