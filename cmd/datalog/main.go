@@ -21,6 +21,16 @@
 //	-stats          print evaluation statistics to stderr
 //	-metrics        print per-processor iteration/traffic/busy metrics
 //	-trace FILE     write the run's full event stream as JSON
+//	-trace-chrome F write the run as Chrome trace_event JSON (load it in
+//	                chrome://tracing or ui.perfetto.dev)
+//	-dist           run the parallel evaluation on the distributed TCP
+//	                engine (in-process workers over real sockets)
+//	-metrics-addr A serve live Prometheus metrics, a JSON snapshot at
+//	                /debug/parlog, and (with -pprof) net/http/pprof on A
+//	-pprof          mount net/http/pprof on the -metrics-addr server
+//	-metrics-hold D keep the metrics endpoint up D after the run ends
+//	-audit          run the Section 5 network-conformance audit (hash
+//	                strategy with -vr; prints the report to stderr)
 //	-show-rewrite   print each processor's rewritten program (the paper's
 //	                Q_i / R_i / T_i) instead of evaluating
 package main
@@ -32,8 +42,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
 	"time"
 
 	"parlog"
@@ -54,10 +66,21 @@ func main() {
 		showRW   = flag.Bool("show-rewrite", false, "print each processor's rewritten program (Q_i/R_i/T_i) instead of evaluating")
 		metrics  = flag.Bool("metrics", false, "print per-processor iteration/traffic/busy metrics to stderr")
 		traceOut = flag.String("trace", "", "write the run's full event stream as JSON to this file")
+		chromeOut = flag.String("trace-chrome", "", "write the run as Chrome trace_event JSON to this file")
+		dist      = flag.Bool("dist", false, "use the distributed TCP engine (requires -workers)")
+		metricsAddr = flag.String("metrics-addr", "", "serve live metrics on this address (e.g. 127.0.0.1:9090)")
+		pprofF      = flag.Bool("pprof", false, "mount net/http/pprof on the -metrics-addr server")
+		metricsHold = flag.Duration("metrics-hold", 0, "keep the metrics endpoint alive this long after the run")
+		audit       = flag.Bool("audit", false, "audit the observed communication matrix against the derived network graph")
 	)
 	var csvs csvFlags
 	flag.Var(&csvs, "csv", "load a base relation from CSV: pred=path (repeatable)")
 	flag.Parse()
+
+	// Interrupts cancel the evaluation and cut a -metrics-hold short, so
+	// ^C tears the endpoint down instead of orphaning it.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	src, err := readSources(flag.Args())
 	if err != nil {
@@ -103,14 +126,25 @@ func main() {
 	}
 
 	var rec *parlog.TraceRecorder
-	if *traceOut != "" {
+	if *traceOut != "" || *chromeOut != "" {
 		rec = parlog.NewTraceRecorder()
 	}
 
+	telemetry := parlog.EvalOptions{
+		MetricsAddr: *metricsAddr,
+		Pprof:       *pprofF,
+		MetricsHold: *metricsHold,
+		TelemetryReady: func(addr string) {
+			if *metricsAddr != "" {
+				fmt.Fprintf(os.Stderr, "datalog: serving metrics on http://%s/metrics\n", addr)
+			}
+		},
+	}
+
 	if *workers <= 0 {
-		seqRes, err := parlog.Eval(context.Background(), prog, edb, parlog.EvalOptions{
-			Naive: *naive, Trace: traceSink(rec), Metrics: *metrics,
-		})
+		o := telemetry
+		o.Naive, o.Trace, o.Metrics = *naive, traceSink(rec), *metrics
+		seqRes, err := parlog.Eval(ctx, prog, edb, o)
 		if err != nil {
 			fatal(err)
 		}
@@ -120,6 +154,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "iterations=%d firings=%d new=%d\n", st.Iterations, st.Firings, st.New)
 		}
 		writeTrace(rec, *traceOut)
+		writeChrome(rec, *chromeOut)
 		printMetrics(seqRes.Metrics)
 		if *interact {
 			repl(prog, store, os.Stdin, os.Stdout)
@@ -127,16 +162,32 @@ func main() {
 		return
 	}
 
-	opts := parlog.EvalOptions{
-		Workers:  *workers,
-		Locality: *locality,
-		VR:       splitList(*vr),
-		VE:       splitList(*ve),
-		Strategy: strategyOf(*strategy),
-		Trace:    traceSink(rec),
-		Metrics:  *metrics,
+	opts := telemetry
+	opts.Workers = *workers
+	opts.Locality = *locality
+	opts.VR = splitList(*vr)
+	opts.VE = splitList(*ve)
+	opts.Strategy = strategyOf(*strategy)
+	opts.Trace = traceSink(rec)
+	opts.Metrics = *metrics
+	opts.Engine = parlog.EngineParallel
+	if *dist {
+		opts.Engine = parlog.EngineDistributed
 	}
-	res, err := parlog.EvalParallel(context.Background(), prog, edb, opts)
+	if *audit {
+		// The auditor needs the bit-level discriminating function the
+		// derivation can reason about: one parity bit per v(r) variable,
+		// with the processor set sized to the resulting id space.
+		if opts.Strategy != parlog.StrategyHashPartition || len(opts.VR) == 0 {
+			fatal(fmt.Errorf("-audit requires -strategy hash and -vr"))
+		}
+		opts.AuditNetwork = true
+		opts.HashBits = parlog.BitVectorHash(len(opts.VR))
+		for i := 0; i < 1<<len(opts.VR); i++ {
+			opts.Procs = append(opts.Procs, i)
+		}
+	}
+	res, err := parlog.Eval(ctx, prog, edb, opts)
 	if err != nil {
 		fatal(err)
 	}
@@ -144,7 +195,11 @@ func main() {
 	if *stats {
 		fmt.Fprint(os.Stderr, res.Stats.String())
 	}
+	if res.Audit != nil {
+		fmt.Fprintln(os.Stderr, res.Audit.String())
+	}
 	writeTrace(rec, *traceOut)
+	writeChrome(rec, *chromeOut)
 	printMetrics(res.Metrics)
 	if *interact {
 		repl(prog, res.Output, os.Stdin, os.Stdout)
@@ -161,7 +216,7 @@ func traceSink(rec *parlog.TraceRecorder) parlog.EventSink {
 }
 
 func writeTrace(rec *parlog.TraceRecorder, path string) {
-	if rec == nil {
+	if rec == nil || path == "" {
 		return
 	}
 	f, err := os.Create(path)
@@ -169,6 +224,22 @@ func writeTrace(rec *parlog.TraceRecorder, path string) {
 		fatal(err)
 	}
 	if err := rec.WriteJSON(f); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+}
+
+func writeChrome(rec *parlog.TraceRecorder, path string) {
+	if rec == nil || path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	if err := parlog.WriteChromeTrace(f, rec.Events()); err != nil {
 		fatal(err)
 	}
 	if err := f.Close(); err != nil {

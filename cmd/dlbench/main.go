@@ -30,11 +30,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
 	"strings"
+	"time"
+
+	"parlog/internal/metrics"
 )
 
 type experiment struct {
@@ -67,11 +71,28 @@ func main() {
 	var (
 		which = flag.String("experiment", "all", "experiment id (E1..E17) or 'all'")
 		quick = flag.Bool("quick", false, "smaller workloads for a fast pass")
+
+		metricsAddr = flag.String("metrics-addr", "", "serve a process-level metrics endpoint while experiments run")
+		pprofF      = flag.Bool("pprof", false, "mount net/http/pprof on the -metrics-addr server (profile the benchmarks)")
 	)
 	flag.StringVar(&benchOut, "bench-out", benchOut, "output path of E15's JSON benchmark document")
 	flag.StringVar(&recoveryOut, "recovery-out", recoveryOut, "output path of E16's JSON benchmark document")
 	flag.StringVar(&coreOut, "core-out", coreOut, "output path of E17's JSON benchmark document")
 	flag.Parse()
+
+	if *metricsAddr != "" {
+		srv, err := metrics.NewServer(*metricsAddr, metrics.New(), metrics.ServerOptions{Pprof: *pprofF})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dlbench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "dlbench: serving metrics on http://%s/metrics\n", srv.Addr())
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			srv.Close(ctx)
+		}()
+	}
 
 	ids := map[string]bool{}
 	for _, e := range strings.Split(*which, ",") {

@@ -26,18 +26,30 @@
 // encoded bytes); only the low-rate control envelope is gob. The
 // -max-queue-bytes and -max-memory-bytes budgets are therefore measured
 // over those encoded payload sizes.
+//
+// Either role serves live telemetry with -metrics-addr ADDR: Prometheus
+// text at /metrics, a JSON aggregate snapshot at /debug/parlog, and (with
+// -pprof) net/http/pprof. -metrics-hold keeps the endpoint up after the
+// run so a scraper can collect the final state; SIGINT/SIGTERM shut
+// everything down gracefully.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"parlog/internal/analysis"
 	"parlog/internal/ast"
 	"parlog/internal/dist"
 	"parlog/internal/hashpart"
+	"parlog/internal/metrics"
+	"parlog/internal/obs"
 	"parlog/internal/parallel"
 	"parlog/internal/parser"
 	"parlog/internal/relation"
@@ -64,8 +76,50 @@ func main() {
 		maxInflight  = flag.Int("max-inflight", 0, "coordinator: per-worker in-flight data batch limit (0 = unlimited)")
 		maxQueue     = flag.Int64("max-queue-bytes", 0, "coordinator: resident outbound data byte limit, split into per-worker credits (0 = unlimited)")
 		maxMemory    = flag.Int64("max-memory-bytes", 0, "coordinator: shared budget over logs+checkpoints+queues; overruns force checkpoints, then fail fast (0 = unlimited)")
+
+		metricsAddr = flag.String("metrics-addr", "", "serve live Prometheus metrics (plus /debug/parlog JSON) on this address")
+		pprofF      = flag.Bool("pprof", false, "mount net/http/pprof on the -metrics-addr server")
+		metricsHold = flag.Duration("metrics-hold", 0, "keep the metrics endpoint alive this long after the run ends")
 	)
 	flag.Parse()
+
+	// SIGINT/SIGTERM cancel the run and cut any -metrics-hold short, so
+	// both roles shut down gracefully instead of dying mid-protocol.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
+	// Telemetry: the event stream feeds a registry-backed sink for the
+	// Prometheus exposition and a counting sink for the /debug/parlog
+	// JSON snapshot, mirroring the library's MetricsAddr wiring.
+	var sink obs.EventSink
+	closeTelemetry := func() {}
+	if *metricsAddr != "" {
+		reg := metrics.New()
+		counting := obs.NewCounting()
+		sink = obs.Fanout(obs.NewMetricsSink(reg), counting)
+		srv, err := metrics.NewServer(*metricsAddr, reg, metrics.ServerOptions{
+			Pprof: *pprofF,
+			Debug: func() any { return counting.Snapshot() },
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "dldist: serving metrics on http://%s/metrics\n", srv.Addr())
+		closeTelemetry = func() {
+			if *metricsHold > 0 {
+				hold := time.NewTimer(*metricsHold)
+				defer hold.Stop()
+				select {
+				case <-hold.C:
+				case <-ctx.Done():
+				}
+			}
+			shutdownCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			srv.Close(shutdownCtx)
+		}
+	}
+	defer closeTelemetry()
 
 	if *workers <= 0 {
 		fatal(fmt.Errorf("-workers must be positive"))
@@ -94,6 +148,13 @@ func main() {
 
 	switch *role {
 	case "coordinator":
+		// dist.Run brackets the run for the single-process engine; the
+		// multi-process coordinator drives the protocol directly, so
+		// mark the run boundaries here or parlog_runs_total /
+		// parlog_run_active never move on a dldist deployment.
+		if sink != nil {
+			sink.RunStart("dist", compiled.Procs.IDs())
+		}
 		c, err := dist.NewCoordinator(dist.Config{
 			Workers:            *workers,
 			Addr:               *listen,
@@ -105,6 +166,8 @@ func main() {
 			MaxQueueBytes:      *maxQueue,
 			MaxMemoryBytes:     *maxMemory,
 			ProcIDs:            compiled.Procs.IDs(),
+			Ctx:                ctx,
+			Sink:               sink,
 		}, compiled.IDB)
 		if err != nil {
 			fatal(err)
@@ -113,6 +176,9 @@ func main() {
 		res, err := c.Wait()
 		if err != nil {
 			fatal(err)
+		}
+		if sink != nil {
+			sink.RunEnd(res.Wall)
 		}
 		for _, pred := range prog.IDBPreds() {
 			rel := res.Output[pred]
@@ -150,9 +216,13 @@ func main() {
 			fatal(err)
 		}
 		newNode := func(bucket int) *parallel.Node {
-			return parallel.NewNode(compiled, bucket, global)
+			n := parallel.NewNode(compiled, bucket, global)
+			if sink != nil {
+				n.SetSink(sink)
+			}
+			return n
 		}
-		wcfg := dist.WorkerConfig{NewNode: newNode, MaxRetries: *retries}
+		wcfg := dist.WorkerConfig{NewNode: newNode, MaxRetries: *retries, Ctx: ctx}
 		if err := dist.RunWorker(*coord, newNode(*index), wcfg); err != nil {
 			fatal(err)
 		}

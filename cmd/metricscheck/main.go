@@ -1,0 +1,75 @@
+// Command metricscheck validates a Prometheus text-format exposition —
+// promtool's core "check metrics" pass without the dependency, so CI can
+// gate on /metrics well-formedness on machines that don't have promtool.
+//
+// Usage:
+//
+//	metricscheck http://127.0.0.1:9090/metrics
+//	metricscheck exposition.txt
+//	curl -s localhost:9090/metrics | metricscheck
+//
+// Exit status 0 when the document is well-formed (metric and label names,
+// TYPE/HELP consistency, label syntax, histogram bucket/count/sum
+// invariants), 1 with a diagnostic on stderr otherwise.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+
+	"parlog/internal/metrics"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: metricscheck [URL | FILE]  (no argument: read stdin)")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	var (
+		r    io.Reader
+		name string
+	)
+	switch args := flag.Args(); len(args) {
+	case 0:
+		r, name = os.Stdin, "stdin"
+	case 1:
+		name = args[0]
+		if strings.HasPrefix(name, "http://") || strings.HasPrefix(name, "https://") {
+			resp, err := http.Get(name)
+			if err != nil {
+				fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				fatal(fmt.Errorf("%s: HTTP %s", name, resp.Status))
+			}
+			r = resp.Body
+		} else {
+			f, err := os.Open(name)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			r = f
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if err := metrics.ValidateExposition(r); err != nil {
+		fatal(fmt.Errorf("%s: %w", name, err))
+	}
+	fmt.Printf("metricscheck: %s OK\n", name)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "metricscheck:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func build(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "metricscheck")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func TestValidExpositionFromStdin(t *testing.T) {
+	bin := build(t)
+	cmd := exec.Command(bin)
+	cmd.Stdin = strings.NewReader(`# HELP parlog_runs_total evaluation runs
+# TYPE parlog_runs_total counter
+parlog_runs_total 3
+`)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("valid exposition rejected: %v\n%s", err, out)
+	}
+}
+
+func TestInvalidExpositionFails(t *testing.T) {
+	bin := build(t)
+	cmd := exec.Command(bin)
+	cmd.Stdin = strings.NewReader("9bad_name 1\n")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("invalid exposition accepted:\n%s", out)
+	}
+}

@@ -123,6 +123,13 @@ type wireMsg struct {
 	Snap   []byte               // Output: the pooled relations; CheckpointReply/Adopt: the snapshot — both wire-encoded
 	Stats  []parallel.ProcStats // Output: one entry per hosted bucket
 	Sum    uint64               // CheckpointReply: wire.Checksum of Snap
+	// Span and Parent causally link data batches (see internal/wire's
+	// SpanID): Span identifies this batch, Parent the received batch whose
+	// processing derived it. They travel in the logged envelope, so a
+	// replayed batch carries its originating span verbatim — the causal
+	// chain survives worker death.
+	Span   uint64 // Data: this batch's span id (0 = untracked)
+	Parent uint64 // Data: the span that caused this batch (0 = initialization)
 	// Credit fields: the initial grant on Start, replenishment on Credit.
 	Credits     int   // data batches the receiver may have in flight (0 = unlimited on Start)
 	CreditBytes int64 // data bytes the receiver may have resident at the coordinator (0 = unlimited on Start)
@@ -199,6 +206,13 @@ type Config struct {
 	// follow internal/dist/fault: 0 passes the reply through, 1 drops it
 	// in transit, 2 corrupts its payload so the checksum check fails.
 	CheckpointFault func(bucket, ckpt int) int
+	// RouteFault, when non-nil, may rewrite a data batch's destination
+	// bucket as the router accepts it — the fault-injection hook the
+	// network-conformance auditor is tested against (a misrouted batch
+	// puts traffic on a channel the minimal network graph never
+	// predicted). Return the bucket to deliver to; return the argument
+	// unchanged to pass the batch through.
+	RouteFault func(fromWorker, bucket int) int
 
 	// Ctx, when non-nil, cancels the run: every blocking path (accept,
 	// decode, queue waits, credit waits, detection waves) unblocks
@@ -546,6 +560,9 @@ func (r *router) route(w *wkState, m wireMsg) {
 		return
 	}
 	w.accepted++
+	if r.cfg.RouteFault != nil {
+		m.Bucket = r.cfg.RouteFault(w.index, m.Bucket)
+	}
 	if m.Bucket < 0 || m.Bucket >= len(r.buckets) {
 		// Corrupt destination: accepted (so the wave math stays
 		// balanced) but undeliverable. Count and report it instead of
@@ -874,6 +891,9 @@ func (r *router) declareDead(w *wkState, reason string) {
 			r.queueBytes += le.cost
 			if r.queueBytes > r.peakQueue {
 				r.peakQueue = r.queueBytes
+			}
+			if le.m.Span != 0 {
+				obs.SpanReplay(r.cfg.Sink, b, r.cfg.procID(s.index), le.m.Span)
 			}
 			s.out.push(qmsg{m: le.m, cost: le.cost, sender: -1})
 		}

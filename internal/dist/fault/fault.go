@@ -226,3 +226,69 @@ func (p *CheckpointPlan) Seen() int {
 	defer p.mu.Unlock()
 	return p.n
 }
+
+// MisroutePlan schedules router-level misrouting by ordinal: the n-th data
+// batch the coordinator accepts is redirected to a fixed wrong bucket —
+// traffic the minimal network graph never predicted, which the
+// conformance auditor must flag. Deterministic and safe for concurrent
+// use; wire it to dist.Config.RouteFault via Route.
+type MisroutePlan struct {
+	mu sync.Mutex
+	// nth maps 1-based accepted-batch ordinals to the bucket the batch is
+	// diverted to.
+	nth map[int]int
+	// from maps worker indices to a bucket: every data batch from that
+	// worker is diverted there, regardless of ordinal.
+	from map[int]int
+	n    int
+}
+
+// NewMisroutePlan diverts the nth-th accepted data batch to bucket to.
+func NewMisroutePlan(nth, to int) *MisroutePlan {
+	return &MisroutePlan{nth: map[int]int{nth: to}}
+}
+
+// Divert adds another scheduled diversion to the plan.
+func (p *MisroutePlan) Divert(nth, to int) *MisroutePlan {
+	p.mu.Lock()
+	p.nth[nth] = to
+	p.mu.Unlock()
+	return p
+}
+
+// DivertAllFrom reroutes every data batch accepted from the given worker
+// to the fixed bucket — the sustained variant for tests that need a
+// *non-empty* batch diverted without knowing which ordinal carries
+// tuples (workers also ship zero-tuple defensive batches, which the
+// auditor rightly ignores).
+func (p *MisroutePlan) DivertAllFrom(worker, to int) *MisroutePlan {
+	p.mu.Lock()
+	if p.from == nil {
+		p.from = map[int]int{}
+	}
+	p.from[worker] = to
+	p.mu.Unlock()
+	return p
+}
+
+// Route counts one accepted data batch and returns the bucket to deliver
+// it to — dist.Config.RouteFault's signature.
+func (p *MisroutePlan) Route(fromWorker, bucket int) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.n++
+	if to, ok := p.from[fromWorker]; ok {
+		return to
+	}
+	if to, ok := p.nth[p.n]; ok {
+		return to
+	}
+	return bucket
+}
+
+// Seen reports how many data batches the plan has counted.
+func (p *MisroutePlan) Seen() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.n
+}

@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"parlog/internal/obs"
 	"parlog/internal/parallel"
 	"parlog/internal/relation"
 	"parlog/internal/wire"
@@ -325,9 +326,16 @@ func RunWorker(coordAddr string, node *parallel.Node, cfg WorkerConfig) error {
 
 	// Eval loop (this goroutine). nodes maps hosted buckets to their state
 	// machines: the worker's own bucket plus any adopted during recovery.
+	// spanSeq numbers this worker's outgoing batches (span ids are
+	// origin-qualified, so per-worker counters never collide); curParent is
+	// the span of the batch most recently merged, the causal parent of
+	// every derivation the following drain ships. Both live on the eval
+	// goroutine only — Init, Accept and Drain all run here.
 	nodes := map[int]*parallel.Node{node.Index(): node}
+	var spanSeq uint64
+	var curParent uint64
 	mkEmit := func(n *parallel.Node) parallel.EmitFunc {
-		sendOne := func(n *parallel.Node, dest int, pred string, raw []byte) {
+		sendOne := func(n *parallel.Node, dest int, pred string, tuples int, raw []byte) {
 			cost := dataCost(raw)
 			ok, stalled := gate.acquire(cost, f, ctx)
 			if stalled {
@@ -338,8 +346,13 @@ func RunWorker(coordAddr string, node *parallel.Node, cfg WorkerConfig) error {
 			if !ok {
 				return // connection failed or canceled: the send would be lost anyway
 			}
+			spanSeq++
+			span := wire.SpanID(n.Index(), spanSeq)
+			if sink := n.Sink(); sink != nil {
+				obs.SpanSend(sink, n.Proc(), n.PeerProc(dest), pred, tuples, span, curParent)
+			}
 			sent.Add(1) // before the batch can reach the wire
-			wq.push(qmsg{m: wireMsg{Kind: kindData, Bucket: dest, From: n.Index(), Pred: pred, Raw: raw}})
+			wq.push(qmsg{m: wireMsg{Kind: kindData, Bucket: dest, From: n.Index(), Pred: pred, Raw: raw, Span: span, Parent: curParent}})
 		}
 		return func(dest int, pred string, tuples []relation.Tuple) {
 			n.RecordSent(len(tuples))
@@ -347,7 +360,7 @@ func RunWorker(coordAddr string, node *parallel.Node, cfg WorkerConfig) error {
 				sink.MessageSent(n.Proc(), n.PeerProc(dest), pred, len(tuples))
 			}
 			if len(tuples) == 0 {
-				sendOne(n, dest, pred, wire.AppendBatch(nil, nil))
+				sendOne(n, dest, pred, 0, wire.AppendBatch(nil, nil))
 				return
 			}
 			// Split the logical batch so no wire batch overdraws the byte
@@ -376,7 +389,7 @@ func RunWorker(coordAddr string, node *parallel.Node, cfg WorkerConfig) error {
 				if end > len(tuples) {
 					end = len(tuples)
 				}
-				sendOne(n, dest, pred, wire.AppendBatch(nil, tuples[start:end]))
+				sendOne(n, dest, pred, end-start, wire.AppendBatch(nil, tuples[start:end]))
 			}
 		}
 	}
@@ -427,6 +440,15 @@ func RunWorker(coordAddr string, node *parallel.Node, cfg WorkerConfig) error {
 					tuples, err := wire.DecodeBatch(m.Raw)
 					if err != nil {
 						return fin(fmt.Errorf("dist: data batch for bucket %d: %w", m.Bucket, err))
+					}
+					if m.Span != 0 {
+						if sink := n.Sink(); sink != nil {
+							obs.SpanRecv(sink, n.Proc(), n.PeerProc(m.From), m.Pred, len(tuples), m.Span, m.Parent)
+						}
+						// Derivations from the coming drain are caused by
+						// this batch (the last merged wins when a drain
+						// covers several — a linearization, not a loss).
+						curParent = m.Span
 					}
 					n.Accept(m.From, m.Pred, tuples)
 					touched[m.Bucket] = true

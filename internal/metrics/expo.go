@@ -1,0 +1,242 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// formatValue renders a sample value the way Prometheus expects: shortest
+// round-trip float, with the spellings +Inf/-Inf/NaN.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+// escapeHelp escapes a HELP string per the exposition format.
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+// writeLabels renders {k="v",...}; extra appends one more pair (the
+// histogram writer's le). An empty set renders nothing.
+func writeLabels(b *strings.Builder, labels []Label, extraKey, extraVal string) {
+	if len(labels) == 0 && extraKey == "" {
+		return
+	}
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	if extraKey != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraKey)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(extraVal))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): one HELP/TYPE header per family, then every
+// sample. Collect hooks run first. Histograms emit cumulative _bucket
+// series with an explicit le="+Inf", plus _sum and _count; _count equals
+// the +Inf bucket by construction.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.runHooks()
+	r.mu.Lock()
+	fams := append([]*family(nil), r.fams...)
+	orders := make([][]instrument, len(fams))
+	for i, f := range fams {
+		orders[i] = append([]instrument(nil), f.order...)
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for i, f := range fams {
+		if f.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
+		for _, in := range orders[i] {
+			switch m := in.(type) {
+			case *Counter:
+				b.WriteString(f.name)
+				writeLabels(&b, m.ls, "", "")
+				b.WriteByte(' ')
+				b.WriteString(strconv.FormatInt(m.Value(), 10))
+				b.WriteByte('\n')
+			case *Gauge:
+				b.WriteString(f.name)
+				writeLabels(&b, m.ls, "", "")
+				b.WriteByte(' ')
+				b.WriteString(formatValue(m.Value()))
+				b.WriteByte('\n')
+			case *Histogram:
+				s := m.Snap()
+				cum := int64(0)
+				for bi, bound := range s.Bounds {
+					cum += s.Counts[bi]
+					b.WriteString(f.name)
+					b.WriteString("_bucket")
+					writeLabels(&b, m.ls, "le", formatValue(bound))
+					b.WriteByte(' ')
+					b.WriteString(strconv.FormatInt(cum, 10))
+					b.WriteByte('\n')
+				}
+				b.WriteString(f.name)
+				b.WriteString("_bucket")
+				writeLabels(&b, m.ls, "le", "+Inf")
+				b.WriteByte(' ')
+				b.WriteString(strconv.FormatInt(s.Count, 10))
+				b.WriteByte('\n')
+				b.WriteString(f.name)
+				b.WriteString("_sum")
+				writeLabels(&b, m.ls, "", "")
+				b.WriteByte(' ')
+				b.WriteString(formatValue(s.Sum))
+				b.WriteByte('\n')
+				b.WriteString(f.name)
+				b.WriteString("_count")
+				writeLabels(&b, m.ls, "", "")
+				b.WriteByte(' ')
+				b.WriteString(strconv.FormatInt(s.Count, 10))
+				b.WriteByte('\n')
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// BucketSnapshot is one histogram bucket in a JSON snapshot. LE is the
+// upper edge rendered as a string so +Inf survives JSON.
+type BucketSnapshot struct {
+	LE    string `json:"le"`
+	Count int64  `json:"count"` // non-cumulative
+}
+
+// MetricSnapshot is one instrument in a JSON snapshot document.
+type MetricSnapshot struct {
+	Name   string            `json:"name"`
+	Type   string            `json:"type"`
+	Labels map[string]string `json:"labels,omitempty"`
+	// Counter/gauge value.
+	Value *float64 `json:"value,omitempty"`
+	// Histogram fields.
+	Count     int64              `json:"count,omitempty"`
+	Sum       float64            `json:"sum,omitempty"`
+	Quantiles map[string]float64 `json:"quantiles,omitempty"`
+	Buckets   []BucketSnapshot   `json:"buckets,omitempty"`
+}
+
+// Snapshot returns a point-in-time JSON-ready copy of every instrument,
+// with p50/p95/p99 estimates for histograms. Collect hooks run first.
+func (r *Registry) Snapshot() []MetricSnapshot {
+	r.runHooks()
+	r.mu.Lock()
+	fams := append([]*family(nil), r.fams...)
+	orders := make([][]instrument, len(fams))
+	for i, f := range fams {
+		orders[i] = append([]instrument(nil), f.order...)
+	}
+	r.mu.Unlock()
+
+	out := make([]MetricSnapshot, 0, len(fams))
+	for i, f := range fams {
+		for _, in := range orders[i] {
+			ms := MetricSnapshot{Name: f.name, Type: f.typ}
+			if ls := in.labels(); len(ls) > 0 {
+				ms.Labels = make(map[string]string, len(ls))
+				for _, l := range ls {
+					ms.Labels[l.Key] = l.Value
+				}
+			}
+			switch m := in.(type) {
+			case *Counter:
+				v := float64(m.Value())
+				ms.Value = &v
+			case *Gauge:
+				v := m.Value()
+				ms.Value = &v
+			case *Histogram:
+				s := m.Snap()
+				ms.Count = s.Count
+				ms.Sum = s.Sum
+				ms.Buckets = make([]BucketSnapshot, len(s.Counts))
+				for bi := range s.Counts {
+					le := "+Inf"
+					if bi < len(s.Bounds) {
+						le = formatValue(s.Bounds[bi])
+					}
+					ms.Buckets[bi] = BucketSnapshot{LE: le, Count: s.Counts[bi]}
+				}
+				if s.Count > 0 {
+					ms.Quantiles = map[string]float64{
+						"p50": s.Quantile(0.50),
+						"p95": s.Quantile(0.95),
+						"p99": s.Quantile(0.99),
+					}
+				}
+			}
+			out = append(out, ms)
+		}
+	}
+	sortStable(out)
+	return out
+}
+
+// sortStable orders snapshots by name then label signature, so the JSON
+// document is deterministic regardless of registration interleaving.
+func sortStable(ms []MetricSnapshot) {
+	sig := func(m MetricSnapshot) string {
+		if len(m.Labels) == 0 {
+			return ""
+		}
+		keys := make([]string, 0, len(m.Labels))
+		for k := range m.Labels {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		s := ""
+		for _, k := range keys {
+			s += k + "=" + m.Labels[k] + ";"
+		}
+		return s
+	}
+	sort.SliceStable(ms, func(i, j int) bool {
+		if ms[i].Name != ms[j].Name {
+			return ms[i].Name < ms[j].Name
+		}
+		return sig(ms[i]) < sig(ms[j])
+	})
+}

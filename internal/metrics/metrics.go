@@ -1,0 +1,356 @@
+// Package metrics is a dependency-free, lock-cheap metrics registry: the
+// in-process substrate of the live telemetry endpoint. It offers the three
+// classic instrument kinds — monotonic counters, gauges, and fixed-bucket
+// histograms with quantile snapshots — grouped into families by name with
+// optional constant labels, and renders them as the Prometheus text
+// exposition format and as a JSON snapshot document.
+//
+// The hot path is a single atomic operation per update: counters and
+// histogram buckets are atomic.Int64 adds, gauges and histogram sums are
+// CAS loops over float bits. The registry mutex guards registration and
+// collection only, never updates, so instruments can be hammered from many
+// goroutines while an HTTP scrape walks the registry.
+//
+// Scrape consistency: a histogram's exposition count is computed as the
+// sum of its bucket counts loaded at snapshot time — never a separately
+// maintained atomic — so `_count == sum of buckets` holds under any
+// interleaving with concurrent Observe calls.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one constant name/value pair attached to an instrument at
+// registration time.
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for building a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// instrument is the private interface all three kinds implement.
+type instrument interface {
+	labels() []Label
+}
+
+// family groups all instruments sharing one metric name; the exposition
+// emits one HELP/TYPE header per family.
+type family struct {
+	name    string
+	help    string
+	typ     string // "counter" | "gauge" | "histogram"
+	order   []instrument
+	byKey   map[string]instrument
+	buckets []float64 // histogram families: the shared bucket bounds
+}
+
+// Registry holds a set of metric families. The zero value is not usable;
+// call New.
+type Registry struct {
+	mu     sync.Mutex
+	fams   []*family
+	byName map[string]*family
+	hooks  []func()
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+// OnCollect registers a hook run at the start of every collection
+// (WritePrometheus or Snapshot) — the place to refresh gauges derived from
+// other state, e.g. a skew ratio over per-bucket loads.
+func (r *Registry) OnCollect(f func()) {
+	r.mu.Lock()
+	r.hooks = append(r.hooks, f)
+	r.mu.Unlock()
+}
+
+// runHooks snapshots and runs the collect hooks without holding the lock,
+// so a hook may freely touch instruments.
+func (r *Registry) runHooks() {
+	r.mu.Lock()
+	hooks := append([]func(){}, r.hooks...)
+	r.mu.Unlock()
+	for _, f := range hooks {
+		f()
+	}
+}
+
+// validName reports whether name matches [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// labelKey builds the identity key of a label set (order-insensitive).
+func labelKey(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	key := ""
+	for _, l := range ls {
+		key += l.Key + "\x00" + l.Value + "\x01"
+	}
+	return key
+}
+
+// register finds or creates the (family, instrument) pair. mk builds a new
+// instrument when the label set is unseen. Panics on a name/type/bucket
+// mismatch — these are programmer errors a test catches immediately.
+func (r *Registry) register(name, help, typ string, buckets []float64, labels []Label, mk func() instrument) instrument {
+	if !validName(name) {
+		panic(fmt.Sprintf("metrics: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !validName(l.Key) {
+			panic(fmt.Sprintf("metrics: invalid label name %q on %q", l.Key, name))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.byName[name]
+	if f == nil {
+		f = &family{name: name, help: help, typ: typ, byKey: make(map[string]instrument), buckets: buckets}
+		r.byName[name] = f
+		r.fams = append(r.fams, f)
+	} else if f.typ != typ {
+		panic(fmt.Sprintf("metrics: %q registered as %s, requested as %s", name, f.typ, typ))
+	}
+	key := labelKey(labels)
+	if in, ok := f.byKey[key]; ok {
+		return in
+	}
+	in := mk()
+	f.byKey[key] = in
+	f.order = append(f.order, in)
+	return in
+}
+
+// Counter is a monotonically increasing integer.
+type Counter struct {
+	ls []Label
+	v  atomic.Int64
+}
+
+func (c *Counter) labels() []Label { return c.ls }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n; negative deltas are ignored to preserve monotonicity.
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Counter finds or creates the counter name{labels...}.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	in := r.register(name, help, "counter", nil, labels, func() instrument {
+		return &Counter{ls: append([]Label(nil), labels...)}
+	})
+	c, ok := in.(*Counter)
+	if !ok {
+		panic(fmt.Sprintf("metrics: %q is not a counter", name))
+	}
+	return c
+}
+
+// Gauge is an instantaneous float value.
+type Gauge struct {
+	ls   []Label
+	bits atomic.Uint64
+}
+
+func (g *Gauge) labels() []Label { return g.ls }
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add shifts the value by d.
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Gauge finds or creates the gauge name{labels...}.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	in := r.register(name, help, "gauge", nil, labels, func() instrument {
+		return &Gauge{ls: append([]Label(nil), labels...)}
+	})
+	g, ok := in.(*Gauge)
+	if !ok {
+		panic(fmt.Sprintf("metrics: %q is not a gauge", name))
+	}
+	return g
+}
+
+// Histogram is a fixed-bucket distribution. Bounds are upper bucket edges
+// ("le" semantics); an implicit +Inf bucket catches the overflow.
+type Histogram struct {
+	ls      []Label
+	bounds  []float64
+	counts  []atomic.Int64 // len(bounds)+1; last is the +Inf bucket
+	sumBits atomic.Uint64
+}
+
+func (h *Histogram) labels() []Label { return h.ls }
+
+// Observe records one value. The bucket count is incremented before the
+// sum, so a concurrent snapshot's count can lead its sum but never trail
+// its own buckets.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	for {
+		old := h.sumBits.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram. Counts are
+// per-bucket (not cumulative); Count is their sum by construction.
+type HistogramSnapshot struct {
+	Bounds []float64
+	Counts []int64 // len(Bounds)+1, last is the +Inf bucket
+	Count  int64
+	Sum    float64
+}
+
+// Snap copies the histogram's state. Count is computed as the sum of the
+// loaded bucket counts, so Count == Σ Counts holds even against concurrent
+// Observe calls.
+func (h *Histogram) Snap() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]int64, len(h.counts)),
+		Sum:    math.Float64frombits(h.sumBits.Load()),
+	}
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		s.Counts[i] = c
+		s.Count += c
+	}
+	return s
+}
+
+// Quantile estimates the q-quantile (0 < q ≤ 1) by linear interpolation
+// within the bucket containing the target rank, the standard fixed-bucket
+// estimate. Observations are assumed non-negative (the first bucket's
+// lower edge is 0). Returns NaN for an empty histogram; ranks landing in
+// the +Inf bucket clamp to the largest finite bound.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return math.NaN()
+	}
+	rank := q * float64(s.Count)
+	cum := int64(0)
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		if float64(cum+c) >= rank {
+			if i == len(s.Bounds) { // +Inf bucket
+				if len(s.Bounds) == 0 {
+					return math.NaN()
+				}
+				return s.Bounds[len(s.Bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = s.Bounds[i-1]
+			}
+			hi := s.Bounds[i]
+			return lo + (hi-lo)*(rank-float64(cum))/float64(c)
+		}
+		cum += c
+	}
+	if len(s.Bounds) == 0 {
+		return math.NaN()
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// Histogram finds or creates the histogram name{labels...} with the given
+// bucket bounds (sorted ascending, no +Inf — it is implicit). All
+// instruments of one family must share bounds.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("metrics: %q bucket bounds not strictly increasing", name))
+		}
+	}
+	in := r.register(name, help, "histogram", bounds, labels, func() instrument {
+		h := &Histogram{ls: append([]Label(nil), labels...), bounds: append([]float64(nil), bounds...)}
+		h.counts = make([]atomic.Int64, len(bounds)+1)
+		return h
+	})
+	h, ok := in.(*Histogram)
+	if !ok {
+		panic(fmt.Sprintf("metrics: %q is not a histogram", name))
+	}
+	return h
+}
+
+// ExpBuckets returns n bucket bounds start, start·factor, start·factor².
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("metrics: ExpBuckets needs start > 0, factor > 1, n ≥ 1")
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// LinearBuckets returns n bucket bounds start, start+width, start+2·width.
+func LinearBuckets(start, width float64, n int) []float64 {
+	if width <= 0 || n < 1 {
+		panic("metrics: LinearBuckets needs width > 0, n ≥ 1")
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start + float64(i)*width
+	}
+	return out
+}

@@ -1,0 +1,87 @@
+package metrics
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// ServerOptions configures the optional handlers of a telemetry server.
+type ServerOptions struct {
+	// Pprof mounts net/http/pprof under /debug/pprof/.
+	Pprof bool
+	// Debug, when non-nil, is called per /debug/parlog request; its return
+	// value is embedded in the JSON document under "debug" — the hook the
+	// engine uses to attach its counting-sink snapshot.
+	Debug func() any
+}
+
+// Server is the live telemetry endpoint: /metrics serves the Prometheus
+// text exposition, /debug/parlog a JSON snapshot, and (opt-in)
+// /debug/pprof/ the standard profiler. It listens on its own mux so
+// nothing leaks into http.DefaultServeMux.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// NewServer starts serving reg on addr (host:port; port 0 picks a free
+// one). The listener is bound synchronously — when NewServer returns nil
+// error, Addr() is scrapeable.
+func NewServer(addr string, reg *Registry, opts ServerOptions) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/parlog", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		doc := struct {
+			Metrics []MetricSnapshot `json:"metrics"`
+			Debug   any              `json:"debug,omitempty"`
+		}{Metrics: reg.Snapshot()}
+		if opts.Debug != nil {
+			doc.Debug = opts.Debug()
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(doc)
+	})
+	if opts.Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound listen address (with the resolved port).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// URL returns the http:// base URL of the server.
+func (s *Server) URL() string { return "http://" + s.Addr() }
+
+// Close shuts the server down gracefully, letting in-flight scrapes
+// finish until ctx expires, then closing the listener. A nil ctx waits
+// for in-flight scrapes without a deadline.
+func (s *Server) Close(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	err := s.srv.Shutdown(ctx)
+	if err != nil {
+		_ = s.srv.Close()
+	}
+	return err
+}

@@ -1,0 +1,97 @@
+package network
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ObservedEdge is one observed communication channel t_{from,to} with its
+// measured traffic — the runtime's answer to the Derivation's prediction.
+type ObservedEdge struct {
+	From, To int
+	Messages int64
+	Tuples   int64
+}
+
+// AuditReport compares a run's observed communication matrix against the
+// minimal network graph the Derivation predicted (Section 5): every
+// cross-processor channel that carried tuples must be a predicted edge,
+// or the hash-partitioning layer routed a substitution to a processor the
+// discriminating-function analysis proved can never need it.
+type AuditReport struct {
+	// Observed lists the cross-processor channels that carried at least
+	// one tuple, sorted by (From, To). Intra-processor traffic and
+	// zero-tuple control batches (empty defensive sends) are excluded —
+	// the graph constrains data movement, not bookkeeping.
+	Observed []ObservedEdge
+	// Violations are the observed channels the graph does not contain.
+	Violations []ObservedEdge
+	// PredictedCross counts the graph's cross-processor edges;
+	// UsedPredicted counts how many of them the run exercised.
+	PredictedCross, UsedPredicted int
+}
+
+// OK reports whether every observed channel was predicted.
+func (a *AuditReport) OK() bool { return len(a.Violations) == 0 }
+
+// Utilization is the fraction of predicted cross edges the run actually
+// used — low values mean the graph admits traffic the data never needs
+// (the graph is minimal for the scheme, not for the instance). A graph
+// with no cross edges is fully utilized by definition.
+func (a *AuditReport) Utilization() float64 {
+	if a.PredictedCross == 0 {
+		return 1.0
+	}
+	return float64(a.UsedPredicted) / float64(a.PredictedCross)
+}
+
+func (a *AuditReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "network audit: %d observed channel(s), %d/%d predicted edge(s) used",
+		len(a.Observed), a.UsedPredicted, a.PredictedCross)
+	if a.OK() {
+		b.WriteString(", no violations")
+	} else {
+		fmt.Fprintf(&b, ", %d VIOLATION(S):", len(a.Violations))
+		for _, v := range a.Violations {
+			fmt.Fprintf(&b, " t_{%d,%d}=%d", v.From, v.To, v.Tuples)
+		}
+	}
+	return b.String()
+}
+
+// Audit checks observed traffic against the derived graph. Edges with
+// zero tuples are ignored (the transport ships empty batches to keep
+// per-channel bookkeeping alive); self-loops are always permissible —
+// the graph's diagonal is local computation, never a physical link.
+func (d *Derivation) Audit(observed []ObservedEdge) *AuditReport {
+	rep := &AuditReport{PredictedCross: len(d.CrossEdges())}
+	used := map[[2]int]bool{}
+	for _, e := range observed {
+		if e.Tuples == 0 || e.From == e.To {
+			continue
+		}
+		rep.Observed = append(rep.Observed, e)
+		if d.HasEdge(e.From, e.To) {
+			if !used[[2]int{e.From, e.To}] {
+				used[[2]int{e.From, e.To}] = true
+				rep.UsedPredicted++
+			}
+		} else {
+			rep.Violations = append(rep.Violations, e)
+		}
+	}
+	sortEdges(rep.Observed)
+	sortEdges(rep.Violations)
+	return rep
+}
+
+func sortEdges(es []ObservedEdge) {
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].From != es[j].From {
+			return es[i].From < es[j].From
+		}
+		return es[i].To < es[j].To
+	})
+}

@@ -1,0 +1,99 @@
+package network
+
+import (
+	"strings"
+	"testing"
+
+	"parlog/internal/hashpart"
+)
+
+// The ancestor program with the Theorem 3 choice v(r)=v(e)=⟨Y⟩ derives a
+// self-loop-only network: the audit must pass traffic-free and diagonal
+// matrices and flag any cross-processor tuple movement.
+func TestAuditCommFreeGraph(t *testing.T) {
+	s := mustSirup(t, `
+anc(X, Y) :- par(X, Y).
+anc(X, Y) :- par(X, Z), anc(Z, Y).
+`)
+	d, err := Derive(s, []string{"Y"}, []string{"Y"}, BitVectorF(2), BitVectorF(2), hashpart.RangeProcs(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(d.CrossEdges()); n != 0 {
+		t.Fatalf("comm-free choice predicted %d cross edges: %v", n, d.CrossEdges())
+	}
+
+	// Self-loops and zero-tuple defensive batches are not violations.
+	rep := d.Audit([]ObservedEdge{
+		{From: 1, To: 1, Messages: 3, Tuples: 9},
+		{From: 0, To: 2, Messages: 4, Tuples: 0},
+	})
+	if !rep.OK() || len(rep.Observed) != 0 {
+		t.Fatalf("clean run flagged: %+v", rep)
+	}
+	if rep.Utilization() != 1.0 {
+		t.Fatalf("utilization of an edgeless graph = %v, want 1", rep.Utilization())
+	}
+
+	// One real cross-processor tuple is a violation.
+	rep = d.Audit([]ObservedEdge{{From: 0, To: 2, Messages: 1, Tuples: 5}})
+	if rep.OK() || len(rep.Violations) != 1 || rep.Violations[0].Tuples != 5 {
+		t.Fatalf("misrouted tuple not flagged: %+v", rep)
+	}
+	if !strings.Contains(rep.String(), "VIOLATION") || !strings.Contains(rep.String(), "t_{0,2}=5") {
+		t.Fatalf("report text: %s", rep)
+	}
+}
+
+// A graph with genuine cross edges: predicted traffic passes, utilization
+// counts distinct exercised edges, and unpredicted channels still fail.
+func TestAuditGeneralGraph(t *testing.T) {
+	// p(X,Y) :- p(Y,X), r(X,Y) with v(r)=v(e)=⟨X⟩: the recursive swap
+	// moves tuples between processors, so the derived graph must contain
+	// cross edges.
+	s := mustSirup(t, `
+p(X, Y) :- q(X, Y).
+p(X, Y) :- p(Y, X), r(X, Y).
+`)
+	d, err := Derive(s, []string{"X"}, []string{"X"}, BitVectorF(2), BitVectorF(2), hashpart.RangeProcs(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cross := d.CrossEdges()
+	if len(cross) == 0 {
+		t.Fatal("expected cross edges for the swapping cycle")
+	}
+	e := cross[0]
+	rep := d.Audit([]ObservedEdge{
+		{From: e[0], To: e[1], Messages: 2, Tuples: 4}, // predicted
+		{From: e[0], To: e[1], Messages: 1, Tuples: 1}, // same channel again: one edge used
+	})
+	if !rep.OK() {
+		t.Fatalf("predicted edge flagged: %+v", rep)
+	}
+	if rep.UsedPredicted != 1 || rep.PredictedCross != len(cross) {
+		t.Fatalf("utilization accounting: %+v", rep)
+	}
+	want := 1.0 / float64(len(cross))
+	if rep.Utilization() != want {
+		t.Fatalf("utilization = %v, want %v", rep.Utilization(), want)
+	}
+
+	// An edge outside the predicted set is still a violation, even in a
+	// graph that has some cross edges.
+	bad := [2]int{-1, -1}
+	for i := 0; i < 4 && bad[0] < 0; i++ {
+		for j := 0; j < 4; j++ {
+			if i != j && !d.HasEdge(i, j) {
+				bad = [2]int{i, j}
+				break
+			}
+		}
+	}
+	if bad[0] >= 0 {
+		rep = d.Audit([]ObservedEdge{{From: bad[0], To: bad[1], Messages: 1, Tuples: 2}})
+		if rep.OK() {
+			t.Fatalf("unpredicted edge %v passed the audit", bad)
+		}
+	}
+}

@@ -48,7 +48,14 @@ type Derivation struct {
 	// Edges holds the permissible communication pairs, sorted, including
 	// self-pairs (which need no physical link).
 	Edges [][2]int
-	edges map[[2]int]bool
+	// Broadcast reports that some v(r) variable does not occur in Ȳ, so
+	// the sending rules carry no checkable constraint and every producer
+	// ships every tuple to every processor (the paper's Example 2). The
+	// graph then pairs each feasible producer with the full processor
+	// set — the network the scheme physically needs, not the tighter
+	// consumption pattern a filtering transport could achieve.
+	Broadcast bool
+	edges     map[[2]int]bool
 }
 
 // HasEdge reports whether i→j is permissible.
@@ -111,6 +118,10 @@ func DeriveRadix(s *analysis.Sirup, vr, ve []string, F, Fp BitFunc, procs *hashp
 
 	// posInY[v] is the position of discriminating variable v within Ȳ, or −1
 	// when the consumer's value for v is unconstrained by the arriving tuple.
+	// Any −1 makes the sending constraint h(v(r)) = j uncheckable at the
+	// producer, which turns the scheme into a broadcast: the producer ships
+	// every tuple to every processor, so the derived graph must pair each
+	// feasible producer with the whole processor set.
 	posInY := make([]int, len(vr))
 	for k, v := range vr {
 		posInY[k] = -1
@@ -119,6 +130,9 @@ func DeriveRadix(s *analysis.Sirup, vr, ve []string, F, Fp BitFunc, procs *hashp
 				posInY[k] = l
 				break
 			}
+		}
+		if posInY[k] < 0 {
+			d.Broadcast = true
 		}
 	}
 
@@ -185,6 +199,12 @@ func DeriveRadix(s *analysis.Sirup, vr, ve []string, F, Fp BitFunc, procs *hashp
 			}
 			i := prodF(prodBits)
 			if !procs.Contains(i) {
+				continue
+			}
+			if d.Broadcast {
+				for _, j := range procs.IDs() {
+					d.edges[[2]int{i, j}] = true
+				}
 				continue
 			}
 			for k := range vr {

@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// chromeEvent is one entry of the Chrome trace_event format ("Trace Event
+// Format", the JSON chrome://tracing and Perfetto load). Only the fields
+// the exporter uses are declared.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"` // microseconds
+	Dur   float64        `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	ID    string         `json:"id,omitempty"`
+	BP    string         `json:"bp,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace renders a recorded event stream as Chrome trace_event
+// JSON, loadable in chrome://tracing or ui.perfetto.dev. Each processor
+// becomes a thread row (pid 0); busy→idle transitions and iteration
+// brackets become complete ("X") slices; span_send/span_recv pairs become
+// flow arrows ("s"/"f") keyed by the wire span id, so a batch's hop —
+// including its replay after a worker death — draws as one causal chain
+// across rows; deaths, replays, checkpoints and network violations appear
+// as instant markers.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	us := func(ns int64) float64 { return float64(ns) / 1e3 }
+	var out []chromeEvent
+
+	// Open interval starts, per processor.
+	busyStart := map[int]int64{}
+	iterStart := map[int]Event{}
+	var lastNs int64
+	for _, e := range events {
+		if e.TNs > lastNs {
+			lastNs = e.TNs
+		}
+	}
+
+	closeBusy := func(proc int, endNs int64) {
+		if start, ok := busyStart[proc]; ok {
+			delete(busyStart, proc)
+			out = append(out, chromeEvent{
+				Name: "busy", Cat: "worker", Phase: "X",
+				TS: us(start), Dur: us(endNs - start), PID: 0, TID: proc,
+			})
+		}
+	}
+
+	for _, e := range events {
+		switch e.Kind {
+		case KindBusy:
+			// A repeated busy closes the previous slice and opens a new one.
+			closeBusy(e.Proc, e.TNs)
+			busyStart[e.Proc] = e.TNs
+		case KindIdle:
+			closeBusy(e.Proc, e.TNs)
+		case KindIterStart:
+			iterStart[e.Proc] = e
+		case KindIterEnd:
+			if s, ok := iterStart[e.Proc]; ok {
+				delete(iterStart, e.Proc)
+				out = append(out, chromeEvent{
+					Name: fmt.Sprintf("iter %d", e.Iter), Cat: "iteration", Phase: "X",
+					TS: us(s.TNs), Dur: us(e.TNs - s.TNs), PID: 0, TID: e.Proc,
+					Args: map[string]any{"delta": e.N},
+				})
+			}
+		case KindSpanSend:
+			id := fmt.Sprintf("%x", e.Span)
+			args := map[string]any{"pred": e.Pred, "tuples": e.N, "to": e.Peer}
+			if e.Parent != 0 {
+				args["parent"] = fmt.Sprintf("%x", e.Parent)
+			}
+			out = append(out,
+				chromeEvent{Name: "batch", Cat: "span", Phase: "s", TS: us(e.TNs), PID: 0, TID: e.Proc, ID: id, Args: args},
+				chromeEvent{Name: "send " + e.Pred, Cat: "span", Phase: "i", TS: us(e.TNs), PID: 0, TID: e.Proc, Args: args})
+		case KindSpanRecv:
+			id := fmt.Sprintf("%x", e.Span)
+			args := map[string]any{"pred": e.Pred, "tuples": e.N, "from": e.Peer}
+			out = append(out,
+				chromeEvent{Name: "batch", Cat: "span", Phase: "f", BP: "e", TS: us(e.TNs), PID: 0, TID: e.Proc, ID: id, Args: args},
+				chromeEvent{Name: "recv " + e.Pred, Cat: "span", Phase: "i", TS: us(e.TNs), PID: 0, TID: e.Proc, Args: args})
+		case KindSpanReplay:
+			// Replays re-send the original span id to the bucket's new
+			// owner: a second flow step on the same id.
+			id := fmt.Sprintf("%x", e.Span)
+			out = append(out, chromeEvent{
+				Name: "batch", Cat: "span", Phase: "s", TS: us(e.TNs), PID: 0, TID: e.Peer, ID: id,
+				Args: map[string]any{"replay": true, "bucket": e.Bucket},
+			})
+		case KindWorkerDead:
+			out = append(out, chromeEvent{
+				Name: "worker dead", Cat: "fault", Phase: "i", TS: us(e.TNs), PID: 0, TID: e.Proc,
+				Args: map[string]any{"reason": e.Reason},
+			})
+		case KindReplayStart:
+			out = append(out, chromeEvent{
+				Name: "replay", Cat: "fault", Phase: "i", TS: us(e.TNs), PID: 0, TID: e.Peer,
+				Args: map[string]any{"bucket": e.Bucket},
+			})
+		case KindCheckpointEnd:
+			out = append(out, chromeEvent{
+				Name: "checkpoint", Cat: "checkpoint", Phase: "i", TS: us(e.TNs), PID: 0, TID: e.Proc,
+				Args: map[string]any{"bucket": e.Bucket, "tuples": e.N, "ok": e.OK},
+			})
+		case KindNetworkViolation:
+			out = append(out, chromeEvent{
+				Name: "network violation", Cat: "audit", Phase: "i", TS: us(e.TNs), PID: 0, TID: e.Proc,
+				Args: map[string]any{"to": e.Peer, "tuples": e.N},
+			})
+		}
+	}
+	// Close intervals left open at stream end (a killed worker's last busy).
+	for proc := range busyStart {
+		closeBusy(proc, lastNs)
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}{TraceEvents: out})
+}

@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestWriteChromeTrace(t *testing.T) {
+	mkEv := func(kind string, tns int64, f func(*Event)) Event {
+		e := Event{Kind: kind, TNs: tns}
+		f(&e)
+		return e
+	}
+	events := []Event{
+		mkEv(KindRunStart, 0, func(e *Event) { e.Engine = "dist"; e.Procs = []int{0, 1} }),
+		mkEv(KindBusy, 100, func(e *Event) { e.Proc = 0 }),
+		mkEv(KindIterStart, 150, func(e *Event) { e.Proc = 0; e.Iter = 1 }),
+		mkEv(KindSpanSend, 200, func(e *Event) { e.Proc = 0; e.Peer = 1; e.Pred = "anc@ch"; e.N = 4; e.Span = 0x10001 }),
+		mkEv(KindIterEnd, 300, func(e *Event) { e.Proc = 0; e.Iter = 1; e.N = 4 }),
+		mkEv(KindIdle, 400, func(e *Event) { e.Proc = 0 }),
+		mkEv(KindSpanRecv, 500, func(e *Event) { e.Proc = 1; e.Peer = 0; e.Pred = "anc@ch"; e.N = 4; e.Span = 0x10001 }),
+		mkEv(KindWorkerDead, 600, func(e *Event) { e.Proc = 1; e.Reason = "conn" }),
+		mkEv(KindSpanReplay, 700, func(e *Event) { e.Bucket = 1; e.Peer = 0; e.Span = 0x10001 }),
+		mkEv(KindBusy, 800, func(e *Event) { e.Proc = 0 }), // left open: closed at stream end
+		mkEv(KindRunEnd, 900, func(e *Event) {}),
+	}
+	var b bytes.Buffer
+	if err := WriteChromeTrace(&b, events); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, b.String())
+	}
+	count := map[string]int{}
+	var busyDur []float64
+	for _, ev := range doc.TraceEvents {
+		ph, _ := ev["ph"].(string)
+		name, _ := ev["name"].(string)
+		count[ph+"/"+name]++
+		if ph == "X" && name == "busy" {
+			d, _ := ev["dur"].(float64)
+			busyDur = append(busyDur, d)
+		}
+		if name == "batch" {
+			if id, _ := ev["id"].(string); id != "10001" {
+				t.Fatalf("flow id = %q, want 10001", id)
+			}
+		}
+	}
+	// One closed busy slice (100→400 = 0.3µs·1e3) plus the dangling one
+	// closed at stream end (800→900).
+	if len(busyDur) != 2 {
+		t.Fatalf("busy slices = %d, want 2", len(busyDur))
+	}
+	if count["X/iter 1"] != 1 {
+		t.Fatalf("iteration slice missing: %v", count)
+	}
+	// Flow: send opens ("s"), recv terminates ("f"), replay re-opens ("s").
+	if count["s/batch"] != 2 || count["f/batch"] != 1 {
+		t.Fatalf("flow events: %v", count)
+	}
+	if count["i/worker dead"] != 1 {
+		t.Fatalf("death marker missing: %v", count)
+	}
+}

@@ -39,6 +39,10 @@ type Counting struct {
 	creditStalls    atomic.Int64
 	memoryPressure  atomic.Int64
 	droppedBatches  atomic.Int64
+
+	// Conformance-audit counter: edges observed outside the derived
+	// minimal network graph.
+	violations atomic.Int64
 }
 
 // procShard holds one processor's counters. All fields after proc are
@@ -62,14 +66,31 @@ type procShard struct {
 	busyNs      atomic.Int64
 	idleNs      atomic.Int64
 	transitions atomic.Int64
-	lastState   int32 // 0 unknown, 1 busy, 2 idle; owner-only
-	lastNs      int64 // time of last transition; owner-only
+	// lastState/lastNs track the open busy/idle interval: 0 unknown,
+	// 1 busy, 2 idle. Atomics, not plain fields: during distributed
+	// recovery a not-yet-unwound zombie worker and the survivor adopting
+	// its bucket can report under the same processor id concurrently, and
+	// RunEnd closes dangling intervals from yet another goroutine.
+	lastState atomic.Int32
+	lastNs    atomic.Int64
 
 	// edgeTuples[j] / edgeMsgs[j] count traffic on channel t_{proc,q}
 	// where q is the proc with dense index j. Written by proc (the
 	// sender owns its outgoing rows).
 	edgeTuples []atomic.Int64
 	edgeMsgs   []atomic.Int64
+
+	// recvEdgeTuples[j] / recvEdgeMsgs[j] count traffic that *arrived*
+	// at proc from the proc with dense index j. Written by proc (the
+	// receiver owns its incoming rows) — still a single writer per cell.
+	// The two matrices agree in a healthy run; they diverge when the
+	// routing layer delivers a batch somewhere other than where the
+	// sender addressed it, which is exactly what the network-graph
+	// auditor needs to see: MessageSent fires with the *intended*
+	// destination before the coordinator routes, so a misroute is
+	// invisible to the send-side matrix.
+	recvEdgeTuples []atomic.Int64
+	recvEdgeMsgs   []atomic.Int64
 }
 
 // NewCounting returns an empty counting sink.
@@ -96,6 +117,10 @@ func (c *Counting) RunStart(engine string, procs []int) {
 		for len(s.edgeTuples) < n {
 			s.edgeTuples = append(s.edgeTuples, atomic.Int64{})
 			s.edgeMsgs = append(s.edgeMsgs, atomic.Int64{})
+		}
+		for len(s.recvEdgeTuples) < n {
+			s.recvEdgeTuples = append(s.recvEdgeTuples, atomic.Int64{})
+			s.recvEdgeMsgs = append(s.recvEdgeMsgs, atomic.Int64{})
 		}
 	}
 }
@@ -140,10 +165,19 @@ func (c *Counting) MessageSent(from, to int, pred string, tuples int) {
 }
 
 func (c *Counting) MessageReceived(at, from int, pred string, tuples, dup int) {
-	if s := c.shard(at); s != nil {
-		s.recvTuples.Add(int64(tuples))
-		s.recvDup.Add(int64(dup))
-		s.recvMsgs.Add(1)
+	s := c.shard(at)
+	if s == nil {
+		return
+	}
+	s.recvTuples.Add(int64(tuples))
+	s.recvDup.Add(int64(dup))
+	s.recvMsgs.Add(1)
+	// Senders outside the registered universe (e.g. the coordinator
+	// installing an adopted checkpoint reports from = -1) don't belong to
+	// any channel — count the tuples above, skip the matrix.
+	if j, ok := c.idx[from]; ok && j < len(s.recvEdgeTuples) {
+		s.recvEdgeTuples[j].Add(int64(tuples))
+		s.recvEdgeMsgs[j].Add(1)
 	}
 }
 
@@ -156,19 +190,25 @@ func (c *Counting) transition(proc int, state int32) {
 		return
 	}
 	now := time.Now().UnixNano()
-	if s.lastState != 0 && s.lastState != state {
-		d := now - s.lastNs
-		if s.lastState == 1 {
-			s.busyNs.Add(d)
-		} else {
-			s.idleNs.Add(d)
+	// Attribute the elapsed interval to the *previous* state whatever the
+	// new one is: a repeated Busy (the distributed worker emits one per
+	// drained mailbox round) extends busy time rather than dropping the
+	// interval, and an unmatched transition at shutdown is closed by
+	// RunEnd the same way.
+	prev := s.lastState.Swap(state)
+	last := s.lastNs.Swap(now)
+	if prev != 0 {
+		if d := now - last; d > 0 {
+			if prev == 1 {
+				s.busyNs.Add(d)
+			} else {
+				s.idleNs.Add(d)
+			}
 		}
 	}
-	if s.lastState != state {
+	if prev != state {
 		s.transitions.Add(1)
 	}
-	s.lastState = state
-	s.lastNs = now
 }
 
 func (c *Counting) TermProbe(detector string, probe int, quiesced bool) {
@@ -207,19 +247,26 @@ func (c *Counting) MemoryPressure(used, budget int64) { c.memoryPressure.Add(1) 
 
 func (c *Counting) BatchDropped(fromProc, bucket, tuples int) { c.droppedBatches.Add(1) }
 
+func (c *Counting) NetworkViolation(from, to int, tuples int64) { c.violations.Add(1) }
+
 func (c *Counting) RunEnd(wall time.Duration) {
 	c.wallNs.Add(int64(wall))
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	// Close any dangling busy/idle interval so totals cover the run.
+	// Close any dangling busy/idle interval so totals cover the run — a
+	// worker that died busy, or one whose final WorkerIdle never arrived,
+	// still has its open interval accounted for.
 	now := time.Now().UnixNano()
 	for _, s := range c.shards {
-		if s.lastState == 1 {
-			s.busyNs.Add(now - s.lastNs)
-		} else if s.lastState == 2 {
-			s.idleNs.Add(now - s.lastNs)
+		prev := s.lastState.Swap(0)
+		last := s.lastNs.Load()
+		if d := now - last; d > 0 {
+			if prev == 1 {
+				s.busyNs.Add(d)
+			} else if prev == 2 {
+				s.idleNs.Add(d)
+			}
 		}
-		s.lastState = 0
 	}
 }
 
@@ -256,11 +303,20 @@ type Metrics struct {
 	// DroppedBatches counts data batches addressed to out-of-range
 	// buckets and discarded by the router.
 	DroppedBatches int64 `json:"dropped_batches,omitempty"`
+	// NetworkViolations counts channels the conformance auditor found in
+	// use despite the derived minimal network graph predicting them idle.
+	NetworkViolations int64 `json:"network_violations,omitempty"`
 	// Procs holds per-processor counters in registration order.
 	Procs []ProcMetrics `json:"procs"`
 	// Edges holds one entry per channel that carried at least one
-	// message, ordered by (From, To) registration order.
+	// message, ordered by (From, To) registration order. Counted on the
+	// sending side with the *intended* destination.
 	Edges []EdgeMetrics `json:"edges"`
+	// RecvEdges is the same matrix counted on the receiving side with
+	// the *actual* destination. A divergence from Edges means the
+	// routing layer delivered a batch somewhere the sender didn't
+	// address it — the network-graph auditor checks both.
+	RecvEdges []EdgeMetrics `json:"recv_edges,omitempty"`
 }
 
 // ProcMetrics is one processor's aggregate counters.
@@ -315,6 +371,7 @@ func (c *Counting) Snapshot() *Metrics {
 		CreditStalls:        c.creditStalls.Load(),
 		MemoryPressureEvents: c.memoryPressure.Load(),
 		DroppedBatches:      c.droppedBatches.Load(),
+		NetworkViolations:   c.violations.Load(),
 		// Non-nil so a communication-free run still serializes as
 		// "edges": [] — consumers get a stable document shape.
 		Edges: []EdgeMetrics{},
@@ -344,6 +401,16 @@ func (c *Counting) Snapshot() *Metrics {
 					To:       c.shards[j].proc,
 					Messages: n,
 					Tuples:   s.edgeTuples[j].Load(),
+				})
+			}
+		}
+		for j := range s.recvEdgeTuples {
+			if n := s.recvEdgeMsgs[j].Load(); n > 0 {
+				m.RecvEdges = append(m.RecvEdges, EdgeMetrics{
+					From:     c.shards[j].proc,
+					To:       s.proc,
+					Messages: n,
+					Tuples:   s.recvEdgeTuples[j].Load(),
 				})
 			}
 		}

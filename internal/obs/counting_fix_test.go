@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// Regression: a repeated same-state transition (Busy while already busy,
+// as a worker reports around each drained mailbox batch) used to drop the
+// elapsed interval entirely. It must be attributed to the state that was
+// in effect — and must not inflate the transition count.
+func TestCountingRepeatedStateKeepsInterval(t *testing.T) {
+	c := NewCounting()
+	c.RunStart("dist", []int{0})
+	c.WorkerBusy(0)
+	time.Sleep(2 * time.Millisecond)
+	c.WorkerBusy(0) // same state again: interval is still busy time
+	time.Sleep(2 * time.Millisecond)
+	c.WorkerIdle(0)
+	c.RunEnd(4 * time.Millisecond)
+	p := c.Snapshot().Procs[0]
+	if p.BusyNs < (3 * time.Millisecond).Nanoseconds() {
+		t.Fatalf("repeated busy dropped its interval: busy=%v", time.Duration(p.BusyNs))
+	}
+	if p.Transitions != 2 {
+		t.Fatalf("transitions = %d, want 2 (busy, idle)", p.Transitions)
+	}
+}
+
+// Regression: a worker killed mid-run leaves its final Busy (or Idle)
+// unmatched; RunEnd must close the dangling interval instead of losing it,
+// and must tolerate a processor that never transitioned at all.
+func TestCountingUnmatchedTransitionAtShutdown(t *testing.T) {
+	c := NewCounting()
+	c.RunStart("dist", []int{0, 1, 2})
+	c.WorkerBusy(0) // never goes idle: killed worker
+	c.WorkerIdle(1) // never goes busy again
+	// proc 2 reports nothing at all.
+	time.Sleep(2 * time.Millisecond)
+	c.RunEnd(2 * time.Millisecond)
+	m := c.Snapshot()
+	if m.Procs[0].BusyNs <= 0 {
+		t.Fatalf("dangling busy not closed: %+v", m.Procs[0])
+	}
+	if m.Procs[1].IdleNs <= 0 {
+		t.Fatalf("dangling idle not closed: %+v", m.Procs[1])
+	}
+	if m.Procs[2].BusyNs != 0 || m.Procs[2].IdleNs != 0 {
+		t.Fatalf("silent proc accrued time: %+v", m.Procs[2])
+	}
+	// A second RunEnd-style close must not double-count: the swap to
+	// state 0 makes the close idempotent.
+	c.RunEnd(2 * time.Millisecond)
+	if again := c.Snapshot().Procs[0].BusyNs; again != m.Procs[0].BusyNs {
+		t.Fatalf("second RunEnd re-closed the interval: %d != %d", again, m.Procs[0].BusyNs)
+	}
+}
+
+func TestCountingNetworkViolations(t *testing.T) {
+	c := NewCounting()
+	c.RunStart("dist", []int{0, 1})
+	c.NetworkViolation(0, 1, 12)
+	c.NetworkViolation(1, 0, 3)
+	c.RunEnd(time.Millisecond)
+	if n := c.Snapshot().NetworkViolations; n != 2 {
+		t.Fatalf("violations = %d", n)
+	}
+}

@@ -1,0 +1,193 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"parlog/internal/metrics"
+)
+
+func snapValue(t *testing.T, reg *metrics.Registry, name string, labels ...string) float64 {
+	t.Helper()
+	for _, s := range reg.Snapshot() {
+		if s.Name != name {
+			continue
+		}
+		match := true
+		for i := 0; i+1 < len(labels); i += 2 {
+			if s.Labels[labels[i]] != labels[i+1] {
+				match = false
+				break
+			}
+		}
+		if !match {
+			continue
+		}
+		if s.Value != nil {
+			return *s.Value
+		}
+		return float64(s.Count)
+	}
+	t.Fatalf("metric %s%v not found", name, labels)
+	return 0
+}
+
+func TestMetricsSinkAggregates(t *testing.T) {
+	reg := metrics.New()
+	m := NewMetricsSink(reg)
+	m.RunStart("dist", []int{0, 1, 2})
+	m.IterationStart(0, 1)
+	m.IterationEnd(0, 1, 30)
+	m.IterationStart(1, 1)
+	m.IterationEnd(1, 1, 6)
+	m.IterationStart(2, 1)
+	m.IterationEnd(2, 1, 0)
+	m.RuleFirings(0, "anc", 10, 4)
+	m.MessageSent(0, 1, "anc@ch", 5)
+	m.MessageSent(0, 1, "anc@ch", 3)
+	m.MessageSent(1, 2, "anc@ch", 2)
+	m.MessageReceived(1, 0, "anc@ch", 8, 1)
+	m.NetworkViolation(2, 0, 7)
+	m.RunEnd(5 * time.Millisecond)
+
+	if v := snapValue(t, reg, "parlog_tuples_sent_total"); v != 10 {
+		t.Fatalf("tuples sent = %v", v)
+	}
+	// Per-channel t_{i,j} matrix.
+	if v := snapValue(t, reg, "parlog_channel_tuples_total", "from", "0", "to", "1"); v != 8 {
+		t.Fatalf("t_{0,1} = %v", v)
+	}
+	if v := snapValue(t, reg, "parlog_channel_tuples_total", "from", "1", "to", "2"); v != 2 {
+		t.Fatalf("t_{1,2} = %v", v)
+	}
+	if v := snapValue(t, reg, "parlog_channel_messages_total", "from", "0", "to", "1"); v != 2 {
+		t.Fatalf("messages_{0,1} = %v", v)
+	}
+	if v := snapValue(t, reg, "parlog_network_violations_total"); v != 1 {
+		t.Fatalf("violations = %v", v)
+	}
+	// Load and skew: loads are 30, 6, 0 → mean 12, max ratio 2.5.
+	if v := snapValue(t, reg, "parlog_bucket_load_tuples_current", "proc", "0"); v != 30 {
+		t.Fatalf("load proc 0 = %v", v)
+	}
+	if v := snapValue(t, reg, "parlog_load_skew_mean_tuples"); v != 12 {
+		t.Fatalf("skew mean = %v", v)
+	}
+	if v := snapValue(t, reg, "parlog_load_skew_max_ratio"); v != 2.5 {
+		t.Fatalf("skew max ratio = %v", v)
+	}
+	// The bucket-load histogram got one observation per bucket.
+	var hist metrics.MetricSnapshot
+	for _, s := range reg.Snapshot() {
+		if s.Name == "parlog_bucket_load_tuples" {
+			hist = s
+		}
+	}
+	if hist.Count != 3 {
+		t.Fatalf("bucket load histogram count = %d", hist.Count)
+	}
+
+	// The exposition the sink produces must validate.
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if err := metrics.ValidateExposition(strings.NewReader(b.String())); err != nil {
+		t.Fatalf("exposition invalid: %v\n%s", err, b.String())
+	}
+}
+
+// A second run over the same processors must not double-count earlier
+// loads in the bucket-load distribution, and must not re-register
+// per-channel instruments.
+func TestMetricsSinkSecondRun(t *testing.T) {
+	reg := metrics.New()
+	m := NewMetricsSink(reg)
+	m.RunStart("parallel", []int{0, 1})
+	m.IterationEnd(0, 1, 4)
+	m.RunEnd(time.Millisecond)
+	m.RunStart("parallel", []int{0, 1})
+	m.IterationEnd(1, 1, 4)
+	m.RunEnd(time.Millisecond)
+
+	if v := snapValue(t, reg, "parlog_runs_total"); v != 2 {
+		t.Fatalf("runs = %v", v)
+	}
+	if v := snapValue(t, reg, "parlog_run_active"); v != 0 {
+		t.Fatalf("run_active = %v", v)
+	}
+	var hist metrics.MetricSnapshot
+	for _, s := range reg.Snapshot() {
+		if s.Name == "parlog_bucket_load_tuples" {
+			hist = s
+		}
+	}
+	// Run 1 observes loads {4, 0}; run 2 observes cumulative {4, 4}: the
+	// distribution reflects each run-end state without dropping buckets.
+	if hist.Count != 4 {
+		t.Fatalf("bucket load observations = %d", hist.Count)
+	}
+}
+
+func TestMetricsSinkSpanStream(t *testing.T) {
+	reg := metrics.New()
+	m := NewMetricsSink(reg)
+	m.RunStart("dist", []int{0, 1})
+	// MetricsSink is a plain EventSink; span helpers must no-op on it
+	// without panicking, and fanning it out with a Recorder must still
+	// deliver spans to the Recorder.
+	rec := NewRecorder()
+	sink := Fanout(m, rec)
+	SpanSend(sink, 0, 1, "anc@ch", 3, 42, 0)
+	SpanRecv(sink, 1, 0, "anc@ch", 3, 42, 0)
+	ev := rec.Events()
+	if len(ev) != 2 || ev[0].Kind != KindSpanSend || ev[1].Kind != KindSpanRecv || ev[0].Span != 42 {
+		t.Fatalf("span events not delivered through fanout: %+v", ev)
+	}
+}
+
+func TestMetricsSinkConcurrent(t *testing.T) {
+	reg := metrics.New()
+	m := NewMetricsSink(reg)
+	procs := []int{0, 1, 2, 3}
+	m.RunStart("dist", procs)
+	var wg sync.WaitGroup
+	for _, p := range procs {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				m.WorkerBusy(p)
+				m.RuleFirings(p, "anc", 2, 1)
+				m.MessageSent(p, (p+1)%4, "anc@ch", 3)
+				m.MessageReceived(p, (p+3)%4, "anc@ch", 3, 1)
+				m.IterationStart(p, i)
+				m.IterationEnd(p, i, 1)
+				m.WorkerIdle(p)
+			}
+		}(p)
+	}
+	// Scrape concurrently with the writers.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			var b strings.Builder
+			if err := reg.WritePrometheus(&b); err != nil {
+				t.Errorf("scrape: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	m.RunEnd(time.Millisecond)
+	if v := snapValue(t, reg, "parlog_tuples_sent_total"); v != 4*500*3 {
+		t.Fatalf("lost sends: %v", v)
+	}
+	if v := snapValue(t, reg, "parlog_iterations_total"); v != 4*500 {
+		t.Fatalf("lost iterations: %v", v)
+	}
+}

@@ -87,8 +87,55 @@ type EventSink interface {
 	// BatchDropped reports a data batch addressed to an out-of-range
 	// bucket being discarded by the router instead of delivered.
 	BatchDropped(fromProc, bucket, tuples int)
+	// NetworkViolation reports the conformance auditor finding traffic on
+	// channel t_{from,to} that the derived minimal network graph
+	// (Section 5) predicts can never carry a tuple — a correctness
+	// tripwire for the hash-partitioning layer. tuples is the observed
+	// volume on the offending edge.
+	NetworkViolation(from, to int, tuples int64)
 	// RunEnd closes the run opened by the matching RunStart.
 	RunEnd(wall time.Duration)
+}
+
+// SpanSink is an optional extension of EventSink for causally-linked
+// spans: distributed data batches carry a span id (and the id of the span
+// whose processing produced them) through the wire envelope, so sends,
+// receives and post-failure replays of the same batch can be stitched into
+// one causal chain. Sinks that don't implement it simply miss the span
+// stream; emitters must type-assert (or use the Span* helpers) so plain
+// EventSinks keep working unchanged.
+type SpanSink interface {
+	// SpanSend reports a data batch leaving proc for peer: span is the
+	// batch's fresh id, parent the id of the received batch whose
+	// processing derived it (0 for initialization sends).
+	SpanSend(proc, peer int, pred string, tuples int, span, parent uint64)
+	// SpanRecv reports the batch arriving at proc from peer.
+	SpanRecv(proc, peer int, pred string, tuples int, span, parent uint64)
+	// SpanReplay reports the coordinator re-delivering a logged batch to
+	// bucket's new owner toProc during recovery; span is the original
+	// batch's id, preserved verbatim through the log.
+	SpanReplay(bucket, toProc int, span uint64)
+}
+
+// SpanSend forwards to sink if it implements SpanSink; nil-safe.
+func SpanSend(sink EventSink, proc, peer int, pred string, tuples int, span, parent uint64) {
+	if ss, ok := sink.(SpanSink); ok {
+		ss.SpanSend(proc, peer, pred, tuples, span, parent)
+	}
+}
+
+// SpanRecv forwards to sink if it implements SpanSink; nil-safe.
+func SpanRecv(sink EventSink, proc, peer int, pred string, tuples int, span, parent uint64) {
+	if ss, ok := sink.(SpanSink); ok {
+		ss.SpanRecv(proc, peer, pred, tuples, span, parent)
+	}
+}
+
+// SpanReplay forwards to sink if it implements SpanSink; nil-safe.
+func SpanReplay(sink EventSink, bucket, toProc int, span uint64) {
+	if ss, ok := sink.(SpanSink); ok {
+		ss.SpanReplay(bucket, toProc, span)
+	}
 }
 
 // fanout broadcasts every event to a fixed list of sinks.
@@ -232,6 +279,32 @@ func (f *fanout) MemoryPressure(used, budget int64) {
 func (f *fanout) BatchDropped(fromProc, bucket, tuples int) {
 	for _, s := range f.sinks {
 		s.BatchDropped(fromProc, bucket, tuples)
+	}
+}
+
+func (f *fanout) NetworkViolation(from, to int, tuples int64) {
+	for _, s := range f.sinks {
+		s.NetworkViolation(from, to, tuples)
+	}
+}
+
+// The fanout forwards span events to whichever of its sinks implement
+// SpanSink, so a Fanout(recorder, counting) still records spans.
+func (f *fanout) SpanSend(proc, peer int, pred string, tuples int, span, parent uint64) {
+	for _, s := range f.sinks {
+		SpanSend(s, proc, peer, pred, tuples, span, parent)
+	}
+}
+
+func (f *fanout) SpanRecv(proc, peer int, pred string, tuples int, span, parent uint64) {
+	for _, s := range f.sinks {
+		SpanRecv(s, proc, peer, pred, tuples, span, parent)
+	}
+}
+
+func (f *fanout) SpanReplay(bucket, toProc int, span uint64) {
+	for _, s := range f.sinks {
+		SpanReplay(s, bucket, toProc, span)
 	}
 }
 

@@ -30,6 +30,11 @@ type Event struct {
 	Reason   string `json:"reason,omitempty"`
 	OK       bool   `json:"ok,omitempty"`
 	Budget   int64  `json:"budget,omitempty"`
+	// Span and Parent causally link distributed batch events: Span is the
+	// batch's wire-envelope id, Parent the id of the batch whose
+	// processing produced it (0 for initialization sends).
+	Span   uint64 `json:"span,omitempty"`
+	Parent uint64 `json:"parent,omitempty"`
 }
 
 // Event kinds emitted by the engines.
@@ -59,6 +64,14 @@ const (
 	KindCreditStall     = "credit_stall"
 	KindMemoryPressure  = "memory_pressure"
 	KindBatchDropped    = "batch_dropped"
+
+	// Causal-span kinds (distributed engine only; see SpanSink).
+	KindSpanSend   = "span_send"
+	KindSpanRecv   = "span_recv"
+	KindSpanReplay = "span_replay"
+
+	// Conformance-audit kind.
+	KindNetworkViolation = "network_violation"
 )
 
 // String renders the event without its timestamp or sequence number — the
@@ -105,6 +118,14 @@ func (e Event) String() string {
 		return fmt.Sprintf("memory_pressure used=%d budget=%d", e.N, e.Budget)
 	case KindBatchDropped:
 		return fmt.Sprintf("batch_dropped from=%d bucket=%d n=%d", e.Proc, e.Bucket, e.N)
+	case KindSpanSend:
+		return fmt.Sprintf("span_send from=%d to=%d pred=%s n=%d span=%x parent=%x", e.Proc, e.Peer, e.Pred, e.N, e.Span, e.Parent)
+	case KindSpanRecv:
+		return fmt.Sprintf("span_recv at=%d from=%d pred=%s n=%d span=%x parent=%x", e.Proc, e.Peer, e.Pred, e.N, e.Span, e.Parent)
+	case KindSpanReplay:
+		return fmt.Sprintf("span_replay bucket=%d to=%d span=%x", e.Bucket, e.Peer, e.Span)
+	case KindNetworkViolation:
+		return fmt.Sprintf("network_violation from=%d to=%d tuples=%d", e.Proc, e.Peer, e.N)
 	case KindRunEnd:
 		return "run_end"
 	}
@@ -207,6 +228,24 @@ func (r *Recorder) MemoryPressure(used, budget int64) {
 
 func (r *Recorder) BatchDropped(fromProc, bucket, tuples int) {
 	r.add(Event{Kind: KindBatchDropped, Proc: fromProc, Bucket: bucket, N: int64(tuples)})
+}
+
+func (r *Recorder) NetworkViolation(from, to int, tuples int64) {
+	r.add(Event{Kind: KindNetworkViolation, Proc: from, Peer: to, N: tuples})
+}
+
+// The Recorder implements SpanSink: span events appear inline in the
+// stream, giving the Chrome trace exporter its flow-event endpoints.
+func (r *Recorder) SpanSend(proc, peer int, pred string, tuples int, span, parent uint64) {
+	r.add(Event{Kind: KindSpanSend, Proc: proc, Peer: peer, Pred: pred, N: int64(tuples), Span: span, Parent: parent})
+}
+
+func (r *Recorder) SpanRecv(proc, peer int, pred string, tuples int, span, parent uint64) {
+	r.add(Event{Kind: KindSpanRecv, Proc: proc, Peer: peer, Pred: pred, N: int64(tuples), Span: span, Parent: parent})
+}
+
+func (r *Recorder) SpanReplay(bucket, toProc int, span uint64) {
+	r.add(Event{Kind: KindSpanReplay, Bucket: bucket, Peer: toProc, Span: span})
 }
 
 func (r *Recorder) RunEnd(wall time.Duration) {

@@ -1,0 +1,23 @@
+package wire
+
+// Span identifiers travel in the distributed control envelope so sends,
+// receives and replays can be stitched into causally-linked traces. An id
+// packs the originating worker's dense index into the top 16 bits and a
+// per-worker sequence number into the low 48 — allocation is a local
+// counter increment, no coordination, and the origin survives replay
+// verbatim (a replayed batch keeps the dead worker's id, which is exactly
+// the causal link the trace wants). Id 0 is reserved as "no span".
+
+const spanSeqBits = 48
+
+// SpanID packs an origin worker index and a per-worker sequence number.
+// Sequence numbers start at 1 so a zero id never collides with "no span".
+func SpanID(origin int, seq uint64) uint64 {
+	return uint64(origin)<<spanSeqBits | (seq & (1<<spanSeqBits - 1))
+}
+
+// SpanOrigin extracts the originating worker index.
+func SpanOrigin(id uint64) int { return int(id >> spanSeqBits) }
+
+// SpanSeq extracts the per-worker sequence number.
+func SpanSeq(id uint64) uint64 { return id & (1<<spanSeqBits - 1) }

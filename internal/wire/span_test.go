@@ -1,0 +1,31 @@
+package wire
+
+import "testing"
+
+func TestSpanIDRoundTrip(t *testing.T) {
+	cases := []struct {
+		origin int
+		seq    uint64
+	}{
+		{0, 1},
+		{3, 42},
+		{65535, 1<<48 - 1},
+		{7, 0},
+	}
+	for _, c := range cases {
+		id := SpanID(c.origin, c.seq)
+		if got := SpanOrigin(id); got != c.origin {
+			t.Errorf("SpanOrigin(SpanID(%d, %d)) = %d", c.origin, c.seq, got)
+		}
+		if got := SpanSeq(id); got != c.seq {
+			t.Errorf("SpanSeq(SpanID(%d, %d)) = %d", c.origin, c.seq, got)
+		}
+	}
+	if SpanID(0, 0) != 0 {
+		t.Error("SpanID(0, 0) should be the reserved zero id")
+	}
+	// Distinct workers with the same sequence produce distinct ids.
+	if SpanID(1, 5) == SpanID(2, 5) {
+		t.Error("ids collide across origins")
+	}
+}

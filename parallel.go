@@ -83,11 +83,10 @@ func EvalParallel(ctx context.Context, p *Program, edb Store, opts EvalOptions) 
 }
 
 // evalParallel is the in-process engine behind the dispatcher; opts are
-// filled and edb is non-nil.
-func evalParallel(ctx context.Context, p *Program, edb Store, opts EvalOptions) (*Result, error) {
-	sink, counting := opts.buildSink()
+// filled, edb is non-nil, and sink is the dispatcher's telemetry stack.
+func evalParallel(ctx context.Context, p *Program, edb Store, opts EvalOptions, sink obs.EventSink) (*Result, error) {
 	if analysis.HasNegation(p.ast) && (opts.Strategy == StrategyAuto || opts.Strategy == StrategyGeneral) {
-		return evalParallelStratified(ctx, p, edb, opts, sink, counting)
+		return evalParallelStratified(ctx, p, edb, opts, sink)
 	}
 	prog, err := compileParallel(p, opts)
 	if err != nil {
@@ -97,11 +96,7 @@ func evalParallel(ctx context.Context, p *Program, edb Store, opts EvalOptions) 
 	if err != nil {
 		return nil, err
 	}
-	out := &Result{Output: res.Output, Stats: res.Stats}
-	if counting != nil {
-		out.Metrics = counting.Snapshot()
-	}
-	return out, nil
+	return &Result{Output: res.Output, Stats: res.Stats}, nil
 }
 
 // evalParallelStratified runs a stratified-negation program as a sequence of
@@ -109,7 +104,7 @@ func evalParallel(ctx context.Context, p *Program, edb Store, opts EvalOptions) 
 // with the Section 7 general scheme, treating all lower strata (now
 // complete) as base relations — the stratum barrier is exactly what makes
 // negation-as-absence sound in a distributed setting.
-func evalParallelStratified(ctx context.Context, p *Program, edb Store, opts EvalOptions, sink obs.EventSink, counting *obs.Counting) (*Result, error) {
+func evalParallelStratified(ctx context.Context, p *Program, edb Store, opts EvalOptions, sink obs.EventSink) (*Result, error) {
 	strata, err := analysis.Strata(p.ast)
 	if err != nil {
 		return nil, err
@@ -202,11 +197,7 @@ func evalParallelStratified(ctx context.Context, p *Program, edb Store, opts Eva
 	for _, id := range ids {
 		agg.Procs = append(agg.Procs, perProc[id])
 	}
-	out := &Result{Output: output, Stats: agg}
-	if counting != nil {
-		out.Metrics = counting.Snapshot()
-	}
-	return out, nil
+	return &Result{Output: output, Stats: agg}, nil
 }
 
 // RewriteListings returns the per-processor rewritten programs — the paper's
@@ -313,9 +304,9 @@ func EvalDistributed(ctx context.Context, p *Program, edb Store, opts EvalOption
 	return eval(ctx, p, edb, opts)
 }
 
-// evalDistributed is the TCP engine behind the dispatcher; opts are filled
-// and edb is non-nil.
-func evalDistributed(ctx context.Context, p *Program, edb Store, opts EvalOptions) (*Result, error) {
+// evalDistributed is the TCP engine behind the dispatcher; opts are
+// filled, edb is non-nil, and sink is the dispatcher's telemetry stack.
+func evalDistributed(ctx context.Context, p *Program, edb Store, opts EvalOptions, sink obs.EventSink) (*Result, error) {
 	if opts.Topology != nil {
 		return nil, fmt.Errorf("parlog: EvalDistributed does not support topology restriction")
 	}
@@ -323,7 +314,6 @@ func evalDistributed(ctx context.Context, p *Program, edb Store, opts EvalOption
 	if err != nil {
 		return nil, err
 	}
-	sink, counting := opts.buildSink()
 	res, err := dist.Run(prog, edb, dist.Config{
 		WavePoll:           opts.PollInterval,
 		HeartbeatInterval:  opts.HeartbeatInterval,
@@ -350,11 +340,7 @@ func evalDistributed(ctx context.Context, p *Program, edb Store, opts EvalOption
 		Placements: parallel.Placements(prog, global),
 		Wall:       res.Wall,
 	}
-	out := &Result{Output: res.Output, Stats: stats}
-	if counting != nil {
-		out.Metrics = counting.Snapshot()
-	}
-	return out, nil
+	return &Result{Output: res.Output, Stats: stats}, nil
 }
 
 func compileParallel(p *Program, opts EvalOptions) (*parallel.Program, error) {

@@ -266,16 +266,30 @@ type EvalOptions struct {
 	// Metrics additionally attaches the built-in counting sink and
 	// fills Result.Metrics with its snapshot.
 	Metrics bool
-}
-
-// buildSink combines the caller's Trace sink with the internal counting
-// sink backing Result.Metrics.
-func (o EvalOptions) buildSink() (obs.EventSink, *obs.Counting) {
-	if !o.Metrics {
-		return o.Trace, nil
-	}
-	c := obs.NewCounting()
-	return obs.Fanout(o.Trace, c), c
+	// MetricsAddr, when non-empty, serves live telemetry over HTTP for
+	// the duration of the run: Prometheus text at /metrics, an indented
+	// JSON snapshot at /debug/parlog, and (with Pprof) the net/http/pprof
+	// handlers. Use ":0" for an ephemeral port and TelemetryReady to
+	// learn the bound address. The endpoint shuts down gracefully when
+	// the run completes (after MetricsHold) or the context is canceled.
+	MetricsAddr string
+	// Pprof additionally mounts /debug/pprof/ on the MetricsAddr server.
+	Pprof bool
+	// MetricsHold keeps the MetricsAddr endpoint alive after a
+	// successful run, so external scrapers can collect the final state;
+	// context cancellation cuts the hold short. 0 closes immediately.
+	MetricsHold time.Duration
+	// TelemetryReady, when non-nil, is called with the MetricsAddr
+	// server's bound address once it is listening (before evaluation
+	// starts).
+	TelemetryReady func(addr string)
+	// AuditNetwork runs the Section 5 conformance auditor after the run:
+	// the observed t_{i,j} communication matrix is checked against the
+	// minimal network graph derived from HashBits, every unpredicted
+	// channel is reported as a NetworkViolation event, and the report is
+	// returned in Result.Audit. Requires StrategyHashPartition with
+	// HashBits and Procs.
+	AuditNetwork bool
 }
 
 // Result is the outcome of any evaluation: the pooled output store, the
@@ -293,6 +307,9 @@ type Result struct {
 	// Metrics is the counting sink's snapshot when EvalOptions.Metrics
 	// was set, nil otherwise.
 	Metrics *Metrics
+	// Audit is the network-conformance report when
+	// EvalOptions.AuditNetwork was set, nil otherwise.
+	Audit *NetworkAudit
 }
 
 // fill applies the defaults shared by every engine. The per-engine
@@ -321,28 +338,43 @@ func Eval(ctx context.Context, p *Program, edb Store, opts EvalOptions) (*Result
 }
 
 // eval is the single dispatcher behind Eval, EvalParallel and
-// EvalDistributed: one defaulting path, one nil-EDB rule, one switch.
+// EvalDistributed: one defaulting path, one nil-EDB rule, one telemetry
+// bundle, one switch. Telemetry (the sink stack, the optional HTTP
+// endpoint, the post-run audit) is assembled here so every engine gets
+// identical observability for free.
 func eval(ctx context.Context, p *Program, edb Store, opts EvalOptions) (*Result, error) {
 	opts.fill()
 	if edb == nil {
 		edb = Store{}
 	}
+	tel, err := buildTelemetry(&opts)
+	if err != nil {
+		return nil, err
+	}
+	var res *Result
 	switch opts.Engine {
 	case EngineSequential:
-		return evalSequential(ctx, p, edb, opts)
+		res, err = evalSequential(ctx, p, edb, opts, tel.sink)
 	case EngineParallel:
-		return evalParallel(ctx, p, edb, opts)
+		res, err = evalParallel(ctx, p, edb, opts, tel.sink)
 	case EngineDistributed:
-		return evalDistributed(ctx, p, edb, opts)
+		res, err = evalDistributed(ctx, p, edb, opts, tel.sink)
 	default:
-		return nil, fmt.Errorf("parlog: unknown engine %d", opts.Engine)
+		err = fmt.Errorf("parlog: unknown engine %d", opts.Engine)
 	}
+	if err != nil {
+		tel.abort()
+		return nil, err
+	}
+	if err := tel.finish(ctx, p, opts, res); err != nil {
+		return nil, err
+	}
+	return res, nil
 }
 
 // evalSequential computes the least model on one processor (semi-naive by
 // default) and returns the full store — the paper's baseline execution.
-func evalSequential(ctx context.Context, p *Program, edb Store, opts EvalOptions) (*Result, error) {
-	sink, counting := opts.buildSink()
+func evalSequential(ctx context.Context, p *Program, edb Store, opts EvalOptions, sink obs.EventSink) (*Result, error) {
 	store, stats, err := seminaive.Eval(p.ast, edb, seminaive.Options{
 		Naive:         opts.Naive,
 		MaxIterations: opts.MaxIterations,
@@ -352,11 +384,7 @@ func evalSequential(ctx context.Context, p *Program, edb Store, opts EvalOptions
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{Output: store, SeqStats: stats}
-	if counting != nil {
-		res.Metrics = counting.Snapshot()
-	}
-	return res, nil
+	return &Result{Output: store, SeqStats: stats}, nil
 }
 
 // sirup extracts the canonical linear-sirup decomposition.

@@ -1,0 +1,210 @@
+package parlog
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"parlog/internal/hashpart"
+	"parlog/internal/metrics"
+	"parlog/internal/network"
+	"parlog/internal/obs"
+)
+
+// NetworkAudit is the conformance auditor's report: the run's observed
+// communication matrix t_{i,j} checked against the minimal network graph
+// derived from the discriminating functions (Section 5, Figures 1–3). A
+// violation — traffic on a channel the graph predicts can never carry a
+// tuple — indicates a routing bug in the hash-partitioning layer (or an
+// injected fault). Request one with EvalOptions.AuditNetwork.
+type NetworkAudit = network.AuditReport
+
+// ObservedEdge is one observed channel of a NetworkAudit.
+type ObservedEdge = network.ObservedEdge
+
+// MetricsRegistry is the dependency-free metrics registry behind the live
+// telemetry endpoint: atomic counters, gauges and fixed-bucket histograms
+// with a Prometheus text exposition and a JSON snapshot.
+type MetricsRegistry = metrics.Registry
+
+// NewMetricsRegistry returns an empty registry, for embedding the metrics
+// sink into a caller-owned scrape endpoint.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.New() }
+
+// MetricsSink adapts the event stream into a MetricsRegistry — the sink
+// behind EvalOptions.MetricsAddr, exported so callers can aggregate many
+// runs into one registry via EvalOptions.Trace.
+type MetricsSink = obs.MetricsSink
+
+// NewMetricsSink returns a sink feeding reg.
+func NewMetricsSink(reg *MetricsRegistry) *MetricsSink { return obs.NewMetricsSink(reg) }
+
+// WriteChromeTrace renders a TraceRecorder's event stream as Chrome
+// trace_event JSON (load it in chrome://tracing or ui.perfetto.dev):
+// per-processor busy and iteration slices, causal flow arrows between
+// distributed batch sends, receives and replays, and instant markers for
+// deaths, checkpoints and network violations.
+func WriteChromeTrace(w io.Writer, events []TraceEvent) error {
+	return obs.WriteChromeTrace(w, events)
+}
+
+// ValidateMetricsExposition checks a Prometheus text-format document for
+// well-formedness (names, types, label syntax, histogram invariants) —
+// promtool's core checks without the dependency. Used by CI to validate
+// the /metrics endpoint.
+func ValidateMetricsExposition(r io.Reader) error { return metrics.ValidateExposition(r) }
+
+// telemetry bundles the sinks and the optional HTTP endpoint of one run.
+// Built by eval before dispatch, torn down by finish/abort after.
+type telemetry struct {
+	sink     obs.EventSink
+	counting *obs.Counting
+	server   *metrics.Server
+	hold     time.Duration
+}
+
+// buildTelemetry assembles the run's sink stack: the caller's Trace, the
+// counting sink whenever anything downstream needs aggregates
+// (Result.Metrics, the /debug/parlog snapshot, the network audit), and
+// the registry-backed metrics sink plus HTTP server when MetricsAddr is
+// set. With nothing requested the sink is nil and the run pays nothing.
+func buildTelemetry(o *EvalOptions) (*telemetry, error) {
+	t := &telemetry{hold: o.MetricsHold}
+	var sinks []obs.EventSink
+	if o.Trace != nil {
+		sinks = append(sinks, o.Trace)
+	}
+	if o.Metrics || o.AuditNetwork || o.MetricsAddr != "" {
+		t.counting = obs.NewCounting()
+		sinks = append(sinks, t.counting)
+	}
+	if o.MetricsAddr != "" {
+		reg := metrics.New()
+		sinks = append(sinks, obs.NewMetricsSink(reg))
+		counting := t.counting
+		srv, err := metrics.NewServer(o.MetricsAddr, reg, metrics.ServerOptions{
+			Pprof: o.Pprof,
+			Debug: func() any { return counting.Snapshot() },
+		})
+		if err != nil {
+			return nil, fmt.Errorf("parlog: metrics endpoint: %w", err)
+		}
+		t.server = srv
+		if o.TelemetryReady != nil {
+			o.TelemetryReady(srv.Addr())
+		}
+	}
+	t.sink = obs.Fanout(sinks...)
+	return t, nil
+}
+
+// abort tears the endpoint down immediately (failed runs don't hold).
+func (t *telemetry) abort() {
+	if t.server != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		t.server.Close(ctx)
+	}
+}
+
+// finish completes a successful run: audit the communication matrix if
+// requested, snapshot the counting sink into the result, then keep the
+// endpoint alive for MetricsHold (so a scraper can collect the final
+// state) before shutting it down gracefully. ctx cancellation cuts the
+// hold short.
+func (t *telemetry) finish(ctx context.Context, p *Program, opts EvalOptions, res *Result) error {
+	if opts.AuditNetwork {
+		rep, err := runAudit(p, opts, t.counting.Snapshot(), t.sink)
+		if err != nil {
+			t.abort()
+			return err
+		}
+		res.Audit = rep
+	}
+	if opts.Metrics && t.counting != nil {
+		// Taken after the audit so NetworkViolations reflects its findings.
+		res.Metrics = t.counting.Snapshot()
+	}
+	if t.server != nil {
+		if t.hold > 0 {
+			holdT := time.NewTimer(t.hold)
+			defer holdT.Stop()
+			var done <-chan struct{}
+			if ctx != nil {
+				done = ctx.Done()
+			}
+			select {
+			case <-holdT.C:
+			case <-done:
+			}
+		}
+		t.abort()
+	}
+	return nil
+}
+
+// runAudit derives the minimal network graph for the run's discriminating
+// function and checks the counting sink's observed edge matrix against
+// it, reporting each violation into the event stream (so traces, metrics
+// and Result.Metrics all see them).
+func runAudit(p *Program, opts EvalOptions, snap *Metrics, sink obs.EventSink) (*NetworkAudit, error) {
+	if opts.Strategy != StrategyHashPartition || opts.HashBits == nil || len(opts.Procs) == 0 {
+		return nil, fmt.Errorf("parlog: AuditNetwork requires StrategyHashPartition with HashBits and Procs (the configuration DeriveNetwork can reason about)")
+	}
+	s, err := p.sirup()
+	if err != nil {
+		return nil, err
+	}
+	vr, ve := opts.VR, opts.VE
+	if vr == nil {
+		vr = []string{s.BodyVars[0]}
+	}
+	if ve == nil {
+		ve = defaultVE(s, vr)
+	}
+	d, err := network.Derive(s, vr, ve, opts.HashBits, opts.HashBits, hashpart.NewProcSet(opts.Procs...))
+	if err != nil {
+		return nil, fmt.Errorf("parlog: AuditNetwork: %w", err)
+	}
+	rep := d.Audit(mergeEdgeMatrices(snap))
+	if sink != nil {
+		for _, v := range rep.Violations {
+			sink.NetworkViolation(v.From, v.To, v.Tuples)
+		}
+	}
+	return rep, nil
+}
+
+// mergeEdgeMatrices unions the counting sink's send-side matrix (intended
+// destinations) with its receive-side matrix (actual destinations), taking
+// the larger volume per channel. The two agree in a healthy run; auditing
+// the union means a batch diverted *after* MessageSent fired — a routing
+// bug downstream of the sender — still surfaces as traffic on the channel
+// it actually used.
+func mergeEdgeMatrices(snap *Metrics) []ObservedEdge {
+	byKey := make(map[[2]int]ObservedEdge, len(snap.Edges)+len(snap.RecvEdges))
+	add := func(from, to int, msgs, tuples int64) {
+		k := [2]int{from, to}
+		e := byKey[k]
+		e.From, e.To = from, to
+		if msgs > e.Messages {
+			e.Messages = msgs
+		}
+		if tuples > e.Tuples {
+			e.Tuples = tuples
+		}
+		byKey[k] = e
+	}
+	for _, e := range snap.Edges {
+		add(e.From, e.To, e.Messages, e.Tuples)
+	}
+	for _, e := range snap.RecvEdges {
+		add(e.From, e.To, e.Messages, e.Tuples)
+	}
+	observed := make([]ObservedEdge, 0, len(byKey))
+	for _, e := range byKey {
+		observed = append(observed, e)
+	}
+	return observed
+}
