@@ -15,7 +15,13 @@
 //	-locality F     locality in [0,1] for -strategy tradeoff
 //	-naive          sequential naive iteration instead of semi-naive
 //	-pred p,q       print only these predicates (default: all derived)
-//	-query 'p(a,X)' print only tuples matching an atom pattern
+//	-query 'p(a,X)' evaluate goal-directed: demand (magic-sets) rewrite
+//	                the program to the goal, then stream its answers
+//	-no-demand      answer -query from a full materialization instead
+//	-planner P      join-order planner: boundness (default) | greedy |
+//	                left-to-right
+//	-explain        print the query plan (join orders, pushdowns, demand
+//	                rewrite) to stderr
 //	-csv pred=path  load a base relation from a CSV file (repeatable)
 //	-i              interactive queries after evaluation
 //	-stats          print evaluation statistics to stderr
@@ -60,7 +66,10 @@ func main() {
 		locality = flag.Float64("locality", 0, "locality in [0,1] for -strategy tradeoff")
 		naive    = flag.Bool("naive", false, "use naive iteration (sequential only)")
 		preds    = flag.String("pred", "", "comma-separated predicates to print (default: all derived)")
-		query    = flag.String("query", "", "print only tuples matching this atom pattern, e.g. 'anc(a, X)'")
+		query    = flag.String("query", "", "evaluate goal-directed and print the answers of this atom, e.g. 'anc(a, X)'")
+		noDemand = flag.Bool("no-demand", false, "disable the magic-sets rewrite for -query")
+		planner  = flag.String("planner", "boundness", "join-order planner: boundness | greedy | left-to-right")
+		explain  = flag.Bool("explain", false, "print the query plan to stderr")
 		stats    = flag.Bool("stats", false, "print evaluation statistics to stderr")
 		interact = flag.Bool("i", false, "after evaluating, read query patterns from stdin")
 		showRW   = flag.Bool("show-rewrite", false, "print each processor's rewritten program (Q_i/R_i/T_i) instead of evaluating")
@@ -144,12 +153,22 @@ func main() {
 	if *workers <= 0 {
 		o := telemetry
 		o.Naive, o.Trace, o.Metrics = *naive, traceSink(rec), *metrics
+		o.Planner, o.Explain, o.NoDemand = plannerOf(*planner), *explain, *noDemand
+		if *query != "" {
+			runQuery(ctx, prog, edb, *query, o, *explain, *stats)
+			writeTrace(rec, *traceOut)
+			writeChrome(rec, *chromeOut)
+			return
+		}
 		seqRes, err := parlog.Eval(ctx, prog, edb, o)
 		if err != nil {
 			fatal(err)
 		}
 		store, st := seqRes.Output, seqRes.SeqStats
-		printResult(prog, store, show, *query)
+		printResult(prog, store, show, "")
+		if *explain {
+			fmt.Fprint(os.Stderr, seqRes.Explain())
+		}
 		if *stats {
 			fmt.Fprintf(os.Stderr, "iterations=%d firings=%d new=%d\n", st.Iterations, st.Firings, st.New)
 		}
@@ -170,9 +189,18 @@ func main() {
 	opts.Strategy = strategyOf(*strategy)
 	opts.Trace = traceSink(rec)
 	opts.Metrics = *metrics
+	opts.Planner = plannerOf(*planner)
+	opts.Explain = *explain
+	opts.NoDemand = *noDemand
 	opts.Engine = parlog.EngineParallel
 	if *dist {
 		opts.Engine = parlog.EngineDistributed
+	}
+	if *query != "" {
+		runQuery(ctx, prog, edb, *query, opts, *explain, *stats)
+		writeTrace(rec, *traceOut)
+		writeChrome(rec, *chromeOut)
+		return
 	}
 	if *audit {
 		// The auditor needs the bit-level discriminating function the
@@ -259,6 +287,55 @@ func printMetrics(m *parlog.Metrics) {
 	}
 	for _, e := range m.Edges {
 		fmt.Fprintf(os.Stderr, "edge %d->%d: messages=%d tuples=%d\n", e.From, e.To, e.Messages, e.Tuples)
+	}
+}
+
+// runQuery evaluates one goal atom through the goal-directed front door and
+// streams its answers to stdout.
+func runQuery(ctx context.Context, prog *parlog.Program, edb parlog.Store, goal string, opts parlog.EvalOptions, explain, stats bool) {
+	qr, err := parlog.Query(ctx, prog, edb, goal, opts)
+	if err != nil {
+		fatal(err)
+	}
+	n := 0
+	for {
+		t, ok := qr.Next()
+		if !ok {
+			break
+		}
+		parts := make([]string, len(t))
+		for i, v := range t {
+			parts[i] = prog.ConstName(v)
+		}
+		fmt.Printf("%s(%s).\n", qr.Pred, strings.Join(parts, ", "))
+		n++
+	}
+	if explain {
+		fmt.Fprint(os.Stderr, qr.Explain())
+	}
+	if stats {
+		fmt.Fprintf(os.Stderr, "%% %d answers\n", n)
+		if st := qr.SeqStats; st != nil {
+			fmt.Fprintf(os.Stderr, "iterations=%d firings=%d new=%d\n", st.Iterations, st.Firings, st.New)
+		} else if qr.Stats != nil {
+			fmt.Fprint(os.Stderr, qr.Stats.String())
+		}
+	}
+	printMetrics(qr.Metrics)
+}
+
+// plannerOf maps the -planner flag to the API value.
+func plannerOf(s string) parlog.PlannerMode {
+	switch s {
+	case "", "boundness":
+		return parlog.PlannerBoundness
+	case "greedy":
+		return parlog.PlannerGreedy
+	case "left-to-right", "ltr":
+		return parlog.PlannerLeftToRight
+	default:
+		fatal(fmt.Errorf("unknown planner %q", s))
+		return 0
 	}
 }
 

@@ -16,6 +16,8 @@ func TestMain(m *testing.M) {
 	}
 	benchOut = filepath.Join(dir, "BENCH_parallel.json")
 	recoveryOut = filepath.Join(dir, "BENCH_recovery.json")
+	coreOut = filepath.Join(dir, "BENCH_core.json")
+	planOut = filepath.Join(dir, "BENCH_plan.json")
 	code := m.Run()
 	os.RemoveAll(dir)
 	os.Exit(code)
@@ -59,6 +61,42 @@ func TestRecoveryJSON(t *testing.T) {
 	// the checkpoint covered instead of replaying its full history.
 	if bounded.Truncated == 0 {
 		t.Errorf("bounded recovery replayed its full %d-batch history", bounded.Replayed)
+	}
+}
+
+// TestPlanJSON checks the document E18 writes: the four query kernels
+// present with non-degenerate op counts, and the demand reduction it
+// self-gates on recorded in the document.
+func TestPlanJSON(t *testing.T) {
+	if err := runE18(true); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(planOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc planDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	names := map[string]bool{}
+	for _, k := range doc.Kernels {
+		names[k.Name] = true
+		if k.Ops <= 0 {
+			t.Errorf("%s: ops=%d", k.Name, k.Ops)
+		}
+	}
+	for _, want := range []string{"query-demand-off", "query-demand-on", "ex3-greedy", "ex3-ltr"} {
+		if !names[want] {
+			t.Errorf("missing kernel %q in %s", want, planOut)
+		}
+	}
+	if doc.Answers == 0 {
+		t.Error("no answers recorded")
+	}
+	if 2*doc.DemandOnDerived > doc.DemandOffDerived {
+		t.Errorf("demand derived %d vs %d undirected — runE18 should have failed",
+			doc.DemandOnDerived, doc.DemandOffDerived)
 	}
 }
 

@@ -25,6 +25,10 @@
 //	E17 core kernels: insert/probe/indexed-join/delta-enumerate microbenches
 //	    plus a 4-worker Example 3 end-to-end run; ns/op, B/op and allocs/op
 //	    are written to BENCH_core.json (see -core-out)
+//	E18 query planning: goal-directed reachability with the magic-sets
+//	    (demand) rewrite vs full materialization, and the greedy planner vs
+//	    the left-to-right ablation; written to BENCH_plan.json (see
+//	    -plan-out)
 //
 // Usage: dlbench [-experiment E5] [-quick] [-bench-out BENCH_parallel.json]
 package main
@@ -65,11 +69,12 @@ var experiments = []experiment{
 	{"E15", "Examples 1–3 — metrics snapshot to BENCH_parallel.json", runE15},
 	{"E16", "Bounded recovery — checkpointed vs full-replay worker kill", runE16},
 	{"E17", "Core kernels — insert/probe/join/delta + Example 3 to BENCH_core.json", runE17},
+	{"E18", "Query planning — demand rewrite + greedy planner to BENCH_plan.json", runE18},
 }
 
 func main() {
 	var (
-		which = flag.String("experiment", "all", "experiment id (E1..E17) or 'all'")
+		which = flag.String("experiment", "all", "experiment id (E1..E18) or 'all'")
 		quick = flag.Bool("quick", false, "smaller workloads for a fast pass")
 
 		metricsAddr = flag.String("metrics-addr", "", "serve a process-level metrics endpoint while experiments run")
@@ -78,6 +83,7 @@ func main() {
 	flag.StringVar(&benchOut, "bench-out", benchOut, "output path of E15's JSON benchmark document")
 	flag.StringVar(&recoveryOut, "recovery-out", recoveryOut, "output path of E16's JSON benchmark document")
 	flag.StringVar(&coreOut, "core-out", coreOut, "output path of E17's JSON benchmark document")
+	flag.StringVar(&planOut, "plan-out", planOut, "output path of E18's JSON benchmark document")
 	flag.Parse()
 
 	if *metricsAddr != "" {

@@ -74,6 +74,7 @@ import (
 	"parlog/internal/obs"
 	"parlog/internal/parallel"
 	"parlog/internal/relation"
+	"parlog/internal/seminaive"
 	"parlog/internal/wire"
 )
 
@@ -227,6 +228,10 @@ type Config struct {
 	// ProcIDs maps dense worker indices to paper-level processor ids for
 	// event labeling; nil labels events with the dense index.
 	ProcIDs []int
+	// Planner selects the join-order planner; non-default modes make
+	// every node (including recovery replacements) recompile its plans
+	// against its own fragment cardinalities before evaluating.
+	Planner seminaive.PlanMode
 	// WorkerDial, when non-nil, supplies each in-process worker's dialer
 	// (Run only) — the fault-injection hook.
 	WorkerDial func(wi int) DialFunc

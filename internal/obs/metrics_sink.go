@@ -68,6 +68,10 @@ type MetricsSink struct {
 	dropped         *metrics.Counter
 	violations      *metrics.Counter
 
+	planReordered *metrics.Counter
+	planPushdowns *metrics.Counter
+	planDemand    *metrics.Counter
+
 	bucketLoad  *metrics.Histogram // tuples derived per hash bucket, fed per run
 	skewMax     *metrics.Gauge     // max load / mean load across buckets
 	skewMean    *metrics.Gauge     // mean load across buckets
@@ -127,6 +131,10 @@ func NewMetricsSink(reg *metrics.Registry) *MetricsSink {
 		memPressure:     reg.Counter("parlog_memory_pressure_total", "coordinator memory-budget overruns"),
 		dropped:         reg.Counter("parlog_dropped_batches_total", "data batches addressed to out-of-range buckets"),
 		violations:      reg.Counter("parlog_network_violations_total", "channels used despite the minimal network graph predicting them idle"),
+
+		planReordered: reg.Counter("parlog_plan_reordered_atoms_total", "body atoms the planner moved away from their textual join position"),
+		planPushdowns: reg.Counter("parlog_plan_pushdown_constraints_total", "constraints checked before the final join level of their plan"),
+		planDemand:    reg.Counter("parlog_plan_demand_rules_total", "magic/seed rules produced by demand (magic-sets) rewrites"),
 
 		bucketLoad: reg.Histogram("parlog_bucket_load_tuples", "tuples derived per hash bucket over completed runs", sizeBounds),
 		skewMax:    reg.Gauge("parlog_load_skew_max_ratio", "max bucket load / mean bucket load of the current processor set"),
@@ -305,6 +313,16 @@ func (m *MetricsSink) MemoryPressure(used, budget int64) { m.memPressure.Inc() }
 func (m *MetricsSink) BatchDropped(fromProc, bucket, tuples int) { m.dropped.Inc() }
 
 func (m *MetricsSink) NetworkViolation(from, to int, tuples int64) { m.violations.Inc() }
+
+// PlanCompiled and DemandRewrite implement the optional PlanSink extension.
+func (m *MetricsSink) PlanCompiled(proc int, pred string, moved, pushdowns int) {
+	m.planReordered.Add(int64(moved))
+	m.planPushdowns.Add(int64(pushdowns))
+}
+
+func (m *MetricsSink) DemandRewrite(goal string, rules, magic int) {
+	m.planDemand.Add(int64(magic))
+}
 
 func (m *MetricsSink) RunEnd(wall time.Duration) {
 	m.runActive.Set(0)

@@ -131,6 +131,30 @@ func TestMetricsSinkSecondRun(t *testing.T) {
 	}
 }
 
+// TestMetricsSinkPlanCounters drives the PlanSink extension through the
+// nil-safe package helpers (the path the engines use) and checks the three
+// planner counters.
+func TestMetricsSinkPlanCounters(t *testing.T) {
+	reg := metrics.New()
+	m := NewMetricsSink(reg)
+	PlanCompiled(m, 0, "anc", 2, 1)
+	PlanCompiled(m, 1, "anc", 0, 1)
+	DemandRewrite(m, "anc(a, X)", 8, 3)
+	// Non-PlanSink and nil sinks must be no-ops, not panics.
+	PlanCompiled(nil, 0, "anc", 5, 5)
+	DemandRewrite(NewCounting(), "g", 1, 1)
+
+	if v := snapValue(t, reg, "parlog_plan_reordered_atoms_total"); v != 2 {
+		t.Fatalf("reordered atoms = %v", v)
+	}
+	if v := snapValue(t, reg, "parlog_plan_pushdown_constraints_total"); v != 2 {
+		t.Fatalf("pushdowns = %v", v)
+	}
+	if v := snapValue(t, reg, "parlog_plan_demand_rules_total"); v != 3 {
+		t.Fatalf("demand rules = %v", v)
+	}
+}
+
 func TestMetricsSinkSpanStream(t *testing.T) {
 	reg := metrics.New()
 	m := NewMetricsSink(reg)

@@ -138,6 +138,37 @@ func SpanReplay(sink EventSink, bucket, toProc int, span uint64) {
 	}
 }
 
+// PlanSink is an optional extension of EventSink for the query planner's
+// compile-time decisions: join-order reorderings, constraint pushdowns and
+// demand (magic-sets) rewrites. Like SpanSink, sinks that don't implement
+// it simply miss the plan stream, so golden recordings of the base event
+// stream are unaffected; emitters use the nil-safe helpers below.
+type PlanSink interface {
+	// PlanCompiled reports one compiled rule plan for the given head
+	// predicate: moved counts body atoms executing away from their textual
+	// position, pushdowns counts constraints checked before the final join
+	// level.
+	PlanCompiled(proc int, pred string, moved, pushdowns int)
+	// DemandRewrite reports a magic-sets rewrite of a program for a goal:
+	// rules is the rewritten program's rule count, magic how many of them
+	// are demand (magic/seed) rules.
+	DemandRewrite(goal string, rules, magic int)
+}
+
+// PlanCompiled forwards to sink if it implements PlanSink; nil-safe.
+func PlanCompiled(sink EventSink, proc int, pred string, moved, pushdowns int) {
+	if ps, ok := sink.(PlanSink); ok {
+		ps.PlanCompiled(proc, pred, moved, pushdowns)
+	}
+}
+
+// DemandRewrite forwards to sink if it implements PlanSink; nil-safe.
+func DemandRewrite(sink EventSink, goal string, rules, magic int) {
+	if ps, ok := sink.(PlanSink); ok {
+		ps.DemandRewrite(goal, rules, magic)
+	}
+}
+
 // fanout broadcasts every event to a fixed list of sinks.
 type fanout struct {
 	sinks []EventSink
@@ -305,6 +336,20 @@ func (f *fanout) SpanRecv(proc, peer int, pred string, tuples int, span, parent 
 func (f *fanout) SpanReplay(bucket, toProc int, span uint64) {
 	for _, s := range f.sinks {
 		SpanReplay(s, bucket, toProc, span)
+	}
+}
+
+// The fanout likewise forwards plan events to whichever of its sinks
+// implement PlanSink.
+func (f *fanout) PlanCompiled(proc int, pred string, moved, pushdowns int) {
+	for _, s := range f.sinks {
+		PlanCompiled(s, proc, pred, moved, pushdowns)
+	}
+}
+
+func (f *fanout) DemandRewrite(goal string, rules, magic int) {
+	for _, s := range f.sinks {
+		DemandRewrite(s, goal, rules, magic)
 	}
 }
 

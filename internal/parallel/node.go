@@ -33,6 +33,10 @@ type Node struct {
 	wi     int // dense index
 	procID int
 
+	// rules is this worker's compiled rule set — the program's shared
+	// plans by default, or a node-local recompilation after Replan.
+	rules []compiledRule
+
 	store relation.Store                // EDB fragments + @in relations
 	in    map[string]*relation.Relation // derived tuples received/kept, by pred
 	out   map[string]*relation.Relation // derived tuples generated here, by pred
@@ -122,6 +126,7 @@ func NewNode(p *Program, wi int, global relation.Store) *Node {
 		prog:     p,
 		wi:       wi,
 		procID:   procID,
+		rules:    p.rules[wi],
 		store:    relation.Store{},
 		in:       make(map[string]*relation.Relation),
 		out:      make(map[string]*relation.Relation),
@@ -163,6 +168,39 @@ func NewNode(p *Program, wi int, global relation.Store) *Node {
 	return n
 }
 
+// Replan recompiles this node's rule plans under the given planner mode,
+// using the node's own base-relation fragment cardinalities (exact at this
+// point: NewNode has materialized the fragments, @in relations are still
+// empty). PlanBoundness is a no-op — the node keeps the program's shared
+// plans, so default runs stay byte-identical. Transports call it after
+// SetSink and before Init; each compiled plan is reported as a
+// PlanCompiled event.
+func (n *Node) Replan(mode seminaive.PlanMode) {
+	if mode == seminaive.PlanBoundness {
+		return
+	}
+	cfg := seminaive.PlanConfig{Mode: mode, Card: func(pred string) int {
+		if rel, ok := n.store[pred]; ok {
+			return rel.Len()
+		}
+		return 0
+	}}
+	rules := make([]compiledRule, len(n.rules))
+	for i, cr := range n.rules {
+		nr := cr
+		if cr.init {
+			nr.plans = []*seminaive.Plan{seminaive.CompileWith(cr.rule, nil, cfg)}
+		} else {
+			nr.plans = seminaive.DeltaVariantsWith(cr.rule, cr.recAtoms, cfg)
+		}
+		for _, pl := range nr.plans {
+			obs.PlanCompiled(n.sink, n.procID, nr.head, pl.Moved(), pl.Pushdowns())
+		}
+		rules[i] = nr
+	}
+	n.rules = rules
+}
+
 // Index returns the node's dense worker index.
 func (n *Node) Index() int { return n.wi }
 
@@ -194,7 +232,7 @@ func (n *Node) Init(emit EmitFunc) {
 		n.sink.IterationStart(n.procID, 0)
 	}
 	genBefore := n.stats.Generated
-	for _, cr := range n.prog.rules[n.wi] {
+	for _, cr := range n.rules {
 		if !cr.init {
 			continue
 		}
@@ -261,7 +299,7 @@ func (n *Node) Drain(emit EmitFunc) {
 			n.sink.IterationStart(n.procID, iter)
 		}
 		genBefore := n.stats.Generated
-		for _, cr := range n.prog.rules[n.wi] {
+		for _, cr := range n.rules {
 			if cr.init {
 				continue
 			}

@@ -50,6 +50,10 @@ type compiledRule struct {
 	head  string
 	arity int
 	init  bool // no derived body atoms: fires once at start
+	// rule and recAtoms retain the compilation inputs so Node.Replan can
+	// recompile the plans under a different planner mode.
+	rule     ast.Rule
+	recAtoms []int
 }
 
 // edbNeed records which subset of one base relation a rule's body atom needs
@@ -203,7 +207,7 @@ func build(prog *ast.Program, procs *hashpart.ProcSet, specs []ruleSpec, routers
 				h := hashpart.AsHashFunc(spec.hFor(procID))
 				wr = wr.WithConstraints(ast.NewHashConstraint(h, spec.seq, procID))
 			}
-			cr := compiledRule{head: r.Head.Pred, arity: r.Head.Arity()}
+			cr := compiledRule{head: r.Head.Pred, arity: r.Head.Arity(), rule: wr, recAtoms: recAtoms}
 			if len(recAtoms) == 0 {
 				cr.init = true
 				cr.plans = []*seminaive.Plan{seminaive.Compile(wr, nil)}

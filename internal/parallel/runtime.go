@@ -11,6 +11,7 @@ import (
 	"parlog/internal/hashpart"
 	"parlog/internal/obs"
 	"parlog/internal/relation"
+	"parlog/internal/seminaive"
 	"parlog/internal/termdetect"
 )
 
@@ -98,6 +99,10 @@ type RunConfig struct {
 	// Sink, when non-nil, receives the run's event stream (iterations,
 	// rule firings, messages, busy/idle transitions, detector probes).
 	Sink obs.EventSink
+	// Planner selects the join-order planner; non-default modes make each
+	// worker recompile its plans against its own fragment cardinalities
+	// (Node.Replan) before evaluation starts.
+	Planner seminaive.PlanMode
 }
 
 // Result is the outcome of a parallel run.
@@ -300,6 +305,7 @@ func Run(p *Program, edb relation.Store, cfg RunConfig) (*Result, error) {
 	for wi := 0; wi < n; wi++ {
 		workers[wi] = newWorker(p, wi, global)
 		workers[wi].node.SetSink(cfg.Sink)
+		workers[wi].node.Replan(cfg.Planner)
 	}
 
 	if cfg.Sink != nil {

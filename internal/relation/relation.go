@@ -551,3 +551,30 @@ func (ix *Index) Lookup(vals []ast.Value, lo, hi int, fn func(row int) bool) {
 		}
 	}
 }
+
+// Probe returns the ascending run of row ids in [lo,hi) whose indexed
+// columns equal vals, as a shared sub-slice of the postings arena — the
+// capturable form of Lookup that streaming iterators suspend over. Callers
+// must not modify it. The captured run is immune to relocation (abandoned
+// regions are never reused), and rows inserted after the probe have ids >=
+// the relation length at refresh time, hence >= any legal hi.
+func (ix *Index) Probe(vals []ast.Value, lo, hi int) []int32 {
+	ix.refresh()
+	h := hashVals(vals)
+	i := h & ix.mask
+	var run []int32
+	for {
+		s := ix.slots[i]
+		if s == 0 {
+			return nil
+		}
+		if e := &ix.entries[s-1]; e.hash == h && ix.keyEqualVals(e, vals) {
+			run = ix.post[e.off : e.off+e.n]
+			break
+		}
+		i = (i + 1) & ix.mask
+	}
+	start := sort.Search(len(run), func(k int) bool { return int(run[k]) >= lo })
+	end := start + sort.Search(len(run[start:]), func(k int) bool { return int(run[start+k]) >= hi })
+	return run[start:end]
+}

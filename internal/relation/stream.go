@@ -1,0 +1,101 @@
+package relation
+
+import "parlog/internal/ast"
+
+// Iterator is a single-use, pull-based stream of rows of one relation.
+// Tuples are views straight into the columnar arena (rows are immutable
+// once inserted), so consuming a tuple costs no copy; callers that retain
+// one across inserts must Clone it. Next returns nil when exhausted.
+//
+// Iterators are the composable half of the executor: Scan produces, Probe
+// restricts by an index lookup, Select filters — a probe→join→select
+// pipeline materializes nothing between stages.
+type Iterator interface {
+	Next() Tuple
+}
+
+// scanIter walks rows [next,hi) of a relation.
+type scanIter struct {
+	r        *Relation
+	next, hi int
+}
+
+func (s *scanIter) Next() Tuple {
+	if s.next >= s.hi {
+		return nil
+	}
+	t := s.r.Row(s.next)
+	s.next++
+	return t
+}
+
+// Scan streams rows [lo,hi) of r in insertion order. hi is clamped to the
+// relation's length at call time; rows inserted later are not observed.
+func Scan(r *Relation, lo, hi int) Iterator {
+	if r == nil {
+		return &scanIter{}
+	}
+	if n := r.Len(); hi > n {
+		hi = n
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	return &scanIter{r: r, next: lo, hi: hi}
+}
+
+// probeIter walks a captured index run (ascending row ids).
+type probeIter struct {
+	r   *Relation
+	run []int32
+}
+
+func (p *probeIter) Next() Tuple {
+	if len(p.run) == 0 {
+		return nil
+	}
+	t := p.r.Row(int(p.run[0]))
+	p.run = p.run[1:]
+	return t
+}
+
+// Probe streams the rows of r in [lo,hi) whose cols equal vals, in
+// insertion order, via a hash-index lookup. With no bound columns it
+// degenerates to a Scan. The index probe happens eagerly (vals may be
+// reused by the caller afterwards); iteration is lazy and — like
+// Index.Lookup — remains valid if the consumer inserts into r mid-stream.
+func Probe(r *Relation, cols []int, vals []ast.Value, lo, hi int) Iterator {
+	if r == nil {
+		return &scanIter{}
+	}
+	if len(cols) == 0 {
+		return Scan(r, lo, hi)
+	}
+	if n := r.Len(); hi > n {
+		hi = n
+	}
+	if lo >= hi {
+		return &probeIter{}
+	}
+	return &probeIter{r: r, run: r.IndexOn(cols...).Probe(vals, lo, hi)}
+}
+
+// selectIter filters an upstream iterator.
+type selectIter struct {
+	in   Iterator
+	keep func(Tuple) bool
+}
+
+func (s *selectIter) Next() Tuple {
+	for {
+		t := s.in.Next()
+		if t == nil || s.keep(t) {
+			return t
+		}
+	}
+}
+
+// Select streams the tuples of in for which keep returns true.
+func Select(in Iterator, keep func(Tuple) bool) Iterator {
+	return &selectIter{in: in, keep: keep}
+}

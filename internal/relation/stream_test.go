@@ -1,0 +1,95 @@
+package relation
+
+import (
+	"reflect"
+	"testing"
+
+	"parlog/internal/ast"
+)
+
+func drain(it Iterator) []Tuple {
+	var out []Tuple
+	for {
+		tup := it.Next()
+		if tup == nil {
+			return out
+		}
+		// Copy: tuples are live arena views.
+		out = append(out, append(Tuple(nil), tup...))
+	}
+}
+
+func pairRel(pairs ...[2]int) *Relation {
+	r := New(2)
+	for _, p := range pairs {
+		r.Insert(Tuple{ast.Value(p[0]), ast.Value(p[1])})
+	}
+	return r
+}
+
+func TestScanWindow(t *testing.T) {
+	r := pairRel([2]int{0, 1}, [2]int{1, 2}, [2]int{2, 3})
+	if got := drain(Scan(r, 0, r.Len())); len(got) != 3 {
+		t.Fatalf("full scan returned %d tuples", len(got))
+	}
+	got := drain(Scan(r, 1, 2))
+	want := []Tuple{{1, 2}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("window scan = %v, want %v", got, want)
+	}
+	if got := drain(Scan(r, 2, 100)); len(got) != 1 {
+		t.Fatalf("clamped scan returned %d tuples", len(got))
+	}
+	if got := drain(Scan(nil, 0, 5)); len(got) != 0 {
+		t.Fatalf("nil relation scan returned %d tuples", len(got))
+	}
+}
+
+func TestProbeStream(t *testing.T) {
+	r := pairRel([2]int{0, 1}, [2]int{0, 2}, [2]int{1, 2}, [2]int{0, 3})
+	got := drain(Probe(r, []int{0}, []ast.Value{0}, 0, r.Len()))
+	want := []Tuple{{0, 1}, {0, 2}, {0, 3}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("probe = %v, want %v", got, want)
+	}
+	// Window restriction: only rows [1, 3).
+	got = drain(Probe(r, []int{0}, []ast.Value{0}, 1, 3))
+	want = []Tuple{{0, 2}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("windowed probe = %v, want %v", got, want)
+	}
+	if got := drain(Probe(r, []int{0}, []ast.Value{9}, 0, r.Len())); len(got) != 0 {
+		t.Fatalf("miss probe returned %d tuples", len(got))
+	}
+	if got := drain(Probe(r, nil, nil, 0, r.Len())); len(got) != 4 {
+		t.Fatalf("no-column probe (scan) returned %d tuples", len(got))
+	}
+	if got := drain(Probe(nil, []int{0}, []ast.Value{0}, 0, 5)); len(got) != 0 {
+		t.Fatalf("nil relation probe returned %d tuples", len(got))
+	}
+}
+
+func TestSelectStream(t *testing.T) {
+	r := pairRel([2]int{0, 0}, [2]int{1, 2}, [2]int{3, 3}, [2]int{4, 5})
+	diag := Select(Scan(r, 0, r.Len()), func(tup Tuple) bool { return tup[0] == tup[1] })
+	got := drain(diag)
+	want := []Tuple{{0, 0}, {3, 3}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("select = %v, want %v", got, want)
+	}
+}
+
+func TestIndexProbeRunWindow(t *testing.T) {
+	r := pairRel([2]int{7, 1}, [2]int{7, 2}, [2]int{8, 1}, [2]int{7, 3})
+	ix := r.IndexOn(0)
+	run := ix.Probe([]ast.Value{7}, 0, r.Len())
+	if want := []int32{0, 1, 3}; !reflect.DeepEqual(run, want) {
+		t.Fatalf("full run = %v, want %v", run, want)
+	}
+	if run := ix.Probe([]ast.Value{7}, 1, 3); !reflect.DeepEqual(run, []int32{1}) {
+		t.Fatalf("windowed run = %v", run)
+	}
+	if run := ix.Probe([]ast.Value{99}, 0, r.Len()); len(run) != 0 {
+		t.Fatalf("miss run = %v", run)
+	}
+}

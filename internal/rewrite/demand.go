@@ -1,0 +1,219 @@
+package rewrite
+
+import (
+	"fmt"
+	"strings"
+
+	"parlog/internal/ast"
+)
+
+// Demand is the result of a magic-sets rewrite: a program specialized to
+// one goal atom, evaluating only the portion of the IDB the goal can reach
+// through its bound arguments.
+type Demand struct {
+	// Program is the rewritten program. It is positive, range-restricted
+	// Datalog (same class as the input), so every downstream consumer —
+	// the parallel schemes, network.Derive, the engines — applies
+	// unchanged.
+	Program *ast.Program
+	// Goal is the adorned goal atom; its predicate names the relation that
+	// holds exactly the original goal predicate's tuples matching the
+	// goal's bound arguments.
+	Goal ast.Atom
+	// Adornment is the goal's binding pattern, 'b' for bound (constant)
+	// and 'f' for free argument positions.
+	Adornment string
+	// SeedPred is an EDB predicate the caller must populate with SeedTuple
+	// before evaluating Program: it carries the goal's bound constants
+	// into the magic fixpoint. Seeding through the EDB (rather than an IDB
+	// fact) keeps the rewritten program acceptable to every engine,
+	// including the parallel runtime's EDB partitioner.
+	SeedPred  string
+	SeedTuple []ast.Value
+	// MagicRules counts the demand rules (magic + seed) in Program;
+	// Rules is the total rule count.
+	MagicRules int
+	Rules      int
+}
+
+// adornedPred names the goal-specialized copy of pred under adornment a.
+// '@' cannot appear in parsed identifiers (same collision-freedom argument
+// as OutPred).
+func adornedPred(pred, a string) string { return pred + "@" + a }
+
+// magicPred names the demand predicate of pred under adornment a: it holds
+// the bound-argument combinations for which answers are demanded.
+func magicPred(pred, a string) string { return pred + "@m@" + a }
+
+// seedPred names the EDB predicate seeding the goal's own magic set.
+func seedPred(pred, a string) string { return pred + "@seed@" + a }
+
+// adornAtom computes the binding pattern of a body atom given the set of
+// already-bound variables: constants and bound variables are 'b', the rest
+// 'f'.
+func adornAtom(a ast.Atom, bound map[string]bool) string {
+	var b strings.Builder
+	for _, t := range a.Args {
+		if !t.IsVar() || bound[t.VarName] {
+			b.WriteByte('b')
+		} else {
+			b.WriteByte('f')
+		}
+	}
+	return b.String()
+}
+
+// boundArgs returns the terms of a at the 'b' positions of adornment ad.
+func boundArgs(a ast.Atom, ad string) []ast.Term {
+	var out []ast.Term
+	for i, c := range ad {
+		if c == 'b' {
+			out = append(out, a.Args[i])
+		}
+	}
+	return out
+}
+
+// DemandRewrite specializes prog to goal with the magic-sets (demand)
+// transformation under the left-to-right sideways information passing
+// strategy. It returns nil (and no error) when the rewrite does not apply:
+// the goal has no bound arguments, its predicate is not derived, or the
+// program uses negation or constraint atoms (whose strata the rewrite
+// could distort). Callers then evaluate the original program.
+func DemandRewrite(prog *ast.Program, goal ast.Atom) (*Demand, error) {
+	idb := make(map[string]bool)
+	arities := prog.Arities()
+	for _, r := range prog.Rules {
+		if !r.IsFact() {
+			idb[r.Head.Pred] = true
+		}
+	}
+	if ar, ok := arities[goal.Pred]; ok && ar != goal.Arity() {
+		return nil, fmt.Errorf("rewrite: goal %s has arity %d, program uses %d", goal.Pred, goal.Arity(), ar)
+	}
+	if !idb[goal.Pred] {
+		return nil, nil
+	}
+	for _, r := range prog.Rules {
+		if len(r.Negated) > 0 || len(r.Constraints) > 0 {
+			return nil, nil
+		}
+	}
+	goalAd := adornAtom(goal, nil)
+	if !strings.Contains(goalAd, "b") {
+		return nil, nil
+	}
+
+	out := &ast.Program{Interner: prog.Interner}
+	d := &Demand{Program: out, Adornment: goalAd}
+
+	// EDB facts pass through untouched; IDB facts are folded into the
+	// per-adornment rule groups below (answering only when demanded).
+	for _, r := range prog.Rules {
+		if r.IsFact() && !idb[r.Head.Pred] {
+			out.AddRule(r.Clone())
+		}
+	}
+
+	type job struct{ pred, ad string }
+	queue := []job{{goal.Pred, goalAd}}
+	seen := map[job]bool{queue[0]: true}
+	magicSeen := map[string]bool{}
+	for len(queue) > 0 {
+		j := queue[0]
+		queue = queue[1:]
+		hasBound := strings.Contains(j.ad, "b")
+		for _, r := range prog.Rules {
+			if r.Head.Pred != j.pred {
+				continue
+			}
+			// The adorned rule's body: the magic guard, then the original
+			// atoms left to right with IDB atoms renamed to their
+			// adornment under the bindings accumulated so far.
+			var body []ast.Atom
+			bound := make(map[string]bool)
+			if hasBound {
+				guard := ast.NewAtom(magicPred(j.pred, j.ad), boundArgs(r.Head, j.ad)...)
+				body = append(body, guard)
+				for _, t := range guard.Args {
+					if t.IsVar() {
+						bound[t.VarName] = true
+					}
+				}
+			}
+			for _, a := range r.Body {
+				if idb[a.Pred] {
+					ad := adornAtom(a, bound)
+					if strings.Contains(ad, "b") {
+						// Demand rule: the sub-goal's bound arguments are
+						// demanded whenever the prefix up to it succeeds.
+						magic := ast.Rule{
+							Head: ast.NewAtom(magicPred(a.Pred, ad), boundArgs(a, ad)...),
+							Body: cloneAtoms(body),
+						}
+						if key := magic.Head.String() + " :- " + atomsKey(magic.Body); !magicSeen[key] {
+							magicSeen[key] = true
+							out.AddRule(magic)
+							d.MagicRules++
+						}
+					}
+					if !seen[job{a.Pred, ad}] {
+						seen[job{a.Pred, ad}] = true
+						queue = append(queue, job{a.Pred, ad})
+					}
+					body = append(body, ast.NewAtom(adornedPred(a.Pred, ad), cloneTerms(a.Args)...))
+				} else {
+					body = append(body, a.Clone())
+				}
+				for _, t := range a.Args {
+					if t.IsVar() {
+						bound[t.VarName] = true
+					}
+				}
+			}
+			out.AddRule(ast.Rule{
+				Head: ast.NewAtom(adornedPred(j.pred, j.ad), cloneTerms(r.Head.Args)...),
+				Body: body,
+			})
+		}
+	}
+
+	// Seed the goal's magic set from an EDB predicate holding the bound
+	// constants.
+	d.SeedPred = seedPred(goal.Pred, goalAd)
+	seedVars := make([]ast.Term, 0, len(goalAd))
+	for i, c := range goalAd {
+		if c == 'b' {
+			d.SeedTuple = append(d.SeedTuple, goal.Args[i].Value)
+			seedVars = append(seedVars, ast.V(fmt.Sprintf("B%d", i)))
+		}
+	}
+	out.AddRule(ast.Rule{
+		Head: ast.NewAtom(magicPred(goal.Pred, goalAd), seedVars...),
+		Body: []ast.Atom{ast.NewAtom(d.SeedPred, seedVars...)},
+	})
+	d.MagicRules++
+	d.Rules = len(out.Rules)
+
+	g := goal.Clone()
+	g.Pred = adornedPred(goal.Pred, goalAd)
+	d.Goal = g
+	return d, nil
+}
+
+func cloneTerms(ts []ast.Term) []ast.Term {
+	out := make([]ast.Term, len(ts))
+	copy(out, ts)
+	return out
+}
+
+func atomsKey(atoms []ast.Atom) string {
+	var b strings.Builder
+	for i, a := range atoms {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(a.String())
+	}
+	return b.String()
+}

@@ -1,0 +1,190 @@
+package rewrite
+
+import (
+	"testing"
+
+	"parlog/internal/ast"
+	"parlog/internal/parser"
+	"parlog/internal/relation"
+	"parlog/internal/seminaive"
+)
+
+const leftLinearAncestor = `
+anc(X, Y) :- par(X, Y).
+anc(X, Y) :- anc(X, Z), par(Z, Y).
+`
+
+// evalDemand rewrites prog for goal, evaluates the rewritten program with
+// the seed installed, and returns the rewrite plus the output store and
+// stats. Fails the test if the rewrite does not apply.
+func evalDemand(t *testing.T, prog *ast.Program, goal ast.Atom) (*Demand, relation.Store, *seminaive.Stats) {
+	t.Helper()
+	d, err := DemandRewrite(prog, goal)
+	if err != nil {
+		t.Fatalf("DemandRewrite: %v", err)
+	}
+	if d == nil {
+		t.Fatalf("DemandRewrite did not apply to goal %s", goal)
+	}
+	seed := relation.New(len(d.SeedTuple))
+	seed.Insert(relation.Tuple(d.SeedTuple))
+	store := relation.Store{d.SeedPred: seed}
+	out, stats, err := seminaive.Eval(d.Program, store, seminaive.Options{})
+	if err != nil {
+		t.Fatalf("eval rewritten program: %v\n%s", err, d.Program)
+	}
+	return d, out, stats
+}
+
+// matches collects the tuples of rel whose bound positions agree with goal.
+func matches(rel *relation.Relation, goal ast.Atom) map[string]bool {
+	out := map[string]bool{}
+	if rel == nil {
+		return out
+	}
+	for _, tup := range rel.Rows() {
+		ok := true
+		for i, arg := range goal.Args {
+			if !arg.IsVar() && tup[i] != arg.Value {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out[tup.Key()] = true
+		}
+	}
+	return out
+}
+
+func storeSize(s relation.Store) int {
+	n := 0
+	for _, rel := range s {
+		n += rel.Len()
+	}
+	return n
+}
+
+// TestDemandAncestorBf checks that the bf-adorned rewrite of the
+// left-linear ancestor program returns exactly the goal's answers, while
+// deriving far fewer tuples than the undirected fixpoint.
+func TestDemandAncestorBf(t *testing.T) {
+	prog, err := parser.Parse(leftLinearAncestor + chainFacts(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, _ := prog.Interner.Lookup("v90")
+	goal := ast.NewAtom("anc", ast.C(src), ast.V("X"))
+
+	full, fullStats, err := seminaive.Eval(prog, relation.Store{}, seminaive.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := matches(full["anc"], goal)
+	if len(want) != 10 {
+		t.Fatalf("chain sanity: %d answers from v90, want 10", len(want))
+	}
+
+	d, out, stats := evalDemand(t, prog, goal)
+	if d.Adornment != "bf" {
+		t.Fatalf("adornment = %q, want bf", d.Adornment)
+	}
+	got := matches(out[d.Goal.Pred], d.Goal)
+	if len(got) != len(want) {
+		t.Fatalf("demand answers = %d, full answers = %d", len(got), len(want))
+	}
+	for tup := range want {
+		if !got[tup] {
+			t.Fatalf("demand evaluation missing answer %s", tup)
+		}
+	}
+	// On the left-linear program with the goal near the chain's end, magic
+	// keeps the frontier at {v90}: the undirected fixpoint derives ~5050
+	// anc tuples, the demand-directed one ~10.
+	fullDerived := full["anc"].Len()
+	demandDerived := storeSize(out) - storeSize(relation.Store{"par": out["par"]})
+	if demandDerived*2 > fullDerived {
+		t.Fatalf("demand derived %d tuples, full %d: expected >=2x reduction", demandDerived, fullDerived)
+	}
+	if stats.Firings >= fullStats.Firings {
+		t.Fatalf("demand fired %d >= full %d", stats.Firings, fullStats.Firings)
+	}
+}
+
+// TestDemandRightLinear checks answer equality on the right-linear variant
+// too (where magic grows along the chain instead of staying a singleton).
+func TestDemandRightLinear(t *testing.T) {
+	prog, err := parser.Parse(ancestorRules + chainFacts(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, _ := prog.Interner.Lookup("v5")
+	goal := ast.NewAtom("anc", ast.C(src), ast.V("X"))
+
+	full, _, err := seminaive.Eval(prog, relation.Store{}, seminaive.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := matches(full["anc"], goal)
+
+	d, out, _ := evalDemand(t, prog, goal)
+	got := matches(out[d.Goal.Pred], d.Goal)
+	if len(got) != len(want) || len(want) == 0 {
+		t.Fatalf("demand answers = %d, full answers = %d", len(got), len(want))
+	}
+}
+
+// TestDemandFullyBoundGoal exercises the bb adornment (existence query).
+func TestDemandFullyBoundGoal(t *testing.T) {
+	prog, err := parser.Parse(leftLinearAncestor + chainFacts(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := prog.Interner.Lookup("v3")
+	b, _ := prog.Interner.Lookup("v17")
+	goal := ast.NewAtom("anc", ast.C(a), ast.C(b))
+	d, out, _ := evalDemand(t, prog, goal)
+	if d.Adornment != "bb" {
+		t.Fatalf("adornment = %q", d.Adornment)
+	}
+	if got := matches(out[d.Goal.Pred], d.Goal); len(got) != 1 {
+		t.Fatalf("bb goal answers = %d, want 1", len(got))
+	}
+}
+
+// TestDemandDoesNotApply covers the graceful declines.
+func TestDemandDoesNotApply(t *testing.T) {
+	prog, err := parser.Parse(leftLinearAncestor + chainFacts(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All-free goal: no binding to propagate.
+	d, err := DemandRewrite(prog, ast.NewAtom("anc", ast.V("X"), ast.V("Y")))
+	if err != nil || d != nil {
+		t.Fatalf("all-free goal: d=%v err=%v, want nil,nil", d, err)
+	}
+	// EDB goal.
+	src, _ := prog.Interner.Lookup("v0")
+	d, err = DemandRewrite(prog, ast.NewAtom("par", ast.C(src), ast.V("X")))
+	if err != nil || d != nil {
+		t.Fatalf("EDB goal: d=%v err=%v, want nil,nil", d, err)
+	}
+	// Arity mismatch is a hard error.
+	if _, err = DemandRewrite(prog, ast.NewAtom("anc", ast.C(src))); err == nil {
+		t.Fatal("arity mismatch: want error")
+	}
+	// Negation anywhere in the program declines the rewrite.
+	nprog, err := parser.Parse(`
+p(X) :- e(X), !q(X).
+q(X) :- f(X).
+e(a). f(b).
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	na, _ := nprog.Interner.Lookup("a")
+	d, err = DemandRewrite(nprog, ast.NewAtom("p", ast.C(na)))
+	if err != nil || d != nil {
+		t.Fatalf("negated program: d=%v err=%v, want nil,nil", d, err)
+	}
+}

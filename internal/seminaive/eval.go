@@ -23,6 +23,36 @@ type Options struct {
 	// Sink, when non-nil, receives the evaluation's event stream; the
 	// sequential engine reports as processor 0.
 	Sink obs.EventSink
+	// Planner selects the join-order planner for compiled rule plans;
+	// PlanBoundness (the zero value) is the legacy order that golden traces
+	// pin. PlanGreedy additionally consults relation cardinalities at
+	// compile time.
+	Planner PlanMode
+	// OnPlan, when non-nil, observes every compiled plan (one call per
+	// delta variant) — the hook Result.Explain() is built on.
+	OnPlan func(*Plan)
+}
+
+// planConfig builds the compile-time configuration, sampling relation
+// cardinalities from store. Lower-SCC cardinalities are exact by the time a
+// rule compiles, because SCCs evaluate in topological order.
+func (o Options) planConfig(store relation.Store) PlanConfig {
+	return PlanConfig{Mode: o.Planner, Card: func(pred string) int {
+		if rel, ok := store[pred]; ok {
+			return rel.Len()
+		}
+		return 0
+	}}
+}
+
+// observePlan reports a freshly compiled plan to the OnPlan hook and the
+// event stream.
+func (o Options) observePlan(p *Plan) *Plan {
+	if o.OnPlan != nil {
+		o.OnPlan(p)
+	}
+	obs.PlanCompiled(o.Sink, 0, p.Rule.Head.Pred, p.Moved(), p.Pushdowns())
+	return p
 }
 
 // interrupted reports a pending cancellation of opts.Ctx.
@@ -167,8 +197,9 @@ func evalSCC(nonRec, rec []ast.Rule, inSCC map[string]bool, store relation.Store
 		opts.Sink.IterationStart(0, 0)
 	}
 	newBeforeInit := stats.New
+	cfg := opts.planConfig(store)
 	for _, r := range nonRec {
-		plan := Compile(r, nil)
+		plan := opts.observePlan(CompileWith(r, nil, cfg))
 		head := r.Head.Pred
 		rel := store.Get(head, r.Head.Arity())
 		newBefore := stats.New
@@ -205,8 +236,12 @@ func evalSCC(nonRec, rec []ast.Rule, inSCC map[string]bool, store relation.Store
 				recAtoms = append(recAtoms, j)
 			}
 		}
+		plans := DeltaVariantsWith(r, recAtoms, cfg)
+		for _, pl := range plans {
+			opts.observePlan(pl)
+		}
 		cs = append(cs, compiled{
-			plans: DeltaVariants(r, recAtoms),
+			plans: plans,
 			head:  r.Head.Pred,
 			arity: r.Head.Arity(),
 		})
@@ -287,8 +322,9 @@ func evalSCC(nonRec, rec []ast.Rule, inSCC map[string]bool, store relation.Store
 // evalNaive iterates every rule over the full store until fixpoint.
 func evalNaive(rules []ast.Rule, store relation.Store, stats *Stats, opts Options) error {
 	plans := make([]*Plan, len(rules))
+	cfg := opts.planConfig(store)
 	for i, r := range rules {
-		plans[i] = Compile(r, nil)
+		plans[i] = opts.observePlan(CompileWith(r, nil, cfg))
 	}
 	for {
 		stats.Iterations++

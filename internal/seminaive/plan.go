@@ -56,6 +56,50 @@ func (w *Watermarks) bounds(pred string, kind RangeKind, n int) (lo, hi int) {
 	}
 }
 
+// PlanMode selects the join-order planner.
+type PlanMode int
+
+const (
+	// PlanBoundness is the legacy order: start at the first delta atom (or
+	// atom 0) and greedily append the atom with the most bound argument
+	// positions, lowest body index on ties. Cardinalities are ignored, so
+	// plans depend only on the rule text — the mode golden and lockstep
+	// traces are pinned against.
+	PlanBoundness PlanMode = iota
+	// PlanGreedy refines PlanBoundness with relation cardinalities: among
+	// equally bound atoms the smaller relation joins first, and when no
+	// delta atom dictates the start, the start atom is the one with the
+	// most constant arguments and then the smallest relation. Statistics
+	// free and deterministic: boundness desc, cardinality asc, body
+	// position asc.
+	PlanGreedy
+	// PlanLeftToRight joins body atoms in strict textual order — the
+	// ablation baseline the planner is measured against.
+	PlanLeftToRight
+)
+
+// String names the mode for reports and explain output.
+func (m PlanMode) String() string {
+	switch m {
+	case PlanGreedy:
+		return "greedy"
+	case PlanLeftToRight:
+		return "left-to-right"
+	default:
+		return "boundness"
+	}
+}
+
+// PlanConfig parameterizes plan compilation. The zero value reproduces the
+// legacy planner exactly.
+type PlanConfig struct {
+	Mode PlanMode
+	// Card reports a predicate's relation cardinality at compile time;
+	// nil means unknown (PlanGreedy then degrades to PlanBoundness order).
+	// Called only while compiling — plans never consult it at run time.
+	Card func(pred string) int
+}
+
 // Plan is a compiled evaluation strategy for one rule variant: a join order
 // over the body atoms, the range each atom reads, slot-compiled variable
 // access (no maps on the hot path), and the earliest point at which each
@@ -67,6 +111,8 @@ type Plan struct {
 	// Ranges[i] is the range kind for body atom i (indexed by body position,
 	// not execution position).
 	Ranges []RangeKind
+	// Mode is the planner mode the plan was compiled under.
+	Mode PlanMode
 
 	slotOf map[string]int // variable name → dense slot
 	atoms  []atomExec     // one per Order entry
@@ -76,6 +122,9 @@ type Plan struct {
 	zeroChecks []compiledConstraint
 	// zeroNegs are ground negation probes of bodiless rules.
 	zeroNegs []compiledNegation
+	// constraintPos[k] is the execution position at which the k-th rule
+	// constraint is checked; -1 for variable-free pre-join checks.
+	constraintPos []int
 }
 
 // slotOrConst addresses either a variable slot or an inline constant.
@@ -123,16 +172,110 @@ type compiledNegation struct {
 }
 
 // Compile builds a plan for rule with the given per-atom ranges (nil for an
-// all-RangeFull plan). The join order starts from the first delta atom (or
-// atom 0) and greedily appends the atom with the most bound argument
-// positions. Rules may carry *ast.HashConstraint conditions; other
-// Constraint implementations are rejected.
+// all-RangeFull plan) under the legacy PlanBoundness order: start from the
+// first delta atom (or atom 0) and greedily append the atom with the most
+// bound argument positions. Rules may carry *ast.HashConstraint conditions;
+// other Constraint implementations are rejected.
 func Compile(rule ast.Rule, ranges []RangeKind) *Plan {
+	return CompileWith(rule, ranges, PlanConfig{})
+}
+
+// chooseOrder picks the execution order of the body atoms under cfg. All
+// modes are deterministic functions of (rule, ranges, cardinalities), so
+// repeated compiles — and lockstep replays — agree.
+func chooseOrder(rule ast.Rule, ranges []RangeKind, cfg PlanConfig) []int {
+	n := len(rule.Body)
+	order := make([]int, 0, n)
+	if cfg.Mode == PlanLeftToRight {
+		for i := 0; i < n; i++ {
+			order = append(order, i)
+		}
+		return order
+	}
+	card := func(i int) int {
+		if cfg.Card == nil {
+			return 1 << 30
+		}
+		return cfg.Card(rule.Body[i].Pred)
+	}
+
+	// Start atom: the delta atom when one exists (each delta variant has at
+	// most one, and starting there keeps the enumeration proportional to the
+	// delta). Otherwise atom 0, unless PlanGreedy finds a more selective
+	// seed: most constant arguments, then smallest relation, then lowest
+	// body index.
+	first := -1
+	for i, k := range ranges {
+		if k == RangeDelta {
+			first = i
+			break
+		}
+	}
+	if first < 0 {
+		first = 0
+		if cfg.Mode == PlanGreedy {
+			bestConsts, bestCard := -1, 0
+			for i := 0; i < n; i++ {
+				consts := 0
+				for _, t := range rule.Body[i].Args {
+					if !t.IsVar() {
+						consts++
+					}
+				}
+				if consts > bestConsts || (consts == bestConsts && card(i) < bestCard) {
+					first, bestConsts, bestCard = i, consts, card(i)
+				}
+			}
+		}
+	}
+
+	used := make([]bool, n)
+	bound := map[string]bool{}
+	take := func(i int) {
+		used[i] = true
+		order = append(order, i)
+		for _, t := range rule.Body[i].Args {
+			if t.IsVar() {
+				bound[t.VarName] = true
+			}
+		}
+	}
+	take(first)
+	for len(order) < n {
+		best, bestScore, bestCard := -1, -1, 0
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			score := 0
+			for _, t := range rule.Body[i].Args {
+				if !t.IsVar() || bound[t.VarName] {
+					score++
+				}
+			}
+			better := score > bestScore
+			if !better && cfg.Mode == PlanGreedy && score == bestScore && card(i) < bestCard {
+				better = true
+			}
+			if better {
+				best, bestScore, bestCard = i, score, card(i)
+			}
+		}
+		take(best)
+	}
+	return order
+}
+
+// CompileWith builds a plan for rule with the given per-atom ranges (nil for
+// an all-RangeFull plan) under the planner configuration cfg. Constraints
+// are pushed to the earliest execution position at which their variables
+// are bound, whatever order the planner picked.
+func CompileWith(rule ast.Rule, ranges []RangeKind, cfg PlanConfig) *Plan {
 	n := len(rule.Body)
 	if ranges == nil {
 		ranges = make([]RangeKind, n)
 	}
-	p := &Plan{Rule: rule, Ranges: ranges, slotOf: make(map[string]int)}
+	p := &Plan{Rule: rule, Ranges: ranges, Mode: cfg.Mode, slotOf: make(map[string]int)}
 
 	slot := func(name string) int {
 		if s, ok := p.slotOf[name]; ok {
@@ -144,43 +287,7 @@ func Compile(rule ast.Rule, ranges []RangeKind) *Plan {
 	}
 
 	if n > 0 {
-		first := 0
-		for i, k := range ranges {
-			if k == RangeDelta {
-				first = i
-				break
-			}
-		}
-		used := make([]bool, n)
-		bound := map[string]bool{}
-		take := func(i int) {
-			used[i] = true
-			p.Order = append(p.Order, i)
-			for _, t := range rule.Body[i].Args {
-				if t.IsVar() {
-					bound[t.VarName] = true
-				}
-			}
-		}
-		take(first)
-		for len(p.Order) < n {
-			best, bestScore := -1, -1
-			for i := 0; i < n; i++ {
-				if used[i] {
-					continue
-				}
-				score := 0
-				for _, t := range rule.Body[i].Args {
-					if !t.IsVar() || bound[t.VarName] {
-						score++
-					}
-				}
-				if score > bestScore {
-					best, bestScore = i, score
-				}
-			}
-			take(best)
-		}
+		p.Order = chooseOrder(rule, ranges, cfg)
 	}
 
 	// Compile the atoms against the boundness state along the order.
@@ -237,10 +344,12 @@ func Compile(rule ast.Rule, ranges []RangeKind) *Plan {
 		}
 		if len(hc.Args) == 0 || n == 0 {
 			p.zeroChecks = append(p.zeroChecks, cc)
+			p.constraintPos = append(p.constraintPos, -1)
 			continue
 		}
 		pos := earliestCovered(rule, p.Order, hc.Args)
 		p.atoms[pos].constraints = append(p.atoms[pos].constraints, cc)
+		p.constraintPos = append(p.constraintPos, pos)
 	}
 
 	// Attach each negated atom likewise; safety guarantees its variables are
@@ -263,6 +372,36 @@ func Compile(rule ast.Rule, ranges []RangeKind) *Plan {
 		p.atoms[pos].negations = append(p.atoms[pos].negations, cn)
 	}
 	return p
+}
+
+// Moved reports how many body atoms execute at a position different from
+// their textual one — the planner's reordering footprint.
+func (p *Plan) Moved() int {
+	moved := 0
+	for k, idx := range p.Order {
+		if k != idx {
+			moved++
+		}
+	}
+	return moved
+}
+
+// ConstraintPositions reports, per rule constraint in declaration order, the
+// execution position (index into Order) at which the plan checks it; -1
+// marks variable-free constraints checked once before enumeration. A
+// position before the last join level means the constraint was pushed down.
+func (p *Plan) ConstraintPositions() []int { return p.constraintPos }
+
+// Pushdowns counts constraints checked strictly before the final join
+// level — the ones whose early placement prunes the enumeration.
+func (p *Plan) Pushdowns() int {
+	pushed := 0
+	for _, pos := range p.constraintPos {
+		if pos < len(p.Order)-1 {
+			pushed++
+		}
+	}
+	return pushed
 }
 
 // Slots reports the number of variable slots; Enumerate hands fn a value
@@ -448,8 +587,14 @@ func (p *Plan) HeadArity() int { return len(p.head) }
 // over variants enumerates every ground substitution involving at least one
 // delta tuple exactly once.
 func DeltaVariants(rule ast.Rule, recAtoms []int) []*Plan {
+	return DeltaVariantsWith(rule, recAtoms, PlanConfig{})
+}
+
+// DeltaVariantsWith is DeltaVariants under an explicit planner
+// configuration.
+func DeltaVariantsWith(rule ast.Rule, recAtoms []int, cfg PlanConfig) []*Plan {
 	if len(recAtoms) == 0 {
-		return []*Plan{Compile(rule, nil)}
+		return []*Plan{CompileWith(rule, nil, cfg)}
 	}
 	sorted := append([]int(nil), recAtoms...)
 	sort.Ints(sorted)
@@ -466,7 +611,7 @@ func DeltaVariants(rule ast.Rule, recAtoms []int) []*Plan {
 				ranges[rj] = RangeFull
 			}
 		}
-		plans = append(plans, Compile(rule, ranges))
+		plans = append(plans, CompileWith(rule, ranges, cfg))
 	}
 	return plans
 }

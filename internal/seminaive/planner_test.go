@@ -1,0 +1,203 @@
+package seminaive
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"parlog/internal/ast"
+	"parlog/internal/parser"
+	"parlog/internal/relation"
+)
+
+// mustRule parses a single rule.
+func mustRule(t *testing.T, src string) ast.Rule {
+	t.Helper()
+	p, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return p.Rules[0]
+}
+
+func TestPlanLeftToRightOrder(t *testing.T) {
+	r := mustRule(t, "h(X, Y) :- a(X, Z), b(Z, Y), c(Y, X).")
+	p := CompileWith(r, nil, PlanConfig{Mode: PlanLeftToRight})
+	if want := []int{0, 1, 2}; !reflect.DeepEqual(p.Order, want) {
+		t.Fatalf("left-to-right order = %v, want %v", p.Order, want)
+	}
+	if p.Moved() != 0 {
+		t.Fatalf("left-to-right moved %d atoms", p.Moved())
+	}
+}
+
+func TestGreedyPrefersSmallerRelationOnTies(t *testing.T) {
+	// With X bound by the first atom, b and c are equally bound (one bound
+	// arg each); the greedy planner must pick the smaller relation next.
+	r := mustRule(t, "h(X) :- a(X), b(X, Y), c(X, Z).")
+	card := map[string]int{"a": 1, "b": 100, "c": 5}
+	cfg := PlanConfig{Mode: PlanGreedy, Card: func(pred string) int { return card[pred] }}
+	p := CompileWith(r, nil, cfg)
+	if want := []int{0, 2, 1}; !reflect.DeepEqual(p.Order, want) {
+		t.Fatalf("greedy order = %v, want %v (c before b: 5 < 100 rows)", p.Order, want)
+	}
+	if p.Moved() != 2 {
+		t.Fatalf("Moved() = %d, want 2", p.Moved())
+	}
+}
+
+func TestGreedySeedsAtConstantAtom(t *testing.T) {
+	// No delta atom: the greedy start is the atom with the most constant
+	// arguments, not atom 0.
+	r := mustRule(t, "h(X, Y) :- e(X, Y), e(a, X).")
+	cfg := PlanConfig{Mode: PlanGreedy, Card: func(string) int { return 10 }}
+	p := CompileWith(r, nil, cfg)
+	if p.Order[0] != 1 {
+		t.Fatalf("greedy start = atom %d, want 1 (it has a constant)", p.Order[0])
+	}
+	// The legacy planner keeps atom 0 first (tie on zero bound args is
+	// broken by body position: atom 0 scores 0, atom 1 scores 1... check
+	// the actual legacy behavior instead of guessing).
+	legacy := Compile(r, nil)
+	if legacy.Order[0] != 0 {
+		t.Fatalf("legacy start = atom %d, want 0", legacy.Order[0])
+	}
+}
+
+func TestDefaultModeOrderUnchanged(t *testing.T) {
+	// The zero-config Compile must produce the same order as before the
+	// planner existed: first delta atom, then most-bound with lowest-index
+	// ties — golden traces depend on it.
+	r := mustRule(t, "h(X, Y) :- e(X, Z), t(Z, Y), e(Y, W).")
+	ranges := []RangeKind{RangeFull, RangeDelta, RangeFull}
+	p := Compile(r, ranges)
+	if want := []int{1, 0, 2}; !reflect.DeepEqual(p.Order, want) {
+		t.Fatalf("legacy delta order = %v, want %v", p.Order, want)
+	}
+	if p.Mode != PlanBoundness {
+		t.Fatalf("default mode = %v", p.Mode)
+	}
+}
+
+// buildChainStore returns a store with e = a 4-chain and t empty.
+func buildChainStore() relation.Store {
+	store := relation.Store{}
+	e := relation.New(2)
+	for i := 0; i < 4; i++ {
+		e.Insert(relation.Tuple{ast.Value(i), ast.Value(i + 1)})
+	}
+	store["e"] = e
+	return store
+}
+
+// enumerateAll drains a plan via Enumerate into sorted head tuples.
+func enumerateAll(p *Plan, store relation.Store, w *Watermarks) []relation.Tuple {
+	var out []relation.Tuple
+	p.Enumerate(store, w, func(vals []ast.Value) bool {
+		out = append(out, p.HeadTuple(vals))
+		return true
+	})
+	sortTuples(out)
+	return out
+}
+
+// streamAll drains the same plan via the Cursor.
+func streamAll(p *Plan, store relation.Store, w *Watermarks) []relation.Tuple {
+	cur := p.Stream(store, w)
+	var out []relation.Tuple
+	for cur.Next() {
+		out = append(out, cur.Head())
+	}
+	sortTuples(out)
+	return out
+}
+
+func sortTuples(ts []relation.Tuple) {
+	sort.Slice(ts, func(i, j int) bool {
+		for k := range ts[i] {
+			if ts[i][k] != ts[j][k] {
+				return ts[i][k] < ts[j][k]
+			}
+		}
+		return false
+	})
+}
+
+func tuplesEqual(a, b []relation.Tuple) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for k := range a[i] {
+			if a[i][k] != b[i][k] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestCursorMatchesEnumerate checks the streaming executor against the
+// callback executor over joins, constants, repeated variables, negation
+// and watermarked ranges, under every planner mode.
+func TestCursorMatchesEnumerate(t *testing.T) {
+	store := buildChainStore()
+	neg := relation.New(2)
+	neg.Insert(relation.Tuple{ast.Value(0), ast.Value(1)})
+	store["bad"] = neg
+
+	rules := []string{
+		"h(X, Y) :- e(X, Y).",
+		"h(X, Y) :- e(X, Z), e(Z, Y).",
+		"h(X, Y) :- e(X, Z), e(Z, Y), e(Y, W).",
+		"h(X, X) :- e(X, X).",
+		"h(X, Y) :- e(X, Y), !bad(X, Y).",
+	}
+	w := &Watermarks{
+		Prev: map[string]int{"e": 1},
+		Cur:  map[string]int{"e": 3},
+	}
+	for _, src := range rules {
+		r := mustRule(t, src)
+		for _, mode := range []PlanMode{PlanBoundness, PlanGreedy, PlanLeftToRight} {
+			cfg := PlanConfig{Mode: mode, Card: func(pred string) int {
+				if rel, ok := store[pred]; ok {
+					return rel.Len()
+				}
+				return 0
+			}}
+			for _, ranges := range [][]RangeKind{nil, make([]RangeKind, len(r.Body))} {
+				p := CompileWith(r, ranges, cfg)
+				var wm *Watermarks
+				if ranges != nil {
+					ranges[0] = RangeDelta
+					wm = w
+				}
+				want := enumerateAll(p, store, wm)
+				got := streamAll(p, store, wm)
+				if !tuplesEqual(got, want) {
+					t.Fatalf("%s mode=%v wm=%v: cursor %v != enumerate %v", src, mode, wm != nil, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestCursorBodilessConstructed checks the fire-once path.
+func TestCursorBodilessConstructed(t *testing.T) {
+	r := ast.Rule{Head: ast.NewAtom("h", ast.C(7))}
+	p := Compile(r, nil)
+	cur := p.Stream(relation.Store{}, nil)
+	if !cur.Next() {
+		t.Fatal("bodiless rule should fire once")
+	}
+	if got := cur.Head(); got[0] != 7 {
+		t.Fatalf("head = %v", got)
+	}
+	if cur.Next() {
+		t.Fatal("bodiless rule fired twice")
+	}
+}

@@ -1,0 +1,212 @@
+package seminaive
+
+import (
+	"parlog/internal/ast"
+	"parlog/internal/relation"
+)
+
+// Cursor is a single-use streaming enumeration of a plan: the pull-based
+// counterpart of Plan.Enumerate, composed from the relation package's
+// probe→join→select iterators. Each call to Next suspends the backtracking
+// join at the next satisfying ground substitution instead of driving a
+// callback, which is what lets Query hand tuples out one at a time.
+//
+// A cursor holds per-level iterators over the columnar arena; the store
+// must not lose relations while the cursor is live (inserts are fine — the
+// bounds were captured at open time, matching Enumerate's semantics).
+type Cursor struct {
+	p     *Plan
+	store relation.Store
+	w     *Watermarks
+
+	vals    []ast.Value
+	iters   []relation.Iterator
+	depth   int
+	started bool
+	done    bool
+	fired   int64
+
+	lookup []ast.Value
+	hargs  []ast.Value
+	negBuf relation.Tuple
+}
+
+// Stream opens a cursor over the plan's enumeration under watermarks w
+// (nil for full extents).
+func (p *Plan) Stream(store relation.Store, w *Watermarks) *Cursor {
+	return &Cursor{
+		p:      p,
+		store:  store,
+		w:      w,
+		vals:   make([]ast.Value, len(p.slotOf)),
+		iters:  make([]relation.Iterator, len(p.atoms)),
+		lookup: make([]ast.Value, 0, 8),
+		hargs:  make([]ast.Value, 0, 8),
+		negBuf: make(relation.Tuple, 0, 8),
+	}
+}
+
+// Vals exposes the slot-value array of the current substitution; valid
+// after Next returns true, reused by the following Next.
+func (c *Cursor) Vals() []ast.Value { return c.vals }
+
+// Head instantiates the rule head from the current substitution (freshly
+// allocated, safe to retain).
+func (c *Cursor) Head() relation.Tuple { return c.p.HeadTuple(c.vals) }
+
+// Fired reports the substitutions yielded so far.
+func (c *Cursor) Fired() int64 { return c.fired }
+
+// Next advances to the next satisfying ground substitution; false means
+// the enumeration is exhausted.
+func (c *Cursor) Next() bool {
+	if c.done {
+		return false
+	}
+	if !c.started {
+		c.started = true
+		if !c.preChecks() {
+			c.done = true
+			return false
+		}
+		if len(c.p.atoms) == 0 {
+			// A bodiless rule (ground head, by safety) fires once.
+			c.done = true
+			c.fired++
+			return true
+		}
+		c.depth = 0
+		c.iters[0] = c.open(0)
+	} else {
+		// Resume below the last yielded substitution.
+		c.depth = len(c.p.atoms) - 1
+	}
+	for {
+		if c.depth < 0 {
+			c.done = true
+			return false
+		}
+		if !c.advance(c.depth) {
+			c.depth--
+			continue
+		}
+		if c.depth == len(c.p.atoms)-1 {
+			c.fired++
+			return true
+		}
+		c.depth++
+		c.iters[c.depth] = c.open(c.depth)
+	}
+}
+
+// open builds the iterator for execution position k under the current
+// bindings: an index probe on the bound columns restricted to the atom's
+// semi-naive range.
+func (c *Cursor) open(k int) relation.Iterator {
+	ae := &c.p.atoms[k]
+	rel, ok := c.store[ae.pred]
+	if !ok || rel.Len() == 0 {
+		return nil
+	}
+	lo, hi := c.w.bounds(ae.pred, ae.kind, rel.Len())
+	if lo >= hi {
+		return nil
+	}
+	c.lookup = c.lookup[:0]
+	for _, src := range ae.boundSrc {
+		if src.slot >= 0 {
+			c.lookup = append(c.lookup, c.vals[src.slot])
+		} else {
+			c.lookup = append(c.lookup, src.value)
+		}
+	}
+	return relation.Probe(rel, ae.boundCols, c.lookup, lo, hi)
+}
+
+// advance pulls rows at position k until one satisfies the atom's check
+// columns, constraints and negations, binding its free slots; false means
+// the level is exhausted.
+func (c *Cursor) advance(k int) bool {
+	it := c.iters[k]
+	if it == nil {
+		return false
+	}
+	ae := &c.p.atoms[k]
+	for {
+		tuple := it.Next()
+		if tuple == nil {
+			return false
+		}
+		for ci, col := range ae.freeCols {
+			c.vals[ae.freeSlots[ci]] = tuple[col]
+		}
+		if !c.rowChecks(ae, tuple) {
+			continue
+		}
+		return true
+	}
+}
+
+// rowChecks applies an atom's repeated-variable checks, constraints and
+// negation probes to the current bindings.
+func (c *Cursor) rowChecks(ae *atomExec, tuple relation.Tuple) bool {
+	for ci, col := range ae.checkCols {
+		if tuple[col] != c.vals[ae.checkSlots[ci]] {
+			return false
+		}
+	}
+	for _, cc := range ae.constraints {
+		if !c.check(cc) {
+			return false
+		}
+	}
+	for _, cn := range ae.negations {
+		if !c.negAbsent(cn) {
+			return false
+		}
+	}
+	return true
+}
+
+// preChecks evaluates the variable-free constraints and ground negations
+// once, before enumeration (Enumerate's zeroChecks/zeroNegs pass).
+func (c *Cursor) preChecks() bool {
+	for _, cc := range c.p.zeroChecks {
+		if len(cc.slots) > 0 {
+			panic("seminaive: constraint on unbound variables")
+		}
+		if !c.check(cc) {
+			return false
+		}
+	}
+	for _, cn := range c.p.zeroNegs {
+		if !c.negAbsent(cn) {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *Cursor) check(cc compiledConstraint) bool {
+	c.hargs = c.hargs[:0]
+	for _, s := range cc.slots {
+		c.hargs = append(c.hargs, c.vals[s])
+	}
+	return cc.h.Fn(c.hargs) == cc.proc
+}
+
+func (c *Cursor) negAbsent(cn compiledNegation) bool {
+	rel, ok := c.store[cn.pred]
+	if !ok || rel.Len() == 0 {
+		return true
+	}
+	c.negBuf = c.negBuf[:0]
+	for _, s := range cn.src {
+		if s.slot >= 0 {
+			c.negBuf = append(c.negBuf, c.vals[s.slot])
+		} else {
+			c.negBuf = append(c.negBuf, s.value)
+		}
+	}
+	return !rel.Contains(c.negBuf)
+}

@@ -69,6 +69,7 @@ func runConfig(ctx context.Context, opts EvalOptions, sink obs.EventSink) parall
 		MaxBatch:     opts.MaxBatch,
 		Ctx:          ctx,
 		Sink:         sink,
+		Planner:      opts.Planner,
 	}
 }
 
@@ -326,6 +327,7 @@ func evalDistributed(ctx context.Context, p *Program, edb Store, opts EvalOption
 		MaxMemoryBytes:     opts.MaxMemoryBytes,
 		Ctx:                ctx,
 		Sink:               sink,
+		Planner:            opts.Planner,
 	})
 	if err != nil {
 		return nil, err

@@ -185,6 +185,19 @@ type EvalOptions struct {
 	// MaxIterations aborts runaway sequential evaluations; 0 means
 	// unlimited.
 	MaxIterations int
+	// Planner selects the join-order planner for compiled rule plans.
+	// PlannerBoundness (the zero value) is the legacy order golden traces
+	// pin; PlannerGreedy additionally consults relation cardinalities;
+	// PlannerLeftToRight is the ablation baseline. Honored by all three
+	// engines (the parallel engines replan each worker's fragment).
+	Planner PlannerMode
+	// Explain records the planning decisions — join order, constraint
+	// pushdowns, demand rewrite — into Result.Plan for Result.Explain().
+	Explain bool
+	// NoDemand disables Query's magic-sets (demand) rewrite; the goal is
+	// then answered from a full bottom-up materialization. Ignored by
+	// Eval, which never rewrites.
+	NoDemand bool
 
 	// Workers is the number of processors for the parallel engines
 	// (default 4). Ignored by Eval.
@@ -290,6 +303,18 @@ type EvalOptions struct {
 	// returned in Result.Audit. Requires StrategyHashPartition with
 	// HashBits and Procs.
 	AuditNetwork bool
+
+	// demand carries Query's rewrite summary into the dispatcher so the
+	// sink stack sees the DemandRewrite event; unexported — only Query
+	// sets it.
+	demand *demandNote
+}
+
+// demandNote is the rewrite summary Query threads through eval.
+type demandNote struct {
+	goal         string
+	adornment    string
+	rules, magic int
 }
 
 // Result is the outcome of any evaluation: the pooled output store, the
@@ -310,6 +335,9 @@ type Result struct {
 	// Audit is the network-conformance report when
 	// EvalOptions.AuditNetwork was set, nil otherwise.
 	Audit *NetworkAudit
+	// Plan reports the planner's decisions when EvalOptions.Explain was
+	// set (always set by Query), nil otherwise. Render it with Explain().
+	Plan *PlanReport
 }
 
 // fill applies the defaults shared by every engine. The per-engine
@@ -351,6 +379,9 @@ func eval(ctx context.Context, p *Program, edb Store, opts EvalOptions) (*Result
 	if err != nil {
 		return nil, err
 	}
+	if opts.demand != nil {
+		obs.DemandRewrite(tel.sink, opts.demand.goal, opts.demand.rules, opts.demand.magic)
+	}
 	var res *Result
 	switch opts.Engine {
 	case EngineSequential:
@@ -366,6 +397,11 @@ func eval(ctx context.Context, p *Program, edb Store, opts EvalOptions) (*Result
 		tel.abort()
 		return nil, err
 	}
+	if opts.Explain && res.Plan == nil {
+		// The parallel engines plan per worker fragment; their report
+		// carries the planner and demand summary without per-rule orders.
+		res.Plan = newPlanReport(opts)
+	}
 	if err := tel.finish(ctx, p, opts, res); err != nil {
 		return nil, err
 	}
@@ -375,16 +411,23 @@ func eval(ctx context.Context, p *Program, edb Store, opts EvalOptions) (*Result
 // evalSequential computes the least model on one processor (semi-naive by
 // default) and returns the full store — the paper's baseline execution.
 func evalSequential(ctx context.Context, p *Program, edb Store, opts EvalOptions, sink obs.EventSink) (*Result, error) {
-	store, stats, err := seminaive.Eval(p.ast, edb, seminaive.Options{
+	snOpts := seminaive.Options{
 		Naive:         opts.Naive,
 		MaxIterations: opts.MaxIterations,
 		Ctx:           ctx,
 		Sink:          sink,
-	})
+		Planner:       opts.Planner,
+	}
+	var report *PlanReport
+	if opts.Explain {
+		report = newPlanReport(opts)
+		snOpts.OnPlan = func(pl *seminaive.Plan) { report.observe(p, pl) }
+	}
+	store, stats, err := seminaive.Eval(p.ast, edb, snOpts)
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Output: store, SeqStats: stats}, nil
+	return &Result{Output: store, SeqStats: stats, Plan: report}, nil
 }
 
 // sirup extracts the canonical linear-sirup decomposition.

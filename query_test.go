@@ -1,0 +1,176 @@
+package parlog_test
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	parlog "parlog"
+)
+
+// chainProgram returns Example 3's ancestor program over an n-node chain.
+func chainProgram(t *testing.T, n int) *parlog.Program {
+	t.Helper()
+	var b strings.Builder
+	b.WriteString("anc(X, Y) :- par(X, Y).\n")
+	b.WriteString("anc(X, Y) :- par(X, Z), anc(Z, Y).\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "par(v%d, v%d).\n", i, i+1)
+	}
+	prog, err := parlog.Parse(b.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func tupleSet(ts []parlog.Tuple) map[string]bool {
+	out := map[string]bool{}
+	for _, tup := range ts {
+		out[tup.Key()] = true
+	}
+	return out
+}
+
+// TestQueryDemandMatchesNoDemand checks that the goal-directed evaluation
+// returns exactly the answers of the undirected one, while materializing
+// fewer derived tuples.
+func TestQueryDemandMatchesNoDemand(t *testing.T) {
+	ctx := context.Background()
+	prog := chainProgram(t, 60)
+	goal := "anc(v50, X)?"
+
+	off, err := parlog.Query(ctx, prog, nil, goal, parlog.EvalOptions{NoDemand: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	on, err := parlog.Query(ctx, prog, nil, goal, parlog.EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSet, gotSet := tupleSet(off.All()), tupleSet(on.All())
+	if len(wantSet) != 10 {
+		t.Fatalf("chain sanity: %d answers, want 10", len(wantSet))
+	}
+	if len(gotSet) != len(wantSet) {
+		t.Fatalf("demand answers = %d, undirected = %d", len(gotSet), len(wantSet))
+	}
+	for k := range wantSet {
+		if !gotSet[k] {
+			t.Fatalf("demand evaluation missing %s", k)
+		}
+	}
+	// Goal-directed runs must do less work: the undirected fixpoint derives
+	// every anc pair of the chain, the demand-directed one only the suffix.
+	if onNew, offNew := on.SeqStats.New, off.SeqStats.New; onNew*2 > offNew {
+		t.Fatalf("demand derived %d tuples, undirected %d: want >=2x reduction", onNew, offNew)
+	}
+	if on.Plan == nil || on.Plan.Demand == nil {
+		t.Fatal("demand query lost its PlanReport")
+	}
+	if on.Plan.Demand.Adornment != "bf" {
+		t.Fatalf("adornment = %q", on.Plan.Demand.Adornment)
+	}
+}
+
+// TestQueryStreaming checks the single-use iterator contract.
+func TestQueryStreaming(t *testing.T) {
+	prog := chainProgram(t, 5)
+	qr, err := parlog.Query(context.Background(), prog, nil, "anc(v2, X)", parlog.EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n int
+	seen := map[string]bool{}
+	for {
+		tup, ok := qr.Next()
+		if !ok {
+			break
+		}
+		if len(tup) != 2 {
+			t.Fatalf("answer arity = %d", len(tup))
+		}
+		if seen[tup.Key()] {
+			t.Fatalf("duplicate answer %v", tup)
+		}
+		seen[tup.Key()] = true
+		n++
+	}
+	if n != 3 {
+		t.Fatalf("streamed %d answers, want 3 (v3, v4, v5)", n)
+	}
+	if _, ok := qr.Next(); ok {
+		t.Fatal("exhausted stream yielded again")
+	}
+}
+
+// TestQueryEDBGoal queries a base relation directly.
+func TestQueryEDBGoal(t *testing.T) {
+	prog := chainProgram(t, 4)
+	qr, err := parlog.Query(context.Background(), prog, nil, "par(v1, X)?", parlog.EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := qr.All(); len(got) != 1 {
+		t.Fatalf("EDB goal answers = %v", got)
+	}
+}
+
+// TestQueryParallelEngine routes a goal through the shared-memory parallel
+// engine with the greedy planner.
+func TestQueryParallelEngine(t *testing.T) {
+	prog := chainProgram(t, 20)
+	qr, err := parlog.Query(context.Background(), prog, nil, "anc(v15, X)", parlog.EvalOptions{
+		Engine:  parlog.EngineParallel,
+		Workers: 3,
+		Planner: parlog.PlannerGreedy,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(qr.All()); got != 5 {
+		t.Fatalf("parallel query answers = %d, want 5", got)
+	}
+	if qr.Plan == nil || qr.Plan.Planner != "greedy" {
+		t.Fatalf("parallel query plan report = %+v", qr.Plan)
+	}
+}
+
+// TestQueryBadGoal covers the error paths.
+func TestQueryBadGoal(t *testing.T) {
+	prog := chainProgram(t, 3)
+	for _, goal := range []string{"", "anc(X", "anc(v1)", "!anc(v1, X)"} {
+		if _, err := parlog.Query(context.Background(), prog, nil, goal, parlog.EvalOptions{}); err == nil {
+			t.Errorf("goal %q: want error", goal)
+		}
+	}
+}
+
+// TestQueryExplainGolden pins the Explain rendering for Example 3 with the
+// greedy planner — the text is part of the public API surface (cmd/datalog
+// -explain prints it verbatim).
+func TestQueryExplainGolden(t *testing.T) {
+	prog := chainProgram(t, 10)
+	qr, err := parlog.Query(context.Background(), prog, nil, "anc(v0, X)?", parlog.EvalOptions{
+		Planner: parlog.PlannerGreedy,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := qr.Explain()
+	want := `planner: greedy
+demand: goal=anc(v0, X) adornment=bf rules=14 magic=2
+rule anc@m@bf(B0) :- anc@seed@bf(B0).
+  order: anc@seed@bf(B0)
+rule anc@m@bf(Z) :- anc@m@bf(X), par(X, Z).
+  order: anc@m@bf(X), par(X, Z)
+rule anc@bf(X, Y) :- anc@m@bf(X), par(X, Y).
+  order: par(X, Y), anc@m@bf(X)  (reordered)
+rule anc@bf(X, Y) :- anc@m@bf(X), par(X, Z), anc@bf(Z, Y).
+  order: anc@bf(Z, Y), par(X, Z), anc@m@bf(X)  (reordered)
+`
+	if got != want {
+		t.Fatalf("Explain() drifted.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
