@@ -59,24 +59,24 @@ import (
 
 func main() {
 	var (
-		workers  = flag.Int("workers", 0, "parallel evaluation on N processors (0 = sequential)")
-		strategy = flag.String("strategy", "auto", "auto | hash | nocomm | tradeoff | general")
-		vr       = flag.String("vr", "", "comma-separated discriminating sequence v(r)")
-		ve       = flag.String("ve", "", "comma-separated discriminating sequence v(e)")
-		locality = flag.Float64("locality", 0, "locality in [0,1] for -strategy tradeoff")
-		naive    = flag.Bool("naive", false, "use naive iteration (sequential only)")
-		preds    = flag.String("pred", "", "comma-separated predicates to print (default: all derived)")
-		query    = flag.String("query", "", "evaluate goal-directed and print the answers of this atom, e.g. 'anc(a, X)'")
-		noDemand = flag.Bool("no-demand", false, "disable the magic-sets rewrite for -query")
-		planner  = flag.String("planner", "boundness", "join-order planner: boundness | greedy | left-to-right")
-		explain  = flag.Bool("explain", false, "print the query plan to stderr")
-		stats    = flag.Bool("stats", false, "print evaluation statistics to stderr")
-		interact = flag.Bool("i", false, "after evaluating, read query patterns from stdin")
-		showRW   = flag.Bool("show-rewrite", false, "print each processor's rewritten program (Q_i/R_i/T_i) instead of evaluating")
-		metrics  = flag.Bool("metrics", false, "print per-processor iteration/traffic/busy metrics to stderr")
-		traceOut = flag.String("trace", "", "write the run's full event stream as JSON to this file")
-		chromeOut = flag.String("trace-chrome", "", "write the run as Chrome trace_event JSON to this file")
-		dist      = flag.Bool("dist", false, "use the distributed TCP engine (requires -workers)")
+		workers     = flag.Int("workers", 0, "parallel evaluation on N processors (0 = sequential)")
+		strategy    = flag.String("strategy", "auto", "auto | hash | nocomm | tradeoff | general")
+		vr          = flag.String("vr", "", "comma-separated discriminating sequence v(r)")
+		ve          = flag.String("ve", "", "comma-separated discriminating sequence v(e)")
+		locality    = flag.Float64("locality", 0, "locality in [0,1] for -strategy tradeoff")
+		naive       = flag.Bool("naive", false, "use naive iteration (sequential only)")
+		preds       = flag.String("pred", "", "comma-separated predicates to print (default: all derived)")
+		query       = flag.String("query", "", "evaluate goal-directed and print the answers of this atom, e.g. 'anc(a, X)'")
+		noDemand    = flag.Bool("no-demand", false, "disable the magic-sets rewrite for -query")
+		planner     = flag.String("planner", "boundness", "join-order planner: boundness | greedy | left-to-right")
+		explain     = flag.Bool("explain", false, "print the query plan to stderr")
+		stats       = flag.Bool("stats", false, "print evaluation statistics to stderr")
+		interact    = flag.Bool("i", false, "after evaluating, read query patterns from stdin")
+		showRW      = flag.Bool("show-rewrite", false, "print each processor's rewritten program (Q_i/R_i/T_i) instead of evaluating")
+		metrics     = flag.Bool("metrics", false, "print per-processor iteration/traffic/busy metrics to stderr")
+		traceOut    = flag.String("trace", "", "write the run's full event stream as JSON to this file")
+		chromeOut   = flag.String("trace-chrome", "", "write the run as Chrome trace_event JSON to this file")
+		dist        = flag.Bool("dist", false, "use the distributed TCP engine (requires -workers)")
 		metricsAddr = flag.String("metrics-addr", "", "serve live metrics on this address (e.g. 127.0.0.1:9090)")
 		pprofF      = flag.Bool("pprof", false, "mount net/http/pprof on the -metrics-addr server")
 		metricsHold = flag.Duration("metrics-hold", 0, "keep the metrics endpoint alive this long after the run")
@@ -143,11 +143,11 @@ func main() {
 		MetricsAddr: *metricsAddr,
 		Pprof:       *pprofF,
 		MetricsHold: *metricsHold,
-		TelemetryReady: func(addr string) {
-			if *metricsAddr != "" {
-				fmt.Fprintf(os.Stderr, "datalog: serving metrics on http://%s/metrics\n", addr)
-			}
-		},
+	}
+	if *metricsAddr != "" {
+		telemetry.TelemetryReady = func(addr string) {
+			fmt.Fprintf(os.Stderr, "datalog: serving metrics on http://%s/metrics\n", addr)
+		}
 	}
 
 	if *workers <= 0 {
@@ -165,7 +165,7 @@ func main() {
 			fatal(err)
 		}
 		store, st := seqRes.Output, seqRes.SeqStats
-		printResult(prog, store, show, "")
+		printResult(prog, store, show)
 		if *explain {
 			fmt.Fprint(os.Stderr, seqRes.Explain())
 		}
@@ -176,7 +176,7 @@ func main() {
 		writeChrome(rec, *chromeOut)
 		printMetrics(seqRes.Metrics)
 		if *interact {
-			repl(prog, store, os.Stdin, os.Stdout)
+			repl(ctx, prog, edb, os.Stdin, os.Stdout)
 		}
 		return
 	}
@@ -219,7 +219,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	printResult(prog, res.Output, show, *query)
+	printResult(prog, res.Output, show)
 	if *stats {
 		fmt.Fprint(os.Stderr, res.Stats.String())
 	}
@@ -230,7 +230,7 @@ func main() {
 	writeChrome(rec, *chromeOut)
 	printMetrics(res.Metrics)
 	if *interact {
-		repl(prog, res.Output, os.Stdin, os.Stdout)
+		repl(ctx, prog, edb, os.Stdin, os.Stdout)
 	}
 }
 
@@ -374,9 +374,19 @@ func (c *csvFlags) Set(v string) error {
 	return nil
 }
 
-// repl reads one query pattern per line and prints the matches.
-func repl(prog *parlog.Program, store parlog.Store, in io.Reader, out io.Writer) {
+// repl reads one query pattern per line and prints the matches. When the
+// program qualifies for incremental maintenance it is materialized once
+// into a View and every pattern becomes a snapshot probe; otherwise each
+// line runs through the goal-directed Query front door.
+func repl(ctx context.Context, prog *parlog.Program, edb parlog.Store, in io.Reader, out io.Writer) {
 	fmt.Fprintln(out, "% enter query patterns like anc(a, X); empty line or EOF quits")
+	var snap *parlog.Snapshot
+	if view, err := parlog.Open(ctx, prog, edb, parlog.EvalOptions{}); err == nil {
+		defer view.Close()
+		if s, err := view.Snapshot(); err == nil {
+			snap = s
+		}
+	}
 	sc := bufio.NewScanner(in)
 	for {
 		fmt.Fprint(out, "?- ")
@@ -388,43 +398,47 @@ func repl(prog *parlog.Program, store parlog.Store, in io.Reader, out io.Writer)
 		if q == "" {
 			return
 		}
-		tuples, err := prog.Query(store, q)
+		var qr *parlog.QueryResult
+		var err error
+		if snap != nil {
+			qr, err = snap.Query(ctx, q)
+		} else {
+			qr, err = parlog.Query(ctx, prog, edb, q, parlog.EvalOptions{})
+		}
 		if err != nil {
 			fmt.Fprintln(out, "error:", err)
 			continue
 		}
-		pred := q[:strings.IndexByte(q, '(')]
+		tuples := qr.All()
+		sortTuples(tuples)
 		for _, t := range tuples {
 			parts := make([]string, len(t))
 			for i, v := range t {
 				parts[i] = prog.ConstName(v)
 			}
-			fmt.Fprintf(out, "%s(%s).\n", strings.TrimSpace(pred), strings.Join(parts, ", "))
+			fmt.Fprintf(out, "%s(%s).\n", qr.Pred, strings.Join(parts, ", "))
 		}
 		fmt.Fprintf(out, "%% %d answers\n", len(tuples))
 	}
 }
 
-// printResult prints either the matching tuples of a query pattern or the
-// listed predicates in full.
-func printResult(prog *parlog.Program, store parlog.Store, show []string, query string) {
-	if query == "" {
-		for _, p := range show {
-			fmt.Print(prog.Format(store, p))
+// sortTuples orders answers lexicographically for stable REPL output.
+func sortTuples(ts []parlog.Tuple) {
+	sort.Slice(ts, func(i, j int) bool {
+		a, b := ts[i], ts[j]
+		for k := 0; k < len(a) && k < len(b); k++ {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
 		}
-		return
-	}
-	tuples, err := prog.Query(store, query)
-	if err != nil {
-		fatal(err)
-	}
-	pred := query[:strings.IndexByte(query, '(')]
-	for _, t := range tuples {
-		parts := make([]string, len(t))
-		for i, v := range t {
-			parts[i] = prog.ConstName(v)
-		}
-		fmt.Printf("%s(%s).\n", strings.TrimSpace(pred), strings.Join(parts, ", "))
+		return len(a) < len(b)
+	})
+}
+
+// printResult prints the listed predicates in full.
+func printResult(prog *parlog.Program, store parlog.Store, show []string) {
+	for _, p := range show {
+		fmt.Print(prog.Format(store, p))
 	}
 }
 

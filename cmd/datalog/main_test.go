@@ -69,14 +69,9 @@ par(a, b). par(b, c).
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := parlog.Eval(context.Background(), prog, nil, parlog.EvalOptions{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	store := res.Output
 	in := strings.NewReader("anc(a, X)\nbadquery\nanc(X, X).\n\n")
 	var out strings.Builder
-	repl(prog, store, in, &out)
+	repl(context.Background(), prog, nil, in, &out)
 	got := out.String()
 	for _, want := range []string{"anc(a, b).", "anc(a, c).", "% 2 answers", "error:", "% 0 answers"} {
 		if !strings.Contains(got, want) {

@@ -18,6 +18,7 @@ func TestMain(m *testing.M) {
 	recoveryOut = filepath.Join(dir, "BENCH_recovery.json")
 	coreOut = filepath.Join(dir, "BENCH_core.json")
 	planOut = filepath.Join(dir, "BENCH_plan.json")
+	ivmOut = filepath.Join(dir, "BENCH_ivm.json")
 	code := m.Run()
 	os.RemoveAll(dir)
 	os.Exit(code)
@@ -97,6 +98,42 @@ func TestPlanJSON(t *testing.T) {
 	if 2*doc.DemandOnDerived > doc.DemandOffDerived {
 		t.Errorf("demand derived %d vs %d undirected — runE18 should have failed",
 			doc.DemandOnDerived, doc.DemandOffDerived)
+	}
+}
+
+// TestIVMJSON checks the document E19 writes: the five maintenance kernels
+// present with non-degenerate op counts, and the firing reduction it
+// self-gates on recorded in the document.
+func TestIVMJSON(t *testing.T) {
+	if err := runE19(true); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(ivmOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc ivmDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	names := map[string]bool{}
+	for _, k := range doc.Kernels {
+		names[k.Name] = true
+		if k.Ops <= 0 {
+			t.Errorf("%s: ops=%d", k.Name, k.Ops)
+		}
+	}
+	for _, want := range []string{"ivm-open", "ivm-apply-insert", "ivm-apply-delete", "ivm-snapshot", "scratch-refixpoint"} {
+		if !names[want] {
+			t.Errorf("missing kernel %q in %s", want, ivmOut)
+		}
+	}
+	if doc.AncTuples == 0 || doc.Batches == 0 {
+		t.Errorf("degenerate document: %d anc tuples over %d batches", doc.AncTuples, doc.Batches)
+	}
+	if 5*doc.MaintainFirings > doc.ScratchFirings {
+		t.Errorf("maintained %d firings vs %d from scratch — runE19 should have failed",
+			doc.MaintainFirings, doc.ScratchFirings)
 	}
 }
 

@@ -1,0 +1,228 @@
+package main
+
+// E19 — incremental view maintenance against from-scratch refixpointing.
+//
+// An ancestor closure over a uniform tree is materialized once into the
+// counting/DRed maintenance engine; a stream of single-edge batches — leaf
+// attachments and random edge deletions, the small local deltas incremental
+// maintenance exists for — is then absorbed incrementally, and after every
+// batch the same mutated EDB is refixpointed from scratch. (A dense cyclic
+// graph would show the opposite: DRed's overdeletion can do more work than
+// refixpointing there, which is exactly why the workload choice is part of
+// the experiment's statement.) The comparable unit is
+// derived work — rule firings — and the experiment FAILS unless the
+// from-scratch runs fire at least 5x more than the maintenance passes in
+// total: that factor is incremental maintenance's reason to exist, so it is
+// asserted, not just reported. Model equality against the scratch run and
+// the engine's own counting audit are checked after every batch. A second,
+// uninstrumented replay of the same mutation stream feeds the timing and
+// allocation kernels (per batch) written to BENCH_ivm.json for
+// cmd/benchguard, which gates allocs/op like it gates E17's storage
+// kernels.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"parlog/internal/ast"
+	"parlog/internal/relation"
+	"parlog/internal/seminaive"
+	"parlog/internal/workload"
+)
+
+// ivmOut is where runE19 writes its JSON document; the -ivm-out flag (and
+// the test harness) override it.
+var ivmOut = "BENCH_ivm.json"
+
+// ivmDoc is the top-level shape of BENCH_ivm.json.
+type ivmDoc struct {
+	Benchmark string       `json:"benchmark"`
+	Quick     bool         `json:"quick"`
+	Kernels   []coreKernel `json:"kernels"`
+	// MaintainFirings is the total derived work of all incremental batches;
+	// ScratchFirings the total of the from-scratch refixpoints over the same
+	// sequence of EDB states. Reduction is their ratio — gated at >= 5x.
+	MaintainFirings int64   `json:"maintain_firings"`
+	ScratchFirings  int64   `json:"scratch_firings"`
+	Reduction       float64 `json:"reduction"`
+	Batches         int     `json:"batches"`
+	AncTuples       int     `json:"anc_tuples"`
+}
+
+// ivmEdge is one par tuple.
+type ivmEdge struct{ a, b ast.Value }
+
+// ivmMutation is one batch: a single edge inserted or deleted.
+type ivmMutation struct {
+	edge ivmEdge
+	del  bool
+}
+
+func (mu ivmMutation) delta() (del, ins map[string][]relation.Tuple) {
+	d := map[string][]relation.Tuple{"par": {{mu.edge.a, mu.edge.b}}}
+	if mu.del {
+		return d, nil
+	}
+	return nil, d
+}
+
+func runE19(quick bool) error {
+	branch, depth, batches := 3, 7, 8
+	if quick {
+		branch, depth, batches = 3, 5, 4
+	}
+	prog := workload.AncestorProgram()
+	par := workload.Tree(branch, depth)
+	rng := rand.New(rand.NewSource(17))
+
+	doc := ivmDoc{Benchmark: "ivm", Quick: quick, Batches: 2 * batches}
+
+	// Precompute the mutation stream over a mirror of the base relation, so
+	// the instrumented pass and the timing replay see identical deltas:
+	// `batches` fresh-edge inserts, then `batches` deletes of live edges.
+	present := map[ivmEdge]bool{}
+	var live []ivmEdge
+	for _, t := range par.Rows() {
+		e := ivmEdge{t[0], t[1]}
+		present[e] = true
+		live = append(live, e)
+	}
+	nextNode := ast.Value(len(live) + 1) // tree node ids are 0..len(edges)
+	var muts []ivmMutation
+	for i := 0; i < batches; i++ {
+		// Attach a fresh leaf under a random existing node.
+		e := ivmEdge{live[rng.Intn(len(live))].b, nextNode}
+		nextNode++
+		present[e] = true
+		live = append(live, e)
+		muts = append(muts, ivmMutation{edge: e})
+	}
+	for i := 0; i < batches; i++ {
+		j := rng.Intn(len(live))
+		e := live[j]
+		live[j] = live[len(live)-1]
+		live = live[:len(live)-1]
+		delete(present, e)
+		muts = append(muts, ivmMutation{edge: e, del: true})
+	}
+
+	initialEDB := func() relation.Store {
+		rel := relation.New(2)
+		for _, t := range par.Rows() {
+			rel.Insert(t)
+		}
+		return relation.Store{"par": rel}
+	}
+
+	// --- instrumented pass: firings comparison + per-batch correctness ---
+	m, _, err := seminaive.NewIVM(prog, initialEDB(), seminaive.Options{})
+	if err != nil {
+		return err
+	}
+	state := initialEDB()["par"]
+	for i, mu := range muts {
+		del, ins := mu.delta()
+		st, err := m.Apply(del, ins)
+		if err != nil {
+			return fmt.Errorf("E19 batch %d: %w", i, err)
+		}
+		doc.MaintainFirings += st.Firings
+
+		// From-scratch reference over the same EDB state.
+		next := relation.New(2)
+		for _, t := range state.Rows() {
+			if mu.del && t[0] == mu.edge.a && t[1] == mu.edge.b {
+				continue
+			}
+			next.Insert(t)
+		}
+		if !mu.del {
+			next.Insert(relation.Tuple{mu.edge.a, mu.edge.b})
+		}
+		state = next
+		refStore, refStats, err := seminaive.Eval(prog, relation.Store{"par": state.Clone()}, seminaive.Options{})
+		if err != nil {
+			return err
+		}
+		doc.ScratchFirings += refStats.Firings
+		if !refStore["anc"].Equal(m.Store()["anc"]) {
+			return fmt.Errorf("E19 batch %d: maintained anc differs from the from-scratch model", i)
+		}
+		if err := m.Audit(); err != nil {
+			return fmt.Errorf("E19 batch %d: %w", i, err)
+		}
+	}
+	doc.AncTuples = m.Store()["anc"].Len()
+	if doc.MaintainFirings > 0 {
+		doc.Reduction = round2(float64(doc.ScratchFirings) / float64(doc.MaintainFirings))
+	}
+	if doc.ScratchFirings < 5*doc.MaintainFirings {
+		return fmt.Errorf("E19: maintenance fired %d vs %d from scratch — less than the required 5x reduction",
+			doc.MaintainFirings, doc.ScratchFirings)
+	}
+
+	// --- timing replay: same mutations, no instrumentation interleaved ---
+	var m2 *seminaive.IVM
+	openKernel := coreMeasure("ivm-open", 1, func() {
+		m2, _, err = seminaive.NewIVM(prog, initialEDB(), seminaive.Options{})
+	})
+	if err != nil {
+		return err
+	}
+	doc.Kernels = append(doc.Kernels, openKernel)
+	var applyErr error
+	replay := func(from, to int) func() {
+		return func() {
+			for _, mu := range muts[from:to] {
+				del, ins := mu.delta()
+				if _, err := m2.Apply(del, ins); err != nil && applyErr == nil {
+					applyErr = err
+				}
+			}
+		}
+	}
+	insKernel := coreMeasure("ivm-apply-insert", int64(batches), replay(0, batches))
+	delKernel := coreMeasure("ivm-apply-delete", int64(batches), replay(batches, 2*batches))
+	if applyErr != nil {
+		return applyErr
+	}
+	var snapStore relation.Store
+	snapKernel := coreMeasure("ivm-snapshot", 1, func() {
+		snapStore = m2.SnapshotStore()
+	})
+	if got := snapStore["anc"].Len(); got != doc.AncTuples {
+		return fmt.Errorf("E19: replay ended with %d anc tuples, instrumented pass had %d", got, doc.AncTuples)
+	}
+	scratchKernel := coreMeasure("scratch-refixpoint", 1, func() {
+		_, _, err = seminaive.Eval(prog, relation.Store{"par": state}, seminaive.Options{})
+	})
+	if err != nil {
+		return err
+	}
+	doc.Kernels = append(doc.Kernels, insKernel, delKernel, snapKernel, scratchKernel)
+
+	for _, kr := range doc.Kernels {
+		fmt.Printf("%-20s ops=%-8d %12.1f ns/op %12.1f B/op %8.2f allocs/op\n",
+			kr.Name, kr.Ops, kr.NsPerOp, kr.BPerOp, kr.AllocsPerOp)
+	}
+	fmt.Printf("firings: %d maintained vs %d from scratch (%.1fx reduction) over %d batches, %d anc tuples\n",
+		doc.MaintainFirings, doc.ScratchFirings, doc.Reduction, doc.Batches, doc.AncTuples)
+
+	f, err := os.Create(ivmOut)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", ivmOut)
+	return nil
+}

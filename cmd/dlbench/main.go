@@ -29,6 +29,10 @@
 //	    (demand) rewrite vs full materialization, and the greedy planner vs
 //	    the left-to-right ablation; written to BENCH_plan.json (see
 //	    -plan-out)
+//	E19 incremental maintenance: single-edge insert/delete batches absorbed
+//	    by the counting/DRed engine vs from-scratch refixpoints; fails
+//	    unless refixpointing does at least 5x the derived work; written to
+//	    BENCH_ivm.json (see -ivm-out)
 //
 // Usage: dlbench [-experiment E5] [-quick] [-bench-out BENCH_parallel.json]
 package main
@@ -70,11 +74,12 @@ var experiments = []experiment{
 	{"E16", "Bounded recovery — checkpointed vs full-replay worker kill", runE16},
 	{"E17", "Core kernels — insert/probe/join/delta + Example 3 to BENCH_core.json", runE17},
 	{"E18", "Query planning — demand rewrite + greedy planner to BENCH_plan.json", runE18},
+	{"E19", "Incremental maintenance — counting/DRed deltas vs refixpoint to BENCH_ivm.json", runE19},
 }
 
 func main() {
 	var (
-		which = flag.String("experiment", "all", "experiment id (E1..E18) or 'all'")
+		which = flag.String("experiment", "all", "experiment id (E1..E19) or 'all'")
 		quick = flag.Bool("quick", false, "smaller workloads for a fast pass")
 
 		metricsAddr = flag.String("metrics-addr", "", "serve a process-level metrics endpoint while experiments run")
@@ -84,6 +89,7 @@ func main() {
 	flag.StringVar(&recoveryOut, "recovery-out", recoveryOut, "output path of E16's JSON benchmark document")
 	flag.StringVar(&coreOut, "core-out", coreOut, "output path of E17's JSON benchmark document")
 	flag.StringVar(&planOut, "plan-out", planOut, "output path of E18's JSON benchmark document")
+	flag.StringVar(&ivmOut, "ivm-out", ivmOut, "output path of E19's JSON benchmark document")
 	flag.Parse()
 
 	if *metricsAddr != "" {

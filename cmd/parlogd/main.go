@@ -1,0 +1,240 @@
+// Command parlogd serves an incrementally maintained Datalog view over
+// HTTP: load a program once, then push EDB deltas and run goal-directed
+// queries against live snapshots while Prometheus metrics stream from the
+// same endpoint.
+//
+// Usage:
+//
+//	parlogd -addr 127.0.0.1:8080 program.dl [facts.dl ...]
+//	cat program.dl | parlogd
+//
+// Endpoints:
+//
+//	POST /apply   JSON {"insert": {"par": [["a","b"]]}, "delete": {...}}
+//	              with constant names; responds with the maintenance stats
+//	GET  /query   ?goal=anc(a,X) — answers from the current snapshot
+//	GET  /stats   epoch plus the aggregate telemetry snapshot
+//	GET  /metrics Prometheus text exposition (parlog_ivm_* instruments)
+//	GET  /debug/parlog JSON metrics snapshot (with -pprof: /debug/pprof/)
+//
+// SIGINT/SIGTERM shut the server down gracefully.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"parlog"
+	"parlog/internal/metrics"
+	"parlog/internal/obs"
+)
+
+func main() {
+	var (
+		addr  = flag.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free one)")
+		pprof = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	)
+	flag.Parse()
+	if err := run(*addr, *pprof, flag.Args(), os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "parlogd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, pprof bool, paths []string, logw io.Writer) error {
+	src, err := readSources(paths)
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	d, srv, err := start(ctx, addr, pprof, src)
+	if err != nil {
+		return err
+	}
+	defer d.view.Close()
+	fmt.Fprintf(logw, "parlogd: serving on http://%s (program: %d derived predicates)\n",
+		srv.Addr(), len(d.prog.IDB()))
+
+	<-ctx.Done()
+	fmt.Fprintln(logw, "parlogd: shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return srv.Close(shutCtx)
+}
+
+// start opens the view and binds the HTTP server — the testable core of
+// run. The view's telemetry and the HTTP endpoints share one registry and
+// one server, so /apply and /metrics live side by side: the counting sink
+// feeds /stats, the metrics sink feeds the Prometheus exposition.
+func start(ctx context.Context, addr string, pprof bool, src string) (*daemon, *metrics.Server, error) {
+	prog, err := parlog.Parse(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	reg := metrics.New()
+	counting := obs.NewCounting()
+	sink := obs.Fanout(counting, obs.NewMetricsSink(reg))
+
+	// Facts in the program file become the initial EDB, so /apply can
+	// delete them like any other base tuple.
+	edb := prog.ExtractFacts()
+	view, err := parlog.Open(ctx, prog, edb, parlog.EvalOptions{Trace: sink})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	d := &daemon{prog: prog, view: view, counting: counting}
+	srv, err := metrics.NewServer(addr, reg, metrics.ServerOptions{
+		Pprof: pprof,
+		Debug: func() any { return counting.Snapshot() },
+		Extra: map[string]http.Handler{
+			"/apply": http.HandlerFunc(d.handleApply),
+			"/query": http.HandlerFunc(d.handleQuery),
+			"/stats": http.HandlerFunc(d.handleStats),
+		},
+	})
+	if err != nil {
+		view.Close()
+		return nil, nil, err
+	}
+	return d, srv, nil
+}
+
+// daemon holds the served view. The View serializes Apply itself and
+// snapshots are immutable, so the handlers need no extra locking.
+type daemon struct {
+	prog     *parlog.Program
+	view     *parlog.View
+	counting *obs.Counting
+}
+
+// applyRequest is the wire form of a delta: tuples of constant names.
+type applyRequest struct {
+	Insert map[string][][]string `json:"insert"`
+	Delete map[string][][]string `json:"delete"`
+}
+
+func (d *daemon) handleApply(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req applyRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 64<<20)).Decode(&req); err != nil {
+		http.Error(w, "bad JSON: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	delta := parlog.Delta{
+		Insert: d.intern(req.Insert),
+		Delete: d.intern(req.Delete),
+	}
+	st, err := d.view.Apply(delta)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	writeJSON(w, struct {
+		Epoch uint64 `json:"epoch"`
+		*parlog.ApplyStats
+	}{d.view.Epoch(), st})
+}
+
+// intern maps constant names to program values, creating them on first
+// sight — a delta may introduce constants the program has never seen.
+func (d *daemon) intern(in map[string][][]string) map[string][]parlog.Tuple {
+	out := make(map[string][]parlog.Tuple, len(in))
+	for pred, rows := range in {
+		ts := make([]parlog.Tuple, 0, len(rows))
+		for _, row := range rows {
+			t := make(parlog.Tuple, len(row))
+			for i, name := range row {
+				t[i] = d.prog.Intern(name)
+			}
+			ts = append(ts, t)
+		}
+		out[pred] = ts
+	}
+	return out
+}
+
+func (d *daemon) handleQuery(w http.ResponseWriter, r *http.Request) {
+	goal := strings.TrimSpace(r.URL.Query().Get("goal"))
+	if goal == "" {
+		http.Error(w, "missing ?goal=", http.StatusBadRequest)
+		return
+	}
+	snap, err := d.view.Snapshot()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	qr, err := snap.Query(r.Context(), goal)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	answers := [][]string{}
+	for {
+		t, ok := qr.Next()
+		if !ok {
+			break
+		}
+		row := make([]string, len(t))
+		for i, v := range t {
+			row[i] = d.prog.ConstName(v)
+		}
+		answers = append(answers, row)
+	}
+	if err := qr.Err(); err != nil {
+		http.Error(w, err.Error(), http.StatusRequestTimeout)
+		return
+	}
+	writeJSON(w, struct {
+		Pred    string     `json:"pred"`
+		Epoch   uint64     `json:"epoch"`
+		Answers [][]string `json:"answers"`
+	}{qr.Pred, snap.Epoch(), answers})
+}
+
+func (d *daemon) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, struct {
+		Epoch   uint64          `json:"epoch"`
+		Metrics *parlog.Metrics `json:"metrics"`
+	}{d.view.Epoch(), d.counting.Snapshot()})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func readSources(paths []string) (string, error) {
+	if len(paths) == 0 {
+		b, err := io.ReadAll(os.Stdin)
+		return string(b), err
+	}
+	var b strings.Builder
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return "", err
+		}
+		b.Write(data)
+		b.WriteByte('\n')
+	}
+	return b.String(), nil
+}

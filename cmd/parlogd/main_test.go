@@ -1,0 +1,159 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+const testProgram = `
+anc(X, Y) :- par(X, Y).
+anc(X, Y) :- par(X, Z), anc(Z, Y).
+par(a, b). par(b, c).
+`
+
+// TestServerEndToEnd drives the daemon over real HTTP: query the initial
+// model, apply a delta, see the query answers move, scrape /metrics and
+// /stats, and shut down.
+func TestServerEndToEnd(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	d, srv, err := start(ctx, "127.0.0.1:0", false, testProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.view.Close()
+	defer func() {
+		shutCtx, c := context.WithTimeout(context.Background(), 2*time.Second)
+		defer c()
+		srv.Close(shutCtx)
+	}()
+	base := srv.URL()
+	client := &http.Client{Timeout: 5 * time.Second}
+
+	query := func(goal string) (pred string, epoch uint64, answers [][]string) {
+		t.Helper()
+		resp, err := client.Get(base + "/query?goal=" + goal)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("/query status %d", resp.StatusCode)
+		}
+		var doc struct {
+			Pred    string     `json:"pred"`
+			Epoch   uint64     `json:"epoch"`
+			Answers [][]string `json:"answers"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+			t.Fatal(err)
+		}
+		return doc.Pred, doc.Epoch, doc.Answers
+	}
+
+	pred, epoch, answers := query("anc(a,X)")
+	if pred != "anc" || epoch != 0 || len(answers) != 2 {
+		t.Fatalf("initial query: pred=%s epoch=%d answers=%v", pred, epoch, answers)
+	}
+
+	// Apply a delta: extend the chain and drop the middle edge.
+	body := `{"insert": {"par": [["c","d"]]}, "delete": {"par": [["b","c"]]}}`
+	resp, err := client.Post(base+"/apply", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var applied struct {
+		Epoch    uint64 `json:"epoch"`
+		Inserted int
+		Deleted  int
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&applied); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || applied.Epoch != 1 {
+		t.Fatalf("/apply status %d, %+v", resp.StatusCode, applied)
+	}
+	if applied.Inserted == 0 || applied.Deleted == 0 {
+		t.Fatalf("apply stats did not move: %+v", applied)
+	}
+
+	// b->c is gone, c->d is new: a now reaches only b, c only d.
+	if _, epoch, answers := query("anc(a,X)"); epoch != 1 || len(answers) != 1 {
+		t.Fatalf("post-apply query: epoch=%d answers=%v", epoch, answers)
+	}
+	if _, _, answers := query("anc(c,X)"); len(answers) != 1 || answers[0][1] != "d" {
+		t.Fatalf("anc(c,X) = %v", answers)
+	}
+
+	// Bad inputs are 4xx, not crashes.
+	for path, wantStatus := range map[string]int{
+		"/query":            http.StatusBadRequest,       // missing goal
+		"/query?goal=anc(a": http.StatusBadRequest,       // malformed
+		"/apply":            http.StatusMethodNotAllowed, // GET
+	} {
+		resp, err := client.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != wantStatus {
+			t.Errorf("%s: status %d, want %d", path, resp.StatusCode, wantStatus)
+		}
+	}
+	resp, err = client.Post(base+"/apply", "application/json", strings.NewReader(`{"insert": {"anc": [["a","b"]]}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("derived-predicate delta: status %d", resp.StatusCode)
+	}
+
+	// The Prometheus exposition carries the maintenance counters.
+	resp, err = client.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	exposition := string(raw)
+	for _, want := range []string{"parlog_ivm_applies_total", "parlog_ivm_epoch 1"} {
+		if !strings.Contains(exposition, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// /stats reports the epoch and the counting snapshot.
+	resp, err = client.Get(base + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		Epoch   uint64 `json:"epoch"`
+		Metrics struct {
+			IVMApplies int64 `json:"ivm_applies"`
+		} `json:"metrics"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.Epoch != 1 {
+		t.Errorf("/stats epoch = %d", stats.Epoch)
+	}
+}
+
+func TestStartRejectsBadProgram(t *testing.T) {
+	if _, _, err := start(context.Background(), "127.0.0.1:0", false, "anc(X :-"); err == nil {
+		t.Error("bad program accepted")
+	}
+}

@@ -17,6 +17,11 @@ type ServerOptions struct {
 	// value is embedded in the JSON document under "debug" — the hook the
 	// engine uses to attach its counting-sink snapshot.
 	Debug func() any
+	// Extra mounts additional handlers on the server's mux, keyed by
+	// pattern — how parlogd adds its query/update endpoints next to
+	// /metrics. Patterns colliding with the built-ins panic, like any
+	// duplicate http.ServeMux registration.
+	Extra map[string]http.Handler
 }
 
 // Server is the live telemetry endpoint: /metrics serves the Prometheus
@@ -54,6 +59,9 @@ func NewServer(addr string, reg *Registry, opts ServerOptions) (*Server, error) 
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(doc)
 	})
+	for pattern, h := range opts.Extra {
+		mux.Handle(pattern, h)
+	}
 	if opts.Pprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

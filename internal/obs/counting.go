@@ -33,16 +33,29 @@ type Counting struct {
 	replayedMsgs    atomic.Int64
 
 	// Bounded-memory counters (distributed engine only).
-	checkpoints     atomic.Int64
-	ckptRejected    atomic.Int64
-	truncatedMsgs   atomic.Int64
-	creditStalls    atomic.Int64
-	memoryPressure  atomic.Int64
-	droppedBatches  atomic.Int64
+	checkpoints    atomic.Int64
+	ckptRejected   atomic.Int64
+	truncatedMsgs  atomic.Int64
+	creditStalls   atomic.Int64
+	memoryPressure atomic.Int64
+	droppedBatches atomic.Int64
 
 	// Conformance-audit counter: edges observed outside the derived
 	// minimal network graph.
 	violations atomic.Int64
+
+	// Incremental view maintenance counters (live View only).
+	ivmApplies     atomic.Int64
+	ivmApplyErrors atomic.Int64
+	ivmDeltaTuples atomic.Int64
+	ivmInserted    atomic.Int64
+	ivmDeleted     atomic.Int64
+	ivmOverdeleted atomic.Int64
+	ivmRederived   atomic.Int64
+	ivmFirings     atomic.Int64
+	ivmMaintainNs  atomic.Int64
+	ivmSnapshots   atomic.Int64
+	ivmEpoch       atomic.Int64
 }
 
 // procShard holds one processor's counters. All fields after proc are
@@ -249,6 +262,30 @@ func (c *Counting) BatchDropped(fromProc, bucket, tuples int) { c.droppedBatches
 
 func (c *Counting) NetworkViolation(from, to int, tuples int64) { c.violations.Add(1) }
 
+// IVMSink implementation: maintenance batches and snapshots of a live View.
+func (c *Counting) ApplyStart(inserts, deletes int) {
+	c.ivmDeltaTuples.Add(int64(inserts + deletes))
+}
+
+func (c *Counting) ApplyEnd(inserted, deleted, overdeleted, rederived int, firings int64, wall time.Duration, err error) {
+	if err != nil {
+		c.ivmApplyErrors.Add(1)
+		return
+	}
+	c.ivmApplies.Add(1)
+	c.ivmInserted.Add(int64(inserted))
+	c.ivmDeleted.Add(int64(deleted))
+	c.ivmOverdeleted.Add(int64(overdeleted))
+	c.ivmRederived.Add(int64(rederived))
+	c.ivmFirings.Add(firings)
+	c.ivmMaintainNs.Add(int64(wall))
+}
+
+func (c *Counting) SnapshotTaken(epoch uint64, tuples int) {
+	c.ivmSnapshots.Add(1)
+	c.ivmEpoch.Store(int64(epoch))
+}
+
 func (c *Counting) RunEnd(wall time.Duration) {
 	c.wallNs.Add(int64(wall))
 	c.mu.Lock()
@@ -306,6 +343,21 @@ type Metrics struct {
 	// NetworkViolations counts channels the conformance auditor found in
 	// use despite the derived minimal network graph predicting them idle.
 	NetworkViolations int64 `json:"network_violations,omitempty"`
+	// IVM counters: maintenance batches applied to a live View, the input
+	// delta tuples they carried, the net model changes, the DRed
+	// overdelete/rederive volume, the derived work enumerated, and total
+	// maintenance wall time. IVMEpoch is the latest published view epoch.
+	IVMApplies     int64 `json:"ivm_applies,omitempty"`
+	IVMApplyErrors int64 `json:"ivm_apply_errors,omitempty"`
+	IVMDeltaTuples int64 `json:"ivm_delta_tuples,omitempty"`
+	IVMInserted    int64 `json:"ivm_inserted,omitempty"`
+	IVMDeleted     int64 `json:"ivm_deleted,omitempty"`
+	IVMOverdeleted int64 `json:"ivm_overdeleted,omitempty"`
+	IVMRederived   int64 `json:"ivm_rederived,omitempty"`
+	IVMFirings     int64 `json:"ivm_firings,omitempty"`
+	IVMMaintainNs  int64 `json:"ivm_maintain_ns,omitempty"`
+	IVMSnapshots   int64 `json:"ivm_snapshots,omitempty"`
+	IVMEpoch       int64 `json:"ivm_epoch,omitempty"`
 	// Procs holds per-processor counters in registration order.
 	Procs []ProcMetrics `json:"procs"`
 	// Edges holds one entry per channel that carried at least one
@@ -357,21 +409,32 @@ func (c *Counting) Snapshot() *Metrics {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	m := &Metrics{
-		Engine:     c.engine,
-		Runs:       c.runs.Load(),
-		WallNs:     c.wallNs.Load(),
-		TermProbes:        c.probes.Load(),
-		HeartbeatMisses:   c.heartbeatMisses.Load(),
-		WorkerDeaths:      c.workerDeaths.Load(),
-		BucketsReassigned: c.reassigned.Load(),
-		ReplayedMessages:  c.replayedMsgs.Load(),
-		Checkpoints:         c.checkpoints.Load(),
-		CheckpointsRejected: c.ckptRejected.Load(),
-		TruncatedBatches:    c.truncatedMsgs.Load(),
-		CreditStalls:        c.creditStalls.Load(),
+		Engine:               c.engine,
+		Runs:                 c.runs.Load(),
+		WallNs:               c.wallNs.Load(),
+		TermProbes:           c.probes.Load(),
+		HeartbeatMisses:      c.heartbeatMisses.Load(),
+		WorkerDeaths:         c.workerDeaths.Load(),
+		BucketsReassigned:    c.reassigned.Load(),
+		ReplayedMessages:     c.replayedMsgs.Load(),
+		Checkpoints:          c.checkpoints.Load(),
+		CheckpointsRejected:  c.ckptRejected.Load(),
+		TruncatedBatches:     c.truncatedMsgs.Load(),
+		CreditStalls:         c.creditStalls.Load(),
 		MemoryPressureEvents: c.memoryPressure.Load(),
-		DroppedBatches:      c.droppedBatches.Load(),
-		NetworkViolations:   c.violations.Load(),
+		DroppedBatches:       c.droppedBatches.Load(),
+		NetworkViolations:    c.violations.Load(),
+		IVMApplies:           c.ivmApplies.Load(),
+		IVMApplyErrors:       c.ivmApplyErrors.Load(),
+		IVMDeltaTuples:       c.ivmDeltaTuples.Load(),
+		IVMInserted:          c.ivmInserted.Load(),
+		IVMDeleted:           c.ivmDeleted.Load(),
+		IVMOverdeleted:       c.ivmOverdeleted.Load(),
+		IVMRederived:         c.ivmRederived.Load(),
+		IVMFirings:           c.ivmFirings.Load(),
+		IVMMaintainNs:        c.ivmMaintainNs.Load(),
+		IVMSnapshots:         c.ivmSnapshots.Load(),
+		IVMEpoch:             c.ivmEpoch.Load(),
 		// Non-nil so a communication-free run still serializes as
 		// "edges": [] — consumers get a stable document shape.
 		Edges: []EdgeMetrics{},

@@ -72,6 +72,20 @@ type MetricsSink struct {
 	planPushdowns *metrics.Counter
 	planDemand    *metrics.Counter
 
+	ivmApplies     *metrics.Counter
+	ivmApplyErrors *metrics.Counter
+	ivmDeltaIns    *metrics.Counter
+	ivmDeltaDel    *metrics.Counter
+	ivmInserted    *metrics.Counter
+	ivmDeleted     *metrics.Counter
+	ivmOverdeleted *metrics.Counter
+	ivmRederived   *metrics.Counter
+	ivmFirings     *metrics.Counter
+	ivmMaintainSec *metrics.Histogram
+	ivmDeltaSize   *metrics.Histogram
+	ivmSnapshots   *metrics.Counter
+	ivmEpoch       *metrics.Gauge
+
 	bucketLoad  *metrics.Histogram // tuples derived per hash bucket, fed per run
 	skewMax     *metrics.Gauge     // max load / mean load across buckets
 	skewMean    *metrics.Gauge     // mean load across buckets
@@ -135,6 +149,20 @@ func NewMetricsSink(reg *metrics.Registry) *MetricsSink {
 		planReordered: reg.Counter("parlog_plan_reordered_atoms_total", "body atoms the planner moved away from their textual join position"),
 		planPushdowns: reg.Counter("parlog_plan_pushdown_constraints_total", "constraints checked before the final join level of their plan"),
 		planDemand:    reg.Counter("parlog_plan_demand_rules_total", "magic/seed rules produced by demand (magic-sets) rewrites"),
+
+		ivmApplies:     reg.Counter("parlog_ivm_applies_total", "maintenance batches applied", metrics.L("ok", "true")),
+		ivmApplyErrors: reg.Counter("parlog_ivm_applies_total", "maintenance batches applied", metrics.L("ok", "false")),
+		ivmDeltaIns:    reg.Counter("parlog_ivm_delta_tuples_total", "EDB delta tuples submitted to Apply", metrics.L("op", "insert")),
+		ivmDeltaDel:    reg.Counter("parlog_ivm_delta_tuples_total", "EDB delta tuples submitted to Apply", metrics.L("op", "delete")),
+		ivmInserted:    reg.Counter("parlog_ivm_inserted_total", "tuples that became live across maintenance batches"),
+		ivmDeleted:     reg.Counter("parlog_ivm_deleted_total", "tuples that became dead across maintenance batches"),
+		ivmOverdeleted: reg.Counter("parlog_ivm_overdeleted_total", "tuples killed by the DRed overdeletion pass"),
+		ivmRederived:   reg.Counter("parlog_ivm_rederived_total", "overdeleted tuples revived by the rederivation pass"),
+		ivmFirings:     reg.Counter("parlog_ivm_firings_total", "ground substitutions enumerated by maintenance passes"),
+		ivmMaintainSec: reg.Histogram("parlog_ivm_maintain_seconds", "wall time of one maintenance batch", latencyBounds),
+		ivmDeltaSize:   reg.Histogram("parlog_ivm_delta_tuples", "EDB delta tuples per maintenance batch", sizeBounds),
+		ivmSnapshots:   reg.Counter("parlog_ivm_snapshots_total", "immutable view snapshots published"),
+		ivmEpoch:       reg.Gauge("parlog_ivm_epoch", "latest published view epoch"),
 
 		bucketLoad: reg.Histogram("parlog_bucket_load_tuples", "tuples derived per hash bucket over completed runs", sizeBounds),
 		skewMax:    reg.Gauge("parlog_load_skew_max_ratio", "max bucket load / mean bucket load of the current processor set"),
@@ -322,6 +350,33 @@ func (m *MetricsSink) PlanCompiled(proc int, pred string, moved, pushdowns int) 
 
 func (m *MetricsSink) DemandRewrite(goal string, rules, magic int) {
 	m.planDemand.Add(int64(magic))
+}
+
+// ApplyStart, ApplyEnd and SnapshotTaken implement the optional IVMSink
+// extension: the live-view counterpart of the run instruments.
+func (m *MetricsSink) ApplyStart(inserts, deletes int) {
+	m.ivmDeltaIns.Add(int64(inserts))
+	m.ivmDeltaDel.Add(int64(deletes))
+	m.ivmDeltaSize.Observe(float64(inserts + deletes))
+}
+
+func (m *MetricsSink) ApplyEnd(inserted, deleted, overdeleted, rederived int, firings int64, wall time.Duration, err error) {
+	if err != nil {
+		m.ivmApplyErrors.Inc()
+		return
+	}
+	m.ivmApplies.Inc()
+	m.ivmInserted.Add(int64(inserted))
+	m.ivmDeleted.Add(int64(deleted))
+	m.ivmOverdeleted.Add(int64(overdeleted))
+	m.ivmRederived.Add(int64(rederived))
+	m.ivmFirings.Add(firings)
+	m.ivmMaintainSec.Observe(wall.Seconds())
+}
+
+func (m *MetricsSink) SnapshotTaken(epoch uint64, tuples int) {
+	m.ivmSnapshots.Inc()
+	m.ivmEpoch.Set(float64(epoch))
 }
 
 func (m *MetricsSink) RunEnd(wall time.Duration) {

@@ -169,6 +169,46 @@ func DemandRewrite(sink EventSink, goal string, rules, magic int) {
 	}
 }
 
+// IVMSink is an optional extension of EventSink for incremental view
+// maintenance: batches applied to a live View, the DRed overdelete/rederive
+// work they caused, and snapshot publication. Like SpanSink and PlanSink,
+// sinks that don't implement it simply miss the stream; emitters use the
+// nil-safe helpers below.
+type IVMSink interface {
+	// ApplyStart reports a maintenance batch beginning: the number of EDB
+	// tuples to insert and delete.
+	ApplyStart(inserts, deletes int)
+	// ApplyEnd reports the batch absorbed: net live-set growth/shrink,
+	// DRed overdeletions and rederivations, the derived work (successful
+	// ground substitutions) the maintenance passes enumerated, and wall
+	// time. err is non-nil when the batch failed.
+	ApplyEnd(inserted, deleted, overdeleted, rederived int, firings int64, wall time.Duration, err error)
+	// SnapshotTaken reports an immutable snapshot being published: the
+	// view epoch it pins and its live tuple count.
+	SnapshotTaken(epoch uint64, tuples int)
+}
+
+// ApplyStart forwards to sink if it implements IVMSink; nil-safe.
+func ApplyStart(sink EventSink, inserts, deletes int) {
+	if is, ok := sink.(IVMSink); ok {
+		is.ApplyStart(inserts, deletes)
+	}
+}
+
+// ApplyEnd forwards to sink if it implements IVMSink; nil-safe.
+func ApplyEnd(sink EventSink, inserted, deleted, overdeleted, rederived int, firings int64, wall time.Duration, err error) {
+	if is, ok := sink.(IVMSink); ok {
+		is.ApplyEnd(inserted, deleted, overdeleted, rederived, firings, wall, err)
+	}
+}
+
+// SnapshotTaken forwards to sink if it implements IVMSink; nil-safe.
+func SnapshotTaken(sink EventSink, epoch uint64, tuples int) {
+	if is, ok := sink.(IVMSink); ok {
+		is.SnapshotTaken(epoch, tuples)
+	}
+}
+
 // fanout broadcasts every event to a fixed list of sinks.
 type fanout struct {
 	sinks []EventSink
@@ -336,6 +376,26 @@ func (f *fanout) SpanRecv(proc, peer int, pred string, tuples int, span, parent 
 func (f *fanout) SpanReplay(bucket, toProc int, span uint64) {
 	for _, s := range f.sinks {
 		SpanReplay(s, bucket, toProc, span)
+	}
+}
+
+// The fanout forwards IVM events to whichever of its sinks implement
+// IVMSink.
+func (f *fanout) ApplyStart(inserts, deletes int) {
+	for _, s := range f.sinks {
+		ApplyStart(s, inserts, deletes)
+	}
+}
+
+func (f *fanout) ApplyEnd(inserted, deleted, overdeleted, rederived int, firings int64, wall time.Duration, err error) {
+	for _, s := range f.sinks {
+		ApplyEnd(s, inserted, deleted, overdeleted, rederived, firings, wall, err)
+	}
+}
+
+func (f *fanout) SnapshotTaken(epoch uint64, tuples int) {
+	for _, s := range f.sinks {
+		SnapshotTaken(s, epoch, tuples)
 	}
 }
 

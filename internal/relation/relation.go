@@ -99,6 +99,17 @@ type Relation struct {
 	table []int32     // open addressing: row id + 1, 0 = empty
 	mask  uint64      // len(table) - 1
 
+	// counts is the optional annotation column of counted mode (see
+	// EnableCounts): counts[i] is row i's derivation count. nil means plain
+	// set mode, where every physical row is live. In counted mode a row with
+	// count 0 is dead-but-canonical (still reachable through the dedup
+	// table, so a later re-insert can detect the rebirth) and a row with
+	// count countSuperseded was replaced by a newer physical row for the
+	// same tuple and is unreachable garbage.
+	counts []int32
+	// junk counts rows that are not live: dead-canonical plus superseded.
+	junk int
+
 	indexes map[uint64]*Index // fast path, keyed by packed column signature
 	extra   []*Index          // overflow for column sets the packing can't encode
 }
@@ -127,8 +138,14 @@ func FromTuples(arity int, tuples [][]ast.Value) *Relation {
 // Arity returns the tuple width.
 func (r *Relation) Arity() int { return r.arity }
 
-// Len returns the number of distinct tuples.
-func (r *Relation) Len() int { return r.n }
+// Len returns the number of distinct live tuples. In plain set mode that is
+// the physical row count; in counted mode dead and superseded rows are
+// excluded. Use NumRows for the physical bound (watermarks, Row loops).
+func (r *Relation) Len() int { return r.n - r.junk }
+
+// NumRows returns the physical row count of the arena, including dead and
+// superseded rows of counted mode. Row ids range over [0, NumRows).
+func (r *Relation) NumRows() int { return r.n }
 
 // row returns the arena slice of row i, capacity-capped so an append by a
 // careless caller cannot clobber the following row.
@@ -166,6 +183,10 @@ func (r *Relation) Insert(t Tuple) bool {
 	if len(t) != r.arity {
 		panic(fmt.Sprintf("relation: inserting arity-%d tuple into arity-%d relation", len(t), r.arity))
 	}
+	if r.counts != nil {
+		_, alive := r.InsertDelta(t, 1)
+		return alive
+	}
 	i := hashVals(t) & r.mask
 	for {
 		s := r.table[i]
@@ -188,10 +209,15 @@ func (r *Relation) Insert(t Tuple) bool {
 }
 
 // growTable doubles the hash table, rehashing every row from the arena.
+// Superseded rows (counted mode) are skipped: only the canonical physical
+// row of each tuple lives in the table.
 func (r *Relation) growTable() {
 	nt := make([]int32, len(r.table)*2)
 	mask := uint64(len(nt) - 1)
 	for row := 0; row < r.n; row++ {
+		if r.counts != nil && r.counts[row] == countSuperseded {
+			continue
+		}
 		i := r.hashRow(row) & mask
 		for nt[i] != 0 {
 			i = (i + 1) & mask
@@ -202,7 +228,7 @@ func (r *Relation) growTable() {
 	r.mask = mask
 }
 
-// Contains reports membership.
+// Contains reports membership; in counted mode, membership of the live set.
 func (r *Relation) Contains(t Tuple) bool {
 	if len(t) != r.arity {
 		return false
@@ -214,7 +240,7 @@ func (r *Relation) Contains(t Tuple) bool {
 			return false
 		}
 		if r.rowEqual(int(s-1), t) {
-			return true
+			return r.counts == nil || r.counts[s-1] > 0
 		}
 		i = (i + 1) & r.mask
 	}
@@ -225,9 +251,18 @@ func (r *Relation) Contains(t Tuple) bool {
 // reflected); the tuples themselves must not be modified. Prefer Len/Row in
 // hot loops — Rows allocates the header slice.
 func (r *Relation) Rows() []Tuple {
-	out := make([]Tuple, r.n)
-	for i := range out {
-		out[i] = r.row(i)
+	if r.counts == nil {
+		out := make([]Tuple, r.n)
+		for i := range out {
+			out[i] = r.row(i)
+		}
+		return out
+	}
+	out := make([]Tuple, 0, r.n-r.junk)
+	for i := 0; i < r.n; i++ {
+		if r.counts[i] > 0 {
+			out = append(out, r.row(i))
+		}
 	}
 	return out
 }
@@ -251,16 +286,23 @@ func (r *Relation) Clone() *Relation {
 		n:     r.n,
 		table: append([]int32(nil), r.table...),
 		mask:  r.mask,
+		junk:  r.junk,
+	}
+	if r.counts != nil {
+		out.counts = append([]int32(nil), r.counts...)
 	}
 	return out
 }
 
-// Equal reports whether r and s contain exactly the same tuples.
+// Equal reports whether r and s contain exactly the same live tuples.
 func (r *Relation) Equal(s *Relation) bool {
-	if r.arity != s.arity || r.n != s.n {
+	if r.arity != s.arity || r.Len() != s.Len() {
 		return false
 	}
 	for i := 0; i < r.n; i++ {
+		if r.counts != nil && r.counts[i] <= 0 {
+			continue
+		}
 		if !s.Contains(r.row(i)) {
 			return false
 		}

@@ -21,12 +21,14 @@ type scanIter struct {
 }
 
 func (s *scanIter) Next() Tuple {
-	if s.next >= s.hi {
-		return nil
+	for s.next < s.hi {
+		row := s.next
+		s.next++
+		if s.r.Alive(row) {
+			return s.r.Row(row)
+		}
 	}
-	t := s.r.Row(s.next)
-	s.next++
-	return t
+	return nil
 }
 
 // Scan streams rows [lo,hi) of r in insertion order. hi is clamped to the
@@ -35,7 +37,7 @@ func Scan(r *Relation, lo, hi int) Iterator {
 	if r == nil {
 		return &scanIter{}
 	}
-	if n := r.Len(); hi > n {
+	if n := r.NumRows(); hi > n {
 		hi = n
 	}
 	if lo < 0 {
@@ -51,12 +53,14 @@ type probeIter struct {
 }
 
 func (p *probeIter) Next() Tuple {
-	if len(p.run) == 0 {
-		return nil
+	for len(p.run) > 0 {
+		row := int(p.run[0])
+		p.run = p.run[1:]
+		if p.r.Alive(row) {
+			return p.r.Row(row)
+		}
 	}
-	t := p.r.Row(int(p.run[0]))
-	p.run = p.run[1:]
-	return t
+	return nil
 }
 
 // Probe streams the rows of r in [lo,hi) whose cols equal vals, in
@@ -71,7 +75,7 @@ func Probe(r *Relation, cols []int, vals []ast.Value, lo, hi int) Iterator {
 	if len(cols) == 0 {
 		return Scan(r, lo, hi)
 	}
-	if n := r.Len(); hi > n {
+	if n := r.NumRows(); hi > n {
 		hi = n
 	}
 	if lo >= hi {

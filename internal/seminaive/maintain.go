@@ -1,0 +1,855 @@
+package seminaive
+
+import (
+	"fmt"
+
+	"parlog/internal/analysis"
+	"parlog/internal/ast"
+	"parlog/internal/relation"
+)
+
+// Incremental view maintenance: counting-based insert propagation plus
+// DRed-style (delete and rederive) deletion, over the same arena watermarks
+// that drive semi-naive evaluation.
+//
+// Every relation runs in counted mode: a tuple's count is the number of its
+// base supports (EDB presence, program fact) plus the number of successful
+// rule firings deriving it — the immediate-consequence count, which is
+// independent of evaluation order, so the exactly-once delta decomposition
+// of DeltaVariants computes it for free during materialization and insert
+// propagation. Deletions go through DRed: an overdeletion fixpoint marks
+// everything whose support might be gone (so the counts of every unmarked
+// tuple are untouched by construction), the marked rows are killed, and a
+// rederivation fixpoint revives marked tuples that still have support from
+// the surviving model, recomputing their counts exactly.
+//
+// Newly-live tuples always occupy freshly appended rows (rebirth appends
+// and repoints, see relation.InsertDelta), so "the tuples that became live
+// since row watermark w" is exactly the row range [w, NumRows) filtered by
+// liveness — maintenance reuses Plan.Enumerate and DeltaVariants verbatim.
+
+// base-support bits, stored per physical row in IVM.sup.
+const (
+	supEDB  uint8 = 1 << 0 // present in the (mutable) EDB input
+	supFact uint8 = 1 << 1 // program fact; permanent, Apply cannot remove it
+)
+
+func supCount(bits uint8) int32 { return int32(bits&1 + bits>>1&1) }
+
+// delPred names the scratch overdeletion relation of pred.
+func delPred(pred string) string { return pred + "@del" }
+
+// MaintainStats reports what one Apply did.
+type MaintainStats struct {
+	// Inserted and Deleted count the net live-set changes (all predicates,
+	// base and derived).
+	Inserted, Deleted int
+	// Overdeleted counts tuples killed by the DRed overdeletion pass;
+	// Rederived counts how many of them came back.
+	Overdeleted, Rederived int
+	// Firings is the maintenance passes' derived work: successful ground
+	// substitutions enumerated while propagating the delta — the quantity
+	// E19 compares against a from-scratch refixpoint.
+	Firings int64
+	// Iterations counts semi-naive rounds across all maintenance passes.
+	Iterations int
+}
+
+// IVM is an incrementally maintained materialization of a program's least
+// model. Not safe for concurrent use — the caller (parlog.View) serializes
+// Apply against snapshotting.
+type IVM struct {
+	prog    *ast.Program
+	rules   []ast.Rule
+	arities map[string]int
+	store   relation.Store
+	sup     map[string][]uint8 // per-row base-support bits, parallel to rows
+	opts    Options
+	cfg     PlanConfig
+
+	headRules map[string][]ast.Rule // rules grouped by head predicate
+	sccs      [][]string
+	sccRules  [][]ast.Rule // rules whose head is in SCC i
+	inSCC     []map[string]bool
+
+	delPlans    []delPlan // overdeletion variants, one per (rule, body pos)
+	revivePlans [][]*Plan // rederivation delta variants, per rule
+}
+
+type delPlan struct {
+	head string // real head predicate
+	plan *Plan  // compiled over the @del-renamed rule
+}
+
+// NewIVM materializes prog over edb with counting and returns the handle
+// plus the materialization's evaluation stats. Negation, constraints and
+// naive mode are not supported — maintenance rules must stay plain
+// range-restricted Datalog.
+func NewIVM(prog *ast.Program, edb relation.Store, opts Options) (*IVM, *Stats, error) {
+	if opts.Naive {
+		return nil, nil, fmt.Errorf("seminaive: naive iteration does not support incremental maintenance")
+	}
+	if err := analysis.CheckSafety(prog); err != nil {
+		return nil, nil, err
+	}
+	if analysis.HasNegation(prog) {
+		return nil, nil, fmt.Errorf("seminaive: incremental maintenance does not support negation")
+	}
+	rules, facts := prog.FactTuples()
+	for _, r := range rules {
+		if len(r.Constraints) > 0 {
+			return nil, nil, fmt.Errorf("seminaive: incremental maintenance does not support constraints")
+		}
+	}
+	arities := prog.Arities()
+	for pred, r := range edb {
+		if want, ok := arities[pred]; ok && r.Arity() != want {
+			return nil, nil, fmt.Errorf("seminaive: EDB relation %s has arity %d, program uses %d", pred, r.Arity(), want)
+		}
+		if _, ok := arities[pred]; !ok {
+			arities[pred] = r.Arity()
+		}
+	}
+
+	m := &IVM{
+		prog:      prog,
+		rules:     rules,
+		arities:   arities,
+		store:     relation.Store{},
+		sup:       map[string][]uint8{},
+		opts:      opts,
+		headRules: map[string][]ast.Rule{},
+	}
+	m.cfg = PlanConfig{Mode: opts.Planner, Card: func(pred string) int {
+		if rel, ok := m.store[pred]; ok {
+			return rel.Len()
+		}
+		return 0
+	}}
+	for pred, ar := range arities {
+		rel := relation.New(ar)
+		rel.EnableCounts(0)
+		m.store[pred] = rel
+	}
+	for _, r := range rules {
+		m.headRules[r.Head.Pred] = append(m.headRules[r.Head.Pred], r)
+	}
+
+	// Base supports: the EDB input and the program's facts.
+	for pred, rel := range edb {
+		for _, t := range rel.Rows() {
+			m.addSupport(pred, t, supEDB)
+		}
+	}
+	for pred, tuples := range facts {
+		for _, t := range tuples {
+			m.addSupport(pred, t, supFact)
+		}
+	}
+
+	// SCC structure, mirroring Eval.
+	g := analysis.Dependencies(prog)
+	m.sccs = g.SCCs()
+	comp := map[string]int{}
+	for i, scc := range m.sccs {
+		for _, p := range scc {
+			comp[p] = i
+		}
+	}
+	m.sccRules = make([][]ast.Rule, len(m.sccs))
+	m.inSCC = make([]map[string]bool, len(m.sccs))
+	for i, scc := range m.sccs {
+		m.inSCC[i] = map[string]bool{}
+		for _, p := range scc {
+			m.inSCC[i][p] = true
+		}
+	}
+	for _, r := range rules {
+		i := comp[r.Head.Pred]
+		m.sccRules[i] = append(m.sccRules[i], r)
+	}
+
+	// Overdeletion variants: p@del :- a1, …, ai@del, …, ak — one per body
+	// position, delta on the @del atom, every other atom reading the full
+	// pre-deletion extent. Set semantics, so planner exactness is not
+	// needed; compiled once, reused by every Apply.
+	for _, r := range rules {
+		for i := range r.Body {
+			dr := ast.Rule{Head: r.Head.Clone(), Body: make([]ast.Atom, len(r.Body))}
+			dr.Head.Pred = delPred(r.Head.Pred)
+			for j, a := range r.Body {
+				dr.Body[j] = a.Clone()
+			}
+			dr.Body[i].Pred = delPred(dr.Body[i].Pred)
+			ranges := make([]RangeKind, len(dr.Body))
+			ranges[i] = RangeDelta
+			m.delPlans = append(m.delPlans, delPlan{
+				head: r.Head.Pred,
+				plan: CompileWith(dr, ranges, PlanConfig{Mode: m.cfg.Mode}),
+			})
+		}
+	}
+	// Rederivation variants: delta on every body position (revived tuples
+	// can sit anywhere in a body).
+	m.revivePlans = make([][]*Plan, len(rules))
+	for ri, r := range rules {
+		all := make([]int, len(r.Body))
+		for i := range all {
+			all[i] = i
+		}
+		m.revivePlans[ri] = DeltaVariantsWith(r, all, PlanConfig{Mode: m.cfg.Mode})
+	}
+
+	stats, err := m.materialize()
+	if err != nil {
+		return nil, nil, err
+	}
+	return m, stats, nil
+}
+
+// Store returns the live counted store. Callers must treat it as read-only;
+// snapshot readers should use SnapshotStore.
+func (m *IVM) Store() relation.Store { return m.store }
+
+// SnapshotStore compacts every relation's live extent into immutable
+// plain-mode relations sharing the arena where possible (relation.Compact).
+func (m *IVM) SnapshotStore() relation.Store {
+	out := make(relation.Store, len(m.store))
+	for pred, rel := range m.store {
+		out[pred] = rel.Compact()
+	}
+	return out
+}
+
+// IsEDB reports whether pred is a base predicate (never a rule head) —
+// the only predicates Apply accepts deltas for.
+func (m *IVM) IsEDB(pred string) bool {
+	_, ok := m.store[pred]
+	return ok && len(m.headRules[pred]) == 0
+}
+
+// Arity returns pred's arity, or -1 if unknown.
+func (m *IVM) Arity(pred string) int {
+	if ar, ok := m.arities[pred]; ok {
+		return ar
+	}
+	return -1
+}
+
+// addSupport adds one base-support bit to t, inserting it if needed.
+// Adding a bit the tuple already has is a no-op (set semantics per kind).
+func (m *IVM) addSupport(pred string, t relation.Tuple, bit uint8) bool {
+	rel := m.store[pred]
+	row := rel.LookupRow(t)
+	if row >= 0 && rel.Alive(row) {
+		if m.sup[pred][row]&bit != 0 {
+			return false
+		}
+		m.sup[pred][row] |= bit
+		rel.AddDelta(row, 1)
+		return true
+	}
+	row, _ = rel.InsertDelta(t, 1)
+	m.pad(pred)
+	m.sup[pred][row] = bit
+	return true
+}
+
+// pad grows pred's support column to the relation's physical length.
+func (m *IVM) pad(pred string) {
+	rel := m.store[pred]
+	s := m.sup[pred]
+	for len(s) < rel.NumRows() {
+		s = append(s, 0)
+	}
+	m.sup[pred] = s
+}
+
+// interrupted proxies the options' cancellation check.
+func (m *IVM) interrupted() error { return m.opts.interrupted() }
+
+// materialize runs the initial counted fixpoint, SCC by SCC — evalSCC with
+// InsertDelta so every successful firing increments its head's count.
+func (m *IVM) materialize() (*Stats, error) {
+	stats := newStats()
+	for i := range m.sccs {
+		var nonRec []ast.Rule
+		var rec []ast.Rule
+		var recAtoms [][]int
+		for _, r := range m.sccRules[i] {
+			var ra []int
+			for j, a := range r.Body {
+				if m.inSCC[i][a.Pred] {
+					ra = append(ra, j)
+				}
+			}
+			if len(ra) > 0 {
+				rec = append(rec, r)
+				recAtoms = append(recAtoms, ra)
+			} else {
+				nonRec = append(nonRec, r)
+			}
+		}
+		if len(nonRec) == 0 && len(rec) == 0 {
+			continue
+		}
+
+		for _, r := range nonRec {
+			plan := CompileWith(r, nil, m.cfg)
+			rel := m.store[r.Head.Pred]
+			buf := make(relation.Tuple, r.Head.Arity())
+			n := plan.Enumerate(m.store, nil, func(vals []ast.Value) bool {
+				if _, fresh := rel.InsertDelta(plan.HeadTupleInto(buf, vals), 1); fresh {
+					stats.New++
+				}
+				return true
+			})
+			m.pad(r.Head.Pred)
+			stats.Firings += n
+			stats.FiringsByPred[r.Head.Pred] += n
+		}
+		if len(rec) == 0 {
+			continue
+		}
+
+		var plans [][]*Plan
+		for ri, r := range rec {
+			plans = append(plans, DeltaVariantsWith(r, recAtoms[ri], m.cfg))
+		}
+		w := &Watermarks{Prev: map[string]int{}, Cur: map[string]int{}}
+		for p := range m.inSCC[i] {
+			w.Prev[p] = 0
+			w.Cur[p] = m.store[p].NumRows()
+		}
+		for {
+			stats.Iterations++
+			if m.opts.MaxIterations > 0 && stats.Iterations > m.opts.MaxIterations {
+				return nil, fmt.Errorf("seminaive: exceeded %d iterations", m.opts.MaxIterations)
+			}
+			if err := m.interrupted(); err != nil {
+				return nil, err
+			}
+			var fresh int64
+			for ri, r := range rec {
+				rel := m.store[r.Head.Pred]
+				buf := make(relation.Tuple, r.Head.Arity())
+				var n int64
+				for _, plan := range plans[ri] {
+					n += plan.Enumerate(m.store, w, func(vals []ast.Value) bool {
+						if _, f := rel.InsertDelta(plan.HeadTupleInto(buf, vals), 1); f {
+							fresh++
+						}
+						return true
+					})
+				}
+				m.pad(r.Head.Pred)
+				stats.Firings += n
+				stats.FiringsByPred[r.Head.Pred] += n
+			}
+			stats.New += fresh
+			if fresh == 0 {
+				break
+			}
+			for p := range m.inSCC[i] {
+				w.Prev[p] = w.Cur[p]
+				w.Cur[p] = m.store[p].NumRows()
+			}
+		}
+	}
+	return stats, nil
+}
+
+// Apply absorbs one batch of EDB deletes and inserts (deletes first) and
+// restores the counting invariant for every live tuple. Both maps are
+// per-predicate tuple lists; predicates must be base (IsEDB). Deleting an
+// absent tuple or inserting a present one is a no-op.
+func (m *IVM) Apply(deletes, inserts map[string][]relation.Tuple) (*MaintainStats, error) {
+	st := &MaintainStats{}
+	for pred, ts := range deletes {
+		if !m.IsEDB(pred) {
+			return nil, fmt.Errorf("seminaive: cannot delete from %q: not a base (EDB) predicate", pred)
+		}
+		for _, t := range ts {
+			if len(t) != m.store[pred].Arity() {
+				return nil, fmt.Errorf("seminaive: delete %s: arity %d, want %d", pred, len(t), m.store[pred].Arity())
+			}
+		}
+	}
+	for pred, ts := range inserts {
+		if !m.IsEDB(pred) {
+			return nil, fmt.Errorf("seminaive: cannot insert into %q: not a base (EDB) predicate", pred)
+		}
+		for _, t := range ts {
+			if len(t) != m.store[pred].Arity() {
+				return nil, fmt.Errorf("seminaive: insert %s: arity %d, want %d", pred, len(t), m.store[pred].Arity())
+			}
+		}
+	}
+	if err := m.applyDeletes(deletes, st); err != nil {
+		return nil, err
+	}
+	if err := m.applyInserts(inserts, st); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// applyDeletes runs DRed: seed the overdeletion with the EDB tuples whose
+// last support is being removed, propagate the overdeletion to a fixpoint
+// over the pre-deletion extent, kill every marked row, then revive marked
+// tuples that still have support and recompute their counts exactly.
+func (m *IVM) applyDeletes(deletes map[string][]relation.Tuple, st *MaintainStats) error {
+	type markedTuple struct {
+		pred  string
+		tuple relation.Tuple
+		bits  uint8
+	}
+	var marked []markedTuple
+	markedBits := map[string]map[string]uint8{} // pred → tuple key → bits
+
+	mark := func(pred string, t relation.Tuple, bits uint8) {
+		marked = append(marked, markedTuple{pred, t, bits})
+		mb := markedBits[pred]
+		if mb == nil {
+			mb = map[string]uint8{}
+			markedBits[pred] = mb
+		}
+		mb[t.Key()] = bits
+	}
+
+	// Seed: remove the EDB support bit; a tuple whose only support it was
+	// enters the overdeletion set. Seeds are NOT killed yet — the
+	// overdeletion fixpoint must run over the full pre-deletion extent, or
+	// a firing joining two dying tuples would be invisible to every delta
+	// variant.
+	delStore := relation.Store{}
+	seeded := false
+	for pred, ts := range deletes {
+		rel := m.store[pred]
+		for _, t := range ts {
+			row := rel.LookupRow(t)
+			if row < 0 || !rel.Alive(row) || m.sup[pred][row]&supEDB == 0 {
+				continue
+			}
+			m.sup[pred][row] &^= supEDB
+			if rel.CountOf(row) == 1 {
+				// Its one support is gone (an EDB predicate has no rule
+				// derivations; a fact bit would make the count 2): mark,
+				// defer the kill.
+				mark(pred, t.Clone(), m.sup[pred][row])
+				delStore.Get(delPred(pred), rel.Arity()).Insert(t)
+				seeded = true
+			} else {
+				rel.AddDelta(row, -1)
+			}
+		}
+	}
+	if !seeded {
+		return nil
+	}
+
+	// Overdelete fixpoint over the combined store: real relations keep
+	// their full pre-deletion extents (marked rows are not killed until
+	// after the fixpoint), @del relations grow semi-naively. Real preds get
+	// no watermark entries, so RangeFull positions read their full extents.
+	combined := make(relation.Store, 2*len(m.store))
+	for p, r := range m.store {
+		combined[p] = r
+		combined[delPred(p)] = delStore.Get(delPred(p), r.Arity())
+	}
+	w := &Watermarks{Prev: map[string]int{}, Cur: map[string]int{}}
+	for pred := range m.store {
+		dp := delPred(pred)
+		w.Prev[dp] = 0
+		w.Cur[dp] = delStore[dp].NumRows()
+	}
+	for {
+		st.Iterations++
+		if m.opts.MaxIterations > 0 && st.Iterations > m.opts.MaxIterations {
+			return fmt.Errorf("seminaive: overdeletion exceeded %d iterations", m.opts.MaxIterations)
+		}
+		if err := m.interrupted(); err != nil {
+			return err
+		}
+		fresh := 0
+		for _, dp := range m.delPlans {
+			rel := m.store[dp.head]
+			dRel := delStore[delPred(dp.head)]
+			buf := make(relation.Tuple, rel.Arity())
+			n := dp.plan.Enumerate(combined, w, func(vals []ast.Value) bool {
+				t := dp.plan.HeadTupleInto(buf, vals)
+				if dRel.Insert(t) {
+					fresh++
+					row := rel.LookupRow(t)
+					// Every overdeleted tuple is derivable from tuples in
+					// the pre-deletion model, hence present and alive.
+					mark(dp.head, t.Clone(), m.sup[dp.head][row])
+				}
+				return true
+			})
+			st.Firings += n
+		}
+		if fresh == 0 {
+			break
+		}
+		for pred := range m.store {
+			dp := delPred(pred)
+			w.Prev[dp] = w.Cur[dp]
+			w.Cur[dp] = delStore[dp].NumRows()
+		}
+	}
+
+	// Kill every marked row (seeds included).
+	for _, mk := range marked {
+		rel := m.store[mk.pred]
+		row := rel.LookupRow(mk.tuple)
+		rel.AddDelta(row, -rel.CountOf(row))
+		m.sup[mk.pred][row] = 0
+		st.Overdeleted++
+	}
+
+	// Rederive: revive marked tuples that still have base support or a
+	// derivation from the surviving model, then propagate revivals to a
+	// fixpoint. Revivals append fresh rows, so real-predicate watermarks
+	// delimit each round's delta.
+	baseN := map[string]int{}
+	for pred, rel := range m.store {
+		baseN[pred] = rel.NumRows()
+	}
+	type revivedTuple struct {
+		pred  string
+		tuple relation.Tuple
+		row   int
+		bits  uint8
+	}
+	var revived []revivedTuple
+	revive := func(pred string, t relation.Tuple, bits uint8) {
+		rel := m.store[pred]
+		row, _ := rel.InsertDelta(t, 1) // placeholder count; fixed in recount
+		m.pad(pred)
+		m.sup[pred][row] = bits
+		revived = append(revived, revivedTuple{pred, t, row, bits})
+		st.Rederived++
+	}
+	for _, mk := range marked {
+		rel := m.store[mk.pred]
+		if rel.Alive(rel.LookupRow(mk.tuple)) {
+			continue // already revived (duplicate mark entry)
+		}
+		if supCount(mk.bits) > 0 || m.countDerivations(mk.pred, mk.tuple, true, st) > 0 {
+			revive(mk.pred, mk.tuple, mk.bits)
+		}
+	}
+	rw := &Watermarks{Prev: map[string]int{}, Cur: map[string]int{}}
+	for pred, rel := range m.store {
+		rw.Prev[pred] = baseN[pred]
+		rw.Cur[pred] = rel.NumRows()
+	}
+	for {
+		st.Iterations++
+		if m.opts.MaxIterations > 0 && st.Iterations > m.opts.MaxIterations {
+			return fmt.Errorf("seminaive: rederivation exceeded %d iterations", m.opts.MaxIterations)
+		}
+		if err := m.interrupted(); err != nil {
+			return err
+		}
+		nRevived := len(revived)
+		for ri, r := range m.rules {
+			rel := m.store[r.Head.Pred]
+			buf := make(relation.Tuple, r.Head.Arity())
+			for _, plan := range m.revivePlans[ri] {
+				n := plan.Enumerate(m.store, rw, func(vals []ast.Value) bool {
+					t := plan.HeadTupleInto(buf, vals)
+					row := rel.LookupRow(t)
+					if row >= 0 && !rel.Alive(row) {
+						// Dead-but-canonical: it was marked this Apply (dead
+						// rows from earlier Applies have no derivations over
+						// the live extent, by the counting invariant).
+						// Revive it with its recorded support bits.
+						revive(r.Head.Pred, t.Clone(), markedBits[r.Head.Pred][t.Key()])
+					}
+					return true
+				})
+				st.Firings += n
+			}
+		}
+		if len(revived) == nRevived {
+			break
+		}
+		for pred, rel := range m.store {
+			rw.Prev[pred] = rw.Cur[pred]
+			rw.Cur[pred] = rel.NumRows()
+		}
+	}
+
+	// Exact recount over the final extent: a revived tuple's count is its
+	// base supports plus its surviving derivations.
+	for _, rv := range revived {
+		c := supCount(rv.bits) + m.countDerivations(rv.pred, rv.tuple, false, st)
+		m.store[rv.pred].SetCount(rv.row, c)
+	}
+	st.Deleted += st.Overdeleted - st.Rederived
+	return nil
+}
+
+// countDerivations counts the successful ground substitutions of rules with
+// head pred deriving exactly t, over the current live extent. With
+// earlyExit it stops at the first one (the existence check the rederivation
+// seed needs). The firings are charged to st as maintenance work.
+func (m *IVM) countDerivations(pred string, t relation.Tuple, earlyExit bool, st *MaintainStats) int32 {
+	var total int32
+	for _, r := range m.headRules[pred] {
+		bind := map[string]ast.Value{}
+		ok := true
+		for i, arg := range r.Head.Args {
+			if !arg.IsVar() {
+				if arg.Value != t[i] {
+					ok = false
+					break
+				}
+				continue
+			}
+			if v, seen := bind[arg.VarName]; seen {
+				if v != t[i] {
+					ok = false
+					break
+				}
+				continue
+			}
+			bind[arg.VarName] = t[i]
+		}
+		if !ok {
+			continue
+		}
+		total += m.countBody(r.Body, 0, bind, earlyExit, st)
+		if earlyExit && total > 0 {
+			return total
+		}
+	}
+	return total
+}
+
+// countBody recursively joins body[k:] under the bindings, counting
+// satisfying ground substitutions over the live extent.
+func (m *IVM) countBody(body []ast.Atom, k int, bind map[string]ast.Value, earlyExit bool, st *MaintainStats) int32 {
+	if k == len(body) {
+		st.Firings++
+		return 1
+	}
+	a := body[k]
+	rel, ok := m.store[a.Pred]
+	if !ok || rel.Len() == 0 {
+		return 0
+	}
+	var boundCols []int
+	var boundVals []ast.Value
+	for i, arg := range a.Args {
+		if !arg.IsVar() {
+			boundCols = append(boundCols, i)
+			boundVals = append(boundVals, arg.Value)
+		} else if v, seen := bind[arg.VarName]; seen {
+			boundCols = append(boundCols, i)
+			boundVals = append(boundVals, v)
+		}
+	}
+	var total int32
+	visit := func(row int) bool {
+		if !rel.Alive(row) {
+			return true
+		}
+		tuple := rel.Row(row)
+		var fresh []string
+		match := true
+		for i, arg := range a.Args {
+			if !arg.IsVar() {
+				continue
+			}
+			if v, seen := bind[arg.VarName]; seen {
+				if v != tuple[i] {
+					match = false
+					break
+				}
+				continue
+			}
+			bind[arg.VarName] = tuple[i]
+			fresh = append(fresh, arg.VarName)
+		}
+		if match {
+			total += m.countBody(body, k+1, bind, earlyExit, st)
+		}
+		for _, v := range fresh {
+			delete(bind, v)
+		}
+		return !(earlyExit && total > 0)
+	}
+	if len(boundCols) == 0 {
+		for row := 0; row < rel.NumRows(); row++ {
+			if !visit(row) {
+				break
+			}
+		}
+	} else {
+		rel.IndexOn(boundCols...).Lookup(boundVals, 0, rel.NumRows(), visit)
+	}
+	return total
+}
+
+// applyInserts adds EDB support for the batch and propagates the newly-live
+// tuples through the rules, SCC by SCC, with the counting delta pass.
+func (m *IVM) applyInserts(inserts map[string][]relation.Tuple, st *MaintainStats) error {
+	baseN := map[string]int{}
+	for pred, rel := range m.store {
+		baseN[pred] = rel.NumRows()
+	}
+	changed := false
+	for pred, ts := range inserts {
+		for _, t := range ts {
+			rel := m.store[pred]
+			row := rel.LookupRow(t)
+			alive := row >= 0 && rel.Alive(row)
+			if m.addSupport(pred, t.Clone(), supEDB) && !alive {
+				st.Inserted++
+				changed = true
+			}
+		}
+	}
+	if !changed {
+		return nil
+	}
+
+	for i := range m.sccs {
+		// Delta positions: in-SCC atoms (they grow during this SCC's own
+		// fixpoint) plus lower atoms whose predicates gained rows this
+		// Apply. The SCC runs if any of its predicates already grew or any
+		// of its rules reads a changed lower predicate — and then EVERY
+		// rule with a delta position joins the rounds, because a rule fed
+		// only by in-SCC deltas still fires off rows that sibling rules
+		// append during the fixpoint.
+		type compiled struct {
+			head  string
+			plans []*Plan
+			lower map[string]bool // lower changed preds, emptied after round 1
+		}
+		active := false
+		for p := range m.inSCC[i] {
+			if m.store[p].NumRows() > baseN[p] {
+				active = true
+			}
+		}
+		type ruleDelta struct {
+			r        ast.Rule
+			deltaPos []int
+			lower    map[string]bool
+		}
+		var rds []ruleDelta
+		for _, r := range m.sccRules[i] {
+			var deltaPos []int
+			lower := map[string]bool{}
+			for j, a := range r.Body {
+				if m.inSCC[i][a.Pred] {
+					deltaPos = append(deltaPos, j)
+				} else if m.store[a.Pred] != nil && m.store[a.Pred].NumRows() > baseN[a.Pred] {
+					deltaPos = append(deltaPos, j)
+					lower[a.Pred] = true
+				}
+			}
+			if len(deltaPos) == 0 {
+				continue
+			}
+			if len(lower) > 0 {
+				active = true
+			}
+			rds = append(rds, ruleDelta{r, deltaPos, lower})
+		}
+		if !active {
+			continue
+		}
+		var cs []compiled
+		for _, rd := range rds {
+			cs = append(cs, compiled{
+				head:  rd.r.Head.Pred,
+				plans: DeltaVariantsWith(rd.r, rd.deltaPos, m.cfg),
+				lower: rd.lower,
+			})
+		}
+		if len(cs) == 0 {
+			continue
+		}
+		w := &Watermarks{Prev: map[string]int{}, Cur: map[string]int{}}
+		for p := range m.inSCC[i] {
+			w.Prev[p] = baseN[p]
+			w.Cur[p] = m.store[p].NumRows()
+		}
+		for _, c := range cs {
+			for p := range c.lower {
+				w.Prev[p] = baseN[p]
+				w.Cur[p] = m.store[p].NumRows()
+			}
+		}
+		round := 0
+		for {
+			round++
+			st.Iterations++
+			if m.opts.MaxIterations > 0 && round > m.opts.MaxIterations {
+				return fmt.Errorf("seminaive: insert propagation exceeded %d iterations", m.opts.MaxIterations)
+			}
+			if err := m.interrupted(); err != nil {
+				return err
+			}
+			fresh := 0
+			for _, c := range cs {
+				rel := m.store[c.head]
+				buf := make(relation.Tuple, rel.Arity())
+				for _, plan := range c.plans {
+					n := plan.Enumerate(m.store, w, func(vals []ast.Value) bool {
+						if _, f := rel.InsertDelta(plan.HeadTupleInto(buf, vals), 1); f {
+							fresh++
+							st.Inserted++
+						}
+						return true
+					})
+					st.Firings += n
+				}
+				m.pad(c.head)
+			}
+			if fresh == 0 {
+				break
+			}
+			// Lower-predicate deltas are one-shot: after the first round
+			// their windows close (Prev = Cur makes RangePrev cover the
+			// whole extent and RangeDelta empty).
+			for _, c := range cs {
+				for p := range c.lower {
+					w.Prev[p] = w.Cur[p]
+				}
+			}
+			for p := range m.inSCC[i] {
+				w.Prev[p] = w.Cur[p]
+				w.Cur[p] = m.store[p].NumRows()
+			}
+		}
+	}
+	return nil
+}
+
+// Audit recomputes every live tuple's count from scratch — base supports
+// plus a full goal-directed derivation count — and reports the first
+// mismatch. It is the counting invariant's tripwire, meant for tests; cost
+// is proportional to the whole model.
+func (m *IVM) Audit() error {
+	scratch := &MaintainStats{}
+	for pred, rel := range m.store {
+		for row := 0; row < rel.NumRows(); row++ {
+			if !rel.Alive(row) {
+				continue
+			}
+			t := rel.Row(row)
+			want := supCount(m.sup[pred][row]) + m.countDerivations(pred, t, false, scratch)
+			if got := rel.CountOf(row); got != want {
+				return fmt.Errorf("seminaive: count invariant violated: %s%v has count %d, expected %d",
+					pred, t, got, want)
+			}
+		}
+	}
+	return nil
+}

@@ -514,7 +514,7 @@ func (p *Plan) Enumerate(store relation.Store, w *Watermarks, fn func(vals []ast
 		if !ok || rel.Len() == 0 {
 			return
 		}
-		lo, hi := w.bounds(ae.pred, ae.kind, rel.Len())
+		lo, hi := w.bounds(ae.pred, ae.kind, rel.NumRows())
 		if lo >= hi {
 			return
 		}
@@ -528,6 +528,11 @@ func (p *Plan) Enumerate(store relation.Store, w *Watermarks, fn func(vals []ast
 		}
 		ix := rel.IndexOn(ae.boundCols...)
 		ix.Lookup(lookupVals, lo, hi, func(row int) bool {
+			if !rel.Alive(row) {
+				// Counted relations (view maintenance) keep dead rows in the
+				// arena; joins see only the live extent.
+				return true
+			}
 			tuple := rel.Row(row)
 			for ci, col := range ae.freeCols {
 				vals[ae.freeSlots[ci]] = tuple[col]

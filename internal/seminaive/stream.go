@@ -108,7 +108,7 @@ func (c *Cursor) open(k int) relation.Iterator {
 	if !ok || rel.Len() == 0 {
 		return nil
 	}
-	lo, hi := c.w.bounds(ae.pred, ae.kind, rel.Len())
+	lo, hi := c.w.bounds(ae.pred, ae.kind, rel.NumRows())
 	if lo >= hi {
 		return nil
 	}

@@ -121,6 +121,29 @@ func (p *Program) Intern(name string) Value { return p.ast.Interner.Intern(name)
 // ConstName returns the spelling of an interned constant.
 func (p *Program) ConstName(v Value) string { return p.ast.Interner.Name(v) }
 
+// ExtractFacts removes the program's ground facts and returns them as an
+// EDB store, leaving only proper rules behind. Facts written in the program
+// text are otherwise axioms — a View opened on the program treats them as
+// permanently true, so Apply can never delete them. Callers that want every
+// base tuple mutable (parlogd does) extract the facts first and hand the
+// store to Open as the initial EDB; evaluation results are identical either
+// way.
+func (p *Program) ExtractFacts() Store {
+	rules, facts := p.ast.FactTuples()
+	p.ast.Rules = rules
+	store := Store{}
+	for pred, rows := range facts {
+		if len(rows) == 0 {
+			continue
+		}
+		rel := store.Get(pred, len(rows[0]))
+		for _, row := range rows {
+			rel.Insert(Tuple(row))
+		}
+	}
+	return store
+}
+
 // Format renders one derived relation of a result store as sorted ground
 // facts, one per line.
 func (p *Program) Format(store Store, pred string) string {
@@ -371,6 +394,9 @@ func Eval(ctx context.Context, p *Program, edb Store, opts EvalOptions) (*Result
 // endpoint, the post-run audit) is assembled here so every engine gets
 // identical observability for free.
 func eval(ctx context.Context, p *Program, edb Store, opts EvalOptions) (*Result, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	opts.fill()
 	if edb == nil {
 		edb = Store{}
@@ -444,29 +470,19 @@ func (p *Program) sirup() (*analysis.Sirup, error) {
 // match anything (repeated variables must agree); constants must be equal.
 // Constants are resolved through the program's interner, so names unseen by
 // the program match nothing.
+//
+// Deprecated: this scans a store you already evaluated. Use the package
+// function Query for goal-directed evaluation (demand rewriting, streaming
+// answers, planner reports), or Snapshot.Query on an incrementally
+// maintained View.
 func (p *Program) Query(store Store, query string) ([]Tuple, error) {
-	// Wrap the atom in a rule with a ground head so the parser's safety
-	// check passes regardless of the pattern's variables.
-	tmp, err := parser.Parse("qwrap(ok) :- " + query + ".")
+	atom, known, err := p.resolveGoal(query)
 	if err != nil {
-		return nil, fmt.Errorf("parlog: bad query %q: %w", query, err)
+		return nil, err
 	}
-	rule := tmp.Rules[0]
-	if len(rule.Body) != 1 {
-		return nil, fmt.Errorf("parlog: query must be a single atom, got %q", query)
-	}
-	atom := rule.Body[0]
-	// Re-intern the pattern's constants through the program's interner; a
-	// constant the program never saw cannot match any stored tuple.
-	for i, term := range atom.Args {
-		if term.IsVar() {
-			continue
-		}
-		v, ok := p.ast.Interner.Lookup(tmp.Interner.Name(term.Value))
-		if !ok {
-			return nil, nil
-		}
-		atom.Args[i] = ast.C(v)
+	if !known {
+		// A constant the program never saw cannot match any stored tuple.
+		return nil, nil
 	}
 	rel, ok := store[atom.Pred]
 	if !ok {

@@ -305,14 +305,67 @@ anc(X, Y) :- par(X, Z), anc(Z, Y).
 	}
 }
 
-func TestQuery(t *testing.T) {
+func TestSnapshotQuery(t *testing.T) {
+	ctx := context.Background()
+	p := MustParse(ancestorSrc)
+	view, err := Open(ctx, p, nil, EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer view.Close()
+	snap, err := view.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ask := func(goal string) []Tuple {
+		t.Helper()
+		qr, err := snap.Query(ctx, goal)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return qr.All()
+	}
+	// Descendants of a.
+	if got := ask("anc(a, X)"); len(got) != 3 {
+		t.Errorf("anc(a, X) matched %d tuples, want 3", len(got))
+	}
+	// Specific ground query.
+	if got := ask("anc(a, d)"); len(got) != 1 {
+		t.Errorf("anc(a, d) matched %d", len(got))
+	}
+	// Repeated variables: anc(X, X) is empty on a chain.
+	if got := ask("anc(X, X)"); len(got) != 0 {
+		t.Errorf("anc(X, X) matched %d", len(got))
+	}
+	// Unknown constant matches nothing, without error.
+	if got := ask("anc(nobody, X)"); len(got) != 0 {
+		t.Errorf("unknown constant matched %d", len(got))
+	}
+	// A predicate the program never mentions has no answers either.
+	if got := ask("nosuch(X)"); len(got) != 0 {
+		t.Errorf("unknown predicate matched %d", len(got))
+	}
+	// Errors.
+	if _, err := snap.Query(ctx, "anc(a"); err == nil {
+		t.Error("malformed query accepted")
+	}
+	if _, err := snap.Query(ctx, "anc(X)"); err == nil {
+		t.Error("wrong arity accepted")
+	}
+	if _, err := snap.Query(ctx, "anc(X, Y), anc(Y, Z)"); err == nil {
+		t.Error("conjunctive query accepted as single atom")
+	}
+}
+
+// TestQueryDeprecated pins the legacy store-matching wrapper kept for
+// compatibility.
+func TestQueryDeprecated(t *testing.T) {
 	p := MustParse(ancestorSrc)
 	res, err := Eval(context.Background(), p, nil, EvalOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	store := res.Output
-	// Descendants of a.
 	got, err := p.Query(store, "anc(a, X)")
 	if err != nil {
 		t.Fatal(err)
@@ -320,39 +373,14 @@ func TestQuery(t *testing.T) {
 	if len(got) != 3 {
 		t.Errorf("anc(a, X) matched %d tuples, want 3", len(got))
 	}
-	// Specific ground query.
-	got, err = p.Query(store, "anc(a, d)")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(got) != 1 {
-		t.Errorf("anc(a, d) matched %d", len(got))
-	}
-	// Repeated variables: anc(X, X) is empty on a chain.
-	got, err = p.Query(store, "anc(X, X)")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(got) != 0 {
-		t.Errorf("anc(X, X) matched %d", len(got))
-	}
 	// Unknown constant matches nothing, without error.
-	got, err = p.Query(store, "anc(nobody, X)")
-	if err != nil || got != nil {
+	if got, err := p.Query(store, "anc(nobody, X)"); err != nil || got != nil {
 		t.Errorf("unknown constant: got %v, %v", got, err)
 	}
-	// Errors.
-	if _, err := p.Query(store, "anc(a"); err == nil {
-		t.Error("malformed query accepted")
-	}
+	// A predicate absent from the store is an error here (unlike
+	// Snapshot.Query, which answers from the full model).
 	if _, err := p.Query(store, "nosuch(X)"); err == nil {
 		t.Error("unknown predicate accepted")
-	}
-	if _, err := p.Query(store, "anc(X)"); err == nil {
-		t.Error("wrong arity accepted")
-	}
-	if _, err := p.Query(store, "anc(X, Y), anc(Y, Z)"); err == nil {
-		t.Error("conjunctive query accepted as single atom")
 	}
 }
 

@@ -136,23 +136,52 @@ func (r *Result) Explain() string {
 // plus a single-use tuple iterator over the goal's matches. With demand
 // rewriting applied, Result.Output holds the rewritten (adorned) relations;
 // the iterator always yields tuples of the original goal predicate's arity.
+//
+// The iterator is single-use: once exhausted, Next keeps returning false
+// and All returns nil — re-iterate by issuing the query again. When the
+// query's context is canceled mid-iteration, Next returns false early and
+// Err reports the cause.
 type QueryResult struct {
 	*Result
 	// Pred is the goal predicate as queried.
 	Pred string
+	ctx  context.Context
 	cur  *seminaive.Cursor
+	pre  []Tuple // preloaded answers (Snapshot.Query); nil when streaming
+	pi   int
+	err  error
 }
 
 // Next returns the next answer tuple; ok is false when the stream is
-// exhausted. The tuple is freshly allocated and safe to retain.
+// exhausted, the context is canceled, or an earlier call already drained
+// it. The tuple is freshly allocated and safe to retain.
 func (q *QueryResult) Next() (Tuple, bool) {
+	if q.err != nil {
+		return nil, false
+	}
+	if q.ctx != nil {
+		if err := q.ctx.Err(); err != nil {
+			q.err = err
+			return nil, false
+		}
+	}
+	if q.pre != nil {
+		if q.pi >= len(q.pre) {
+			return nil, false
+		}
+		t := q.pre[q.pi]
+		q.pi++
+		return t, true
+	}
 	if q.cur == nil || !q.cur.Next() {
 		return nil, false
 	}
 	return q.cur.Head(), true
 }
 
-// All drains the stream into a slice — the materializing convenience.
+// All drains the remaining stream into a slice — the materializing
+// convenience. Answers already consumed via Next are not replayed; a
+// second All on the same result returns nil.
 func (q *QueryResult) All() []Tuple {
 	var out []Tuple
 	for {
@@ -162,6 +191,12 @@ func (q *QueryResult) All() []Tuple {
 		}
 		out = append(out, t)
 	}
+}
+
+// Err reports why iteration stopped early — a canceled or expired context —
+// or nil after a normally exhausted stream.
+func (q *QueryResult) Err() error {
+	return q.err
 }
 
 // Query evaluates prog goal-directed and streams the goal atom's answers.
@@ -209,7 +244,7 @@ func Query(ctx context.Context, p *Program, edb Store, goal string, opts EvalOpt
 	if err != nil {
 		return nil, err
 	}
-	qr := &QueryResult{Result: res, Pred: goalAtom.Pred}
+	qr := &QueryResult{Result: res, Pred: goalAtom.Pred, ctx: ctx}
 
 	// Stream the matches of the (possibly adorned) goal atom out of the
 	// result store. The parallel engines' Output omits base relations, so
@@ -229,13 +264,18 @@ func Query(ctx context.Context, p *Program, edb Store, goal string, opts EvalOpt
 	return qr, nil
 }
 
+// trimGoal strips the optional trailing '?' or '.' of a goal atom.
+func trimGoal(goal string) string {
+	q := strings.TrimSpace(goal)
+	q = strings.TrimSuffix(q, "?")
+	return strings.TrimSuffix(strings.TrimSpace(q), ".")
+}
+
 // parseGoal parses a goal atom ("anc(a, X)" or "anc(a, X)?"), interning
 // its constants into the program's interner so they line up with the
 // program's values.
 func (p *Program) parseGoal(goal string) (ast.Atom, error) {
-	q := strings.TrimSpace(goal)
-	q = strings.TrimSuffix(q, "?")
-	q = strings.TrimSuffix(strings.TrimSpace(q), ".")
+	q := trimGoal(goal)
 	// Wrap the atom in a rule with a ground head so the parser's safety
 	// check passes regardless of the goal's variables.
 	tmp, err := parser.Parse("qwrap(ok) :- " + q + ".")

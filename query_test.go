@@ -2,6 +2,7 @@ package parlog_test
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"testing"
@@ -173,4 +174,113 @@ rule anc@bf(X, Y) :- anc@m@bf(X), par(X, Z), anc@bf(Z, Y).
 	if got != want {
 		t.Fatalf("Explain() drifted.\n--- got ---\n%s\n--- want ---\n%s", got, want)
 	}
+}
+
+// TestQueryResultMisuse pins the iterator's behavior under awkward but
+// legal call sequences: Next past exhaustion, All after partial Next, a
+// second iteration, and context cancellation mid-stream.
+func TestQueryResultMisuse(t *testing.T) {
+	ctx := context.Background()
+	run := func(t *testing.T) *parlog.QueryResult {
+		t.Helper()
+		qr, err := parlog.Query(ctx, chainProgram(t, 12), nil, "anc(v0, X)", parlog.EvalOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return qr
+	}
+
+	t.Run("next after exhaustion", func(t *testing.T) {
+		qr := run(t)
+		if n := len(qr.All()); n != 12 {
+			t.Fatalf("answers = %d, want 12", n)
+		}
+		for i := 0; i < 3; i++ {
+			if tup, ok := qr.Next(); ok || tup != nil {
+				t.Fatalf("Next after exhaustion returned %v, %v", tup, ok)
+			}
+		}
+		if qr.Err() != nil {
+			t.Errorf("exhausted stream reports error %v", qr.Err())
+		}
+	})
+
+	t.Run("all after partial next", func(t *testing.T) {
+		qr := run(t)
+		seen := map[string]bool{}
+		for i := 0; i < 5; i++ {
+			tup, ok := qr.Next()
+			if !ok {
+				t.Fatalf("stream dried up at %d", i)
+			}
+			seen[tup.Key()] = true
+		}
+		rest := qr.All()
+		if len(seen)+len(rest) != 12 {
+			t.Fatalf("5 via Next + %d via All != 12", len(rest))
+		}
+		for _, tup := range rest {
+			if seen[tup.Key()] {
+				t.Fatalf("All replayed %v already returned by Next", tup)
+			}
+		}
+	})
+
+	t.Run("double iteration", func(t *testing.T) {
+		qr := run(t)
+		if n := len(qr.All()); n != 12 {
+			t.Fatalf("first All = %d", n)
+		}
+		if again := qr.All(); again != nil {
+			t.Fatalf("second All returned %d answers, want nil", len(again))
+		}
+	})
+
+	t.Run("cancellation mid-stream", func(t *testing.T) {
+		cctx, cancel := context.WithCancel(context.Background())
+		qr, err := parlog.Query(cctx, chainProgram(t, 12), nil, "anc(v0, X)", parlog.EvalOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := qr.Next(); !ok {
+			t.Fatal("no first answer")
+		}
+		cancel()
+		if tup, ok := qr.Next(); ok {
+			t.Fatalf("Next after cancel returned %v", tup)
+		}
+		if !errors.Is(qr.Err(), context.Canceled) {
+			t.Errorf("Err() = %v, want context.Canceled", qr.Err())
+		}
+		if rest := qr.All(); rest != nil {
+			t.Errorf("All after cancel returned %d answers", len(rest))
+		}
+	})
+
+	t.Run("snapshot query cancellation", func(t *testing.T) {
+		cctx, cancel := context.WithCancel(context.Background())
+		view, err := parlog.Open(ctx, chainProgram(t, 12), nil, parlog.EvalOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer view.Close()
+		snap, err := view.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		qr, err := snap.Query(cctx, "anc(v0, X)")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := qr.Next(); !ok {
+			t.Fatal("no first answer")
+		}
+		cancel()
+		if _, ok := qr.Next(); ok {
+			t.Fatal("Next after cancel succeeded")
+		}
+		if !errors.Is(qr.Err(), context.Canceled) {
+			t.Errorf("Err() = %v, want context.Canceled", qr.Err())
+		}
+	})
 }

@@ -1,0 +1,316 @@
+package parlog
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"parlog/internal/ast"
+	"parlog/internal/obs"
+	"parlog/internal/parser"
+	"parlog/internal/seminaive"
+)
+
+// ErrViewClosed reports an operation on a View after Close.
+var ErrViewClosed = errors.New("parlog: view is closed")
+
+// Delta is one batch of EDB changes for View.Apply: tuples to insert into
+// and delete from base relations, keyed by predicate. Deletes are applied
+// before inserts, so a tuple appearing in both ends up present. Inserting a
+// present tuple or deleting an absent one is a no-op.
+type Delta struct {
+	Insert map[string][]Tuple
+	Delete map[string][]Tuple
+}
+
+// NewDelta returns an empty delta ready for Add/Remove chaining.
+func NewDelta() *Delta {
+	return &Delta{Insert: map[string][]Tuple{}, Delete: map[string][]Tuple{}}
+}
+
+// Add queues an insert.
+func (d *Delta) Add(pred string, t Tuple) *Delta {
+	d.Insert[pred] = append(d.Insert[pred], t)
+	return d
+}
+
+// Remove queues a delete.
+func (d *Delta) Remove(pred string, t Tuple) *Delta {
+	d.Delete[pred] = append(d.Delete[pred], t)
+	return d
+}
+
+func (d Delta) size() (ins, del int) {
+	for _, ts := range d.Insert {
+		ins += len(ts)
+	}
+	for _, ts := range d.Delete {
+		del += len(ts)
+	}
+	return
+}
+
+// ApplyStats reports what one maintenance batch did.
+type ApplyStats struct {
+	// Inserted and Deleted count net live-set changes across all
+	// predicates, base and derived.
+	Inserted, Deleted int
+	// Overdeleted counts tuples the DRed overdeletion pass killed;
+	// Rederived counts how many of them the rederivation pass revived.
+	Overdeleted, Rederived int
+	// Firings is the maintenance passes' derived work: successful ground
+	// substitutions enumerated while propagating the delta. Compare with
+	// SeqStats.Firings of a from-scratch evaluation to see the incremental
+	// saving (experiment E19).
+	Firings int64
+	// Iterations counts semi-naive rounds across the maintenance passes.
+	Iterations int
+	// Wall is the batch's maintenance time.
+	Wall time.Duration
+}
+
+// View is an incrementally maintained materialization of a program's least
+// model over a mutable EDB — the long-lived counterpart of Eval. Apply
+// absorbs EDB deltas with counting-based maintenance (DRed overdeletion
+// plus rederivation for deletes), far cheaper than refixpointing when
+// deltas are small; Snapshot publishes immutable views that concurrent
+// readers query while the writer keeps applying.
+//
+// A View serializes its own writes; Apply and Snapshot may be called from
+// any goroutine. Snapshots are valid forever (they pin their rows) and
+// never observe later Applies.
+type View struct {
+	mu   sync.Mutex
+	prog *Program
+	opts EvalOptions
+	ivm  *seminaive.IVM
+	tel  *telemetry
+
+	epoch  uint64
+	cached *Snapshot
+	closed bool
+}
+
+// Open materializes prog over edb (which may be nil) and returns a live,
+// incrementally maintained view of its least model. The maintenance engine
+// is sequential counting/DRed over the opts.Planner join planner; programs
+// with negation or constraints are rejected, as are non-sequential engines
+// — parallel refixpointing and incremental maintenance do not compose yet
+// (run Eval for one-shot parallel evaluation). Telemetry options work as in
+// Eval, with the endpoint staying up until Close: set opts.MetricsAddr to
+// scrape parlog_ivm_* instruments for the view's lifetime.
+func Open(ctx context.Context, p *Program, edb Store, opts EvalOptions) (*View, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Engine != EngineSequential {
+		return nil, badOptions("Open maintains its view on the sequential engine; use Eval for one-shot parallel runs")
+	}
+	if opts.Naive {
+		return nil, badOptions("Naive iteration does not support incremental maintenance")
+	}
+	opts.fill()
+	if edb == nil {
+		edb = Store{}
+	}
+	tel, err := buildTelemetry(&opts)
+	if err != nil {
+		return nil, err
+	}
+	ivm, _, err := seminaive.NewIVM(p.ast, edb, seminaive.Options{
+		MaxIterations: opts.MaxIterations,
+		Ctx:           ctx,
+		Planner:       opts.Planner,
+	})
+	if err != nil {
+		tel.abort()
+		return nil, fmt.Errorf("parlog: %w", err)
+	}
+	return &View{prog: p, opts: opts, ivm: ivm, tel: tel}, nil
+}
+
+// Epoch returns the view's version: 0 after Open, incremented by every
+// successful non-empty Apply.
+func (v *View) Epoch() uint64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.epoch
+}
+
+// Apply absorbs one batch of EDB changes (deletes before inserts) and
+// incrementally restores the materialized model. Only base (EDB) predicates
+// may appear in the delta. On error the view is unchanged and stays usable.
+func (v *View) Apply(d Delta) (*ApplyStats, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.closed {
+		return nil, ErrViewClosed
+	}
+	ins, del := d.size()
+	obs.ApplyStart(v.tel.sink, ins, del)
+	start := time.Now()
+	st, err := v.ivm.Apply(d.Delete, d.Insert)
+	wall := time.Since(start)
+	if err != nil {
+		obs.ApplyEnd(v.tel.sink, 0, 0, 0, 0, 0, wall, err)
+		return nil, fmt.Errorf("parlog: %w", err)
+	}
+	obs.ApplyEnd(v.tel.sink, st.Inserted, st.Deleted, st.Overdeleted, st.Rederived, st.Firings, wall, nil)
+	v.epoch++
+	v.cached = nil
+	return &ApplyStats{
+		Inserted:    st.Inserted,
+		Deleted:     st.Deleted,
+		Overdeleted: st.Overdeleted,
+		Rederived:   st.Rederived,
+		Firings:     st.Firings,
+		Iterations:  st.Iterations,
+		Wall:        wall,
+	}, nil
+}
+
+// Snapshot publishes an immutable view of the current model. Snapshots are
+// cheap — relations that saw no deletion share the writer's arenas
+// zero-copy, pinned at the current length — and cached per epoch, so
+// repeated calls between Applies return the same object. A snapshot
+// remains valid and consistent forever; later Applies never show through.
+func (v *View) Snapshot() (*Snapshot, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.closed {
+		return nil, ErrViewClosed
+	}
+	if v.cached == nil {
+		store := v.ivm.SnapshotStore()
+		v.cached = &Snapshot{
+			prog:    v.prog,
+			store:   store,
+			epoch:   v.epoch,
+			planner: v.opts.Planner,
+		}
+		obs.SnapshotTaken(v.tel.sink, v.epoch, store.TotalTuples())
+	}
+	return v.cached, nil
+}
+
+// Metrics returns the aggregate telemetry snapshot when Open was given
+// opts.Metrics (or a MetricsAddr); nil otherwise. IVM* fields carry the
+// maintenance counters.
+func (v *View) Metrics() *Metrics {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.tel.counting == nil {
+		return nil
+	}
+	return v.tel.counting.Snapshot()
+}
+
+// Close releases the view: the telemetry endpoint shuts down and further
+// Apply/Snapshot calls fail with ErrViewClosed. Existing snapshots stay
+// valid. Close is idempotent.
+func (v *View) Close() error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.closed {
+		return nil
+	}
+	v.closed = true
+	v.tel.abort()
+	return nil
+}
+
+// Snapshot is an immutable view of a View's model at one epoch, safe for
+// concurrent readers. Store exposes the relations directly; Query serves
+// goal-directed reads through the join planner.
+type Snapshot struct {
+	prog    *Program
+	store   Store
+	epoch   uint64
+	planner PlannerMode
+	mu      sync.Mutex // serializes Query: plans build relation indexes lazily
+}
+
+// Epoch returns the view epoch the snapshot pinned.
+func (s *Snapshot) Epoch() uint64 { return s.epoch }
+
+// Store returns the snapshot's relations. Callers must treat them as
+// read-only; inserting would defeat the arena sharing with the live view.
+func (s *Snapshot) Store() Store { return s.store }
+
+// Query matches a goal atom such as "anc(a, X)" against the snapshot and
+// returns its answers through the opts.Planner join planner the view was
+// opened with. The model is already materialized, so no evaluation runs —
+// and the live View is never blocked: concurrent Snapshot.Query and
+// View.Apply proceed independently. Answers are fully collected before the
+// call returns; the QueryResult streams them and honors ctx cancellation
+// mid-iteration.
+func (s *Snapshot) Query(ctx context.Context, goal string) (*QueryResult, error) {
+	atom, known, err := s.prog.resolveGoal(goal)
+	if err != nil {
+		return nil, err
+	}
+	qr := &QueryResult{
+		Result: &Result{Output: s.store},
+		Pred:   atom.Pred,
+		ctx:    ctx,
+		pre:    []Tuple{},
+	}
+	if !known {
+		// The goal names a constant the program never interned; nothing
+		// can match.
+		return qr, nil
+	}
+	rel, ok := s.store[atom.Pred]
+	if !ok {
+		return qr, nil
+	}
+	if rel.Arity() != atom.Arity() {
+		return nil, fmt.Errorf("parlog: %s has arity %d, goal uses %d", atom.Pred, rel.Arity(), atom.Arity())
+	}
+	// Materialize the matches eagerly under the snapshot lock: plan
+	// execution builds relation hash indexes lazily, which concurrent
+	// readers must not race on. The scan itself is index-probe joins over
+	// the pinned arena — the PR 6 execution path.
+	match := ast.Rule{Head: atom.Clone(), Body: []ast.Atom{atom.Clone()}}
+	plan := seminaive.CompileWith(match, nil, seminaive.PlanConfig{Mode: s.planner})
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur := plan.Stream(s.store, nil)
+	for cur.Next() {
+		qr.pre = append(qr.pre, cur.Head())
+	}
+	return qr, nil
+}
+
+// resolveGoal parses a goal atom and maps its constants through the
+// program's interner WITHOUT mutating it — the read-only twin of parseGoal,
+// safe for concurrent snapshot readers. known is false when a constant was
+// never interned (the goal then matches nothing).
+func (p *Program) resolveGoal(goal string) (ast.Atom, bool, error) {
+	q := trimGoal(goal)
+	tmp, err := parser.Parse("qwrap(ok) :- " + q + ".")
+	if err != nil {
+		return ast.Atom{}, false, fmt.Errorf("parlog: bad goal %q: %w", goal, err)
+	}
+	rule := tmp.Rules[0]
+	if len(rule.Body) != 1 || len(rule.Negated) > 0 {
+		return ast.Atom{}, false, fmt.Errorf("parlog: goal must be a single positive atom, got %q", goal)
+	}
+	atom := rule.Body[0]
+	for i, term := range atom.Args {
+		if term.IsVar() {
+			continue
+		}
+		v, ok := p.ast.Interner.Lookup(tmp.Interner.Name(term.Value))
+		if !ok {
+			return atom, false, nil
+		}
+		atom.Args[i] = ast.C(v)
+	}
+	if ar, ok := p.ast.Arities()[atom.Pred]; ok && ar != atom.Arity() {
+		return ast.Atom{}, false, fmt.Errorf("parlog: %s has arity %d, goal uses %d", atom.Pred, ar, atom.Arity())
+	}
+	return atom, true, nil
+}

@@ -1,0 +1,310 @@
+package parlog
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"parlog/internal/randprog"
+)
+
+func TestViewBasics(t *testing.T) {
+	ctx := context.Background()
+	p := MustParse(`
+anc(X, Y) :- par(X, Y).
+anc(X, Y) :- par(X, Z), anc(Z, Y).
+`)
+	edb := Store{}
+	a, b, c := p.Intern("a"), p.Intern("b"), p.Intern("c")
+	edb.Get("par", 2).Insert(Tuple{a, b})
+	edb.Get("par", 2).Insert(Tuple{b, c})
+
+	view, err := Open(ctx, p, edb, EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer view.Close()
+	if view.Epoch() != 0 {
+		t.Errorf("fresh view epoch = %d", view.Epoch())
+	}
+	snap0, err := view.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := snap0.Store()["anc"].Len(); got != 3 {
+		t.Errorf("initial anc size %d, want 3", got)
+	}
+	again, err := view.Snapshot()
+	if err != nil || again != snap0 {
+		t.Errorf("snapshot not cached per epoch: %v %v", again, err)
+	}
+
+	// Extend the chain; the old snapshot must not move.
+	d := p.Intern("d")
+	st, err := view.Apply(Delta{Insert: map[string][]Tuple{"par": {{c, d}}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Inserted == 0 || st.Deleted != 0 {
+		t.Errorf("insert stats: %+v", st)
+	}
+	if view.Epoch() != 1 {
+		t.Errorf("epoch after apply = %d", view.Epoch())
+	}
+	snap1, err := view.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap1 == snap0 {
+		t.Error("snapshot cache not invalidated by Apply")
+	}
+	if got := snap0.Store()["anc"].Len(); got != 3 {
+		t.Errorf("old snapshot moved: anc size %d", got)
+	}
+	if got := snap1.Store()["anc"].Len(); got != 6 {
+		t.Errorf("new snapshot anc size %d, want 6", got)
+	}
+
+	// Delete the middle edge; the cascade must shrink the closure.
+	if _, err := view.Apply(Delta{Delete: map[string][]Tuple{"par": {{b, c}}}}); err != nil {
+		t.Fatal(err)
+	}
+	snap2, err := view.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := snap2.Store()["anc"].Len(); got != 2 {
+		t.Errorf("after delete anc size %d, want 2 (a->b, c->d)", got)
+	}
+
+	// Deltas over derived or unknown predicates are rejected; the view
+	// stays usable.
+	if _, err := view.Apply(Delta{Insert: map[string][]Tuple{"anc": {{a, c}}}}); err == nil {
+		t.Error("insert into derived predicate accepted")
+	}
+	if _, err := view.Apply(Delta{Insert: map[string][]Tuple{"par": {{a}}}}); err == nil {
+		t.Error("wrong-arity delta accepted")
+	}
+	if _, err := view.Snapshot(); err != nil {
+		t.Errorf("view unusable after rejected delta: %v", err)
+	}
+
+	if err := view.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := view.Close(); err != nil {
+		t.Errorf("Close not idempotent: %v", err)
+	}
+	if _, err := view.Apply(Delta{}); !errors.Is(err, ErrViewClosed) {
+		t.Errorf("Apply after Close: %v", err)
+	}
+	if _, err := view.Snapshot(); !errors.Is(err, ErrViewClosed) {
+		t.Errorf("Snapshot after Close: %v", err)
+	}
+	// Snapshots taken before Close stay valid.
+	if got := snap2.Store()["anc"].Len(); got != 2 {
+		t.Errorf("snapshot invalidated by Close: %d", got)
+	}
+}
+
+func TestOpenRejectsUnsupported(t *testing.T) {
+	ctx := context.Background()
+	p := MustParse(`anc(X, Y) :- par(X, Y).`)
+	for _, tc := range []struct {
+		name string
+		opts EvalOptions
+	}{
+		{"parallel engine", EvalOptions{Engine: EngineParallel, Workers: 2}},
+		{"distributed engine", EvalOptions{Engine: EngineDistributed, Workers: 2}},
+		{"naive", EvalOptions{Naive: true}},
+		{"invalid options", EvalOptions{Workers: -1}},
+	} {
+		if _, err := Open(ctx, p, nil, tc.opts); err == nil {
+			t.Errorf("%s accepted by Open", tc.name)
+		} else if !errors.Is(err, ErrBadOptions) {
+			t.Errorf("%s: error %v not ErrBadOptions", tc.name, err)
+		}
+	}
+	neg := MustParse(`
+unreach(X) :- node(X), !reach(X).
+reach(X) :- edge(a, X).
+`)
+	if _, err := Open(ctx, neg, nil, EvalOptions{}); err == nil {
+		t.Error("negation accepted by Open")
+	}
+}
+
+// TestViewConcurrentReaders races snapshot queries against a writer
+// applying deltas — the tentpole's no-blocking claim, checked under
+// -race.
+func TestViewConcurrentReaders(t *testing.T) {
+	ctx := context.Background()
+	p := MustParse(`
+anc(X, Y) :- par(X, Y).
+anc(X, Y) :- par(X, Z), anc(Z, Y).
+`)
+	edb := Store{}
+	consts := make([]Value, 20)
+	for i := range consts {
+		consts[i] = p.Intern(fmt.Sprintf("n%d", i))
+	}
+	for i := 0; i+1 < len(consts); i++ {
+		edb.Get("par", 2).Insert(Tuple{consts[i], consts[i+1]})
+	}
+	view, err := Open(ctx, p, edb, EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer view.Close()
+
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				snap, err := view.Snapshot()
+				if err != nil {
+					t.Errorf("reader %d: %v", r, err)
+					return
+				}
+				qr, err := snap.Query(ctx, "anc(n0, X)")
+				if err != nil {
+					t.Errorf("reader %d: %v", r, err)
+					return
+				}
+				if n := len(qr.All()); n == 0 {
+					t.Errorf("reader %d: no answers at epoch %d", r, snap.Epoch())
+					return
+				}
+			}
+		}(r)
+	}
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 30; i++ {
+		a := consts[rng.Intn(10)]
+		b := consts[10+rng.Intn(10)]
+		if _, err := view.Apply(Delta{Insert: map[string][]Tuple{"par": {{a, b}}}}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := view.Apply(Delta{Delete: map[string][]Tuple{"par": {{a, b}}}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+}
+
+// TestViewRandomProgramsDifferential is the tentpole's correctness pin:
+// over 50 random recursive programs, the incrementally maintained model
+// must equal a from-scratch evaluation after every one of several random
+// insert/delete batches.
+func TestViewRandomProgramsDifferential(t *testing.T) {
+	ctx := context.Background()
+	cfg := randprog.Defaults()
+	for seed := int64(0); seed < 50; seed++ {
+		g := randprog.Generate(cfg, seed)
+		p, err := Parse(g.Prog.String())
+		if err != nil {
+			t.Fatalf("seed %d: generated program does not parse: %v\n%s", seed, err, g.Prog)
+		}
+		// The generator interns constants in its own order; rebuild the EDB
+		// under the re-parsed program's interner.
+		edb := Store{}
+		live := map[string]map[string]Tuple{}
+		for pred, rel := range g.EDB {
+			dst := edb.Get(pred, rel.Arity())
+			live[pred] = map[string]Tuple{}
+			for _, tu := range rel.Rows() {
+				nt := make(Tuple, len(tu))
+				for i, v := range tu {
+					nt[i] = p.Intern(g.Prog.Interner.Name(v))
+				}
+				dst.Insert(nt)
+				live[pred][fmt.Sprint(nt)] = nt
+			}
+		}
+		consts := make([]Value, 6)
+		for i := range consts {
+			consts[i] = p.Intern(fmt.Sprintf("c%d", i))
+		}
+		preds := make([]string, 0, len(live))
+		for pred := range live {
+			preds = append(preds, pred)
+		}
+
+		view, err := Open(ctx, p, edb, EvalOptions{})
+		if err != nil {
+			t.Fatalf("seed %d: Open: %v\n%s", seed, err, g.Prog)
+		}
+
+		rng := rand.New(rand.NewSource(seed*7919 + 1))
+		randTuple := func(pred string) Tuple {
+			tu := make(Tuple, g.Arities[pred])
+			for i := range tu {
+				tu[i] = consts[rng.Intn(len(consts))]
+			}
+			return tu
+		}
+		for batch := 0; batch < 4; batch++ {
+			d := NewDelta()
+			for n := rng.Intn(4); n > 0; n-- {
+				pred := preds[rng.Intn(len(preds))]
+				var tu Tuple
+				if len(live[pred]) > 0 && rng.Intn(4) > 0 {
+					// Delete a live tuple; occasionally an absent one
+					// (must be a no-op).
+					for _, v := range live[pred] {
+						tu = v
+						break
+					}
+				} else {
+					tu = randTuple(pred)
+				}
+				d.Remove(pred, tu)
+				delete(live[pred], fmt.Sprint(tu))
+			}
+			for n := rng.Intn(4); n > 0; n-- {
+				pred := preds[rng.Intn(len(preds))]
+				tu := randTuple(pred)
+				d.Add(pred, tu)
+				live[pred][fmt.Sprint(tu)] = tu
+			}
+			if _, err := view.Apply(*d); err != nil {
+				t.Fatalf("seed %d batch %d: Apply: %v\n%s", seed, batch, err, g.Prog)
+			}
+
+			// From-scratch reference over the mutated EDB.
+			ref := Store{}
+			for pred, rows := range live {
+				dst := ref.Get(pred, g.Arities[pred])
+				for _, tu := range rows {
+					dst.Insert(tu)
+				}
+			}
+			want, err := Eval(ctx, p, ref, EvalOptions{})
+			if err != nil {
+				t.Fatalf("seed %d batch %d: Eval: %v\n%s", seed, batch, err, g.Prog)
+			}
+			snap, err := view.Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, pred := range append(p.IDB(), preds...) {
+				a, b := want.Output[pred], snap.Store()[pred]
+				aEmpty := a == nil || a.Len() == 0
+				bEmpty := b == nil || b.Len() == 0
+				if aEmpty && bEmpty {
+					continue
+				}
+				if aEmpty != bEmpty || !a.Equal(b) {
+					t.Fatalf("seed %d batch %d: %s differs between maintained view and from-scratch eval\n%s",
+						seed, batch, pred, g.Prog)
+				}
+			}
+		}
+		view.Close()
+	}
+}
