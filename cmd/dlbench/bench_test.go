@@ -19,6 +19,7 @@ func TestMain(m *testing.M) {
 	coreOut = filepath.Join(dir, "BENCH_core.json")
 	planOut = filepath.Join(dir, "BENCH_plan.json")
 	ivmOut = filepath.Join(dir, "BENCH_ivm.json")
+	durOut = filepath.Join(dir, "BENCH_durability.json")
 	code := m.Run()
 	os.RemoveAll(dir)
 	os.Exit(code)
@@ -134,6 +135,46 @@ func TestIVMJSON(t *testing.T) {
 	if 5*doc.MaintainFirings > doc.ScratchFirings {
 		t.Errorf("maintained %d firings vs %d from scratch — runE19 should have failed",
 			doc.MaintainFirings, doc.ScratchFirings)
+	}
+}
+
+// TestDurabilityJSON checks the document E20 writes: one apply kernel per
+// fsync policy plus both restart-path kernels, all with real op counts, and
+// the fsync tax recorded. Model/epoch agreement between the cold start, the
+// pre-shutdown view and the from-scratch recompute is asserted inside runE20
+// itself — an error here would have failed the run.
+func TestDurabilityJSON(t *testing.T) {
+	if err := runE20(true); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(durOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc durDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	names := map[string]bool{}
+	for _, k := range doc.Kernels {
+		names[k.Name] = true
+		if k.Ops <= 0 || k.NsPerOp <= 0 {
+			t.Errorf("%s: ops=%d ns_op=%v", k.Name, k.Ops, k.NsPerOp)
+		}
+	}
+	for _, want := range []string{
+		"wal-apply-fsync-always", "wal-apply-fsync-interval", "wal-apply-fsync-never",
+		"cold-start-open", "recompute-eval",
+	} {
+		if !names[want] {
+			t.Errorf("missing kernel %q in %s", want, durOut)
+		}
+	}
+	if doc.AncTuples == 0 || doc.Batches == 0 {
+		t.Errorf("degenerate document: %d anc tuples over %d batches", doc.AncTuples, doc.Batches)
+	}
+	if doc.AlwaysOverNever <= 0 {
+		t.Errorf("fsync_always_over_never = %v, want > 0", doc.AlwaysOverNever)
 	}
 }
 

@@ -1,0 +1,252 @@
+package main
+
+// E20 — the durable storage tier's two costs: the per-batch WAL tax and
+// the restart path.
+//
+// A materialized ancestor view over a uniform tree absorbs a stream of
+// single-edge leaf attachments three times, once per fsync policy
+// (always / interval / never), so the document records what each
+// durability level charges per acknowledged batch. The always-policy
+// state directory is then reused for the restart comparison: a cold
+// start (Open over the existing WAL + segment, recovering the exact
+// pre-crash epoch) against recomputing the same final model from
+// scratch with Eval. Both paths must agree on the model — rendered
+// through each program's own interner, since a recovered directory
+// replays the original name table while a fresh Eval builds its own —
+// and the cold start must land on exactly the epoch the last
+// acknowledged batch established. Results go to BENCH_durability.json
+// for cmd/benchguard, which gates the apply kernels' allocs/op.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"parlog"
+	"parlog/internal/workload"
+)
+
+// durOut is where runE20 writes its JSON document; the -durability-out
+// flag (and the test harness) override it.
+var durOut = "BENCH_durability.json"
+
+// durDoc is the top-level shape of BENCH_durability.json.
+type durDoc struct {
+	Benchmark string       `json:"benchmark"`
+	Quick     bool         `json:"quick"`
+	Kernels   []coreKernel `json:"kernels"`
+	Batches   int          `json:"batches"`
+	AncTuples int          `json:"anc_tuples"`
+	// AlwaysOverNever is the fsync tax: ns/op of the always policy over
+	// ns/op with flushing off — the price of "acknowledged means durable".
+	AlwaysOverNever float64 `json:"fsync_always_over_never"`
+}
+
+const durSrc = "anc(X, Y) :- par(X, Y).\nanc(X, Y) :- par(X, Z), anc(Z, Y).\n"
+
+// durCase is one freshly parsed program plus the tree EDB and the
+// leaf-attachment batches, all interned under that program. Every Open
+// and Eval gets its own case so no run sees another interner's values.
+type durCase struct {
+	p       *parlog.Program
+	edb     parlog.Store
+	batches []parlog.Delta
+}
+
+func newDurCase(branch, depth, batches int) (*durCase, error) {
+	p, err := parlog.Parse(durSrc)
+	if err != nil {
+		return nil, err
+	}
+	c := &durCase{p: p, edb: parlog.Store{}}
+	par := c.edb.Get("par", 2)
+	tree := workload.Tree(branch, depth)
+	n := 0
+	for _, t := range tree.Rows() {
+		par.Insert(parlog.Tuple{c.intern(int(t[0])), c.intern(int(t[1]))})
+		if int(t[1]) >= n {
+			n = int(t[1]) + 1
+		}
+	}
+	// Each batch hangs one fresh leaf under a rotating existing node —
+	// the small local delta the WAL is written for.
+	for b := 0; b < batches; b++ {
+		d := parlog.NewDelta()
+		d.Add("par", parlog.Tuple{c.intern(b % n), c.intern(n + b)})
+		c.batches = append(c.batches, *d)
+	}
+	return c, nil
+}
+
+func (c *durCase) intern(node int) parlog.Value {
+	return c.p.Intern(fmt.Sprintf("n%d", node))
+}
+
+// ancNames renders a store's anc relation through the owning program's
+// interner, so models from different interners compare textually.
+func ancNames(p *parlog.Program, st parlog.Store) string {
+	rel := st["anc"]
+	if rel == nil {
+		return ""
+	}
+	rows := make([]string, 0, rel.Len())
+	for _, t := range rel.Rows() {
+		rows = append(rows, p.ConstName(t[0])+"\x00"+p.ConstName(t[1]))
+	}
+	sort.Strings(rows)
+	return strings.Join(rows, "\n")
+}
+
+func runE20(quick bool) error {
+	branch, depth, batches := 3, 6, 64
+	if quick {
+		branch, depth, batches = 3, 4, 16
+	}
+	ctx := context.Background()
+	doc := durDoc{Benchmark: "durability", Quick: quick, Batches: batches}
+
+	policies := []struct {
+		name string
+		d    parlog.DurabilityOptions
+	}{
+		{"wal-apply-fsync-always", parlog.DurabilityOptions{Fsync: parlog.FsyncAlways}},
+		{"wal-apply-fsync-interval", parlog.DurabilityOptions{Fsync: parlog.FsyncInterval, FsyncEvery: 10 * time.Millisecond}},
+		{"wal-apply-fsync-never", parlog.DurabilityOptions{Fsync: parlog.FsyncNever}},
+	}
+	var alwaysDir, liveModel string
+	var liveEpoch uint64
+	for _, pol := range policies {
+		dir, err := os.MkdirTemp("", "dlbench-e20-*")
+		if err != nil {
+			return err
+		}
+		keep := pol.name == "wal-apply-fsync-always"
+		if !keep {
+			defer os.RemoveAll(dir)
+		}
+		c, err := newDurCase(branch, depth, batches)
+		if err != nil {
+			return err
+		}
+		v, err := parlog.Open(ctx, c.p, c.edb, parlog.EvalOptions{Dir: dir, Durability: pol.d})
+		if err != nil {
+			return err
+		}
+		var applyErr error
+		k := coreMeasure(pol.name, int64(batches), func() {
+			for _, d := range c.batches {
+				if _, applyErr = v.Apply(d); applyErr != nil {
+					return
+				}
+			}
+		})
+		if applyErr != nil {
+			return fmt.Errorf("%s: %w", pol.name, applyErr)
+		}
+		doc.Kernels = append(doc.Kernels, k)
+		if keep {
+			// Record what the restart must reproduce, then close cleanly
+			// so the cold start below reads a compacted segment.
+			alwaysDir = dir
+			liveEpoch = v.Epoch()
+			snap, err := v.Snapshot()
+			if err != nil {
+				return err
+			}
+			liveModel = ancNames(c.p, snap.Store())
+		}
+		if err := v.Close(); err != nil {
+			return err
+		}
+	}
+	defer os.RemoveAll(alwaysDir)
+
+	// Cold start: reopen the always-policy directory. The segment's EDB
+	// and name table win over the fresh arguments, so the recovered view
+	// must land on the pre-shutdown epoch and model.
+	cold, err := newDurCase(branch, depth, batches)
+	if err != nil {
+		return err
+	}
+	var rv *parlog.View
+	var openErr error
+	doc.Kernels = append(doc.Kernels, coreMeasure("cold-start-open", 1, func() {
+		rv, openErr = parlog.Open(ctx, cold.p, cold.edb, parlog.EvalOptions{Dir: alwaysDir})
+	}))
+	if openErr != nil {
+		return openErr
+	}
+	if got := rv.DurabilityStats().Epoch; got != liveEpoch {
+		return fmt.Errorf("cold start recovered epoch %d, want %d", got, liveEpoch)
+	}
+	snap, err := rv.Snapshot()
+	if err != nil {
+		return err
+	}
+	coldModel := ancNames(cold.p, snap.Store())
+	if err := rv.Close(); err != nil {
+		return err
+	}
+
+	// Recompute: the same final EDB (tree plus every attached leaf),
+	// evaluated from scratch — the restart path a durable directory buys
+	// its way out of.
+	rec, err := newDurCase(branch, depth, batches)
+	if err != nil {
+		return err
+	}
+	for _, d := range rec.batches {
+		for pred, ts := range d.Insert {
+			for _, t := range ts {
+				rec.edb.Get(pred, len(t)).Insert(t)
+			}
+		}
+	}
+	var res *parlog.Result
+	var evalErr error
+	doc.Kernels = append(doc.Kernels, coreMeasure("recompute-eval", 1, func() {
+		res, evalErr = parlog.Eval(ctx, rec.p, rec.edb, parlog.EvalOptions{})
+	}))
+	if evalErr != nil {
+		return evalErr
+	}
+	scratchModel := ancNames(rec.p, res.Output)
+
+	if coldModel != liveModel {
+		return fmt.Errorf("cold-start model diverges from the pre-shutdown view")
+	}
+	if coldModel != scratchModel {
+		return fmt.Errorf("cold-start model diverges from recomputing the final EDB")
+	}
+	doc.AncTuples = strings.Count(coldModel, "\n") + 1
+
+	var alwaysNs, neverNs float64
+	for _, k := range doc.Kernels {
+		switch k.Name {
+		case "wal-apply-fsync-always":
+			alwaysNs = k.NsPerOp
+		case "wal-apply-fsync-never":
+			neverNs = k.NsPerOp
+		}
+	}
+	if neverNs > 0 {
+		doc.AlwaysOverNever = round2(alwaysNs / neverNs)
+	}
+
+	for _, k := range doc.Kernels {
+		fmt.Printf("  %-26s %8d ops  %12.2f ns/op  %10.2f B/op  %8.2f allocs/op\n",
+			k.Name, k.Ops, k.NsPerOp, k.BPerOp, k.AllocsPerOp)
+	}
+	fmt.Printf("  epoch %d recovered; anc=%d tuples; fsync always/never = %.2fx\n",
+		liveEpoch, doc.AncTuples, doc.AlwaysOverNever)
+
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(durOut, append(out, '\n'), 0o644)
+}

@@ -33,6 +33,10 @@
 //	    by the counting/DRed engine vs from-scratch refixpoints; fails
 //	    unless refixpointing does at least 5x the derived work; written to
 //	    BENCH_ivm.json (see -ivm-out)
+//	E20 durable storage: per-batch WAL apply cost under the always /
+//	    interval / never fsync policies, plus cold-start recovery of an
+//	    existing state directory vs recomputing the final model from
+//	    scratch; written to BENCH_durability.json (see -durability-out)
 //
 // Usage: dlbench [-experiment E5] [-quick] [-bench-out BENCH_parallel.json]
 package main
@@ -75,11 +79,12 @@ var experiments = []experiment{
 	{"E17", "Core kernels — insert/probe/join/delta + Example 3 to BENCH_core.json", runE17},
 	{"E18", "Query planning — demand rewrite + greedy planner to BENCH_plan.json", runE18},
 	{"E19", "Incremental maintenance — counting/DRed deltas vs refixpoint to BENCH_ivm.json", runE19},
+	{"E20", "Durable storage — fsync-policy WAL tax + cold start vs recompute to BENCH_durability.json", runE20},
 }
 
 func main() {
 	var (
-		which = flag.String("experiment", "all", "experiment id (E1..E19) or 'all'")
+		which = flag.String("experiment", "all", "experiment id (E1..E20) or 'all'")
 		quick = flag.Bool("quick", false, "smaller workloads for a fast pass")
 
 		metricsAddr = flag.String("metrics-addr", "", "serve a process-level metrics endpoint while experiments run")
@@ -90,6 +95,7 @@ func main() {
 	flag.StringVar(&coreOut, "core-out", coreOut, "output path of E17's JSON benchmark document")
 	flag.StringVar(&planOut, "plan-out", planOut, "output path of E18's JSON benchmark document")
 	flag.StringVar(&ivmOut, "ivm-out", ivmOut, "output path of E19's JSON benchmark document")
+	flag.StringVar(&durOut, "durability-out", durOut, "output path of E20's JSON benchmark document")
 	flag.Parse()
 
 	if *metricsAddr != "" {

@@ -6,7 +6,12 @@
 // Usage:
 //
 //	parlogd -addr 127.0.0.1:8080 program.dl [facts.dl ...]
+//	parlogd -dir /var/lib/parlog -fsync always program.dl
 //	cat program.dl | parlogd
+//
+// With -dir the view is durable: every acknowledged /apply is in the
+// write-ahead log before the response is sent, and a restart over the
+// same directory recovers the exact pre-crash epoch and model.
 //
 // Endpoints:
 //
@@ -23,6 +28,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -38,19 +44,34 @@ import (
 	"parlog/internal/obs"
 )
 
+// serverConfig carries parlogd's flag-settable knobs into start.
+type serverConfig struct {
+	addr         string
+	pprof        bool
+	dir          string        // durable state directory; "" = in-memory only
+	fsync        string        // always | interval | never
+	fsyncEvery   time.Duration // pacing for -fsync interval
+	compactEvery int           // WAL applies between segment snapshots (0: default)
+	maxBody      int64         // /apply request body cap in bytes
+}
+
 func main() {
-	var (
-		addr  = flag.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free one)")
-		pprof = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
-	)
+	var cfg serverConfig
+	flag.StringVar(&cfg.addr, "addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free one)")
+	flag.BoolVar(&cfg.pprof, "pprof", false, "mount net/http/pprof under /debug/pprof/")
+	flag.StringVar(&cfg.dir, "dir", "", "durable state directory (WAL + segment snapshots); empty serves in-memory")
+	flag.StringVar(&cfg.fsync, "fsync", "always", "WAL flush policy with -dir: always, interval or never")
+	flag.DurationVar(&cfg.fsyncEvery, "fsync-every", 0, "flush pacing for -fsync interval (default 100ms)")
+	flag.IntVar(&cfg.compactEvery, "compact-every", 0, "WAL applies between segment snapshots (0: library default)")
+	flag.Int64Var(&cfg.maxBody, "max-body", 64<<20, "largest accepted /apply request body in bytes")
 	flag.Parse()
-	if err := run(*addr, *pprof, flag.Args(), os.Stderr); err != nil {
+	if err := run(cfg, flag.Args(), os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "parlogd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, pprof bool, paths []string, logw io.Writer) error {
+func run(cfg serverConfig, paths []string, logw io.Writer) error {
 	src, err := readSources(paths)
 	if err != nil {
 		return err
@@ -59,7 +80,7 @@ func run(addr string, pprof bool, paths []string, logw io.Writer) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	d, srv, err := start(ctx, addr, pprof, src)
+	d, srv, err := start(ctx, cfg, src)
 	if err != nil {
 		return err
 	}
@@ -78,7 +99,7 @@ func run(addr string, pprof bool, paths []string, logw io.Writer) error {
 // run. The view's telemetry and the HTTP endpoints share one registry and
 // one server, so /apply and /metrics live side by side: the counting sink
 // feeds /stats, the metrics sink feeds the Prometheus exposition.
-func start(ctx context.Context, addr string, pprof bool, src string) (*daemon, *metrics.Server, error) {
+func start(ctx context.Context, cfg serverConfig, src string) (*daemon, *metrics.Server, error) {
 	prog, err := parlog.Parse(src)
 	if err != nil {
 		return nil, nil, err
@@ -87,23 +108,51 @@ func start(ctx context.Context, addr string, pprof bool, src string) (*daemon, *
 	counting := obs.NewCounting()
 	sink := obs.Fanout(counting, obs.NewMetricsSink(reg))
 
+	opts := parlog.EvalOptions{Trace: sink}
+	if cfg.dir != "" {
+		opts.Dir = cfg.dir
+		opts.Durability.CompactEvery = cfg.compactEvery
+		opts.Durability.FsyncEvery = cfg.fsyncEvery
+		switch cfg.fsync {
+		case "", "always":
+			opts.Durability.Fsync = parlog.FsyncAlways
+		case "interval":
+			opts.Durability.Fsync = parlog.FsyncInterval
+			if opts.Durability.FsyncEvery == 0 {
+				opts.Durability.FsyncEvery = 100 * time.Millisecond
+			}
+		case "never":
+			opts.Durability.Fsync = parlog.FsyncNever
+		default:
+			return nil, nil, fmt.Errorf("unknown -fsync policy %q (want always, interval or never)", cfg.fsync)
+		}
+	}
+	if cfg.maxBody <= 0 {
+		cfg.maxBody = 64 << 20
+	}
+
 	// Facts in the program file become the initial EDB, so /apply can
-	// delete them like any other base tuple.
+	// delete them like any other base tuple. Over a recovered state
+	// directory the segment's EDB wins — these facts only seed the very
+	// first epoch.
 	edb := prog.ExtractFacts()
-	view, err := parlog.Open(ctx, prog, edb, parlog.EvalOptions{Trace: sink})
+	view, err := parlog.Open(ctx, prog, edb, opts)
 	if err != nil {
 		return nil, nil, err
 	}
 
-	d := &daemon{prog: prog, view: view, counting: counting}
-	srv, err := metrics.NewServer(addr, reg, metrics.ServerOptions{
-		Pprof: pprof,
+	d := &daemon{prog: prog, view: view, counting: counting, maxBody: cfg.maxBody}
+	srv, err := metrics.NewServer(cfg.addr, reg, metrics.ServerOptions{
+		Pprof: cfg.pprof,
 		Debug: func() any { return counting.Snapshot() },
 		Extra: map[string]http.Handler{
 			"/apply": http.HandlerFunc(d.handleApply),
 			"/query": http.HandlerFunc(d.handleQuery),
 			"/stats": http.HandlerFunc(d.handleStats),
 		},
+		// An /apply body may be large; give the whole request a minute
+		// while ReadHeaderTimeout still cuts idle connections at 5s.
+		ReadTimeout: time.Minute,
 	})
 	if err != nil {
 		view.Close()
@@ -118,6 +167,7 @@ type daemon struct {
 	prog     *parlog.Program
 	view     *parlog.View
 	counting *obs.Counting
+	maxBody  int64
 }
 
 // applyRequest is the wire form of a delta: tuples of constant names.
@@ -132,7 +182,13 @@ func (d *daemon) handleApply(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req applyRequest
-	if err := json.NewDecoder(io.LimitReader(r.Body, 64<<20)).Decode(&req); err != nil {
+	body := http.MaxBytesReader(w, r.Body, d.maxBody)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			http.Error(w, fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit), http.StatusRequestEntityTooLarge)
+			return
+		}
 		http.Error(w, "bad JSON: "+err.Error(), http.StatusBadRequest)
 		return
 	}
@@ -210,9 +266,10 @@ func (d *daemon) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 func (d *daemon) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, struct {
-		Epoch   uint64          `json:"epoch"`
-		Metrics *parlog.Metrics `json:"metrics"`
-	}{d.view.Epoch(), d.counting.Snapshot()})
+		Epoch      uint64                  `json:"epoch"`
+		Durability *parlog.DurabilityStats `json:"durability,omitempty"`
+		Metrics    *parlog.Metrics         `json:"metrics"`
+	}{d.view.Epoch(), d.view.DurabilityStats(), d.counting.Snapshot()})
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -22,7 +22,7 @@ par(a, b). par(b, c).
 func TestServerEndToEnd(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	d, srv, err := start(ctx, "127.0.0.1:0", false, testProgram)
+	d, srv, err := start(ctx, serverConfig{addr: "127.0.0.1:0"}, testProgram)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +153,117 @@ func TestServerEndToEnd(t *testing.T) {
 }
 
 func TestStartRejectsBadProgram(t *testing.T) {
-	if _, _, err := start(context.Background(), "127.0.0.1:0", false, "anc(X :-"); err == nil {
+	if _, _, err := start(context.Background(), serverConfig{addr: "127.0.0.1:0"}, "anc(X :-"); err == nil {
 		t.Error("bad program accepted")
+	}
+}
+
+// startT boots a daemon for one test phase and returns a closer that
+// shuts both the view and the server down.
+func startT(t *testing.T, cfg serverConfig, src string) (*daemon, string, func()) {
+	t.Helper()
+	cfg.addr = "127.0.0.1:0"
+	d, srv, err := start(context.Background(), cfg, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, srv.URL(), func() {
+		d.view.Close()
+		shutCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		srv.Close(shutCtx)
+	}
+}
+
+func postApply(t *testing.T, client *http.Client, base, body string) (int, string) {
+	t.Helper()
+	resp, err := client.Post(base+"/apply", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(b)
+}
+
+// TestDurableRestartOverHTTP is the daemon-level recovery pin: apply a
+// delta against a -dir daemon, shut it down, start a second daemon over
+// the same directory, and the new process must answer from the exact
+// pre-restart epoch and model without the delta being re-sent.
+func TestDurableRestartOverHTTP(t *testing.T) {
+	dir := t.TempDir()
+	client := &http.Client{Timeout: 5 * time.Second}
+
+	_, base, closeFirst := startT(t, serverConfig{dir: dir, fsync: "always"}, testProgram)
+	code, body := postApply(t, client, base, `{"insert": {"par": [["c", "d"]]}}`)
+	if code != http.StatusOK {
+		t.Fatalf("/apply status %d: %s", code, body)
+	}
+	closeFirst()
+
+	d2, base2, closeSecond := startT(t, serverConfig{dir: dir, fsync: "always"}, testProgram)
+	defer closeSecond()
+	if e := d2.view.Epoch(); e != 1 {
+		t.Fatalf("restarted epoch = %d, want 1", e)
+	}
+	resp, err := client.Get(base2 + "/query?goal=anc(a,X)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc struct {
+		Answers [][]string `json:"answers"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	// par a→b→c→d: three ancestors of a, including the restarted delta's d.
+	if len(doc.Answers) != 3 {
+		t.Fatalf("answers after restart = %v, want 3 rows ending at d", doc.Answers)
+	}
+
+	// /stats now reports the durable position.
+	sresp, err := client.Get(base2 + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	var stats struct {
+		Epoch      uint64 `json:"epoch"`
+		Durability *struct {
+			Epoch      uint64 `json:"epoch"`
+			HasSegment bool   `json:"has_segment"`
+			WALRecords int    `json:"wal_records"`
+		} `json:"durability"`
+	}
+	if err := json.NewDecoder(sresp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Durability == nil || stats.Durability.Epoch != 1 || !stats.Durability.HasSegment {
+		t.Fatalf("/stats durability = %+v, want epoch 1 with a segment", stats.Durability)
+	}
+}
+
+// TestApplyBodyLimit: an /apply body over -max-body must be refused with
+// 413, and the view must stay usable for well-sized requests.
+func TestApplyBodyLimit(t *testing.T) {
+	_, base, closer := startT(t, serverConfig{maxBody: 256}, testProgram)
+	defer closer()
+	client := &http.Client{Timeout: 5 * time.Second}
+
+	big := `{"insert": {"par": [` + strings.Repeat(`["x","y"],`, 64) + `["x","y"]]}}`
+	if code, _ := postApply(t, client, base, big); code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized /apply status %d, want 413", code)
+	}
+	if code, body := postApply(t, client, base, `{"insert": {"par": [["x", "y"]]}}`); code != http.StatusOK {
+		t.Fatalf("follow-up /apply status %d: %s", code, body)
+	}
+}
+
+// TestStartRejectsBadFsyncPolicy: an unknown -fsync value must fail fast.
+func TestStartRejectsBadFsyncPolicy(t *testing.T) {
+	cfg := serverConfig{addr: "127.0.0.1:0", dir: t.TempDir(), fsync: "sometimes"}
+	if _, _, err := start(context.Background(), cfg, testProgram); err == nil {
+		t.Error("bad -fsync policy accepted")
 	}
 }

@@ -1,0 +1,352 @@
+package parlog
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"parlog/internal/dist/fault"
+)
+
+const durProg = `
+	anc(X, Y) :- par(X, Y).
+	anc(X, Y) :- par(X, Z), anc(Z, Y).
+`
+
+// openDur opens a durable view over the ancestor program with the given
+// initial facts.
+func openDur(t *testing.T, dir string, opts EvalOptions, facts ...[2]string) (*View, *Program) {
+	t.Helper()
+	prog := MustParse(durProg)
+	edb := Store{}
+	if len(facts) > 0 {
+		rel := edb.Get("par", 2)
+		for _, f := range facts {
+			rel.Insert(Tuple{prog.Intern(f[0]), prog.Intern(f[1])})
+		}
+	}
+	opts.Dir = dir
+	v, err := Open(context.Background(), prog, edb, opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return v, prog
+}
+
+func ancestors(t *testing.T, v *View, prog *Program) string {
+	t.Helper()
+	snap, err := v.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	return prog.Format(snap.Store(), "anc")
+}
+
+func applyEdge(t *testing.T, v *View, prog *Program, from, to string) {
+	t.Helper()
+	d := NewDelta().Add("par", Tuple{prog.Intern(from), prog.Intern(to)})
+	if _, err := v.Apply(*d); err != nil {
+		t.Fatalf("Apply(%s→%s): %v", from, to, err)
+	}
+}
+
+// TestDurableCleanRestart pins the clean-shutdown path: Close compacts
+// and marks the log, and a re-open restores the exact epoch and model
+// without the original edb argument.
+func TestDurableCleanRestart(t *testing.T) {
+	dir := t.TempDir()
+	v, prog := openDur(t, dir, EvalOptions{}, [2]string{"a", "b"})
+	applyEdge(t, v, prog, "b", "c")
+	applyEdge(t, v, prog, "c", "d")
+	want := ancestors(t, v, prog)
+	wantEpoch := v.Epoch()
+	if err := v.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Re-open with a fresh parse and an EMPTY edb argument: the
+	// directory is authoritative.
+	v2, prog2 := openDur(t, dir, EvalOptions{})
+	defer v2.Close()
+	if got := v2.Epoch(); got != wantEpoch {
+		t.Fatalf("recovered epoch %d, want %d", got, wantEpoch)
+	}
+	if got := ancestors(t, v2, prog2); got != want {
+		t.Fatalf("recovered model:\n%s\nwant:\n%s", got, want)
+	}
+	st := v2.DurabilityStats()
+	if st == nil || !st.HasSegment || st.SegmentEpoch != wantEpoch {
+		t.Fatalf("stats after clean restart: %+v", st)
+	}
+	// Clean shutdown leaves nothing to replay: the WAL holds only the
+	// clean marker.
+	if st.WALRecords > 1 {
+		t.Fatalf("clean restart left %d WAL records to replay", st.WALRecords)
+	}
+}
+
+// TestDurableDirtyRestart simulates a crash — the view is abandoned
+// without Close — and checks the WAL alone restores the acknowledged
+// state, including constants interned only by deltas.
+func TestDurableDirtyRestart(t *testing.T) {
+	dir := t.TempDir()
+	v, prog := openDur(t, dir, EvalOptions{}, [2]string{"a", "b"})
+	applyEdge(t, v, prog, "b", "zeta") // "zeta" exists only via recNames
+	applyEdge(t, v, prog, "zeta", "w")
+	want := ancestors(t, v, prog)
+	wantEpoch := v.Epoch()
+	// Crash: release the file handle without compacting or marking clean.
+	if err := v.dur.dir.Close(); err != nil {
+		t.Fatalf("closing dir: %v", err)
+	}
+
+	v2, prog2 := openDur(t, dir, EvalOptions{})
+	defer v2.Close()
+	if got := v2.Epoch(); got != wantEpoch {
+		t.Fatalf("recovered epoch %d, want %d", got, wantEpoch)
+	}
+	if got := ancestors(t, v2, prog2); got != want {
+		t.Fatalf("recovered model:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestDurableDeletesSurvive pins that deletions are as durable as
+// inserts: a crash after a delete must not resurrect the tuple.
+func TestDurableDeletesSurvive(t *testing.T) {
+	dir := t.TempDir()
+	v, prog := openDur(t, dir, EvalOptions{}, [2]string{"a", "b"}, [2]string{"b", "c"})
+	d := NewDelta().Remove("par", Tuple{prog.Intern("b"), prog.Intern("c")})
+	if _, err := v.Apply(*d); err != nil {
+		t.Fatalf("Apply delete: %v", err)
+	}
+	want := ancestors(t, v, prog)
+	if strings.Contains(want, "b, c") {
+		t.Fatalf("delete did not take: %s", want)
+	}
+	v.dur.dir.Close() // crash
+
+	v2, prog2 := openDur(t, dir, EvalOptions{})
+	defer v2.Close()
+	if got := ancestors(t, v2, prog2); got != want {
+		t.Fatalf("recovered model:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestDurableEdgeCases walks the recovery corners: a fresh directory, a
+// WAL with no segment, a segment with no WAL, and a zero-length
+// trailing segment under both corruption policies.
+func TestDurableEdgeCases(t *testing.T) {
+	t.Run("fresh dir", func(t *testing.T) {
+		dir := t.TempDir()
+		v, _ := openDur(t, dir, EvalOptions{}, [2]string{"a", "b"})
+		defer v.Close()
+		if v.Epoch() != 0 {
+			t.Fatalf("fresh open at epoch %d", v.Epoch())
+		}
+		st := v.DurabilityStats()
+		if !st.HasSegment || st.SegmentEpoch != 0 {
+			t.Fatalf("fresh open did not pin an initial segment: %+v", st)
+		}
+	})
+
+	t.Run("WAL only", func(t *testing.T) {
+		dir := t.TempDir()
+		v, prog := openDur(t, dir, EvalOptions{}, [2]string{"a", "b"})
+		applyEdge(t, v, prog, "b", "c")
+		want := ancestors(t, v, prog)
+		v.dur.dir.Close() // crash
+		// Lose the segment: recovery folds the WAL onto the edb argument.
+		segs, _ := filepath.Glob(filepath.Join(dir, "seg-*.seg"))
+		for _, s := range segs {
+			os.Remove(s)
+		}
+		v2, prog2 := openDur(t, dir, EvalOptions{}, [2]string{"a", "b"})
+		defer v2.Close()
+		if got := ancestors(t, v2, prog2); got != want {
+			t.Fatalf("WAL-only recovery:\n%s\nwant:\n%s", got, want)
+		}
+	})
+
+	t.Run("segment only", func(t *testing.T) {
+		dir := t.TempDir()
+		v, prog := openDur(t, dir, EvalOptions{}, [2]string{"a", "b"})
+		applyEdge(t, v, prog, "b", "c")
+		want := ancestors(t, v, prog)
+		wantEpoch := v.Epoch()
+		if err := v.Close(); err != nil { // clean: everything is in the segment
+			t.Fatalf("Close: %v", err)
+		}
+		os.Remove(filepath.Join(dir, "wal.log"))
+		v2, prog2 := openDur(t, dir, EvalOptions{})
+		defer v2.Close()
+		if got := v2.Epoch(); got != wantEpoch {
+			t.Fatalf("epoch %d, want %d", got, wantEpoch)
+		}
+		if got := ancestors(t, v2, prog2); got != want {
+			t.Fatalf("segment-only recovery:\n%s\nwant:\n%s", got, want)
+		}
+	})
+
+	t.Run("zero-length trailing segment", func(t *testing.T) {
+		dir := t.TempDir()
+		v, prog := openDur(t, dir, EvalOptions{}, [2]string{"a", "b"})
+		applyEdge(t, v, prog, "b", "c")
+		want := ancestors(t, v, prog)
+		v.Close()
+		// A newer, empty segment file: damage that can never be a torn
+		// write, because segments are published atomically.
+		bogus := filepath.Join(dir, "seg-ffffffffffffffff.seg")
+		if err := os.WriteFile(bogus, nil, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		prog2 := MustParse(durProg)
+		_, err := Open(context.Background(), prog2, nil, EvalOptions{Dir: dir})
+		if !errors.Is(err, ErrCorruptSegment) {
+			t.Fatalf("fail-fast open: got %v, want ErrCorruptSegment", err)
+		}
+		// Skip-and-report falls back to the older intact segment.
+		v2, prog3 := openDur(t, dir, EvalOptions{Durability: DurabilityOptions{SkipCorrupt: true}})
+		defer v2.Close()
+		if got := ancestors(t, v2, prog3); got != want {
+			t.Fatalf("SkipCorrupt fallback:\n%s\nwant:\n%s", got, want)
+		}
+	})
+}
+
+// TestDurableProgramMismatch pins the interner continuity check: a
+// directory written against one program cannot silently decode under
+// another.
+func TestDurableProgramMismatch(t *testing.T) {
+	dir := t.TempDir()
+	v, prog := openDur(t, dir, EvalOptions{}, [2]string{"a", "b"})
+	applyEdge(t, v, prog, "b", "newconst")
+	v.Close()
+
+	other := MustParse(`
+		anc(X, Y) :- par(X, Y).
+		anc(X, Y) :- par(X, Z), anc(Z, Y).
+		par(extra, thing).
+	`)
+	_, err := Open(context.Background(), other, nil, EvalOptions{Dir: dir})
+	if err == nil || !strings.Contains(err.Error(), "different program") {
+		t.Fatalf("mismatched program opened: %v", err)
+	}
+}
+
+// TestDurableTornTail tears the final WAL write mid-record and checks
+// recovery drops exactly that unacknowledged batch.
+func TestDurableTornTail(t *testing.T) {
+	dir := t.TempDir()
+	v, prog := openDur(t, dir, EvalOptions{}, [2]string{"a", "b"})
+	applyEdge(t, v, prog, "b", "c")
+	want := ancestors(t, v, prog)
+	wantEpoch := v.Epoch()
+
+	// Tear the next write: the batch dies mid-record and the process
+	// with it.
+	v.dur.dir.SetHook(fault.NewDiskPlan().TearAt(1).BeforeWrite)
+	d := NewDelta().Add("par", Tuple{prog.Intern("c"), prog.Intern("d")})
+	if _, err := v.Apply(*d); err == nil {
+		t.Fatal("torn write acknowledged")
+	}
+	v.dur.dir.Close()
+
+	v2, prog2 := openDur(t, dir, EvalOptions{})
+	defer v2.Close()
+	if got := v2.Epoch(); got != wantEpoch {
+		t.Fatalf("epoch %d, want %d", got, wantEpoch)
+	}
+	if got := ancestors(t, v2, prog2); got != want {
+		t.Fatalf("torn-tail recovery:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestDurablePoisonAfterWriteFailure pins the poison contract: once a
+// durable write fails, no later Apply is acknowledged.
+func TestDurablePoisonAfterWriteFailure(t *testing.T) {
+	dir := t.TempDir()
+	v, prog := openDur(t, dir, EvalOptions{}, [2]string{"a", "b"})
+	v.dur.dir.SetHook(fault.NewDiskPlan().KillAt(1).BeforeWrite)
+	d := NewDelta().Add("par", Tuple{prog.Intern("b"), prog.Intern("c")})
+	if _, err := v.Apply(*d); err == nil {
+		t.Fatal("failed write acknowledged")
+	}
+	if _, err := v.Apply(*d); err == nil || !strings.Contains(err.Error(), "poisoned") {
+		t.Fatalf("second Apply after write failure: %v", err)
+	}
+	v.Close()
+}
+
+// TestDurableValidateRejects pins the pre-log validation: doomed batches
+// never enter the WAL.
+func TestDurableValidateRejects(t *testing.T) {
+	dir := t.TempDir()
+	v, prog := openDur(t, dir, EvalOptions{}, [2]string{"a", "b"})
+	defer v.Close()
+	before := v.DurabilityStats().WALRecords
+
+	d := NewDelta().Add("anc", Tuple{prog.Intern("a"), prog.Intern("b")})
+	if _, err := v.Apply(*d); err == nil {
+		t.Fatal("IDB delta accepted")
+	}
+	d = NewDelta().Add("par", Tuple{prog.Intern("a")})
+	if _, err := v.Apply(*d); err == nil {
+		t.Fatal("arity-mismatched delta accepted")
+	}
+	if got := v.DurabilityStats().WALRecords; got != before {
+		t.Fatalf("rejected batches reached the WAL: %d records, was %d", got, before)
+	}
+	// The view is NOT poisoned: validation failures precede logging.
+	applyEdge(t, v, prog, "b", "c")
+}
+
+// TestDurableCompaction drives past CompactEvery and checks the WAL is
+// reset and the segment epoch advances.
+func TestDurableCompaction(t *testing.T) {
+	dir := t.TempDir()
+	v, prog := openDur(t, dir, EvalOptions{Durability: DurabilityOptions{CompactEvery: 3}},
+		[2]string{"a", "b"})
+	chain := []string{"b", "c", "d", "e", "f", "g", "h"}
+	for i := 0; i+1 < len(chain); i++ {
+		applyEdge(t, v, prog, chain[i], chain[i+1])
+	}
+	st := v.DurabilityStats()
+	if st.SegmentEpoch == 0 {
+		t.Fatalf("no compaction after %d applies: %+v", len(chain)-1, st)
+	}
+	want := ancestors(t, v, prog)
+	v.dur.dir.Close() // crash after compactions
+
+	v2, prog2 := openDur(t, dir, EvalOptions{})
+	defer v2.Close()
+	if got := ancestors(t, v2, prog2); got != want {
+		t.Fatalf("post-compaction recovery:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestEvalRejectsDir pins that the one-shot evaluators refuse the
+// durable knobs.
+func TestEvalRejectsDir(t *testing.T) {
+	prog := MustParse(durProg + "\npar(a, b).")
+	_, err := Eval(context.Background(), prog, nil, EvalOptions{Dir: t.TempDir()})
+	if !errors.Is(err, ErrBadOptions) {
+		t.Fatalf("Eval with Dir: %v", err)
+	}
+	_, err = Eval(context.Background(), prog, nil, EvalOptions{
+		Durability: DurabilityOptions{SkipCorrupt: true},
+	})
+	if !errors.Is(err, ErrBadOptions) {
+		t.Fatalf("Durability without Dir: %v", err)
+	}
+	_, err = Eval(context.Background(), prog, nil, EvalOptions{
+		Dir:        t.TempDir(),
+		Durability: DurabilityOptions{FsyncEvery: time.Second},
+	})
+	if !errors.Is(err, ErrBadOptions) {
+		t.Fatalf("FsyncEvery without FsyncInterval: %v", err)
+	}
+}

@@ -1,0 +1,109 @@
+package parlog
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"parlog/internal/dist"
+	"parlog/internal/store"
+)
+
+// TestSentinelErrorsTable pins the public failure taxonomy: every
+// exported sentinel is distinct from the others, survives %w wrap
+// chains, and aliases the internal sentinel the lower layer actually
+// returns — so errors.Is works across package boundaries.
+func TestSentinelErrorsTable(t *testing.T) {
+	sentinels := []struct {
+		name string
+		err  error
+	}{
+		{"ErrBadOptions", ErrBadOptions},
+		{"ErrNotLinearSirup", ErrNotLinearSirup},
+		{"ErrWorkerLost", ErrWorkerLost},
+		{"ErrTimeout", ErrTimeout},
+		{"ErrResourceExhausted", ErrResourceExhausted},
+		{"ErrCorruptSegment", ErrCorruptSegment},
+		{"ErrTornLog", ErrTornLog},
+	}
+	for i, a := range sentinels {
+		if a.err == nil {
+			t.Fatalf("%s is nil", a.name)
+		}
+		// Two levels of %w must still match.
+		chain := fmt.Errorf("outer: %w", fmt.Errorf("inner: %w", a.err))
+		if !errors.Is(chain, a.err) {
+			t.Errorf("%s lost through a wrap chain", a.name)
+		}
+		for j, b := range sentinels {
+			if i != j && errors.Is(a.err, b.err) {
+				t.Errorf("%s matches %s — sentinels must be distinct", a.name, b.name)
+			}
+		}
+	}
+
+	// The re-exports alias the internal sentinels, not copies: an error
+	// produced by internal/store or internal/dist matches the public name.
+	if ErrCorruptSegment != store.ErrCorruptSegment || ErrTornLog != store.ErrTornLog {
+		t.Error("durability sentinels are not aliases of internal/store's")
+	}
+	if ErrWorkerLost != dist.ErrWorkerLost || ErrTimeout != dist.ErrTimeout || ErrResourceExhausted != dist.ErrResourceExhausted {
+		t.Error("distribution sentinels are not aliases of internal/dist's")
+	}
+}
+
+// TestSentinelErrorsFromAPI drives the public entry points into each
+// locally-reproducible failure class and checks the errors.Is verdict on
+// what actually comes back.
+func TestSentinelErrorsFromAPI(t *testing.T) {
+	ctx := context.Background()
+	p, err := Parse("anc(X, Y) :- par(X, Y). par(a, b).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	edb := p.ExtractFacts()
+
+	// Dir on a one-shot evaluator, and durability knobs without Dir.
+	if _, err := Eval(ctx, p, edb, EvalOptions{Dir: t.TempDir()}); !errors.Is(err, ErrBadOptions) {
+		t.Errorf("Eval with Dir: err = %v, want ErrBadOptions", err)
+	}
+	if _, err := Open(ctx, p, edb, EvalOptions{Durability: DurabilityOptions{SkipCorrupt: true}}); !errors.Is(err, ErrBadOptions) {
+		t.Errorf("Open with Durability sans Dir: err = %v, want ErrBadOptions", err)
+	}
+
+	// A zero-length segment file in an otherwise-valid state directory.
+	dir := t.TempDir()
+	v, err := Open(ctx, p, edb, EvalOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := filepath.Glob(filepath.Join(dir, "seg-*.seg"))
+	if len(segs) != 1 {
+		t.Fatalf("expected one segment after clean close, found %v", segs)
+	}
+	if err := os.WriteFile(segs[0], nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(ctx, p, edb, EvalOptions{Dir: dir}); !errors.Is(err, ErrCorruptSegment) {
+		t.Errorf("Open over zero-length segment: err = %v, want ErrCorruptSegment", err)
+	}
+
+	// A state-dir path that is a plain file surfaces the OS error — the
+	// errors.As leg of the taxonomy.
+	file := filepath.Join(t.TempDir(), "not-a-dir")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Open(ctx, p, edb, EvalOptions{Dir: file})
+	var pathErr *fs.PathError
+	if err == nil || !errors.As(err, &pathErr) {
+		t.Errorf("Open over a file: err = %v, want a wrapped *fs.PathError", err)
+	}
+}

@@ -202,6 +202,17 @@ type Config struct {
 	// exceeded once that cycle resolves, the run fails with an error
 	// wrapping ErrResourceExhausted. 0 means unlimited.
 	MaxMemoryBytes int64
+	// LocalCheckpoints makes recovery adopt from worker-local disk:
+	// adopt messages carry only the accepted checkpoint's checksum, and
+	// the survivor loads the blob from its WorkerConfig.Dir (persisted
+	// there by the bucket's previous owner — the workers must share the
+	// directory, as in-process workers started by Run do via WorkerDir).
+	// The coordinator still verifies and stores replies as usual; only
+	// the recovery path stops shipping the blob.
+	LocalCheckpoints bool
+	// WorkerDir is the checkpoint directory Run hands every in-process
+	// worker (WorkerConfig.Dir); empty disables local persistence.
+	WorkerDir string
 	// CheckpointFault, when non-nil, intercepts every checkpoint reply
 	// the coordinator receives — the fault-injection hook. Return values
 	// follow internal/dist/fault: 0 passes the reply through, 1 drops it
@@ -492,7 +503,9 @@ type bucketState struct {
 
 	snap       []byte // latest accepted checkpoint (wire-encoded); nil if none
 	snapBytes  int64
-	snapOffset int64 // absolute batch count the checkpoint covers
+	snapOffset int64  // absolute batch count the checkpoint covers
+	sum        uint64 // wire.Checksum of snap — what LocalCheckpoints adopts ship
+	probe      int    // the accepted checkpoint's request id, shipped alongside sum
 
 	pending       int   // outstanding checkpoint request id; 0 = none
 	pendingOffset int64 // log length (absolute) at request time
@@ -701,6 +714,7 @@ func (r *router) noteCheckpoint(w *wkState, m wireMsg) {
 	newBytes := snapCost(m.Snap)
 	r.snapBytes += newBytes - bs.snapBytes
 	bs.snap, bs.snapBytes, bs.snapOffset = m.Snap, newBytes, off
+	bs.sum, bs.probe = sum, m.Probe
 	r.ckpts++
 	if r.cfg.Sink != nil {
 		r.cfg.Sink.CheckpointEnd(m.Bucket, proc, tuples, true)
@@ -890,7 +904,14 @@ func (r *router) declareDead(w *wkState, reason string) {
 		// survivor installs it, then the logged suffix completes the
 		// bucket's history. Stored snapshots are the verified wire
 		// blobs, shipped verbatim — no re-encode on the recovery path.
-		s.out.push(control(wireMsg{Kind: kindAdopt, Bucket: b, Snap: bs.snap}))
+		// Under LocalCheckpoints only the checksum travels; the survivor
+		// loads the blob the dead owner persisted to the shared local
+		// directory and verifies it against this sum.
+		adopt := wireMsg{Kind: kindAdopt, Bucket: b, Snap: bs.snap}
+		if r.cfg.LocalCheckpoints && bs.snap != nil {
+			adopt.Snap, adopt.Sum, adopt.Probe = nil, bs.sum, bs.probe
+		}
+		s.out.push(control(adopt))
 		for _, le := range bs.log {
 			s.delivered++
 			r.queueBytes += le.cost

@@ -11,6 +11,7 @@ import (
 	"errors"
 	"math/rand"
 	"net"
+	"strings"
 	"sync"
 	"time"
 )
@@ -225,6 +226,112 @@ func (p *CheckpointPlan) Seen() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.n
+}
+
+// DiskPlan schedules disk-write faults by ordinal: the n-th physical
+// write of a durable store dies cleanly (nothing persisted), tears
+// (half the bytes persist, then death) or is silently corrupted (one
+// flipped byte, write "succeeds"). Its BeforeWrite method matches the
+// store package's WriteHook signature — func(name string, data []byte)
+// ([]byte, error) — without importing it, the same decoupling as the
+// checkpoint actions above. Once a kill or tear fires the plan is dead:
+// every later write fails too, like the process it simulates.
+// Deterministic and safe for concurrent use.
+type DiskPlan struct {
+	mu        sync.Mutex
+	writes    int
+	segWrites int
+	killAt    int
+	tearAt    int
+	corrupt   map[int]bool
+	// corruptSegNth corrupts the nth segment-file write (counted
+	// separately from WAL appends, matched by file name).
+	corruptSegNth int
+	dead          bool
+}
+
+// NewDiskPlan returns an empty plan (no faults).
+func NewDiskPlan() *DiskPlan { return &DiskPlan{corrupt: map[int]bool{}} }
+
+// KillAt schedules the nth write (1-based) to fail with nothing
+// persisted — a clean crash at the write boundary.
+func (p *DiskPlan) KillAt(n int) *DiskPlan {
+	p.mu.Lock()
+	p.killAt = n
+	p.mu.Unlock()
+	return p
+}
+
+// TearAt schedules the nth write to persist only its first half before
+// failing — a torn record, the residue of a crash mid-syscall.
+func (p *DiskPlan) TearAt(n int) *DiskPlan {
+	p.mu.Lock()
+	p.tearAt = n
+	p.mu.Unlock()
+	return p
+}
+
+// CorruptAt schedules one flipped byte in the nth write, which otherwise
+// succeeds — silent corruption the checksums must catch at recovery.
+func (p *DiskPlan) CorruptAt(n int) *DiskPlan {
+	p.mu.Lock()
+	p.corrupt[n] = true
+	p.mu.Unlock()
+	return p
+}
+
+// CorruptSegment schedules one flipped byte in the nth segment-file
+// write (files named "seg-*"), leaving WAL appends untouched.
+func (p *DiskPlan) CorruptSegment(n int) *DiskPlan {
+	p.mu.Lock()
+	p.corruptSegNth = n
+	p.mu.Unlock()
+	return p
+}
+
+// BeforeWrite applies the plan to one physical write — the store layer's
+// write hook.
+func (p *DiskPlan) BeforeWrite(name string, data []byte) ([]byte, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.dead {
+		return nil, ErrInjected
+	}
+	p.writes++
+	isSeg := strings.HasPrefix(name, "seg-")
+	if isSeg {
+		p.segWrites++
+	}
+	switch {
+	case p.writes == p.killAt:
+		p.dead = true
+		return nil, ErrInjected
+	case p.writes == p.tearAt:
+		p.dead = true
+		return data[:len(data)/2], ErrInjected
+	case p.corrupt[p.writes], isSeg && p.segWrites == p.corruptSegNth:
+		out := append([]byte(nil), data...)
+		if len(out) > 0 {
+			out[len(out)-1] ^= 0xFF
+		}
+		return out, nil
+	}
+	return data, nil
+}
+
+// Writes reports how many physical writes the plan has counted (the
+// write-point space a crash differential iterates over); SegWrites how
+// many of them were segment files.
+func (p *DiskPlan) Writes() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.writes
+}
+
+func (p *DiskPlan) SegWrites() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.segWrites
 }
 
 // MisroutePlan schedules router-level misrouting by ordinal: the n-th data

@@ -164,3 +164,55 @@ func TestListenerWraps(t *testing.T) {
 		t.Fatalf("accepted conn should be scheduled: %v", err)
 	}
 }
+
+func TestDiskPlanDeterminism(t *testing.T) {
+	run := func() ([]string, []error) {
+		p := NewDiskPlan().KillAt(3).CorruptAt(2)
+		var outs []string
+		var errs []error
+		for i := 0; i < 5; i++ {
+			out, err := p.BeforeWrite("wal.log", []byte{1, 2, 3, 4})
+			outs = append(outs, string(out))
+			errs = append(errs, err)
+		}
+		return outs, errs
+	}
+	a, aerr := run()
+	b, berr := run()
+	for i := range a {
+		if a[i] != b[i] || (aerr[i] == nil) != (berr[i] == nil) {
+			t.Fatalf("non-deterministic at write %d", i+1)
+		}
+	}
+	// Write 1 passes untouched, write 2 is corrupted, write 3 kills, 4-5
+	// fail (dead).
+	if a[0] != "\x01\x02\x03\x04" || aerr[0] != nil {
+		t.Fatalf("write 1: %q %v", a[0], aerr[0])
+	}
+	if a[1] == "\x01\x02\x03\x04" || aerr[1] != nil {
+		t.Fatalf("write 2 not corrupted: %q %v", a[1], aerr[1])
+	}
+	for i := 2; i < 5; i++ {
+		if !errors.Is(aerr[i], ErrInjected) {
+			t.Fatalf("write %d should fail: %v", i+1, aerr[i])
+		}
+	}
+	if a[2] != "" {
+		t.Fatalf("kill persisted bytes: %q", a[2])
+	}
+}
+
+func TestDiskPlanTearAndSegments(t *testing.T) {
+	p := NewDiskPlan().TearAt(2).CorruptSegment(1)
+	out, err := p.BeforeWrite("seg-0001.seg", []byte{9, 9, 9, 9})
+	if err != nil || string(out) == "\x09\x09\x09\x09" {
+		t.Fatalf("segment write not corrupted: %q %v", out, err)
+	}
+	out, err = p.BeforeWrite("wal.log", []byte{1, 2, 3, 4})
+	if !errors.Is(err, ErrInjected) || len(out) != 2 {
+		t.Fatalf("tear: %q %v", out, err)
+	}
+	if p.Writes() != 2 || p.SegWrites() != 1 {
+		t.Fatalf("counters: %d writes, %d seg", p.Writes(), p.SegWrites())
+	}
+}

@@ -45,6 +45,7 @@ func Run(p *parallel.Program, edb relation.Store, cfg Config) (*Result, error) {
 		wcfg := WorkerConfig{
 			Ctx:        cfg.Ctx,
 			NewNode:    newNode,
+			Dir:        cfg.WorkerDir,
 			MaxRetries: cfg.MaxRetries,
 			RetryBase:  cfg.RetryBase,
 		}

@@ -2,10 +2,13 @@ package dist
 
 import (
 	"context"
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
 	"math/rand"
 	"net"
+	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -14,8 +17,75 @@ import (
 	"parlog/internal/obs"
 	"parlog/internal/parallel"
 	"parlog/internal/relation"
+	"parlog/internal/store"
 	"parlog/internal/wire"
 )
+
+// ckptRecord is the record kind checkpoint files carry: a single record
+// whose payload is the uvarint checkpoint probe number followed by the
+// wire-encoded snapshot blob, framed and checksummed by the store layer.
+const ckptRecord byte = 1
+
+// ckptName is the per-bucket checkpoint file inside WorkerConfig.Dir.
+func ckptName(bucket int) string { return fmt.Sprintf("ckpt-%04d.ckpt", bucket) }
+
+// persistCheckpoint writes one bucket's snapshot blob atomically; the
+// file is either the complete new checkpoint or the previous one. The
+// probe number travels inside the record so an adopting worker can tell
+// whether the file is the checkpoint the coordinator accepted — or a
+// newer one whose reply never arrived.
+func persistCheckpoint(dir string, bucket, probe int, snap []byte) error {
+	payload := binary.AppendUvarint(make([]byte, 0, len(snap)+binary.MaxVarintLen64), uint64(probe))
+	payload = append(payload, snap...)
+	_, err := store.WriteAtomic(dir, ckptName(bucket), []store.Record{{Kind: ckptRecord, Payload: payload}}, nil)
+	return err
+}
+
+// loadCheckpoint reads one bucket's persisted snapshot blob, verifying
+// the store-layer checksum. A missing or damaged file returns an error.
+func loadCheckpoint(dir string, bucket int) (probe int, snap []byte, err error) {
+	recs, err := store.ReadSegment(filepath.Join(dir, ckptName(bucket)))
+	if err != nil {
+		return 0, nil, err
+	}
+	if len(recs) != 1 || recs[0].Kind != ckptRecord {
+		return 0, nil, fmt.Errorf("dist: checkpoint file for bucket %d has unexpected layout: %w", bucket, store.ErrCorruptSegment)
+	}
+	p, n := binary.Uvarint(recs[0].Payload)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("dist: checkpoint file for bucket %d has a malformed probe header: %w", bucket, store.ErrCorruptSegment)
+	}
+	return int(p), recs[0].Payload[n:], nil
+}
+
+// resolveAdoptSnap turns an adopt message into the snapshot to install.
+// A shipped blob (or no checkpoint at all — Sum 0) passes straight
+// through. A checksum-only adopt (LocalCheckpoints) loads the blob the
+// dead owner persisted to the shared local directory. The file may be
+// NEWER than the accepted checkpoint: the previous owner persists before
+// replying, so a kill between persist and acceptance leaves probe
+// m.Probe+k on disk. A later checkpoint is a superset of an earlier one
+// (bucket state only grows), so installing it is monotone-safe; only an
+// exact probe match can be verified against the adopt checksum. A
+// missing, damaged or stale file is a hard error — unlike a shipped
+// adopt, the coordinator has already truncated the log prefix the
+// checkpoint covers, so there is no state left to rebuild it from.
+func resolveAdoptSnap(dir string, m wireMsg) ([]byte, error) {
+	if m.Snap != nil || m.Sum == 0 {
+		return m.Snap, nil
+	}
+	probe, loaded, err := loadCheckpoint(dir, m.Bucket)
+	if err != nil {
+		return nil, fmt.Errorf("dist: local checkpoint for bucket %d: %w", m.Bucket, err)
+	}
+	switch {
+	case probe < m.Probe:
+		return nil, fmt.Errorf("dist: local checkpoint for bucket %d is stale (probe %d, coordinator accepted %d): %w", m.Bucket, probe, m.Probe, store.ErrCorruptSegment)
+	case probe == m.Probe && wire.Checksum(loaded) != m.Sum:
+		return nil, fmt.Errorf("dist: local checkpoint for bucket %d does not match the coordinator's checksum: %w", m.Bucket, store.ErrCorruptSegment)
+	}
+	return loaded, nil
+}
 
 // DialFunc is the worker's dial hook — net.Dial's signature, so a
 // fault.Injector (or any proxy) can stand in for the real stack.
@@ -36,6 +106,16 @@ type WorkerConfig struct {
 	// Dial replaces net.Dial for the coordinator connection (fault
 	// injection, proxies). Nil means net.Dial.
 	Dial DialFunc
+	// Dir, when non-empty, is a machine-local directory the worker
+	// persists its bucket checkpoints into (one atomically written,
+	// checksummed file per bucket). A restarted worker then installs its
+	// own bucket's checkpoint from disk at cold start instead of waiting
+	// for coordinator replay, and under the coordinator's
+	// LocalCheckpoints mode adopt messages carry only a checksum — the
+	// survivor loads the blob from this directory. In-process workers
+	// (dist.Run) share one directory; the directory must not be reused
+	// across different programs.
+	Dir string
 	// MaxRetries bounds connect attempts (default 5).
 	MaxRetries int
 	// RetryBase is the first backoff step (default 5ms); backoff doubles
@@ -228,6 +308,11 @@ func dialRetry(ctx context.Context, dial DialFunc, addr string, retries int, bas
 func RunWorker(coordAddr string, node *parallel.Node, cfg WorkerConfig) error {
 	cfg.fill()
 	ctx := cfg.Ctx
+	if cfg.Dir != "" {
+		if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+			return fmt.Errorf("dist: creating checkpoint dir: %w", err)
+		}
+	}
 
 	conn, err := dialRetry(ctx, cfg.Dial, coordAddr, cfg.MaxRetries, cfg.RetryBase)
 	if err != nil {
@@ -400,6 +485,26 @@ func RunWorker(coordAddr string, node *parallel.Node, cfg WorkerConfig) error {
 	}
 	begin := time.Now()
 	node.Init(mkEmit(node))
+	if cfg.Dir != "" {
+		// Cold-start recovery: a checkpoint this worker persisted in an
+		// earlier life restores its bucket's derived set from local disk,
+		// so the coordinator need not replay the covered log prefix.
+		// Opportunistic — a missing or damaged file just means starting
+		// from the EDB fragment. Installing a checkpoint is monotone-safe:
+		// it is a subset of the bucket's least model, and draining from
+		// any superset of the EDB converges to the same fixpoint.
+		if _, snap, err := loadCheckpoint(cfg.Dir, node.Index()); err == nil {
+			installed := false
+			_ = wire.DecodeSnapshot(snap, func(pred string, rows []relation.Tuple) error {
+				node.Accept(-1, pred, rows)
+				installed = true
+				return nil
+			})
+			if installed {
+				node.Drain(mkEmit(node))
+			}
+		}
+	}
 	node.RecordBusy(time.Since(begin))
 	if sink != nil {
 		sink.WorkerIdle(node.Proc())
@@ -470,16 +575,23 @@ func RunWorker(coordAddr string, node *parallel.Node, cfg WorkerConfig) error {
 				// history.
 				nb := time.Now()
 				n.Init(mkEmit(n))
+				// Under LocalCheckpoints the adopt message carries only the
+				// checkpoint's checksum; the blob itself is on this
+				// machine's disk, persisted by the bucket's previous owner.
+				snap, rerr := resolveAdoptSnap(cfg.Dir, m)
+				if rerr != nil {
+					return fin(rerr)
+				}
 				// The snapshot decodes in ascending predicate order — the
 				// deterministic install sequence is baked into the encoding.
-				err := wire.DecodeSnapshot(m.Snap, func(pred string, rows []relation.Tuple) error {
+				err := wire.DecodeSnapshot(snap, func(pred string, rows []relation.Tuple) error {
 					n.Accept(-1, pred, rows)
 					return nil
 				})
 				if err != nil {
 					return fin(fmt.Errorf("dist: adopt snapshot for bucket %d: %w", m.Bucket, err))
 				}
-				if wire.SnapshotTuples(m.Snap) > 0 {
+				if wire.SnapshotTuples(snap) > 0 {
 					touched[m.Bucket] = true
 				}
 				n.RecordBusy(time.Since(nb))
@@ -510,6 +622,16 @@ func RunWorker(coordAddr string, node *parallel.Node, cfg WorkerConfig) error {
 				continue // stale request for a bucket this worker never hosted
 			}
 			snap := wire.AppendSnapshot(nil, n.Snapshot())
+			if cfg.Dir != "" {
+				// Persist before replying: the coordinator may reference
+				// this blob by checksum alone (LocalCheckpoints), so it
+				// must be on disk before the reply can trigger truncation.
+				// A failed write skips the reply — the coordinator treats
+				// it as dropped and simply replays a longer suffix.
+				if err := persistCheckpoint(cfg.Dir, req.Bucket, req.Probe, snap); err != nil {
+					continue
+				}
+			}
 			wq.push(control(wireMsg{
 				Kind: kindCheckpointReply, Bucket: req.Bucket, Probe: req.Probe,
 				Snap: snap, Sum: wire.Checksum(snap),

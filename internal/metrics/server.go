@@ -22,6 +22,10 @@ type ServerOptions struct {
 	// /metrics. Patterns colliding with the built-ins panic, like any
 	// duplicate http.ServeMux registration.
 	Extra map[string]http.Handler
+	// ReadTimeout bounds reading an entire request including the body
+	// (0: header timeout only) — the slow-loris guard for servers that
+	// accept uploads, like parlogd's /apply.
+	ReadTimeout time.Duration
 }
 
 // Server is the live telemetry endpoint: /metrics serves the Prometheus
@@ -69,7 +73,11 @@ func NewServer(addr string, reg *Registry, opts ServerOptions) (*Server, error) 
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
-	s := &Server{ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
+	s := &Server{ln: ln, srv: &http.Server{
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       opts.ReadTimeout,
+	}}
 	go func() { _ = s.srv.Serve(ln) }()
 	return s, nil
 }

@@ -56,6 +56,19 @@ type Counting struct {
 	ivmMaintainNs  atomic.Int64
 	ivmSnapshots   atomic.Int64
 	ivmEpoch       atomic.Int64
+
+	// Durable-store counters (views opened with a state directory, and
+	// workers persisting checkpoints locally).
+	walAppends       atomic.Int64
+	walBytes         atomic.Int64
+	walFsyncs        atomic.Int64
+	segWrites        atomic.Int64
+	segBytes         atomic.Int64
+	segEpoch         atomic.Int64
+	storeRecoveries  atomic.Int64
+	recoverySkipped  atomic.Int64
+	recoveryTorn     atomic.Int64
+	recoveryReplayed atomic.Int64
 }
 
 // procShard holds one processor's counters. All fields after proc are
@@ -286,6 +299,31 @@ func (c *Counting) SnapshotTaken(epoch uint64, tuples int) {
 	c.ivmEpoch.Store(int64(epoch))
 }
 
+// StoreSink implementation: WAL and segment traffic of a durable view.
+func (c *Counting) WALAppend(kind byte, bytes int, synced bool) {
+	c.walAppends.Add(1)
+	c.walBytes.Add(int64(bytes))
+	if synced {
+		c.walFsyncs.Add(1)
+	}
+}
+
+func (c *Counting) SegmentWrite(epoch uint64, bytes int64, tuples int) {
+	c.segWrites.Add(1)
+	c.segBytes.Add(bytes)
+	c.segEpoch.Store(int64(epoch))
+}
+
+func (c *Counting) StoreRecovery(segEpoch uint64, walApplies, skipped int, torn, clean bool) {
+	c.storeRecoveries.Add(1)
+	c.segEpoch.Store(int64(segEpoch))
+	c.recoveryReplayed.Add(int64(walApplies))
+	c.recoverySkipped.Add(int64(skipped))
+	if torn {
+		c.recoveryTorn.Add(1)
+	}
+}
+
 func (c *Counting) RunEnd(wall time.Duration) {
 	c.wallNs.Add(int64(wall))
 	c.mu.Lock()
@@ -358,6 +396,21 @@ type Metrics struct {
 	IVMMaintainNs  int64 `json:"ivm_maintain_ns,omitempty"`
 	IVMSnapshots   int64 `json:"ivm_snapshots,omitempty"`
 	IVMEpoch       int64 `json:"ivm_epoch,omitempty"`
+	// Durable-store counters: WAL appends/bytes and how many appends
+	// fsynced, segment compactions and their sizes, the latest segment
+	// epoch, and recovery statistics — recoveries performed, WAL records
+	// replayed into the model, corrupt records skipped past
+	// (skip-and-report mode), and torn tails truncated.
+	WALAppends       int64 `json:"wal_appends,omitempty"`
+	WALBytes         int64 `json:"wal_bytes,omitempty"`
+	WALFsyncs        int64 `json:"wal_fsyncs,omitempty"`
+	SegmentWrites    int64 `json:"segment_writes,omitempty"`
+	SegmentBytes     int64 `json:"segment_bytes,omitempty"`
+	SegmentEpoch     int64 `json:"segment_epoch,omitempty"`
+	StoreRecoveries  int64 `json:"store_recoveries,omitempty"`
+	RecoveryReplayed int64 `json:"recovery_replayed,omitempty"`
+	RecoverySkipped  int64 `json:"recovery_skipped,omitempty"`
+	RecoveryTorn     int64 `json:"recovery_torn,omitempty"`
 	// Procs holds per-processor counters in registration order.
 	Procs []ProcMetrics `json:"procs"`
 	// Edges holds one entry per channel that carried at least one
@@ -435,6 +488,16 @@ func (c *Counting) Snapshot() *Metrics {
 		IVMMaintainNs:        c.ivmMaintainNs.Load(),
 		IVMSnapshots:         c.ivmSnapshots.Load(),
 		IVMEpoch:             c.ivmEpoch.Load(),
+		WALAppends:           c.walAppends.Load(),
+		WALBytes:             c.walBytes.Load(),
+		WALFsyncs:            c.walFsyncs.Load(),
+		SegmentWrites:        c.segWrites.Load(),
+		SegmentBytes:         c.segBytes.Load(),
+		SegmentEpoch:         c.segEpoch.Load(),
+		StoreRecoveries:      c.storeRecoveries.Load(),
+		RecoveryReplayed:     c.recoveryReplayed.Load(),
+		RecoverySkipped:      c.recoverySkipped.Load(),
+		RecoveryTorn:         c.recoveryTorn.Load(),
 		// Non-nil so a communication-free run still serializes as
 		// "edges": [] — consumers get a stable document shape.
 		Edges: []EdgeMetrics{},

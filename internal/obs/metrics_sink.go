@@ -86,6 +86,17 @@ type MetricsSink struct {
 	ivmSnapshots   *metrics.Counter
 	ivmEpoch       *metrics.Gauge
 
+	walAppends      *metrics.Counter
+	walBytes        *metrics.Counter
+	walFsyncs       *metrics.Counter
+	segWrites       *metrics.Counter
+	segBytes        *metrics.Counter
+	segEpochG       *metrics.Gauge
+	storeRecoveries *metrics.Counter
+	walReplayed     *metrics.Counter
+	walSkipped      *metrics.Counter
+	walTorn         *metrics.Counter
+
 	bucketLoad  *metrics.Histogram // tuples derived per hash bucket, fed per run
 	skewMax     *metrics.Gauge     // max load / mean load across buckets
 	skewMean    *metrics.Gauge     // mean load across buckets
@@ -163,6 +174,17 @@ func NewMetricsSink(reg *metrics.Registry) *MetricsSink {
 		ivmDeltaSize:   reg.Histogram("parlog_ivm_delta_tuples", "EDB delta tuples per maintenance batch", sizeBounds),
 		ivmSnapshots:   reg.Counter("parlog_ivm_snapshots_total", "immutable view snapshots published"),
 		ivmEpoch:       reg.Gauge("parlog_ivm_epoch", "latest published view epoch"),
+
+		walAppends:      reg.Counter("parlog_wal_appends_total", "records appended to the write-ahead log"),
+		walBytes:        reg.Counter("parlog_wal_bytes_total", "framed bytes appended to the write-ahead log"),
+		walFsyncs:       reg.Counter("parlog_wal_fsyncs_total", "WAL appends that forced an fsync before acknowledgment"),
+		segWrites:       reg.Counter("parlog_segment_writes_total", "segment snapshots compacted to disk"),
+		segBytes:        reg.Counter("parlog_segment_bytes_total", "bytes written as segment snapshots"),
+		segEpochG:       reg.Gauge("parlog_segment_epoch", "epoch of the newest durable segment"),
+		storeRecoveries: reg.Counter("parlog_store_recoveries_total", "cold-start recoveries from the state directory"),
+		walReplayed:     reg.Counter("parlog_wal_replayed_records_total", "WAL apply records folded into the model during recovery"),
+		walSkipped:      reg.Counter("parlog_wal_skipped_records_total", "corrupt records skipped past during recovery (skip-and-report mode)"),
+		walTorn:         reg.Counter("parlog_wal_torn_tails_total", "recoveries that truncated a torn WAL tail"),
 
 		bucketLoad: reg.Histogram("parlog_bucket_load_tuples", "tuples derived per hash bucket over completed runs", sizeBounds),
 		skewMax:    reg.Gauge("parlog_load_skew_max_ratio", "max bucket load / mean bucket load of the current processor set"),
@@ -377,6 +399,33 @@ func (m *MetricsSink) ApplyEnd(inserted, deleted, overdeleted, rederived int, fi
 func (m *MetricsSink) SnapshotTaken(epoch uint64, tuples int) {
 	m.ivmSnapshots.Inc()
 	m.ivmEpoch.Set(float64(epoch))
+}
+
+// WALAppend, SegmentWrite and StoreRecovery implement the optional
+// StoreSink extension: durability traffic of a view opened with a state
+// directory.
+func (m *MetricsSink) WALAppend(kind byte, bytes int, synced bool) {
+	m.walAppends.Inc()
+	m.walBytes.Add(int64(bytes))
+	if synced {
+		m.walFsyncs.Inc()
+	}
+}
+
+func (m *MetricsSink) SegmentWrite(epoch uint64, bytes int64, tuples int) {
+	m.segWrites.Inc()
+	m.segBytes.Add(bytes)
+	m.segEpochG.Set(float64(epoch))
+}
+
+func (m *MetricsSink) StoreRecovery(segEpoch uint64, walApplies, skipped int, torn, clean bool) {
+	m.storeRecoveries.Inc()
+	m.segEpochG.Set(float64(segEpoch))
+	m.walReplayed.Add(int64(walApplies))
+	m.walSkipped.Add(int64(skipped))
+	if torn {
+		m.walTorn.Inc()
+	}
 }
 
 func (m *MetricsSink) RunEnd(wall time.Duration) {

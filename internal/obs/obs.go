@@ -209,6 +209,46 @@ func SnapshotTaken(sink EventSink, epoch uint64, tuples int) {
 	}
 }
 
+// StoreSink is an optional extension of EventSink for the durable
+// storage tier: WAL appends, segment compactions and recovery. Like the
+// other optional extensions, sinks that don't implement it simply miss
+// the stream; emitters use the nil-safe helpers below.
+type StoreSink interface {
+	// WALAppend reports one record appended to the write-ahead log: its
+	// consumer-assigned kind, framed byte size and whether this append
+	// forced an fsync.
+	WALAppend(kind byte, bytes int, synced bool)
+	// SegmentWrite reports one compaction: the epoch the new segment
+	// pins, its byte size and the tuples it snapshots.
+	SegmentWrite(epoch uint64, bytes int64, tuples int)
+	// StoreRecovery reports one recovery at open: the segment epoch
+	// restored (0 if none), the WAL apply records replayed on top,
+	// checksum-failed records skipped past, whether a torn tail was
+	// dropped, and whether the directory recorded a clean shutdown.
+	StoreRecovery(segEpoch uint64, walApplies, skipped int, torn, clean bool)
+}
+
+// WALAppend forwards to sink if it implements StoreSink; nil-safe.
+func WALAppend(sink EventSink, kind byte, bytes int, synced bool) {
+	if ss, ok := sink.(StoreSink); ok {
+		ss.WALAppend(kind, bytes, synced)
+	}
+}
+
+// SegmentWrite forwards to sink if it implements StoreSink; nil-safe.
+func SegmentWrite(sink EventSink, epoch uint64, bytes int64, tuples int) {
+	if ss, ok := sink.(StoreSink); ok {
+		ss.SegmentWrite(epoch, bytes, tuples)
+	}
+}
+
+// StoreRecovery forwards to sink if it implements StoreSink; nil-safe.
+func StoreRecovery(sink EventSink, segEpoch uint64, walApplies, skipped int, torn, clean bool) {
+	if ss, ok := sink.(StoreSink); ok {
+		ss.StoreRecovery(segEpoch, walApplies, skipped, torn, clean)
+	}
+}
+
 // fanout broadcasts every event to a fixed list of sinks.
 type fanout struct {
 	sinks []EventSink
@@ -396,6 +436,26 @@ func (f *fanout) ApplyEnd(inserted, deleted, overdeleted, rederived int, firings
 func (f *fanout) SnapshotTaken(epoch uint64, tuples int) {
 	for _, s := range f.sinks {
 		SnapshotTaken(s, epoch, tuples)
+	}
+}
+
+// The fanout forwards durable-store events to whichever of its sinks
+// implement StoreSink.
+func (f *fanout) WALAppend(kind byte, bytes int, synced bool) {
+	for _, s := range f.sinks {
+		WALAppend(s, kind, bytes, synced)
+	}
+}
+
+func (f *fanout) SegmentWrite(epoch uint64, bytes int64, tuples int) {
+	for _, s := range f.sinks {
+		SegmentWrite(s, epoch, bytes, tuples)
+	}
+}
+
+func (f *fanout) StoreRecovery(segEpoch uint64, walApplies, skipped int, torn, clean bool) {
+	for _, s := range f.sinks {
+		StoreRecovery(s, segEpoch, walApplies, skipped, torn, clean)
 	}
 }
 

@@ -1,0 +1,175 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+const (
+	walName   = "wal.log"
+	segPrefix = "seg-"
+	segSuffix = ".seg"
+)
+
+// Dir is a durable state directory: one write-ahead log (wal.log) plus
+// immutable compacted segments (seg-<epoch hex>.seg). The owning
+// consumer appends records for every state change, and periodically
+// compacts: a full snapshot is written as a new segment, the WAL is
+// reset, and older segments are removed. Open recovers the newest intact
+// segment plus the WAL, leaving epoch-level filtering (which WAL records
+// the segment already covers) to the consumer, whose record payloads
+// carry the epochs.
+type Dir struct {
+	path     string
+	opts     Options
+	log      *Log
+	segEpoch uint64
+	hasSeg   bool
+}
+
+// Recovery reports what Open found on disk. The zero value (no segment,
+// no WAL records) is a fresh directory.
+type Recovery struct {
+	// Segment holds the newest intact segment's records, nil if none;
+	// SegmentEpoch is the epoch encoded in its file name.
+	Segment      []Record
+	SegmentEpoch uint64
+	// SegmentsDropped counts corrupt segments skipped over to find an
+	// intact one (Options.SkipCorrupt).
+	SegmentsDropped int
+	// WAL holds the log's intact records; Skipped, Torn and TornBytes
+	// report the damage recovered past (see LogRecovery).
+	WAL       []Record
+	Skipped   int
+	Torn      bool
+	TornBytes int
+}
+
+// Open opens (creating if absent) the directory and recovers its state:
+// stale temp files are removed, the newest intact segment is loaded —
+// a corrupt one fails with ErrCorruptSegment, or is skipped in favor of
+// an older sibling under opts.SkipCorrupt — and the WAL is recovered
+// with its torn tail truncated away.
+func Open(path string, opts Options) (*Dir, *Recovery, error) {
+	opts.fill()
+	if err := os.MkdirAll(path, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("store: creating dir %s: %w", path, err)
+	}
+	entries, err := os.ReadDir(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: reading dir %s: %w", path, err)
+	}
+	var segs []string
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasSuffix(name, ".tmp") {
+			// The residue of a crash mid-segment-write; the rename never
+			// happened, so the content was never acknowledged.
+			os.Remove(filepath.Join(path, name))
+			continue
+		}
+		if strings.HasPrefix(name, segPrefix) && strings.HasSuffix(name, segSuffix) {
+			segs = append(segs, name)
+		}
+	}
+	sort.Sort(sort.Reverse(sort.StringSlice(segs))) // newest epoch first
+
+	d := &Dir{path: path, opts: opts}
+	rec := &Recovery{}
+	for _, name := range segs {
+		epoch, perr := segEpoch(name)
+		if perr != nil {
+			continue // not one of ours
+		}
+		recs, rerr := ReadSegment(filepath.Join(path, name))
+		if rerr != nil {
+			if !opts.SkipCorrupt {
+				return nil, nil, rerr
+			}
+			rec.SegmentsDropped++
+			continue
+		}
+		rec.Segment, rec.SegmentEpoch = recs, epoch
+		d.segEpoch, d.hasSeg = epoch, true
+		break
+	}
+
+	log, lrec, err := OpenLog(filepath.Join(path, walName), opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	d.log = log
+	rec.WAL, rec.Skipped = lrec.Records, lrec.Skipped
+	rec.Torn, rec.TornBytes = lrec.Torn, lrec.TornBytes
+	return d, rec, nil
+}
+
+// Append appends one record to the WAL (see Log.Append).
+func (d *Dir) Append(kind byte, payload []byte) (n int, synced bool, err error) {
+	return d.log.Append(kind, payload)
+}
+
+// Sync forces the WAL to stable storage.
+func (d *Dir) Sync() error { return d.log.Sync() }
+
+// Compact makes recs the new authoritative snapshot at the given epoch:
+// the segment is written atomically, the WAL is reset (its records are
+// now covered), and older segments are removed. A crash between the
+// segment write and the WAL reset is safe — recovery sees the new
+// segment plus a WAL whose records carry epochs at or below it, which
+// the consumer's epoch filter skips. Returns the segment's byte size.
+func (d *Dir) Compact(epoch uint64, recs []Record) (int64, error) {
+	if err := d.log.Dead(); err != nil {
+		return 0, err
+	}
+	name := fmt.Sprintf("%s%016x%s", segPrefix, epoch, segSuffix)
+	n, err := WriteAtomic(d.path, name, recs, d.opts.Hook)
+	if err != nil {
+		// An injected crash or I/O failure mid-segment-write kills the
+		// whole directory: the process this simulates is gone.
+		d.log.dead = err
+		return 0, err
+	}
+	prevEpoch, hadSeg := d.segEpoch, d.hasSeg
+	d.segEpoch, d.hasSeg = epoch, true
+	if err := d.log.Reset(); err != nil {
+		return n, err
+	}
+	if hadSeg && prevEpoch != epoch {
+		old := fmt.Sprintf("%s%016x%s", segPrefix, prevEpoch, segSuffix)
+		os.Remove(filepath.Join(d.path, old))
+	}
+	return n, nil
+}
+
+// WALSize and WALRecords expose the log's current extent — the numbers
+// parlogd reports as the WAL position.
+func (d *Dir) WALSize() int64  { return d.log.Size() }
+func (d *Dir) WALRecords() int { return d.log.Records() }
+
+// SegmentEpoch returns the current segment's epoch and whether one
+// exists.
+func (d *Dir) SegmentEpoch() (uint64, bool) { return d.segEpoch, d.hasSeg }
+
+// SetHook swaps the write hook mid-life — the fault-injection seam for
+// tests that want a directory to start healthy and fail later.
+func (d *Dir) SetHook(h WriteHook) {
+	d.opts.Hook = h
+	d.log.opts.Hook = h
+}
+
+// Dead returns the error that killed the directory, or nil.
+func (d *Dir) Dead() error { return d.log.Dead() }
+
+// Close syncs and closes the WAL.
+func (d *Dir) Close() error { return d.log.Close() }
+
+// segEpoch parses the epoch out of a segment file name.
+func segEpoch(name string) (uint64, error) {
+	hex := strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix)
+	return strconv.ParseUint(hex, 16, 64)
+}

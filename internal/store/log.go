@@ -1,0 +1,161 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// Log is an append-only write-ahead log of framed records. Every Append
+// is one physical write, so a crash tears at most the final record;
+// OpenLog recovers the intact prefix, truncates the torn tail away and
+// reports what it found. A Log is not safe for concurrent use — callers
+// (the View's writer, the worker's eval loop) already serialize writes.
+type Log struct {
+	path     string
+	opts     Options
+	f        *os.File
+	size     int64
+	records  int
+	lastSync time.Time
+	dead     error // first injected-crash or I/O error; appends fail after it
+}
+
+// LogRecovery reports what OpenLog found on disk.
+type LogRecovery struct {
+	// Records is the intact record sequence, in append order.
+	Records []Record
+	// Skipped counts checksum-failed records recovered past
+	// (Options.SkipCorrupt).
+	Skipped int
+	// Torn reports a dropped torn tail of TornBytes bytes.
+	Torn      bool
+	TornBytes int
+}
+
+// OpenLog opens (creating if absent) the log at path and recovers its
+// records. The torn tail, if any, is truncated away so new appends start
+// on a record boundary; mid-file corruption fails with ErrCorruptSegment
+// unless opts.SkipCorrupt.
+func OpenLog(path string, opts Options) (*Log, *LogRecovery, error) {
+	opts.fill()
+	raw, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, nil, fmt.Errorf("store: reading log %s: %w", path, err)
+	}
+	res, err := ScanAll(raw, opts.SkipCorrupt)
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: log %s: %w", filepath.Base(path), err)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: opening log %s: %w", path, err)
+	}
+	if res.Keep < len(raw) {
+		// Drop the torn tail so the next append lands on a boundary.
+		if err := f.Truncate(int64(res.Keep)); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("store: truncating torn tail of %s: %w", path, err)
+		}
+	}
+	if _, err := f.Seek(int64(res.Keep), 0); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("store: seeking log %s: %w", path, err)
+	}
+	l := &Log{path: path, opts: opts, f: f, size: int64(res.Keep),
+		records: len(res.Records), lastSync: time.Now()}
+	rec := &LogRecovery{Records: res.Records, Skipped: res.Skipped,
+		Torn: res.Torn, TornBytes: res.TornBytes}
+	return l, rec, nil
+}
+
+// Append frames (kind, payload), writes it in one call and applies the
+// fsync policy. It returns the framed byte count and whether this append
+// synced. After any write error — injected or real — the log is dead and
+// every later Append fails with the same error.
+func (l *Log) Append(kind byte, payload []byte) (n int, synced bool, err error) {
+	if l.dead != nil {
+		return 0, false, l.dead
+	}
+	frame := AppendRecord(nil, kind, payload)
+	data, herr := frame, error(nil)
+	if l.opts.Hook != nil {
+		data, herr = l.opts.Hook(filepath.Base(l.path), frame)
+	}
+	if len(data) > 0 {
+		if _, werr := l.f.Write(data); werr != nil {
+			l.dead = fmt.Errorf("store: appending to %s: %w", l.path, werr)
+			return 0, false, l.dead
+		}
+	}
+	if herr != nil {
+		l.dead = herr
+		return 0, false, herr
+	}
+	l.size += int64(len(frame))
+	l.records++
+	switch l.opts.Fsync {
+	case FsyncAlways:
+		synced = true
+	case FsyncInterval:
+		synced = time.Since(l.lastSync) >= l.opts.FsyncEvery
+	}
+	if synced {
+		if err := l.Sync(); err != nil {
+			return len(frame), false, err
+		}
+	}
+	return len(frame), synced, nil
+}
+
+// Sync forces appended records to stable storage regardless of policy.
+func (l *Log) Sync() error {
+	if l.dead != nil {
+		return l.dead
+	}
+	if err := l.f.Sync(); err != nil {
+		l.dead = fmt.Errorf("store: syncing %s: %w", l.path, err)
+		return l.dead
+	}
+	l.lastSync = time.Now()
+	return nil
+}
+
+// Reset truncates the log to empty — the step after a successful
+// compaction, when every logged record is covered by the new segment.
+func (l *Log) Reset() error {
+	if l.dead != nil {
+		return l.dead
+	}
+	if err := l.f.Truncate(0); err != nil {
+		l.dead = fmt.Errorf("store: resetting %s: %w", l.path, err)
+		return l.dead
+	}
+	if _, err := l.f.Seek(0, 0); err != nil {
+		l.dead = fmt.Errorf("store: resetting %s: %w", l.path, err)
+		return l.dead
+	}
+	l.size, l.records = 0, 0
+	return l.Sync()
+}
+
+// Size is the log's current byte length; Records its record count
+// (recovered plus appended).
+func (l *Log) Size() int64  { return l.size }
+func (l *Log) Records() int { return l.records }
+
+// Dead returns the error that killed the log, or nil while it is
+// usable.
+func (l *Log) Dead() error { return l.dead }
+
+// Close syncs (when the log is still alive) and closes the file.
+func (l *Log) Close() error {
+	if l.dead == nil {
+		if err := l.f.Sync(); err != nil {
+			l.f.Close()
+			return err
+		}
+	}
+	return l.f.Close()
+}

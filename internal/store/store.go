@@ -1,0 +1,250 @@
+// Package store is parlog's durable storage tier: an append-only
+// write-ahead log plus immutable segment snapshots, both framed as
+// checksummed records so recovery can tell a torn tail (a write the
+// process died inside — safe to drop) from silent mid-file corruption
+// (bit rot under acknowledged data — never safe to drop quietly).
+//
+// Every record is framed as
+//
+//	len   uint32 LE — payload length
+//	kind  byte      — opaque to this package; consumers assign meanings
+//	payload
+//	sum   uint64 LE — FNV-1a over kind+payload (wire.Checksum)
+//
+// and every physical write is a single Write call, so a crash leaves at
+// most one partially-written record — always at the tail of the log,
+// which is exactly the damage Scan classifies as ErrTornLog. Segment
+// files are written to a temp name, fsynced, renamed into place and the
+// directory fsynced, so a segment is either absent or complete; any
+// checksum failure inside one is ErrCorruptSegment.
+//
+// The package knows nothing about Datalog: payloads are opaque bytes
+// (parlog's View logs wire-codec delta batches, the distributed worker
+// persists wire-codec checkpoint snapshots). Options.Hook intercepts
+// every physical write for deterministic crash-fault injection — see
+// fault.DiskPlan.
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"parlog/internal/wire"
+)
+
+// Sentinel errors for errors.Is. Every recovery-path error wraps one of
+// them, so callers can branch on the failure class without parsing
+// messages.
+var (
+	// ErrTornLog reports a partially-written final record — the expected
+	// residue of a crash mid-write. Recovery drops the torn tail and
+	// reports it; under fsync policies weaker than FsyncAlways the tail
+	// may include acknowledged records.
+	ErrTornLog = errors.New("store: torn log tail")
+
+	// ErrCorruptSegment reports a checksum failure under data that a
+	// crash cannot explain: a damaged record with intact records after
+	// it, a damaged segment file, or state inconsistent with the program
+	// it was written for. Recovery fails fast unless Options.SkipCorrupt
+	// asks for skip-and-report.
+	ErrCorruptSegment = errors.New("store: corrupt record")
+)
+
+// FsyncPolicy says when the log forces appended records to stable
+// storage.
+type FsyncPolicy int
+
+const (
+	// FsyncAlways syncs after every append: an acknowledged record
+	// survives any crash. The default.
+	FsyncAlways FsyncPolicy = iota
+	// FsyncInterval syncs when FsyncEvery has elapsed since the last
+	// sync: bounded data loss, amortized cost.
+	FsyncInterval
+	// FsyncNever leaves flushing to the OS: a machine crash may lose
+	// recent records (a mere process crash does not — the data is in the
+	// page cache).
+	FsyncNever
+)
+
+// WriteHook intercepts a physical write for fault injection: it receives
+// the file's base name and the exact bytes about to be written and
+// returns the bytes to actually write (possibly a prefix, for torn
+// writes, or a mutated copy, for corruption) plus an error that
+// simulates the process dying at this write. When both are returned the
+// prefix is written first — a torn record — and the error surfaces
+// after, like a crash mid-syscall.
+type WriteHook func(name string, data []byte) ([]byte, error)
+
+// Options tunes a Log or Dir. The zero value is the safe default:
+// fsync on every append, fail fast on corruption.
+type Options struct {
+	// Fsync is the log's durability policy.
+	Fsync FsyncPolicy
+	// FsyncEvery is FsyncInterval's period (default 100ms).
+	FsyncEvery time.Duration
+	// SkipCorrupt recovers past checksum-failed records and segments,
+	// reporting how many were skipped, instead of failing fast with
+	// ErrCorruptSegment.
+	SkipCorrupt bool
+	// Hook, when non-nil, intercepts every physical write.
+	Hook WriteHook
+}
+
+func (o *Options) fill() {
+	if o.FsyncEvery <= 0 {
+		o.FsyncEvery = 100 * time.Millisecond
+	}
+}
+
+// Record is one framed log or segment entry. Kind is opaque to this
+// package.
+type Record struct {
+	Kind    byte
+	Payload []byte
+}
+
+const (
+	headerLen = 5 // uint32 length + kind byte
+	sumLen    = 8
+	// maxPayload bounds a single record; a length field claiming more is
+	// framing damage, not a real record.
+	maxPayload = 1 << 30
+)
+
+// AppendRecord appends the framed encoding of (kind, payload) to dst and
+// returns the extended slice.
+func AppendRecord(dst []byte, kind byte, payload []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
+	dst = append(dst, kind)
+	dst = append(dst, payload...)
+	body := dst[len(dst)-1-len(payload):]
+	return binary.LittleEndian.AppendUint64(dst, wire.Checksum(body))
+}
+
+// recordSize is the on-disk size of a record with the given payload
+// length.
+func recordSize(payloadLen int) int { return headerLen + payloadLen + sumLen }
+
+// parseAt examines the record starting at off. structOK is false when
+// the record reaches past the end of raw (framing truncation); sumOK is
+// false when it is structurally complete but fails its checksum. size is
+// the record's claimed on-disk size (meaningful only when structOK).
+func parseAt(raw []byte, off int) (rec Record, size int, structOK, sumOK bool) {
+	if len(raw)-off < headerLen {
+		return Record{}, 0, false, false
+	}
+	n := int(binary.LittleEndian.Uint32(raw[off:]))
+	if n > maxPayload {
+		return Record{}, 0, false, false
+	}
+	size = recordSize(n)
+	if len(raw)-off < size {
+		return Record{}, 0, false, false
+	}
+	body := raw[off+4 : off+headerLen+n]
+	sum := binary.LittleEndian.Uint64(raw[off+headerLen+n:])
+	if wire.Checksum(body) != sum {
+		return Record{}, size, true, false
+	}
+	return Record{Kind: body[0], Payload: body[1:]}, size, true, true
+}
+
+// hasValidRecord reports whether raw, scanned from its start along
+// claimed record boundaries, contains at least one checksum-valid
+// record — the lookahead that distinguishes mid-file corruption (intact
+// data follows the damage) from a torn tail (nothing real follows).
+func hasValidRecord(raw []byte) bool {
+	off := 0
+	for off < len(raw) {
+		_, size, structOK, sumOK := parseAt(raw, off)
+		if !structOK {
+			return false
+		}
+		if sumOK {
+			return true
+		}
+		off += size
+	}
+	return false
+}
+
+// Scan parses the record stream in raw and returns the records of its
+// longest intact prefix plus the byte offset scanning stopped at. A
+// clean stream returns a nil error. Damage is classified:
+//
+//   - a record reaching past the end, or a checksum failure with nothing
+//     valid after it, wraps ErrTornLog (the residue of a crash — callers
+//     drop the tail);
+//   - a checksum failure with intact records after it wraps
+//     ErrCorruptSegment (damage under acknowledged data — callers fail
+//     fast or skip-and-report per Options.SkipCorrupt).
+func Scan(raw []byte) ([]Record, int, error) {
+	var recs []Record
+	off := 0
+	for off < len(raw) {
+		rec, size, structOK, sumOK := parseAt(raw, off)
+		if !structOK {
+			return recs, off, fmt.Errorf("record at offset %d reaches past the end (%d bytes left): %w",
+				off, len(raw)-off, ErrTornLog)
+		}
+		if !sumOK {
+			if hasValidRecord(raw[off+size:]) {
+				return recs, off, fmt.Errorf("record at offset %d fails its checksum with intact records after it: %w",
+					off, ErrCorruptSegment)
+			}
+			return recs, off, fmt.Errorf("final record at offset %d fails its checksum: %w", off, ErrTornLog)
+		}
+		recs = append(recs, rec)
+		off += size
+	}
+	return recs, off, nil
+}
+
+// ScanResult is ScanAll's report: the surviving records plus what was
+// lost getting them.
+type ScanResult struct {
+	Records []Record
+	// Skipped counts checksum-failed records recovered past under
+	// SkipCorrupt.
+	Skipped int
+	// Torn reports a dropped torn tail; TornBytes is its length.
+	Torn      bool
+	TornBytes int
+	// Keep is the prefix length holding everything scanned (the torn
+	// tail starts here) — what a recovering log truncates to.
+	Keep int
+}
+
+// ScanAll applies the recovery policy to a record stream: torn tails are
+// always dropped and reported, checksum-failed records under intact data
+// fail with ErrCorruptSegment unless skipCorrupt, which skips them
+// record by record and counts.
+func ScanAll(raw []byte, skipCorrupt bool) (ScanResult, error) {
+	var res ScanResult
+	off := 0
+	for {
+		recs, n, err := Scan(raw[off:])
+		res.Records = append(res.Records, recs...)
+		off += n
+		if err == nil {
+			res.Keep = off
+			return res, nil
+		}
+		if errors.Is(err, ErrTornLog) {
+			res.Torn = true
+			res.TornBytes = len(raw) - off
+			res.Keep = off
+			return res, nil
+		}
+		// Mid-stream corruption.
+		if !skipCorrupt {
+			return res, err
+		}
+		_, size, _, _ := parseAt(raw, off)
+		res.Skipped++
+		off += size
+	}
+}

@@ -327,6 +327,18 @@ type EvalOptions struct {
 	// HashBits and Procs.
 	AuditNetwork bool
 
+	// Dir, when non-empty, makes Open durable: every Apply batch is
+	// write-ahead-logged to this state directory before it is
+	// acknowledged, snapshots are compacted into checksummed segments,
+	// and a later Open on the same directory recovers the exact
+	// pre-crash epoch and model. The program text (and any constants
+	// interned before Open) must be identical across opens. Open only —
+	// the one-shot evaluators reject it.
+	Dir string
+	// Durability tunes the Dir state directory: fsync policy,
+	// corruption handling, compaction cadence. Requires Dir.
+	Durability DurabilityOptions
+
 	// demand carries Query's rewrite summary into the dispatcher so the
 	// sink stack sees the DemandRewrite event; unexported — only Query
 	// sets it.
@@ -396,6 +408,9 @@ func Eval(ctx context.Context, p *Program, edb Store, opts EvalOptions) (*Result
 func eval(ctx context.Context, p *Program, edb Store, opts EvalOptions) (*Result, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
+	}
+	if opts.Dir != "" {
+		return nil, badOptions("Dir opens a durable View; use Open — the one-shot evaluators write no state")
 	}
 	opts.fill()
 	if edb == nil {

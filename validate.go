@@ -105,5 +105,23 @@ func (o EvalOptions) Validate() error {
 	if o.MetricsHold < 0 {
 		return badOptions("MetricsHold must be non-negative, got %v", o.MetricsHold)
 	}
+
+	if o.Dir == "" && !o.Durability.isZero() {
+		return badOptions("Durability configures the Dir state directory; set Dir")
+	}
+	switch o.Durability.Fsync {
+	case FsyncAlways, FsyncInterval, FsyncNever:
+	default:
+		return badOptions("unknown fsync policy %d", o.Durability.Fsync)
+	}
+	if o.Durability.FsyncEvery < 0 {
+		return badOptions("Durability.FsyncEvery must be non-negative, got %v", o.Durability.FsyncEvery)
+	}
+	if o.Durability.FsyncEvery != 0 && o.Durability.Fsync != FsyncInterval {
+		return badOptions("Durability.FsyncEvery paces FsyncInterval; set Durability.Fsync")
+	}
+	if o.Durability.CompactEvery < 0 {
+		return badOptions("Durability.CompactEvery must be non-negative, got %d", o.Durability.CompactEvery)
+	}
 	return nil
 }

@@ -87,6 +87,7 @@ type View struct {
 	opts EvalOptions
 	ivm  *seminaive.IVM
 	tel  *telemetry
+	dur  *durability // nil unless opened with EvalOptions.Dir
 
 	epoch  uint64
 	cached *Snapshot
@@ -119,16 +120,33 @@ func Open(ctx context.Context, p *Program, edb Store, opts EvalOptions) (*View, 
 	if err != nil {
 		return nil, err
 	}
+	var dur *durability
+	epoch := uint64(0)
+	if opts.Dir != "" {
+		// Recover the durable EDB first: the state directory's segment
+		// plus surviving WAL records replace (or extend) the edb
+		// argument, and one materialization below restores the exact
+		// pre-crash model.
+		d, rec, derr := openDurability(p, edb, &opts, tel.sink)
+		if derr != nil {
+			tel.abort()
+			return nil, derr
+		}
+		dur, edb, epoch = d, rec.edb, rec.epoch
+	}
 	ivm, _, err := seminaive.NewIVM(p.ast, edb, seminaive.Options{
 		MaxIterations: opts.MaxIterations,
 		Ctx:           ctx,
 		Planner:       opts.Planner,
 	})
 	if err != nil {
+		if dur != nil {
+			dur.dir.Close()
+		}
 		tel.abort()
 		return nil, fmt.Errorf("parlog: %w", err)
 	}
-	return &View{prog: p, opts: opts, ivm: ivm, tel: tel}, nil
+	return &View{prog: p, opts: opts, ivm: ivm, tel: tel, dur: dur, epoch: epoch}, nil
 }
 
 // Epoch returns the view's version: 0 after Open, incremented by every
@@ -142,11 +160,33 @@ func (v *View) Epoch() uint64 {
 // Apply absorbs one batch of EDB changes (deletes before inserts) and
 // incrementally restores the materialized model. Only base (EDB) predicates
 // may appear in the delta. On error the view is unchanged and stays usable.
+//
+// A durable view (EvalOptions.Dir) write-ahead-logs the batch before
+// maintenance runs, so an acknowledged Apply survives a crash under the
+// fsync policy in force. If maintenance fails after its batch was logged
+// — a context cancellation or iteration cap mid-maintenance — the batch
+// is disowned on disk and the view is poisoned (further Applies fail);
+// re-Open recovers the last acknowledged state. A failed durable write
+// also poisons the view: the in-memory model is then ahead of disk and
+// must not acknowledge further batches.
 func (v *View) Apply(d Delta) (*ApplyStats, error) {
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	if v.closed {
 		return nil, ErrViewClosed
+	}
+	if v.dur != nil {
+		if v.dur.err != nil {
+			return nil, fmt.Errorf("parlog: view poisoned by durable-write failure: %w", v.dur.err)
+		}
+		// Validate before logging: a batch the maintenance engine would
+		// reject must not enter the WAL at all.
+		if err := v.validateDelta(d); err != nil {
+			return nil, err
+		}
+		if err := v.dur.logApply(v.epoch+1, d.Delete, d.Insert); err != nil {
+			return nil, fmt.Errorf("parlog: write-ahead log: %w", err)
+		}
 	}
 	ins, del := d.size()
 	obs.ApplyStart(v.tel.sink, ins, del)
@@ -155,11 +195,27 @@ func (v *View) Apply(d Delta) (*ApplyStats, error) {
 	wall := time.Since(start)
 	if err != nil {
 		obs.ApplyEnd(v.tel.sink, 0, 0, 0, 0, 0, wall, err)
+		if v.dur != nil {
+			v.dur.abort(v.epoch + 1)
+			v.dur.err = fmt.Errorf("maintenance failed after its batch was logged: %w", err)
+		}
 		return nil, fmt.Errorf("parlog: %w", err)
 	}
 	obs.ApplyEnd(v.tel.sink, st.Inserted, st.Deleted, st.Overdeleted, st.Rederived, st.Firings, wall, nil)
 	v.epoch++
 	v.cached = nil
+	if v.dur != nil {
+		v.dur.epoch = v.epoch
+		v.dur.applies++
+		if v.dur.applies >= v.dur.opts.CompactEvery {
+			if cerr := v.dur.compact(v.edbSnapshot()); cerr != nil {
+				// The batch itself is durably logged; only the compaction
+				// failed, killing the directory. Fail fast rather than
+				// acknowledge batches that can no longer be logged.
+				return nil, fmt.Errorf("parlog: compacting state dir: %w", cerr)
+			}
+		}
+	}
 	return &ApplyStats{
 		Inserted:    st.Inserted,
 		Deleted:     st.Deleted,
@@ -195,6 +251,55 @@ func (v *View) Snapshot() (*Snapshot, error) {
 	return v.cached, nil
 }
 
+// validateDelta mirrors the maintenance engine's upfront checks — only
+// base predicates, at their declared arity — so a doomed batch is
+// rejected before it reaches the write-ahead log.
+func (v *View) validateDelta(d Delta) error {
+	check := func(m map[string][]Tuple) error {
+		for pred, ts := range m {
+			if !v.ivm.IsEDB(pred) {
+				return fmt.Errorf("parlog: %s is not a base relation", pred)
+			}
+			ar := v.ivm.Arity(pred)
+			for _, t := range ts {
+				if ar >= 0 && len(t) != ar {
+					return fmt.Errorf("parlog: %s has arity %d, delta tuple has %d", pred, ar, len(t))
+				}
+			}
+		}
+		return nil
+	}
+	if err := check(d.Delete); err != nil {
+		return err
+	}
+	return check(d.Insert)
+}
+
+// edbSnapshot extracts the current base relations — what compaction
+// persists. Callers hold v.mu.
+func (v *View) edbSnapshot() Store {
+	return edbSnapshot(v.ivm.SnapshotStore(), v.ivm.IsEDB)
+}
+
+// DurabilityStats reports the state directory's extent: the recovered
+// epoch plus later Applies, the newest segment's pin, and the WAL length
+// a crash right now would replay. Nil for a view opened without Dir.
+func (v *View) DurabilityStats() *DurabilityStats {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.dur == nil {
+		return nil
+	}
+	se, has := v.dur.dir.SegmentEpoch()
+	return &DurabilityStats{
+		Epoch:        v.epoch,
+		SegmentEpoch: se,
+		HasSegment:   has,
+		WALRecords:   v.dur.dir.WALRecords(),
+		WALBytes:     v.dur.dir.WALSize(),
+	}
+}
+
 // Metrics returns the aggregate telemetry snapshot when Open was given
 // opts.Metrics (or a MetricsAddr); nil otherwise. IVM* fields carry the
 // maintenance counters.
@@ -217,8 +322,14 @@ func (v *View) Close() error {
 		return nil
 	}
 	v.closed = true
+	var err error
+	if v.dur != nil {
+		// Clean shutdown: compact so the next Open replays nothing, then
+		// mark the log clean. A poisoned directory is just released.
+		err = v.dur.close(v.edbSnapshot())
+	}
 	v.tel.abort()
-	return nil
+	return err
 }
 
 // Snapshot is an immutable view of a View's model at one epoch, safe for
