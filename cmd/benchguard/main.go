@@ -11,6 +11,22 @@
 // Near-zero baselines get an absolute slack on top of the relative
 // threshold: 20% of 0.00 allocs/op is 0, and failing on a 0.01 jitter
 // would make the gate flaky rather than strict.
+//
+// Two further modes extend the same compare-against-baseline contract to
+// the distributed-engine documents:
+//
+//   - -mode parallel reads E15's BENCH_parallel.json and gates each
+//     example's per-worker busy-time skew (max/mean over workers — a
+//     ratio, so it survives machine-speed differences) against the
+//     baseline, plus a catastrophic-only wall-time bound (-max-wall-factor,
+//     default 5x) in the spirit of "time never gates tightly in CI".
+//     -bench may list several documents from repeated runs (comma-
+//     separated); each example is judged on its median skew and wall
+//     time, which absorbs single-run scheduler outliers.
+//   - -mode rebalance reads E21's BENCH_rebalance.json and gates the
+//     recorded critical-path speedup of rebalancing over static
+//     partitioning against -min-speedup; the per-mode kernels are shown
+//     against the baseline informationally.
 package main
 
 import (
@@ -52,13 +68,29 @@ func load(path string) (map[string]kernel, error) {
 
 func main() {
 	var (
-		benchPath = flag.String("bench", "BENCH_core.json", "fresh benchmark document (dlbench -experiment E17)")
+		mode      = flag.String("mode", "kernels", "document kind: kernels (E17/E18/E19/E20), parallel (E15), rebalance (E21)")
+		benchPath = flag.String("bench", "BENCH_core.json", "fresh benchmark document (parallel mode: comma-separated repeats, judged on medians)")
 		basePath  = flag.String("baseline", "cmd/benchguard/baseline.json", "checked-in baseline document")
 		guarded   = flag.String("kernels", "insert,probe", "comma-separated kernels whose allocs/op gate the build")
-		maxReg    = flag.Float64("max-regress", 0.20, "relative allocs/op regression tolerated on guarded kernels")
-		slack     = flag.Float64("slack", 0.10, "absolute allocs/op slack added to the bound (for near-zero baselines)")
+		maxReg    = flag.Float64("max-regress", 0.20, "relative regression tolerated on guarded quantities")
+		slack     = flag.Float64("slack", 0.10, "absolute slack added to the bound (for near-zero baselines)")
+
+		wallFactor = flag.Float64("max-wall-factor", 5, "parallel mode: catastrophic wall-time bound as a multiple of baseline")
+		minSpeedup = flag.Float64("min-speedup", 1.5, "rebalance mode: minimum critical-path speedup of rebalanced over static")
 	)
 	flag.Parse()
+
+	switch *mode {
+	case "parallel":
+		guardParallel(*benchPath, *basePath, *maxReg, *slack, *wallFactor)
+		return
+	case "rebalance":
+		guardRebalance(*benchPath, *basePath, *minSpeedup)
+		return
+	case "kernels":
+	default:
+		fatal(fmt.Errorf("unknown -mode %q (kernels, parallel, rebalance)", *mode))
+	}
 
 	fresh, err := load(*benchPath)
 	if err != nil {
@@ -114,6 +146,199 @@ func main() {
 
 	if failed {
 		fmt.Fprintln(os.Stderr, "benchguard: allocation regression on a guarded kernel")
+		os.Exit(1)
+	}
+}
+
+// parallelDoc is the slice of E15's BENCH_parallel.json benchguard needs:
+// per-example wall time and per-worker busy/idle totals.
+type parallelDoc struct {
+	Examples []struct {
+		Example string `json:"example"`
+		Metrics *struct {
+			WallNs int64 `json:"wall_ns"`
+			Procs  []struct {
+				BusyNs int64 `json:"busy_ns"`
+				IdleNs int64 `json:"idle_ns"`
+			} `json:"procs"`
+		} `json:"metrics"`
+	} `json:"examples"`
+}
+
+type parallelRow struct {
+	skew   float64 // max per-worker busy / mean per-worker busy
+	wallNs int64
+}
+
+func loadParallel(path string) (map[string]parallelRow, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var d parallelDoc
+	if err := json.Unmarshal(data, &d); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]parallelRow, len(d.Examples))
+	for _, ex := range d.Examples {
+		if ex.Metrics == nil || len(ex.Metrics.Procs) == 0 {
+			continue
+		}
+		var max, total int64
+		for _, p := range ex.Metrics.Procs {
+			total += p.BusyNs
+			if p.BusyNs > max {
+				max = p.BusyNs
+			}
+		}
+		row := parallelRow{wallNs: ex.Metrics.WallNs}
+		if total > 0 {
+			row.skew = float64(max) * float64(len(ex.Metrics.Procs)) / float64(total)
+		}
+		out[ex.Example] = row
+	}
+	return out, nil
+}
+
+// loadParallelMedian loads one or more fresh E15 documents (comma-separated
+// paths) and reduces them to per-example medians of skew and wall time. A
+// single quick run's busy split is at the mercy of the OS scheduler — on a
+// loaded host one worker occasionally absorbs a whole quantum and the
+// per-run skew doubles — so the gate compares medians: an outlier run is
+// discarded for free, while genuine serialization (skew → worker count)
+// shifts every run and the median with it.
+func loadParallelMedian(paths string) (map[string]parallelRow, error) {
+	perExample := map[string][]parallelRow{}
+	for _, path := range strings.Split(paths, ",") {
+		one, err := loadParallel(strings.TrimSpace(path))
+		if err != nil {
+			return nil, err
+		}
+		for name, row := range one {
+			perExample[name] = append(perExample[name], row)
+		}
+	}
+	out := make(map[string]parallelRow, len(perExample))
+	for name, rows := range perExample {
+		skews := make([]float64, len(rows))
+		walls := make([]int64, len(rows))
+		for i, r := range rows {
+			skews[i] = r.skew
+			walls[i] = r.wallNs
+		}
+		sort.Float64s(skews)
+		sort.Slice(walls, func(i, j int) bool { return walls[i] < walls[j] })
+		out[name] = parallelRow{skew: skews[len(skews)/2], wallNs: walls[len(walls)/2]}
+	}
+	return out, nil
+}
+
+// guardParallel gates E15's per-worker load balance: busy-time skew
+// (max/mean across workers) must stay within the relative threshold of the
+// baseline — a ratio of same-machine quantities, so it transfers across
+// machine speeds where raw nanoseconds would not — and wall time only has
+// a catastrophic bound (wallFactor × baseline) to catch hangs and
+// accidental serialization without flaking on CI noise. benchPaths may
+// name several fresh documents (comma-separated, from repeated runs);
+// each example is judged on its median skew and wall time across them.
+func guardParallel(benchPaths, basePath string, maxReg, slack, wallFactor float64) {
+	fresh, err := loadParallelMedian(benchPaths)
+	if err != nil {
+		fatal(err)
+	}
+	base, err := loadParallel(basePath)
+	if err != nil {
+		fatal(err)
+	}
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	failed := false
+	fmt.Printf("%-8s %10s %10s %10s %14s %14s %s\n",
+		"example", "base skew", "new skew", "bound", "base wall", "new wall", "verdict")
+	for _, name := range names {
+		b := base[name]
+		f, ok := fresh[name]
+		if !ok {
+			fmt.Printf("%-8s missing from %s\n", name, benchPaths)
+			failed = true
+			continue
+		}
+		bound := b.skew*(1+maxReg) + slack
+		wallBound := int64(float64(b.wallNs) * wallFactor)
+		verdict := "ok"
+		if f.skew > bound {
+			verdict = fmt.Sprintf("FAIL (skew bound %.2f)", bound)
+			failed = true
+		}
+		if f.wallNs > wallBound {
+			verdict = fmt.Sprintf("FAIL (wall bound %dns)", wallBound)
+			failed = true
+		}
+		fmt.Printf("%-8s %10.2f %10.2f %10.2f %14d %14d %s\n",
+			name, b.skew, f.skew, bound, b.wallNs, f.wallNs, verdict)
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "benchguard: per-worker balance regression on a parallel example")
+		os.Exit(1)
+	}
+}
+
+// rebalanceGuardDoc is the slice of E21's BENCH_rebalance.json benchguard
+// needs: the recorded critical-path speedup plus the per-mode kernels.
+type rebalanceGuardDoc struct {
+	Speedup     float64  `json:"speedup"`
+	WallSpeedup float64  `json:"wall_speedup"`
+	Kernels     []kernel `json:"kernels"`
+}
+
+func loadRebalance(path string) (rebalanceGuardDoc, error) {
+	var d rebalanceGuardDoc
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return d, err
+	}
+	if err := json.Unmarshal(data, &d); err != nil {
+		return d, fmt.Errorf("%s: %w", path, err)
+	}
+	return d, nil
+}
+
+// guardRebalance gates E21's headline number: the critical-path speedup
+// (static max-per-worker busy over rebalanced max-per-worker busy) must
+// stay at or above minSpeedup. The speedup is a same-machine ratio, so the
+// gate holds on any host; the per-mode busy times are shown against the
+// baseline informationally.
+func guardRebalance(benchPath, basePath string, minSpeedup float64) {
+	fresh, err := loadRebalance(benchPath)
+	if err != nil {
+		fatal(err)
+	}
+	base, baseErr := loadRebalance(basePath)
+
+	fmt.Printf("critical-path speedup: %.2fx (wall %.2fx), gate ≥ %.2fx\n",
+		fresh.Speedup, fresh.WallSpeedup, minSpeedup)
+	if baseErr == nil {
+		baseK := make(map[string]kernel, len(base.Kernels))
+		for _, k := range base.Kernels {
+			baseK[k.Name] = k
+		}
+		for _, f := range fresh.Kernels {
+			if b, ok := baseK[f.Name]; ok {
+				fmt.Printf("%-26s %14.0f %14.0f %+9.1f%% (informational, max-busy ns)\n",
+					f.Name, b.NsPerOp, f.NsPerOp, delta(b.NsPerOp, f.NsPerOp))
+			}
+		}
+		fmt.Printf("baseline speedup was %.2fx\n", base.Speedup)
+	} else {
+		fmt.Printf("baseline %s unreadable (%v); gating on the absolute threshold only\n", basePath, baseErr)
+	}
+	if fresh.Speedup < minSpeedup {
+		fmt.Fprintf(os.Stderr, "benchguard: rebalancing critical-path speedup %.2fx is below the %.2fx gate\n",
+			fresh.Speedup, minSpeedup)
 		os.Exit(1)
 	}
 }

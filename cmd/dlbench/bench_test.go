@@ -20,6 +20,7 @@ func TestMain(m *testing.M) {
 	planOut = filepath.Join(dir, "BENCH_plan.json")
 	ivmOut = filepath.Join(dir, "BENCH_ivm.json")
 	durOut = filepath.Join(dir, "BENCH_durability.json")
+	rebalanceOut = filepath.Join(dir, "BENCH_rebalance.json")
 	code := m.Run()
 	os.RemoveAll(dir)
 	os.Exit(code)

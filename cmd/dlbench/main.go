@@ -37,6 +37,11 @@
 //	    interval / never fsync policies, plus cold-start recovery of an
 //	    existing state directory vs recomputing the final model from
 //	    scratch; written to BENCH_durability.json (see -durability-out)
+//	E21 adaptive load balancing: skew-triggered hot-bucket migration on an
+//	    engineered-skew chain workload vs static partitioning, plus a
+//	    mid-migration worker kill; self-gates on a ≥1.5x critical-path
+//	    (max per-worker busy time) improvement and model/firing equality;
+//	    written to BENCH_rebalance.json (see -rebalance-out)
 //
 // Usage: dlbench [-experiment E5] [-quick] [-bench-out BENCH_parallel.json]
 package main
@@ -80,11 +85,12 @@ var experiments = []experiment{
 	{"E18", "Query planning — demand rewrite + greedy planner to BENCH_plan.json", runE18},
 	{"E19", "Incremental maintenance — counting/DRed deltas vs refixpoint to BENCH_ivm.json", runE19},
 	{"E20", "Durable storage — fsync-policy WAL tax + cold start vs recompute to BENCH_durability.json", runE20},
+	{"E21", "Adaptive rebalancing — skew-triggered hot-bucket migration to BENCH_rebalance.json", runE21},
 }
 
 func main() {
 	var (
-		which = flag.String("experiment", "all", "experiment id (E1..E20) or 'all'")
+		which = flag.String("experiment", "all", "experiment id (E1..E21) or 'all'")
 		quick = flag.Bool("quick", false, "smaller workloads for a fast pass")
 
 		metricsAddr = flag.String("metrics-addr", "", "serve a process-level metrics endpoint while experiments run")
@@ -96,6 +102,7 @@ func main() {
 	flag.StringVar(&planOut, "plan-out", planOut, "output path of E18's JSON benchmark document")
 	flag.StringVar(&ivmOut, "ivm-out", ivmOut, "output path of E19's JSON benchmark document")
 	flag.StringVar(&durOut, "durability-out", durOut, "output path of E20's JSON benchmark document")
+	flag.StringVar(&rebalanceOut, "rebalance-out", rebalanceOut, "output path of E21's JSON benchmark document")
 	flag.Parse()
 
 	if *metricsAddr != "" {

@@ -1,0 +1,317 @@
+package main
+
+// E21 — adaptive load balancing on a skewed workload.
+//
+// The workload is engineered skew: K disjoint chains whose vertex ids are
+// rejection-sampled so every chain hop alternates between hash buckets 0
+// and 2 — both of which the static placement (bucket mod workers) puts on
+// worker 0. Every derived anc tuple crosses the 0↔2 bucket boundary, so
+// the coordinator's per-bucket routed counters see the full load, but the
+// two hot buckets serialize on one worker while worker 1 idles. Three
+// runs on identical inputs: static partitioning, the skew-triggered
+// rebalancer (which must notice the skew and migrate one hot bucket to
+// worker 1, roughly doubling effective parallelism), and a rebalanced run
+// whose migration target is killed mid-flight (the migration must compose
+// with death recovery). All three must agree on the least model and the
+// Definition-4 firing totals.
+//
+// The gated metric is the critical path: the maximum per-worker busy
+// (evaluation) time, which is what a run's wall clock converges to on the
+// paper's assumed one-processor-per-worker hardware. Raw wall time is
+// recorded alongside but never gated — as E9's speedup experiment notes,
+// on a time-sliced host with fewer cores than workers (CI boxes included)
+// wall time cannot drop no matter how well load is spread, while the
+// critical path halves exactly when the migration splits the two hot
+// buckets across workers. The document self-gates on a ≥1.5× critical-path
+// improvement of rebalancing over static and records the runs
+// kernel-shaped so benchguard can track them as BENCH_rebalance.json.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"parlog/internal/analysis"
+	"parlog/internal/ast"
+	"parlog/internal/dist"
+	"parlog/internal/dist/fault"
+	"parlog/internal/hashpart"
+	"parlog/internal/parallel"
+	"parlog/internal/relation"
+	"parlog/internal/rewrite"
+	"parlog/internal/workload"
+)
+
+// rebalanceOut is where runE21 writes its JSON document; the
+// -rebalance-out flag (and the test harness) override it.
+var rebalanceOut = "BENCH_rebalance.json"
+
+type rebalanceDoc struct {
+	Benchmark string         `json:"benchmark"`
+	Workers   int            `json:"workers"`
+	Buckets   int            `json:"buckets"`
+	Quick     bool           `json:"quick"`
+	Workload  benchWorkload  `json:"workload"`
+	Runs      []rebalanceRun `json:"runs"`
+	// Speedup is the critical-path improvement: static max-per-worker
+	// busy time over rebalanced max-per-worker busy time (medians over
+	// trials) — the number the ≥1.5 gate tests. As with E9, this is what
+	// wall clock converges to on the paper's assumed one-processor-per-
+	// worker hardware; on a time-sliced single-core host raw wall cannot
+	// drop no matter how well load is spread, so the gate uses the
+	// machine-independent quantity and reports raw wall alongside.
+	Speedup float64 `json:"speedup"`
+	// WallSpeedup is the raw wall-clock ratio (static / rebalanced) —
+	// meaningful on hosts with at least one core per worker.
+	WallSpeedup float64 `json:"wall_speedup"`
+	NumCPU      int     `json:"num_cpu"`
+	// Kernels duplicates the per-mode critical-path times in the shape
+	// benchguard reads, one synthetic kernel per mode with ns_op = median
+	// max-per-worker busy nanoseconds.
+	Kernels []coreKernel `json:"kernels"`
+}
+
+type rebalanceRun struct {
+	Mode       string  `json:"mode"` // static | rebalanced | kill-during-migration
+	WallNs     int64   `json:"wall_ns"`
+	MaxBusyNs  int64   `json:"max_worker_busy_ns"`
+	BusyNs     []int64 `json:"worker_busy_ns"`
+	Anc        int     `json:"anc_tuples"`
+	Firings    int64   `json:"firings"`
+	Migrations int     `json:"migrations,omitempty"`
+	Replayed   int     `json:"replayed_batches,omitempty"`
+	Rejected   int     `json:"rebalance_rejected,omitempty"`
+	Deaths     []int   `json:"deaths,omitempty"`
+	Skew       float64 `json:"skew,omitempty"`
+}
+
+// skewLadders builds K disjoint "heavy-rung ladders": chains of the given
+// length whose vertices are rejection-sampled (deterministic ascending id
+// scan) so consecutive hops alternate between buckets 0 and 2 of h — the
+// routed skeleton the coordinator's per-bucket counters can see — plus
+// `fanin` extra par edges into every chain vertex from fresh leaf ids
+// pinned to that vertex's own bucket. Each routed chain tuple arriving at
+// a bucket then fires fanin+1 joins, of which only one leaves the bucket:
+// the leaf derivations are self-destined, stay worker-local and never
+// touch the wire. That ratio makes worker CPU — not the coordinator star —
+// the bottleneck, which is precisely the load a bucket migration can halve.
+func skewLadders(chains, length, fanin int, h hashpart.ModHash) *relation.Relation {
+	r := relation.New(2)
+	next := 0
+	pick := func(bucket int) ast.Value {
+		for {
+			v := ast.Value(next)
+			next++
+			if h.Apply([]ast.Value{v}) == bucket {
+				return v
+			}
+		}
+	}
+	for c := 0; c < chains; c++ {
+		// Half the chains start in bucket 0, half in bucket 2: the two hot
+		// buckets then carry independent frontier work at every instant
+		// (chain hops of one family overlap the other family's), so the
+		// ping-pong never phase-locks into strict alternation.
+		phase := (c % 2) * 2
+		prev := pick(phase)
+		for i := 1; i <= length; i++ {
+			b := phase
+			if i%2 == 1 {
+				b = 2 - phase
+			}
+			cur := pick(b)
+			r.Insert(relation.Tuple{prev, cur})
+			for m := 0; m < fanin; m++ {
+				r.Insert(relation.Tuple{pick(b), cur})
+			}
+			prev = cur
+		}
+	}
+	return r
+}
+
+func sumFirings(stats []parallel.ProcStats) int64 {
+	var n int64
+	for _, ps := range stats {
+		n += ps.Firings
+	}
+	return n
+}
+
+func runE21(quick bool) error {
+	const buckets, workers = 4, 2
+	chains, length, fanin, trials := 40, 40, 15, 3
+	if quick {
+		// Quick mode keeps three trials: one run's speedup swings with
+		// where in the (short) run the migration lands, and the median is
+		// what the CI gate reads.
+		chains, length, fanin, trials = 16, 20, 8, 3
+	}
+	h := hashpart.ModHash{N: buckets}
+	par := skewLadders(chains, length, fanin, h)
+	edb := relation.Store{"par": par}
+	s, err := analysis.ExtractSirup(workload.AncestorProgram())
+	if err != nil {
+		return err
+	}
+	build := func() (*parallel.Program, error) {
+		return parallel.BuildQ(s, rewrite.SirupSpec{
+			Procs: hashpart.RangeProcs(buckets),
+			VR:    []string{"Z"}, VE: []string{"X"},
+			H: h,
+		})
+	}
+	rebCfg := dist.RebalanceConfig{
+		Enabled:       true,
+		SkewThreshold: 1.5,
+		Interval:      2 * time.Millisecond,
+		Window:        2,
+		MinVolume:     64,
+		MaxMigrations: 1,
+	}
+
+	modes := []struct {
+		name string
+		reb  bool
+		kill bool
+	}{
+		{"static", false, false},
+		{"rebalanced", true, false},
+		{"kill-during-migration", true, true},
+	}
+	if quick {
+		// The kill fires after a fixed ordinal of worker-1 writes, and on
+		// the shrunken quick input that ordinal can land after quiescence
+		// (fatal by design) or never. The full run and the -race chaos
+		// test in internal/dist pin the migration+death composition; the
+		// CI smoke only needs the skew trigger and the speedup document.
+		modes = modes[:2]
+	}
+
+	doc := rebalanceDoc{
+		Benchmark: "adaptive-rebalance",
+		Workers:   workers, Buckets: buckets, Quick: quick,
+		Workload: benchWorkload{Kind: "skew-chains", Nodes: chains, Edges: par.Len(), Seed: 0},
+	}
+	fmt.Printf("host: GOMAXPROCS=%d NumCPU=%d\n", runtime.GOMAXPROCS(0), runtime.NumCPU())
+	doc.NumCPU = runtime.NumCPU()
+	busyMedian := map[string]int64{}
+	wallMedian := map[string]int64{}
+	anc, firings := -1, int64(-1)
+	for _, mode := range modes {
+		var walls, busies []int64
+		for trial := 0; trial < trials; trial++ {
+			p, err := build()
+			if err != nil {
+				return err
+			}
+			cfg := dist.Config{Workers: workers}
+			if mode.reb {
+				cfg.Rebalance = rebCfg
+			}
+			if mode.kill {
+				// Worker 1 — the migration's target under the deterministic
+				// least-loaded tie-break — dies while the adopted bucket's
+				// replay is still streaming at it.
+				in := fault.New(fault.Schedule{Seed: 21, KillConn: 1, KillAfterWrites: 40})
+				cfg.WorkerDial = func(wi int) dist.DialFunc {
+					if wi == 1 {
+						return in.Dial
+					}
+					return nil
+				}
+			}
+			res, err := dist.Run(p, edb, cfg)
+			if err != nil {
+				return fmt.Errorf("%s: %w", mode.name, err)
+			}
+
+			// Model and firing-count equality across every mode and trial.
+			gotAnc, gotF := res.Output["anc"].Len(), sumFirings(res.Stats)
+			if anc < 0 {
+				anc, firings = gotAnc, gotF
+			} else if gotAnc != anc || gotF != firings {
+				return fmt.Errorf("%s: anc=%d firings=%d, other runs got anc=%d firings=%d",
+					mode.name, gotAnc, gotF, anc, firings)
+			}
+			if mode.reb && !mode.kill && len(res.Migrations) == 0 {
+				return fmt.Errorf("%s: the skew trigger never migrated a bucket", mode.name)
+			}
+			if mode.kill && len(res.Deaths) != 1 {
+				return fmt.Errorf("%s: Deaths=%v, want exactly one", mode.name, res.Deaths)
+			}
+
+			var maxBusy int64
+			for _, b := range res.WorkerBusy {
+				if b > maxBusy {
+					maxBusy = b
+				}
+			}
+			run := rebalanceRun{
+				Mode: mode.name, WallNs: res.Wall.Nanoseconds(),
+				MaxBusyNs: maxBusy, BusyNs: res.WorkerBusy,
+				Anc: gotAnc, Firings: gotF,
+				Migrations: len(res.Migrations), Rejected: res.RebalanceRejected,
+				Deaths: res.Deaths,
+			}
+			for _, m := range res.Migrations {
+				run.Replayed += m.Replayed
+				run.Skew = m.Skew
+			}
+			doc.Runs = append(doc.Runs, run)
+			walls = append(walls, res.Wall.Nanoseconds())
+			busies = append(busies, maxBusy)
+			fmt.Printf("%-22s max-busy=%-10v wall=%-10v anc=%d firings=%d migrations=%d replayed=%d deaths=%v\n",
+				mode.name, time.Duration(maxBusy), res.Wall, gotAnc, gotF, len(res.Migrations), run.Replayed, res.Deaths)
+		}
+		busyMedian[mode.name] = median64(busies)
+		wallMedian[mode.name] = median64(walls)
+		doc.Kernels = append(doc.Kernels, coreKernel{
+			Name: "e21/" + mode.name, Ops: 1, NsPerOp: float64(busyMedian[mode.name]),
+		})
+	}
+
+	doc.Speedup = float64(busyMedian["static"]) / float64(busyMedian["rebalanced"])
+	doc.WallSpeedup = float64(wallMedian["static"]) / float64(wallMedian["rebalanced"])
+	fmt.Printf("critical-path speedup (static / rebalanced max-worker-busy) = %.2fx  (raw wall ratio %.2fx)\n",
+		doc.Speedup, doc.WallSpeedup)
+
+	f, err := os.Create(rebalanceOut)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", rebalanceOut)
+
+	// The experiment's own gate: adaptive rebalancing must beat static
+	// partitioning by ≥1.5× on the critical path (max per-worker busy
+	// time). Quick mode (CI smoke on a shrunken input) still reports the
+	// ratio but does not fail on it.
+	if !quick && doc.Speedup < 1.5 {
+		return fmt.Errorf("rebalancing critical-path speedup %.2fx is below the 1.5x gate", doc.Speedup)
+	}
+	return nil
+}
+
+func median64(xs []int64) int64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]int64(nil), xs...)
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	return s[len(s)/2]
+}

@@ -71,6 +71,14 @@ func main() {
 		hbeat    = flag.Duration("heartbeat", 0, "coordinator: heartbeat miss threshold (default 100ms)")
 		deadline = flag.Duration("deadline", 0, "coordinator: silence before a worker is declared dead (default 2s)")
 
+		buckets      = flag.Int("buckets", 0, "hash buckets to compile the scheme for (default -workers; more buckets than workers gives the rebalancer moves to make)")
+		rebalance    = flag.Bool("rebalance", false, "coordinator: enable skew-triggered hot-bucket migration")
+		rebThreshold = flag.Float64("rebalance-threshold", 0, "coordinator: max/mean bucket-load skew that triggers a migration (default 2.0)")
+		rebInterval  = flag.Duration("rebalance-interval", 0, "coordinator: load-sampling period (default 10ms)")
+		rebWindow    = flag.Int("rebalance-window", 0, "coordinator: samples in the sliding skew window (default 3)")
+		rebCooldown  = flag.Duration("rebalance-cooldown", 0, "coordinator: minimum gap between migration decisions (default 2x interval)")
+		rebMax       = flag.Int("rebalance-max", 0, "coordinator: migrations allowed per run (0 = unlimited)")
+
 		ckptEvery    = flag.Int("checkpoint-every", 0, "coordinator: checkpoint a bucket after N logged batches (0 disables)")
 		ckptInterval = flag.Duration("checkpoint-interval", 0, "coordinator: checkpoint buckets with a non-empty log at this period (0 disables)")
 		maxInflight  = flag.Int("max-inflight", 0, "coordinator: per-worker in-flight data batch limit (0 = unlimited)")
@@ -124,6 +132,16 @@ func main() {
 	if *workers <= 0 {
 		fatal(fmt.Errorf("-workers must be positive"))
 	}
+	// The scheme is compiled for -buckets processors; -workers OS
+	// processes host them (bucket b starts on worker b mod workers).
+	// Every process must agree on -buckets or the hash partitions
+	// disagree on the wire.
+	if *buckets == 0 {
+		*buckets = *workers
+	}
+	if *buckets < *workers {
+		fatal(fmt.Errorf("-buckets (%d) must be at least -workers (%d)", *buckets, *workers))
+	}
 	srcFiles := flag.Args()
 	if len(srcFiles) == 0 {
 		fatal(fmt.Errorf("a program file is required"))
@@ -141,7 +159,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	compiled, err := buildProgram(prog, *strategy, splitList(*vr), splitList(*ve), *workers, *seed)
+	compiled, err := buildProgram(prog, *strategy, splitList(*vr), splitList(*ve), *buckets, *seed)
 	if err != nil {
 		fatal(err)
 	}
@@ -157,6 +175,16 @@ func main() {
 		}
 		c, err := dist.NewCoordinator(dist.Config{
 			Workers:            *workers,
+			Buckets:            *buckets,
+			Pinned:             compiled.PinnedBuckets(),
+			Rebalance: dist.RebalanceConfig{
+				Enabled:       *rebalance,
+				SkewThreshold: *rebThreshold,
+				Interval:      *rebInterval,
+				Window:        *rebWindow,
+				Cooldown:      *rebCooldown,
+				MaxMigrations: *rebMax,
+			},
 			Addr:               *listen,
 			HeartbeatInterval:  *hbeat,
 			WorkerDeadline:     *deadline,
@@ -206,6 +234,13 @@ func main() {
 		for _, rec := range res.Recoveries {
 			fmt.Fprintf(os.Stderr, "dldist: recovered bucket %d from worker %d on worker %d (%d batches replayed, %d covered by checkpoint)\n",
 				rec.Bucket, rec.FromWorker, rec.ToWorker, rec.Replayed, rec.Truncated)
+		}
+		for _, mig := range res.Migrations {
+			fmt.Fprintf(os.Stderr, "dldist: migrated hot bucket %d from worker %d to worker %d at skew %.2f (%d batches replayed)\n",
+				mig.Bucket, mig.FromWorker, mig.ToWorker, mig.Skew, mig.Replayed)
+		}
+		if res.RebalanceRejected > 0 {
+			fmt.Fprintf(os.Stderr, "dldist: %d candidate repartitionings rejected by the transferability check\n", res.RebalanceRejected)
 		}
 	case "worker":
 		if *coord == "" || *index < 0 || *index >= *workers {

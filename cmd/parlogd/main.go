@@ -18,7 +18,8 @@
 //	POST /apply   JSON {"insert": {"par": [["a","b"]]}, "delete": {...}}
 //	              with constant names; responds with the maintenance stats
 //	GET  /query   ?goal=anc(a,X) — answers from the current snapshot
-//	GET  /stats   epoch plus the aggregate telemetry snapshot
+//	GET  /stats   epoch, bucket-load skew and rebalance gauges, plus the
+//	              aggregate telemetry snapshot
 //	GET  /metrics Prometheus text exposition (parlog_ivm_* instruments)
 //	GET  /debug/parlog JSON metrics snapshot (with -pprof: /debug/pprof/)
 //
@@ -141,7 +142,7 @@ func start(ctx context.Context, cfg serverConfig, src string) (*daemon, *metrics
 		return nil, nil, err
 	}
 
-	d := &daemon{prog: prog, view: view, counting: counting, maxBody: cfg.maxBody}
+	d := &daemon{prog: prog, view: view, counting: counting, reg: reg, maxBody: cfg.maxBody}
 	srv, err := metrics.NewServer(cfg.addr, reg, metrics.ServerOptions{
 		Pprof: cfg.pprof,
 		Debug: func() any { return counting.Snapshot() },
@@ -167,6 +168,7 @@ type daemon struct {
 	prog     *parlog.Program
 	view     *parlog.View
 	counting *obs.Counting
+	reg      *metrics.Registry
 	maxBody  int64
 }
 
@@ -264,12 +266,50 @@ func (d *daemon) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}{qr.Pred, snap.Epoch(), answers})
 }
 
+// loadStats is the /stats view of the balance instruments: the lazily
+// derived bucket-load skew gauges plus the rebalancer's counters, pulled
+// fresh from the registry (Snapshot runs the collect hooks) so a scraper
+// sees the same numbers the Prometheus exposition would.
+type loadStats struct {
+	SkewMaxRatio    float64 `json:"skew_max_ratio"`
+	SkewMeanTuples  float64 `json:"skew_mean_tuples"`
+	Migrations      float64 `json:"rebalance_migrations"`
+	Rejected        float64 `json:"rebalance_rejected"`
+	ReplayedBatches float64 `json:"rebalance_replayed_batches"`
+	LastSkew        float64 `json:"rebalance_last_skew"`
+}
+
+func (d *daemon) loadStats() loadStats {
+	var ls loadStats
+	for _, ms := range d.reg.Snapshot() {
+		if ms.Value == nil {
+			continue
+		}
+		switch ms.Name {
+		case "parlog_load_skew_max_ratio":
+			ls.SkewMaxRatio = *ms.Value
+		case "parlog_load_skew_mean_tuples":
+			ls.SkewMeanTuples = *ms.Value
+		case "parlog_rebalance_migrations_total":
+			ls.Migrations = *ms.Value
+		case "parlog_rebalance_rejected_total":
+			ls.Rejected = *ms.Value
+		case "parlog_rebalance_replayed_batches_total":
+			ls.ReplayedBatches = *ms.Value
+		case "parlog_rebalance_last_skew":
+			ls.LastSkew = *ms.Value
+		}
+	}
+	return ls
+}
+
 func (d *daemon) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, struct {
 		Epoch      uint64                  `json:"epoch"`
 		Durability *parlog.DurabilityStats `json:"durability,omitempty"`
+		Load       loadStats               `json:"load"`
 		Metrics    *parlog.Metrics         `json:"metrics"`
-	}{d.view.Epoch(), d.view.DurabilityStats(), d.counting.Snapshot()})
+	}{d.view.Epoch(), d.view.DurabilityStats(), d.loadStats(), d.counting.Snapshot()})
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -132,13 +132,24 @@ func TestServerEndToEnd(t *testing.T) {
 		}
 	}
 
-	// /stats reports the epoch and the counting snapshot.
+	// /stats reports the epoch, the load/rebalance gauges and the
+	// counting snapshot. This daemon runs single-process, so the
+	// rebalance counters must exist and read zero, and the skew gauges
+	// must be present (json.Decode into *float64 distinguishes a missing
+	// field from a zero one).
 	resp, err = client.Get(base + "/stats")
 	if err != nil {
 		t.Fatal(err)
 	}
 	var stats struct {
-		Epoch   uint64 `json:"epoch"`
+		Epoch uint64 `json:"epoch"`
+		Load  struct {
+			SkewMaxRatio *float64 `json:"skew_max_ratio"`
+			Migrations   *float64 `json:"rebalance_migrations"`
+			Rejected     *float64 `json:"rebalance_rejected"`
+			Replayed     *float64 `json:"rebalance_replayed_batches"`
+			LastSkew     *float64 `json:"rebalance_last_skew"`
+		} `json:"load"`
 		Metrics struct {
 			IVMApplies int64 `json:"ivm_applies"`
 		} `json:"metrics"`
@@ -149,6 +160,20 @@ func TestServerEndToEnd(t *testing.T) {
 	resp.Body.Close()
 	if stats.Epoch != 1 {
 		t.Errorf("/stats epoch = %d", stats.Epoch)
+	}
+	for name, v := range map[string]*float64{
+		"skew_max_ratio":             stats.Load.SkewMaxRatio,
+		"rebalance_migrations":       stats.Load.Migrations,
+		"rebalance_rejected":         stats.Load.Rejected,
+		"rebalance_replayed_batches": stats.Load.Replayed,
+		"rebalance_last_skew":        stats.Load.LastSkew,
+	} {
+		if v == nil {
+			t.Errorf("/stats load section missing %q", name)
+		}
+	}
+	if stats.Load.Migrations != nil && *stats.Load.Migrations != 0 {
+		t.Errorf("single-process daemon reported %v migrations", *stats.Load.Migrations)
 	}
 }
 

@@ -71,6 +71,7 @@ import (
 	"sync"
 	"time"
 
+	"parlog/internal/network"
 	"parlog/internal/obs"
 	"parlog/internal/parallel"
 	"parlog/internal/relation"
@@ -107,6 +108,7 @@ const (
 	kindCheckpointReq                      // coordinator → worker: snapshot one hosted bucket
 	kindCheckpointReply                    // worker → coordinator: the bucket's derived-tuple set + checksum
 	kindCredit                             // coordinator → worker: return send credit
+	kindRelease                            // coordinator → worker: stop hosting a bucket (it migrated away)
 )
 
 // wireMsg is the single wire envelope; Kind selects the meaningful fields.
@@ -116,6 +118,7 @@ type wireMsg struct {
 	Probe  int   // Status/StatusReply: heartbeat sequence; CheckpointReq/Reply: checkpoint id
 	Sent   int64 // StatusReply: data batches handed to the wire
 	Recv   int64 // StatusReply: data batches processed
+	Busy   int64 // StatusReply: cumulative evaluation nanoseconds
 	Idle   bool  // StatusReply
 	Bucket int   // Data: destination bucket; Adopt/Checkpoint: the bucket concerned
 	From   int   // Data: originating bucket
@@ -152,10 +155,68 @@ func snapCost(snap []byte) int64 {
 	return 96 + int64(len(snap))
 }
 
+// RebalanceConfig tunes the coordinator's skew-triggered adaptive load
+// balancer. When Enabled, the coordinator samples each bucket's routed
+// tuple volume every Interval into a sliding window of Window samples;
+// when the per-bucket window skew (max/mean) reaches SkewThreshold and at
+// least MinVolume tuples moved inside the window, the hottest bucket of
+// the hottest worker migrates to the least-loaded worker over the
+// checkpoint + send-log-suffix replay path — a recovery without a death.
+type RebalanceConfig struct {
+	// Enabled turns the rebalancer on.
+	Enabled bool
+	// SkewThreshold triggers a migration when max bucket window load /
+	// mean bucket window load reaches it (default 2.0). A perfectly
+	// balanced discriminating function scores 1.0.
+	SkewThreshold float64
+	// Interval is the load-sampling period (default 10ms).
+	Interval time.Duration
+	// Window is the number of samples in the sliding window (default 3).
+	Window int
+	// Cooldown is the minimum gap between migration decisions — applied
+	// after migrations and rejections alike, so a doomed candidate can't
+	// spin (default 2×Interval).
+	Cooldown time.Duration
+	// MaxMigrations bounds migrations per run; 0 = unlimited.
+	MaxMigrations int
+	// MinVolume is the minimum tuples routed inside the window for the
+	// skew signal to be trusted (default 64); quiet tails don't migrate.
+	MinVolume int64
+	// Force triggers a migration on every eligible sample regardless of
+	// skew or volume — the differential tests' forced-migration mode.
+	Force bool
+}
+
+func (rc *RebalanceConfig) fill() {
+	if !rc.Enabled {
+		return
+	}
+	if rc.SkewThreshold <= 0 {
+		rc.SkewThreshold = 2.0
+	}
+	if rc.Interval <= 0 {
+		rc.Interval = 10 * time.Millisecond
+	}
+	if rc.Window <= 0 {
+		rc.Window = 3
+	}
+	if rc.Cooldown <= 0 {
+		rc.Cooldown = 2 * rc.Interval
+	}
+	if rc.MinVolume <= 0 {
+		rc.MinVolume = 64
+	}
+}
+
 // Config configures a distributed run.
 type Config struct {
 	// Workers is the number of processors the coordinator waits for.
 	Workers int
+	// Buckets is the number of hash buckets the program was compiled for.
+	// It may exceed Workers — extra buckets are spread bucket%Workers at
+	// start and are the rebalancer's unit of migration. 0 (or any value
+	// below Workers) means one bucket per worker, the classic 1:1 layout.
+	Buckets int
 	// Addr is the coordinator's listen address (default "127.0.0.1:0").
 	Addr string
 	// WavePoll is the detection-wave and heartbeat-probe period
@@ -226,6 +287,23 @@ type Config struct {
 	// unchanged to pass the batch through.
 	RouteFault func(fromWorker, bucket int) int
 
+	// Rebalance configures the skew-triggered adaptive load balancer.
+	Rebalance RebalanceConfig
+	// Pinned marks buckets whose compiled rules carry restriction-set
+	// constraints (parallel.Program.PinnedBuckets); the transferability
+	// check refuses to relabel them. Ownership moves stay allowed.
+	Pinned []bool
+	// Network, when non-nil, is the program's derived communication graph;
+	// every candidate repartitioning is validated against it and the
+	// induced worker-level cross edges are derived from it
+	// (network.CheckTransferable).
+	Network *network.Derivation
+	// RebalanceFault, when non-nil, may mutate the candidate bucket map
+	// the rebalancer is about to validate — the fault-injection hook that
+	// exercises the transferability rejection path (e.g. by relabelling a
+	// pinned bucket).
+	RebalanceFault func(*network.Candidate)
+
 	// Ctx, when non-nil, cancels the run: every blocking path (accept,
 	// decode, queue waits, credit waits, detection waves) unblocks
 	// promptly.
@@ -279,6 +357,7 @@ func (c *Config) fill() {
 	if c.Ctx == nil {
 		c.Ctx = context.Background()
 	}
+	c.Rebalance.fill()
 }
 
 // procID labels a dense worker index with its paper-level processor id.
@@ -305,6 +384,20 @@ type Recovery struct {
 	Truncated int
 }
 
+// Migration records one live bucket move performed by the rebalancer.
+type Migration struct {
+	// Bucket is the migrated hash bucket.
+	Bucket int
+	// FromWorker and ToWorker are dense worker indices; both were alive.
+	FromWorker, ToWorker int
+	// Replayed is the number of logged batches replayed to the new owner;
+	// Truncated is the prefix the bucket's checkpoint covered.
+	Replayed, Truncated int
+	// Skew is the window skew ratio that triggered the move (0 under
+	// RebalanceConfig.Force with no measurable load).
+	Skew float64
+}
+
 // Result is the pooled outcome of a distributed run.
 type Result struct {
 	Output relation.Store
@@ -329,6 +422,18 @@ type Result struct {
 	// DroppedBatches counts data batches addressed to out-of-range
 	// buckets, discarded (and reported) by the router.
 	DroppedBatches int64
+	// Migrations lists the live bucket moves the rebalancer applied.
+	Migrations []Migration
+	// RebalanceRejected counts candidate repartitionings the
+	// transferability check refused.
+	RebalanceRejected int
+	// WorkerBusy holds each worker's cumulative evaluation nanoseconds
+	// (from its final status reply), indexed by dense worker index; dead
+	// workers keep the last value they reported. On the paper's
+	// one-processor-per-worker hardware the maximum entry is the critical
+	// path that a run's wall clock converges to, which makes it the
+	// machine-independent load-balance measure (cf. E9 in cmd/dlbench).
+	WorkerBusy []int64
 }
 
 // qmsg is one queued wire message plus the coordinator-side ledger fields:
@@ -447,6 +552,9 @@ func NewCoordinator(cfg Config, idbArities map[string]int) (*Coordinator, error)
 	if cfg.Workers <= 0 {
 		return nil, fmt.Errorf("dist: Workers must be positive")
 	}
+	if cfg.Buckets < cfg.Workers {
+		cfg.Buckets = cfg.Workers
+	}
 	ln, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {
 		return nil, err
@@ -477,6 +585,7 @@ type wkState struct {
 
 	// Last reported worker counters (from kindStatusReply).
 	rSent, rRecv int64
+	rBusy        int64 // cumulative evaluation ns — the busy-fraction input to rebalancing
 	rIdle        bool
 
 	// Coordinator-side authoritative counters: data batches accepted
@@ -510,6 +619,13 @@ type bucketState struct {
 	pending       int   // outstanding checkpoint request id; 0 = none
 	pendingOffset int64 // log length (absolute) at request time
 	lastReq       time.Time
+
+	// Rebalancer load tracking: cumulative tuples routed to this bucket,
+	// the cumulative value at the last sample, and the sliding window of
+	// per-interval deltas (ring indexed by router.winIdx).
+	routed     int64
+	lastRouted int64
+	win        []int64
 }
 
 // router is the shared hub: bucket ownership, per-bucket send logs and
@@ -539,23 +655,39 @@ type router struct {
 	truncated int64
 	dropped   int64 // out-of-range data batches discarded
 
+	// Rebalancer state.
+	migrations    []Migration
+	rebalRejected int
+	winIdx        int       // samples taken so far (ring cursor)
+	lastSampleAt  time.Time // previous sampling instant
+	lastDecideAt  time.Time // previous migration or rejection (cooldown clock)
+
 	outputCh chan int // worker indices that delivered their output
 }
 
 func newRouter(cfg *Config, ws []*wkState) *router {
+	nb := cfg.Buckets
+	if nb < len(ws) {
+		nb = len(ws)
+	}
 	r := &router{
 		cfg:      cfg,
 		ws:       ws,
-		buckets:  make([]bucketState, len(ws)),
+		buckets:  make([]bucketState, nb),
 		outputCh: make(chan int, len(ws)),
 	}
 	now := time.Now()
 	for i := range r.buckets {
-		r.buckets[i].owner = i
+		r.buckets[i].owner = InitialOwner(i, len(ws))
 		r.buckets[i].lastReq = now
 	}
 	return r
 }
+
+// InitialOwner is the start-of-run bucket placement: bucket b lives on
+// worker b%workers, so bucket i == worker i whenever buckets and workers
+// agree (the classic 1:1 layout) and extra buckets wrap around.
+func InitialOwner(bucket, workers int) int { return bucket % workers }
 
 // connBroken records a connection failure; the wave loop turns it into a
 // death (keeping all recovery logic on one goroutine).
@@ -593,6 +725,7 @@ func (r *router) route(w *wkState, m wireMsg) {
 	}
 	cost := dataCost(m.Raw)
 	bs := &r.buckets[m.Bucket]
+	bs.routed += int64(wire.BatchCount(m.Raw))
 	bs.log = append(bs.log, logEntry{m: m, cost: cost})
 	bs.logBytes += cost
 	r.logBytes += cost
@@ -796,6 +929,7 @@ func (r *router) noteStatus(w *wkState, m wireMsg) {
 	w.lastHeard = time.Now()
 	w.misses = 0
 	w.rSent, w.rRecv, w.rIdle = m.Sent, m.Recv, m.Idle
+	w.rBusy = m.Busy
 	r.mu.Unlock()
 }
 
@@ -898,35 +1032,46 @@ func (r *router) declareDead(w *wkState, reason string) {
 		})
 		if r.cfg.Sink != nil {
 			r.cfg.Sink.BucketReassigned(b, r.cfg.procID(w.index), r.cfg.procID(s.index))
-			r.cfg.Sink.ReplayStart(b, r.cfg.procID(s.index))
 		}
-		// The adopt message carries the checkpoint (nil if none): the
-		// survivor installs it, then the logged suffix completes the
-		// bucket's history. Stored snapshots are the verified wire
-		// blobs, shipped verbatim — no re-encode on the recovery path.
-		// Under LocalCheckpoints only the checksum travels; the survivor
-		// loads the blob the dead owner persisted to the shared local
-		// directory and verifies it against this sum.
-		adopt := wireMsg{Kind: kindAdopt, Bucket: b, Snap: bs.snap}
-		if r.cfg.LocalCheckpoints && bs.snap != nil {
-			adopt.Snap, adopt.Sum, adopt.Probe = nil, bs.sum, bs.probe
-		}
-		s.out.push(control(adopt))
-		for _, le := range bs.log {
-			s.delivered++
-			r.queueBytes += le.cost
-			if r.queueBytes > r.peakQueue {
-				r.peakQueue = r.queueBytes
-			}
-			if le.m.Span != 0 {
-				obs.SpanReplay(r.cfg.Sink, b, r.cfg.procID(s.index), le.m.Span)
-			}
-			s.out.push(qmsg{m: le.m, cost: le.cost, sender: -1})
-		}
-		if r.cfg.Sink != nil {
-			r.cfg.Sink.ReplayEnd(b, r.cfg.procID(s.index), len(bs.log))
-		}
+		r.adoptAndReplayLocked(b, s)
 	}
+}
+
+// adoptAndReplayLocked hands bucket b to live worker s: an adopt message
+// installs the bucket's stored checkpoint, then the logged suffix replays —
+// the shared primitive of death recovery and live migration. The adopt
+// carries the checkpoint (nil if none): the new owner installs it, then the
+// logged suffix completes the bucket's history. Stored snapshots are the
+// verified wire blobs, shipped verbatim — no re-encode on this path. Under
+// LocalCheckpoints only the checksum travels; the new owner loads the blob
+// the previous owner persisted to the shared local directory and verifies
+// it against this sum. Returns the replayed batch count. Caller holds the
+// mutex and has already flipped the bucket's owner to s.index.
+func (r *router) adoptAndReplayLocked(b int, s *wkState) int {
+	bs := &r.buckets[b]
+	if r.cfg.Sink != nil {
+		r.cfg.Sink.ReplayStart(b, r.cfg.procID(s.index))
+	}
+	adopt := wireMsg{Kind: kindAdopt, Bucket: b, Snap: bs.snap}
+	if r.cfg.LocalCheckpoints && bs.snap != nil {
+		adopt.Snap, adopt.Sum, adopt.Probe = nil, bs.sum, bs.probe
+	}
+	s.out.push(control(adopt))
+	for _, le := range bs.log {
+		s.delivered++
+		r.queueBytes += le.cost
+		if r.queueBytes > r.peakQueue {
+			r.peakQueue = r.queueBytes
+		}
+		if le.m.Span != 0 {
+			obs.SpanReplay(r.cfg.Sink, b, r.cfg.procID(s.index), le.m.Span)
+		}
+		s.out.push(qmsg{m: le.m, cost: le.cost, sender: -1})
+	}
+	if r.cfg.Sink != nil {
+		r.cfg.Sink.ReplayEnd(b, r.cfg.procID(s.index), len(bs.log))
+	}
+	return len(bs.log)
 }
 
 // survivorLocked picks the live worker hosting the fewest buckets (lowest
@@ -946,6 +1091,154 @@ func (r *router) survivorLocked() *wkState {
 		}
 	}
 	return best
+}
+
+// checkRebalance is the adaptive load balancer's decision point, called at
+// wave cadence. Every Interval it samples each bucket's routed-tuple delta
+// into the sliding window; when the per-bucket window skew crosses the
+// threshold (or under Force) it picks the hottest bucket of the hottest
+// worker and migrates it to the least-loaded live worker — after the
+// candidate map passes the transferability check — using the same
+// checkpoint-adopt + log-suffix replay as death recovery. The membership
+// generation bump fences the Mattern termination check across the move, and
+// FIFO queue order fences in-flight batches: everything routed before the
+// flip precedes the release in the old owner's queue, and anything it had
+// accepted but not drained is regenerated at the new owner by the replay
+// (set semantics make that confluent).
+func (r *router) checkRebalance(now time.Time) {
+	rc := &r.cfg.Rebalance
+	if !rc.Enabled {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if now.Sub(r.lastSampleAt) < rc.Interval {
+		return
+	}
+	r.lastSampleAt = now
+
+	// Sample: fold each bucket's routed delta into its window ring.
+	for b := range r.buckets {
+		bs := &r.buckets[b]
+		if len(bs.win) != rc.Window {
+			bs.win = make([]int64, rc.Window)
+		}
+		bs.win[r.winIdx%rc.Window] = bs.routed - bs.lastRouted
+		bs.lastRouted = bs.routed
+	}
+	r.winIdx++
+
+	if rc.MaxMigrations > 0 && len(r.migrations) >= rc.MaxMigrations {
+		return
+	}
+	if !r.lastDecideAt.IsZero() && now.Sub(r.lastDecideAt) < rc.Cooldown {
+		return
+	}
+	if r.winIdx < rc.Window && !rc.Force {
+		return // window not yet full: the skew estimate is noise
+	}
+
+	// Per-bucket window sums and per-worker aggregates. Worker load is its
+	// buckets' window volume; ties break on reported busy time.
+	load := make([]int64, len(r.ws))
+	hosted := make([]int, len(r.ws))
+	winSum := make([]int64, len(r.buckets))
+	var volume, maxBucket int64
+	for b := range r.buckets {
+		bs := &r.buckets[b]
+		for _, d := range bs.win {
+			winSum[b] += d
+		}
+		volume += winSum[b]
+		if winSum[b] > maxBucket {
+			maxBucket = winSum[b]
+		}
+		load[bs.owner] += winSum[b]
+		hosted[bs.owner]++
+	}
+	skew := 0.0
+	if volume > 0 {
+		skew = float64(maxBucket) * float64(len(r.buckets)) / float64(volume)
+	}
+	if !rc.Force && (volume < rc.MinVolume || skew < rc.SkewThreshold) {
+		return
+	}
+
+	// Hottest worker with at least two buckets (a single-bucket worker has
+	// nothing to shed), and the least-loaded live worker as the target.
+	from, to := -1, -1
+	for _, w := range r.ws {
+		if !w.alive || hosted[w.index] < 2 {
+			continue
+		}
+		if from < 0 || load[w.index] > load[from] ||
+			(load[w.index] == load[from] && w.rBusy > r.ws[from].rBusy) {
+			from = w.index
+		}
+	}
+	for _, w := range r.ws {
+		if !w.alive || w.index == from {
+			continue
+		}
+		if to < 0 || load[w.index] < load[to] ||
+			(load[w.index] == load[to] && w.rBusy < r.ws[to].rBusy) {
+			to = w.index
+		}
+	}
+	if from < 0 || to < 0 || load[to] >= load[from] && !rc.Force {
+		return
+	}
+	hot := -1
+	for b := range r.buckets {
+		if r.buckets[b].owner != from {
+			continue
+		}
+		if hot < 0 || winSum[b] > winSum[hot] {
+			hot = b
+		}
+	}
+	if hot < 0 {
+		return
+	}
+	r.lastDecideAt = now
+
+	// Transferability: validate the post-move bucket map against the
+	// derived communication constraints before touching anything. The
+	// fault hook may corrupt the candidate to exercise the rejection path.
+	owner := make([]int, len(r.buckets))
+	for b := range r.buckets {
+		owner[b] = r.buckets[b].owner
+	}
+	owner[hot] = to
+	cand := network.Candidate{Buckets: len(r.buckets), Workers: len(r.ws), Owner: owner}
+	if r.cfg.RebalanceFault != nil {
+		r.cfg.RebalanceFault(&cand)
+	}
+	if _, err := network.CheckTransferable(cand, r.cfg.Pinned, r.cfg.Network); err != nil {
+		r.rebalRejected++
+		obs.RebalanceRejected(r.cfg.Sink, hot, r.cfg.procID(from), r.cfg.procID(to), err.Error())
+		return
+	}
+
+	// Apply the move: a recovery without a death. The generation bump
+	// voids any in-flight quiescence decision; the release is enqueued to
+	// the old owner after every batch already routed to it (FIFO), and the
+	// adopt + suffix replay rebuilds the bucket at the new owner.
+	obs.MigrationStart(r.cfg.Sink, hot, r.cfg.procID(from), r.cfg.procID(to), skew)
+	r.gen++
+	bs := &r.buckets[hot]
+	bs.owner = to
+	bs.pending = 0 // the old owner's checkpoint reply would be stale
+	r.ws[from].out.push(control(wireMsg{Kind: kindRelease, Bucket: hot}))
+	if r.cfg.Sink != nil {
+		r.cfg.Sink.BucketReassigned(hot, r.cfg.procID(from), r.cfg.procID(to))
+	}
+	replayed := r.adoptAndReplayLocked(hot, r.ws[to])
+	r.migrations = append(r.migrations, Migration{
+		Bucket: hot, FromWorker: from, ToWorker: to,
+		Replayed: replayed, Truncated: int(bs.logBase), Skew: skew,
+	})
+	obs.MigrationEnd(r.cfg.Sink, hot, r.cfg.procID(from), r.cfg.procID(to), replayed)
 }
 
 // snapshot evaluates the quiescence condition over the live membership and
@@ -1119,6 +1412,14 @@ func (c *Coordinator) Wait() (*Result, error) {
 			CreditBytes: creditBytes,
 		}))
 	}
+	// Extra buckets (Buckets > Workers): each worker natively builds only
+	// the node of its own index, so every wrapped-around bucket is adopted
+	// fresh (nil snapshot) at start. Pushing under the router mutex, before
+	// any data can be routed, makes the adopt precede the bucket's first
+	// batch in the owner's FIFO queue.
+	for b := len(ws); b < len(r.buckets); b++ {
+		r.ws[r.buckets[b].owner].out.push(control(wireMsg{Kind: kindAdopt, Bucket: b}))
+	}
 	r.mu.Unlock()
 
 	// Detection waves: Mattern-style counter comparison over the star.
@@ -1141,6 +1442,7 @@ func (c *Coordinator) Wait() (*Result, error) {
 		r.checkLiveness(now)
 		r.checkCheckpoints(now)
 		r.checkMemory()
+		r.checkRebalance(now)
 		r.probe(waveNum)
 		vec, quiet, gen, fatal := r.snapshot()
 		if fatal != nil {
@@ -1208,6 +1510,11 @@ func (c *Coordinator) Wait() (*Result, error) {
 	res.TruncatedBatches = r.truncated
 	res.PeakQueueBytes = r.peakQueue
 	res.DroppedBatches = r.dropped
+	res.Migrations = append(res.Migrations, r.migrations...)
+	res.RebalanceRejected = r.rebalRejected
+	for _, w := range ws {
+		res.WorkerBusy = append(res.WorkerBusy, w.rBusy)
+	}
 	var decodeErr error
 	for _, w := range ws {
 		if w.output == nil {

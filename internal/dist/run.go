@@ -19,8 +19,18 @@ func Run(p *parallel.Program, edb relation.Store, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	cfg.Workers = p.Procs.Len()
+	// The program's processors become hash buckets; the number of OS
+	// workers may be smaller (cfg.Workers), in which case each worker
+	// natively hosts bucket wi and adopts the rest at start. The default
+	// remains one worker per processor.
+	cfg.Buckets = p.Procs.Len()
+	if cfg.Workers <= 0 || cfg.Workers > cfg.Buckets {
+		cfg.Workers = cfg.Buckets
+	}
 	cfg.ProcIDs = p.Procs.IDs()
+	if cfg.Pinned == nil {
+		cfg.Pinned = p.PinnedBuckets()
+	}
 	coord, err := NewCoordinator(cfg, p.IDB)
 	if err != nil {
 		return nil, err

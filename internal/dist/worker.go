@@ -340,6 +340,10 @@ func RunWorker(coordAddr string, node *parallel.Node, cfg WorkerConfig) error {
 		// coordinator cannot mistake a credit stall for quiescence.
 		sent, recv atomic.Int64
 		idle       atomic.Bool
+		// busyNs accumulates wall time spent evaluating (init, adopts and
+		// drains) and travels on status replies, so the coordinator's
+		// rebalancer can weigh workers by real work, not just routed volume.
+		busyNs atomic.Int64
 	)
 
 	// Writer: the only goroutine touching the encoder.
@@ -383,10 +387,10 @@ func RunWorker(coordAddr string, node *parallel.Node, cfg WorkerConfig) error {
 				r := recv.Load()
 				i := idle.Load()
 				s := sent.Load()
-				wq.push(control(wireMsg{Kind: kindStatusReply, Probe: m.Probe, Sent: s, Recv: r, Idle: i}))
+				wq.push(control(wireMsg{Kind: kindStatusReply, Probe: m.Probe, Sent: s, Recv: r, Idle: i, Busy: busyNs.Load()}))
 			case kindCredit:
 				gate.release(m.Credits, m.CreditBytes)
-			case kindData, kindAdopt, kindFinish, kindCheckpointReq:
+			case kindData, kindAdopt, kindRelease, kindFinish, kindCheckpointReq:
 				mbox.push(control(m))
 			default:
 				f.fail(fmt.Errorf("dist: unexpected message kind %d", m.Kind))
@@ -505,7 +509,9 @@ func RunWorker(coordAddr string, node *parallel.Node, cfg WorkerConfig) error {
 			}
 		}
 	}
-	node.RecordBusy(time.Since(begin))
+	elapsed := time.Since(begin)
+	node.RecordBusy(elapsed)
+	busyNs.Add(int64(elapsed))
 	if sink != nil {
 		sink.WorkerIdle(node.Proc())
 	}
@@ -594,7 +600,16 @@ func RunWorker(coordAddr string, node *parallel.Node, cfg WorkerConfig) error {
 				if wire.SnapshotTuples(snap) > 0 {
 					touched[m.Bucket] = true
 				}
-				n.RecordBusy(time.Since(nb))
+				ne := time.Since(nb)
+				n.RecordBusy(ne)
+				busyNs.Add(int64(ne))
+			case kindRelease:
+				// The bucket migrated to another worker: drop its node. Any
+				// straggler data batches routed before the coordinator
+				// flipped the owner land in the nil-node branch above —
+				// counted for the ledger, contents discarded (the new owner
+				// receives the same batches via log replay).
+				delete(nodes, m.Bucket)
 			case kindFinish:
 				finish = true
 			case kindCheckpointReq:
@@ -608,9 +623,14 @@ func RunWorker(coordAddr string, node *parallel.Node, cfg WorkerConfig) error {
 		sort.Ints(buckets)
 		for _, b := range buckets {
 			n := nodes[b]
+			if n == nil {
+				continue // released later in the same mailbox batch
+			}
 			nb := time.Now()
 			n.Drain(mkEmit(n))
-			n.RecordBusy(time.Since(nb))
+			ne := time.Since(nb)
+			n.RecordBusy(ne)
+			busyNs.Add(int64(ne))
 		}
 		// Checkpoint replies are taken at this rest point — after the
 		// drain, so the snapshot reflects every batch processed so far —

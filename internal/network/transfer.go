@@ -1,0 +1,127 @@
+package network
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ErrNotTransferable reports a candidate repartitioning that would change
+// the least model — the typed rejection the coordinator's rebalancer turns
+// into an obs event instead of a migration.
+var ErrNotTransferable = errors.New("network: repartition is not transferable")
+
+// Candidate is a proposed repartitioning of hash buckets onto physical
+// workers: Owner[b] names the worker that would host bucket b, and Relabel
+// (nil for identity) is a proposed renaming of bucket ids, i.e. tuples that
+// hashed to bucket b would be processed under bucket Relabel[b]'s
+// discriminating constraints. Plain ownership moves keep Relabel nil — they
+// change where a bucket's rules run, never which tuples the rules see.
+type Candidate struct {
+	Buckets int
+	Workers int
+	Owner   []int
+	Relabel []int
+}
+
+// Transfer is the proof object of a successful transferability check: the
+// worker-level communication edges the candidate induces from the derived
+// bucket-level network graph. A scheduler can use it to prefer moves that
+// shrink the physical network.
+type Transfer struct {
+	// CrossEdges are the worker pairs (i, j), i ≠ j, that some database
+	// could make communicate under the candidate map, derived by collapsing
+	// the bucket-level Derivation edges through Owner. Sorted, deduplicated.
+	CrossEdges [][2]int
+}
+
+// CheckTransferable decides whether applying the candidate preserves the
+// least model, following the parallel-correctness/transferability line of
+// Ameloot et al.: a repartitioning is safe when every rule still sees the
+// same ground instances it saw before. Ownership moves are always safe for
+// hash-distributed sirups — the discriminating function is unchanged, only
+// the host of a bucket's node changes, and the send-log replay reinstalls
+// the exact bucket state. What is NOT safe is relabelling a bucket whose
+// rules carry restriction-set constraints (the compiled h_i(seq)=i guards):
+// those rules fire only on instances the constraint admits, so renaming the
+// bucket without recompiling the program drops or duplicates firings.
+// pinned[b] marks such buckets; a candidate relabelling a pinned bucket is
+// rejected with ErrNotTransferable.
+//
+// When d is non-nil, the bucket-level network derivation is collapsed
+// through the candidate's Owner map into worker-level cross edges, returned
+// in the Transfer. d.Procs must enumerate exactly the candidate's buckets
+// (position k of d.Procs.IDs() is bucket k); a mismatched derivation is
+// rejected — validating a move against the wrong program's network graph
+// proves nothing.
+func CheckTransferable(c Candidate, pinned []bool, d *Derivation) (*Transfer, error) {
+	if c.Buckets <= 0 || c.Workers <= 0 {
+		return nil, fmt.Errorf("%w: %d buckets on %d workers", ErrNotTransferable, c.Buckets, c.Workers)
+	}
+	if len(c.Owner) != c.Buckets {
+		return nil, fmt.Errorf("%w: owner map covers %d of %d buckets", ErrNotTransferable, len(c.Owner), c.Buckets)
+	}
+	for b, w := range c.Owner {
+		if w < 0 || w >= c.Workers {
+			return nil, fmt.Errorf("%w: bucket %d assigned to worker %d outside [0,%d)", ErrNotTransferable, b, w, c.Workers)
+		}
+	}
+	if c.Relabel != nil {
+		if len(c.Relabel) != c.Buckets {
+			return nil, fmt.Errorf("%w: relabel map covers %d of %d buckets", ErrNotTransferable, len(c.Relabel), c.Buckets)
+		}
+		seen := make([]bool, c.Buckets)
+		for b, nb := range c.Relabel {
+			if nb < 0 || nb >= c.Buckets || seen[nb] {
+				return nil, fmt.Errorf("%w: relabel is not a permutation (bucket %d → %d)", ErrNotTransferable, b, nb)
+			}
+			seen[nb] = true
+		}
+		for b, nb := range c.Relabel {
+			if nb != b && b < len(pinned) && pinned[b] {
+				return nil, fmt.Errorf("%w: bucket %d carries restriction-set constraints (h_i(seq)=i) and cannot be relabelled to %d without recompiling", ErrNotTransferable, b, nb)
+			}
+			if nb != b && nb < len(pinned) && pinned[nb] {
+				return nil, fmt.Errorf("%w: bucket %d carries restriction-set constraints (h_i(seq)=i) and cannot adopt bucket %d's tuples without recompiling", ErrNotTransferable, nb, b)
+			}
+		}
+	}
+
+	t := &Transfer{}
+	if d == nil {
+		return t, nil
+	}
+	ids := d.Procs.IDs()
+	if len(ids) != c.Buckets {
+		return nil, fmt.Errorf("%w: derivation covers %d processors, candidate has %d buckets", ErrNotTransferable, len(ids), c.Buckets)
+	}
+	pos := make(map[int]int, len(ids))
+	for k, id := range ids {
+		pos[id] = k
+	}
+	cross := map[[2]int]bool{}
+	for _, e := range d.Edges {
+		pi, ok := pos[e[0]]
+		if !ok {
+			return nil, fmt.Errorf("%w: derived edge names unknown processor %d", ErrNotTransferable, e[0])
+		}
+		pj, ok := pos[e[1]]
+		if !ok {
+			return nil, fmt.Errorf("%w: derived edge names unknown processor %d", ErrNotTransferable, e[1])
+		}
+		wi, wj := c.Owner[pi], c.Owner[pj]
+		if wi != wj {
+			cross[[2]int{wi, wj}] = true
+		}
+	}
+	for e := range cross {
+		t.CrossEdges = append(t.CrossEdges, e)
+	}
+	sort.Slice(t.CrossEdges, func(a, b int) bool {
+		if t.CrossEdges[a][0] != t.CrossEdges[b][0] {
+			return t.CrossEdges[a][0] < t.CrossEdges[b][0]
+		}
+		return t.CrossEdges[a][1] < t.CrossEdges[b][1]
+	})
+	return t, nil
+}

@@ -34,9 +34,10 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 	us := func(ns int64) float64 { return float64(ns) / 1e3 }
 	var out []chromeEvent
 
-	// Open interval starts, per processor.
+	// Open interval starts, per processor (and per bucket for migrations).
 	busyStart := map[int]int64{}
 	iterStart := map[int]Event{}
+	migStart := map[int]Event{}
 	var lastNs int64
 	for _, e := range events {
 		if e.TNs > lastNs {
@@ -95,6 +96,24 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 			out = append(out, chromeEvent{
 				Name: "batch", Cat: "span", Phase: "s", TS: us(e.TNs), PID: 0, TID: e.Peer, ID: id,
 				Args: map[string]any{"replay": true, "bucket": e.Bucket},
+			})
+		case KindMigrationStart:
+			migStart[e.Bucket] = e
+		case KindMigrationEnd:
+			// Render the migration as a complete slice on the receiving
+			// worker's row — where the adopted bucket now lives.
+			if s, ok := migStart[e.Bucket]; ok {
+				delete(migStart, e.Bucket)
+				out = append(out, chromeEvent{
+					Name: fmt.Sprintf("migrate bucket %d", e.Bucket), Cat: "rebalance", Phase: "X",
+					TS: us(s.TNs), Dur: us(e.TNs - s.TNs), PID: 0, TID: e.Peer,
+					Args: map[string]any{"bucket": e.Bucket, "from": e.Proc, "to": e.Peer, "replayed": e.N, "skew": s.Skew},
+				})
+			}
+		case KindRebalanceRejected:
+			out = append(out, chromeEvent{
+				Name: "rebalance rejected", Cat: "rebalance", Phase: "i", TS: us(e.TNs), PID: 0, TID: e.Proc,
+				Args: map[string]any{"bucket": e.Bucket, "to": e.Peer, "reason": e.Reason},
 			})
 		case KindWorkerDead:
 			out = append(out, chromeEvent{

@@ -101,6 +101,11 @@ type MetricsSink struct {
 	skewMax     *metrics.Gauge     // max load / mean load across buckets
 	skewMean    *metrics.Gauge     // mean load across buckets
 	loadSampled atomic.Int64       // per-proc loads already folded into bucketLoad
+
+	rebMigrations *metrics.Counter
+	rebRejected   *metrics.Counter
+	rebReplayed   *metrics.Counter
+	rebLastSkew   *metrics.Gauge
 }
 
 // msShard is one processor's owned state: the open iteration's start time,
@@ -189,6 +194,11 @@ func NewMetricsSink(reg *metrics.Registry) *MetricsSink {
 		bucketLoad: reg.Histogram("parlog_bucket_load_tuples", "tuples derived per hash bucket over completed runs", sizeBounds),
 		skewMax:    reg.Gauge("parlog_load_skew_max_ratio", "max bucket load / mean bucket load of the current processor set"),
 		skewMean:   reg.Gauge("parlog_load_skew_mean_tuples", "mean tuples derived per hash bucket"),
+
+		rebMigrations: reg.Counter("parlog_rebalance_migrations_total", "live bucket migrations applied by the skew-triggered rebalancer"),
+		rebRejected:   reg.Counter("parlog_rebalance_rejected_total", "candidate repartitionings rejected by the transferability check"),
+		rebReplayed:   reg.Counter("parlog_rebalance_replayed_batches_total", "logged batches replayed to a bucket's new owner during migrations"),
+		rebLastSkew:   reg.Gauge("parlog_rebalance_last_skew", "window skew ratio of the most recent migration trigger"),
 	}
 	reg.OnCollect(m.collectSkew)
 	return m
@@ -363,6 +373,21 @@ func (m *MetricsSink) MemoryPressure(used, budget int64) { m.memPressure.Inc() }
 func (m *MetricsSink) BatchDropped(fromProc, bucket, tuples int) { m.dropped.Inc() }
 
 func (m *MetricsSink) NetworkViolation(from, to int, tuples int64) { m.violations.Inc() }
+
+// MigrationStart, MigrationEnd and RebalanceRejected implement the optional
+// RebalanceSink extension: the adaptive load balancer's traffic.
+func (m *MetricsSink) MigrationStart(bucket, fromProc, toProc int, skew float64) {
+	m.rebLastSkew.Set(skew)
+}
+
+func (m *MetricsSink) MigrationEnd(bucket, fromProc, toProc, replayed int) {
+	m.rebMigrations.Inc()
+	m.rebReplayed.Add(int64(replayed))
+}
+
+func (m *MetricsSink) RebalanceRejected(bucket, fromProc, toProc int, reason string) {
+	m.rebRejected.Inc()
+}
 
 // PlanCompiled and DemandRewrite implement the optional PlanSink extension.
 func (m *MetricsSink) PlanCompiled(proc int, pred string, moved, pushdowns int) {

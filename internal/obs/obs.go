@@ -209,6 +209,46 @@ func SnapshotTaken(sink EventSink, epoch uint64, tuples int) {
 	}
 }
 
+// RebalanceSink is an optional extension of EventSink for the adaptive
+// load balancer: skew-triggered bucket migrations between live workers and
+// transferability rejections. Like the other optional extensions, sinks
+// that don't implement it simply miss the stream; emitters use the
+// nil-safe helpers below.
+type RebalanceSink interface {
+	// MigrationStart reports the coordinator beginning a live migration of
+	// bucket from worker fromProc to worker toProc; skew is the per-bucket
+	// load skew ratio (max/mean over the sampling window) that triggered
+	// it.
+	MigrationStart(bucket, fromProc, toProc int, skew float64)
+	// MigrationEnd closes the migration: replayed is the number of logged
+	// batches re-delivered to the new owner.
+	MigrationEnd(bucket, fromProc, toProc, replayed int)
+	// RebalanceRejected reports a candidate repartitioning failing the
+	// transferability check and being discarded instead of applied.
+	RebalanceRejected(bucket, fromProc, toProc int, reason string)
+}
+
+// MigrationStart forwards to sink if it implements RebalanceSink; nil-safe.
+func MigrationStart(sink EventSink, bucket, fromProc, toProc int, skew float64) {
+	if rs, ok := sink.(RebalanceSink); ok {
+		rs.MigrationStart(bucket, fromProc, toProc, skew)
+	}
+}
+
+// MigrationEnd forwards to sink if it implements RebalanceSink; nil-safe.
+func MigrationEnd(sink EventSink, bucket, fromProc, toProc, replayed int) {
+	if rs, ok := sink.(RebalanceSink); ok {
+		rs.MigrationEnd(bucket, fromProc, toProc, replayed)
+	}
+}
+
+// RebalanceRejected forwards to sink if it implements RebalanceSink; nil-safe.
+func RebalanceRejected(sink EventSink, bucket, fromProc, toProc int, reason string) {
+	if rs, ok := sink.(RebalanceSink); ok {
+		rs.RebalanceRejected(bucket, fromProc, toProc, reason)
+	}
+}
+
 // StoreSink is an optional extension of EventSink for the durable
 // storage tier: WAL appends, segment compactions and recovery. Like the
 // other optional extensions, sinks that don't implement it simply miss
@@ -436,6 +476,26 @@ func (f *fanout) ApplyEnd(inserted, deleted, overdeleted, rederived int, firings
 func (f *fanout) SnapshotTaken(epoch uint64, tuples int) {
 	for _, s := range f.sinks {
 		SnapshotTaken(s, epoch, tuples)
+	}
+}
+
+// The fanout forwards rebalance events to whichever of its sinks
+// implement RebalanceSink.
+func (f *fanout) MigrationStart(bucket, fromProc, toProc int, skew float64) {
+	for _, s := range f.sinks {
+		MigrationStart(s, bucket, fromProc, toProc, skew)
+	}
+}
+
+func (f *fanout) MigrationEnd(bucket, fromProc, toProc, replayed int) {
+	for _, s := range f.sinks {
+		MigrationEnd(s, bucket, fromProc, toProc, replayed)
+	}
+}
+
+func (f *fanout) RebalanceRejected(bucket, fromProc, toProc int, reason string) {
+	for _, s := range f.sinks {
+		RebalanceRejected(s, bucket, fromProc, toProc, reason)
 	}
 }
 

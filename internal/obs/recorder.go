@@ -35,6 +35,8 @@ type Event struct {
 	// processing produced it (0 for initialization sends).
 	Span   uint64 `json:"span,omitempty"`
 	Parent uint64 `json:"parent,omitempty"`
+	// Skew is the per-bucket load skew ratio that triggered a migration.
+	Skew float64 `json:"skew,omitempty"`
 }
 
 // Event kinds emitted by the engines.
@@ -64,6 +66,12 @@ const (
 	KindCreditStall     = "credit_stall"
 	KindMemoryPressure  = "memory_pressure"
 	KindBatchDropped    = "batch_dropped"
+
+	// Adaptive load-balancing kinds (distributed engine only; see
+	// RebalanceSink).
+	KindMigrationStart    = "migration_start"
+	KindMigrationEnd      = "migration_end"
+	KindRebalanceRejected = "rebalance_rejected"
 
 	// Causal-span kinds (distributed engine only; see SpanSink).
 	KindSpanSend   = "span_send"
@@ -118,6 +126,12 @@ func (e Event) String() string {
 		return fmt.Sprintf("memory_pressure used=%d budget=%d", e.N, e.Budget)
 	case KindBatchDropped:
 		return fmt.Sprintf("batch_dropped from=%d bucket=%d n=%d", e.Proc, e.Bucket, e.N)
+	case KindMigrationStart:
+		return fmt.Sprintf("migration_start bucket=%d from=%d to=%d skew=%.2f", e.Bucket, e.Proc, e.Peer, e.Skew)
+	case KindMigrationEnd:
+		return fmt.Sprintf("migration_end bucket=%d from=%d to=%d n=%d", e.Bucket, e.Proc, e.Peer, e.N)
+	case KindRebalanceRejected:
+		return fmt.Sprintf("rebalance_rejected bucket=%d from=%d to=%d reason=%s", e.Bucket, e.Proc, e.Peer, e.Reason)
 	case KindSpanSend:
 		return fmt.Sprintf("span_send from=%d to=%d pred=%s n=%d span=%x parent=%x", e.Proc, e.Peer, e.Pred, e.N, e.Span, e.Parent)
 	case KindSpanRecv:
@@ -232,6 +246,20 @@ func (r *Recorder) BatchDropped(fromProc, bucket, tuples int) {
 
 func (r *Recorder) NetworkViolation(from, to int, tuples int64) {
 	r.add(Event{Kind: KindNetworkViolation, Proc: from, Peer: to, N: tuples})
+}
+
+// The Recorder implements RebalanceSink: migration events appear inline in
+// the stream, giving the Chrome trace exporter its migration slices.
+func (r *Recorder) MigrationStart(bucket, fromProc, toProc int, skew float64) {
+	r.add(Event{Kind: KindMigrationStart, Bucket: bucket, Proc: fromProc, Peer: toProc, Skew: skew})
+}
+
+func (r *Recorder) MigrationEnd(bucket, fromProc, toProc, replayed int) {
+	r.add(Event{Kind: KindMigrationEnd, Bucket: bucket, Proc: fromProc, Peer: toProc, N: int64(replayed)})
+}
+
+func (r *Recorder) RebalanceRejected(bucket, fromProc, toProc int, reason string) {
+	r.add(Event{Kind: KindRebalanceRejected, Bucket: bucket, Proc: fromProc, Peer: toProc, Reason: reason})
 }
 
 // The Recorder implements SpanSink: span events appear inline in the

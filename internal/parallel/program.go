@@ -87,6 +87,25 @@ type Program struct {
 	facts map[string][][]ast.Value
 }
 
+// PinnedBuckets reports, per dense bucket index, whether that bucket's
+// compiled rule set carries restriction-set constraints (the h_i(seq)=i
+// processing guards of Section 3). A pinned bucket's rules only fire on
+// instances its own constraint admits, so a repartitioning may move the
+// bucket between hosts but never relabel it — the co-location condition the
+// rebalancer's transferability check enforces (network.CheckTransferable).
+func (p *Program) PinnedBuckets() []bool {
+	out := make([]bool, len(p.rules))
+	for wi, ws := range p.rules {
+		for _, cr := range ws {
+			if len(cr.rule.Constraints) > 0 {
+				out[wi] = true
+				break
+			}
+		}
+	}
+	return out
+}
+
 // ruleSpec is the scheme-independent description handed to build: one per
 // proper rule of the source program. If hFor is non-nil, worker i's copy of
 // the rule carries the constraint h_i(seq) = i, and base atoms containing

@@ -311,11 +311,35 @@ func evalDistributed(ctx context.Context, p *Program, edb Store, opts EvalOption
 	if opts.Topology != nil {
 		return nil, fmt.Errorf("parlog: EvalDistributed does not support topology restriction")
 	}
-	prog, err := compileParallel(p, opts)
+	// The compiled partition may be finer than the worker count: with
+	// opts.Buckets set, the program is compiled for that many hash
+	// buckets and dist.Run spreads them over opts.Workers processes.
+	copts := opts
+	if opts.Buckets > 0 {
+		if opts.Buckets < opts.Workers {
+			return nil, fmt.Errorf("parlog: Buckets (%d) must be at least Workers (%d)", opts.Buckets, opts.Workers)
+		}
+		copts.Workers = opts.Buckets
+	}
+	prog, err := compileParallel(p, copts)
 	if err != nil {
 		return nil, err
 	}
+	workers := 0
+	if opts.Buckets > 0 {
+		workers = opts.Workers
+	}
 	res, err := dist.Run(prog, edb, dist.Config{
+		Workers: workers,
+		Rebalance: dist.RebalanceConfig{
+			Enabled:       opts.Rebalance.Enabled,
+			SkewThreshold: opts.Rebalance.SkewThreshold,
+			Interval:      opts.Rebalance.Interval,
+			Window:        opts.Rebalance.Window,
+			Cooldown:      opts.Rebalance.Cooldown,
+			MaxMigrations: opts.Rebalance.MaxMigrations,
+			MinVolume:     opts.Rebalance.MinVolume,
+		},
 		WavePoll:           opts.PollInterval,
 		HeartbeatInterval:  opts.HeartbeatInterval,
 		WorkerDeadline:     opts.WorkerDeadline,

@@ -293,6 +293,14 @@ type EvalOptions struct {
 	// that, the run fails with an error wrapping ErrResourceExhausted.
 	// 0 means unlimited. EngineDistributed only.
 	MaxMemoryBytes int64
+	// Buckets compiles the program for this many hash buckets while
+	// Workers OS workers host them (bucket b starts on worker b mod
+	// Workers); 0 keeps one bucket per worker. More buckets than workers
+	// is what gives Rebalance moves to make. EngineDistributed only.
+	Buckets int
+	// Rebalance enables skew-triggered live migration of hot hash
+	// buckets between distributed workers. EngineDistributed only.
+	Rebalance RebalanceOptions
 
 	// Trace, when non-nil, receives the run's full event stream —
 	// iterations, rule firings, messages, busy/idle transitions and
@@ -343,6 +351,36 @@ type EvalOptions struct {
 	// sink stack sees the DemandRewrite event; unexported — only Query
 	// sets it.
 	demand *demandNote
+}
+
+// RebalanceOptions configures the distributed runtime's adaptive load
+// balancer (DESIGN §12). The coordinator samples per-bucket routed
+// volume into a sliding window; when max/mean skew crosses the threshold
+// it migrates the hottest bucket from the most-loaded worker to the
+// least-loaded one, live, through the checkpoint + send-log-replay
+// machinery — a reassignment is a recovery without a death, so the least
+// model (and the per-rule firing counts) are preserved exactly. A
+// candidate move that would violate the derived communication
+// constraints — in particular a bucket pinned by a rule's restriction
+// set — is rejected before anything migrates.
+type RebalanceOptions struct {
+	// Enabled turns the rebalancer on.
+	Enabled bool
+	// SkewThreshold triggers a migration when max bucket window load /
+	// mean bucket window load reaches it (default 2.0).
+	SkewThreshold float64
+	// Interval is the load-sampling period (default 10ms).
+	Interval time.Duration
+	// Window is the number of samples in the sliding window (default 3).
+	Window int
+	// Cooldown is the minimum gap between migration decisions,
+	// migrations and rejections alike (default 2×Interval).
+	Cooldown time.Duration
+	// MaxMigrations bounds migrations per run; 0 = unlimited.
+	MaxMigrations int
+	// MinVolume is the minimum tuples routed inside the window for the
+	// skew signal to be trusted (default 64).
+	MinVolume int64
 }
 
 // demandNote is the rewrite summary Query threads through eval.

@@ -7,6 +7,7 @@ import (
 	"os"
 	"strings"
 	"testing"
+	"time"
 
 	"parlog/internal/workload"
 )
@@ -302,6 +303,30 @@ anc(X, Y) :- par(X, Z), anc(Z, Y).
 		Workers: 2, Topology: NewTopology(nil),
 	}); err == nil {
 		t.Error("topology restriction accepted on the TCP transport")
+	}
+
+	// Finer partition than the worker count, with the rebalancer armed:
+	// 4 buckets on 2 workers must still reach the sequential model, and
+	// stats stay per bucket.
+	res, err = EvalDistributed(context.Background(), p, edb, EvalOptions{
+		Workers: 2, Buckets: 4,
+		Strategy: StrategyHashPartition,
+		VR:       []string{"Z"}, VE: []string{"X"},
+		Rebalance: RebalanceOptions{Enabled: true, Interval: time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !want["anc"].Equal(res.Output["anc"]) {
+		t.Error("EvalDistributed with Buckets>Workers differs from sequential")
+	}
+	if len(res.Stats.Procs) != 4 {
+		t.Errorf("stats for %d buckets, want 4", len(res.Stats.Procs))
+	}
+	if _, err := EvalDistributed(context.Background(), p, edb, EvalOptions{
+		Workers: 4, Buckets: 2,
+	}); err == nil {
+		t.Error("Buckets < Workers accepted")
 	}
 }
 

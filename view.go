@@ -227,6 +227,85 @@ func (v *View) Apply(d Delta) (*ApplyStats, error) {
 	}, nil
 }
 
+// ApplyBatch absorbs a sequence of deltas, coalescing adjacent ones into
+// as few maintenance fixpoints as possible. Applying N single-tuple deltas
+// one by one pays N counting/DRed passes; coalesced, the common case (a
+// stream of inserts, or deletes of unrelated tuples) collapses to one.
+//
+// Coalescing preserves the sequential semantics exactly: deltas d1 and d2
+// merge only when nothing d2 deletes is queued for insertion by d1 —
+// otherwise the merged batch (deletes before inserts) would resurrect a
+// tuple the sequence kills — and a delta that trips the condition flushes
+// the accumulated batch first. Each flushed batch is one Apply: one epoch,
+// one write-ahead-log record on a durable view, and concurrent Snapshot
+// calls may observe the intermediate epochs. The returned stats aggregate
+// all batches, with Iterations summing the semi-naive rounds actually run.
+// On error the already-flushed prefix stays applied; the view reports the
+// epoch it reached.
+func (v *View) ApplyBatch(ds ...Delta) (*ApplyStats, error) {
+	total := &ApplyStats{}
+	flush := func(d Delta) error {
+		if ins, del := d.size(); ins == 0 && del == 0 {
+			return nil
+		}
+		st, err := v.Apply(d)
+		if err != nil {
+			return err
+		}
+		total.Inserted += st.Inserted
+		total.Deleted += st.Deleted
+		total.Overdeleted += st.Overdeleted
+		total.Rederived += st.Rederived
+		total.Firings += st.Firings
+		total.Iterations += st.Iterations
+		total.Wall += st.Wall
+		return nil
+	}
+
+	acc := Delta{Insert: map[string][]Tuple{}, Delete: map[string][]Tuple{}}
+	queuedIns := map[string]bool{} // pred|tuple keys of acc's inserts
+	for _, d := range ds {
+		conflict := false
+		for pred, ts := range d.Delete {
+			for _, t := range ts {
+				if queuedIns[tupleKey(pred, t)] {
+					conflict = true
+					break
+				}
+			}
+			if conflict {
+				break
+			}
+		}
+		if conflict {
+			if err := flush(acc); err != nil {
+				return total, err
+			}
+			acc = Delta{Insert: map[string][]Tuple{}, Delete: map[string][]Tuple{}}
+			queuedIns = map[string]bool{}
+		}
+		for pred, ts := range d.Delete {
+			acc.Delete[pred] = append(acc.Delete[pred], ts...)
+		}
+		for pred, ts := range d.Insert {
+			acc.Insert[pred] = append(acc.Insert[pred], ts...)
+			for _, t := range ts {
+				queuedIns[tupleKey(pred, t)] = true
+			}
+		}
+	}
+	if err := flush(acc); err != nil {
+		return total, err
+	}
+	return total, nil
+}
+
+// tupleKey is a map key identifying one tuple of one predicate, for the
+// coalescing conflict check.
+func tupleKey(pred string, t Tuple) string {
+	return fmt.Sprintf("%s|%v", pred, t)
+}
+
 // Snapshot publishes an immutable view of the current model. Snapshots are
 // cheap — relations that saw no deletion share the writer's arenas
 // zero-copy, pinned at the current length — and cached per epoch, so

@@ -308,3 +308,86 @@ func TestViewRandomProgramsDifferential(t *testing.T) {
 		view.Close()
 	}
 }
+
+// TestApplyBatchCoalesces pins ApplyBatch's point: N single-tuple inserts
+// coalesce into one maintenance fixpoint (one epoch, one Apply's worth of
+// iterations) while reaching the exact model of N sequential Applies, and
+// a delete of a tuple queued for insertion forces a flush instead of
+// silently changing the sequence's meaning.
+func TestApplyBatchCoalesces(t *testing.T) {
+	ctx := context.Background()
+	src := `
+anc(X, Y) :- par(X, Y).
+anc(X, Y) :- par(X, Z), anc(Z, Y).
+`
+	const n = 10
+	chain := func() (*View, *Program) {
+		p := MustParse(src)
+		v, err := Open(ctx, p, Store{}, EvalOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v, p
+	}
+	edge := func(p *Program, i int) Delta {
+		return Delta{Insert: map[string][]Tuple{"par": {{p.Intern(fmt.Sprintf("v%d", i)), p.Intern(fmt.Sprintf("v%d", i+1))}}}}
+	}
+
+	// Sequential baseline: one fixpoint per tuple.
+	seqView, seqProg := chain()
+	defer seqView.Close()
+	seqIters := 0
+	for i := 0; i < n; i++ {
+		st, err := seqView.Apply(edge(seqProg, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqIters += st.Iterations
+	}
+	if seqView.Epoch() != n {
+		t.Fatalf("sequential epochs = %d, want %d", seqView.Epoch(), n)
+	}
+
+	// Batched: the same deltas coalesce into a single fixpoint.
+	batView, batProg := chain()
+	defer batView.Close()
+	var ds []Delta
+	for i := 0; i < n; i++ {
+		ds = append(ds, edge(batProg, i))
+	}
+	st, err := batView.ApplyBatch(ds...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batView.Epoch() != 1 {
+		t.Errorf("batched epochs = %d, want 1 (one coalesced fixpoint)", batView.Epoch())
+	}
+	if st.Iterations >= seqIters {
+		t.Errorf("batched iterations = %d, want fewer than sequential %d", st.Iterations, seqIters)
+	}
+
+	seqSnap, _ := seqView.Snapshot()
+	batSnap, _ := batView.Snapshot()
+	if sq, bt := seqSnap.Store()["anc"].Len(), batSnap.Store()["anc"].Len(); sq != bt || sq != n*(n+1)/2 {
+		t.Errorf("models disagree: sequential anc=%d batched anc=%d want %d", sq, bt, n*(n+1)/2)
+	}
+
+	// insert(x) ; delete(x) must flush: the sequence leaves x absent,
+	// which a single deletes-before-inserts batch would invert.
+	cView, cProg := chain()
+	defer cView.Close()
+	x, y := cProg.Intern("x"), cProg.Intern("y")
+	if _, err := cView.ApplyBatch(
+		Delta{Insert: map[string][]Tuple{"par": {{x, y}}}},
+		Delta{Delete: map[string][]Tuple{"par": {{x, y}}}},
+	); err != nil {
+		t.Fatal(err)
+	}
+	if cView.Epoch() != 2 {
+		t.Errorf("conflicting deltas coalesced: epochs = %d, want 2", cView.Epoch())
+	}
+	cSnap, _ := cView.Snapshot()
+	if got := cSnap.Store()["anc"].Len(); got != 0 {
+		t.Errorf("insert;delete left anc=%d, want 0", got)
+	}
+}
