@@ -27,6 +27,12 @@
 //     recorded critical-path speedup of rebalancing over static
 //     partitioning against -min-speedup; the per-mode kernels are shown
 //     against the baseline informationally.
+//   - -mode profile reads E22's BENCH_profile.json and gates the
+//     profile-on / profile-off wall-time ratio against
+//     -max-profile-overhead. The ratio is measured from interleaved
+//     repetitions of one process, so it survives machine-speed
+//     differences; the CI bound is still looser than E22's own full-mode
+//     ≤2% disabled-path self-gate, which runs on a quiet box.
 package main
 
 import (
@@ -68,7 +74,7 @@ func load(path string) (map[string]kernel, error) {
 
 func main() {
 	var (
-		mode      = flag.String("mode", "kernels", "document kind: kernels (E17/E18/E19/E20), parallel (E15), rebalance (E21)")
+		mode      = flag.String("mode", "kernels", "document kind: kernels (E17/E18/E19/E20), parallel (E15), rebalance (E21), profile (E22)")
 		benchPath = flag.String("bench", "BENCH_core.json", "fresh benchmark document (parallel mode: comma-separated repeats, judged on medians)")
 		basePath  = flag.String("baseline", "cmd/benchguard/baseline.json", "checked-in baseline document")
 		guarded   = flag.String("kernels", "insert,probe", "comma-separated kernels whose allocs/op gate the build")
@@ -77,6 +83,8 @@ func main() {
 
 		wallFactor = flag.Float64("max-wall-factor", 5, "parallel mode: catastrophic wall-time bound as a multiple of baseline")
 		minSpeedup = flag.Float64("min-speedup", 1.5, "rebalance mode: minimum critical-path speedup of rebalanced over static")
+
+		maxOverhead = flag.Float64("max-profile-overhead", 1.25, "profile mode: maximum profile-on / profile-off wall-time ratio")
 	)
 	flag.Parse()
 
@@ -87,9 +95,12 @@ func main() {
 	case "rebalance":
 		guardRebalance(*benchPath, *basePath, *minSpeedup)
 		return
+	case "profile":
+		guardProfile(*benchPath, *maxOverhead)
+		return
 	case "kernels":
 	default:
-		fatal(fmt.Errorf("unknown -mode %q (kernels, parallel, rebalance)", *mode))
+		fatal(fmt.Errorf("unknown -mode %q (kernels, parallel, rebalance, profile)", *mode))
 	}
 
 	fresh, err := load(*benchPath)
@@ -339,6 +350,48 @@ func guardRebalance(benchPath, basePath string, minSpeedup float64) {
 	if fresh.Speedup < minSpeedup {
 		fmt.Fprintf(os.Stderr, "benchguard: rebalancing critical-path speedup %.2fx is below the %.2fx gate\n",
 			fresh.Speedup, minSpeedup)
+		os.Exit(1)
+	}
+}
+
+// profileGuardDoc mirrors the fields of E22's BENCH_profile.json that the
+// gate reads.
+type profileGuardDoc struct {
+	Quick                bool    `json:"quick"`
+	Anc                  int     `json:"anc_tuples"`
+	Firings              int64   `json:"firings"`
+	ProfiledOverDisabled float64 `json:"profiled_over_disabled"`
+	DisabledOverCore     float64 `json:"disabled_over_core"`
+	Disabled             struct {
+		MedianWallNs int64 `json:"median_wall_ns"`
+	} `json:"disabled"`
+	Profiled struct {
+		MedianWallNs int64 `json:"median_wall_ns"`
+	} `json:"profiled"`
+}
+
+func guardProfile(benchPath string, maxOverhead float64) {
+	data, err := os.ReadFile(benchPath)
+	if err != nil {
+		fatal(err)
+	}
+	var d profileGuardDoc
+	if err := json.Unmarshal(data, &d); err != nil {
+		fatal(fmt.Errorf("%s: %w", benchPath, err))
+	}
+	if d.ProfiledOverDisabled <= 0 {
+		fatal(fmt.Errorf("%s records no profiled/disabled ratio", benchPath))
+	}
+	fmt.Printf("profile off median %8.2f ms, on median %8.2f ms (anc=%d firings=%d)\n",
+		float64(d.Disabled.MedianWallNs)/1e6, float64(d.Profiled.MedianWallNs)/1e6, d.Anc, d.Firings)
+	fmt.Printf("profiled/disabled: %.2fx, gate ≤ %.2fx\n", d.ProfiledOverDisabled, maxOverhead)
+	if d.DisabledOverCore > 0 {
+		fmt.Printf("disabled/core-reference: %.2fx (informational; E22 gates this at ≤1.02x in full mode)\n",
+			d.DisabledOverCore)
+	}
+	if d.ProfiledOverDisabled > maxOverhead {
+		fmt.Fprintf(os.Stderr, "benchguard: profiling overhead %.2fx exceeds the %.2fx gate\n",
+			d.ProfiledOverDisabled, maxOverhead)
 		os.Exit(1)
 	}
 }

@@ -22,6 +22,10 @@
 //	                left-to-right
 //	-explain        print the query plan (join orders, pushdowns, demand
 //	                rewrite) to stderr
+//	-profile        collect a runtime profile and print the EXPLAIN ANALYZE
+//	                section (per-rule firings, per-atom probe/match counts)
+//	                to stderr
+//	-log-json       emit diagnostic log lines as JSON objects
 //	-csv pred=path  load a base relation from a CSV file (repeatable)
 //	-i              interactive queries after evaluation
 //	-stats          print evaluation statistics to stderr
@@ -55,7 +59,13 @@ import (
 	"time"
 
 	"parlog"
+	"parlog/internal/logx"
 )
+
+// log carries the CLI's diagnostics; main swaps in the JSON handler when
+// -log-json is set. Report-style output (relations, stats, explain text,
+// the audit) stays on plain stderr/stdout — those are results, not logs.
+var log = logx.New(os.Stderr, false)
 
 func main() {
 	var (
@@ -70,6 +80,8 @@ func main() {
 		noDemand    = flag.Bool("no-demand", false, "disable the magic-sets rewrite for -query")
 		planner     = flag.String("planner", "boundness", "join-order planner: boundness | greedy | left-to-right")
 		explain     = flag.Bool("explain", false, "print the query plan to stderr")
+		profileF    = flag.Bool("profile", false, "collect a runtime profile and print the analyze section to stderr")
+		logJSON     = flag.Bool("log-json", false, "emit diagnostic log lines as JSON objects")
 		stats       = flag.Bool("stats", false, "print evaluation statistics to stderr")
 		interact    = flag.Bool("i", false, "after evaluating, read query patterns from stdin")
 		showRW      = flag.Bool("show-rewrite", false, "print each processor's rewritten program (Q_i/R_i/T_i) instead of evaluating")
@@ -85,6 +97,9 @@ func main() {
 	var csvs csvFlags
 	flag.Var(&csvs, "csv", "load a base relation from CSV: pred=path (repeatable)")
 	flag.Parse()
+	if *logJSON {
+		log = logx.New(os.Stderr, true)
+	}
 
 	// Interrupts cancel the evaluation and cut a -metrics-hold short, so
 	// ^C tears the endpoint down instead of orphaning it.
@@ -146,7 +161,7 @@ func main() {
 	}
 	if *metricsAddr != "" {
 		telemetry.TelemetryReady = func(addr string) {
-			fmt.Fprintf(os.Stderr, "datalog: serving metrics on http://%s/metrics\n", addr)
+			log.Info("serving metrics", "addr", "http://"+addr+"/metrics")
 		}
 	}
 
@@ -154,8 +169,9 @@ func main() {
 		o := telemetry
 		o.Naive, o.Trace, o.Metrics = *naive, traceSink(rec), *metrics
 		o.Planner, o.Explain, o.NoDemand = plannerOf(*planner), *explain, *noDemand
+		o.Profile = *profileF
 		if *query != "" {
-			runQuery(ctx, prog, edb, *query, o, *explain, *stats)
+			runQuery(ctx, prog, edb, *query, o, *explain || *profileF, *stats)
 			writeTrace(rec, *traceOut)
 			writeChrome(rec, *chromeOut)
 			return
@@ -166,7 +182,7 @@ func main() {
 		}
 		store, st := seqRes.Output, seqRes.SeqStats
 		printResult(prog, store, show)
-		if *explain {
+		if *explain || *profileF {
 			fmt.Fprint(os.Stderr, seqRes.Explain())
 		}
 		if *stats {
@@ -191,13 +207,14 @@ func main() {
 	opts.Metrics = *metrics
 	opts.Planner = plannerOf(*planner)
 	opts.Explain = *explain
+	opts.Profile = *profileF
 	opts.NoDemand = *noDemand
 	opts.Engine = parlog.EngineParallel
 	if *dist {
 		opts.Engine = parlog.EngineDistributed
 	}
 	if *query != "" {
-		runQuery(ctx, prog, edb, *query, opts, *explain, *stats)
+		runQuery(ctx, prog, edb, *query, opts, *explain || *profileF, *stats)
 		writeTrace(rec, *traceOut)
 		writeChrome(rec, *chromeOut)
 		return
@@ -220,6 +237,9 @@ func main() {
 		fatal(err)
 	}
 	printResult(prog, res.Output, show)
+	if *explain || *profileF {
+		fmt.Fprint(os.Stderr, res.Explain())
+	}
 	if *stats {
 		fmt.Fprint(os.Stderr, res.Stats.String())
 	}
@@ -471,6 +491,6 @@ func splitList(s string) []string {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "datalog:", err)
+	log.Error("fatal", "err", err.Error())
 	os.Exit(1)
 }

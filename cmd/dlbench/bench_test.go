@@ -21,6 +21,7 @@ func TestMain(m *testing.M) {
 	ivmOut = filepath.Join(dir, "BENCH_ivm.json")
 	durOut = filepath.Join(dir, "BENCH_durability.json")
 	rebalanceOut = filepath.Join(dir, "BENCH_rebalance.json")
+	profileOut = filepath.Join(dir, "BENCH_profile.json")
 	code := m.Run()
 	os.RemoveAll(dir)
 	os.Exit(code)
@@ -176,6 +177,39 @@ func TestDurabilityJSON(t *testing.T) {
 	}
 	if doc.AlwaysOverNever <= 0 {
 		t.Errorf("fsync_always_over_never = %v, want > 0", doc.AlwaysOverNever)
+	}
+}
+
+// TestProfileJSON checks the document E22 writes: both sides measured with
+// the configured repetition count, model and firing totals recorded, and
+// the on/off ratio present. Exactness of the profiled runs (profile totals
+// equal to engine statistics, identical models) is asserted inside runE22
+// itself — an error there would have failed the run.
+func TestProfileJSON(t *testing.T) {
+	if err := runE22(true); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(profileOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc profileDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	for _, side := range []profileSide{doc.Disabled, doc.Profiled} {
+		if len(side.WallNs) != side.Reps || side.Reps == 0 {
+			t.Errorf("%s: %d samples over %d reps", side.Name, len(side.WallNs), side.Reps)
+		}
+		if side.MedianWallNs <= 0 {
+			t.Errorf("%s: median %d ns", side.Name, side.MedianWallNs)
+		}
+	}
+	if doc.Anc == 0 || doc.Firings == 0 {
+		t.Errorf("degenerate document: anc=%d firings=%d", doc.Anc, doc.Firings)
+	}
+	if doc.ProfiledOverDisabled <= 0 {
+		t.Errorf("profiled_over_disabled = %v, want > 0", doc.ProfiledOverDisabled)
 	}
 }
 

@@ -42,6 +42,11 @@
 //	    mid-migration worker kill; self-gates on a ≥1.5x critical-path
 //	    (max per-worker busy time) improvement and model/firing equality;
 //	    written to BENCH_rebalance.json (see -rebalance-out)
+//	E22 runtime profiler overhead: interleaved profile-off / profile-on
+//	    repetitions of E17's 4-worker Example 3 end-to-end run; medians,
+//	    the on/off ratio and (full mode) a ≤2% disabled-path self-gate
+//	    against BENCH_core.json are written to BENCH_profile.json (see
+//	    -profile-out)
 //
 // Usage: dlbench [-experiment E5] [-quick] [-bench-out BENCH_parallel.json]
 package main
@@ -86,11 +91,12 @@ var experiments = []experiment{
 	{"E19", "Incremental maintenance — counting/DRed deltas vs refixpoint to BENCH_ivm.json", runE19},
 	{"E20", "Durable storage — fsync-policy WAL tax + cold start vs recompute to BENCH_durability.json", runE20},
 	{"E21", "Adaptive rebalancing — skew-triggered hot-bucket migration to BENCH_rebalance.json", runE21},
+	{"E22", "Runtime profiler — profile-on vs profile-off Example 3 to BENCH_profile.json", runE22},
 }
 
 func main() {
 	var (
-		which = flag.String("experiment", "all", "experiment id (E1..E21) or 'all'")
+		which = flag.String("experiment", "all", "experiment id (E1..E22) or 'all'")
 		quick = flag.Bool("quick", false, "smaller workloads for a fast pass")
 
 		metricsAddr = flag.String("metrics-addr", "", "serve a process-level metrics endpoint while experiments run")
@@ -103,6 +109,7 @@ func main() {
 	flag.StringVar(&ivmOut, "ivm-out", ivmOut, "output path of E19's JSON benchmark document")
 	flag.StringVar(&durOut, "durability-out", durOut, "output path of E20's JSON benchmark document")
 	flag.StringVar(&rebalanceOut, "rebalance-out", rebalanceOut, "output path of E21's JSON benchmark document")
+	flag.StringVar(&profileOut, "profile-out", profileOut, "output path of E22's JSON benchmark document")
 	flag.Parse()
 
 	if *metricsAddr != "" {

@@ -1,0 +1,218 @@
+package main
+
+// E22 — runtime-profiler overhead on the Example 3 end-to-end run.
+//
+// The profiler's contract is two-sided: with RunConfig.Profile off the
+// engines must not pay for it (every counter sits behind a nil check on a
+// per-plan pointer), and with it on the analyze pass must stay cheap enough
+// to leave enabled in production servers. E22 measures both sides on the
+// same 4-worker Example 3 run E17 uses for its end-to-end number:
+// interleaved repetitions alternate a profile-off and a profile-on run,
+// medians absorb scheduler outliers, and the ratio of the two medians is
+// the profiler's measured cost. Each profiled repetition also re-proves
+// exactness: the merged profile's firing total must equal the engine's own
+// statistics, and the output model must match the unprofiled run's.
+//
+// In full (non-quick) mode the experiment self-gates the disabled path
+// against E17's recorded end-to-end wall time in BENCH_core.json: a
+// profile-off run is the same code path E17 measured, so its median may
+// not exceed that reference by more than 2%. The gate is skipped (with a
+// note) when BENCH_core.json is missing or was produced by a -quick run,
+// since those wall times are not comparable. CI gates the written document
+// with cmd/benchguard -mode profile instead, using a looser bound — wall
+// ratios from one interleaved process are robust, but CI machines still
+// jitter more than a dedicated box.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"parlog/internal/analysis"
+	"parlog/internal/hashpart"
+	"parlog/internal/parallel"
+	"parlog/internal/relation"
+	"parlog/internal/rewrite"
+	"parlog/internal/workload"
+)
+
+// profileOut is where runE22 writes its JSON document; the -profile-out
+// flag overrides it.
+var profileOut = "BENCH_profile.json"
+
+// profileOverheadGate is the full-mode self-gate: the profile-off median
+// may exceed the BENCH_core.json end-to-end reference by at most this
+// fraction.
+const profileOverheadGate = 0.02
+
+// profileSide is one measured configuration (profile off or on).
+type profileSide struct {
+	Name         string  `json:"name"`
+	Reps         int     `json:"reps"`
+	MedianWallNs int64   `json:"median_wall_ns"`
+	WallNs       []int64 `json:"wall_ns"`
+}
+
+// profileDoc is the top-level shape of BENCH_profile.json.
+type profileDoc struct {
+	Benchmark string      `json:"benchmark"`
+	Quick     bool        `json:"quick"`
+	Workers   int         `json:"workers"`
+	Anc       int         `json:"anc_tuples"`
+	Firings   int64       `json:"firings"`
+	Disabled  profileSide `json:"disabled"`
+	Profiled  profileSide `json:"profiled"`
+	// ProfiledOverDisabled is the cost of turning the profiler on: the
+	// ratio of the two medians from the same interleaved process.
+	ProfiledOverDisabled float64 `json:"profiled_over_disabled"`
+	// DisabledOverCore compares the profile-off median against the
+	// end-to-end wall time recorded in BENCH_core.json; zero when the
+	// reference was unavailable or not comparable.
+	DisabledOverCore float64 `json:"disabled_over_core,omitempty"`
+	CoreRef          string  `json:"core_ref,omitempty"`
+}
+
+func medianNs(ns []int64) int64 {
+	s := append([]int64(nil), ns...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[len(s)/2]
+}
+
+func runE22(quick bool) error {
+	nodes, edges, reps := 120, 480, 9
+	if quick {
+		nodes, edges, reps = 40, 160, 5
+	}
+	par := workload.RandomGraph(nodes, edges, 7)
+	edb := relation.Store{"par": par}
+	s, err := analysis.ExtractSirup(workload.AncestorProgram())
+	if err != nil {
+		return err
+	}
+	p, err := parallel.BuildQ(s, rewrite.SirupSpec{
+		Procs: hashpart.RangeProcs(4),
+		VR:    []string{"Z"}, VE: []string{"X"},
+		H: hashpart.ModHash{N: 4},
+	})
+	if err != nil {
+		return err
+	}
+
+	run := func(profile bool) (*parallel.Result, int64, error) {
+		start := time.Now()
+		res, err := parallel.Run(p, edb, parallel.RunConfig{Profile: profile})
+		return res, time.Since(start).Nanoseconds(), err
+	}
+
+	// One unmeasured warm-up per side settles one-time costs (index builds,
+	// runtime pools) before any repetition is timed.
+	ref, _, err := run(false)
+	if err != nil {
+		return err
+	}
+	if _, _, err := run(true); err != nil {
+		return err
+	}
+	wantAnc := ref.Output["anc"].Len()
+	wantFirings := ref.Stats.TotalFirings()
+
+	doc := profileDoc{
+		Benchmark: "profile-overhead", Quick: quick, Workers: 4,
+		Anc: wantAnc, Firings: wantFirings,
+		Disabled: profileSide{Name: "ex3-4workers-off", Reps: reps},
+		Profiled: profileSide{Name: "ex3-4workers-on", Reps: reps},
+	}
+
+	for r := 0; r < reps; r++ {
+		// Alternate which side goes first so slow drift (thermal, GC
+		// pacing) cancels instead of biasing one side.
+		order := []bool{false, true}
+		if r%2 == 1 {
+			order = []bool{true, false}
+		}
+		for _, profile := range order {
+			res, wall, err := run(profile)
+			if err != nil {
+				return err
+			}
+			if got := res.Output["anc"].Len(); got != wantAnc {
+				return fmt.Errorf("rep %d profile=%v: %d anc tuples, want %d", r, profile, got, wantAnc)
+			}
+			if got := res.Stats.TotalFirings(); got != wantFirings {
+				return fmt.Errorf("rep %d profile=%v: %d firings, want %d", r, profile, got, wantFirings)
+			}
+			if !profile {
+				if res.Profile != nil {
+					return fmt.Errorf("rep %d: Result.Profile non-nil with profiling off", r)
+				}
+				doc.Disabled.WallNs = append(doc.Disabled.WallNs, wall)
+				continue
+			}
+			if res.Profile == nil {
+				return fmt.Errorf("rep %d: Result.Profile nil with profiling on", r)
+			}
+			if got := res.Profile.TotalFirings(); got != wantFirings {
+				return fmt.Errorf("rep %d: profile sums %d firings, stats say %d", r, got, wantFirings)
+			}
+			doc.Profiled.WallNs = append(doc.Profiled.WallNs, wall)
+		}
+	}
+	doc.Disabled.MedianWallNs = medianNs(doc.Disabled.WallNs)
+	doc.Profiled.MedianWallNs = medianNs(doc.Profiled.WallNs)
+	doc.ProfiledOverDisabled = round2(float64(doc.Profiled.MedianWallNs) / float64(doc.Disabled.MedianWallNs))
+
+	fmt.Printf("%-18s reps=%d median %8.2f ms\n", doc.Disabled.Name, reps, float64(doc.Disabled.MedianWallNs)/1e6)
+	fmt.Printf("%-18s reps=%d median %8.2f ms\n", doc.Profiled.Name, reps, float64(doc.Profiled.MedianWallNs)/1e6)
+	fmt.Printf("profiled/disabled: %.2fx (anc=%d firings=%d)\n", doc.ProfiledOverDisabled, wantAnc, wantFirings)
+
+	// Self-gate the disabled path against E17's recorded end-to-end wall
+	// time, when a comparable document is on disk.
+	if core, err := loadCoreRef(coreOut); err != nil {
+		fmt.Printf("disabled-path gate skipped: %v\n", err)
+	} else if core.Quick != quick {
+		fmt.Printf("disabled-path gate skipped: %s was a quick=%v run, this is quick=%v\n", coreOut, core.Quick, quick)
+	} else if core.E2E.WallNs <= 0 {
+		fmt.Printf("disabled-path gate skipped: %s records no end-to-end wall time\n", coreOut)
+	} else {
+		ratio := float64(doc.Disabled.MedianWallNs) / float64(core.E2E.WallNs)
+		doc.DisabledOverCore = round2(ratio)
+		doc.CoreRef = coreOut
+		fmt.Printf("disabled/core-reference: %.2fx (reference %.2f ms from %s)\n",
+			ratio, float64(core.E2E.WallNs)/1e6, coreOut)
+		if !quick && ratio > 1+profileOverheadGate {
+			return fmt.Errorf("disabled-path median %.2f ms exceeds the %s reference %.2f ms by more than %.0f%%",
+				float64(doc.Disabled.MedianWallNs)/1e6, coreOut, float64(core.E2E.WallNs)/1e6, profileOverheadGate*100)
+		}
+	}
+
+	f, err := os.Create(profileOut)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", profileOut)
+	return nil
+}
+
+// loadCoreRef reads just the fields of BENCH_core.json the gate needs.
+func loadCoreRef(path string) (*coreDoc, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var d coreDoc
+	if err := json.Unmarshal(data, &d); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &d, nil
+}

@@ -48,6 +48,7 @@ import (
 	"parlog/internal/ast"
 	"parlog/internal/dist"
 	"parlog/internal/hashpart"
+	"parlog/internal/logx"
 	"parlog/internal/metrics"
 	"parlog/internal/obs"
 	"parlog/internal/parallel"
@@ -55,6 +56,11 @@ import (
 	"parlog/internal/relation"
 	"parlog/internal/rewrite"
 )
+
+// log carries the process diagnostics; main swaps in the JSON handler when
+// -log-json is set. Derived relations stay on stdout and the profile text
+// on raw stderr — results, not log lines.
+var log = logx.New(os.Stderr, false)
 
 func main() {
 	var (
@@ -88,8 +94,13 @@ func main() {
 		metricsAddr = flag.String("metrics-addr", "", "serve live Prometheus metrics (plus /debug/parlog JSON) on this address")
 		pprofF      = flag.Bool("pprof", false, "mount net/http/pprof on the -metrics-addr server")
 		metricsHold = flag.Duration("metrics-hold", 0, "keep the metrics endpoint alive this long after the run ends")
+		profileF    = flag.Bool("profile", false, "coordinator: collect per-rule runtime profiles from the workers and print the analyze text to stderr")
+		logJSON     = flag.Bool("log-json", false, "emit diagnostic log lines as JSON objects")
 	)
 	flag.Parse()
+	if *logJSON {
+		log = logx.New(os.Stderr, true)
+	}
 
 	// SIGINT/SIGTERM cancel the run and cut any -metrics-hold short, so
 	// both roles shut down gracefully instead of dying mid-protocol.
@@ -112,7 +123,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "dldist: serving metrics on http://%s/metrics\n", srv.Addr())
+		log.Info("serving metrics", "addr", "http://"+srv.Addr()+"/metrics")
 		closeTelemetry = func() {
 			if *metricsHold > 0 {
 				hold := time.NewTimer(*metricsHold)
@@ -194,13 +205,14 @@ func main() {
 			MaxQueueBytes:      *maxQueue,
 			MaxMemoryBytes:     *maxMemory,
 			ProcIDs:            compiled.Procs.IDs(),
+			Profile:            *profileF,
 			Ctx:                ctx,
 			Sink:               sink,
 		}, compiled.IDB)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "dldist: coordinating %d workers on %s\n", *workers, c.Addr())
+		log.Info("coordinating", "workers", *workers, "addr", c.Addr())
 		res, err := c.Wait()
 		if err != nil {
 			fatal(err)
@@ -226,21 +238,28 @@ func main() {
 			firings += ps.Firings
 			sent += ps.TuplesSent
 		}
-		fmt.Fprintf(os.Stderr, "dldist: done in %v; firings=%d tuples-sent=%d\n", res.Wall, firings, sent)
+		log.Info("done", "wall", res.Wall, "firings", firings, "tuples_sent", sent)
+		if res.Profile != nil {
+			fmt.Fprint(os.Stderr, res.Profile.String())
+		}
 		if res.Checkpoints > 0 || res.TruncatedBatches > 0 {
-			fmt.Fprintf(os.Stderr, "dldist: %d checkpoints accepted, %d logged batches truncated, peak queue %d bytes\n",
-				res.Checkpoints, res.TruncatedBatches, res.PeakQueueBytes)
+			log.Info("durability summary",
+				"checkpoints", res.Checkpoints,
+				"truncated_batches", res.TruncatedBatches,
+				"peak_queue_bytes", res.PeakQueueBytes)
 		}
 		for _, rec := range res.Recoveries {
-			fmt.Fprintf(os.Stderr, "dldist: recovered bucket %d from worker %d on worker %d (%d batches replayed, %d covered by checkpoint)\n",
-				rec.Bucket, rec.FromWorker, rec.ToWorker, rec.Replayed, rec.Truncated)
+			log.Info("recovered bucket",
+				"bucket", rec.Bucket, "from_worker", rec.FromWorker, "to_worker", rec.ToWorker,
+				"replayed", rec.Replayed, "covered_by_checkpoint", rec.Truncated)
 		}
 		for _, mig := range res.Migrations {
-			fmt.Fprintf(os.Stderr, "dldist: migrated hot bucket %d from worker %d to worker %d at skew %.2f (%d batches replayed)\n",
-				mig.Bucket, mig.FromWorker, mig.ToWorker, mig.Skew, mig.Replayed)
+			log.Info("migrated hot bucket",
+				"bucket", mig.Bucket, "from_worker", mig.FromWorker, "to_worker", mig.ToWorker,
+				"skew", mig.Skew, "replayed", mig.Replayed)
 		}
 		if res.RebalanceRejected > 0 {
-			fmt.Fprintf(os.Stderr, "dldist: %d candidate repartitionings rejected by the transferability check\n", res.RebalanceRejected)
+			log.Info("repartitionings rejected", "count", res.RebalanceRejected)
 		}
 	case "worker":
 		if *coord == "" || *index < 0 || *index >= *workers {
@@ -330,6 +349,6 @@ func splitList(s string) []string {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "dldist:", err)
+	log.Error("fatal", "err", err.Error())
 	os.Exit(1)
 }

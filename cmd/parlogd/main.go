@@ -18,12 +18,16 @@
 //	POST /apply   JSON {"insert": {"par": [["a","b"]]}, "delete": {...}}
 //	              with constant names; responds with the maintenance stats
 //	GET  /query   ?goal=anc(a,X) — answers from the current snapshot
-//	GET  /stats   epoch, bucket-load skew and rebalance gauges, plus the
-//	              aggregate telemetry snapshot
-//	GET  /metrics Prometheus text exposition (parlog_ivm_* instruments)
+//	GET  /stats   epoch, bucket-load skew and rebalance gauges, query/apply
+//	              latency quantiles, plus the aggregate telemetry snapshot
+//	GET  /metrics Prometheus text exposition (parlog_ivm_* instruments plus
+//	              the parlog_query_seconds/parlog_apply_seconds histograms)
+//	GET  /debug/queries last-N slow queries (threshold set by -slow-query)
 //	GET  /debug/parlog JSON metrics snapshot (with -pprof: /debug/pprof/)
 //
-// SIGINT/SIGTERM shut the server down gracefully.
+// Log lines go to stderr as structured key=value text, or as JSON objects
+// with -log-json; every HTTP request is logged with method, path, status,
+// duration and bytes. SIGINT/SIGTERM shut the server down gracefully.
 package main
 
 import (
@@ -33,14 +37,18 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
+	"math"
 	"net/http"
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
 	"parlog"
+	"parlog/internal/logx"
 	"parlog/internal/metrics"
 	"parlog/internal/obs"
 )
@@ -54,6 +62,10 @@ type serverConfig struct {
 	fsyncEvery   time.Duration // pacing for -fsync interval
 	compactEvery int           // WAL applies between segment snapshots (0: default)
 	maxBody      int64         // /apply request body cap in bytes
+	logJSON      bool          // JSON log lines instead of key=value text
+	profile      bool          // per-query runtime profiles (slow-query log entries carry the analyze text)
+	slowQuery    time.Duration // queries at least this slow enter /debug/queries; 0 disables
+	slowLogSize  int           // ring-buffer capacity of /debug/queries
 }
 
 func main() {
@@ -65,6 +77,10 @@ func main() {
 	flag.DurationVar(&cfg.fsyncEvery, "fsync-every", 0, "flush pacing for -fsync interval (default 100ms)")
 	flag.IntVar(&cfg.compactEvery, "compact-every", 0, "WAL applies between segment snapshots (0: library default)")
 	flag.Int64Var(&cfg.maxBody, "max-body", 64<<20, "largest accepted /apply request body in bytes")
+	flag.BoolVar(&cfg.logJSON, "log-json", false, "emit log lines as JSON objects instead of key=value text")
+	flag.BoolVar(&cfg.profile, "profile", false, "collect per-query runtime profiles; slow-query log entries include the analyze text")
+	flag.DurationVar(&cfg.slowQuery, "slow-query", 0, "log queries at least this slow to /debug/queries (0 disables)")
+	flag.IntVar(&cfg.slowLogSize, "slow-log-size", 32, "slow-query ring buffer capacity")
 	flag.Parse()
 	if err := run(cfg, flag.Args(), os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "parlogd:", err)
@@ -81,16 +97,16 @@ func run(cfg serverConfig, paths []string, logw io.Writer) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	d, srv, err := start(ctx, cfg, src)
+	log := logx.New(logw, cfg.logJSON)
+	d, srv, err := start(ctx, cfg, src, log)
 	if err != nil {
 		return err
 	}
 	defer d.view.Close()
-	fmt.Fprintf(logw, "parlogd: serving on http://%s (program: %d derived predicates)\n",
-		srv.Addr(), len(d.prog.IDB()))
+	log.Info("serving", "addr", "http://"+srv.Addr(), "derived_predicates", len(d.prog.IDB()))
 
 	<-ctx.Done()
-	fmt.Fprintln(logw, "parlogd: shutting down")
+	log.Info("shutting down")
 	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	return srv.Close(shutCtx)
@@ -100,7 +116,7 @@ func run(cfg serverConfig, paths []string, logw io.Writer) error {
 // run. The view's telemetry and the HTTP endpoints share one registry and
 // one server, so /apply and /metrics live side by side: the counting sink
 // feeds /stats, the metrics sink feeds the Prometheus exposition.
-func start(ctx context.Context, cfg serverConfig, src string) (*daemon, *metrics.Server, error) {
+func start(ctx context.Context, cfg serverConfig, src string, log *slog.Logger) (*daemon, *metrics.Server, error) {
 	prog, err := parlog.Parse(src)
 	if err != nil {
 		return nil, nil, err
@@ -109,7 +125,7 @@ func start(ctx context.Context, cfg serverConfig, src string) (*daemon, *metrics
 	counting := obs.NewCounting()
 	sink := obs.Fanout(counting, obs.NewMetricsSink(reg))
 
-	opts := parlog.EvalOptions{Trace: sink}
+	opts := parlog.EvalOptions{Trace: sink, Profile: cfg.profile}
 	if cfg.dir != "" {
 		opts.Dir = cfg.dir
 		opts.Durability.CompactEvery = cfg.compactEvery
@@ -142,15 +158,34 @@ func start(ctx context.Context, cfg serverConfig, src string) (*daemon, *metrics
 		return nil, nil, err
 	}
 
-	d := &daemon{prog: prog, view: view, counting: counting, reg: reg, maxBody: cfg.maxBody}
+	if cfg.slowLogSize <= 0 {
+		cfg.slowLogSize = 32
+	}
+	// Sub-millisecond queries are the norm on warm snapshots; the buckets
+	// start at 10µs and double up to ~5s so both tails resolve.
+	latencyBounds := metrics.ExpBuckets(1e-5, 2, 20)
+	d := &daemon{
+		prog: prog, view: view, counting: counting, reg: reg,
+		maxBody:   cfg.maxBody,
+		log:       log,
+		queryHist: reg.Histogram("parlog_query_seconds", "Wall time of /query requests (snapshot + evaluation + drain).", latencyBounds),
+		applyHist: reg.Histogram("parlog_apply_seconds", "Wall time of View.Apply per /apply request.", latencyBounds),
+		slowQuery: cfg.slowQuery,
+		slowLog:   &slowLog{cap: cfg.slowLogSize},
+	}
+	extra := map[string]http.Handler{
+		"/apply":         http.HandlerFunc(d.handleApply),
+		"/query":         http.HandlerFunc(d.handleQuery),
+		"/stats":         http.HandlerFunc(d.handleStats),
+		"/debug/queries": http.HandlerFunc(d.handleSlowQueries),
+	}
+	for path, h := range extra {
+		extra[path] = logx.AccessLog(log, h)
+	}
 	srv, err := metrics.NewServer(cfg.addr, reg, metrics.ServerOptions{
 		Pprof: cfg.pprof,
 		Debug: func() any { return counting.Snapshot() },
-		Extra: map[string]http.Handler{
-			"/apply": http.HandlerFunc(d.handleApply),
-			"/query": http.HandlerFunc(d.handleQuery),
-			"/stats": http.HandlerFunc(d.handleStats),
-		},
+		Extra: extra,
 		// An /apply body may be large; give the whole request a minute
 		// while ReadHeaderTimeout still cuts idle connections at 5s.
 		ReadTimeout: time.Minute,
@@ -165,11 +200,56 @@ func start(ctx context.Context, cfg serverConfig, src string) (*daemon, *metrics
 // daemon holds the served view. The View serializes Apply itself and
 // snapshots are immutable, so the handlers need no extra locking.
 type daemon struct {
-	prog     *parlog.Program
-	view     *parlog.View
-	counting *obs.Counting
-	reg      *metrics.Registry
-	maxBody  int64
+	prog      *parlog.Program
+	view      *parlog.View
+	counting  *obs.Counting
+	reg       *metrics.Registry
+	maxBody   int64
+	log       *slog.Logger
+	queryHist *metrics.Histogram
+	applyHist *metrics.Histogram
+	slowQuery time.Duration // threshold for the slow-query ring; 0 disables
+	slowLog   *slowLog
+}
+
+// slowQueryEntry is one /debug/queries record. Profile carries the analyze
+// text when the server runs with -profile, so a slow query's join behavior
+// is inspectable after the fact.
+type slowQueryEntry struct {
+	Goal    string    `json:"goal"`
+	Epoch   uint64    `json:"epoch"`
+	Seconds float64   `json:"seconds"`
+	Answers int       `json:"answers"`
+	At      time.Time `json:"at"`
+	Profile string    `json:"profile,omitempty"`
+}
+
+// slowLog is a bounded ring of the most recent slow queries, newest last.
+type slowLog struct {
+	mu      sync.Mutex
+	cap     int
+	entries []slowQueryEntry
+	start   int // ring head once full
+}
+
+func (s *slowLog) add(e slowQueryEntry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.entries) < s.cap {
+		s.entries = append(s.entries, e)
+		return
+	}
+	s.entries[s.start] = e
+	s.start = (s.start + 1) % s.cap
+}
+
+func (s *slowLog) snapshot() []slowQueryEntry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]slowQueryEntry, 0, len(s.entries))
+	out = append(out, s.entries[s.start:]...)
+	out = append(out, s.entries[:s.start]...)
+	return out
 }
 
 // applyRequest is the wire form of a delta: tuples of constant names.
@@ -198,7 +278,9 @@ func (d *daemon) handleApply(w http.ResponseWriter, r *http.Request) {
 		Insert: d.intern(req.Insert),
 		Delete: d.intern(req.Delete),
 	}
+	begin := time.Now()
 	st, err := d.view.Apply(delta)
+	d.applyHist.Observe(time.Since(begin).Seconds())
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
 		return
@@ -233,6 +315,7 @@ func (d *daemon) handleQuery(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "missing ?goal=", http.StatusBadRequest)
 		return
 	}
+	begin := time.Now()
 	snap, err := d.view.Snapshot()
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
@@ -258,6 +341,26 @@ func (d *daemon) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if err := qr.Err(); err != nil {
 		http.Error(w, err.Error(), http.StatusRequestTimeout)
 		return
+	}
+	elapsed := time.Since(begin)
+	d.queryHist.Observe(elapsed.Seconds())
+	if d.slowQuery > 0 && elapsed >= d.slowQuery {
+		e := slowQueryEntry{
+			Goal:    goal,
+			Epoch:   snap.Epoch(),
+			Seconds: elapsed.Seconds(),
+			Answers: len(answers),
+			At:      time.Now().UTC(),
+		}
+		if qr.Result.Profile != nil {
+			e.Profile = qr.Explain()
+		}
+		d.slowLog.add(e)
+		d.log.Info("slow query",
+			slog.String("goal", goal),
+			slog.Duration("duration", elapsed),
+			slog.Int("answers", len(answers)),
+		)
 	}
 	writeJSON(w, struct {
 		Pred    string     `json:"pred"`
@@ -303,13 +406,58 @@ func (d *daemon) loadStats() loadStats {
 	return ls
 }
 
+// latencyStats is the /stats latency block: request counts plus p50/p95/p99
+// for the query and apply histograms, in seconds.
+type latencyStats struct {
+	QueryCount int64   `json:"query_count"`
+	QueryP50   float64 `json:"query_p50_seconds"`
+	QueryP95   float64 `json:"query_p95_seconds"`
+	QueryP99   float64 `json:"query_p99_seconds"`
+	ApplyCount int64   `json:"apply_count"`
+	ApplyP50   float64 `json:"apply_p50_seconds"`
+	ApplyP95   float64 `json:"apply_p95_seconds"`
+	ApplyP99   float64 `json:"apply_p99_seconds"`
+}
+
+// quantile reads q off a histogram, mapping the empty-histogram NaN to 0 —
+// encoding/json refuses NaN and a fresh server has seen no requests yet.
+func quantile(h *metrics.Histogram, q float64) float64 {
+	v := h.Snap().Quantile(q)
+	if math.IsNaN(v) {
+		return 0
+	}
+	return v
+}
+
+func (d *daemon) latencyStats() latencyStats {
+	return latencyStats{
+		QueryCount: d.queryHist.Snap().Count,
+		QueryP50:   quantile(d.queryHist, 0.50),
+		QueryP95:   quantile(d.queryHist, 0.95),
+		QueryP99:   quantile(d.queryHist, 0.99),
+		ApplyCount: d.applyHist.Snap().Count,
+		ApplyP50:   quantile(d.applyHist, 0.50),
+		ApplyP95:   quantile(d.applyHist, 0.95),
+		ApplyP99:   quantile(d.applyHist, 0.99),
+	}
+}
+
 func (d *daemon) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, struct {
 		Epoch      uint64                  `json:"epoch"`
 		Durability *parlog.DurabilityStats `json:"durability,omitempty"`
 		Load       loadStats               `json:"load"`
+		Latency    latencyStats            `json:"latency"`
 		Metrics    *parlog.Metrics         `json:"metrics"`
-	}{d.view.Epoch(), d.view.DurabilityStats(), d.loadStats(), d.counting.Snapshot()})
+	}{d.view.Epoch(), d.view.DurabilityStats(), d.loadStats(), d.latencyStats(), d.counting.Snapshot()})
+}
+
+// handleSlowQueries serves the slow-query ring, oldest first.
+func (d *daemon) handleSlowQueries(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, struct {
+		ThresholdSeconds float64          `json:"threshold_seconds"`
+		Queries          []slowQueryEntry `json:"queries"`
+	}{d.slowQuery.Seconds(), d.slowLog.snapshot()})
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

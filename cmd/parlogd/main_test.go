@@ -1,13 +1,17 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"io"
+	"log/slog"
 	"net/http"
 	"strings"
 	"testing"
 	"time"
+
+	"parlog/internal/logx"
 )
 
 const testProgram = `
@@ -16,13 +20,17 @@ anc(X, Y) :- par(X, Z), anc(Z, Y).
 par(a, b). par(b, c).
 `
 
+// testLog swallows log output; tests that assert on log lines build their
+// own logger over a buffer.
+func testLog() *slog.Logger { return logx.New(io.Discard, false) }
+
 // TestServerEndToEnd drives the daemon over real HTTP: query the initial
 // model, apply a delta, see the query answers move, scrape /metrics and
 // /stats, and shut down.
 func TestServerEndToEnd(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	d, srv, err := start(ctx, serverConfig{addr: "127.0.0.1:0"}, testProgram)
+	d, srv, err := start(ctx, serverConfig{addr: "127.0.0.1:0"}, testProgram, testLog())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,7 +186,7 @@ func TestServerEndToEnd(t *testing.T) {
 }
 
 func TestStartRejectsBadProgram(t *testing.T) {
-	if _, _, err := start(context.Background(), serverConfig{addr: "127.0.0.1:0"}, "anc(X :-"); err == nil {
+	if _, _, err := start(context.Background(), serverConfig{addr: "127.0.0.1:0"}, "anc(X :-", testLog()); err == nil {
 		t.Error("bad program accepted")
 	}
 }
@@ -188,7 +196,7 @@ func TestStartRejectsBadProgram(t *testing.T) {
 func startT(t *testing.T, cfg serverConfig, src string) (*daemon, string, func()) {
 	t.Helper()
 	cfg.addr = "127.0.0.1:0"
-	d, srv, err := start(context.Background(), cfg, src)
+	d, srv, err := start(context.Background(), cfg, src, testLog())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -288,7 +296,158 @@ func TestApplyBodyLimit(t *testing.T) {
 // TestStartRejectsBadFsyncPolicy: an unknown -fsync value must fail fast.
 func TestStartRejectsBadFsyncPolicy(t *testing.T) {
 	cfg := serverConfig{addr: "127.0.0.1:0", dir: t.TempDir(), fsync: "sometimes"}
-	if _, _, err := start(context.Background(), cfg, testProgram); err == nil {
+	if _, _, err := start(context.Background(), cfg, testProgram, testLog()); err == nil {
 		t.Error("bad -fsync policy accepted")
+	}
+}
+
+// TestLatencyAndSlowQueries exercises the observability surface end to end:
+// the /stats latency block fills in, the query/apply histograms reach the
+// Prometheus exposition, every query lands in /debug/queries under a
+// 1ns threshold (with the analyze text when -profile is on), and each HTTP
+// request leaves an access-log line.
+func TestLatencyAndSlowQueries(t *testing.T) {
+	var logBuf bytes.Buffer
+	log := logx.New(&logBuf, false)
+	cfg := serverConfig{
+		addr:        "127.0.0.1:0",
+		profile:     true,
+		slowQuery:   time.Nanosecond, // everything is "slow"
+		slowLogSize: 2,               // force the ring to wrap
+	}
+	d, srv, err := start(context.Background(), cfg, testProgram, log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.view.Close()
+	defer func() {
+		shutCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		srv.Close(shutCtx)
+	}()
+	base := srv.URL()
+	client := &http.Client{Timeout: 5 * time.Second}
+
+	get := func(path string) []byte {
+		t.Helper()
+		resp, err := client.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s status %d", path, resp.StatusCode)
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+
+	for _, goal := range []string{"anc(a,X)", "anc(b,X)", "anc(a,X)"} {
+		get("/query?goal=" + goal)
+	}
+	if code, body := postApply(t, client, base, `{"insert": {"par": [["c","d"]]}}`); code != http.StatusOK {
+		t.Fatalf("/apply status %d: %s", code, body)
+	}
+
+	// A fresh-server /stats must not choke on empty histograms (NaN guard),
+	// and after traffic the counts and quantiles are live.
+	var stats struct {
+		Latency *struct {
+			QueryCount int64   `json:"query_count"`
+			QueryP50   float64 `json:"query_p50_seconds"`
+			QueryP99   float64 `json:"query_p99_seconds"`
+			ApplyCount int64   `json:"apply_count"`
+			ApplyP95   float64 `json:"apply_p95_seconds"`
+		} `json:"latency"`
+	}
+	if err := json.Unmarshal(get("/stats"), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Latency == nil {
+		t.Fatal("/stats has no latency block")
+	}
+	if stats.Latency.QueryCount != 3 || stats.Latency.ApplyCount != 1 {
+		t.Fatalf("latency counts = %+v, want 3 queries / 1 apply", stats.Latency)
+	}
+	if stats.Latency.QueryP50 <= 0 || stats.Latency.QueryP99 < stats.Latency.QueryP50 {
+		t.Fatalf("query quantiles out of order: %+v", stats.Latency)
+	}
+	if stats.Latency.ApplyP95 <= 0 {
+		t.Fatalf("apply p95 = %v, want > 0", stats.Latency.ApplyP95)
+	}
+
+	// The histograms reach the Prometheus exposition.
+	exposition := string(get("/metrics"))
+	for _, want := range []string{
+		"parlog_query_seconds_bucket", "parlog_query_seconds_count 3",
+		"parlog_apply_seconds_bucket", "parlog_apply_seconds_count 1",
+	} {
+		if !strings.Contains(exposition, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// Three slow queries into a 2-slot ring: the oldest fell off, order is
+	// oldest-first, and -profile filled the analyze text in.
+	var slow struct {
+		ThresholdSeconds float64 `json:"threshold_seconds"`
+		Queries          []struct {
+			Goal    string  `json:"goal"`
+			Seconds float64 `json:"seconds"`
+			Answers int     `json:"answers"`
+			Profile string  `json:"profile"`
+		} `json:"queries"`
+	}
+	if err := json.Unmarshal(get("/debug/queries"), &slow); err != nil {
+		t.Fatal(err)
+	}
+	if slow.ThresholdSeconds <= 0 {
+		t.Fatalf("threshold_seconds = %v", slow.ThresholdSeconds)
+	}
+	if len(slow.Queries) != 2 {
+		t.Fatalf("slow log holds %d entries, want 2 (ring capacity)", len(slow.Queries))
+	}
+	if slow.Queries[0].Goal != "anc(b,X)" || slow.Queries[1].Goal != "anc(a,X)" {
+		t.Fatalf("slow log order: %+v", slow.Queries)
+	}
+	for _, q := range slow.Queries {
+		if q.Seconds <= 0 {
+			t.Errorf("slow entry %q has no duration", q.Goal)
+		}
+		if !strings.Contains(q.Profile, "analyze:") || !strings.Contains(q.Profile, "firings=") {
+			t.Errorf("slow entry %q profile lacks analyze text:\n%s", q.Goal, q.Profile)
+		}
+	}
+
+	// Every request above left exactly one access-log line.
+	logText := logBuf.String()
+	for path, n := range map[string]int{"/query": 3, "/apply": 1, "/stats": 1, "/debug/queries": 1} {
+		if got := strings.Count(logText, "path="+path+" "); got != n {
+			t.Errorf("access log has %d lines for %s, want %d\n%s", got, path, n, logText)
+		}
+	}
+	if !strings.Contains(logText, "msg=\"http request\"") || !strings.Contains(logText, "status=200") {
+		t.Errorf("access log lines malformed:\n%s", logText)
+	}
+	if strings.Count(logText, "msg=\"slow query\"") != 3 {
+		t.Errorf("want 3 slow-query log lines:\n%s", logText)
+	}
+}
+
+// TestLogJSON pins the -log-json handler switch: the same events come out
+// as one JSON object per line.
+func TestLogJSON(t *testing.T) {
+	var buf bytes.Buffer
+	log := logx.New(&buf, true)
+	log.Info("serving", "addr", "http://x", "derived_predicates", 2)
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("log line is not JSON: %v\n%s", err, buf.String())
+	}
+	if doc["msg"] != "serving" || doc["derived_predicates"] != float64(2) {
+		t.Fatalf("JSON log line = %v", doc)
 	}
 }

@@ -126,7 +126,14 @@ type wireMsg struct {
 	Raw    []byte               // Data: one wire-encoded tuple batch (internal/wire)
 	Snap   []byte               // Output: the pooled relations; CheckpointReply/Adopt: the snapshot — both wire-encoded
 	Stats  []parallel.ProcStats // Output: one entry per hosted bucket
-	Sum    uint64               // CheckpointReply: wire.Checksum of Snap
+	// Profiles carries the hosted buckets' per-rule runtime profiles on
+	// Output when the run was started with Profile set; the flat exported
+	// RuleProfile records gob-encode as-is.
+	Profiles []*seminaive.RuleProfile
+	// Profile on Start arms per-rule runtime counters on every node the
+	// worker hosts, including later adoptions.
+	Profile bool
+	Sum     uint64 // CheckpointReply: wire.Checksum of Snap
 	// Span and Parent causally link data batches (see internal/wire's
 	// SpanID): Span identifies this batch, Parent the received batch whose
 	// processing derived it. They travel in the logged envelope, so a
@@ -321,6 +328,11 @@ type Config struct {
 	// every node (including recovery replacements) recompile its plans
 	// against its own fragment cardinalities before evaluating.
 	Planner seminaive.PlanMode
+	// Profile arms per-rule runtime counters on every worker node (the
+	// start message carries the flag; adopted buckets inherit it) and
+	// merges the records shipped with each worker's output into
+	// Result.Profile. Off by default.
+	Profile bool
 	// WorkerDial, when non-nil, supplies each in-process worker's dialer
 	// (Run only) — the fault-injection hook.
 	WorkerDial func(wi int) DialFunc
@@ -427,6 +439,10 @@ type Result struct {
 	// RebalanceRejected counts candidate repartitionings the
 	// transferability check refused.
 	RebalanceRejected int
+	// Profile is the merged per-rule runtime profile of the whole run; nil
+	// unless Config.Profile was set. Records from all buckets (including
+	// recovered and migrated ones) fold by constraint-stripped rule text.
+	Profile *seminaive.Profile
 	// WorkerBusy holds each worker's cumulative evaluation nanoseconds
 	// (from its final status reply), indexed by dense worker index; dead
 	// workers keep the last value they reported. On the paper's
@@ -1410,6 +1426,7 @@ func (c *Coordinator) Wait() (*Result, error) {
 			Kind:        kindStart,
 			Credits:     c.cfg.MaxInflightBatches,
 			CreditBytes: creditBytes,
+			Profile:     c.cfg.Profile,
 		}))
 	}
 	// Extra buckets (Buckets > Workers): each worker natively builds only
@@ -1500,6 +1517,9 @@ func (c *Coordinator) Wait() (*Result, error) {
 	}
 
 	res := &Result{Output: relation.Store{}}
+	if c.cfg.Profile {
+		res.Profile = &seminaive.Profile{Engine: "dist"}
+	}
 	for pred, ar := range c.arities {
 		res.Output.Get(pred, ar)
 	}
@@ -1538,6 +1558,9 @@ func (c *Coordinator) Wait() (*Result, error) {
 			decodeErr = fmt.Errorf("dist: worker %d output payload: %w", w.index, err)
 		}
 		res.Stats = append(res.Stats, w.output.Stats...)
+		if res.Profile != nil {
+			res.Profile.AddRules(w.output.Profiles)
+		}
 	}
 	r.mu.Unlock()
 	if decodeErr != nil {
@@ -1545,6 +1568,9 @@ func (c *Coordinator) Wait() (*Result, error) {
 	}
 	sort.Slice(res.Stats, func(i, j int) bool { return res.Stats[i].Proc < res.Stats[j].Proc })
 	res.Wall = time.Since(start)
+	if res.Profile != nil {
+		res.Profile.WallNs = res.Wall.Nanoseconds()
+	}
 	return res, nil
 }
 

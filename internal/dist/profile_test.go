@@ -1,0 +1,71 @@
+package dist
+
+import (
+	"testing"
+)
+
+// profileByKey indexes a merged profile's rule records.
+func profileByKey(t *testing.T, res *Result) map[string]int64 {
+	t.Helper()
+	if res.Profile == nil {
+		t.Fatal("Config.Profile set but Result.Profile is nil")
+	}
+	out := make(map[string]int64, len(res.Profile.Rules))
+	for _, rp := range res.Profile.Rules {
+		out[rp.Key] += rp.Firings
+	}
+	return out
+}
+
+// TestProfileSurvivesForcedMigration: the coordinator's merged profile is a
+// run-independent account. A forced mid-run hot-bucket migration moves a
+// bucket to another worker — the adopting node re-derives from the bucket's
+// checkpointed state, and semi-naive exactness means every rule fires the
+// same Definition 4 count it would have fired in a static run. The merged
+// per-rule firings of the migrated run must therefore equal the static
+// run's, record for record.
+func TestProfileSurvivesForcedMigration(t *testing.T) {
+	src := ancestorRules + randomParFacts(40, 120, 12)
+	p, edb, seq := buildAncestorQ(t, src, 4, []string{"Z"}, []string{"X"})
+
+	static, err := Run(p, edb, Config{Workers: 2, Profile: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	migrated, err := Run(p, edb, Config{
+		Workers: 2,
+		Profile: true,
+		Rebalance: RebalanceConfig{
+			Enabled: true, Force: true, MaxMigrations: 1,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(migrated.Migrations) != 1 {
+		t.Fatalf("Migrations = %v, want exactly one forced move", migrated.Migrations)
+	}
+	if !seq["anc"].Equal(migrated.Output["anc"]) {
+		t.Fatal("migrated run differs from the sequential least model")
+	}
+
+	want := profileByKey(t, static)
+	got := profileByKey(t, migrated)
+	if len(got) != len(want) {
+		t.Fatalf("migrated profile has %d rules, static %d", len(got), len(want))
+	}
+	for key, firings := range want {
+		if got[key] != firings {
+			t.Errorf("rule %q: migrated profile fired %d, static %d", key, got[key], firings)
+		}
+	}
+	if sp, mp := static.Profile.TotalFirings(), migrated.Profile.TotalFirings(); sp != mp {
+		t.Errorf("total firings: static %d, migrated %d", sp, mp)
+	}
+	// The wire round trip preserved per-worker attribution.
+	for _, rp := range migrated.Profile.Rules {
+		if rp.Firings > 0 && len(rp.Procs) == 0 {
+			t.Errorf("rule %q fired %d with no processor attribution", rp.Key, rp.Firings)
+		}
+	}
+}

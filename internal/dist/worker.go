@@ -344,6 +344,10 @@ func RunWorker(coordAddr string, node *parallel.Node, cfg WorkerConfig) error {
 		// drains) and travels on status replies, so the coordinator's
 		// rebalancer can weigh workers by real work, not just routed volume.
 		busyNs atomic.Int64
+		// profileRun mirrors the start message's Profile flag. Written by
+		// the reader before close(started), read by the eval loop after
+		// <-started — the channel close is the happens-before edge.
+		profileRun bool
 	)
 
 	// Writer: the only goroutine touching the encoder.
@@ -381,6 +385,7 @@ func RunWorker(coordAddr string, node *parallel.Node, cfg WorkerConfig) error {
 				if !startSeen {
 					startSeen = true
 					gate.configure(m.Credits, m.CreditBytes)
+					profileRun = m.Profile
 					close(started)
 				}
 			case kindStatus:
@@ -484,6 +489,9 @@ func RunWorker(coordAddr string, node *parallel.Node, cfg WorkerConfig) error {
 	}
 
 	sink := node.Sink()
+	if profileRun {
+		node.EnableProfile()
+	}
 	if sink != nil {
 		sink.WorkerBusy(node.Proc())
 	}
@@ -570,6 +578,9 @@ func RunWorker(coordAddr string, node *parallel.Node, cfg WorkerConfig) error {
 					return fin(fmt.Errorf("dist: asked to adopt bucket %d but no node factory configured", m.Bucket))
 				}
 				n := cfg.NewNode(m.Bucket)
+				if profileRun {
+					n.EnableProfile()
+				}
 				nodes[m.Bucket] = n
 				// Init replays the bucket's initialization step: the EDB
 				// fragment is rebuilt locally and its initial derivations
@@ -682,6 +693,7 @@ func RunWorker(coordAddr string, node *parallel.Node, cfg WorkerConfig) error {
 					pooled[pred] = ts
 				}
 				out.Stats = append(out.Stats, n.Stats())
+				out.Profiles = append(out.Profiles, n.Profile()...)
 			}
 			out.Snap = wire.AppendSnapshot(nil, pooled)
 			wq.push(control(out))

@@ -1,0 +1,70 @@
+// Package logx is the thin structured-logging layer the CLIs share: a
+// log/slog logger over stderr (human-oriented text by default, one JSON
+// object per line behind the -log-json flag) plus an HTTP access-log
+// middleware recording method, path, status, duration and response bytes.
+package logx
+
+import (
+	"io"
+	"log/slog"
+	"net/http"
+	"time"
+)
+
+// New builds a logger writing to w: slog's text handler by default, the
+// JSON handler when jsonOut is set. Log lines keep their message text
+// greppable under both handlers (msg=... vs "msg":"..."), which the CI
+// smoke checks rely on.
+func New(w io.Writer, jsonOut bool) *slog.Logger {
+	var h slog.Handler
+	if jsonOut {
+		h = slog.NewJSONHandler(w, nil)
+	} else {
+		h = slog.NewTextHandler(w, nil)
+	}
+	return slog.New(h)
+}
+
+// statusWriter captures the status code and body size a handler produced.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// AccessLog wraps next with one request-log line per call: method, path,
+// status, wall duration and response bytes. Handlers that never write get
+// status 200, matching net/http's implicit reply.
+func AccessLog(log *slog.Logger, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		begin := time.Now()
+		next.ServeHTTP(sw, r)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		log.Info("http request",
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", sw.status),
+			slog.Duration("duration", time.Since(begin)),
+			slog.Int64("bytes", sw.bytes),
+		)
+	})
+}

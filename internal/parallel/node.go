@@ -44,6 +44,12 @@ type Node struct {
 
 	stats ProcStats
 
+	// profile arms per-rule runtime counters; ruleProfs[i] accounts
+	// n.rules[i]. The flag is sticky across Replan so a planner change
+	// cannot silently drop instrumentation.
+	profile   bool
+	ruleProfs []*seminaive.RuleProfile
+
 	// sink receives this node's events; nil disables observability.
 	sink obs.EventSink
 
@@ -199,6 +205,63 @@ func (n *Node) Replan(mode seminaive.PlanMode) {
 		rules[i] = nr
 	}
 	n.rules = rules
+	if n.profile {
+		n.armProfiles()
+	}
+}
+
+// EnableProfile arms per-rule runtime counters on this node. Transports call
+// it after Replan and before Init; the flag survives a later Replan (the
+// recompiled plans are re-armed). Profiling works on node-local plan copies,
+// so the program's shared plans stay untouched.
+func (n *Node) EnableProfile() {
+	n.profile = true
+	n.armProfiles()
+}
+
+// armProfiles swaps every plan for an armed copy and resets the per-rule
+// records. Rule keys strip the per-processor restriction constraint
+// (seminaive.ProfileKey), so all workers' records of one source rule merge.
+func (n *Node) armProfiles() {
+	n.ruleProfs = make([]*seminaive.RuleProfile, len(n.rules))
+	rules := make([]compiledRule, len(n.rules))
+	for i, cr := range n.rules {
+		nr := cr
+		nr.plans = make([]*seminaive.Plan, len(cr.plans))
+		for j, pl := range cr.plans {
+			nr.plans[j] = pl.WithProfile()
+		}
+		rules[i] = nr
+		n.ruleProfs[i] = &seminaive.RuleProfile{
+			Key:  seminaive.ProfileKey(n.prog.src, cr.rule),
+			Pred: cr.head,
+		}
+	}
+	n.rules = rules
+}
+
+// Profile folds the armed plan counters into the per-rule records and returns
+// them with this processor's attribution attached. Call at most once, after
+// the node's last Drain; nil when profiling is disabled.
+func (n *Node) Profile() []*seminaive.RuleProfile {
+	if !n.profile {
+		return nil
+	}
+	out := make([]*seminaive.RuleProfile, len(n.ruleProfs))
+	for i := range n.rules {
+		rp := n.ruleProfs[i]
+		for _, pl := range n.rules[i].plans {
+			pl.ProfileInto(rp)
+		}
+		rp.Procs = []seminaive.ProcProfile{{
+			Proc:    n.procID,
+			Firings: rp.Firings,
+			Dup:     rp.Dup,
+			WallNs:  rp.WallNs,
+		}}
+		out[i] = rp
+	}
+	return out
 }
 
 // Index returns the node's dense worker index.
@@ -232,17 +295,25 @@ func (n *Node) Init(emit EmitFunc) {
 		n.sink.IterationStart(n.procID, 0)
 	}
 	genBefore := n.stats.Generated
-	for _, cr := range n.rules {
+	for ri := range n.rules {
+		cr := &n.rules[ri]
 		if !cr.init {
 			continue
 		}
 		fBefore, dupBefore := n.stats.Firings, n.stats.DupFirings
+		var t0 time.Time
+		if n.profile {
+			t0 = time.Now()
+		}
 		for _, plan := range cr.plans {
 			buf := n.scratch[:cr.arity]
 			n.stats.Firings += plan.Enumerate(n.store, nil, func(vals []ast.Value) bool {
 				n.emitTuple(cr.head, plan.HeadTupleInto(buf, vals))
 				return true
 			})
+		}
+		if n.profile {
+			n.recordRule(ri, fBefore, dupBefore, t0)
 		}
 		if n.sink != nil {
 			n.sink.RuleFirings(n.procID, cr.head, n.stats.Firings-fBefore, n.stats.DupFirings-dupBefore)
@@ -299,17 +370,25 @@ func (n *Node) Drain(emit EmitFunc) {
 			n.sink.IterationStart(n.procID, iter)
 		}
 		genBefore := n.stats.Generated
-		for _, cr := range n.rules {
+		for ri := range n.rules {
+			cr := &n.rules[ri]
 			if cr.init {
 				continue
 			}
 			fBefore, dupBefore := n.stats.Firings, n.stats.DupFirings
+			var t0 time.Time
+			if n.profile {
+				t0 = time.Now()
+			}
 			for _, plan := range cr.plans {
 				buf := n.scratch[:cr.arity]
 				n.stats.Firings += plan.Enumerate(n.store, n.wm, func(vals []ast.Value) bool {
 					n.emitTuple(cr.head, plan.HeadTupleInto(buf, vals))
 					return true
 				})
+			}
+			if n.profile {
+				n.recordRule(ri, fBefore, dupBefore, t0)
 			}
 			if n.sink != nil {
 				n.sink.RuleFirings(n.procID, cr.head, n.stats.Firings-fBefore, n.stats.DupFirings-dupBefore)
@@ -320,6 +399,20 @@ func (n *Node) Drain(emit EmitFunc) {
 		}
 		n.flush(emit)
 	}
+}
+
+// recordRule accumulates one rule pass into its profile record. A firing that
+// survived local dedup is a New tuple at this site (emitTuple inserts into the
+// out relation before routing), so New = firings − local rederivations.
+func (n *Node) recordRule(ri int, fBefore, dupBefore int64, t0 time.Time) {
+	rp := n.ruleProfs[ri]
+	f := n.stats.Firings - fBefore
+	d := n.stats.DupFirings - dupBefore
+	rp.Firings += f
+	rp.Dup += d
+	rp.New += f - d
+	rp.Iterations++
+	rp.WallNs += time.Since(t0).Nanoseconds()
 }
 
 // emitTuple handles one freshly derived head tuple: dedup against this

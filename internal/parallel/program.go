@@ -85,6 +85,9 @@ type Program struct {
 	needs []edbNeed
 	// facts embedded in the source program, merged into the EDB at Run.
 	facts map[string][][]ast.Value
+	// src retains the source program; profile records key rules through its
+	// formatter (seminaive.ProfileKey).
+	src *ast.Program
 }
 
 // PinnedBuckets reports, per dense bucket index, whether that bucket's
@@ -166,6 +169,7 @@ func build(prog *ast.Program, procs *hashpart.ProcSet, specs []ruleSpec, routers
 		rules:   make([][]compiledRule, procs.Len()),
 		routers: make(map[string][]Router),
 		facts:   facts,
+		src:     prog,
 	}
 	for _, rt := range routers {
 		if _, ok := idb[rt.Pred]; !ok {

@@ -103,6 +103,10 @@ type RunConfig struct {
 	// worker recompile its plans against its own fragment cardinalities
 	// (Node.Replan) before evaluation starts.
 	Planner seminaive.PlanMode
+	// Profile arms per-rule runtime counters on every worker and merges them
+	// into Result.Profile with per-processor attribution. Off by default:
+	// the disabled path pays nothing.
+	Profile bool
 }
 
 // Result is the outcome of a parallel run.
@@ -111,6 +115,9 @@ type Result struct {
 	// nothing else; base relations are the caller's input.
 	Output relation.Store
 	Stats  *Stats
+	// Profile is the merged per-rule runtime profile; nil unless
+	// RunConfig.Profile was set.
+	Profile *seminaive.Profile
 }
 
 // message is a batch of tuples of one predicate sent over one channel.
@@ -306,6 +313,9 @@ func Run(p *Program, edb relation.Store, cfg RunConfig) (*Result, error) {
 		workers[wi] = newWorker(p, wi, global)
 		workers[wi].node.SetSink(cfg.Sink)
 		workers[wi].node.Replan(cfg.Planner)
+		if cfg.Profile {
+			workers[wi].node.EnableProfile()
+		}
 	}
 
 	if cfg.Sink != nil {
@@ -353,6 +363,10 @@ func Run(p *Program, edb relation.Store, cfg RunConfig) (*Result, error) {
 	for pred, ar := range p.IDB {
 		out.Get(pred, ar)
 	}
+	var prof *seminaive.Profile
+	if cfg.Profile {
+		prof = &seminaive.Profile{Engine: "parallel", WallNs: wall.Nanoseconds()}
+	}
 	var forbidden int64
 	for _, w := range workers {
 		for pred, rel := range w.node.Outputs() {
@@ -360,6 +374,9 @@ func Run(p *Program, edb relation.Store, cfg RunConfig) (*Result, error) {
 			for i := 0; i < rel.Len(); i++ {
 				dst.Insert(rel.Row(i))
 			}
+		}
+		if prof != nil {
+			prof.AddRules(w.node.Profile())
 		}
 		stats.Procs = append(stats.Procs, w.node.Stats())
 		for e, es := range w.edges {
@@ -376,10 +393,10 @@ func Run(p *Program, edb relation.Store, cfg RunConfig) (*Result, error) {
 	}
 	stats.ForbiddenSends = forbidden
 	if forbidden > 0 {
-		return &Result{Output: out, Stats: stats},
+		return &Result{Output: out, Stats: stats, Profile: prof},
 			fmt.Errorf("parallel: topology suppressed %d tuple sends — the given network cannot execute this scheme", forbidden)
 	}
-	return &Result{Output: out, Stats: stats}, nil
+	return &Result{Output: out, Stats: stats, Profile: prof}, nil
 }
 
 // makePlacements computes per-predicate placement statistics by replaying

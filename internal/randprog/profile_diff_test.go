@@ -1,0 +1,149 @@
+package randprog
+
+import (
+	"testing"
+
+	"parlog/internal/dist"
+	"parlog/internal/obs"
+	"parlog/internal/parallel"
+	"parlog/internal/seminaive"
+)
+
+const profileSeeds = 50
+
+// countedFirings sums the counting sink's per-processor generation firings —
+// the Definition 4 quantity as reported through the event stream, fully
+// independent of the profiler's counters.
+func countedFirings(c *obs.Counting) int64 {
+	var n int64
+	for _, p := range c.Snapshot().Procs {
+		n += p.Firings
+	}
+	return n
+}
+
+// TestProfileCountersExactAcrossEngines is the profiler's differential
+// test: on profileSeeds random programs, the runtime profile collected by
+// each engine — sequential semi-naive, the in-process parallel runtime and
+// the distributed TCP engine — must account for exactly the Definition 4
+// firing count, three ways at once: the profile's per-rule sum, the
+// engine's own statistics, and an independent counting sink all agree; and
+// the per-head-predicate firing breakdown of the parallel engines matches
+// the sequential one exactly.
+func TestProfileCountersExactAcrossEngines(t *testing.T) {
+	for seed := int64(0); seed < profileSeeds; seed++ {
+		g := Generate(Config{}, seed)
+
+		seqSink := obs.NewCounting()
+		_, seqStats, err := seminaive.Eval(g.Prog, g.EDB, seminaive.Options{Profile: true, Sink: seqSink})
+		if err != nil {
+			t.Fatalf("seed %d: semi-naive: %v", seed, err)
+		}
+		seqProf := seqStats.Profile
+		if seqProf == nil {
+			t.Fatalf("seed %d: Options.Profile set but Stats.Profile is nil", seed)
+		}
+		if got := seqProf.TotalFirings(); got != seqStats.Firings {
+			t.Fatalf("seed %d: sequential profile sums %d firings, stats say %d\nprogram:\n%s",
+				seed, got, seqStats.Firings, g.Prog)
+		}
+		if got := countedFirings(seqSink); got != seqStats.Firings {
+			t.Fatalf("seed %d: counting sink saw %d firings, stats say %d", seed, got, seqStats.Firings)
+		}
+		wantByPred := seqProf.FiringsByPred()
+
+		checkByPred := func(engine string, prof *seminaive.Profile) {
+			t.Helper()
+			got := prof.FiringsByPred()
+			for pred, want := range wantByPred {
+				if got[pred] != want {
+					t.Fatalf("seed %d: %s profile fired %d for %s, sequential %d\nprogram:\n%s",
+						seed, engine, got[pred], pred, want, g.Prog)
+				}
+			}
+			for pred, n := range got {
+				if wantByPred[pred] == 0 && n != 0 {
+					t.Fatalf("seed %d: %s profile invented %d firings for %s", seed, engine, n, pred)
+				}
+			}
+		}
+
+		n := 2 + int(seed%3)
+		spec, err := generalSpec(g, n, uint64(seed))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		p, err := parallel.BuildGeneral(g.Prog, spec)
+		if err != nil {
+			t.Fatalf("seed %d: build: %v\n%s", seed, err, g.Prog)
+		}
+
+		parSink := obs.NewCounting()
+		res, err := parallel.Run(p, g.EDB, parallel.RunConfig{Profile: true, Sink: parSink})
+		if err != nil {
+			t.Fatalf("seed %d: parallel run: %v", seed, err)
+		}
+		if res.Profile == nil {
+			t.Fatalf("seed %d: RunConfig.Profile set but Result.Profile is nil", seed)
+		}
+		if got := res.Profile.TotalFirings(); got != seqStats.Firings {
+			t.Fatalf("seed %d: parallel profile sums %d firings, sequential %d\nprogram:\n%s",
+				seed, got, seqStats.Firings, g.Prog)
+		}
+		if got, want := res.Profile.TotalFirings(), countedFirings(parSink); got != want {
+			t.Fatalf("seed %d: parallel profile %d firings, counting sink %d", seed, got, want)
+		}
+		checkByPred("parallel", res.Profile)
+		for _, rp := range res.Profile.Rules {
+			if rp.Firings > 0 && len(rp.Procs) == 0 {
+				t.Fatalf("seed %d: parallel rule %q fired %d with no processor attribution",
+					seed, rp.Key, rp.Firings)
+			}
+		}
+
+		// The distributed engine carries the same records home over the gob
+		// control envelope; merged at the coordinator they must land on the
+		// same totals.
+		dres, err := dist.Run(p, g.EDB, dist.Config{Profile: true})
+		if err != nil {
+			t.Fatalf("seed %d: dist run: %v", seed, err)
+		}
+		if dres.Profile == nil {
+			t.Fatalf("seed %d: Config.Profile set but dist Result.Profile is nil", seed)
+		}
+		if got := dres.Profile.TotalFirings(); got != seqStats.Firings {
+			t.Fatalf("seed %d: dist profile sums %d firings, sequential %d\nprogram:\n%s",
+				seed, got, seqStats.Firings, g.Prog)
+		}
+		checkByPred("dist", dres.Profile)
+	}
+}
+
+// TestProfileDisabledStaysNil pins the opt-out: no engine allocates a
+// profile unless asked, so the serving path's nil checks stay on the cheap
+// branch.
+func TestProfileDisabledStaysNil(t *testing.T) {
+	g := Generate(Config{}, 1)
+	_, stats, err := seminaive.Eval(g.Prog, g.EDB, seminaive.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Profile != nil {
+		t.Error("sequential Stats.Profile non-nil without Options.Profile")
+	}
+	spec, err := generalSpec(g, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := parallel.BuildGeneral(g.Prog, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := parallel.Run(p, g.EDB, parallel.RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Profile != nil {
+		t.Error("parallel Result.Profile non-nil without RunConfig.Profile")
+	}
+}

@@ -31,6 +31,10 @@ type Options struct {
 	// OnPlan, when non-nil, observes every compiled plan (one call per
 	// delta variant) — the hook Result.Explain() is built on.
 	OnPlan func(*Plan)
+	// Profile arms runtime counters on every compiled plan and collects
+	// them into Stats.Profile — the analyze half of explain-analyze. Off
+	// (the default), plans stay on the zero-overhead path.
+	Profile bool
 }
 
 // planConfig builds the compile-time configuration, sampling relation
@@ -78,6 +82,9 @@ type Stats struct {
 	New        int64
 	// FiringsByPred counts successful substitutions per head predicate.
 	FiringsByPred map[string]int64
+	// Profile holds the runtime query profile when Options.Profile was
+	// set; nil otherwise.
+	Profile *Profile
 }
 
 func newStats() *Stats { return &Stats{FiringsByPred: make(map[string]int64)} }
@@ -137,9 +144,21 @@ func Eval(prog *ast.Program, edb relation.Store, opts Options) (relation.Store, 
 	}
 
 	stats := newStats()
+	var evalStart time.Time
+	if opts.Profile {
+		engine := "seminaive"
+		if opts.Naive {
+			engine = "naive"
+		}
+		stats.Profile = &Profile{Engine: engine}
+		evalStart = time.Now()
+	}
 	if opts.Naive {
-		if err := evalNaive(rules, store, stats, opts); err != nil {
+		if err := evalNaive(prog, rules, store, stats, opts); err != nil {
 			return nil, nil, err
+		}
+		if stats.Profile != nil {
+			stats.Profile.WallNs = time.Since(evalStart).Nanoseconds()
 		}
 		return store, stats, nil
 	}
@@ -178,17 +197,22 @@ func Eval(prog *ast.Program, edb relation.Store, opts Options) (relation.Store, 
 		if len(nonRec) == 0 && len(rec) == 0 {
 			continue
 		}
-		s, err := evalSCC(nonRec, rec, inSCC, store, opts)
+		s, err := evalSCC(prog, nonRec, rec, inSCC, store, opts, stats.Profile)
 		if err != nil {
 			return nil, nil, err
 		}
 		stats.add(s)
 	}
+	if stats.Profile != nil {
+		stats.Profile.WallNs = time.Since(evalStart).Nanoseconds()
+	}
 	return store, stats, nil
 }
 
 // evalSCC runs the semi-naive loop for one strongly connected component.
-func evalSCC(nonRec, rec []ast.Rule, inSCC map[string]bool, store relation.Store, opts Options) (*Stats, error) {
+// prof, when non-nil, is the evaluation-wide profile the SCC's rule
+// counters fold into.
+func evalSCC(prog *ast.Program, nonRec, rec []ast.Rule, inSCC map[string]bool, store relation.Store, opts Options, prof *Profile) (*Stats, error) {
 	stats := newStats()
 
 	// One-shot rules: their bodies read only completed components, so a
@@ -203,6 +227,13 @@ func evalSCC(nonRec, rec []ast.Rule, inSCC map[string]bool, store relation.Store
 		head := r.Head.Pred
 		rel := store.Get(head, r.Head.Arity())
 		newBefore := stats.New
+		var rp *RuleProfile
+		var t0 time.Time
+		if prof != nil {
+			rp = prof.Rule(ProfileKey(prog, r), head)
+			plan.EnableProfile()
+			t0 = time.Now()
+		}
 		n := plan.Enumerate(store, nil, func(vals []ast.Value) bool {
 			if rel.Insert(plan.HeadTuple(vals)) {
 				stats.New++
@@ -211,6 +242,15 @@ func evalSCC(nonRec, rec []ast.Rule, inSCC map[string]bool, store relation.Store
 		})
 		stats.Firings += n
 		stats.FiringsByPred[head] += n
+		if rp != nil {
+			fresh := stats.New - newBefore
+			rp.Firings += n
+			rp.New += fresh
+			rp.Dup += n - fresh
+			rp.Iterations++
+			rp.WallNs += time.Since(t0).Nanoseconds()
+			plan.ProfileInto(rp)
+		}
 		if opts.Sink != nil {
 			opts.Sink.RuleFirings(0, head, n, n-(stats.New-newBefore))
 		}
@@ -227,6 +267,7 @@ func evalSCC(nonRec, rec []ast.Rule, inSCC map[string]bool, store relation.Store
 		plans []*Plan
 		head  string
 		arity int
+		rp    *RuleProfile
 	}
 	var cs []compiled
 	for _, r := range rec {
@@ -240,11 +281,18 @@ func evalSCC(nonRec, rec []ast.Rule, inSCC map[string]bool, store relation.Store
 		for _, pl := range plans {
 			opts.observePlan(pl)
 		}
-		cs = append(cs, compiled{
+		c := compiled{
 			plans: plans,
 			head:  r.Head.Pred,
 			arity: r.Head.Arity(),
-		})
+		}
+		if prof != nil {
+			c.rp = prof.Rule(ProfileKey(prog, r), c.head)
+			for _, pl := range plans {
+				pl.EnableProfile()
+			}
+		}
+		cs = append(cs, c)
 	}
 
 	// Watermarks: everything present now is the initial delta.
@@ -284,6 +332,10 @@ func evalSCC(nonRec, rec []ast.Rule, inSCC map[string]bool, store relation.Store
 			}
 			buf := scratch[:c.arity]
 			var ruleFirings, fresh int64
+			var t0 time.Time
+			if c.rp != nil {
+				t0 = time.Now()
+			}
 			for _, plan := range c.plans {
 				n := plan.Enumerate(store, w, func(vals []ast.Value) bool {
 					if rel.Insert(plan.HeadTupleInto(buf, vals)) {
@@ -292,6 +344,13 @@ func evalSCC(nonRec, rec []ast.Rule, inSCC map[string]bool, store relation.Store
 					return true
 				})
 				ruleFirings += n
+			}
+			if c.rp != nil {
+				c.rp.Firings += ruleFirings
+				c.rp.New += fresh
+				c.rp.Dup += ruleFirings - fresh
+				c.rp.Iterations++
+				c.rp.WallNs += time.Since(t0).Nanoseconds()
 			}
 			stats.Firings += ruleFirings
 			stats.FiringsByPred[c.head] += ruleFirings
@@ -305,6 +364,14 @@ func evalSCC(nonRec, rec []ast.Rule, inSCC map[string]bool, store relation.Store
 			opts.Sink.IterationEnd(0, stats.Iterations, delta)
 		}
 		if delta == 0 {
+			for _, c := range cs {
+				if c.rp == nil {
+					continue
+				}
+				for _, plan := range c.plans {
+					plan.ProfileInto(c.rp)
+				}
+			}
 			return stats, nil
 		}
 		// Advance the watermarks: this iteration's inserts become the next
@@ -320,11 +387,16 @@ func evalSCC(nonRec, rec []ast.Rule, inSCC map[string]bool, store relation.Store
 }
 
 // evalNaive iterates every rule over the full store until fixpoint.
-func evalNaive(rules []ast.Rule, store relation.Store, stats *Stats, opts Options) error {
+func evalNaive(prog *ast.Program, rules []ast.Rule, store relation.Store, stats *Stats, opts Options) error {
 	plans := make([]*Plan, len(rules))
 	cfg := opts.planConfig(store)
+	rps := make([]*RuleProfile, len(rules))
 	for i, r := range rules {
 		plans[i] = opts.observePlan(CompileWith(r, nil, cfg))
+		if stats.Profile != nil {
+			rps[i] = stats.Profile.Rule(ProfileKey(prog, r), r.Head.Pred)
+			plans[i].EnableProfile()
+		}
 	}
 	for {
 		stats.Iterations++
@@ -344,6 +416,10 @@ func evalNaive(rules []ast.Rule, store relation.Store, stats *Stats, opts Option
 			rel := store.Get(head.Pred, head.Arity())
 			scratch := make(relation.Tuple, head.Arity())
 			var toInsert []relation.Tuple
+			var t0 time.Time
+			if rps[i] != nil {
+				t0 = time.Now()
+			}
 			n := plan.Enumerate(store, nil, func(vals []ast.Value) bool {
 				t := plan.HeadTupleInto(scratch, vals)
 				if !rel.Contains(t) {
@@ -361,6 +437,13 @@ func evalNaive(rules []ast.Rule, store relation.Store, stats *Stats, opts Option
 					changed = true
 				}
 			}
+			if rp := rps[i]; rp != nil {
+				rp.Firings += n
+				rp.New += inserted
+				rp.Dup += n - inserted
+				rp.Iterations++
+				rp.WallNs += time.Since(t0).Nanoseconds()
+			}
 			if opts.Sink != nil {
 				opts.Sink.RuleFirings(0, head.Pred, n, n-inserted)
 			}
@@ -369,6 +452,11 @@ func evalNaive(rules []ast.Rule, store relation.Store, stats *Stats, opts Option
 			opts.Sink.IterationEnd(0, stats.Iterations, int(stats.New-newBefore))
 		}
 		if !changed {
+			for i, plan := range plans {
+				if rps[i] != nil {
+					plan.ProfileInto(rps[i])
+				}
+			}
 			return nil
 		}
 	}

@@ -125,6 +125,12 @@ type Plan struct {
 	// constraintPos[k] is the execution position at which the k-th rule
 	// constraint is checked; -1 for variable-free pre-join checks.
 	constraintPos []int
+	// planned[k] is the cardinality the planner saw for execution position
+	// k's relation at compile time; -1 when compiled without statistics.
+	planned []int64
+	// prof holds runtime counters, armed by EnableProfile; nil (the
+	// default) keeps the enumeration loops on the zero-overhead path.
+	prof *planProfile
 }
 
 // slotOrConst addresses either a variable slot or an inline constant.
@@ -293,8 +299,14 @@ func CompileWith(rule ast.Rule, ranges []RangeKind, cfg PlanConfig) *Plan {
 	// Compile the atoms against the boundness state along the order.
 	boundSlot := map[string]bool{}
 	p.atoms = make([]atomExec, len(p.Order))
+	p.planned = make([]int64, len(p.Order))
 	for k, idx := range p.Order {
 		atom := rule.Body[idx]
+		if cfg.Card != nil {
+			p.planned[k] = int64(cfg.Card(atom.Pred))
+		} else {
+			p.planned[k] = -1
+		}
 		ae := atomExec{pred: atom.Pred, kind: ranges[idx]}
 		seenHere := map[string]int{} // var → slot bound earlier in this atom
 		for ci, t := range atom.Args {
@@ -496,6 +508,7 @@ func (p *Plan) Enumerate(store relation.Store, w *Watermarks, fn func(vals []ast
 	var fired int64
 	stopped := false
 	lookupVals := make([]ast.Value, 0, 8)
+	prof := p.prof
 
 	var step func(k int)
 	step = func(k int) {
@@ -526,12 +539,20 @@ func (p *Plan) Enumerate(store relation.Store, w *Watermarks, fn func(vals []ast
 				lookupVals = append(lookupVals, src.value)
 			}
 		}
+		var pa *AtomProfile
+		if prof != nil {
+			pa = &prof.atoms[k]
+			pa.Probes++
+		}
 		ix := rel.IndexOn(ae.boundCols...)
 		ix.Lookup(lookupVals, lo, hi, func(row int) bool {
 			if !rel.Alive(row) {
 				// Counted relations (view maintenance) keep dead rows in the
 				// arena; joins see only the live extent.
 				return true
+			}
+			if pa != nil {
+				pa.Rows++
 			}
 			tuple := rel.Row(row)
 			for ci, col := range ae.freeCols {
@@ -553,6 +574,9 @@ func (p *Plan) Enumerate(store relation.Store, w *Watermarks, fn func(vals []ast
 				if !negAbsent(cn) {
 					return true
 				}
+			}
+			if pa != nil {
+				pa.Matches++
 			}
 			step(k + 1)
 			return !stopped

@@ -29,6 +29,10 @@ type Cursor struct {
 	lookup []ast.Value
 	hargs  []ast.Value
 	negBuf relation.Tuple
+
+	// prof is the plan's runtime counters, captured at Stream time; nil
+	// keeps the pull loops on the zero-overhead path.
+	prof *planProfile
 }
 
 // Stream opens a cursor over the plan's enumeration under watermarks w
@@ -43,6 +47,7 @@ func (p *Plan) Stream(store relation.Store, w *Watermarks) *Cursor {
 		lookup: make([]ast.Value, 0, 8),
 		hargs:  make([]ast.Value, 0, 8),
 		negBuf: make(relation.Tuple, 0, 8),
+		prof:   p.prof,
 	}
 }
 
@@ -120,6 +125,9 @@ func (c *Cursor) open(k int) relation.Iterator {
 			c.lookup = append(c.lookup, src.value)
 		}
 	}
+	if c.prof != nil {
+		c.prof.atoms[k].Probes++
+	}
 	return relation.Probe(rel, ae.boundCols, c.lookup, lo, hi)
 }
 
@@ -132,16 +140,26 @@ func (c *Cursor) advance(k int) bool {
 		return false
 	}
 	ae := &c.p.atoms[k]
+	var pa *AtomProfile
+	if c.prof != nil {
+		pa = &c.prof.atoms[k]
+	}
 	for {
 		tuple := it.Next()
 		if tuple == nil {
 			return false
+		}
+		if pa != nil {
+			pa.Rows++
 		}
 		for ci, col := range ae.freeCols {
 			c.vals[ae.freeSlots[ci]] = tuple[col]
 		}
 		if !c.rowChecks(ae, tuple) {
 			continue
+		}
+		if pa != nil {
+			pa.Matches++
 		}
 		return true
 	}

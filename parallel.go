@@ -13,6 +13,7 @@ import (
 	"parlog/internal/obs"
 	"parlog/internal/parallel"
 	"parlog/internal/rewrite"
+	"parlog/internal/seminaive"
 )
 
 // Strategy selects the parallelization scheme.
@@ -70,6 +71,7 @@ func runConfig(ctx context.Context, opts EvalOptions, sink obs.EventSink) parall
 		Ctx:          ctx,
 		Sink:         sink,
 		Planner:      opts.Planner,
+		Profile:      opts.Profile,
 	}
 }
 
@@ -97,7 +99,7 @@ func evalParallel(ctx context.Context, p *Program, edb Store, opts EvalOptions, 
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Output: res.Output, Stats: res.Stats}, nil
+	return &Result{Output: res.Output, Stats: res.Stats, Profile: res.Profile}, nil
 }
 
 // evalParallelStratified runs a stratified-negation program as a sequence of
@@ -129,6 +131,10 @@ func evalParallelStratified(ctx context.Context, p *Program, edb Store, opts Eva
 	}
 	perProc := map[int]parallel.ProcStats{}
 	output := Store{}
+	var prof *Profile
+	if opts.Profile {
+		prof = &seminaive.Profile{Engine: "parallel"}
+	}
 
 	for s := 0; s <= maxS; s++ {
 		sub := &ast.Program{Interner: p.ast.Interner}
@@ -163,6 +169,12 @@ func evalParallelStratified(ctx context.Context, p *Program, edb Store, opts Eva
 		}
 		agg.Wall += res.Stats.Wall
 		agg.ForbiddenSends += res.Stats.ForbiddenSends
+		if prof != nil && res.Profile != nil {
+			// Strata run one after another: their rule records fold by key
+			// (addProc sums same-processor entries) and their walls add.
+			prof.AddRules(res.Profile.Rules)
+			prof.WallNs += res.Profile.WallNs
+		}
 		for _, ps := range res.Stats.Procs {
 			cur := perProc[ps.Proc]
 			cur.Proc = ps.Proc
@@ -198,7 +210,7 @@ func evalParallelStratified(ctx context.Context, p *Program, edb Store, opts Eva
 	for _, id := range ids {
 		agg.Procs = append(agg.Procs, perProc[id])
 	}
-	return &Result{Output: output, Stats: agg}, nil
+	return &Result{Output: output, Stats: agg, Profile: prof}, nil
 }
 
 // RewriteListings returns the per-processor rewritten programs — the paper's
@@ -352,6 +364,7 @@ func evalDistributed(ctx context.Context, p *Program, edb Store, opts EvalOption
 		Ctx:                ctx,
 		Sink:               sink,
 		Planner:            opts.Planner,
+		Profile:            opts.Profile,
 	})
 	if err != nil {
 		return nil, err
@@ -366,7 +379,7 @@ func evalDistributed(ctx context.Context, p *Program, edb Store, opts EvalOption
 		Placements: parallel.Placements(prog, global),
 		Wall:       res.Wall,
 	}
-	return &Result{Output: res.Output, Stats: stats}, nil
+	return &Result{Output: res.Output, Stats: stats, Profile: res.Profile}, nil
 }
 
 func compileParallel(p *Program, opts EvalOptions) (*parallel.Program, error) {

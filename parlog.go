@@ -66,6 +66,21 @@ func NewRelation(arity int) *Relation { return relation.New(arity) }
 // ground substitutions (the paper's redundancy currency).
 type SeqStats = seminaive.Stats
 
+// Profile is a runtime query profile — the "analyze" half of
+// explain-analyze: per-rule firing/dedup/iteration counters, per-atom
+// planned-vs-actual join cardinalities, and (on the parallel engines)
+// per-processor attribution. Render it with Result.Explain or String.
+type Profile = seminaive.Profile
+
+// RuleProfile is one rule's runtime record inside a Profile.
+type RuleProfile = seminaive.RuleProfile
+
+// AtomProfile is one body atom's runtime record inside a RuleProfile.
+type AtomProfile = seminaive.AtomProfile
+
+// ProcProfile is one processor's share of a rule's runtime.
+type ProcProfile = seminaive.ProcProfile
+
 // Program is a parsed Datalog program together with its constant interner.
 type Program struct {
 	ast *ast.Program
@@ -217,6 +232,11 @@ type EvalOptions struct {
 	// Explain records the planning decisions — join order, constraint
 	// pushdowns, demand rewrite — into Result.Plan for Result.Explain().
 	Explain bool
+	// Profile arms runtime counters on the compiled plans and fills
+	// Result.Profile — explain-analyze. Honored by all three engines (the
+	// parallel engines merge per-worker records with per-processor
+	// attribution). Off by default; the disabled path is a nil check.
+	Profile bool
 	// NoDemand disables Query's magic-sets (demand) rewrite; the goal is
 	// then answered from a full bottom-up materialization. Ignored by
 	// Eval, which never rewrites.
@@ -411,6 +431,9 @@ type Result struct {
 	// Plan reports the planner's decisions when EvalOptions.Explain was
 	// set (always set by Query), nil otherwise. Render it with Explain().
 	Plan *PlanReport
+	// Profile is the runtime query profile when EvalOptions.Profile was
+	// set, nil otherwise. Render it with Explain().
+	Profile *Profile
 }
 
 // fill applies the defaults shared by every engine. The per-engine
@@ -496,6 +519,7 @@ func evalSequential(ctx context.Context, p *Program, edb Store, opts EvalOptions
 		Ctx:           ctx,
 		Sink:          sink,
 		Planner:       opts.Planner,
+		Profile:       opts.Profile,
 	}
 	var report *PlanReport
 	if opts.Explain {
@@ -506,7 +530,7 @@ func evalSequential(ctx context.Context, p *Program, edb Store, opts EvalOptions
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Output: store, SeqStats: stats, Plan: report}, nil
+	return &Result{Output: store, SeqStats: stats, Plan: report, Profile: stats.Profile}, nil
 }
 
 // sirup extracts the canonical linear-sirup decomposition.

@@ -106,28 +106,35 @@ func (r *PlanReport) observe(p *Program, pl *seminaive.Plan) {
 
 // Explain renders the plan report as stable, line-oriented text: the
 // planner, the demand rewrite if any, and per rule the chosen join order
-// and constraint pushdowns. Returns "" when the run was not evaluated with
-// Explain set.
+// and constraint pushdowns. When the run also collected a runtime profile
+// (EvalOptions.Profile), an "analyze" section with actual-vs-planned
+// cardinalities follows — explain-analyze in one transcript. Returns ""
+// when the run was evaluated with neither Explain nor Profile set.
 func (r *Result) Explain() string {
-	if r.Plan == nil {
+	if r.Plan == nil && r.Profile == nil {
 		return ""
 	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "planner: %s\n", r.Plan.Planner)
-	if d := r.Plan.Demand; d != nil {
-		fmt.Fprintf(&b, "demand: goal=%s adornment=%s rules=%d magic=%d\n",
-			d.Goal, d.Adornment, d.Rules, d.MagicRules)
+	if r.Plan != nil {
+		fmt.Fprintf(&b, "planner: %s\n", r.Plan.Planner)
+		if d := r.Plan.Demand; d != nil {
+			fmt.Fprintf(&b, "demand: goal=%s adornment=%s rules=%d magic=%d\n",
+				d.Goal, d.Adornment, d.Rules, d.MagicRules)
+		}
+		for _, rp := range r.Plan.Rules {
+			fmt.Fprintf(&b, "rule %s\n", rp.Rule)
+			suffix := ""
+			if rp.Reordered {
+				suffix = "  (reordered)"
+			}
+			fmt.Fprintf(&b, "  order: %s%s\n", strings.Join(rp.Order, ", "), suffix)
+			for _, pd := range rp.Pushdowns {
+				fmt.Fprintf(&b, "  pushdown: %s\n", pd)
+			}
+		}
 	}
-	for _, rp := range r.Plan.Rules {
-		fmt.Fprintf(&b, "rule %s\n", rp.Rule)
-		suffix := ""
-		if rp.Reordered {
-			suffix = "  (reordered)"
-		}
-		fmt.Fprintf(&b, "  order: %s%s\n", strings.Join(rp.Order, ", "), suffix)
-		for _, pd := range rp.Pushdowns {
-			fmt.Fprintf(&b, "  pushdown: %s\n", pd)
-		}
+	if r.Profile != nil {
+		b.WriteString(r.Profile.String())
 	}
 	return b.String()
 }
@@ -206,7 +213,10 @@ func (q *QueryResult) Err() error {
 // the magic-sets (demand) rewrite of internal/rewrite, so only the portion
 // of the IDB the goal depends on is materialized; evaluation then runs on
 // the engine opts selects with the opts.Planner join planner. Explain is
-// implied — QueryResult.Explain() reports the decisions taken.
+// implied — the static plan report is free to collect, and
+// QueryResult.Explain() reports the decisions taken. Runtime profiling
+// (opts.Profile) stays strictly opt-in: the hot serving path pays nothing
+// unless the caller asks for the analyze section.
 func Query(ctx context.Context, p *Program, edb Store, goal string, opts EvalOptions) (*QueryResult, error) {
 	goalAtom, err := p.parseGoal(goal)
 	if err != nil {

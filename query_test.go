@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"regexp"
 	"strings"
 	"testing"
 
@@ -173,6 +174,57 @@ rule anc@bf(X, Y) :- anc@m@bf(X), par(X, Z), anc@bf(Z, Y).
 `
 	if got != want {
 		t.Fatalf("Explain() drifted.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestQueryExplainAnalyzeGolden pins the full explain-analyze transcript
+// for Example 3 with the greedy planner and profiling on. The sequential
+// engine is deterministic, so every counter — firings, probes, rows,
+// matches, planned cardinalities — is exact; only the wall-time tokens are
+// normalized. A drift here means the profiler's accounting changed.
+func TestQueryExplainAnalyzeGolden(t *testing.T) {
+	prog := chainProgram(t, 10)
+	qr, err := parlog.Query(context.Background(), prog, nil, "anc(v0, X)?", parlog.EvalOptions{
+		Planner: parlog.PlannerGreedy,
+		Profile: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(qr.All()); n != 10 {
+		t.Fatalf("answers = %d, want 10", n)
+	}
+	got := regexp.MustCompile(`wall=\S+`).ReplaceAllString(qr.Explain(), "wall=<t>")
+	want := `planner: greedy
+demand: goal=anc(v0, X) adornment=bf rules=14 magic=2
+rule anc@m@bf(B0) :- anc@seed@bf(B0).
+  order: anc@seed@bf(B0)
+rule anc@m@bf(Z) :- anc@m@bf(X), par(X, Z).
+  order: anc@m@bf(X), par(X, Z)
+rule anc@bf(X, Y) :- anc@m@bf(X), par(X, Y).
+  order: par(X, Y), anc@m@bf(X)  (reordered)
+rule anc@bf(X, Y) :- anc@m@bf(X), par(X, Z), anc@bf(Z, Y).
+  order: anc@bf(Z, Y), par(X, Z), anc@m@bf(X)  (reordered)
+analyze: engine=seminaive wall=<t>
+rule anc@m@bf(B0) :- anc@seed@bf(B0).
+  firings=1 new=1 dup=0 iterations=1 wall=<t>
+  atom 0 anc@seed@bf: probes=1 rows=1 matches=1 planned=1
+rule anc@m@bf(Z) :- anc@m@bf(X), par(X, Z).
+  firings=10 new=10 dup=0 iterations=11 wall=<t>
+  atom 0 anc@m@bf: probes=11 rows=11 matches=11 planned=1
+  atom 1 par: probes=11 rows=10 matches=10 planned=10
+rule anc@bf(X, Y) :- anc@m@bf(X), par(X, Y).
+  firings=10 new=10 dup=0 iterations=1 wall=<t>
+  atom 0 anc@m@bf: probes=10 rows=10 matches=10 planned=11
+  atom 1 par: probes=1 rows=10 matches=10 planned=10
+rule anc@bf(X, Y) :- anc@m@bf(X), par(X, Z), anc@bf(Z, Y).
+  firings=45 new=45 dup=0 iterations=10 wall=<t>
+  atom 0 anc@m@bf: probes=45 rows=45 matches=45 planned=11
+  atom 1 par: probes=55 rows=45 matches=45 planned=10
+  atom 2 anc@bf: probes=10 rows=55 matches=55 planned=10
+`
+	if got != want {
+		t.Fatalf("explain-analyze drifted.\n--- got ---\n%s\n--- want ---\n%s", got, want)
 	}
 }
 

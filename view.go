@@ -324,6 +324,7 @@ func (v *View) Snapshot() (*Snapshot, error) {
 			store:   store,
 			epoch:   v.epoch,
 			planner: v.opts.Planner,
+			profile: v.opts.Profile,
 		}
 		obs.SnapshotTaken(v.tel.sink, v.epoch, store.TotalTuples())
 	}
@@ -419,6 +420,9 @@ type Snapshot struct {
 	store   Store
 	epoch   uint64
 	planner PlannerMode
+	// profile mirrors the View's Open-time EvalOptions.Profile: snapshot
+	// queries then fill QueryResult.Profile with the goal scan's counters.
+	profile bool
 	mu      sync.Mutex // serializes Query: plans build relation indexes lazily
 }
 
@@ -465,11 +469,27 @@ func (s *Snapshot) Query(ctx context.Context, goal string) (*QueryResult, error)
 	// the pinned arena — the PR 6 execution path.
 	match := ast.Rule{Head: atom.Clone(), Body: []ast.Atom{atom.Clone()}}
 	plan := seminaive.CompileWith(match, nil, seminaive.PlanConfig{Mode: s.planner})
+	var rp *seminaive.RuleProfile
+	var t0 time.Time
+	if s.profile {
+		plan.EnableProfile()
+		qr.Result.Profile = &Profile{Engine: "snapshot"}
+		rp = qr.Result.Profile.Rule(seminaive.ProfileKey(s.prog.ast, match), atom.Pred)
+		t0 = time.Now()
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	cur := plan.Stream(s.store, nil)
 	for cur.Next() {
 		qr.pre = append(qr.pre, cur.Head())
+	}
+	if rp != nil {
+		rp.Firings = cur.Fired()
+		rp.New = cur.Fired()
+		rp.Iterations = 1
+		rp.WallNs = time.Since(t0).Nanoseconds()
+		plan.ProfileInto(rp)
+		qr.Result.Profile.WallNs = rp.WallNs
 	}
 	return qr, nil
 }
